@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations and
+# kvstore micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artefact as a text report.
+experiments:
+	$(GO) run ./cmd/origami-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compilejob
+	$(GO) run ./examples/webtrace
+	$(GO) run ./examples/tcpcluster
+	$(GO) run ./examples/trainloop
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,257 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one benchmark per artefact), plus ablation benches for the
+// design choices called out in DESIGN.md. Each iteration runs the full
+// experiment on the simulated cluster; the headline quantity of each
+// artefact is attached via b.ReportMetric so `go test -bench=.` prints
+// the reproduced numbers next to the timing.
+//
+// The same experiments are available as readable text reports through
+// cmd/origami-bench.
+package origami
+
+import (
+	"testing"
+
+	"origami/internal/experiments"
+)
+
+// benchScale keeps each iteration around a second so the full suite stays
+// tractable.
+func benchScale() experiments.Scale {
+	s := experiments.DefaultScale()
+	s.Ops = 80000
+	return s
+}
+
+func BenchmarkFig2_EvenPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AggregateFactor, "aggXsingle")
+		b.ReportMetric(100*r.JCTReduction, "jct_reduction_%")
+	}
+}
+
+func BenchmarkFig5a_AggregateThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5a(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "Origami" {
+				b.ReportMetric(row.Normalized, "origamiXsingle")
+			}
+			if row.Name == "C-Hash" {
+				b.ReportMetric(row.Normalized, "chashXsingle")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5b_SingleThreadLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5b(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "F-Hash" {
+				b.ReportMetric(100*row.Increase, "fhash_lat_incr_%")
+			}
+			if row.Name == "Origami" {
+				b.ReportMetric(100*row.Increase, "origami_lat_incr_%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6_ImbalanceFactors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "Origami" {
+				b.ReportMetric(row.BusyTime, "origami_busy_IF")
+			}
+			if row.Name == "F-Hash" {
+				b.ReportMetric(row.BusyTime, "fhash_busy_IF")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1_FeatureImportance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 60000
+		r, err := experiments.Table1(scale, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.DatasetSize), "examples")
+		b.ReportMetric(r.Report.Models[0].Spearman, "spearman")
+	}
+}
+
+func BenchmarkTable2_CacheAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 60000
+		r, err := experiments.Table2(scale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "Origami" {
+				b.ReportMetric(100*row.CacheGain, "origami_cache_gain_%")
+				b.ReportMetric(row.RPCCache, "origami_rpc_cached")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7_Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Series {
+			if s.Name == "Origami" {
+				b.ReportMetric(s.Mean, "origami_efficiency")
+			}
+			if s.Name == "F-Hash" {
+				b.ReportMetric(s.Mean, "fhash_efficiency")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 60000
+		r, err := experiments.Fig8(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Series {
+			if s.Name == "Origami" && len(s.Speedups) >= 2 {
+				b.ReportMetric(s.Speedups[1], "origami_3mds_x") // 3 MDSs
+				b.ReportMetric(s.Speedups[len(s.Speedups)-1], "origami_5mds_x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9a_RealWorkloadsMeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Full default scale: the dynamic Trace-WI needs the longer run
+		// for the balancer to converge (see EXPERIMENTS.md).
+		scale := experiments.DefaultScale()
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wi, wl := range r.Workloads {
+			b.ReportMetric(experiments.BestBaselineMargin(r.Meta[wi]), "margin_"+wl)
+		}
+	}
+}
+
+func BenchmarkFig9b_RealWorkloadsE2E(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := experiments.DefaultScale()
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wi, wl := range r.Workloads {
+			b.ReportMetric(experiments.BestBaselineMargin(r.E2E[wi]), "margin_e2e_"+wl)
+		}
+	}
+}
+
+func BenchmarkDecisionAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 60000
+		r, err := experiments.DecisionAnalysis(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.NearRootFrac, "near_root_%")
+		b.ReportMetric(100*r.DeepWriteFrac, "deep_write_%")
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Headline(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OrigamiVsSingle, "origamiXsingle")
+		b.ReportMetric(r.OrigamiVsBest, "origamiXbest")
+	}
+}
+
+func BenchmarkAblation_CacheDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 40000
+		r, err := experiments.AblationCacheDepth(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Thr[len(r.Thr)-1]/r.Thr[0], "deep_vs_nocache_x")
+	}
+}
+
+func BenchmarkAblation_CostParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 40000
+		r, err := experiments.AblationCostParams(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Ratio[0], "fhash_chash_cheap")
+		b.ReportMetric(r.Ratio[len(r.Ratio)-1], "fhash_chash_costly")
+	}
+}
+
+func BenchmarkAblation_LoadLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 40000
+		r, err := experiments.AblationLoadLatency(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SingleSaturate, "single_sat_ops")
+	}
+}
+
+func BenchmarkAblation_MigrationCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scale := benchScale()
+		scale.Ops = 40000
+		r, err := experiments.AblationMigrationCap(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, t := range r.Thr {
+			if t > best {
+				best = t
+			}
+		}
+		b.ReportMetric(best, "best_thr")
+	}
+}

@@ -1,0 +1,153 @@
+// Command origami-cli is an interactive shell (and one-shot runner) for a
+// running OrigamiFS cluster:
+//
+//	origami-cli -mds 127.0.0.1:7201,127.0.0.1:7202 mkdir /a
+//	origami-cli -mds 127.0.0.1:7201,127.0.0.1:7202        # interactive
+//
+// Commands: mkdir, create (touch), stat, ls, rm, mv, setattr, rpcstats,
+// help, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"origami/internal/client"
+)
+
+func main() {
+	var (
+		mdsList = flag.String("mds", "127.0.0.1:7201", "comma-separated MDS addresses in id order")
+		cacheD  = flag.Int("cache", 3, "near-root cache depth (0 disables)")
+	)
+	flag.Parse()
+	sdk, err := client.Dial(client.Config{
+		Addrs:      strings.Split(*mdsList, ","),
+		CacheDepth: *cacheD,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer sdk.Close()
+	if err := sdk.RefreshMap(); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: fetch partition map: %v\n", err)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		if err := runCommand(sdk, args); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("origami> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if fields[0] == "quit" || fields[0] == "exit" {
+				return
+			}
+			if err := runCommand(sdk, fields); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+			}
+		}
+		fmt.Print("origami> ")
+	}
+}
+
+func runCommand(sdk *client.Client, args []string) error {
+	cmd := args[0]
+	need := func(n int) error {
+		if len(args) < n+1 {
+			return fmt.Errorf("%s: need %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "help":
+		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | rpcstats | quit")
+		return nil
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		in, err := sdk.Mkdir(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mkdir %s -> ino %d\n", args[1], in.Ino)
+		return nil
+	case "create", "touch":
+		if err := need(1); err != nil {
+			return err
+		}
+		in, err := sdk.Create(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("create %s -> ino %d\n", args[1], in.Ino)
+		return nil
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		in, err := sdk.Stat(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ino=%d type=%s mode=%o size=%d nlink=%d\n",
+			args[1], in.Ino, in.Type, in.Mode, in.Size, in.Nlink)
+		return nil
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		ents, err := sdk.Readdir(args[1])
+		if err != nil {
+			return err
+		}
+		for _, in := range ents {
+			fmt.Printf("%-6s %10d  %s\n", in.Type, in.Size, in.Name)
+		}
+		return nil
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sdk.Remove(args[1])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return sdk.Rename(args[1], args[2])
+	case "setattr":
+		if err := need(2); err != nil {
+			return err
+		}
+		size, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("setattr: bad size %q", args[2])
+		}
+		_, err = sdk.Setattr(args[1], size, 0o644)
+		return err
+	case "rpcstats":
+		fmt.Printf("ops=%d rpcs=%d (%.3f rpc/op)\n",
+			sdk.Ops.Load(), sdk.RPCCount.Load(),
+			float64(sdk.RPCCount.Load())/float64(max64(1, sdk.Ops.Load())))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+// Command origami-mds runs one OrigamiFS metadata server, or, with
+// -cluster, a whole multi-MDS development cluster in a single process
+// (plus the coordinator balancing it every epoch).
+//
+// Single server:
+//
+//	origami-mds -id 0 -addr 127.0.0.1:7201 -peers 127.0.0.1:7201,127.0.0.1:7202 -data /var/lib/origami/mds0
+//
+// Development cluster:
+//
+//	origami-mds -cluster 5 -data /tmp/origami -epoch 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/kvstore"
+	"origami/internal/mds"
+	"origami/internal/ml"
+	"origami/internal/rpc"
+	"origami/internal/server"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "MDS id (index into -peers)")
+		addr     = flag.String("addr", "127.0.0.1:7201", "listen address")
+		peers    = flag.String("peers", "", "comma-separated addresses of every MDS, in id order")
+		dataDir  = flag.String("data", "./origami-data", "storage directory")
+		clusterN = flag.Int("cluster", 0, "run an n-MDS development cluster in-process")
+		epoch    = flag.Duration("epoch", 10*time.Second, "rebalance epoch for -cluster mode")
+		model    = flag.String("model", "", "trained benefit model (origami-train output) driving the balancer in -cluster mode")
+	)
+	flag.Parse()
+	if *clusterN > 0 {
+		runCluster(*clusterN, *dataDir, *epoch, *model)
+		return
+	}
+	runSingle(*id, *addr, *peers, *dataDir)
+}
+
+func runSingle(id int, addr, peers, dataDir string) {
+	peerAddrs := strings.Split(peers, ",")
+	if peers == "" {
+		peerAddrs = []string{addr}
+	}
+	conns := make([]*rpc.Client, len(peerAddrs))
+	resolve := func(pid int) (*rpc.Client, error) {
+		if pid < 0 || pid >= len(peerAddrs) {
+			return nil, fmt.Errorf("peer %d out of range", pid)
+		}
+		if conns[pid] == nil {
+			c, err := rpc.Dial(peerAddrs[pid])
+			if err != nil {
+				return nil, err
+			}
+			conns[pid] = c
+		}
+		return conns[pid], nil
+	}
+	store, err := mds.OpenStore(dataDir, id, kvstore.Options{})
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	svc := mds.NewService(id, store, resolve)
+	bound, err := svc.Serve(addr)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("origami-mds %d serving on %s (data %s)", id, bound, dataDir)
+	waitForSignal()
+	if err := svc.Close(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+func runCluster(n int, dataDir string, epoch time.Duration, modelPath string) {
+	cl, err := server.StartCluster(n, dataDir)
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	co := server.NewCoordinator(cl)
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			log.Fatalf("open model: %v", err)
+		}
+		m, err := ml.LoadGBDT(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+		co.Strategy = &balancer.Origami{Model: m}
+		log.Printf("balancer: trained model from %s (%d trees)", modelPath, len(m.Trees))
+	}
+	log.Printf("origami cluster: %d MDSs", n)
+	for i, a := range cl.Addrs {
+		log.Printf("  MDS %d: %s", i, a)
+	}
+	log.Printf("coordinator: epoch %v", epoch)
+	ticker := time.NewTicker(epoch)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			applied, err := co.RunEpoch()
+			if err != nil {
+				log.Printf("rebalance: %v", err)
+				continue
+			}
+			if len(applied) > 0 {
+				for _, d := range applied {
+					log.Printf("rebalance: %v", d)
+				}
+			}
+		case <-sig:
+			log.Printf("shutting down")
+			return
+		}
+	}
+}
+
+func waitForSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+}

@@ -1,0 +1,54 @@
+// Command origami-tracegen emits the paper's workload traces to files in
+// the binary or text trace format:
+//
+//	origami-tracegen -workload rw -ops 200000 -seed 1 -o trace-rw.bin
+//	origami-tracegen -workload ro -format text -o trace-ro.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"origami/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "rw", "workload: rw, ro, or wi")
+		ops    = flag.Int("ops", 200000, "access-phase operations")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		format = flag.String("format", "binary", "output format: binary or text")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	tr, err := workload.ByName(*name, *seed, *ops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "binary":
+		err = tr.WriteBinary(w)
+	case "text":
+		err = tr.WriteText(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d setup ops, %d access ops (%.0f%% writes)\n",
+		tr.Name, len(tr.Setup), len(tr.Ops), 100*tr.WriteFraction())
+}

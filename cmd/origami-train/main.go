@@ -1,0 +1,123 @@
+// Command origami-train runs the §4.3 training workflow: label generation
+// on a workload replay, offline model training with a three-family
+// comparison, the Table-1 Gini importance report, and online validation
+// of the trained model.
+//
+//	origami-train -workload rw -ops 150000 -model origami-model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"origami/internal/features"
+	"origami/internal/pipeline"
+	"origami/internal/sim"
+	"origami/internal/trace"
+	"origami/internal/workload"
+)
+
+// loadTrace reads a trace file written by origami-tracegen, trying the
+// binary format first and the text format second.
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if tr, err := trace.ReadBinary(f); err == nil {
+		return tr, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return trace.ReadText(f)
+}
+
+func main() {
+	var (
+		name      = flag.String("workload", "rw", "workload: rw, ro, or wi")
+		traceFile = flag.String("trace", "", "train on a trace file (origami-tracegen output) instead of a synthetic workload")
+		ops       = flag.Int("ops", 150000, "trace length for label generation")
+		seed      = flag.Int64("seed", 1, "training trace seed")
+		valSeed   = flag.Int64("val-seed", 99, "validation trace seed")
+		numMDS    = flag.Int("mds", 5, "cluster size")
+		clients   = flag.Int("clients", 50, "client threads")
+		cacheD    = flag.Int("cache", 3, "near-root cache depth")
+		epoch     = flag.Duration("epoch", time.Second, "collection epoch (virtual)")
+		modelOut  = flag.String("model", "", "write the trained LightGBM model (JSON) here")
+		compare   = flag.Bool("compare", true, "also train depth-wise GBDT and MLP for comparison")
+		skipValid = flag.Bool("skip-validate", false, "skip the online validation run")
+	)
+	flag.Parse()
+
+	cfg := pipeline.Config{Sim: sim.Config{
+		NumMDS: *numMDS, Clients: *clients, CacheDepth: *cacheD, Epoch: *epoch,
+	}}
+	var trainTrace *trace.Trace
+	var err error
+	if *traceFile != "" {
+		trainTrace, err = loadTrace(*traceFile)
+		*skipValid = true // no second instance of an external trace
+	} else {
+		trainTrace, err = workload.ByName(*name, *seed, *ops)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== label generation: %s, %d ops, %d MDSs ==\n", trainTrace.Name, trainTrace.Len(), *numMDS)
+	ds, err := pipeline.GenerateDataset(trainTrace, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset: %d examples x %d features\n", ds.Len(), ds.NumFeatures())
+
+	fmt.Printf("== offline training ==\n")
+	rep, err := pipeline.Train(ds, *compare)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %10s %8s %9s %10s\n", "model", "MSE", "R2", "Spearman", "train")
+	for _, m := range rep.Models {
+		fmt.Printf("%-10s %10.2e %8.3f %9.3f %10v\n", m.Name, m.MSE, m.R2, m.Spearman, m.Train.Round(time.Millisecond))
+	}
+
+	fmt.Printf("\n== Table 1: feature Gini importance (LightGBM) ==\n")
+	fmt.Printf("%-18s %6s %10s\n", "feature", "rank", "importance")
+	for f := 0; f < features.NumFeatures; f++ {
+		fmt.Printf("%-18s %6d %9.1f%%\n", features.Names[f], rep.ImportanceRank[f], 100*rep.Importance[f])
+	}
+
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.LightGBM.Save(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\nmodel written to %s\n", *modelOut)
+	}
+
+	if !*skipValid {
+		fmt.Printf("\n== online validation (seed %d) ==\n", *valSeed)
+		valTrace, err := workload.ByName(*name, *valSeed, *ops)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := pipeline.Validate(valTrace, rep.LightGBM, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("throughput %.0f ops/s (steady %.0f), rpc/req %.3f, migrations %d, mean latency %v\n",
+			res.Throughput, res.SteadyThroughput, res.RPCPerRequest, res.Migrations, res.MeanLatency)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "origami-train: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Compile-job scenario: compare every balancing strategy on the paper's
+// Trace-RW compilation workload (the Figure-5a experiment as a readable
+// program), then inspect what Origami chose to migrate.
+//
+//	go run ./examples/compilejob
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/cluster"
+	"origami/internal/sim"
+	"origami/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 120000
+
+	run := func(st cluster.Strategy, numMDS int) *sim.Result {
+		res, err := sim.Run(sim.Config{
+			NumMDS: numMDS, Clients: 50, CacheDepth: 3, Epoch: time.Second,
+		}, workload.TraceRW(cfg), st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("A large compilation job (Trace-RW): 48 modules, hot shared headers,")
+	fmt.Println("object-file churn, module popularity follows a Zipf law.")
+	fmt.Println()
+
+	single := run(balancer.Single{}, 1)
+	fmt.Printf("%-9s %12s %8s %9s %12s\n", "strategy", "thr (ops/s)", "vs 1MDS", "rpc/req", "mean lat")
+	fmt.Printf("%-9s %12.0f %8s %9.3f %12v\n", "Single",
+		single.SteadyThroughput, "1.00x", single.RPCPerRequest,
+		single.MeanLatency.Round(time.Microsecond))
+
+	for _, st := range []cluster.Strategy{
+		balancer.CHash{}, balancer.FHash{}, &balancer.MLTree{}, &balancer.Origami{},
+	} {
+		res := run(st, 5)
+		fmt.Printf("%-9s %12.0f %7.2fx %9.3f %12v\n", res.Strategy,
+			res.SteadyThroughput, res.SteadyThroughput/single.SteadyThroughput,
+			res.RPCPerRequest, res.MeanLatency.Round(time.Microsecond))
+	}
+
+	// Peek inside an Origami run: which subtrees did it migrate?
+	fmt.Println("\nOrigami's migration log (first epochs):")
+	s, err := sim.New(sim.Config{
+		NumMDS: 5, Clients: 50, CacheDepth: 3, Epoch: time.Second,
+	}, workload.TraceRW(cfg), &balancer.Origami{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, am := range res.Applied {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more\n", len(res.Applied)-8)
+			break
+		}
+		kind := "near-root"
+		if am.Depth > 3 {
+			kind = "deep"
+			if am.WriteFraction >= 0.5 {
+				kind = "deep, write-heavy"
+			}
+		}
+		fmt.Printf("  epoch %2d: depth-%d subtree (%s), %d inodes, MDS %d -> %d\n",
+			am.Epoch, am.Depth, kind, am.Inodes, am.Decision.From, am.Decision.To)
+	}
+	fmt.Printf("total: %d migrations; final busy imbalance %.3f\n",
+		res.Migrations, res.Epochs[len(res.Epochs)-1].ImbalanceBusy)
+}

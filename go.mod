@@ -1,0 +1,3 @@
+module origami
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package balancer implements the metadata load-balancing strategies the
+// paper evaluates (§5.1): the Single-MDS baseline, coarse- and
+// fine-grained hash partitioning (C-Hash à la HopsFS, F-Hash à la
+// Tectonic/InfiniFS), the popularity-predicting ML-Tree baseline (LoADM-
+// style), and Origami itself (benefit-predicting model + greedy
+// migration), plus a future-knowing Meta-OPT oracle used as an upper
+// bound.
+package balancer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"origami/internal/cluster"
+	"origami/internal/namespace"
+)
+
+// ByName constructs a strategy from its report name: "single", "chash",
+// "fhash", "mltree", "lunule", "origami", or "metaopt" (case-insensitive,
+// hyphens ignored).
+func ByName(name string) (cluster.Strategy, error) {
+	switch normalize(name) {
+	case "single":
+		return Single{}, nil
+	case "chash":
+		return CHash{}, nil
+	case "fhash":
+		return FHash{}, nil
+	case "mltree":
+		return &MLTree{}, nil
+	case "lunule":
+		return &Lunule{}, nil
+	case "origami":
+		return &Origami{}, nil
+	case "metaopt":
+		return &MetaOPTOracle{}, nil
+	default:
+		return nil, fmt.Errorf("balancer: unknown strategy %q", name)
+	}
+}
+
+func normalize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == '-' || r == '_' || r == ' ':
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// hashMDS deterministically maps an inode to an MDS.
+func hashMDS(ino namespace.Ino, n int) cluster.MDSID {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(ino))
+	h := fnv.New32a()
+	h.Write(b[:])
+	return cluster.MDSID(h.Sum32() % uint32(n))
+}
+
+// Single keeps every inode on MDS 0 — the standalone-MDS baseline every
+// figure normalises against.
+type Single struct{}
+
+// Name implements cluster.Strategy.
+func (Single) Name() string { return "Single" }
+
+// Setup implements cluster.Strategy; nothing to do.
+func (Single) Setup(*namespace.Tree, *cluster.PartitionMap) error { return nil }
+
+// PinPolicy implements cluster.Strategy; directories inherit.
+func (Single) PinPolicy() cluster.PinPolicy { return nil }
+
+// Rebalance implements cluster.Strategy; never migrates.
+func (Single) Rebalance(*cluster.EpochStats, *namespace.Tree, *cluster.PartitionMap) []cluster.Decision {
+	return nil
+}
+
+// CHash is coarse-grained hash partitioning (HopsFS-style): directories at
+// depth <= Levels are hashed across MDSs; everything deeper inherits its
+// ancestor's placement, preserving subtree locality below the cut.
+type CHash struct {
+	// Levels is the deepest directory level that is hashed (default 4).
+	Levels int
+}
+
+// Name implements cluster.Strategy.
+func (c CHash) Name() string { return "C-Hash" }
+
+func (c CHash) levels() int {
+	if c.Levels <= 0 {
+		return 4
+	}
+	return c.Levels
+}
+
+// Setup hashes every existing directory at depth 1..Levels.
+func (c CHash) Setup(t *namespace.Tree, pm *cluster.PartitionMap) error {
+	lv := c.levels()
+	var err error
+	t.WalkSubtree(namespace.RootIno, func(in *namespace.Inode, depth int) bool {
+		if err != nil {
+			return false
+		}
+		if depth > lv {
+			return false
+		}
+		if in.IsDir() && depth >= 1 && depth <= lv {
+			err = pm.Pin(in.Ino, hashMDS(in.Ino, pm.NumMDS()))
+		}
+		return depth < lv
+	})
+	return err
+}
+
+// PinPolicy hashes new directories created within the hashed levels.
+func (c CHash) PinPolicy() cluster.PinPolicy {
+	lv := c.levels()
+	return func(t *namespace.Tree, pm *cluster.PartitionMap, ino namespace.Ino, path string, depth int) (cluster.MDSID, bool) {
+		if depth >= 1 && depth <= lv {
+			return hashMDS(ino, pm.NumMDS()), true
+		}
+		return 0, false
+	}
+}
+
+// Rebalance implements cluster.Strategy; hash placement is static.
+func (c CHash) Rebalance(*cluster.EpochStats, *namespace.Tree, *cluster.PartitionMap) []cluster.Decision {
+	return nil
+}
+
+// FHash is fine-grained hash partitioning (Tectonic/InfiniFS-style): every
+// directory is hashed independently; files stay with their directory.
+type FHash struct{}
+
+// Name implements cluster.Strategy.
+func (FHash) Name() string { return "F-Hash" }
+
+// Setup hashes every existing directory.
+func (FHash) Setup(t *namespace.Tree, pm *cluster.PartitionMap) error {
+	var err error
+	t.WalkSubtree(namespace.RootIno, func(in *namespace.Inode, depth int) bool {
+		if err != nil {
+			return false
+		}
+		if in.IsDir() && in.Ino != namespace.RootIno {
+			err = pm.Pin(in.Ino, hashMDS(in.Ino, pm.NumMDS()))
+		}
+		return true
+	})
+	return err
+}
+
+// PinPolicy hashes every new directory.
+func (FHash) PinPolicy() cluster.PinPolicy {
+	return func(t *namespace.Tree, pm *cluster.PartitionMap, ino namespace.Ino, path string, depth int) (cluster.MDSID, bool) {
+		return hashMDS(ino, pm.NumMDS()), true
+	}
+}
+
+// Rebalance implements cluster.Strategy; hash placement is static.
+func (FHash) Rebalance(*cluster.EpochStats, *namespace.Tree, *cluster.PartitionMap) []cluster.Decision {
+	return nil
+}

@@ -1,0 +1,51 @@
+package balancer
+
+import (
+	"time"
+
+	"origami/internal/cluster"
+	"origami/internal/stats"
+)
+
+// Shared plumbing for the learned strategies: the Lunule-style rebalance
+// trigger (act only when busy-time imbalance exceeds a threshold) and
+// destination selection.
+
+// defaultTriggerIF is the imbalance factor above which rebalancing fires,
+// matching Lunule's load-monitoring trigger the paper reuses (§4.2, §5.1).
+const defaultTriggerIF = 0.05
+
+// shouldRebalance implements the trigger on the epoch's busy times.
+func shouldRebalance(es *cluster.EpochStats, trigger float64) bool {
+	loads := make([]float64, len(es.Service))
+	for i, s := range es.Service {
+		loads[i] = float64(s)
+	}
+	return stats.ImbalanceFactor(loads) > trigger
+}
+
+// leastLoaded returns the MDS with the smallest working load.
+func leastLoaded(loads []time.Duration) cluster.MDSID {
+	best := cluster.MDSID(0)
+	for i := 1; i < len(loads); i++ {
+		if loads[i] < loads[best] {
+			best = cluster.MDSID(i)
+		}
+	}
+	return best
+}
+
+// mostLoaded returns the MDS with the largest working load.
+func mostLoaded(loads []time.Duration) cluster.MDSID {
+	best := cluster.MDSID(0)
+	for i := 1; i < len(loads); i++ {
+		if loads[i] > loads[best] {
+			best = cluster.MDSID(i)
+		}
+	}
+	return best
+}
+
+func cloneLoads(sv []time.Duration) []time.Duration {
+	return append([]time.Duration(nil), sv...)
+}

@@ -1,0 +1,107 @@
+package balancer
+
+import (
+	"origami/internal/cluster"
+	"origami/internal/namespace"
+)
+
+// Lunule is a heuristic dynamic-subtree balancer in the spirit of Lunule
+// (SC'21), whose trigger mechanism the learned strategies reuse: when the
+// busy-time imbalance exceeds the trigger, it selects exporter/importer
+// MDS pairs and moves the hottest *subtree-aggregated* load between them
+// with a bin-packing fit — load-aware and locality-oblivious, but less
+// aggressive than the popularity baseline. It gives the evaluation a
+// strong non-ML heuristic reference point between the hash baselines and
+// Origami.
+type Lunule struct {
+	// Trigger is the imbalance factor that arms rebalancing (default
+	// 0.05).
+	Trigger float64
+	// MaxMigrations bounds decisions per epoch (default 6).
+	MaxMigrations int
+
+	epochs   int
+	cooldown map[namespace.Ino]int
+}
+
+// Name implements cluster.Strategy.
+func (s *Lunule) Name() string { return "Lunule" }
+
+// Setup implements cluster.Strategy.
+func (s *Lunule) Setup(*namespace.Tree, *cluster.PartitionMap) error {
+	s.cooldown = make(map[namespace.Ino]int)
+	if s.Trigger == 0 {
+		s.Trigger = defaultTriggerIF
+	}
+	if s.MaxMigrations == 0 {
+		s.MaxMigrations = 6
+	}
+	return nil
+}
+
+// PinPolicy implements cluster.Strategy; subtree strategies inherit.
+func (s *Lunule) PinPolicy() cluster.PinPolicy { return nil }
+
+// Rebalance implements cluster.Strategy: repeated best-fit moves of the
+// largest movable subtree load from the most to the least loaded MDS.
+func (s *Lunule) Rebalance(es *cluster.EpochStats, t *namespace.Tree, pm *cluster.PartitionMap) []cluster.Decision {
+	s.epochs++
+	if !shouldRebalance(es, s.Trigger) {
+		return nil
+	}
+	loads := cloneLoads(es.Service)
+	var decisions []cluster.Decision
+	used := map[namespace.Ino]bool{}
+	for len(decisions) < s.MaxMigrations {
+		src := mostLoaded(loads)
+		dst := leastLoaded(loads)
+		gap := loads[src] - loads[dst]
+		if src == dst || gap <= 0 {
+			break
+		}
+		// Best-fit: the largest subtree load that still fits in half the
+		// gap (so the move cannot invert the imbalance).
+		var best *cluster.DirStat
+		for i := range es.Dirs {
+			d := &es.Dirs[i]
+			if d.Ino == namespace.RootIno || d.Owner != src || used[d.Ino] {
+				continue
+			}
+			if last, ok := s.cooldown[d.Ino]; ok && s.epochs-last < 3 {
+				continue
+			}
+			if d.OwnedService <= 0 || d.OwnedService > gap/2 {
+				continue
+			}
+			// Skip subtrees nested inside an already-chosen one.
+			nested := false
+			for chosen := range used {
+				if es.IsAncestor(chosen, d.Ino) || es.IsAncestor(d.Ino, chosen) {
+					nested = true
+					break
+				}
+			}
+			if nested {
+				continue
+			}
+			if best == nil || d.OwnedService > best.OwnedService {
+				best = d
+			}
+		}
+		if best == nil {
+			break
+		}
+		decisions = append(decisions, cluster.Decision{
+			Subtree: best.Ino, From: src, To: dst,
+			PredictedBenefit: best.OwnedService,
+		})
+		used[best.Ino] = true
+		s.cooldown[best.Ino] = s.epochs
+		loads[src] -= best.OwnedService
+		loads[dst] += best.OwnedService
+		if loads[src] < 0 {
+			loads[src] = 0
+		}
+	}
+	return decisions
+}

@@ -1,0 +1,138 @@
+package balancer
+
+import (
+	"time"
+
+	"origami/internal/cluster"
+	"origami/internal/features"
+	"origami/internal/ml"
+	"origami/internal/namespace"
+)
+
+// MLTree reproduces the popularity-predicting ML baseline (§5.1, after
+// LoADM): a LightGBM-style model trained online to predict each subtree's
+// next-epoch access share from the Table-1 features; rebalancing then
+// migrates the hottest predicted subtrees off the most loaded MDS. Its
+// characteristic weakness — the reason the paper builds Origami — is that
+// it optimises *popularity placement* and is blind to the locality cost
+// of the migrations it orders.
+type MLTree struct {
+	// Trigger is the imbalance factor that arms rebalancing (default
+	// 0.05, the Lunule trigger).
+	Trigger float64
+	// MaxMigrations bounds decisions per epoch (default 4).
+	MaxMigrations int
+	// WarmupEpochs is how many (features, next-popularity) pairs to
+	// collect before the first training run (default 2); until then it
+	// falls back to last-epoch popularity as the prediction.
+	WarmupEpochs int
+
+	model    *ml.GBDT
+	dataset  ml.Dataset
+	pending  *features.Matrix // features awaiting next-epoch labels
+	pendES   *cluster.EpochStats
+	epochs   int
+	cooldown map[namespace.Ino]int // subtree -> epoch it last moved
+}
+
+// Name implements cluster.Strategy.
+func (s *MLTree) Name() string { return "ML-Tree" }
+
+// Setup implements cluster.Strategy.
+func (s *MLTree) Setup(*namespace.Tree, *cluster.PartitionMap) error {
+	s.cooldown = make(map[namespace.Ino]int)
+	if s.Trigger == 0 {
+		s.Trigger = defaultTriggerIF
+	}
+	if s.MaxMigrations == 0 {
+		s.MaxMigrations = 8
+	}
+	if s.WarmupEpochs == 0 {
+		s.WarmupEpochs = 2
+	}
+	return nil
+}
+
+// PinPolicy implements cluster.Strategy; subtree strategies inherit.
+func (s *MLTree) PinPolicy() cluster.PinPolicy { return nil }
+
+// Rebalance implements cluster.Strategy.
+func (s *MLTree) Rebalance(es *cluster.EpochStats, t *namespace.Tree, pm *cluster.PartitionMap) []cluster.Decision {
+	s.epochs++
+	m := features.Extract(es)
+	// Label last epoch's features with this epoch's popularity and fold
+	// into the training set.
+	if s.pending != nil {
+		labels := features.PopularityLabels(s.pending, es)
+		for i := range s.pending.X {
+			s.dataset.Append(s.pending.X[i], labels[i])
+		}
+	}
+	s.pending = m
+	s.pendES = es
+	if s.epochs >= s.WarmupEpochs && s.dataset.Len() >= 50 {
+		// Retrain each epoch: datasets are small, training is cheap.
+		if model, err := ml.TrainGBDT(s.dataset, ml.GBDTConfig{
+			Rounds: 60, NumLeaves: 16, EarlyStopRounds: 10,
+		}); err == nil {
+			s.model = model
+		}
+	}
+	if !shouldRebalance(es, s.Trigger) {
+		return nil
+	}
+	// Predicted popularity share per directory.
+	pop := make([]float64, len(m.Inos))
+	if s.model != nil {
+		pop = s.model.PredictBatch(m.X)
+	} else {
+		pop = features.PopularityLabels(m, es)
+	}
+	total := time.Duration(0)
+	for _, l := range es.Service {
+		total += l
+	}
+	// The popularity baseline fixes one (busiest -> idlest) pair per
+	// epoch and ships its hottest predicted directories across, with no
+	// per-decision load feedback and no accounting for the locality cost
+	// of the cuts — the aggressiveness the paper critiques (§5.2).
+	src := mostLoaded(es.Service)
+	dst := leastLoaded(es.Service)
+	if src == dst {
+		return nil
+	}
+	var decisions []cluster.Decision
+	used := map[namespace.Ino]bool{}
+	for len(decisions) < s.MaxMigrations {
+		best := -1
+		for i, ino := range m.Inos {
+			d := es.Dir(ino)
+			if d == nil || d.Owner != src || used[ino] || pop[i] <= 0 {
+				continue
+			}
+			if last, ok := s.cooldown[ino]; ok && s.epochs-last < 3 {
+				continue
+			}
+			// A directory predicted to carry more than half the total
+			// load cannot help; everything else is fair game.
+			if pop[i] > 0.5 {
+				continue
+			}
+			if best == -1 || pop[i] > pop[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ino := m.Inos[best]
+		moved := time.Duration(pop[best] * float64(total))
+		decisions = append(decisions, cluster.Decision{
+			Subtree: ino, From: src, To: dst,
+			PredictedBenefit: moved,
+		})
+		used[ino] = true
+		s.cooldown[ino] = s.epochs
+	}
+	return decisions
+}

@@ -1,0 +1,249 @@
+package balancer
+
+import (
+	"time"
+
+	"origami/internal/cluster"
+	"origami/internal/costmodel"
+	"origami/internal/features"
+	"origami/internal/metaopt"
+	"origami/internal/ml"
+	"origami/internal/namespace"
+)
+
+// Origami is the paper's strategy (§4.2): a model trained on Meta-OPT
+// benefit labels predicts each subtree's migration benefit; the balancer
+// then greedily migrates the highest-predicted-benefit subtree to the most
+// lightly loaded MDS, repeating until predictions fall below a threshold.
+//
+// Two operating modes:
+//
+//   - Offline model: set Model to a GBDT trained by the pipeline package
+//     (the paper's workflow — train offline on collected dumps, validate
+//     online).
+//   - Online self-training: leave Model nil. Each epoch the strategy
+//     labels its own dump with Meta-OPT, folds it into a growing dataset,
+//     and refreshes the model; until enough data accumulates it uses the
+//     Meta-OPT benefits directly.
+type Origami struct {
+	// Model is an optional pre-trained benefit predictor (GBDT or MLP).
+	Model ml.Predictor
+	// Trigger is the rebalance-arming imbalance factor (default 0.05).
+	Trigger float64
+	// BenefitThreshold stops migration when the predicted benefit falls
+	// below this fraction of the epoch JCT (default 0.01).
+	BenefitThreshold float64
+	// MaxMigrations bounds decisions per epoch (default 4).
+	MaxMigrations int
+	// CacheDepth tells the benefit model which boundaries the client
+	// cache absorbs (default 3, matching the experiments).
+	CacheDepth int
+	// Delta is Meta-OPT's imbalance bound (default: epoch mean load).
+	Delta time.Duration
+	// Online enables self-training when Model is nil (default on).
+	DisableOnline bool
+
+	dataset  ml.Dataset
+	trained  *ml.GBDT
+	epochs   int
+	cooldown map[namespace.Ino]int
+}
+
+// Name implements cluster.Strategy.
+func (s *Origami) Name() string { return "Origami" }
+
+// Setup implements cluster.Strategy.
+func (s *Origami) Setup(*namespace.Tree, *cluster.PartitionMap) error {
+	s.cooldown = make(map[namespace.Ino]int)
+	if s.Trigger == 0 {
+		s.Trigger = defaultTriggerIF
+	}
+	if s.BenefitThreshold == 0 {
+		s.BenefitThreshold = 0.01
+	}
+	if s.MaxMigrations == 0 {
+		s.MaxMigrations = 8
+	}
+	if s.CacheDepth == 0 {
+		s.CacheDepth = 3
+	}
+	return nil
+}
+
+// PinPolicy implements cluster.Strategy; Origami inherits placement and
+// migrates subtrees afterwards.
+func (s *Origami) PinPolicy() cluster.PinPolicy { return nil }
+
+// activeModel returns the predictor to use this epoch, or nil for the
+// Meta-OPT bootstrap.
+func (s *Origami) activeModel() ml.Predictor {
+	if s.Model != nil {
+		return s.Model
+	}
+	if s.trained != nil {
+		return s.trained
+	}
+	return nil
+}
+
+// Rebalance implements cluster.Strategy.
+func (s *Origami) Rebalance(es *cluster.EpochStats, t *namespace.Tree, pm *cluster.PartitionMap) []cluster.Decision {
+	s.epochs++
+	cfg := metaopt.Config{CacheDepth: s.CacheDepth, Delta: s.Delta}
+	// Label generation is cheap; in online mode it doubles as training
+	// data (the §4.3 loop folded into the run).
+	benefits := metaopt.Benefits(es, pm, cfg)
+	if s.Model == nil && !s.DisableOnline {
+		m := features.Extract(es)
+		labels := features.LabelsFromBenefits(m, es, benefits)
+		for i := range m.X {
+			s.dataset.Append(m.X[i], labels[i])
+		}
+		if s.dataset.Len() >= 200 {
+			if model, err := ml.TrainGBDT(s.dataset, ml.GBDTConfig{
+				Rounds: 80, NumLeaves: 16, EarlyStopRounds: 10,
+			}); err == nil {
+				s.trained = model
+			}
+		}
+	}
+	if !shouldRebalance(es, s.Trigger) {
+		return nil
+	}
+	jct := costmodel.JCT(es.Service)
+	minBenefit := time.Duration(s.BenefitThreshold * float64(jct))
+
+	// Predicted benefit per subtree: model when available, Meta-OPT
+	// bootstrap otherwise.
+	type scored struct {
+		ino     namespace.Ino
+		benefit time.Duration
+	}
+	var candidates []scored
+	if model := s.activeModel(); model != nil {
+		m := features.Extract(es)
+		preds := model.PredictBatch(m.X)
+		for i, ino := range m.Inos {
+			b := time.Duration(preds[i] * float64(jct))
+			candidates = append(candidates, scored{ino, b})
+		}
+	} else {
+		for ino, c := range benefits {
+			candidates = append(candidates, scored{ino, c.Benefit})
+		}
+	}
+
+	loads := cloneLoads(es.Service)
+	var decisions []cluster.Decision
+	chosen := map[namespace.Ino]bool{}
+	related := func(a, b namespace.Ino) bool {
+		return es.IsAncestor(a, b) || es.IsAncestor(b, a)
+	}
+	for len(decisions) < s.MaxMigrations {
+		// Highest predicted benefit still eligible.
+		best := -1
+		for i, c := range candidates {
+			if c.benefit < minBenefit {
+				continue
+			}
+			d := es.Dir(c.ino)
+			if d == nil || d.Ino == namespace.RootIno {
+				continue
+			}
+			if last, ok := s.cooldown[c.ino]; ok && s.epochs-last < 3 {
+				continue
+			}
+			skip := false
+			for prev := range chosen {
+				if related(prev, c.ino) {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			if best == -1 || c.benefit > candidates[best].benefit {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := candidates[best]
+		candidates[best].benefit = -1 // consume
+		d := es.Dir(c.ino)
+		src := d.Owner
+		dst := leastLoaded(loads)
+		if dst == src {
+			continue
+		}
+		// Guard against overshooting: verify against the load model
+		// before ordering the migration (predictions can be stale).
+		moved := d.OwnedService
+		newSrc, newDst := loads[src]-moved, loads[dst]+moved
+		after := newSrc
+		if newDst > after {
+			after = newDst
+		}
+		for i, l := range loads {
+			if cluster.MDSID(i) != src && cluster.MDSID(i) != dst && l > after {
+				after = l
+			}
+		}
+		if after >= costmodel.JCT(loads) {
+			continue
+		}
+		decisions = append(decisions, cluster.Decision{
+			Subtree: c.ino, From: src, To: dst, PredictedBenefit: c.benefit,
+		})
+		chosen[c.ino] = true
+		s.cooldown[c.ino] = s.epochs
+		loads[src] = newSrc
+		loads[dst] = newDst
+	}
+	return decisions
+}
+
+// MetaOPTOracle drives rebalancing with Algorithm 1 directly on each
+// epoch's dump — the future-blind upper bound the trained model
+// approximates, and the label generator of the offline pipeline.
+type MetaOPTOracle struct {
+	// Trigger is the rebalance-arming imbalance factor (default 0.05).
+	Trigger float64
+	// CacheDepth matches the client cache configuration (default 3).
+	CacheDepth int
+	// MaxMigrations bounds decisions per epoch (default 4).
+	MaxMigrations int
+}
+
+// Name implements cluster.Strategy.
+func (s *MetaOPTOracle) Name() string { return "Meta-OPT" }
+
+// Setup implements cluster.Strategy.
+func (s *MetaOPTOracle) Setup(*namespace.Tree, *cluster.PartitionMap) error {
+	if s.Trigger == 0 {
+		s.Trigger = defaultTriggerIF
+	}
+	if s.CacheDepth == 0 {
+		s.CacheDepth = 3
+	}
+	if s.MaxMigrations == 0 {
+		s.MaxMigrations = 4
+	}
+	return nil
+}
+
+// PinPolicy implements cluster.Strategy.
+func (s *MetaOPTOracle) PinPolicy() cluster.PinPolicy { return nil }
+
+// Rebalance implements cluster.Strategy.
+func (s *MetaOPTOracle) Rebalance(es *cluster.EpochStats, t *namespace.Tree, pm *cluster.PartitionMap) []cluster.Decision {
+	if !shouldRebalance(es, s.Trigger) {
+		return nil
+	}
+	return metaopt.Plan(es, pm, metaopt.Config{
+		CacheDepth:   s.CacheDepth,
+		MaxDecisions: s.MaxMigrations,
+	})
+}

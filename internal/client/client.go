@@ -1,0 +1,459 @@
+// Package client is the OrigamiFS SDK (§4.2): it converts file-system
+// calls into metadata RPCs against the MDS cluster, resolving paths
+// recursively, following fake-inode redirects left by migrations, and
+// short-circuiting resolution through the configurable near-root metadata
+// cache.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"origami/internal/mds"
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// Config configures a client.
+type Config struct {
+	// Addrs lists the MDS addresses; the index is the MDS id and index 0
+	// must be MDS 0 (the map authority).
+	Addrs []string
+	// CacheDepth enables the near-root cache for entries with
+	// depth < CacheDepth (0 disables caching).
+	CacheDepth int
+}
+
+type cacheKey struct {
+	parent namespace.Ino
+	name   string
+}
+
+// Client is an OrigamiFS SDK handle. It is safe for concurrent use.
+type Client struct {
+	cfg   Config
+	conns []*rpc.Client
+
+	mu         sync.Mutex
+	pins       map[namespace.Ino]int
+	mapVersion uint64
+	cache      map[cacheKey]*namespace.Inode
+
+	// RPCCount tallies issued metadata RPCs (for RPC-per-op metrics).
+	RPCCount atomic.Int64
+	// Ops tallies completed SDK operations.
+	Ops atomic.Int64
+}
+
+// Dial connects to every MDS in the cluster.
+func Dial(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("client: no MDS addresses")
+	}
+	c := &Client{
+		cfg:   cfg,
+		pins:  make(map[namespace.Ino]int),
+		cache: make(map[cacheKey]*namespace.Inode),
+	}
+	for _, addr := range cfg.Addrs {
+		conn, err := rpc.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, conn)
+	}
+	return c, nil
+}
+
+// Close tears down all connections.
+func (c *Client) Close() error {
+	var err error
+	for _, conn := range c.conns {
+		if conn != nil {
+			if cerr := conn.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+func (c *Client) call(mdsID int, m rpc.Method, body []byte) ([]byte, error) {
+	if mdsID < 0 || mdsID >= len(c.conns) {
+		return nil, fmt.Errorf("client: MDS id %d out of range", mdsID)
+	}
+	c.RPCCount.Add(1)
+	return c.conns[mdsID].Call(m, body)
+}
+
+// RefreshMap pulls the partition map from MDS 0.
+func (c *Client) RefreshMap() error {
+	body, err := c.call(0, mds.MethodGetMap, nil)
+	if err != nil {
+		return err
+	}
+	version, pins, err := mds.DecodeMap(body)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mapVersion = version
+	c.pins = make(map[namespace.Ino]int, len(pins))
+	for _, p := range pins {
+		c.pins[p.Ino] = p.MDS
+	}
+	return nil
+}
+
+func (c *Client) pinOf(ino namespace.Ino) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.pins[ino]
+	return m, ok
+}
+
+func (c *Client) cacheGet(parent namespace.Ino, name string) (*namespace.Inode, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.cache[cacheKey{parent, name}]
+	return in, ok
+}
+
+func (c *Client) cachePut(parent namespace.Ino, name string, depth int, in *namespace.Inode) {
+	if depth >= c.cfg.CacheDepth || in.Type == namespace.TypeFake {
+		return
+	}
+	cp := *in
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache[cacheKey{parent, name}] = &cp
+}
+
+func (c *Client) cacheDrop(parent namespace.Ino, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, cacheKey{parent, name})
+}
+
+// lookupPathAt resolves a run of components in one RPC, following
+// not-owner redirects by refreshing the partition map.
+func (c *Client) lookupPathAt(owner int, parent namespace.Ino, names []string) ([]*namespace.Inode, int, error) {
+	var w rpc.Wire
+	w.U64(uint64(parent)).U32(uint32(len(names)))
+	for _, n := range names {
+		w.Str(n)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		body, err := c.call(owner, mds.MethodLookupPath, w.Bytes())
+		if err != nil {
+			if mds.IsNotOwner(err) {
+				if rerr := c.RefreshMap(); rerr != nil {
+					return nil, 0, rerr
+				}
+				if p, ok := c.pinOf(parent); ok && p != owner {
+					owner = p
+					continue
+				}
+			}
+			return nil, 0, err
+		}
+		ins, err := mds.DecodeInodesResp(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ins, owner, nil
+	}
+	return nil, 0, fmt.Errorf("client: lookup-path under %d: retries exhausted", parent)
+}
+
+// Resolve walks path from the root, returning the chain of inodes
+// (root included) and the owning MDS of the final component. Resolution
+// is batched: each RPC resolves as many components as the contacted shard
+// holds, so a path costs one RPC per ownership run (the m of Eq. 2), not
+// one per component.
+func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
+	comps := namespace.SplitPath(path)
+	owner := 0
+	if p, ok := c.pinOf(namespace.RootIno); ok {
+		owner = p
+	}
+	root := &namespace.Inode{Ino: namespace.RootIno, Type: namespace.TypeDir, Name: ""}
+	chain := []*namespace.Inode{root}
+	cur := root
+	i := 0
+	// Cached prefix (never including the final component, which is
+	// always served authoritatively).
+	for i < len(comps)-1 {
+		in, ok := c.cacheGet(cur.Ino, comps[i])
+		if !ok {
+			break
+		}
+		chain = append(chain, in)
+		if p, ok := c.pinOf(in.Ino); ok {
+			owner = p
+		}
+		cur = in
+		i++
+	}
+	for i < len(comps) {
+		if p, ok := c.pinOf(cur.Ino); ok {
+			owner = p
+		}
+		ins, newOwner, err := c.lookupPathAt(owner, cur.Ino, comps[i:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: resolve %q at %q: %w", path, comps[i], err)
+		}
+		owner = newOwner
+		if len(ins) == 0 {
+			return nil, 0, fmt.Errorf("client: resolve %q: empty chain at %q", path, comps[i])
+		}
+		for _, in := range ins {
+			if in.Type == namespace.TypeFake {
+				// Follow the migration redirect for this component.
+				dest := int(in.Size)
+				var gw rpc.Wire
+				gw.U64(uint64(in.Ino))
+				gbody, gerr := c.call(dest, mds.MethodGetattr, gw.Bytes())
+				if gerr != nil {
+					return nil, 0, fmt.Errorf("client: resolve %q: redirect for %q: %w", path, in.Name, gerr)
+				}
+				real, derr := mds.DecodeInodeResp(gbody)
+				if derr != nil {
+					return nil, 0, derr
+				}
+				in = real
+				owner = dest
+			}
+			c.cachePut(cur.Ino, comps[i], i+1, in)
+			chain = append(chain, in)
+			cur = in
+			i++
+		}
+		if p, ok := c.pinOf(cur.Ino); ok {
+			owner = p
+		}
+	}
+	return chain, owner, nil
+}
+
+// dropPathCache removes every cached component along path, so the next
+// resolution walks through the MDSs and discovers fake-inode redirects
+// left by migrations.
+func (c *Client) dropPathCache(path string) {
+	cur := namespace.RootIno
+	for _, name := range namespace.SplitPath(path) {
+		in, ok := c.cacheGet(cur, name)
+		c.cacheDrop(cur, name)
+		if !ok {
+			return
+		}
+		cur = in.Ino
+	}
+}
+
+// retryOp runs fn, and on a not-owner redirect refreshes the partition
+// map, drops the stale cached prefixes of the involved paths, and retries.
+// Migrations land between an operation's resolution and its final RPC, so
+// every SDK operation needs this, not just path lookups.
+func (c *Client) retryOp(paths []string, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = fn()
+		if err == nil || !mds.IsNotOwner(err) {
+			return err
+		}
+		if rerr := c.RefreshMap(); rerr != nil {
+			return rerr
+		}
+		for _, p := range paths {
+			c.dropPathCache(p)
+		}
+	}
+	return err
+}
+
+// Stat returns the inode at path.
+func (c *Client) Stat(path string) (*namespace.Inode, error) {
+	var out *namespace.Inode
+	err := c.retryOp([]string{path}, func() error {
+		chain, _, err := c.Resolve(path)
+		if err != nil {
+			return err
+		}
+		out = chain[len(chain)-1]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Ops.Add(1)
+	return out, nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) (*namespace.Inode, error) {
+	return c.createEntry(path, namespace.TypeDir)
+}
+
+// Create creates a regular file.
+func (c *Client) Create(path string) (*namespace.Inode, error) {
+	return c.createEntry(path, namespace.TypeFile)
+}
+
+func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.Inode, error) {
+	dir, name := namespace.ParentPath(path)
+	var out *namespace.Inode
+	err := c.retryOp([]string{dir}, func() error {
+		chain, owner, err := c.Resolve(dir)
+		if err != nil {
+			return err
+		}
+		parent := chain[len(chain)-1]
+		var w rpc.Wire
+		w.U64(uint64(parent.Ino)).Str(name).U8(uint8(typ))
+		body, err := c.call(owner, mds.MethodCreate, w.Bytes())
+		if err != nil {
+			return err
+		}
+		out, err = mds.DecodeInodeResp(body)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: create %q: %w", path, err)
+	}
+	c.Ops.Add(1)
+	return out, nil
+}
+
+// Remove unlinks a file or removes an empty directory.
+func (c *Client) Remove(path string) error {
+	dir, name := namespace.ParentPath(path)
+	err := c.retryOp([]string{dir}, func() error {
+		chain, owner, err := c.Resolve(dir)
+		if err != nil {
+			return err
+		}
+		parent := chain[len(chain)-1]
+		var w rpc.Wire
+		w.U64(uint64(parent.Ino)).Str(name)
+		if _, err := c.call(owner, mds.MethodRemove, w.Bytes()); err != nil {
+			return err
+		}
+		c.cacheDrop(parent.Ino, name)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("client: remove %q: %w", path, err)
+	}
+	c.Ops.Add(1)
+	return nil
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
+	var out []*namespace.Inode
+	err := c.retryOp([]string{path}, func() error {
+		chain, owner, err := c.Resolve(path)
+		if err != nil {
+			return err
+		}
+		dir := chain[len(chain)-1]
+		var w rpc.Wire
+		w.U64(uint64(dir.Ino))
+		body, err := c.call(owner, mds.MethodReaddir, w.Bytes())
+		if err != nil {
+			return err
+		}
+		out, err = mds.DecodeInodesResp(body)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: readdir %q: %w", path, err)
+	}
+	c.Ops.Add(1)
+	return out, nil
+}
+
+// Setattr updates size and mode of the entry at path.
+func (c *Client) Setattr(path string, size int64, mode uint16) (*namespace.Inode, error) {
+	var out *namespace.Inode
+	err := c.retryOp([]string{path}, func() error {
+		chain, owner, err := c.Resolve(path)
+		if err != nil {
+			return err
+		}
+		in := chain[len(chain)-1]
+		var w rpc.Wire
+		w.U64(uint64(in.Ino)).I64(size).U32(uint32(mode))
+		body, err := c.call(owner, mds.MethodSetattr, w.Bytes())
+		if err != nil {
+			return err
+		}
+		out, err = mds.DecodeInodeResp(body)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: setattr %q: %w", path, err)
+	}
+	c.Ops.Add(1)
+	return out, nil
+}
+
+// Rename moves src to dst. A same-shard rename is one RPC; a cross-shard
+// rename is orchestrated as insert-then-remove (not atomic across
+// shards — the coordinator path of a production system would wrap this in
+// the T_coor transaction the cost model prices).
+func (c *Client) Rename(src, dst string) error {
+	sdir, sname := namespace.ParentPath(src)
+	ddir, dname := namespace.ParentPath(dst)
+	err := c.retryOp([]string{sdir, ddir}, func() error {
+		schain, sowner, err := c.Resolve(sdir)
+		if err != nil {
+			return err
+		}
+		dchain, downer, err := c.Resolve(ddir)
+		if err != nil {
+			return err
+		}
+		sparent := schain[len(schain)-1]
+		dparent := dchain[len(dchain)-1]
+		defer c.cacheDrop(sparent.Ino, sname)
+		if sowner == downer {
+			var w rpc.Wire
+			w.U64(uint64(sparent.Ino)).Str(sname).U64(uint64(dparent.Ino)).Str(dname)
+			_, err := c.call(sowner, mds.MethodRename, w.Bytes())
+			return err
+		}
+		// Cross-shard: read, insert remotely, remove locally.
+		var lw rpc.Wire
+		lw.U64(uint64(sparent.Ino)).Str(sname)
+		body, err := c.call(sowner, mds.MethodLookup, lw.Bytes())
+		if err != nil {
+			return err
+		}
+		in, err := mds.DecodeInodeResp(body)
+		if err != nil {
+			return err
+		}
+		moved := *in
+		moved.Parent = dparent.Ino
+		moved.Name = dname
+		var iw rpc.Wire
+		iw.Blob(namespace.EncodeInode(&moved))
+		if _, err := c.call(downer, mds.MethodInsert, iw.Bytes()); err != nil {
+			return err
+		}
+		var rw rpc.Wire
+		rw.U64(uint64(sparent.Ino)).Str(sname)
+		_, err = c.call(sowner, mds.MethodRemove, rw.Bytes())
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("client: rename %q -> %q: %w", src, dst, err)
+	}
+	c.Ops.Add(1)
+	return nil
+}

@@ -1,0 +1,102 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+
+	"origami/internal/client"
+	"origami/internal/server"
+)
+
+func startOne(t *testing.T, n, cacheDepth int) (*server.Cluster, *client.Client) {
+	t.Helper()
+	cl, err := server.StartCluster(n, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: cacheDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdk.Close() })
+	return cl, sdk
+}
+
+func TestDialRequiresAddrs(t *testing.T) {
+	if _, err := client.Dial(client.Config{}); err == nil {
+		t.Error("dial with no addresses succeeded")
+	}
+}
+
+func TestDialFailsOnDeadAddr(t *testing.T) {
+	if _, err := client.Dial(client.Config{Addrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestRefreshMapOnFreshCluster(t *testing.T) {
+	_, sdk := startOne(t, 2, 0)
+	if err := sdk.RefreshMap(); err != nil {
+		t.Fatalf("RefreshMap: %v", err)
+	}
+}
+
+func TestResolveRootOnly(t *testing.T) {
+	_, sdk := startOne(t, 2, 0)
+	chain, owner, err := sdk.Resolve("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || owner != 0 {
+		t.Errorf("Resolve(/) = %d elements, owner %d", len(chain), owner)
+	}
+}
+
+func TestStatErrorMentionsPath(t *testing.T) {
+	_, sdk := startOne(t, 2, 0)
+	_, err := sdk.Stat("/does/not/exist")
+	if err == nil {
+		t.Fatal("stat of missing path succeeded")
+	}
+	if !strings.Contains(err.Error(), "/does/not/exist") {
+		t.Errorf("error %q does not mention the path", err)
+	}
+}
+
+func TestRenameMissingSource(t *testing.T) {
+	_, sdk := startOne(t, 2, 0)
+	if err := sdk.Rename("/ghost", "/elsewhere"); err == nil {
+		t.Error("rename of missing source succeeded")
+	}
+}
+
+func TestDeepNamespaceThroughCache(t *testing.T) {
+	_, sdk := startOne(t, 2, 4)
+	p := ""
+	for _, c := range []string{"a", "b", "c", "d", "e"} {
+		p += "/" + c
+		if _, err := sdk.Mkdir(p); err != nil {
+			t.Fatalf("mkdir %s: %v", p, err)
+		}
+	}
+	if _, err := sdk.Create(p + "/leaf"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm, then measure: the cached prefix must reduce per-stat RPCs to
+	// roughly the uncached suffix length.
+	sdk.Stat(p + "/leaf")
+	before := sdk.RPCCount.Load()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := sdk.Stat(p + "/leaf"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perStat := float64(sdk.RPCCount.Load()-before) / n
+	// Path has 6 components; depth < 4 cached (a, b, c) leaves d, e,
+	// leaf — all on one shard here, so 1 RPC per stat.
+	if perStat > 2 {
+		t.Errorf("cached deep stat costs %.1f RPCs, want <= 2", perStat)
+	}
+}

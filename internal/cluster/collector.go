@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"origami/internal/costmodel"
+	"origami/internal/namespace"
+	"origami/internal/trace"
+)
+
+// dirAccum is the per-directory raw tally the Data Collector maintains
+// during an epoch. Directories, not files, are the collection unit (§4.1),
+// which keeps the dump small.
+type dirAccum struct {
+	reads     int64 // read-type ops targeting entries in this directory
+	writes    int64 // write-type ops targeting entries in this directory
+	serviceNS int64 // MDS busy time attributable to those ops
+	through   int64 // resolutions that traversed this directory
+	lsdirs    int64 // lsdir ops listing this directory
+}
+
+// DirStat is one row of an epoch dump: the per-subtree statistics Meta-OPT
+// and the feature pipeline consume. Subtree* fields aggregate over the
+// whole subtree rooted here, because migration operates at subtree
+// granularity (§4.3).
+type DirStat struct {
+	Ino    namespace.Ino
+	Parent namespace.Ino
+	Depth  int
+	// Structure (Table 1, "Namespace Structure").
+	SubFiles int // files in the subtree
+	SubDirs  int // directories in the subtree (excluding this one)
+	// Access history of the subtree in this epoch (Table 1, "Metadata
+	// History").
+	SubtreeReads  int64
+	SubtreeWrites int64
+	// OwnReads and OwnWrites count only operations targeting entries
+	// directly in this directory (no subtree aggregation) — what a
+	// directory-popularity balancer like LoADM ranks by.
+	OwnReads  int64
+	OwnWrites int64
+	// SubtreeService is the MDS busy time attributable to the subtree:
+	// the l_s of Appendix A.
+	SubtreeService time.Duration
+	// OwnedService restricts SubtreeService to directories currently
+	// owned by this subtree root's MDS — the load that would actually
+	// move if the subtree migrated (nested foreign pins keep theirs).
+	OwnedService time.Duration
+	// OwnedInodes is the number of inodes that would move with the
+	// subtree, sizing the migration's copy cost.
+	OwnedInodes int
+	// Through counts resolutions traversing this directory; together
+	// with ParentLsdirs it prices the o_s crossing overhead a cut here
+	// would introduce.
+	Through      int64
+	ParentLsdirs int64
+	// Owner is the MDS serving this directory under the current map.
+	Owner MDSID
+}
+
+// EpochStats is a full Data Collector dump for one epoch (§4.1): the
+// per-directory table plus per-MDS aggregates.
+type EpochStats struct {
+	Epoch int
+	// Dirs lists every directory, sorted by inode number.
+	Dirs []DirStat
+	// Index maps a directory inode to its position in Dirs.
+	Index map[namespace.Ino]int
+	// Service is each MDS's total busy time this epoch.
+	Service []time.Duration
+	// RCT is each MDS's summed request completion time for the requests
+	// it executed — Alg. 1's m.rct.
+	RCT []time.Duration
+	// QPS, RPCs, and Forwards are per-MDS request, RPC, and forwarded-
+	// RPC counts.
+	QPS      []int64
+	RPCs     []int64
+	Forwards []int64
+	// Inodes is the number of inodes each MDS owns at dump time.
+	Inodes []int
+	// Ops is the total number of requests executed this epoch.
+	Ops int64
+}
+
+// Collector accumulates per-directory and per-MDS statistics during an
+// epoch and produces EpochStats dumps.
+type Collector struct {
+	n        int
+	dirs     map[namespace.Ino]*dirAccum
+	service  []time.Duration
+	rct      []time.Duration
+	qps      []int64
+	rpcs     []int64
+	forwards []int64
+	ops      int64
+}
+
+// NewCollector creates a collector for an n-MDS cluster.
+func NewCollector(n int) *Collector {
+	return &Collector{
+		n:        n,
+		dirs:     make(map[namespace.Ino]*dirAccum),
+		service:  make([]time.Duration, n),
+		rct:      make([]time.Duration, n),
+		qps:      make([]int64, n),
+		rpcs:     make([]int64, n),
+		forwards: make([]int64, n),
+	}
+}
+
+func (c *Collector) accum(ino namespace.Ino) *dirAccum {
+	a, ok := c.dirs[ino]
+	if !ok {
+		a = &dirAccum{}
+		c.dirs[ino] = a
+	}
+	return a
+}
+
+// Record ingests one executed operation.
+func (c *Collector) Record(op trace.Op, res *OpResult, rct time.Duration) {
+	c.ops++
+	a := c.accum(res.TargetDir)
+	if op.Type.IsWrite() {
+		a.writes++
+	} else {
+		a.reads++
+	}
+	a.serviceNS += int64(res.ServiceSum())
+	if op.Type == costmodel.OpLsdir {
+		c.accum(res.TargetDir).lsdirs++
+	}
+	for _, d := range res.PathDirs {
+		c.accum(d).through++
+	}
+	for _, v := range res.Visits {
+		c.service[v.MDS] += v.Service
+		c.rpcs[v.MDS]++
+	}
+	c.forwards[res.Exec] += int64(len(res.Visits) - 1)
+	c.qps[res.Exec]++
+	c.rct[res.Exec] += rct
+}
+
+// Reset clears the epoch counters (structure stays with the namespace).
+func (c *Collector) Reset() {
+	c.dirs = make(map[namespace.Ino]*dirAccum)
+	for i := 0; i < c.n; i++ {
+		c.service[i] = 0
+		c.rct[i] = 0
+		c.qps[i] = 0
+		c.rpcs[i] = 0
+		c.forwards[i] = 0
+	}
+	c.ops = 0
+}
+
+// Snapshot produces the epoch dump: per-directory subtree aggregates
+// (computed bottom-up over the namespace) plus the per-MDS tallies.
+func (c *Collector) Snapshot(epoch int, t *namespace.Tree, pm *PartitionMap) *EpochStats {
+	dirs := t.DirList()
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i] < dirs[j] })
+	es := &EpochStats{
+		Epoch:    epoch,
+		Dirs:     make([]DirStat, len(dirs)),
+		Index:    make(map[namespace.Ino]int, len(dirs)),
+		Service:  append([]time.Duration(nil), c.service...),
+		RCT:      append([]time.Duration(nil), c.rct...),
+		QPS:      append([]int64(nil), c.qps...),
+		RPCs:     append([]int64(nil), c.rpcs...),
+		Forwards: append([]int64(nil), c.forwards...),
+		Inodes:   pm.InodeCounts(t),
+		Ops:      c.ops,
+	}
+	for i, ino := range dirs {
+		es.Index[ino] = i
+	}
+	// One DFS computes depth, subtree aggregates, and owners.
+	type agg struct {
+		files, subdirs int
+		reads, writes  int64
+		service        int64
+		ownedService   int64
+		ownedInodes    int
+	}
+	var walk func(ino namespace.Ino, depth int, owner MDSID) agg
+	walk = func(ino namespace.Ino, depth int, owner MDSID) agg {
+		owner = pm.OwnerBelow(owner, ino)
+		var a agg
+		if da, ok := c.dirs[ino]; ok {
+			a.reads, a.writes, a.service = da.reads, da.writes, da.serviceNS
+			a.ownedService = da.serviceNS
+		}
+		a.ownedInodes = 1
+		t.ForEachChild(ino, func(in *namespace.Inode) {
+			if in.IsDir() {
+				ca := walk(in.Ino, depth+1, owner)
+				a.files += ca.files
+				a.subdirs += ca.subdirs + 1
+				a.reads += ca.reads
+				a.writes += ca.writes
+				a.service += ca.service
+				if pm.OwnerBelow(owner, in.Ino) == owner {
+					a.ownedService += ca.ownedService
+					a.ownedInodes += ca.ownedInodes
+				}
+			} else {
+				a.files++
+				a.ownedInodes++
+			}
+		})
+		i := es.Index[ino]
+		ds := &es.Dirs[i]
+		ds.Ino = ino
+		ds.Depth = depth
+		ds.SubFiles = a.files
+		ds.SubDirs = a.subdirs
+		ds.SubtreeReads = a.reads
+		ds.SubtreeWrites = a.writes
+		ds.SubtreeService = time.Duration(a.service)
+		ds.OwnedService = time.Duration(a.ownedService)
+		ds.OwnedInodes = a.ownedInodes
+		ds.Owner = owner
+		if da, ok := c.dirs[ino]; ok {
+			ds.Through = da.through
+			ds.OwnReads = da.reads
+			ds.OwnWrites = da.writes
+		}
+		if in, err := t.Get(ino); err == nil {
+			ds.Parent = in.Parent
+		}
+		return a
+	}
+	walk(namespace.RootIno, 0, 0)
+	// Second pass wires in parent lsdir counts.
+	for i := range es.Dirs {
+		if es.Dirs[i].Ino == namespace.RootIno {
+			continue
+		}
+		if a, ok := c.dirs[es.Dirs[i].Parent]; ok {
+			es.Dirs[i].ParentLsdirs = a.lsdirs
+		}
+	}
+	return es
+}
+
+// TotalReads returns the cluster-wide read count of the epoch (the root's
+// subtree aggregate).
+func (es *EpochStats) TotalReads() int64 {
+	if i, ok := es.Index[namespace.RootIno]; ok {
+		return es.Dirs[i].SubtreeReads
+	}
+	return 0
+}
+
+// TotalWrites returns the cluster-wide write count of the epoch.
+func (es *EpochStats) TotalWrites() int64 {
+	if i, ok := es.Index[namespace.RootIno]; ok {
+		return es.Dirs[i].SubtreeWrites
+	}
+	return 0
+}
+
+// Dir returns the row for a directory, or nil if unknown.
+func (es *EpochStats) Dir(ino namespace.Ino) *DirStat {
+	if i, ok := es.Index[ino]; ok {
+		return &es.Dirs[i]
+	}
+	return nil
+}
+
+// IsAncestor reports whether a is an ancestor of b (or equal), using the
+// dump's parent links. Strategies use this instead of the live namespace
+// tree, so they work identically on the simulator and on merged dumps
+// from a networked cluster.
+func (es *EpochStats) IsAncestor(a, b namespace.Ino) bool {
+	for cur := b; ; {
+		if cur == a {
+			return true
+		}
+		if cur == namespace.RootIno {
+			return false
+		}
+		d := es.Dir(cur)
+		if d == nil || d.Parent == cur {
+			return false
+		}
+		cur = d.Parent
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"origami/internal/namespace"
+)
+
+// Decision is one migration order handed to the Migrator (§4.1): move the
+// subtree rooted at Subtree from MDS From to MDS To. PredictedBenefit
+// carries the model's (or Meta-OPT's) benefit estimate, used for logging
+// and evaluation.
+type Decision struct {
+	Subtree          namespace.Ino
+	From, To         MDSID
+	PredictedBenefit time.Duration
+}
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	return fmt.Sprintf("migrate subtree %d: MDS %d -> MDS %d (benefit %v)",
+		d.Subtree, d.From, d.To, d.PredictedBenefit)
+}
+
+// MigrationCost is the work a migration imposes on the cluster: both
+// participants freeze, copy, and switch the subtree, consuming busy time
+// proportional to its size.
+type MigrationCost struct {
+	Inodes     int
+	SrcService time.Duration
+	DstService time.Duration
+}
+
+// Migrator executes migration decisions against the partition map. It is
+// the pluggable execution point that lets external algorithms (Meta-OPT,
+// ML models) drive rebalancing in a pipeline manner (§4.1).
+type Migrator struct {
+	// PerInode is the copy cost per migrated inode on each participant.
+	PerInode time.Duration
+	// Fixed is the per-migration setup cost (freeze + switch).
+	Fixed time.Duration
+}
+
+// NewMigrator returns a migrator with the calibration used by the
+// experiments.
+func NewMigrator() *Migrator {
+	return &Migrator{PerInode: 3 * time.Microsecond, Fixed: 2 * time.Millisecond}
+}
+
+// Apply validates and executes one decision: the subtree is pinned to the
+// destination and the copy cost is returned so the simulator can charge
+// it. A decision whose From no longer matches the subtree's current owner
+// is rejected (the cluster moved on since the decision was computed).
+func (mg *Migrator) Apply(t *namespace.Tree, pm *PartitionMap, d Decision) (MigrationCost, error) {
+	in, err := t.Get(d.Subtree)
+	if err != nil {
+		return MigrationCost{}, fmt.Errorf("cluster: migrate: %w", err)
+	}
+	if !in.IsDir() {
+		return MigrationCost{}, fmt.Errorf("cluster: migrate: ino %d is not a directory", d.Subtree)
+	}
+	owner, err := pm.OwnerOf(t, d.Subtree)
+	if err != nil {
+		return MigrationCost{}, err
+	}
+	if owner != d.From {
+		return MigrationCost{}, fmt.Errorf("cluster: migrate: subtree %d owned by MDS %d, not %d",
+			d.Subtree, owner, d.From)
+	}
+	if d.To == d.From {
+		return MigrationCost{}, fmt.Errorf("cluster: migrate: source and destination are both MDS %d", d.From)
+	}
+	if err := pm.Pin(d.Subtree, d.To); err != nil {
+		return MigrationCost{}, err
+	}
+	// Nested pins to the destination become redundant; drop them so the
+	// map stays minimal. Nested pins to *other* MDSs keep their meaning.
+	t.WalkSubtree(d.Subtree, func(in *namespace.Inode, rel int) bool {
+		if rel == 0 || !in.IsDir() {
+			return true
+		}
+		if pinned, ok := pm.PinOf(in.Ino); ok {
+			if pinned == d.To {
+				pm.Unpin(in.Ino)
+			}
+			return false // deeper entries belong to that pin's subtree
+		}
+		return true
+	})
+	// Size the copy: every inode that actually changes owner (nested
+	// foreign pins keep their data).
+	moved := 0
+	var count func(ino namespace.Ino)
+	count = func(ino namespace.Ino) {
+		moved++
+		t.ForEachChild(ino, func(in *namespace.Inode) {
+			if in.IsDir() {
+				if _, ok := pm.PinOf(in.Ino); ok && in.Ino != d.Subtree {
+					return
+				}
+				count(in.Ino)
+			} else {
+				moved++
+			}
+		})
+	}
+	count(d.Subtree)
+	work := mg.Fixed + mg.PerInode*time.Duration(moved)
+	return MigrationCost{Inodes: moved, SrcService: work, DstService: work}, nil
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+
+	"origami/internal/namespace"
+)
+
+// buildNS creates /a/{b/{f1,f2}, c}/..., returning the tree and inodes.
+func buildNS(t *testing.T) (*namespace.Tree, map[string]namespace.Ino) {
+	t.Helper()
+	tr := namespace.NewTree()
+	mk := func(parent namespace.Ino, name string, typ namespace.FileType) namespace.Ino {
+		in, err := tr.Create(parent, name, typ, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.Ino
+	}
+	a := mk(namespace.RootIno, "a", namespace.TypeDir)
+	b := mk(a, "b", namespace.TypeDir)
+	c := mk(a, "c", namespace.TypeDir)
+	f1 := mk(b, "f1", namespace.TypeFile)
+	f2 := mk(b, "f2", namespace.TypeFile)
+	d := mk(b, "d", namespace.TypeDir)
+	f3 := mk(d, "f3", namespace.TypeFile)
+	return tr, map[string]namespace.Ino{"a": a, "b": b, "c": c, "f1": f1, "f2": f2, "d": d, "f3": f3}
+}
+
+func TestOwnerDefaultsToZero(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	for _, ino := range m {
+		owner, err := pm.OwnerOf(tr, ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != 0 {
+			t.Errorf("unpinned ino %d owner = %d, want 0", ino, owner)
+		}
+	}
+}
+
+func TestPinInheritance(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	if err := pm.Pin(m["b"], 2); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		want MDSID
+	}{{"a", 0}, {"b", 2}, {"c", 0}, {"f1", 2}, {"d", 2}, {"f3", 2}}
+	for _, c := range cases {
+		owner, err := pm.OwnerOf(tr, m[c.name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != c.want {
+			t.Errorf("owner(%s) = %d, want %d", c.name, owner, c.want)
+		}
+	}
+}
+
+func TestNestedPinWins(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	pm.Pin(m["b"], 2)
+	pm.Pin(m["d"], 3)
+	owner, _ := pm.OwnerOf(tr, m["f3"])
+	if owner != 3 {
+		t.Errorf("nested pin: owner(f3) = %d, want 3", owner)
+	}
+	owner, _ = pm.OwnerOf(tr, m["f1"])
+	if owner != 2 {
+		t.Errorf("owner(f1) = %d, want 2", owner)
+	}
+}
+
+func TestUnpinRestoresInheritance(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	pm.Pin(m["b"], 2)
+	pm.Unpin(m["b"])
+	owner, _ := pm.OwnerOf(tr, m["f1"])
+	if owner != 0 {
+		t.Errorf("owner after unpin = %d, want 0", owner)
+	}
+	if pm.NumPins() != 0 {
+		t.Errorf("NumPins = %d", pm.NumPins())
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	_, m := buildNS(t)
+	pm := NewPartitionMap(3)
+	if err := pm.Pin(m["a"], 3); err == nil {
+		t.Error("pin to out-of-range MDS accepted")
+	}
+	if err := pm.Pin(m["a"], -1); err == nil {
+		t.Error("pin to negative MDS accepted")
+	}
+}
+
+func TestOwnerBelowMatchesOwnerOf(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	pm.Pin(m["b"], 2)
+	pm.Pin(m["d"], 4)
+	// Walk each chain with OwnerBelow and compare to OwnerOf.
+	for _, ino := range m {
+		chain, err := tr.AncestorChain(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := MDSID(0)
+		for _, ci := range chain {
+			owner = pm.OwnerBelow(owner, ci)
+		}
+		want, _ := pm.OwnerOf(tr, ino)
+		if owner != want {
+			t.Errorf("OwnerBelow walk for %d = %d, OwnerOf = %d", ino, owner, want)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	pm.Pin(m["b"], 2)
+	cl := pm.Clone()
+	cl.Pin(m["c"], 3)
+	if _, ok := pm.PinOf(m["c"]); ok {
+		t.Error("clone mutation leaked into original")
+	}
+	if o, _ := cl.OwnerOf(tr, m["b"]); o != 2 {
+		t.Error("clone lost existing pin")
+	}
+}
+
+func TestInodeCounts(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(3)
+	counts := pm.InodeCounts(tr)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != tr.NumInodes() {
+		t.Fatalf("counts sum %d != NumInodes %d", total, tr.NumInodes())
+	}
+	if counts[0] != tr.NumInodes() {
+		t.Errorf("all inodes should start on MDS 0: %v", counts)
+	}
+	pm.Pin(m["b"], 1) // b, f1, f2, d, f3 = 5 inodes
+	counts = pm.InodeCounts(tr)
+	if counts[1] != 5 {
+		t.Errorf("MDS1 inodes = %d, want 5 (%v)", counts[1], counts)
+	}
+}
+
+func TestPinsSorted(t *testing.T) {
+	_, m := buildNS(t)
+	pm := NewPartitionMap(5)
+	pm.Pin(m["d"], 1)
+	pm.Pin(m["a"], 2)
+	pins := pm.Pins()
+	if len(pins) != 2 || pins[0].Ino > pins[1].Ino {
+		t.Errorf("Pins not sorted: %v", pins)
+	}
+}
+
+func TestNewPartitionMapClampsSize(t *testing.T) {
+	pm := NewPartitionMap(0)
+	if pm.NumMDS() != 1 {
+		t.Errorf("NumMDS = %d, want 1", pm.NumMDS())
+	}
+}

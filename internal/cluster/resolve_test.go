@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/costmodel"
+	"origami/internal/namespace"
+	"origami/internal/trace"
+)
+
+// newExecutor builds /proj/src/mod0/{f0,f1}, /proj/include/h0 on a 3-MDS
+// cluster, everything on MDS 0.
+func newExecutor(t *testing.T) (*Executor, map[string]namespace.Ino) {
+	t.Helper()
+	tr := namespace.NewTree()
+	params := costmodel.DefaultParams()
+	e := &Executor{Tree: tr, PM: NewPartitionMap(3), Params: &params}
+	inos := map[string]namespace.Ino{}
+	mk := func(path string, typ costmodel.OpType) {
+		t.Helper()
+		if _, err := e.Apply(trace.Op{Type: typ, Path: path}, NoCache{}, 0); err != nil {
+			t.Fatalf("setup %s %s: %v", typ, path, err)
+		}
+		chain, err := tr.ResolvePath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inos[path] = chain[len(chain)-1].Ino
+	}
+	mk("/proj", costmodel.OpMkdir)
+	mk("/proj/src", costmodel.OpMkdir)
+	mk("/proj/src/mod0", costmodel.OpMkdir)
+	mk("/proj/src/mod0/f0", costmodel.OpCreate)
+	mk("/proj/src/mod0/f1", costmodel.OpCreate)
+	mk("/proj/include", costmodel.OpMkdir)
+	mk("/proj/include/h0", costmodel.OpCreate)
+	return e, inos
+}
+
+func TestStatSingleMDSProfile(t *testing.T) {
+	e, _ := newExecutor(t)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything on MDS 0: one visit, one RPC, k = 5 (root..f0).
+	if res.Profile.M != 1 {
+		t.Errorf("M = %d, want 1", res.Profile.M)
+	}
+	if res.Profile.K != 5 {
+		t.Errorf("K = %d, want 5", res.Profile.K)
+	}
+	if res.RPCs() != 1 {
+		t.Errorf("RPCs = %d, want 1", res.RPCs())
+	}
+	if res.Exec != 0 {
+		t.Errorf("Exec = %d", res.Exec)
+	}
+}
+
+func TestStatCrossPartitionProfile(t *testing.T) {
+	e, inos := newExecutor(t)
+	e.PM.Pin(inos["/proj/src/mod0"], 1)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.M != 2 {
+		t.Errorf("M = %d, want 2 (boundary at mod0)", res.Profile.M)
+	}
+	if res.RPCs() != 2 {
+		t.Errorf("RPCs = %d, want 2", res.RPCs())
+	}
+	if res.Visits[0].MDS != 0 || res.Visits[1].MDS != 1 {
+		t.Errorf("visit order = %v", res.Visits)
+	}
+	if res.Exec != 1 {
+		t.Errorf("Exec = %d, want 1", res.Exec)
+	}
+}
+
+func TestNearRootCacheShortensResolution(t *testing.T) {
+	e, _ := newExecutor(t)
+	cache := NewNearRootCache(3) // caches depth 0..2: root, proj, src
+	// First access warms the cache.
+	res1, err := e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, cache, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.CachedPrefix != 0 {
+		t.Errorf("cold access cached prefix = %d", res1.CachedPrefix)
+	}
+	res2, err := e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, cache, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CachedPrefix != 3 { // root, proj, src resolved client-side
+		t.Errorf("warm cached prefix = %d, want 3", res2.CachedPrefix)
+	}
+	if res2.Profile.K != 2 { // mod0, f0
+		t.Errorf("warm K = %d, want 2", res2.Profile.K)
+	}
+	if res2.ServiceSum() >= res1.ServiceSum() {
+		t.Errorf("cache did not reduce service: %v -> %v", res1.ServiceSum(), res2.ServiceSum())
+	}
+}
+
+func TestCacheSavesCrossPartitionRPC(t *testing.T) {
+	e, inos := newExecutor(t)
+	// Split at src: with the prefix cached, the client goes straight to
+	// MDS 1 — a single RPC (the Table-2 "Origami w/ cache ~1.04 RPCs"
+	// mechanism).
+	e.PM.Pin(inos["/proj/src"], 1)
+	cache := NewNearRootCache(3)
+	e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, cache, 1)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, cache, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.M != 1 || res.RPCs() != 1 {
+		t.Errorf("cached cross-partition stat: M=%d RPCs=%d, want 1/1", res.Profile.M, res.RPCs())
+	}
+	if res.Visits[0].MDS != 1 {
+		t.Errorf("visit MDS = %d, want 1", res.Visits[0].MDS)
+	}
+}
+
+func TestCreateLocalNoCoordination(t *testing.T) {
+	e, _ := newExecutor(t)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpCreate, Path: "/proj/src/mod0/new.c"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 0 {
+		t.Errorf("local create spread = %d", res.Profile.Spread)
+	}
+	if res.Created == 0 {
+		t.Error("Created not set")
+	}
+	if _, err := e.Tree.ResolvePath("/proj/src/mod0/new.c"); err != nil {
+		t.Errorf("created file not resolvable: %v", err)
+	}
+}
+
+func TestMkdirWithPinPolicyPaysCoordination(t *testing.T) {
+	e, _ := newExecutor(t)
+	e.PinOnMkdir = func(tr *namespace.Tree, pm *PartitionMap, ino namespace.Ino, path string, depth int) (MDSID, bool) {
+		return 2, true // hash-style placement on another MDS
+	}
+	res, err := e.Apply(trace.Op{Type: costmodel.OpMkdir, Path: "/proj/src/mod1"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 1 {
+		t.Errorf("spread = %d, want 1", res.Profile.Spread)
+	}
+	owner, _ := e.PM.OwnerOf(e.Tree, res.Created)
+	if owner != 2 {
+		t.Errorf("new dir owner = %d, want 2", owner)
+	}
+	// Both participants must burn coordination busy time.
+	var mds2 time.Duration
+	for _, v := range res.Visits {
+		if v.MDS == 2 {
+			mds2 += v.Service
+		}
+	}
+	if mds2 < e.Params.TCoor/2 {
+		t.Errorf("destination MDS service = %v, want >= TCoor/2", mds2)
+	}
+}
+
+func TestLsdirSpread(t *testing.T) {
+	e, inos := newExecutor(t)
+	// Pin mod0 and include to other MDSs: lsdir /proj/src has children
+	// {mod0} with mod0 remote -> spread 1.
+	e.PM.Pin(inos["/proj/src/mod0"], 1)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpLsdir, Path: "/proj/src"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 1 {
+		t.Errorf("lsdir spread = %d, want 1", res.Profile.Spread)
+	}
+	if res.Profile.Entries != 1 {
+		t.Errorf("entries = %d, want 1", res.Profile.Entries)
+	}
+	// Local lsdir of mod0 (owner 1): children are files, co-located.
+	res, err = e.Apply(trace.Op{Type: costmodel.OpLsdir, Path: "/proj/src/mod0"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 0 {
+		t.Errorf("co-located lsdir spread = %d", res.Profile.Spread)
+	}
+	if res.Profile.Entries != 2 {
+		t.Errorf("entries = %d, want 2", res.Profile.Entries)
+	}
+}
+
+func TestUnlinkCrossPartitionCoordination(t *testing.T) {
+	e, inos := newExecutor(t)
+	e.PM.Pin(inos["/proj/src/mod0"], 1)
+	// Removing mod0's entry mutates parent dir (MDS 0) and target (MDS 1).
+	res, err := e.Apply(trace.Op{Type: costmodel.OpRmdir, Path: "/proj/include"}, NoCache{}, 1)
+	if err == nil && res.Profile.Spread != 0 {
+		t.Errorf("co-located rmdir spread = %d", res.Profile.Spread)
+	}
+	// include has a child; expect ErrNotEmpty instead.
+	if err == nil {
+		t.Fatal("rmdir of non-empty dir succeeded")
+	}
+	// Remove a file that is co-located with its dir on MDS 1.
+	res, err = e.Apply(trace.Op{Type: costmodel.OpUnlink, Path: "/proj/src/mod0/f1"}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 0 {
+		t.Errorf("unlink of co-located file spread = %d", res.Profile.Spread)
+	}
+	if _, err := e.Tree.ResolvePath("/proj/src/mod0/f1"); err == nil {
+		t.Error("unlinked file still resolvable")
+	}
+}
+
+func TestRmdirOfPinnedSubtreePaysCoordination(t *testing.T) {
+	e, inos := newExecutor(t)
+	// Create an empty pinned dir and remove it: parent on 0, target on 2.
+	e.Apply(trace.Op{Type: costmodel.OpMkdir, Path: "/proj/tmp"}, NoCache{}, 1)
+	chain, _ := e.Tree.ResolvePath("/proj/tmp")
+	tmp := chain[len(chain)-1].Ino
+	e.PM.Pin(tmp, 2)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpRmdir, Path: "/proj/tmp"}, NoCache{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 1 {
+		t.Errorf("cross-partition rmdir spread = %d, want 1", res.Profile.Spread)
+	}
+	if _, ok := e.PM.PinOf(tmp); ok {
+		t.Error("pin not cleaned up on rmdir")
+	}
+	_ = inos
+}
+
+func TestRenameSameMDS(t *testing.T) {
+	e, _ := newExecutor(t)
+	res, err := e.Apply(trace.Op{
+		Type: costmodel.OpRename,
+		Path: "/proj/src/mod0/f0", Dst: "/proj/src/mod0/f0.o",
+	}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 0 {
+		t.Errorf("same-MDS rename spread = %d", res.Profile.Spread)
+	}
+	if _, err := e.Tree.ResolvePath("/proj/src/mod0/f0.o"); err != nil {
+		t.Errorf("rename target missing: %v", err)
+	}
+}
+
+func TestRenameCrossMDSPaysCoordination(t *testing.T) {
+	e, inos := newExecutor(t)
+	e.PM.Pin(inos["/proj/include"], 2)
+	res, err := e.Apply(trace.Op{
+		Type: costmodel.OpRename,
+		Path: "/proj/src/mod0/f0", Dst: "/proj/include/f0.h",
+	}, NoCache{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Spread != 1 {
+		t.Errorf("cross-MDS rename spread = %d, want 1", res.Profile.Spread)
+	}
+	// Coordination charged across participants.
+	participants := map[MDSID]bool{}
+	for _, v := range res.Visits {
+		participants[v.MDS] = true
+	}
+	if !participants[0] || !participants[2] {
+		t.Errorf("rename visits = %v, want MDS 0 and 2 involved", res.Visits)
+	}
+}
+
+func TestSetattrMutates(t *testing.T) {
+	e, inos := newExecutor(t)
+	res, err := e.Apply(trace.Op{Type: costmodel.OpSetattr, Path: "/proj/include/h0"}, NoCache{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := e.Tree.Get(inos["/proj/include/h0"])
+	if in.Ctime != 7 {
+		t.Errorf("setattr ctime = %d", in.Ctime)
+	}
+	if res.Profile.Spread != 0 {
+		t.Errorf("setattr spread = %d", res.Profile.Spread)
+	}
+}
+
+func TestApplyMissingPathFails(t *testing.T) {
+	e, _ := newExecutor(t)
+	if _, err := e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/no/such/file"}, NoCache{}, 1); err == nil {
+		t.Error("stat of missing path succeeded")
+	}
+	if _, err := e.Apply(trace.Op{Type: costmodel.OpCreate, Path: "/nodir/f"}, NoCache{}, 1); err == nil {
+		t.Error("create under missing dir succeeded")
+	}
+}
+
+func TestVisitsServiceConsistency(t *testing.T) {
+	// Total visit service should track the cost model's ServiceTime
+	// closely (same T_inode/T_exec/T_coor building blocks).
+	e, inos := newExecutor(t)
+	e.PM.Pin(inos["/proj/src/mod0"], 1)
+	ops := []trace.Op{
+		{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"},
+		{Type: costmodel.OpLsdir, Path: "/proj/src"},
+		{Type: costmodel.OpCreate, Path: "/proj/src/mod0/fx"},
+	}
+	for _, op := range ops {
+		res, err := e.Apply(op, NoCache{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.Params.ServiceTime(op.Type, res.Profile)
+		got := res.ServiceSum()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > want/2+time.Microsecond {
+			t.Errorf("%v: visit service %v deviates from model %v", op, got, want)
+		}
+	}
+}
+
+func TestCacheInvalidationOnRename(t *testing.T) {
+	e, inos := newExecutor(t)
+	cache := NewNearRootCache(4)
+	e.Apply(trace.Op{Type: costmodel.OpStat, Path: "/proj/src/mod0/f0"}, cache, 1)
+	if !cache.Contains(inos["/proj/src"]) {
+		t.Fatal("src not cached after stat")
+	}
+	if _, err := e.Apply(trace.Op{
+		Type: costmodel.OpRename, Path: "/proj/src", Dst: "/proj/source",
+	}, cache, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Contains(inos["/proj/src"]) {
+		t.Error("renamed dir still cached")
+	}
+}
+
+func TestNoCacheBehaves(t *testing.T) {
+	var c NoCache
+	c.Insert(5, 0)
+	if c.Contains(5) || c.Len() != 0 {
+		t.Error("NoCache retained an entry")
+	}
+	c.Invalidate(5)
+}
+
+func TestNearRootCacheThreshold(t *testing.T) {
+	c := NewNearRootCache(2)
+	c.Insert(10, 1)
+	c.Insert(11, 2) // at threshold: rejected
+	c.Insert(12, 5)
+	if !c.Contains(10) || c.Contains(11) || c.Contains(12) {
+		t.Errorf("threshold admission wrong: %v %v %v", c.Contains(10), c.Contains(11), c.Contains(12))
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Invalidate(10)
+	if c.Contains(10) {
+		t.Error("invalidate failed")
+	}
+}

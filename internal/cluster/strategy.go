@@ -1,0 +1,24 @@
+package cluster
+
+import "origami/internal/namespace"
+
+// Strategy is a metadata load-balancing policy. The simulator (and the
+// networked cluster) drive it at three points:
+//
+//   - Setup partitions the freshly built namespace before measurement
+//     (hash baselines pre-partition here; subtree strategies do nothing).
+//   - PinPolicy places directories created during the run (hash baselines
+//     pin every new directory; subtree strategies inherit).
+//   - Rebalance runs at every epoch boundary with the Data Collector's
+//     dump and returns migration decisions for the Migrator.
+type Strategy interface {
+	// Name identifies the strategy in reports ("Origami", "C-Hash", ...).
+	Name() string
+	// Setup installs the initial partition.
+	Setup(t *namespace.Tree, pm *PartitionMap) error
+	// PinPolicy returns the placement hook for new directories, or nil
+	// to inherit the parent's owner.
+	PinPolicy() PinPolicy
+	// Rebalance inspects an epoch dump and returns migrations to apply.
+	Rebalance(es *EpochStats, t *namespace.Tree, pm *PartitionMap) []Decision
+}

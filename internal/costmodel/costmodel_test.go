@@ -1,0 +1,176 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		op   OpType
+		want Class
+	}{
+		{OpStat, ClassOther},
+		{OpOpen, ClassOther},
+		{OpSetattr, ClassOther},
+		{OpLsdir, ClassLsdir},
+		{OpCreate, ClassNSMutation},
+		{OpMkdir, ClassNSMutation},
+		{OpUnlink, ClassNSMutation},
+		{OpRmdir, ClassNSMutation},
+		{OpRename, ClassNSMutation},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestIsWrite(t *testing.T) {
+	writes := []OpType{OpCreate, OpMkdir, OpUnlink, OpRmdir, OpRename, OpSetattr}
+	reads := []OpType{OpStat, OpOpen, OpLsdir}
+	for _, op := range writes {
+		if !op.IsWrite() {
+			t.Errorf("%v should be a write", op)
+		}
+	}
+	for _, op := range reads {
+		if op.IsWrite() {
+			t.Errorf("%v should be a read", op)
+		}
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpCreate.String() != "create" || OpLsdir.String() != "lsdir" {
+		t.Errorf("names: %v %v", OpCreate, OpLsdir)
+	}
+	if ClassLsdir.String() != "lsdir" || ClassNSMutation.String() != "ns-m" || ClassOther.String() != "others" {
+		t.Error("class names wrong")
+	}
+	if OpType(200).String() == "" {
+		t.Error("unknown op name empty")
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesMissing(t *testing.T) {
+	var p Params
+	if err := p.Validate(); err == nil {
+		t.Error("zero params should fail validation")
+	}
+	p = DefaultParams()
+	p.TExec[OpRename] = 0
+	if err := p.Validate(); err == nil {
+		t.Error("missing TExec should fail validation")
+	}
+}
+
+// TestTMetaEq2 checks Eq. 2 term by term.
+func TestTMetaEq2(t *testing.T) {
+	p := DefaultParams()
+
+	// "others": stat with k=3 components on m=2 MDSs.
+	prof := Profile{K: 3, M: 2}
+	want := p.TInode*5 + p.RPCHandle*2 + p.TExec[OpStat]
+	if got := p.TMeta(OpStat, prof); got != want {
+		t.Errorf("stat TMeta = %v, want %v", got, want)
+	}
+
+	// lsdir with children spread over i=2 other MDSs and 10 entries.
+	prof = Profile{K: 2, M: 1, Spread: 2, Entries: 10}
+	want = p.TInode*3 + p.RPCHandle + p.TExec[OpLsdir] + 2*p.RTT + 10*p.LsdirPerEntry
+	if got := p.TMeta(OpLsdir, prof); got != want {
+		t.Errorf("lsdir TMeta = %v, want %v", got, want)
+	}
+
+	// ns-mutation split across MDSs pays T_coor once.
+	prof = Profile{K: 4, M: 2, Spread: 1}
+	want = p.TInode*6 + p.RPCHandle*2 + p.TExec[OpCreate] + p.TCoor
+	if got := p.TMeta(OpCreate, prof); got != want {
+		t.Errorf("split create TMeta = %v, want %v", got, want)
+	}
+
+	// ns-mutation entirely local pays no T_coor.
+	prof = Profile{K: 4, M: 1, Spread: 0}
+	want = p.TInode*5 + p.RPCHandle + p.TExec[OpCreate]
+	if got := p.TMeta(OpCreate, prof); got != want {
+		t.Errorf("local create TMeta = %v, want %v", got, want)
+	}
+}
+
+// TestRCTEq1 checks RCT = T_meta + m·RTT + ΣQ.
+func TestRCTEq1(t *testing.T) {
+	p := DefaultParams()
+	prof := Profile{K: 3, M: 2}
+	queue := 250 * time.Microsecond
+	want := p.TMeta(OpOpen, prof) + 2*p.RTT + queue
+	if got := p.RCT(OpOpen, prof, queue); got != want {
+		t.Errorf("RCT = %v, want %v", got, want)
+	}
+}
+
+// More partitions on the same path must never make a request cheaper.
+func TestRCTMonotoneInM(t *testing.T) {
+	p := DefaultParams()
+	for _, op := range []OpType{OpStat, OpCreate, OpLsdir} {
+		prev := time.Duration(0)
+		for m := 1; m <= 5; m++ {
+			prof := Profile{K: 6, M: m, Spread: m - 1}
+			rct := p.RCT(op, prof, 0)
+			if rct < prev {
+				t.Errorf("%v: RCT decreased from %v to %v at m=%d", op, prev, rct, m)
+			}
+			prev = rct
+		}
+	}
+}
+
+func TestServiceTimeExcludesLsdirWireTime(t *testing.T) {
+	p := DefaultParams()
+	prof := Profile{K: 2, M: 1, Spread: 3, Entries: 5}
+	tm := p.TMeta(OpLsdir, prof)
+	st := p.ServiceTime(OpLsdir, prof)
+	if tm-st != 3*p.RTT {
+		t.Errorf("lsdir service time should drop RTT·i: tmeta=%v service=%v", tm, st)
+	}
+	// For other classes they coincide.
+	prof = Profile{K: 2, M: 2, Spread: 1}
+	if p.TMeta(OpCreate, prof) != p.ServiceTime(OpCreate, prof) {
+		t.Error("create service time should equal TMeta")
+	}
+}
+
+func TestJCT(t *testing.T) {
+	loads := []time.Duration{3 * time.Second, 5 * time.Second, 1 * time.Second}
+	if got := JCT(loads); got != 5*time.Second {
+		t.Errorf("JCT = %v, want 5s", got)
+	}
+	if JCT(nil) != 0 {
+		t.Error("JCT(nil) != 0")
+	}
+	if TotalLoad(loads) != 9*time.Second {
+		t.Errorf("TotalLoad = %v", TotalLoad(loads))
+	}
+}
+
+func TestBenefit(t *testing.T) {
+	before := []time.Duration{10 * time.Second, 2 * time.Second}
+	after := []time.Duration{6 * time.Second, 6*time.Second + time.Millisecond}
+	b := Benefit(before, after)
+	if b != 10*time.Second-(6*time.Second+time.Millisecond) {
+		t.Errorf("Benefit = %v", b)
+	}
+	// Migration that worsens the max bin has negative benefit.
+	worse := []time.Duration{12 * time.Second, 0}
+	if Benefit(before, worse) >= 0 {
+		t.Error("worsening migration should have negative benefit")
+	}
+}

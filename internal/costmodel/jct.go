@@ -1,0 +1,39 @@
+package costmodel
+
+import "time"
+
+// The JCT estimator of §3.2: under high load every MDS processes its queue
+// continuously, so the job finishes when the most-loaded MDS drains —
+// a bin-packing view where MDSs are bins and the largest bin is the
+// completion time. Origami estimates T_queue and T_coor from historical
+// sampling; here the per-MDS load sums are supplied by whoever replayed
+// or simulated the request sequence.
+
+// JCT returns the estimated job completion time for per-MDS summed request
+// costs: the maximum bin.
+func JCT(loads []time.Duration) time.Duration {
+	var maxLoad time.Duration
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad
+}
+
+// TotalLoad returns the summed cost across MDSs, the cluster-wide work the
+// partition induces. Migration decisions trade this against JCT: hashing
+// lowers JCT but raises total work via forwarding overhead.
+func TotalLoad(loads []time.Duration) time.Duration {
+	var sum time.Duration
+	for _, l := range loads {
+		sum += l
+	}
+	return sum
+}
+
+// Benefit is the JCT reduction of moving from loads to loadsAfter; positive
+// values mean the migration helps (Appendix A's b = T − T′).
+func Benefit(loads, loadsAfter []time.Duration) time.Duration {
+	return JCT(loads) - JCT(loadsAfter)
+}

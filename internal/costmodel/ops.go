@@ -1,0 +1,124 @@
+// Package costmodel implements the paper's decomposition of metadata
+// request cost (§3.1, Equations 1 and 2) and the job-completion-time
+// estimator built on it (§3.2).
+//
+// For a metadata request whose path has k components and whose resolution
+// touches m distinct metadata partitions, the request completion time is
+//
+//	RCT = T_meta + m·RTT + Σ Q_i                        (Eq. 1)
+//
+// where Q_i is the queueing delay on each visited partition, and
+//
+//	T_meta = T_inode·(m+k) + T_exec + extra             (Eq. 2)
+//	extra  = RTT·i            for lsdir
+//	       = T_coor·𝟙(i>0)    for namespace mutations
+//	       = 0                otherwise
+//
+// The m extra inode reads in the baseline cost are the fake-inodes that
+// record where migrated subtrees went. i is the operation's migration
+// spread: for lsdir, the number of *other* MDSs holding children of the
+// listed directory; for namespace mutations, whether the parent directory
+// and the target live on different MDSs.
+package costmodel
+
+import "fmt"
+
+// OpType enumerates the metadata operations OrigamiFS serves.
+type OpType uint8
+
+const (
+	// OpStat reads the attributes of an existing entry.
+	OpStat OpType = iota
+	// OpOpen opens an existing file (metadata side: lookup + perm check).
+	OpOpen
+	// OpLsdir lists a directory's entries.
+	OpLsdir
+	// OpCreate creates a regular file.
+	OpCreate
+	// OpMkdir creates a directory.
+	OpMkdir
+	// OpUnlink removes a regular file.
+	OpUnlink
+	// OpRmdir removes an empty directory.
+	OpRmdir
+	// OpRename moves an entry to a new parent or name.
+	OpRename
+	// OpSetattr updates attributes of an existing entry in place.
+	OpSetattr
+	numOpTypes
+)
+
+// NumOpTypes is the number of distinct operation types.
+const NumOpTypes = int(numOpTypes)
+
+var opNames = [...]string{
+	OpStat:    "stat",
+	OpOpen:    "open",
+	OpLsdir:   "lsdir",
+	OpCreate:  "create",
+	OpMkdir:   "mkdir",
+	OpUnlink:  "unlink",
+	OpRmdir:   "rmdir",
+	OpRename:  "rename",
+	OpSetattr: "setattr",
+}
+
+// String returns the conventional lowercase name of the operation.
+func (t OpType) String() string {
+	if int(t) < len(opNames) {
+		return opNames[t]
+	}
+	return fmt.Sprintf("OpType(%d)", uint8(t))
+}
+
+// Class is the paper's three-way taxonomy of metadata operations, which
+// determines the partition-dependent extra term of Eq. 2.
+type Class uint8
+
+const (
+	// ClassOther covers operations whose cost is unaffected by how the
+	// involved metadata is spread (stat, open, setattr).
+	ClassOther Class = iota
+	// ClassLsdir covers directory listing, which pays one extra RTT per
+	// additional MDS holding children of the listed directory.
+	ClassLsdir
+	// ClassNSMutation covers namespace structure mutations (create,
+	// mkdir, unlink, rmdir, rename), which pay a distributed-transaction
+	// coordination cost when they span MDSs.
+	ClassNSMutation
+)
+
+// String names the class as the paper does.
+func (c Class) String() string {
+	switch c {
+	case ClassLsdir:
+		return "lsdir"
+	case ClassNSMutation:
+		return "ns-m"
+	default:
+		return "others"
+	}
+}
+
+// ClassOf maps an operation to its cost class.
+func ClassOf(t OpType) Class {
+	switch t {
+	case OpLsdir:
+		return ClassLsdir
+	case OpCreate, OpMkdir, OpUnlink, OpRmdir, OpRename:
+		return ClassNSMutation
+	default:
+		return ClassOther
+	}
+}
+
+// IsWrite reports whether the operation mutates metadata. The Table-1
+// feature pipeline counts reads and writes separately by this predicate.
+func (t OpType) IsWrite() bool {
+	switch t {
+	case OpCreate, OpMkdir, OpUnlink, OpRmdir, OpRename, OpSetattr:
+		return true
+	default:
+		return false
+	}
+}

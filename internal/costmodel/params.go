@@ -1,0 +1,123 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params holds the calibrated cost constants of Eq. 1 and Eq. 2. The
+// defaults approximate the single-digit-microsecond inode reads, ~100 µs
+// datacenter RTTs, and sub-millisecond distributed-transaction commits
+// reported for systems of the paper's class (CephFS / InfiniFS / CFS);
+// the paper estimates T_queue and T_coor from historical sampling, which
+// the simulator mirrors by measuring them online.
+type Params struct {
+	// TInode is the time to read one inode (or fake-inode) record from
+	// the local store, the (m+k)-multiplied baseline of Eq. 2.
+	TInode time.Duration
+	// TExec is the fixed execution cost per operation type (permission
+	// checks, local mutation, store update).
+	TExec [NumOpTypes]time.Duration
+	// RTT is one network round trip between a client and an MDS, or
+	// between MDSs.
+	RTT time.Duration
+	// RPCHandle is the CPU cost an MDS pays to receive, decode, and
+	// dispatch one RPC. Each of a request's m partition visits pays it,
+	// which is why heavy forwarding degrades MDS efficiency even when
+	// load is perfectly balanced (§5.5).
+	RPCHandle time.Duration
+	// TCoor is the extra coordination cost of a distributed transaction
+	// when a namespace mutation spans MDSs.
+	TCoor time.Duration
+	// LsdirPerEntry is the marginal cost of returning one directory
+	// entry from a listing.
+	LsdirPerEntry time.Duration
+}
+
+// DefaultParams returns the calibration used throughout the experiments.
+func DefaultParams() Params {
+	p := Params{
+		TInode:        8 * time.Microsecond,
+		RTT:           120 * time.Microsecond,
+		RPCHandle:     80 * time.Microsecond,
+		TCoor:         600 * time.Microsecond,
+		LsdirPerEntry: 300 * time.Nanosecond,
+	}
+	p.TExec[OpStat] = 4 * time.Microsecond
+	p.TExec[OpOpen] = 6 * time.Microsecond
+	p.TExec[OpLsdir] = 12 * time.Microsecond
+	p.TExec[OpCreate] = 26 * time.Microsecond
+	p.TExec[OpMkdir] = 24 * time.Microsecond
+	p.TExec[OpUnlink] = 20 * time.Microsecond
+	p.TExec[OpRmdir] = 18 * time.Microsecond
+	p.TExec[OpRename] = 30 * time.Microsecond
+	p.TExec[OpSetattr] = 8 * time.Microsecond
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p *Params) Validate() error {
+	if p.TInode <= 0 || p.RTT <= 0 || p.TCoor < 0 {
+		return fmt.Errorf("costmodel: non-positive core parameter: %+v", p)
+	}
+	for t := 0; t < NumOpTypes; t++ {
+		if p.TExec[t] <= 0 {
+			return fmt.Errorf("costmodel: TExec[%s] not set", OpType(t))
+		}
+	}
+	return nil
+}
+
+// Profile captures the partition-dependent quantities of one request,
+// produced by partition-aware path resolution.
+type Profile struct {
+	// K is the number of path components resolved (path length). Cached
+	// prefix components resolved client-side do not count.
+	K int
+	// M is the number of distinct MDSs the request touches.
+	M int
+	// Spread is the operation's i of Eq. 2: for lsdir, the number of
+	// additional MDSs holding children of the listed directory; for
+	// namespace mutations, 1 when parent and target live on different
+	// MDSs, else 0.
+	Spread int
+	// Entries is the number of directory entries returned by lsdir.
+	Entries int
+}
+
+// TMeta evaluates Eq. 2: the partition-dependent execution time of the
+// request on the metadata cluster, excluding network and queueing. The
+// RPCHandle·m term is the per-visit dispatch cost, folded into the
+// baseline alongside the (m+k) inode reads.
+func (p *Params) TMeta(op OpType, prof Profile) time.Duration {
+	t := p.TInode*time.Duration(prof.M+prof.K) +
+		p.RPCHandle*time.Duration(prof.M) + p.TExec[op]
+	switch ClassOf(op) {
+	case ClassLsdir:
+		t += p.RTT * time.Duration(prof.Spread)
+		t += p.LsdirPerEntry * time.Duration(prof.Entries)
+	case ClassNSMutation:
+		if prof.Spread > 0 {
+			t += p.TCoor
+		}
+	}
+	return t
+}
+
+// RCT evaluates Eq. 1 given the total queueing delay the request
+// accumulated across the partitions it visited.
+func (p *Params) RCT(op OpType, prof Profile, queue time.Duration) time.Duration {
+	return p.TMeta(op, prof) + time.Duration(prof.M)*p.RTT + queue
+}
+
+// ServiceTime is the CPU-side work a request imposes on the MDS cluster:
+// T_meta without the client-visible network round trips. The busy-time
+// metric of §5.3 sums these per MDS.
+func (p *Params) ServiceTime(op OpType, prof Profile) time.Duration {
+	t := p.TMeta(op, prof)
+	if ClassOf(op) == ClassLsdir {
+		// The RTT·i term of lsdir is wire time, not MDS busy time.
+		t -= p.RTT * time.Duration(prof.Spread)
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// clampProfile maps arbitrary fuzz inputs into a sane profile.
+func clampProfile(k, m, spread, entries uint8) Profile {
+	p := Profile{
+		K:       int(k%32) + 1,
+		M:       int(m%8) + 1,
+		Spread:  int(spread % 8),
+		Entries: int(entries % 200),
+	}
+	if p.M > p.K {
+		p.M = p.K
+	}
+	return p
+}
+
+// Property: TMeta is strictly positive and finite for every op and
+// profile.
+func TestTMetaPositiveProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(op uint8, k, m, spread, entries uint8) bool {
+		typ := OpType(op % uint8(NumOpTypes))
+		prof := clampProfile(k, m, spread, entries)
+		v := p.TMeta(typ, prof)
+		return v > 0 && v < time.Hour
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RCT is monotone in the queueing time.
+func TestRCTQueueMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(op uint8, k, m uint8, q1, q2 uint32) bool {
+		typ := OpType(op % uint8(NumOpTypes))
+		prof := clampProfile(k, m, 0, 0)
+		qa := time.Duration(q1) * time.Microsecond
+		qb := time.Duration(q2) * time.Microsecond
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return p.RCT(typ, prof, qa) <= p.RCT(typ, prof, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting the same path over more partitions never reduces
+// TMeta (locality loss is never free).
+func TestTMetaPartitionMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(op uint8, k uint8, extra uint8) bool {
+		typ := OpType(op % uint8(NumOpTypes))
+		kk := int(k%16) + 2
+		m1 := 1
+		m2 := m1 + int(extra%4) + 1
+		if m2 > kk {
+			m2 = kk
+		}
+		prof1 := Profile{K: kk, M: m1}
+		prof2 := Profile{K: kk, M: m2, Spread: m2 - 1}
+		return p.TMeta(typ, prof1) <= p.TMeta(typ, prof2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ServiceTime never exceeds TMeta (wire time is excluded, never
+// added).
+func TestServiceTimeBoundedByTMetaProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(op uint8, k, m, spread, entries uint8) bool {
+		typ := OpType(op % uint8(NumOpTypes))
+		prof := clampProfile(k, m, spread, entries)
+		return p.ServiceTime(typ, prof) <= p.TMeta(typ, prof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JCT is the max bin, so it is bounded by total load and never
+// below the mean.
+func TestJCTBoundsProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]time.Duration, len(raw))
+		var total time.Duration
+		for i, v := range raw {
+			loads[i] = time.Duration(v) * time.Microsecond
+			total += loads[i]
+		}
+		j := JCT(loads)
+		mean := total / time.Duration(len(loads))
+		return j >= mean && j <= total && TotalLoad(loads) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"io"
+
+	"origami/internal/stats"
+)
+
+// DecisionAnalysisResult reproduces the §5.4 analysis of Origami's
+// migration choices: the paper finds it favours two kinds of subtree —
+// (1) near-root, high-load subtrees whose single migration rebalances a
+// lot (and whose boundary the client cache absorbs), and (2) deep,
+// write-intensive subtrees whose migration touches few resolutions but
+// buys real balance.
+type DecisionAnalysisResult struct {
+	Total int
+	// NearRootFrac is the fraction of migrations whose subtree root sits
+	// within the client-cached region (depth <= CacheDepth).
+	NearRootFrac float64
+	// DeepWriteFrac is the fraction of migrations of deep subtrees
+	// (below the cached region) that are write-dominated.
+	DeepWriteFrac float64
+	// DeepReadFrac is the remaining deep, read-dominated fraction — the
+	// kind the paper says Origami avoids.
+	DeepReadFrac float64
+	// MeanDepth and MeanWriteFrac summarise the chosen subtrees.
+	MeanDepth     float64
+	MeanWriteFrac float64
+}
+
+// DecisionAnalysis runs Origami on the write-intensive and compile
+// workloads and classifies every applied migration.
+func DecisionAnalysis(scale Scale) (*DecisionAnalysisResult, error) {
+	out := &DecisionAnalysisResult{}
+	var depths, writes stats.Online
+	nearRoot, deepWrite, deepRead := 0, 0, 0
+	for _, wl := range []string{"rw", "wi"} {
+		res, err := runStrategy(scale, wl, strategies(false)[4], false)
+		if err != nil {
+			return nil, err
+		}
+		for _, am := range res.Applied {
+			out.Total++
+			depths.Add(float64(am.Depth))
+			writes.Add(am.WriteFraction)
+			if am.Depth <= scale.CacheDepth {
+				nearRoot++
+			} else if am.WriteFraction >= 0.5 {
+				deepWrite++
+			} else {
+				deepRead++
+			}
+		}
+	}
+	if out.Total > 0 {
+		out.NearRootFrac = float64(nearRoot) / float64(out.Total)
+		out.DeepWriteFrac = float64(deepWrite) / float64(out.Total)
+		out.DeepReadFrac = float64(deepRead) / float64(out.Total)
+	}
+	out.MeanDepth = depths.Mean()
+	out.MeanWriteFrac = writes.Mean()
+	return out, nil
+}
+
+// Render writes the analysis as text.
+func (r *DecisionAnalysisResult) Render(w io.Writer) {
+	fprintf(w, "§5.4 decision analysis — what Origami chooses to migrate (Trace-RW + Trace-WI)\n")
+	fprintf(w, "migrations analysed : %d\n", r.Total)
+	fprintf(w, "near-root subtrees  : %4.0f%%  (boundary absorbed by the client cache)\n", 100*r.NearRootFrac)
+	fprintf(w, "deep, write-heavy   : %4.0f%%  (few traversals cross the new boundary)\n", 100*r.DeepWriteFrac)
+	fprintf(w, "deep, read-heavy    : %4.0f%%  (the expensive kind — should be rare)\n", 100*r.DeepReadFrac)
+	fprintf(w, "mean depth %.1f, mean subtree write fraction %.2f\n", r.MeanDepth, r.MeanWriteFrac)
+	fprintf(w, "paper: migrations concentrate on near-root high-load and deep write-intensive subtrees\n")
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated OrigamiFS cluster. Each Fig*/Table*
+// function runs the corresponding experiment and returns a structured
+// result with a text renderer; bench_test.go and cmd/origami-bench drive
+// them. DESIGN.md's per-experiment index maps each function to the paper
+// artefact it reproduces, and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/cluster"
+	"origami/internal/sim"
+	"origami/internal/trace"
+	"origami/internal/workload"
+)
+
+// Scale sizes an experiment run. The default keeps every experiment
+// laptop-fast; cmd/origami-bench's -full flag runs closer to paper scale.
+type Scale struct {
+	// Ops is the measured-phase operation count per run.
+	Ops int
+	// Clients is the high-load client count (the paper saturates with
+	// 50).
+	Clients int
+	// NumMDS is the cluster size (the paper's headline setup is 5).
+	NumMDS int
+	// CacheDepth is the near-root client cache threshold.
+	CacheDepth int
+	// Epoch is the statistics/rebalance interval in virtual time. The
+	// paper uses 10 s epochs over multi-minute runs; the simulator
+	// compresses the same epoch count into less virtual time.
+	Epoch time.Duration
+	// Seed selects the workload instance.
+	Seed int64
+}
+
+// DefaultScale is used by the benchmarks.
+func DefaultScale() Scale {
+	return Scale{
+		Ops:        120000,
+		Clients:    50,
+		NumMDS:     5,
+		CacheDepth: 3,
+		Epoch:      time.Second,
+		Seed:       1,
+	}
+}
+
+// FullScale approximates the paper's run lengths.
+func FullScale() Scale {
+	s := DefaultScale()
+	s.Ops = 400000
+	return s
+}
+
+func (s Scale) simConfig() sim.Config {
+	return sim.Config{
+		NumMDS:     s.NumMDS,
+		Clients:    s.Clients,
+		CacheDepth: s.CacheDepth,
+		Epoch:      s.Epoch,
+	}
+}
+
+// traceFor builds one of the three paper workloads at this scale.
+func (s Scale) traceFor(name string) (*trace.Trace, error) {
+	return workload.ByName(name, s.Seed, s.Ops)
+}
+
+// StrategyRow pairs a strategy name with its per-run metrics.
+type StrategyRow struct {
+	Name       string
+	Result     *sim.Result
+	Normalized float64 // vs the single-MDS baseline of the same run set
+}
+
+// strategies returns fresh instances of the evaluated strategies (learned
+// strategies carry per-run state, so they must not be shared across
+// runs). The bool marks whether the strategy runs on one MDS (the
+// baseline) instead of the full cluster.
+func strategies(includeOracle bool) []func() (cluster.Strategy, bool) {
+	out := []func() (cluster.Strategy, bool){
+		func() (cluster.Strategy, bool) { return balancer.Single{}, true },
+		func() (cluster.Strategy, bool) { return balancer.CHash{}, false },
+		func() (cluster.Strategy, bool) { return balancer.FHash{}, false },
+		func() (cluster.Strategy, bool) { return &balancer.MLTree{}, false },
+		func() (cluster.Strategy, bool) { return &balancer.Origami{}, false },
+	}
+	if includeOracle {
+		out = append(out, func() (cluster.Strategy, bool) { return &balancer.MetaOPTOracle{}, false })
+	}
+	return out
+}
+
+// runStrategy executes one (trace, strategy) simulation.
+func runStrategy(scale Scale, traceName string, mk func() (cluster.Strategy, bool), dataPath bool) (*sim.Result, error) {
+	tr, err := scale.traceFor(traceName)
+	if err != nil {
+		return nil, err
+	}
+	st, single := mk()
+	cfg := scale.simConfig()
+	if single {
+		cfg.NumMDS = 1
+	}
+	if dataPath {
+		cfg.DataPath = sim.NewDataPath()
+	}
+	return sim.Run(cfg, tr, st)
+}
+
+// runAll executes every strategy on a workload and normalises against the
+// Single baseline.
+func runAll(scale Scale, traceName string, includeOracle, dataPath bool) ([]StrategyRow, error) {
+	var rows []StrategyRow
+	var base float64
+	for _, mk := range strategies(includeOracle) {
+		res, err := runStrategy(scale, traceName, mk, dataPath)
+		if err != nil {
+			return nil, err
+		}
+		row := StrategyRow{Name: res.Strategy, Result: res}
+		if res.Strategy == "Single" {
+			base = res.SteadyThroughput
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if base > 0 {
+			rows[i].Normalized = rows[i].Result.SteadyThroughput / base
+		}
+	}
+	return rows, nil
+}
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

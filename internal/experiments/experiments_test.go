@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps experiment tests fast; shape assertions use loose
+// bounds appropriate to the reduced run length.
+func tinyScale() Scale {
+	return Scale{
+		Ops:        40000,
+		Clients:    40,
+		NumMDS:     5,
+		CacheDepth: 3,
+		Epoch:      500 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+func renderNonEmpty(t *testing.T, render func(w io.Writer)) string {
+	t.Helper()
+	var buf bytes.Buffer
+	render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("renderer produced nothing")
+	}
+	return buf.String()
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core motivation shape: aggregate improves over single, but far
+	// below 5x; each MDS stays below the single-MDS rate.
+	if r.AggregateFactor <= 1 {
+		t.Errorf("aggregate factor = %.2f, want > 1", r.AggregateFactor)
+	}
+	if r.AggregateFactor >= 4.5 {
+		t.Errorf("aggregate factor = %.2f, want far below ideal 5x", r.AggregateFactor)
+	}
+	for i, q := range r.PerMDS {
+		if q >= r.SingleThroughput {
+			t.Errorf("MDS %d throughput %.0f >= single %.0f", i, q, r.SingleThroughput)
+		}
+	}
+	if r.JCT5 >= r.JCT1 {
+		t.Errorf("5-MDS JCT %v not below 1-MDS %v", r.JCT5, r.JCT1)
+	}
+	out := renderNonEmpty(t, r.Render)
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	r, err := Fig5a(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StrategyRow{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	// The paper's ordering: Origami > C-Hash > F-Hash; everything beats
+	// Single.
+	if byName["Origami"].Normalized <= byName["C-Hash"].Normalized {
+		t.Errorf("Origami (%.2fx) <= C-Hash (%.2fx)",
+			byName["Origami"].Normalized, byName["C-Hash"].Normalized)
+	}
+	if byName["C-Hash"].Normalized <= byName["F-Hash"].Normalized {
+		t.Errorf("C-Hash (%.2fx) <= F-Hash (%.2fx)",
+			byName["C-Hash"].Normalized, byName["F-Hash"].Normalized)
+	}
+	for name, row := range byName {
+		if name != "Single" && row.Normalized <= 1 {
+			t.Errorf("%s did not beat single MDS: %.2fx", name, row.Normalized)
+		}
+	}
+	// Origami keeps forwarding minimal.
+	if rpc := byName["Origami"].Result.RPCPerRequest; rpc > 1.3 {
+		t.Errorf("Origami rpc/req = %.2f, want near 1", rpc)
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestFig5bShape(t *testing.T) {
+	r, err := Fig5b(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := map[string]float64{}
+	for _, row := range r.Rows {
+		inc[row.Name] = row.Increase
+	}
+	// Hashing disrupts locality most; F-Hash must exceed C-Hash.
+	if inc["F-Hash"] <= inc["C-Hash"] {
+		t.Errorf("F-Hash increase %.2f <= C-Hash %.2f", inc["F-Hash"], inc["C-Hash"])
+	}
+	if inc["Single"] != 0 {
+		t.Errorf("Single increase = %v, want 0", inc["Single"])
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestFig6Shape(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 90000 // balance comparisons need converged steady state
+	r, err := Fig6(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Fig6Row{}
+	for _, row := range r.Rows {
+		rows[row.Name] = row
+	}
+	// All factors in range.
+	for name, row := range rows {
+		for _, v := range []float64{row.QPS, row.RPC, row.Inodes, row.BusyTime} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s imbalance out of range: %+v", name, row)
+			}
+		}
+	}
+	// Origami's busy-time balance must beat F-Hash's (the paper's
+	// "ensuring all MDSs busy" finding).
+	if rows["Origami"].BusyTime >= rows["F-Hash"].BusyTime {
+		t.Errorf("Origami busy IF %.3f >= F-Hash %.3f",
+			rows["Origami"].BusyTime, rows["F-Hash"].BusyTime)
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		// Caching must help throughput and cut RPCs for everyone.
+		if row.ThrCache <= row.ThrNoCache {
+			t.Errorf("%s: cache did not help: %.0f -> %.0f", row.Name, row.ThrNoCache, row.ThrCache)
+		}
+		if row.RPCCache >= row.RPCNoCache {
+			t.Errorf("%s: cache did not cut RPCs: %.2f -> %.2f", row.Name, row.RPCNoCache, row.RPCCache)
+		}
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := map[string]float64{}
+	for _, s := range r.Series {
+		if len(s.Epochs) == 0 {
+			t.Errorf("%s: no efficiency samples", s.Name)
+		}
+		eff[s.Name] = s.Mean
+	}
+	// Origami must be more efficient than F-Hash (fewer wasted cycles).
+	if eff["Origami"] <= eff["F-Hash"] {
+		t.Errorf("Origami efficiency %.2f <= F-Hash %.2f", eff["Origami"], eff["F-Hash"])
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestFig8Shape(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 30000
+	r, err := Fig8(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		if len(s.Speedups) != len(r.MDSCounts) {
+			t.Fatalf("%s: %d speedups for %d counts", s.Name, len(s.Speedups), len(r.MDSCounts))
+		}
+		if s.Name == "Origami" {
+			// Origami must keep scaling: 5 MDSs meaningfully above 2.
+			if s.Speedups[len(s.Speedups)-1] <= s.Speedups[0] {
+				t.Errorf("Origami does not scale: %v", s.Speedups)
+			}
+		}
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestFig9Shape(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 30000
+	r, err := Fig9(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Meta) != 3 || len(r.E2E) != 3 {
+		t.Fatalf("blocks: %d meta, %d e2e", len(r.Meta), len(r.E2E))
+	}
+	for wi, wl := range r.Workloads {
+		margin := BestBaselineMargin(r.Meta[wi])
+		// At test scale the learned strategies have little time to
+		// converge; require rough parity (the full-scale margins are in
+		// EXPERIMENTS.md).
+		if margin <= 0.8 {
+			t.Errorf("%s: Origami margin %.2fx, want >= 0.8 of best baseline", wl, margin)
+		}
+		// The data path can only slow things down; check on the
+		// deterministic strategies (learned strategies make different
+		// migration decisions between the two runs).
+		for si := range r.Meta[wi] {
+			name := r.Meta[wi][si].Name
+			if name != "Single" && name != "C-Hash" && name != "F-Hash" {
+				continue
+			}
+			if r.E2E[wi][si].Result.SteadyThroughput > r.Meta[wi][si].Result.SteadyThroughput*1.05 {
+				t.Errorf("%s/%s: e2e exceeds metadata-only", wl, name)
+			}
+		}
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestHeadlineShape(t *testing.T) {
+	r, err := Headline(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OrigamiVsSingle < 2.5 {
+		t.Errorf("Origami vs single = %.2fx, want >= 2.5 (paper 3.86)", r.OrigamiVsSingle)
+	}
+	if r.OrigamiVsBest <= 1 {
+		t.Errorf("Origami vs best baseline = %.2fx, want > 1", r.OrigamiVsBest)
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestTable1Shape(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 30000
+	r, err := Table1(scale, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DatasetSize == 0 {
+		t.Fatal("empty dataset")
+	}
+	if r.Report.Models[0].Spearman < 0.2 {
+		t.Errorf("benefit model spearman = %.2f", r.Report.Models[0].Spearman)
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+// TestDecisionAnalysisShape reproduces §5.4: the bulk of Origami's
+// migrations must be cache-absorbed near-root subtrees or deep
+// write-heavy ones; deep read-heavy migrations (the expensive kind) stay
+// a minority.
+func TestDecisionAnalysisShape(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 60000
+	r, err := DecisionAnalysis(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total == 0 {
+		t.Fatal("no migrations to analyse")
+	}
+	cheap := r.NearRootFrac + r.DeepWriteFrac
+	if cheap < 0.6 {
+		t.Errorf("cheap-migration fraction = %.2f, want >= 0.6 (deep-read %.2f)",
+			cheap, r.DeepReadFrac)
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestExtendedShape(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 60000
+	r, err := Extended(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row.Normalized
+	}
+	if len(byName) != 7 {
+		t.Fatalf("rows = %v", byName)
+	}
+	// Every balancer beats Single; the Meta-OPT-informed family (Lunule
+	// shares the collector, Origami the model) beats the hash baselines.
+	for name, v := range byName {
+		if name != "Single" && v <= 1 {
+			t.Errorf("%s = %.2fx, want > 1", name, v)
+		}
+	}
+	if byName["Origami"] <= byName["F-Hash"] {
+		t.Errorf("Origami %.2fx <= F-Hash %.2fx", byName["Origami"], byName["F-Hash"])
+	}
+	renderNonEmpty(t, r.Render)
+}
+
+func TestAblationsRun(t *testing.T) {
+	scale := tinyScale()
+	scale.Ops = 20000
+	cd, err := AblationCacheDepth(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cd.Thr) != len(cd.Depths) {
+		t.Error("cache sweep incomplete")
+	}
+	renderNonEmpty(t, cd.Render)
+	mc, err := AblationMigrationCap(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Thr) != len(mc.Caps) {
+		t.Error("migration sweep incomplete")
+	}
+	renderNonEmpty(t, mc.Render)
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"io"
+	"time"
+)
+
+// Fig2Result reproduces the §2.2 motivation study: even per-directory
+// partitioning (the CephFS "distributed" pin) of a web-access workload on
+// 5 MDSs vs a single MDS. The paper's findings to reproduce in shape:
+// every individual MDS runs below the single-MDS throughput, the
+// aggregate improves by far less than 5x, and job completion time shrinks
+// far less than proportionally.
+type Fig2Result struct {
+	SingleThroughput float64   // ops/s, 1 MDS
+	PerMDS           []float64 // ops/s served per MDS under even partitioning
+	Aggregate        float64   // ops/s, 5 MDSs
+	AggregateFactor  float64   // Aggregate / SingleThroughput
+	JCT1             time.Duration
+	JCT5             time.Duration
+	JCTReduction     float64 // 1 - JCT5/JCT1
+}
+
+// Fig2 runs the motivation experiment on the read-only web trace.
+func Fig2(scale Scale) (*Fig2Result, error) {
+	single, err := runStrategy(scale, "ro", strategies(false)[0], false)
+	if err != nil {
+		return nil, err
+	}
+	fhash, err := runStrategy(scale, "ro", strategies(false)[2], false)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{
+		SingleThroughput: single.SteadyThroughput,
+		Aggregate:        fhash.SteadyThroughput,
+		JCT1:             single.Elapsed,
+		JCT5:             fhash.Elapsed,
+	}
+	if out.SingleThroughput > 0 {
+		out.AggregateFactor = out.Aggregate / out.SingleThroughput
+	}
+	if out.JCT1 > 0 {
+		out.JCTReduction = 1 - float64(out.JCT5)/float64(out.JCT1)
+	}
+	// Per-MDS served throughput from the last epoch's QPS.
+	if n := len(fhash.Epochs); n > 0 {
+		out.PerMDS = fhash.Epochs[n-1].QPS
+	}
+	return out, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig2Result) Render(w io.Writer) {
+	fprintf(w, "Figure 2 — Even partitioning considered harmful (Trace-RO)\n")
+	fprintf(w, "(a) normalized metadata throughput\n")
+	fprintf(w, "    single MDS          : %8.0f ops/s (1.00x)\n", r.SingleThroughput)
+	for i, q := range r.PerMDS {
+		fprintf(w, "    even 5-MDS, MDS %d   : %8.0f ops/s (%.2fx of single)\n",
+			i, q, q/r.SingleThroughput)
+	}
+	fprintf(w, "    even 5-MDS aggregate: %8.0f ops/s (%.2fx of single; paper ~1.4x)\n",
+		r.Aggregate, r.AggregateFactor)
+	fprintf(w, "(b) job completion time\n")
+	fprintf(w, "    1 MDS : %v\n", r.JCT1.Round(time.Millisecond))
+	fprintf(w, "    5 MDSs: %v (%.0f%% reduction; paper ~57%%)\n",
+		r.JCT5.Round(time.Millisecond), 100*r.JCTReduction)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"io"
+
+	"origami/internal/stats"
+)
+
+// Fig6Result is §5.3's balance analysis: the imbalance factor of each
+// strategy over four metrics — QPS, RPCs, Inodes, and BusyTime — averaged
+// over the measured epochs (post-warmup). Paper shape: F-Hash most even on
+// QPS/RPC/Inodes; ML-Tree worst on BusyTime; Origami lowest BusyTime
+// imbalance (~48% below F-Hash).
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6Row is one strategy's imbalance factors.
+type Fig6Row struct {
+	Name                       string
+	QPS, RPC, Inodes, BusyTime float64
+}
+
+// Fig6 runs the balance analysis on Trace-RW.
+func Fig6(scale Scale) (*Fig6Result, error) {
+	out := &Fig6Result{}
+	for _, mk := range strategies(false)[1:] { // Single has trivially 0 balance
+		res, err := runStrategy(scale, "rw", mk, false)
+		if err != nil {
+			return nil, err
+		}
+		// Average the imbalance factors over the second half of the
+		// epochs (steady state, post-rebalancing).
+		var q, r2, ino, busy stats.Online
+		half := len(res.Epochs) / 2
+		for _, em := range res.Epochs[half:] {
+			q.Add(em.ImbalanceQPS)
+			r2.Add(em.ImbalanceRPC)
+			ino.Add(em.ImbalanceInodes)
+			busy.Add(em.ImbalanceBusy)
+		}
+		out.Rows = append(out.Rows, Fig6Row{
+			Name:     res.Strategy,
+			QPS:      q.Mean(),
+			RPC:      r2.Mean(),
+			Inodes:   ino.Mean(),
+			BusyTime: busy.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig6Result) Render(w io.Writer) {
+	fprintf(w, "Figure 6 — Imbalance factors (lower = more balanced), Trace-RW steady state\n")
+	fprintf(w, "%-9s %8s %8s %8s %9s\n", "strategy", "QPS", "RPCs", "Inodes", "BusyTime")
+	for _, row := range r.Rows {
+		fprintf(w, "%-9s %8.3f %8.3f %8.3f %9.3f\n",
+			row.Name, row.QPS, row.RPC, row.Inodes, row.BusyTime)
+	}
+	fprintf(w, "paper: F-Hash most even on QPS/RPC/Inodes; Origami lowest BusyTime IF\n")
+}

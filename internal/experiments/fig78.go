@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"io"
+
+	"origami/internal/stats"
+)
+
+// Fig7Result is §5.5's efficiency comparison: per-epoch mean MDS busy
+// fraction, normalised to the single-MDS setup's busy fraction, over the
+// first part of the run. Paper shape: hash methods run at visibly lower
+// efficiency from the start (forward handling waste); ML-Tree pays heavy
+// rebalancing overhead; Origami migrates progressively with minimal
+// efficiency loss.
+type Fig7Result struct {
+	// Series maps strategy -> per-epoch efficiency values.
+	Series []Fig7Series
+}
+
+// Fig7Series is one strategy's efficiency time series.
+type Fig7Series struct {
+	Name   string
+	Epochs []float64 // efficiency per epoch (1.0 = single-MDS level)
+	Mean   float64
+}
+
+// Fig7 runs the efficiency time-series experiment on Trace-RW.
+//
+// Efficiency of an MDS = the fraction of its busy time that a single-MDS
+// serving the same ops would have needed: useful work / actual work.
+// It is measured as (single-MDS service per op) / (cluster service per op).
+func Fig7(scale Scale) (*Fig7Result, error) {
+	single, err := runStrategy(scale, "rw", strategies(false)[0], false)
+	if err != nil {
+		return nil, err
+	}
+	// Baseline: single-MDS service time per operation.
+	var singlePerOp float64
+	{
+		var totalSvc float64
+		var totalOps float64
+		for _, em := range single.Epochs {
+			for _, s := range em.Service {
+				totalSvc += float64(s)
+			}
+			totalOps += float64(em.Ops)
+		}
+		if totalOps > 0 {
+			singlePerOp = totalSvc / totalOps
+		}
+	}
+	out := &Fig7Result{}
+	for _, mk := range strategies(false)[1:] {
+		res, err := runStrategy(scale, "rw", mk, false)
+		if err != nil {
+			return nil, err
+		}
+		series := Fig7Series{Name: res.Strategy}
+		var m stats.Online
+		for _, em := range res.Epochs {
+			var svc float64
+			for _, s := range em.Service {
+				svc += float64(s)
+			}
+			if em.Ops == 0 || svc == 0 {
+				continue
+			}
+			perOp := svc / float64(em.Ops)
+			eff := singlePerOp / perOp
+			series.Epochs = append(series.Epochs, eff)
+			m.Add(eff)
+		}
+		series.Mean = m.Mean()
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig7Result) Render(w io.Writer) {
+	fprintf(w, "Figure 7 — Efficiency over time (per-op useful work vs single MDS; 1.0 = no waste)\n")
+	for _, s := range r.Series {
+		fprintf(w, "%-9s mean %.2f | ", s.Name, s.Mean)
+		for i, e := range s.Epochs {
+			if i >= 12 {
+				fprintf(w, "…")
+				break
+			}
+			fprintf(w, "%.2f ", e)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "paper: hash methods least efficient; Origami degrades least\n")
+}
+
+// Fig8Result is §5.5's scalability study: normalised aggregate throughput
+// as the cluster grows from 2 to 5 MDSs. Paper shape: baselines plateau;
+// Origami is near-linear (2.7x at 3 MDSs), slowing slightly at 5.
+type Fig8Result struct {
+	MDSCounts []int
+	// Speedups[strategy name] aligned with MDSCounts.
+	Series []Fig8Series
+}
+
+// Fig8Series is one strategy's scaling curve.
+type Fig8Series struct {
+	Name     string
+	Speedups []float64
+}
+
+// Fig8 runs the scalability sweep.
+func Fig8(scale Scale) (*Fig8Result, error) {
+	single, err := runStrategy(scale, "rw", strategies(false)[0], false)
+	if err != nil {
+		return nil, err
+	}
+	base := single.SteadyThroughput
+	out := &Fig8Result{MDSCounts: []int{2, 3, 4, 5}}
+	for _, mk := range strategies(false)[1:] {
+		series := Fig8Series{}
+		for _, n := range out.MDSCounts {
+			runScale := scale
+			runScale.NumMDS = n
+			res, err := runStrategy(runScale, "rw", mk, false)
+			if err != nil {
+				return nil, err
+			}
+			series.Name = res.Strategy
+			series.Speedups = append(series.Speedups, res.SteadyThroughput/base)
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig8Result) Render(w io.Writer) {
+	fprintf(w, "Figure 8 — Scalability: aggregate throughput vs cluster size (normalised to 1 MDS)\n")
+	fprintf(w, "%-9s", "strategy")
+	for _, n := range r.MDSCounts {
+		fprintf(w, " %6d MDS", n)
+	}
+	fprintf(w, "\n")
+	for _, s := range r.Series {
+		fprintf(w, "%-9s", s.Name)
+		for _, v := range s.Speedups {
+			fprintf(w, " %9.2fx", v)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "paper: Origami near-linear (2.7x at 3 MDSs); baselines plateau\n")
+}

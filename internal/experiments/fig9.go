@@ -1,0 +1,99 @@
+package experiments
+
+import "io"
+
+// Fig9Result is §5.6's real-world workload study: aggregate throughput on
+// the three traces, metadata-only (a) and end-to-end with the data path
+// (b). Paper shape: Origami best everywhere — metadata throughput
+// 1.12–2.51x the baselines (worst margin on the dynamic Trace-WI), and
+// end-to-end 1.11–2.02x.
+type Fig9Result struct {
+	Workloads []string
+	// Meta[i] and E2E[i] are the strategy rows for Workloads[i].
+	Meta [][]StrategyRow
+	E2E  [][]StrategyRow
+}
+
+// Fig9 runs every strategy on every workload, with and without the data
+// path.
+func Fig9(scale Scale) (*Fig9Result, error) {
+	out := &Fig9Result{Workloads: []string{"rw", "ro", "wi"}}
+	for _, wl := range out.Workloads {
+		meta, err := runAll(scale, wl, false, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Meta = append(out.Meta, meta)
+		e2e, err := runAll(scale, wl, false, true)
+		if err != nil {
+			return nil, err
+		}
+		out.E2E = append(out.E2E, e2e)
+	}
+	return out, nil
+}
+
+// BestBaselineMargin returns Origami's throughput over the best
+// non-Origami strategy for one row set.
+func BestBaselineMargin(rows []StrategyRow) float64 {
+	var origami, best float64
+	for _, r := range rows {
+		switch r.Name {
+		case "Origami":
+			origami = r.Result.SteadyThroughput
+		case "Single":
+			// excluded: the baselines are the multi-MDS strategies
+		default:
+			if r.Result.SteadyThroughput > best {
+				best = r.Result.SteadyThroughput
+			}
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return origami / best
+}
+
+// Render writes the figure as text.
+func (r *Fig9Result) Render(w io.Writer) {
+	names := map[string]string{"rw": "Trace-RW", "ro": "Trace-RO", "wi": "Trace-WI"}
+	fprintf(w, "Figure 9a — Metadata throughput on three real-world workloads\n")
+	fprintf(w, "%-9s", "strategy")
+	for _, wl := range r.Workloads {
+		fprintf(w, " %12s", names[wl])
+	}
+	fprintf(w, "\n")
+	r.renderBlock(w, r.Meta)
+	fprintf(w, "Origami vs best baseline:")
+	for i := range r.Workloads {
+		fprintf(w, " %.2fx", BestBaselineMargin(r.Meta[i]))
+	}
+	fprintf(w, "  (paper: 1.73x / 1.54x / 1.12x)\n\n")
+
+	fprintf(w, "Figure 9b — End-to-end throughput with the data path enabled\n")
+	fprintf(w, "%-9s", "strategy")
+	for _, wl := range r.Workloads {
+		fprintf(w, " %12s", names[wl])
+	}
+	fprintf(w, "\n")
+	r.renderBlock(w, r.E2E)
+	fprintf(w, "Origami vs best baseline:")
+	for i := range r.Workloads {
+		fprintf(w, " %.2fx", BestBaselineMargin(r.E2E[i]))
+	}
+	fprintf(w, "  (paper: 1.11x to 1.37x)\n")
+}
+
+func (r *Fig9Result) renderBlock(w io.Writer, blocks [][]StrategyRow) {
+	if len(blocks) == 0 {
+		return
+	}
+	for si := range blocks[0] {
+		fprintf(w, "%-9s", blocks[0][si].Name)
+		for wi := range r.Workloads {
+			fprintf(w, " %11.0f/s", blocks[wi][si].Result.SteadyThroughput)
+		}
+		fprintf(w, "\n")
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"origami/internal/features"
+	"origami/internal/pipeline"
+)
+
+// Table1Result is §4.3's training outcome: the Table-1 Gini importance
+// ranks of the seven features under the LightGBM benefit model, plus the
+// three-model comparison (the paper's finding: all three families rank
+// the high-benefit subtrees alike, so the cheapest — LightGBM — wins).
+type Table1Result struct {
+	Report      *pipeline.TrainReport
+	DatasetSize int
+	// RankAgreement is the Spearman correlation between model
+	// predictions on the held-out set (LightGBM vs others).
+	PaperRanks [features.NumFeatures]int
+}
+
+// paperGiniRanks reproduces Table 1's published ranks, feature-aligned
+// with features.Names.
+var paperGiniRanks = [features.NumFeatures]int{
+	features.FeatDepth:    7,
+	features.FeatSubFiles: 1,
+	features.FeatSubDirs:  4,
+	features.FeatReads:    6,
+	features.FeatWrites:   2,
+	features.FeatRWRatio:  6,
+	features.FeatDirFile:  2,
+}
+
+// Table1 generates labels on Trace-RW, trains all three model families,
+// and reports the importance ranking.
+func Table1(scale Scale, compareAll bool) (*Table1Result, error) {
+	tr, err := scale.traceFor("rw")
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{Sim: scale.simConfig()}
+	ds, err := pipeline.GenerateDataset(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := pipeline.Train(ds, compareAll)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Report: rep, DatasetSize: ds.Len(), PaperRanks: paperGiniRanks}, nil
+}
+
+// Render writes the table as text.
+func (r *Table1Result) Render(w io.Writer) {
+	fprintf(w, "Table 1 — Training features and Gini importance rank (LightGBM benefit model)\n")
+	fprintf(w, "dataset: %d examples\n", r.DatasetSize)
+	fprintf(w, "%-18s %10s %12s %11s\n", "feature", "our rank", "importance", "paper rank")
+	for f := 0; f < features.NumFeatures; f++ {
+		fprintf(w, "%-18s %10d %11.1f%% %11d\n",
+			features.Names[f], r.Report.ImportanceRank[f], 100*r.Report.Importance[f], r.PaperRanks[f])
+	}
+	fprintf(w, "\nmodel comparison (held-out):\n")
+	fprintf(w, "%-10s %10s %8s %9s %10s\n", "model", "MSE", "R2", "Spearman", "train")
+	for _, m := range r.Report.Models {
+		fprintf(w, "%-10s %10.2e %8.3f %9.3f %10v\n",
+			m.Name, m.MSE, m.R2, m.Spearman, m.Train.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,131 @@
+// Package features implements the Table-1 feature pipeline: for every
+// directory subtree in an epoch dump it emits the seven training features
+// with the paper's normalisations, and aligns them with Meta-OPT benefit
+// labels for supervised training (§4.3).
+package features
+
+import (
+	"origami/internal/cluster"
+	"origami/internal/costmodel"
+	"origami/internal/metaopt"
+	"origami/internal/namespace"
+)
+
+// Feature indices into a row, in Table-1 order.
+const (
+	FeatDepth    = iota // namespace structure: depth, by max value
+	FeatSubFiles        // namespace structure: #sub-files, by max value
+	FeatSubDirs         // namespace structure: #sub-dirs, by max value
+	FeatReads           // metadata history: #read, by total access last epoch
+	FeatWrites          // metadata history: #write, by total access last epoch
+	FeatRWRatio         // derived: read-write ratio, raw
+	FeatDirFile         // derived: dir-file ratio, raw
+	NumFeatures
+)
+
+// Names lists the feature names in index order.
+var Names = [NumFeatures]string{
+	"depth", "#sub-files", "#sub-dirs", "#read", "#write",
+	"read-write ratio", "dir-file ratio",
+}
+
+// Matrix is an extracted feature set: one row per directory, aligned with
+// Inos.
+type Matrix struct {
+	X    [][]float64
+	Inos []namespace.Ino
+}
+
+// Row returns the row index for a directory, or -1.
+func (m *Matrix) Row(ino namespace.Ino) int {
+	for i, v := range m.Inos {
+		if v == ino {
+			return i
+		}
+	}
+	return -1
+}
+
+// Extract computes the feature matrix for every non-root directory in an
+// epoch dump, applying Table 1's normalisations.
+func Extract(es *cluster.EpochStats) *Matrix {
+	var maxDepth, maxFiles, maxDirs float64
+	var totalAccess float64
+	for i := range es.Dirs {
+		d := &es.Dirs[i]
+		if float64(d.Depth) > maxDepth {
+			maxDepth = float64(d.Depth)
+		}
+		if float64(d.SubFiles) > maxFiles {
+			maxFiles = float64(d.SubFiles)
+		}
+		if float64(d.SubDirs) > maxDirs {
+			maxDirs = float64(d.SubDirs)
+		}
+	}
+	totalAccess = float64(es.TotalReads() + es.TotalWrites())
+	norm := func(v, max float64) float64 {
+		if max == 0 {
+			return 0
+		}
+		return v / max
+	}
+	m := &Matrix{}
+	for i := range es.Dirs {
+		d := &es.Dirs[i]
+		if d.Ino == namespace.RootIno {
+			continue
+		}
+		reads := float64(d.SubtreeReads)
+		writes := float64(d.SubtreeWrites)
+		row := make([]float64, NumFeatures)
+		row[FeatDepth] = norm(float64(d.Depth), maxDepth)
+		row[FeatSubFiles] = norm(float64(d.SubFiles), maxFiles)
+		row[FeatSubDirs] = norm(float64(d.SubDirs), maxDirs)
+		row[FeatReads] = norm(reads, totalAccess)
+		row[FeatWrites] = norm(writes, totalAccess)
+		if reads+writes > 0 {
+			row[FeatRWRatio] = reads / (reads + writes)
+		}
+		row[FeatDirFile] = float64(d.SubDirs) / (float64(d.SubFiles) + 1)
+		m.X = append(m.X, row)
+		m.Inos = append(m.Inos, d.Ino)
+	}
+	return m
+}
+
+// LabelsFromBenefits aligns Meta-OPT benefit labels with a feature matrix,
+// normalising each benefit by the epoch's JCT so labels are comparable
+// across epochs. Directories without a computed benefit get label 0.
+func LabelsFromBenefits(m *Matrix, es *cluster.EpochStats, benefits map[namespace.Ino]metaopt.Candidate) []float64 {
+	jct := costmodel.JCT(es.Service)
+	out := make([]float64, len(m.Inos))
+	if jct <= 0 {
+		return out
+	}
+	for i, ino := range m.Inos {
+		if c, ok := benefits[ino]; ok && c.Benefit > 0 {
+			out[i] = float64(c.Benefit) / float64(jct)
+		}
+	}
+	return out
+}
+
+// PopularityLabels returns each directory's own share of the epoch's
+// total accesses (no subtree aggregation) — the target the popularity-
+// predicting ML-Tree baseline trains on. Ranking directories by their own
+// popularity rather than the migration unit's aggregate benefit is
+// precisely the baseline behaviour the paper critiques.
+func PopularityLabels(m *Matrix, es *cluster.EpochStats) []float64 {
+	total := float64(es.TotalReads() + es.TotalWrites())
+	out := make([]float64, len(m.Inos))
+	if total == 0 {
+		return out
+	}
+	for i, ino := range m.Inos {
+		if d := es.Dir(ino); d != nil {
+			out[i] = float64(d.OwnReads+d.OwnWrites) / total
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package kvstore
+
+import "bytes"
+
+// Compaction in fragmented (PebblesDB) mode never merges with the tables
+// already present in the destination level: the merged output of the source
+// run is split at the destination's guard boundaries and simply prepended
+// to each destination run. Only the final level merges in place (and drops
+// tombstones), bounding space. The PlainLeveled option switches to classic
+// leveled behaviour — merge with the destination run and rewrite it — which
+// the ablation benchmark uses to quantify the write-amplification the
+// fragmented design saves.
+//
+// Simplification vs. PebblesDB: a level's guard partition is chosen when
+// the level first receives data and is not re-split afterwards. At
+// metadata-store scale the guard set stabilises after the first few
+// flushes, and this keeps every table wholly inside one run, which keeps
+// reads trivially correct.
+
+func (db *DB) maybeCompactLocked() error {
+	for {
+		progressed := false
+		if len(db.l0) > db.opts.MaxL0Tables {
+			if err := db.compactL0Locked(); err != nil {
+				return err
+			}
+			progressed = true
+		}
+		for li := 0; li < len(db.levels); li++ {
+			lvl := db.levels[li]
+			for _, run := range lvl.allRuns() {
+				if len(run.tables) > db.opts.MaxTablesPerGuard {
+					if err := db.compactRunLocked(li, run); err != nil {
+						return err
+					}
+					progressed = true
+				}
+			}
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// mergeTables merges entries of tables (ordered newest first) with
+// newest-wins semantics via streaming cursors, returning entries in
+// ascending key order. Tombstones are retained unless dropTombstones is
+// set.
+func mergeTables(tables []*sstable, dropTombstones bool) ([]walOp, error) {
+	cursors := make([]cursor, 0, len(tables))
+	for _, t := range tables {
+		c, err := newSSTCursor(t, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		cursors = append(cursors, c)
+	}
+	m, err := newMergeIterator(cursors)
+	if err != nil {
+		return nil, err
+	}
+	var out []walOp
+	for {
+		key, value, tombstone, ok, err := m.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if tombstone && dropTombstones {
+			continue
+		}
+		out = append(out, walOp{key: key, value: value, tombstone: tombstone})
+	}
+}
+
+// ensureGuardsLocked assigns a guard partition to level li (0-based index
+// into db.levels, i.e. L(li+1)) if it has none and is about to receive
+// data.
+func (db *DB) ensureGuardsLocked(li int) {
+	lvl := db.levels[li]
+	if lvl.guardKeys != nil || lvl.populated() {
+		return
+	}
+	keys := db.guards.forLevel(li + 1)
+	lvl.guardKeys = keys
+	lvl.guards = make([]guardRun, len(keys))
+}
+
+func (l *dbLevel) populated() bool {
+	if len(l.sentinel.tables) > 0 {
+		return true
+	}
+	for i := range l.guards {
+		if len(l.guards[i].tables) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeEntriesIntoLevel splits entries (ascending key order, newer than
+// everything already in the level) at the level's guard boundaries and
+// installs one table per non-empty segment at the front of its run. In
+// PlainLeveled mode each affected run is instead fully merged and
+// rewritten.
+func (db *DB) writeEntriesIntoLevel(li int, entries []walOp) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	db.ensureGuardsLocked(li)
+	lvl := db.levels[li]
+	lastLevel := li == len(db.levels)-1
+
+	// Partition entries by guard slot.
+	segments := make(map[int][]walOp)
+	for _, e := range entries {
+		gi := guardIndexFor(lvl.guardKeys, e.key)
+		segments[gi] = append(segments[gi], e)
+	}
+	for gi, seg := range segments {
+		run := &lvl.sentinel
+		if gi >= 0 {
+			run = &lvl.guards[gi]
+		}
+		if db.opts.PlainLeveled || (lastLevel && len(run.tables) > 0) {
+			// Merge the incoming segment with the run's existing tables
+			// and rewrite the run as a single table.
+			merged, err := mergeEntriesWithTables(seg, run.tables, lastLevel)
+			if err != nil {
+				return err
+			}
+			if err := db.replaceRun(run, merged); err != nil {
+				return err
+			}
+			continue
+		}
+		drop := lastLevel && len(run.tables) == 0
+		if drop {
+			seg = dropTombs(seg)
+		}
+		t, err := db.buildTable(seg)
+		if err != nil {
+			return err
+		}
+		if t != nil {
+			run.tables = append([]*sstable{t}, run.tables...)
+			db.stats.BytesCompacted += t.size
+		}
+	}
+	return nil
+}
+
+func dropTombs(es []walOp) []walOp {
+	out := es[:0:0]
+	for _, e := range es {
+		if !e.tombstone {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// mergeEntriesWithTables merges already-sorted entries (newest) over the
+// run's tables (older, newest first among themselves).
+func mergeEntriesWithTables(entries []walOp, tables []*sstable, dropTombstones bool) ([]walOp, error) {
+	older, err := mergeTables(tables, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []walOp
+	i, j := 0, 0
+	for i < len(entries) || j < len(older) {
+		var win walOp
+		switch {
+		case i >= len(entries):
+			win = older[j]
+			j++
+		case j >= len(older):
+			win = entries[i]
+			i++
+		default:
+			c := bytes.Compare(entries[i].key, older[j].key)
+			if c < 0 {
+				win = entries[i]
+				i++
+			} else if c > 0 {
+				win = older[j]
+				j++
+			} else {
+				win = entries[i] // newer wins
+				i++
+				j++
+			}
+		}
+		if win.tombstone && dropTombstones {
+			continue
+		}
+		out = append(out, win)
+	}
+	return out, nil
+}
+
+// buildTable writes entries (ascending) to a fresh table; nil when empty.
+func (db *DB) buildTable(entries []walOp) (*sstable, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	b, err := newTableBuilder(db.newTablePath())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := b.add(e.key, e.value, e.tombstone); err != nil {
+			b.abort()
+			return nil, err
+		}
+	}
+	if b.empty() {
+		b.abort()
+		return nil, nil
+	}
+	return b.finish()
+}
+
+// replaceRun swaps a run's tables for a single table built from entries.
+func (db *DB) replaceRun(run *guardRun, entries []walOp) error {
+	t, err := db.buildTable(entries)
+	if err != nil {
+		return err
+	}
+	db.removeTables(run.tables)
+	if t == nil {
+		run.tables = nil
+	} else {
+		run.tables = []*sstable{t}
+		db.stats.BytesCompacted += t.size
+	}
+	return nil
+}
+
+func (db *DB) removeTables(ts []*sstable) {
+	for _, t := range ts {
+		t.close()
+		_ = removeFile(t.path)
+	}
+}
+
+// compactL0Locked merges every L0 table into L1.
+func (db *DB) compactL0Locked() error {
+	merged, err := mergeTables(db.l0, false)
+	if err != nil {
+		return err
+	}
+	old := db.l0
+	if err := db.writeEntriesIntoLevel(0, merged); err != nil {
+		return err
+	}
+	db.l0 = nil
+	db.removeTables(old)
+	db.stats.Compactions++
+	return nil
+}
+
+// compactRunLocked pushes one over-full run of level li into level li+1,
+// or merges it in place when li is the last level.
+func (db *DB) compactRunLocked(li int, run *guardRun) error {
+	lastLevel := li == len(db.levels)-1
+	merged, err := mergeTables(run.tables, lastLevel)
+	if err != nil {
+		return err
+	}
+	old := run.tables
+	if lastLevel {
+		if err := db.replaceRun(run, merged); err != nil {
+			return err
+		}
+	} else {
+		if err := db.writeEntriesIntoLevel(li+1, merged); err != nil {
+			return err
+		}
+		run.tables = nil
+		db.removeTables(old)
+	}
+	db.stats.Compactions++
+	return nil
+}

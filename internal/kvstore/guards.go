@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+)
+
+// Guards partition the key space of each LSM level, PebblesDB-style. A key
+// is chosen as a guard probabilistically from its hash, so guard placement
+// is deterministic, uniform, and requires no coordination: a key guards
+// level L (and every level below it) when its hash has at least
+// guardBaseBits-L trailing zero bits. Deeper levels therefore have
+// exponentially more guards, mirroring their exponentially larger data.
+const (
+	guardBaseBits = 13
+	guardMinBits  = 5
+)
+
+// guardLevelOf returns the shallowest level (1-based) for which key
+// qualifies as a guard, or 0 if it qualifies for none.
+func guardLevelOf(key []byte) int {
+	h := fnv.New64a()
+	h.Write(key)
+	tz := bits.TrailingZeros64(h.Sum64() | 1<<63)
+	for level := 1; ; level++ {
+		need := guardBaseBits - level
+		if need < guardMinBits {
+			need = guardMinBits
+		}
+		if tz >= need {
+			return level
+		}
+		if need == guardMinBits {
+			return 0
+		}
+	}
+}
+
+// guardKey is one discovered guard and the shallowest level it applies to.
+type guardKey struct {
+	key      []byte
+	minLevel int
+}
+
+// guardSet is the global, sorted collection of discovered guard keys. The
+// guards for level L are the members with minLevel <= L.
+type guardSet struct {
+	keys []guardKey // sorted by key, unique
+}
+
+// observe records a key if it qualifies as a guard; returns true when the
+// set changed.
+func (g *guardSet) observe(key []byte) bool {
+	lvl := guardLevelOf(key)
+	if lvl == 0 {
+		return false
+	}
+	i := sort.Search(len(g.keys), func(i int) bool {
+		return bytes.Compare(g.keys[i].key, key) >= 0
+	})
+	if i < len(g.keys) && bytes.Equal(g.keys[i].key, key) {
+		if lvl < g.keys[i].minLevel {
+			g.keys[i].minLevel = lvl
+			return true
+		}
+		return false
+	}
+	g.keys = append(g.keys, guardKey{})
+	copy(g.keys[i+1:], g.keys[i:])
+	g.keys[i] = guardKey{key: append([]byte(nil), key...), minLevel: lvl}
+	return true
+}
+
+// forLevel returns the sorted guard keys for one level. The implicit
+// sentinel guard covering (-inf, first) is not included; callers treat
+// index -1 as the sentinel.
+func (g *guardSet) forLevel(level int) [][]byte {
+	var out [][]byte
+	for _, gk := range g.keys {
+		if gk.minLevel <= level {
+			out = append(out, gk.key)
+		}
+	}
+	return out
+}
+
+// guardIndexFor returns which guard slot a key falls into given the sorted
+// guard keys of a level: -1 for the sentinel (before the first guard key),
+// otherwise the index of the greatest guard key <= key.
+func guardIndexFor(guards [][]byte, key []byte) int {
+	i := sort.Search(len(guards), func(i int) bool {
+		return bytes.Compare(guards[i], key) > 0
+	})
+	return i - 1
+}

@@ -1,0 +1,173 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Streaming iteration: Scan merges the memtable and every overlapping
+// table through a k-way heap of lazy cursors, so a range scan reads and
+// holds only the entries it visits instead of materialising every
+// source's slice up front. Source order encodes recency — lower index
+// wins on duplicate keys.
+
+// cursor yields entries of one source in ascending key order.
+type cursor interface {
+	// next advances and reports whether an entry is available.
+	next() (key, value []byte, tombstone bool, ok bool, err error)
+}
+
+// memCursor iterates the skiplist from a start node.
+type memCursor struct {
+	node *skipNode
+	hi   []byte
+}
+
+func newMemCursor(s *skiplist, lo, hi []byte) *memCursor {
+	return &memCursor{node: s.findGreaterOrEqual(lo, nil), hi: hi}
+}
+
+func (c *memCursor) next() ([]byte, []byte, bool, bool, error) {
+	if c.node == nil {
+		return nil, nil, false, false, nil
+	}
+	if c.hi != nil && bytes.Compare(c.node.key, c.hi) >= 0 {
+		return nil, nil, false, false, nil
+	}
+	k, v, t := c.node.key, c.node.value, c.node.tombstone
+	c.node = c.node.next[0]
+	return k, v, t, true, nil
+}
+
+// sstCursor streams one table sequentially from the sparse-index seek
+// point, buffering reads (the point-lookup path's ReadAt calls would cost
+// four syscalls per entry here).
+type sstCursor struct {
+	t       *sstable
+	r       *bufio.Reader
+	off     int64
+	lo, hi  []byte
+	started bool
+}
+
+func newSSTCursor(t *sstable, lo, hi []byte) (*sstCursor, error) {
+	c := &sstCursor{t: t, lo: lo, hi: hi}
+	c.off = t.seekOffset(lo)
+	c.r = bufio.NewReaderSize(io.NewSectionReader(t.f, c.off, t.dataEnd-c.off), 32<<10)
+	return c, nil
+}
+
+func (c *sstCursor) next() ([]byte, []byte, bool, bool, error) {
+	for {
+		if c.off >= c.t.dataEnd {
+			return nil, nil, false, false, nil
+		}
+		var hdr [5]byte
+		if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+			return nil, nil, false, false, fmt.Errorf("%w: cursor header: %v", ErrCorruptTable, err)
+		}
+		kind := hdr[0]
+		klen := binary.BigEndian.Uint32(hdr[1:])
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(c.r, key); err != nil {
+			return nil, nil, false, false, fmt.Errorf("%w: cursor key: %v", ErrCorruptTable, err)
+		}
+		var vlenBuf [4]byte
+		if _, err := io.ReadFull(c.r, vlenBuf[:]); err != nil {
+			return nil, nil, false, false, fmt.Errorf("%w: cursor vlen: %v", ErrCorruptTable, err)
+		}
+		vlen := binary.BigEndian.Uint32(vlenBuf[:])
+		value := make([]byte, vlen)
+		if vlen > 0 {
+			if _, err := io.ReadFull(c.r, value); err != nil {
+				return nil, nil, false, false, fmt.Errorf("%w: cursor value: %v", ErrCorruptTable, err)
+			}
+		}
+		c.off += int64(9 + klen + vlen)
+		if c.hi != nil && bytes.Compare(key, c.hi) >= 0 {
+			c.off = c.t.dataEnd // exhausted
+			return nil, nil, false, false, nil
+		}
+		if bytes.Compare(key, c.lo) < 0 {
+			continue // entries before lo under the sparse seek point
+		}
+		return key, value, kind == walKindDelete, true, nil
+	}
+}
+
+// mergeItem is one heap element: a source's current entry.
+type mergeItem struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	src       int // lower = newer
+	cur       cursor
+}
+
+type mergeHeap []*mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].key, h[j].key); c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// mergeIterator drains cursors with newest-wins semantics.
+type mergeIterator struct {
+	h mergeHeap
+}
+
+func newMergeIterator(cursors []cursor) (*mergeIterator, error) {
+	m := &mergeIterator{}
+	for si, c := range cursors {
+		k, v, t, ok, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.h = append(m.h, &mergeItem{key: k, value: v, tombstone: t, src: si, cur: c})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// next returns the winning entry for the smallest key, skipping older
+// duplicates, including tombstones (the caller filters).
+func (m *mergeIterator) next() (key, value []byte, tombstone bool, ok bool, err error) {
+	if m.h.Len() == 0 {
+		return nil, nil, false, false, nil
+	}
+	win := m.h[0]
+	key, value, tombstone = win.key, win.value, win.tombstone
+	// Advance every source currently sitting on this key.
+	for m.h.Len() > 0 && bytes.Equal(m.h[0].key, key) {
+		it := m.h[0]
+		k, v, t, more, err := it.cur.next()
+		if err != nil {
+			return nil, nil, false, false, err
+		}
+		if more {
+			it.key, it.value, it.tombstone = k, v, t
+			heap.Fix(&m.h, 0)
+		} else {
+			heap.Pop(&m.h)
+		}
+	}
+	return key, value, tombstone, true, nil
+}

@@ -1,0 +1,136 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func drain(t *testing.T, m *mergeIterator) []string {
+	t.Helper()
+	var out []string
+	for {
+		k, _, tomb, ok, err := m.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		suffix := ""
+		if tomb {
+			suffix = "!"
+		}
+		out = append(out, string(k)+suffix)
+	}
+}
+
+func TestMemCursorRange(t *testing.T) {
+	s := newSkiplist(1)
+	for i := 0; i < 10; i++ {
+		s.put([]byte(fmt.Sprintf("k%d", i)), []byte("v"), false)
+	}
+	c := newMemCursor(s, []byte("k3"), []byte("k7"))
+	var got []string
+	for {
+		k, _, _, ok, err := c.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, string(k))
+	}
+	if len(got) != 4 || got[0] != "k3" || got[3] != "k6" {
+		t.Errorf("memCursor range = %v", got)
+	}
+}
+
+func TestSSTCursorRangeAndSeek(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(100))
+	c, err := newSSTCursor(tbl, []byte("key00050"), []byte("key00055"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		k, v, _, ok, err := c.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if string(v) == "" {
+			t.Errorf("missing value for %s", k)
+		}
+		got = append(got, string(k))
+	}
+	if len(got) != 5 || got[0] != "key00050" || got[4] != "key00054" {
+		t.Errorf("sstCursor range = %v", got)
+	}
+}
+
+func TestMergeIteratorNewestWins(t *testing.T) {
+	// Two tables with overlapping keys: the first (newer) must win.
+	newer := buildTestTable(t, []walOp{
+		{key: []byte("a"), value: []byte("new-a")},
+		{key: []byte("c"), value: nil, tombstone: true},
+	})
+	older := buildTestTable(t, []walOp{
+		{key: []byte("a"), value: []byte("old-a")},
+		{key: []byte("b"), value: []byte("old-b")},
+		{key: []byte("c"), value: []byte("old-c")},
+	})
+	cn, err := newSSTCursor(newer, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := newSSTCursor(older, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := newMergeIterator([]cursor{cn, co})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	var vals []string
+	for {
+		k, v, tomb, ok, err := m.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		suffix := ""
+		if tomb {
+			suffix = "!"
+		}
+		got = append(got, string(k)+suffix)
+		vals = append(vals, string(v))
+	}
+	want := []string{"a", "b", "c!"}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("merge[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if vals[0] != "new-a" {
+		t.Errorf("duplicate key resolved to %q, want new-a", vals[0])
+	}
+}
+
+func TestMergeIteratorEmptySources(t *testing.T) {
+	m, err := newMergeIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, m); len(got) != 0 {
+		t.Errorf("empty merge yielded %v", got)
+	}
+}

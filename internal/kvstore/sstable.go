@@ -1,0 +1,319 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// An SSTable is an immutable, sorted run of entries:
+//
+//	entries:  [1B kind][4B keyLen][key][4B valLen][value] ...
+//	index:    every indexInterval-th entry's key and file offset
+//	footer:   [8B indexOff][4B indexCount][4B entryCount]
+//	          [4B crc32(index)][8B magic]
+//
+// The sparse index is loaded on open; point reads binary-search it and
+// then scan at most indexInterval entries from the chosen offset.
+
+const (
+	indexInterval = 16
+	footerSize    = 8 + 4 + 4 + 4 + 8
+)
+
+// ErrCorruptTable reports a structurally invalid SSTable file.
+var ErrCorruptTable = errors.New("kvstore: corrupt sstable")
+
+type indexEntry struct {
+	key    []byte
+	offset int64
+}
+
+// tableBuilder writes a new SSTable. Keys must be appended in strictly
+// increasing order.
+type tableBuilder struct {
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	off     int64
+	index   []indexEntry
+	count   int
+	lastKey []byte
+	minKey  []byte
+	maxKey  []byte
+}
+
+func newTableBuilder(path string) (*tableBuilder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: create sstable: %w", err)
+	}
+	return &tableBuilder{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (b *tableBuilder) add(key, value []byte, tombstone bool) error {
+	if b.lastKey != nil && bytes.Compare(key, b.lastKey) <= 0 {
+		return fmt.Errorf("kvstore: out-of-order key %q after %q", key, b.lastKey)
+	}
+	if b.count%indexInterval == 0 {
+		b.index = append(b.index, indexEntry{key: append([]byte(nil), key...), offset: b.off})
+	}
+	kind := walKindPut
+	if tombstone {
+		kind = walKindDelete
+	}
+	rec := appendOpBody(nil, kind, key, value)
+	n, err := b.w.Write(rec)
+	if err != nil {
+		return fmt.Errorf("kvstore: sstable write: %w", err)
+	}
+	b.off += int64(n)
+	b.lastKey = append(b.lastKey[:0], key...)
+	if b.minKey == nil {
+		b.minKey = append([]byte(nil), key...)
+	}
+	b.maxKey = append(b.maxKey[:0:0], key...)
+	b.count++
+	return nil
+}
+
+func (b *tableBuilder) empty() bool { return b.count == 0 }
+
+// finish writes the index and footer and returns an opened reader for the
+// completed table.
+func (b *tableBuilder) finish() (*sstable, error) {
+	indexOff := b.off
+	var idx bytes.Buffer
+	for _, e := range b.index {
+		binary.Write(&idx, binary.BigEndian, uint32(len(e.key)))
+		idx.Write(e.key)
+		binary.Write(&idx, binary.BigEndian, uint64(e.offset))
+	}
+	// The max key terminates the index so readers know the table bound.
+	binary.Write(&idx, binary.BigEndian, uint32(len(b.maxKey)))
+	idx.Write(b.maxKey)
+	if _, err := b.w.Write(idx.Bytes()); err != nil {
+		return nil, fmt.Errorf("kvstore: sstable index write: %w", err)
+	}
+	var footer [footerSize]byte
+	binary.BigEndian.PutUint64(footer[0:], uint64(indexOff))
+	binary.BigEndian.PutUint32(footer[8:], uint32(len(b.index)))
+	binary.BigEndian.PutUint32(footer[12:], uint32(b.count))
+	binary.BigEndian.PutUint32(footer[16:], crc32.ChecksumIEEE(idx.Bytes()))
+	binary.BigEndian.PutUint64(footer[20:], tableMagic)
+	if _, err := b.w.Write(footer[:]); err != nil {
+		return nil, fmt.Errorf("kvstore: sstable footer write: %w", err)
+	}
+	if err := b.w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := b.f.Sync(); err != nil {
+		return nil, err
+	}
+	if err := b.f.Close(); err != nil {
+		return nil, err
+	}
+	return openSSTable(b.path)
+}
+
+// abort removes a partially written table.
+func (b *tableBuilder) abort() {
+	b.f.Close()
+	os.Remove(b.path)
+}
+
+const tableMagic uint64 = 0x0419a3f1f5db7a61
+
+// sstable is an opened, immutable table.
+type sstable struct {
+	path    string
+	f       *os.File
+	index   []indexEntry
+	minKey  []byte
+	maxKey  []byte
+	entries int
+	dataEnd int64 // offset where entry data ends (index begins)
+	size    int64
+}
+
+func openSSTable(path string) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open sstable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: file too small", ErrCorruptTable)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.BigEndian.Uint64(footer[20:]) != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptTable)
+	}
+	indexOff := int64(binary.BigEndian.Uint64(footer[0:]))
+	indexCount := int(binary.BigEndian.Uint32(footer[8:]))
+	entryCount := int(binary.BigEndian.Uint32(footer[12:]))
+	wantCRC := binary.BigEndian.Uint32(footer[16:])
+	idxLen := st.Size() - footerSize - indexOff
+	if idxLen < 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad index offset", ErrCorruptTable)
+	}
+	idxBuf := make([]byte, idxLen)
+	if _, err := f.ReadAt(idxBuf, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(idxBuf) != wantCRC {
+		f.Close()
+		return nil, fmt.Errorf("%w: index checksum mismatch", ErrCorruptTable)
+	}
+	t := &sstable{path: path, f: f, entries: entryCount, dataEnd: indexOff, size: st.Size()}
+	rd := bytes.NewReader(idxBuf)
+	for i := 0; i < indexCount; i++ {
+		var klen uint32
+		if err := binary.Read(rd, binary.BigEndian, &klen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated index", ErrCorruptTable)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(rd, key); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated index key", ErrCorruptTable)
+		}
+		var off uint64
+		if err := binary.Read(rd, binary.BigEndian, &off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated index offset", ErrCorruptTable)
+		}
+		t.index = append(t.index, indexEntry{key: key, offset: int64(off)})
+	}
+	var mlen uint32
+	if err := binary.Read(rd, binary.BigEndian, &mlen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: missing max key", ErrCorruptTable)
+	}
+	t.maxKey = make([]byte, mlen)
+	if _, err := io.ReadFull(rd, t.maxKey); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: truncated max key", ErrCorruptTable)
+	}
+	if len(t.index) > 0 {
+		t.minKey = t.index[0].key
+	}
+	return t, nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }
+
+// overlaps reports whether the table's key range intersects [lo, hi).
+// nil hi means unbounded.
+func (t *sstable) overlaps(lo, hi []byte) bool {
+	if t.entries == 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(t.minKey, hi) >= 0 {
+		return false
+	}
+	return bytes.Compare(t.maxKey, lo) >= 0
+}
+
+// seekOffset returns the data offset at which a scan for target should
+// start: the largest indexed offset whose key is <= target.
+func (t *sstable) seekOffset(target []byte) int64 {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, target) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return t.index[i-1].offset
+}
+
+// readEntry decodes one entry at off, returning the next offset.
+func (t *sstable) readEntry(off int64) (key, value []byte, tombstone bool, next int64, err error) {
+	var hdr [5]byte
+	if _, err = t.f.ReadAt(hdr[:], off); err != nil {
+		return nil, nil, false, 0, fmt.Errorf("%w: entry header: %v", ErrCorruptTable, err)
+	}
+	kind := hdr[0]
+	klen := binary.BigEndian.Uint32(hdr[1:])
+	key = make([]byte, klen)
+	if _, err = t.f.ReadAt(key, off+5); err != nil {
+		return nil, nil, false, 0, fmt.Errorf("%w: entry key: %v", ErrCorruptTable, err)
+	}
+	var vlenBuf [4]byte
+	if _, err = t.f.ReadAt(vlenBuf[:], off+5+int64(klen)); err != nil {
+		return nil, nil, false, 0, fmt.Errorf("%w: entry vlen: %v", ErrCorruptTable, err)
+	}
+	vlen := binary.BigEndian.Uint32(vlenBuf[:])
+	value = make([]byte, vlen)
+	if vlen > 0 {
+		if _, err = t.f.ReadAt(value, off+9+int64(klen)); err != nil {
+			return nil, nil, false, 0, fmt.Errorf("%w: entry value: %v", ErrCorruptTable, err)
+		}
+	}
+	return key, value, kind == walKindDelete, off + 9 + int64(klen) + int64(vlen), nil
+}
+
+// get performs a point lookup.
+func (t *sstable) get(target []byte) (value []byte, found, tombstone bool, err error) {
+	if t.entries == 0 || bytes.Compare(target, t.maxKey) > 0 {
+		return nil, false, false, nil
+	}
+	off := t.seekOffset(target)
+	for off < t.dataEnd {
+		key, val, tomb, next, err := t.readEntry(off)
+		if err != nil {
+			return nil, false, false, err
+		}
+		switch bytes.Compare(key, target) {
+		case 0:
+			return val, true, tomb, nil
+		case 1:
+			return nil, false, false, nil
+		}
+		off = next
+	}
+	return nil, false, false, nil
+}
+
+// scan visits entries with key in [lo, hi) in order, including tombstones,
+// until fn returns false.
+func (t *sstable) scan(lo, hi []byte, fn func(key, value []byte, tombstone bool) bool) error {
+	if t.entries == 0 {
+		return nil
+	}
+	off := t.seekOffset(lo)
+	for off < t.dataEnd {
+		key, val, tomb, next, err := t.readEntry(off)
+		if err != nil {
+			return err
+		}
+		if hi != nil && bytes.Compare(key, hi) >= 0 {
+			return nil
+		}
+		if bytes.Compare(key, lo) >= 0 {
+			if !fn(key, val, tomb) {
+				return nil
+			}
+		}
+		off = next
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildTestTable(t *testing.T, entries []walOp) *sstable {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.sst")
+	b, err := newTableBuilder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := b.add(e.key, e.value, e.tombstone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tbl.close() })
+	return tbl
+}
+
+func seqEntries(n int) []walOp {
+	es := make([]walOp, n)
+	for i := range es {
+		es[i] = walOp{
+			key:   []byte(fmt.Sprintf("key%05d", i)),
+			value: []byte(fmt.Sprintf("value%d", i)),
+		}
+	}
+	return es
+}
+
+func TestSSTableGet(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(1000))
+	for _, i := range []int{0, 1, 15, 16, 17, 500, 998, 999} {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		v, found, tomb, err := tbl.get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || tomb || string(v) != fmt.Sprintf("value%d", i) {
+			t.Errorf("get(%s) = (%q, %v, %v)", k, v, found, tomb)
+		}
+	}
+	for _, k := range []string{"key99999", "aaa", "key00500x"} {
+		_, found, _, err := tbl.get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			t.Errorf("get(%q) found phantom key", k)
+		}
+	}
+}
+
+func TestSSTableTombstones(t *testing.T) {
+	es := seqEntries(10)
+	es[3].tombstone = true
+	es[3].value = nil
+	tbl := buildTestTable(t, es)
+	_, found, tomb, err := tbl.get(es[3].key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || !tomb {
+		t.Errorf("tombstone entry: found=%v tomb=%v", found, tomb)
+	}
+}
+
+func TestSSTableScan(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(100))
+	var got []string
+	err := tbl.scan([]byte("key00010"), []byte("key00015"), func(k, v []byte, tomb bool) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != "key00010" || got[4] != "key00014" {
+		t.Errorf("scan = %v", got)
+	}
+}
+
+func TestSSTableScanAll(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(257)) // crosses index restart points
+	n := 0
+	if err := tbl.scan(nil, nil, func(k, v []byte, tomb bool) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 257 {
+		t.Errorf("full scan visited %d, want 257", n)
+	}
+}
+
+func TestSSTableOutOfOrderAddFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.sst")
+	b, err := newTableBuilder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.abort()
+	if err := b.add([]byte("b"), nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.add([]byte("a"), nil, false); err == nil {
+		t.Error("out-of-order add should fail")
+	}
+	if err := b.add([]byte("b"), nil, false); err == nil {
+		t.Error("duplicate add should fail")
+	}
+}
+
+func TestSSTableOverlaps(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(10)) // key00000..key00009
+	cases := []struct {
+		lo, hi string
+		want   bool
+	}{
+		{"key00000", "key00005", true},
+		{"key00009", "", true},
+		{"key0000a", "", false}, // just above max
+		{"a", "key00000", false},
+		{"a", "key000000", true},
+	}
+	for _, c := range cases {
+		var hi []byte
+		if c.hi != "" {
+			hi = []byte(c.hi)
+		}
+		if got := tbl.overlaps([]byte(c.lo), hi); got != c.want {
+			t.Errorf("overlaps(%q, %q) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSSTableReopenAfterClose(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(50))
+	path := tbl.path
+	tbl.close()
+	re, err := openSSTable(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.close()
+	v, found, _, err := re.get([]byte("key00042"))
+	if err != nil || !found || string(v) != "value42" {
+		t.Errorf("reopened get = (%q, %v, %v)", v, found, err)
+	}
+	if re.entries != 50 {
+		t.Errorf("entries = %d, want 50", re.entries)
+	}
+}
+
+func TestSSTableCorruptionDetected(t *testing.T) {
+	tbl := buildTestTable(t, seqEntries(50))
+	path := tbl.path
+	tbl.close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the index region (after data, before footer).
+	data[len(data)-footerSize-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Error("corrupt index should fail checksum on open")
+	}
+	// Truncated file must also fail cleanly.
+	if err := os.WriteFile(path, data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Error("truncated table should fail to open")
+	}
+}

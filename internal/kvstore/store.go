@@ -1,0 +1,445 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options configures a DB. The zero value is usable; unset fields take the
+// defaults documented on each field.
+type Options struct {
+	// MemtableBytes is the approximate memtable size that triggers a
+	// flush. Default 4 MiB.
+	MemtableBytes int
+	// MaxL0Tables is the number of level-0 tables that triggers an
+	// L0 -> L1 compaction. Default 4.
+	MaxL0Tables int
+	// MaxTablesPerGuard is the per-guard table count that triggers a
+	// fragmented compaction into the next level. Default 4.
+	MaxTablesPerGuard int
+	// MaxLevels is the number of guarded levels below L0. Default 4.
+	MaxLevels int
+	// SyncWAL forces an fsync after every WAL record. Default false
+	// (group durability via OS flush, standard for benchmarks).
+	SyncWAL bool
+	// Seed seeds the memtable skiplist's height generator so runs are
+	// reproducible. Default 1.
+	Seed int64
+	// PlainLeveled switches compaction to classic leveled mode (merge
+	// with overlapping next-level tables, rewriting them) instead of
+	// PebblesDB-style fragmented mode. Used by the ablation benchmark.
+	PlainLeveled bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.MaxL0Tables <= 0 {
+		o.MaxL0Tables = 4
+	}
+	if o.MaxTablesPerGuard <= 0 {
+		o.MaxTablesPerGuard = 4
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// guardRun is the set of tables (newest first) belonging to one guard of
+// one level.
+type guardRun struct {
+	tables []*sstable
+}
+
+// dbLevel is one guarded level. guards[i] covers keys in
+// [guardKeys[i], guardKeys[i+1]); the sentinel covers (-inf, guardKeys[0]).
+type dbLevel struct {
+	guardKeys [][]byte
+	sentinel  guardRun
+	guards    []guardRun
+}
+
+// Stats reports cumulative and point-in-time DB statistics.
+type Stats struct {
+	Puts            int64
+	Deletes         int64
+	Gets            int64
+	Flushes         int64
+	Compactions     int64
+	BytesFlushed    int64
+	BytesCompacted  int64
+	MemtableEntries int
+	TablesPerLevel  []int
+	WALBytes        int64
+}
+
+// DB is a fragmented log-structured merge store. All methods are safe for
+// concurrent use.
+type DB struct {
+	mu          sync.Mutex
+	dir         string
+	opts        Options
+	mem         *skiplist
+	wal         *wal
+	l0          []*sstable // newest first
+	levels      []*dbLevel // levels[0] is L1
+	guards      guardSet
+	nextFileNum uint64
+	stats       Stats
+	closed      bool
+}
+
+// Open opens or creates a DB rooted at dir, replaying any WAL left by a
+// crash.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: mkdir %s: %w", dir, err)
+	}
+	db := &DB{
+		dir:    dir,
+		opts:   opts,
+		mem:    newSkiplist(opts.Seed),
+		levels: make([]*dbLevel, opts.MaxLevels),
+	}
+	for i := range db.levels {
+		db.levels[i] = &dbLevel{}
+	}
+	if err := db.loadManifest(); err != nil {
+		return nil, err
+	}
+	// Replay mutations that were logged but never flushed.
+	if err := replayWAL(db.walPath(), func(op walOp) {
+		db.mem.put(op.key, op.value, op.tombstone)
+	}); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(db.walPath(), opts.SyncWAL)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+func (db *DB) walPath() string { return filepath.Join(db.dir, "wal.log") }
+
+func (db *DB) newTablePath() string {
+	db.nextFileNum++
+	return filepath.Join(db.dir, fmt.Sprintf("%08d.sst", db.nextFileNum))
+}
+
+// Put inserts or replaces the value for key.
+func (db *DB) Put(key, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("kvstore: put on closed DB")
+	}
+	if err := db.wal.logPut(key, value); err != nil {
+		return err
+	}
+	db.stats.Puts++
+	db.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), false)
+	return db.maybeFlushLocked()
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("kvstore: delete on closed DB")
+	}
+	if err := db.wal.logDelete(key); err != nil {
+		return err
+	}
+	db.stats.Deletes++
+	db.mem.put(append([]byte(nil), key...), nil, true)
+	return db.maybeFlushLocked()
+}
+
+// Batch collects mutations to be applied atomically by ApplyBatch.
+type Batch struct {
+	ops         []walOp
+	approxBytes int
+}
+
+// Put adds an insert/replace to the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, walOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.approxBytes += len(key) + len(value) + 16
+}
+
+// Delete adds a deletion to the batch.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, walOp{key: append([]byte(nil), key...), tombstone: true})
+	b.approxBytes += len(key) + 16
+}
+
+// Len returns the number of mutations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// ApplyBatch applies every mutation in b atomically: either all of them
+// survive a crash or none do.
+func (db *DB) ApplyBatch(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("kvstore: batch on closed DB")
+	}
+	if err := db.wal.logBatch(b); err != nil {
+		return err
+	}
+	for _, op := range b.ops {
+		if op.tombstone {
+			db.stats.Deletes++
+		} else {
+			db.stats.Puts++
+		}
+		db.mem.put(op.key, op.value, op.tombstone)
+	}
+	return db.maybeFlushLocked()
+}
+
+// Get returns the value stored for key.
+func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Gets++
+	if v, f, deleted := db.mem.get(key); f {
+		if deleted {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	for _, t := range db.l0 {
+		v, f, tomb, err := t.get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if f {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	for _, lvl := range db.levels {
+		run := lvl.runFor(key)
+		for _, t := range run.tables {
+			v, f, tomb, err := t.get(key)
+			if err != nil {
+				return nil, false, err
+			}
+			if f {
+				if tomb {
+					return nil, false, nil
+				}
+				return v, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+func (l *dbLevel) runFor(key []byte) *guardRun {
+	gi := guardIndexFor(l.guardKeys, key)
+	if gi < 0 {
+		return &l.sentinel
+	}
+	return &l.guards[gi]
+}
+
+// allRuns returns every run in the level, sentinel first.
+func (l *dbLevel) allRuns() []*guardRun {
+	out := make([]*guardRun, 0, len(l.guards)+1)
+	out = append(out, &l.sentinel)
+	for i := range l.guards {
+		out = append(out, &l.guards[i])
+	}
+	return out
+}
+
+// Scan visits all live entries with lo <= key < hi in ascending key order
+// until fn returns false. A nil hi scans to the end of the key space. The
+// scan streams through a k-way merge of lazy cursors: memory use is
+// bounded by the number of sources, not the range size.
+func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Source order encodes recency: memtable, then L0 newest-first, then
+	// the guarded levels top-down.
+	cursors := []cursor{newMemCursor(db.mem, lo, hi)}
+	addTable := func(t *sstable) error {
+		if !t.overlaps(lo, hi) {
+			return nil
+		}
+		c, err := newSSTCursor(t, lo, hi)
+		if err != nil {
+			return err
+		}
+		cursors = append(cursors, c)
+		return nil
+	}
+	for _, t := range db.l0 {
+		if err := addTable(t); err != nil {
+			return err
+		}
+	}
+	for _, lvl := range db.levels {
+		for _, run := range lvl.allRuns() {
+			for _, t := range run.tables {
+				if err := addTable(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	m, err := newMergeIterator(cursors)
+	if err != nil {
+		return err
+	}
+	for {
+		key, value, tombstone, ok, err := m.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if tombstone {
+			continue
+		}
+		if !fn(key, value) {
+			return nil
+		}
+	}
+}
+
+// Flush forces the memtable to an L0 table (no-op when empty) and runs any
+// due compactions.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+func (db *DB) maybeFlushLocked() error {
+	if db.mem.sizeBytes() < db.opts.MemtableBytes {
+		return nil
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.len() == 0 {
+		return nil
+	}
+	b, err := newTableBuilder(db.newTablePath())
+	if err != nil {
+		return err
+	}
+	var werr error
+	db.mem.scan(nil, nil, func(k, v []byte, tomb bool) bool {
+		db.guards.observe(k)
+		if err := b.add(k, v, tomb); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		b.abort()
+		return werr
+	}
+	t, err := b.finish()
+	if err != nil {
+		return err
+	}
+	db.l0 = append([]*sstable{t}, db.l0...)
+	db.stats.Flushes++
+	db.stats.BytesFlushed += t.size
+	db.mem = newSkiplist(db.opts.Seed + db.stats.Flushes)
+	if err := db.resetWALLocked(); err != nil {
+		return err
+	}
+	if err := db.maybeCompactLocked(); err != nil {
+		return err
+	}
+	return db.saveManifest()
+}
+
+func (db *DB) resetWALLocked() error {
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	if err := os.Remove(db.walPath()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	w, err := openWAL(db.walPath(), db.opts.SyncWAL)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	return nil
+}
+
+// Close flushes and releases all resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	for _, t := range db.l0 {
+		t.close()
+	}
+	for _, lvl := range db.levels {
+		for _, run := range lvl.allRuns() {
+			for _, t := range run.tables {
+				t.close()
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of DB statistics.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.stats
+	s.MemtableEntries = db.mem.len()
+	s.WALBytes = db.wal.size
+	s.TablesPerLevel = make([]int, 1+len(db.levels))
+	s.TablesPerLevel[0] = len(db.l0)
+	for i, lvl := range db.levels {
+		n := 0
+		for _, run := range lvl.allRuns() {
+			n += len(run.tables)
+		}
+		s.TablesPerLevel[i+1] = n
+	}
+	return s
+}

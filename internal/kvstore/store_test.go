@@ -1,0 +1,422 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// smallOpts forces frequent flushes and compactions so tests exercise the
+// whole LSM machinery with modest data volumes.
+func smallOpts() Options {
+	return Options{
+		MemtableBytes:     4 << 10,
+		MaxL0Tables:       2,
+		MaxTablesPerGuard: 2,
+		MaxLevels:         3,
+	}
+}
+
+func openTest(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestStorePutGet(t *testing.T) {
+	db := openTest(t, Options{})
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := db.Get([]byte("k"))
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("Get = (%q, %v, %v)", v, found, err)
+	}
+	_, found, err = db.Get([]byte("missing"))
+	if err != nil || found {
+		t.Fatalf("missing Get = (%v, %v)", found, err)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	_, found, _ := db.Get([]byte("k"))
+	if found {
+		t.Error("deleted key still found")
+	}
+	// Deleting absent key is fine.
+	if err := db.Delete([]byte("ghost")); err != nil {
+		t.Errorf("delete absent: %v", err)
+	}
+}
+
+func TestStoreDeleteSurvivesFlush(t *testing.T) {
+	db := openTest(t, smallOpts())
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Delete([]byte("k"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, found, _ := db.Get([]byte("k"))
+	if found {
+		t.Error("tombstone lost across flush: key resurfaced")
+	}
+}
+
+func TestStoreManyKeysThroughCompaction(t *testing.T) {
+	db := openTest(t, smallOpts())
+	const n = 3000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		if err := db.Put(k, []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Flushes == 0 || st.Compactions == 0 {
+		t.Fatalf("expected flushes and compactions, got %+v", st)
+	}
+	for _, i := range []int{0, 1, 999, 1500, n - 1} {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, found, err := db.Get(k)
+		if err != nil || !found || string(v) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("Get(%s) = (%q, %v, %v)", k, v, found, err)
+		}
+	}
+}
+
+func TestStoreOverwriteNewestWins(t *testing.T) {
+	db := openTest(t, smallOpts())
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			k := []byte(fmt.Sprintf("key%03d", i))
+			db.Put(k, []byte(fmt.Sprintf("r%d", round)))
+		}
+		db.Flush()
+	}
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("key%03d", i))
+		v, found, _ := db.Get(k)
+		if !found || string(v) != "r4" {
+			t.Fatalf("Get(%s) = (%q, %v), want r4", k, v, found)
+		}
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	db := openTest(t, smallOpts())
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("key%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("key0500"))
+	var got []string
+	err := db.Scan([]byte("key0498"), []byte("key0503"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"key0498", "key0499", "key0501", "key0502"}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStoreScanEarlyStop(t *testing.T) {
+	db := openTest(t, Options{})
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	n := 0
+	db.Scan(nil, nil, func(k, v []byte) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestStoreBatchAtomicVisible(t *testing.T) {
+	db := openTest(t, Options{})
+	var b Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	if err := db.ApplyBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := db.Get([]byte("a")); found {
+		t.Error("batched delete did not apply")
+	}
+	v, found, _ := db.Get([]byte("b"))
+	if !found || string(v) != "2" {
+		t.Error("batched put did not apply")
+	}
+	if (&Batch{}).Len() != 0 {
+		t.Error("empty batch Len != 0")
+	}
+}
+
+func TestStoreRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("durable"), []byte("yes"))
+	db.Put([]byte("gone"), []byte("1"))
+	db.Delete([]byte("gone"))
+	// Simulate a crash: do NOT flush or close cleanly; reopen from disk.
+	db.wal.w.Flush()
+	db.wal.f.Close()
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	v, found, _ := re.Get([]byte("durable"))
+	if !found || string(v) != "yes" {
+		t.Errorf("recovered Get = (%q, %v)", v, found)
+	}
+	if _, found, _ := re.Get([]byte("gone")); found {
+		t.Error("recovered deleted key")
+	}
+}
+
+func TestStoreRecoveryAfterFlushAndMore(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Flush()
+	db.Put([]byte("post-flush"), []byte("1"))
+	db.wal.w.Flush()
+	db.wal.f.Close() // crash
+	re, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	for _, k := range []string{"k0000", "k0499", "post-flush"} {
+		if _, found, _ := re.Get([]byte(k)); !found {
+			t.Errorf("key %q lost in recovery", k)
+		}
+	}
+}
+
+func TestStoreTornWALTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("good"), []byte("1"))
+	db.wal.w.Flush()
+	db.wal.f.Close()
+	// Append garbage simulating a torn write.
+	f, _ := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write([]byte{9, 9, 9})
+	f.Close()
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with torn WAL: %v", err)
+	}
+	defer re.Close()
+	if _, found, _ := re.Get([]byte("good")); !found {
+		t.Error("record before torn tail lost")
+	}
+}
+
+func TestStoreCloseIsIdempotentAndFinal(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := db.Put([]byte("x"), []byte("y")); err == nil {
+		t.Error("put after close should fail")
+	}
+	if err := db.Delete([]byte("x")); err == nil {
+		t.Error("delete after close should fail")
+	}
+}
+
+func TestStoreReopenAfterCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir, smallOpts())
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	n := 0
+	re.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 1000 {
+		t.Errorf("reopened scan count = %d, want 1000", n)
+	}
+}
+
+func TestStorePlainLeveledMode(t *testing.T) {
+	opts := smallOpts()
+	opts.PlainLeveled = true
+	db := openTest(t, opts)
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key%05d", i%500)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Flush()
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		_, found, err := db.Get(k)
+		if err != nil || !found {
+			t.Fatalf("plain-leveled Get(%s): found=%v err=%v", k, found, err)
+		}
+	}
+}
+
+// TestStoreRandomizedAgainstMap drives a random op mix through flushes and
+// compactions and verifies the DB always agrees with a model map.
+func TestStoreRandomizedAgainstMap(t *testing.T) {
+	db := openTest(t, smallOpts())
+	model := map[string]string{}
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 8000; i++ {
+		k := fmt.Sprintf("key%03d", rnd.Intn(400))
+		switch rnd.Intn(10) {
+		case 0:
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case 1:
+			if rnd.Intn(20) == 0 {
+				if err := db.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			v := fmt.Sprintf("v%d", i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		v, found, err := db.Get([]byte(k))
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("Get(%q) = (%q,%v,%v), want %q", k, v, found, err, want)
+		}
+	}
+	// Scan agrees with the model.
+	got := map[string]string{}
+	var prev []byte
+	db.Scan(nil, nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order")
+		}
+		prev = append(prev[:0:0], k...)
+		got[string(k)] = string(v)
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("scan size %d != model %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Errorf("scan[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("a"), []byte("1"))
+	db.Delete([]byte("a"))
+	db.Get([]byte("a"))
+	st := db.Stats()
+	if st.Puts != 1 || st.Deletes != 1 || st.Gets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MemtableEntries != 1 {
+		t.Errorf("memtable entries = %d", st.MemtableEntries)
+	}
+	if len(st.TablesPerLevel) == 0 {
+		t.Error("TablesPerLevel empty")
+	}
+}
+
+func TestGuardLevelDeterminism(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key%d", i))
+		if guardLevelOf(k) != guardLevelOf(k) {
+			t.Fatal("guardLevelOf not deterministic")
+		}
+	}
+}
+
+func TestGuardSetOrderedUnique(t *testing.T) {
+	var gs guardSet
+	for i := 0; i < 20000; i++ {
+		gs.observe([]byte(fmt.Sprintf("key%06d", i)))
+	}
+	keys := gs.forLevel(4)
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatal("guard keys not strictly sorted")
+		}
+	}
+	// Deeper levels must have at least as many guards.
+	if len(gs.forLevel(1)) > len(gs.forLevel(2)) || len(gs.forLevel(2)) > len(gs.forLevel(3)) {
+		t.Errorf("guard counts not monotone: L1=%d L2=%d L3=%d",
+			len(gs.forLevel(1)), len(gs.forLevel(2)), len(gs.forLevel(3)))
+	}
+}
+
+func TestGuardIndexFor(t *testing.T) {
+	guards := [][]byte{[]byte("g"), []byte("m"), []byte("t")}
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"a", -1}, {"g", 0}, {"h", 0}, {"m", 1}, {"s", 1}, {"t", 2}, {"z", 2},
+	}
+	for _, c := range cases {
+		if got := guardIndexFor(guards, []byte(c.key)); got != c.want {
+			t.Errorf("guardIndexFor(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package mds
+
+import (
+	"strings"
+	"testing"
+
+	"origami/internal/kvstore"
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// twoServices starts a source and destination service on loopback TCP
+// with a working peer resolver.
+func twoServices(t *testing.T) (src, dst *Service) {
+	t.Helper()
+	stores := make([]*Store, 2)
+	services := make([]*Service, 2)
+	addrs := make([]string, 2)
+	conns := make([]*rpc.Client, 2)
+	peers := func(id int) (*rpc.Client, error) {
+		if conns[id] == nil {
+			c, err := rpc.Dial(addrs[id])
+			if err != nil {
+				return nil, err
+			}
+			conns[id] = c
+		}
+		return conns[id], nil
+	}
+	for i := 0; i < 2; i++ {
+		store, err := OpenStore(t.TempDir(), i, kvstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = store
+		services[i] = NewService(i, store, peers)
+		addr, err := services[i].Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	t.Cleanup(func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, s := range services {
+			s.Close()
+		}
+	})
+	return services[0], services[1]
+}
+
+func TestMigrateHandlerMovesSubtree(t *testing.T) {
+	src, dst := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	sub := mustCreate(t, src, d.Ino, "sub", namespace.TypeDir)
+	mustCreate(t, src, d.Ino, "f1", namespace.TypeFile)
+	mustCreate(t, src, sub.Ino, "f2", namespace.TypeFile)
+
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	out, err := src.handleMigrate(w.Bytes())
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	moved := rpc.NewReader(out).U32()
+	if moved != 4 { // proj, sub, f1, f2
+		t.Errorf("moved = %d inodes, want 4", moved)
+	}
+	// Destination holds the data.
+	for _, check := range []struct {
+		parent namespace.Ino
+		name   string
+	}{{namespace.RootIno, "proj"}, {d.Ino, "sub"}, {d.Ino, "f1"}, {sub.Ino, "f2"}} {
+		in, found, err := dst.store.Lookup(check.parent, check.name)
+		if err != nil || !found {
+			t.Errorf("dst missing (%d, %s): found=%v err=%v", check.parent, check.name, found, err)
+			continue
+		}
+		if in.Type == namespace.TypeFake {
+			t.Errorf("dst holds a fake for %s", check.name)
+		}
+	}
+	// Source holds only the fake boundary dirent.
+	in, found, err := src.store.Lookup(namespace.RootIno, "proj")
+	if err != nil || !found {
+		t.Fatalf("src boundary dirent gone: found=%v err=%v", found, err)
+	}
+	if in.Type != namespace.TypeFake || in.Size != 1 {
+		t.Errorf("src boundary = %+v, want fake with dest 1", in)
+	}
+	if _, found, _ := src.store.Lookup(d.Ino, "f1"); found {
+		t.Error("src still holds migrated child")
+	}
+}
+
+func TestMigrateHandlerMissingSubtree(t *testing.T) {
+	src, _ := twoServices(t)
+	var w rpc.Wire
+	w.U64(99999).U32(1)
+	if _, err := src.handleMigrate(w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNoEnt) {
+		t.Errorf("migrate of missing subtree err = %v, want ENOENT", err)
+	}
+}
+
+func TestMigrateHandlerNoPeers(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	s := NewService(0, store, nil)
+	d := mustCreate(t, s, namespace.RootIno, "d", namespace.TypeDir)
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	if _, err := s.handleMigrate(w.Bytes()); err == nil {
+		t.Error("migrate without peer resolver succeeded")
+	}
+}
+
+func TestPinMapPersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 0, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewService(0, store, nil)
+	if _, err := s.handleSetMap(EncodeMap(5, []PinEntry{{Ino: 9, MDS: 2}})); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	// Reopen: the map must be served again.
+	store2, err := OpenStore(dir, 0, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store2.Close() })
+	s2 := NewService(0, store2, nil)
+	body, err := s2.handleGetMap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, pins, err := DecodeMap(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 || len(pins) != 1 || pins[0].Ino != 9 || pins[0].MDS != 2 {
+		t.Errorf("recovered map = v%d %v", v, pins)
+	}
+}

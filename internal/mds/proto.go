@@ -1,0 +1,207 @@
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// RPC method numbers of the OrigamiFS metadata protocol.
+const (
+	MethodPing rpc.Method = iota + 1
+	MethodLookup
+	MethodGetattr
+	MethodCreate
+	MethodRemove
+	MethodRename
+	MethodReaddir
+	MethodSetattr
+	MethodStats
+	MethodDump
+	MethodIngest
+	MethodMigrate
+	MethodGetMap
+	MethodSetMap
+	MethodInsert
+	// MethodLookupPath resolves a run of path components server-side in
+	// one RPC, stopping at the first missing entry, fake-inode redirect,
+	// or shard boundary — the batching the Eq.-2 cost model assumes
+	// (one RPC per same-owner run of components).
+	MethodLookupPath
+)
+
+// Error codes carried in RemoteError messages as "Exxx: detail". The
+// NotOwner code is the networked analogue of a fake-inode redirect: the
+// client refreshes its partition view and retries.
+const (
+	CodeNoEnt    = "ENOENT"
+	CodeExist    = "EEXIST"
+	CodeNotEmpty = "ENOTEMPTY"
+	CodeNotDir   = "ENOTDIR"
+	CodeIsDir    = "EISDIR"
+	CodeNotOwner = "ENOTOWNER"
+	CodeInvalid  = "EINVAL"
+)
+
+// CodedError formats a protocol error.
+func CodedError(code, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", code, fmt.Sprintf(format, args...))
+}
+
+// ErrCode extracts the protocol code from an error returned by an RPC
+// call, or "" if it is not a coded remote error.
+func ErrCode(err error) string {
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		return ""
+	}
+	if i := strings.Index(re.Msg, ":"); i > 0 {
+		return re.Msg[:i]
+	}
+	return ""
+}
+
+// IsNotOwner reports whether the error is a not-owner redirect.
+func IsNotOwner(err error) bool { return ErrCode(err) == CodeNotOwner }
+
+// IsNotFound reports whether the error is a missing-entry failure.
+func IsNotFound(err error) bool { return ErrCode(err) == CodeNoEnt }
+
+// encodeInodeResp writes one inode as a response body.
+func encodeInodeResp(in *namespace.Inode) []byte {
+	var w rpc.Wire
+	w.Blob(namespace.EncodeInode(in))
+	return w.Bytes()
+}
+
+// DecodeInodeResp parses a single-inode response.
+func DecodeInodeResp(body []byte) (*namespace.Inode, error) {
+	r := rpc.NewReader(body)
+	blob := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return namespace.DecodeInode(blob)
+}
+
+// encodeInodesResp writes a list of inodes as a response body.
+func encodeInodesResp(ins []*namespace.Inode) []byte {
+	var w rpc.Wire
+	w.U32(uint32(len(ins)))
+	for _, in := range ins {
+		w.Blob(namespace.EncodeInode(in))
+	}
+	return w.Bytes()
+}
+
+// DecodeInodesResp parses a multi-inode response.
+func DecodeInodesResp(body []byte) ([]*namespace.Inode, error) {
+	r := rpc.NewReader(body)
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*namespace.Inode, 0, n)
+	for i := 0; i < n; i++ {
+		blob := r.Blob()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		in, err := namespace.DecodeInode(blob)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// PinEntry is one partition-map assignment on the wire.
+type PinEntry struct {
+	Ino namespace.Ino
+	MDS int
+}
+
+// EncodeMap serialises a partition map version and its pins.
+func EncodeMap(version uint64, pins []PinEntry) []byte {
+	var w rpc.Wire
+	w.U64(version)
+	w.U32(uint32(len(pins)))
+	for _, p := range pins {
+		w.U64(uint64(p.Ino))
+		w.U32(uint32(p.MDS))
+	}
+	return w.Bytes()
+}
+
+// DecodeMap parses EncodeMap output.
+func DecodeMap(body []byte) (version uint64, pins []PinEntry, err error) {
+	r := rpc.NewReader(body)
+	version = r.U64()
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		ino := namespace.Ino(r.U64())
+		mds := int(r.U32())
+		pins = append(pins, PinEntry{Ino: ino, MDS: mds})
+	}
+	return version, pins, r.Err()
+}
+
+// DumpRow is one directory's Data Collector record in a networked dump.
+type DumpRow struct {
+	Ino        namespace.Ino
+	Parent     namespace.Ino
+	Reads      int64
+	Writes     int64
+	Lookups    int64 // path resolutions through this directory
+	ServiceNS  int64
+	ChildFiles int32
+	ChildDirs  int32
+}
+
+// StatsSnapshot is the per-MDS tally block of a dump.
+type StatsSnapshot struct {
+	Ops       int64
+	RPCs      int64
+	ServiceNS int64
+	Inodes    int64
+}
+
+// EncodeDump serialises a collector dump.
+func EncodeDump(st StatsSnapshot, rows []DumpRow) []byte {
+	var w rpc.Wire
+	w.I64(st.Ops).I64(st.RPCs).I64(st.ServiceNS).I64(st.Inodes)
+	w.U32(uint32(len(rows)))
+	for _, row := range rows {
+		w.U64(uint64(row.Ino)).U64(uint64(row.Parent))
+		w.I64(row.Reads).I64(row.Writes).I64(row.Lookups).I64(row.ServiceNS)
+		w.U32(uint32(row.ChildFiles)).U32(uint32(row.ChildDirs))
+	}
+	return w.Bytes()
+}
+
+// DecodeDump parses EncodeDump output.
+func DecodeDump(body []byte) (StatsSnapshot, []DumpRow, error) {
+	r := rpc.NewReader(body)
+	st := StatsSnapshot{
+		Ops: r.I64(), RPCs: r.I64(), ServiceNS: r.I64(), Inodes: r.I64(),
+	}
+	n := int(r.U32())
+	rows := make([]DumpRow, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, DumpRow{
+			Ino:        namespace.Ino(r.U64()),
+			Parent:     namespace.Ino(r.U64()),
+			Reads:      r.I64(),
+			Writes:     r.I64(),
+			Lookups:    r.I64(),
+			ServiceNS:  r.I64(),
+			ChildFiles: int32(r.U32()),
+			ChildDirs:  int32(r.U32()),
+		})
+	}
+	return st, rows, r.Err()
+}

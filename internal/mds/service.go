@@ -1,0 +1,624 @@
+package mds
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// Service is one running metadata server: the shard store, the Data
+// Collector counters, the local copy of the partition map, and the RPC
+// handlers.
+type Service struct {
+	ID    int
+	store *Store
+	srv   *rpc.Server
+
+	// opMu freezes metadata operations during a migration: normal ops
+	// hold it shared, a migration holds it exclusively while it
+	// collects, ships, and swaps the subtree for a fake-inode (§4.1's
+	// freeze-copy-switch). Without the freeze, a create landing between
+	// collect and delete would be orphaned on the source.
+	opMu sync.RWMutex
+
+	mu         sync.Mutex
+	mapVersion uint64
+	pins       map[namespace.Ino]int
+	dirAcc     map[namespace.Ino]*dirCounters
+	ops        int64
+	rpcs       int64
+	serviceNS  int64
+	now        func() int64
+	peers      func(id int) (*rpc.Client, error) // for migration pushes
+}
+
+type dirCounters struct {
+	reads, writes, lookups, serviceNS int64
+}
+
+// NewService assembles a service around an open store. peers resolves
+// other MDS ids to RPC clients (used by the migration source); it may be
+// nil on clusters that never migrate.
+func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Service {
+	s := &Service{
+		ID:     id,
+		store:  store,
+		pins:   make(map[namespace.Ino]int),
+		dirAcc: make(map[namespace.Ino]*dirCounters),
+		now:    func() int64 { return time.Now().UnixNano() },
+		peers:  peers,
+	}
+	if id == 0 {
+		// MDS 0 owns the root in the initial state (§4.2).
+		if has := store.HasIno(namespace.RootIno); !has {
+			root := &namespace.Inode{
+				Ino: namespace.RootIno, Parent: namespace.RootIno, Name: "",
+				Type: namespace.TypeDir, Mode: 0o755, Nlink: 2,
+			}
+			_ = store.Put(root)
+		}
+	}
+	// Recover the partition map persisted by the last SetMap push, so the
+	// map authority survives restarts.
+	if data, err := store.LoadPinMap(); err == nil && data != nil {
+		if version, pins, derr := DecodeMap(data); derr == nil {
+			s.mapVersion = version
+			for _, p := range pins {
+				s.pins[p.Ino] = p.MDS
+			}
+		}
+	}
+	return s
+}
+
+// Serve registers handlers and starts listening; it returns the bound
+// address.
+func (s *Service) Serve(addr string) (string, error) {
+	srv := rpc.NewServer()
+	srv.Handle(MethodPing, s.handlePing)
+	srv.Handle(MethodLookup, s.timed(s.handleLookup))
+	srv.Handle(MethodGetattr, s.timed(s.handleGetattr))
+	srv.Handle(MethodCreate, s.timed(s.handleCreate))
+	srv.Handle(MethodRemove, s.timed(s.handleRemove))
+	srv.Handle(MethodRename, s.timed(s.handleRename))
+	srv.Handle(MethodReaddir, s.timed(s.handleReaddir))
+	srv.Handle(MethodSetattr, s.timed(s.handleSetattr))
+	srv.Handle(MethodStats, s.handleStats)
+	srv.Handle(MethodDump, s.handleDump)
+	srv.Handle(MethodIngest, s.handleIngest)
+	srv.Handle(MethodMigrate, s.handleMigrate)
+	srv.Handle(MethodGetMap, s.handleGetMap)
+	srv.Handle(MethodSetMap, s.handleSetMap)
+	srv.Handle(MethodInsert, s.handleInsert)
+	srv.Handle(MethodLookupPath, s.timed(s.handleLookupPath))
+	s.srv = srv
+	return srv.Listen(addr)
+}
+
+// Close stops the RPC server and the store.
+func (s *Service) Close() error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+	}
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// timed wraps a handler with the migration freeze (shared side) and
+// busy-time and RPC accounting.
+func (s *Service) timed(h rpc.Handler) rpc.Handler {
+	return func(body []byte) ([]byte, error) {
+		s.opMu.RLock()
+		start := time.Now()
+		out, err := h(body)
+		el := time.Since(start).Nanoseconds()
+		s.opMu.RUnlock()
+		s.mu.Lock()
+		s.rpcs++
+		s.serviceNS += el
+		s.mu.Unlock()
+		return out, err
+	}
+}
+
+func (s *Service) dirAccum(ino namespace.Ino) *dirCounters {
+	c, ok := s.dirAcc[ino]
+	if !ok {
+		c = &dirCounters{}
+		s.dirAcc[ino] = c
+	}
+	return c
+}
+
+func (s *Service) recordRead(dir namespace.Ino, ns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	c := s.dirAccum(dir)
+	c.reads++
+	c.serviceNS += ns
+}
+
+func (s *Service) recordWrite(dir namespace.Ino, ns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	c := s.dirAccum(dir)
+	c.writes++
+	c.serviceNS += ns
+}
+
+func (s *Service) recordLookup(dir namespace.Ino) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirAccum(dir).lookups++
+}
+
+// localDir fetches a directory this shard authoritatively serves. A
+// missing inode or a fake-inode left by a migration yields a not-owner
+// redirect so the client refreshes its partition map.
+func (s *Service) localDir(ino namespace.Ino) (*namespace.Inode, error) {
+	in, found, err := s.store.Getattr(ino)
+	if err != nil {
+		return nil, err
+	}
+	if !found || in.Type == namespace.TypeFake {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", ino, s.ID)
+	}
+	return in, nil
+}
+
+// ownsEntry reports whether this shard should serve entries under parent.
+func (s *Service) ownsEntry(parent namespace.Ino) bool {
+	_, err := s.localDir(parent)
+	return err == nil
+}
+
+func (s *Service) handlePing(body []byte) ([]byte, error) {
+	return []byte("pong"), nil
+}
+
+func (s *Service) handleLookup(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	parent := namespace.Ino(r.U64())
+	name := r.Str()
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if !s.ownsEntry(parent) {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+	}
+	in, found, err := s.store.Lookup(parent, name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, CodedError(CodeNoEnt, "%q not in dir %d", name, parent)
+	}
+	s.recordLookup(parent)
+	return encodeInodeResp(in), nil
+}
+
+// handleLookupPath walks as many of the requested components as this
+// shard holds, returning the resolved chain. The walk stops (without
+// error) at a fake-inode — the client follows the redirect — or at the
+// first component this shard cannot serve; a missing entry under a
+// locally served directory is an ENOENT for that component.
+func (s *Service) handleLookupPath(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	parent := namespace.Ino(r.U64())
+	n := int(r.U32())
+	if err := r.Err(); err != nil || n > 4096 {
+		return nil, CodedError(CodeInvalid, "bad lookup-path request")
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, r.Str())
+	}
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if !s.ownsEntry(parent) {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+	}
+	cur := parent
+	var chain []*namespace.Inode
+	for _, name := range names {
+		in, found, err := s.store.Lookup(cur, name)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			// A locally served directory is authoritative for its
+			// children (migrated subtrees leave fakes), so a missing
+			// entry is a true ENOENT.
+			return nil, CodedError(CodeNoEnt, "%q not in dir %d", name, cur)
+		}
+		s.recordLookup(cur)
+		chain = append(chain, in)
+		if in.Type == namespace.TypeFake || !in.IsDir() {
+			break
+		}
+		cur = in.Ino
+	}
+	if len(chain) == 0 {
+		return nil, CodedError(CodeNoEnt, "%q not in dir %d", names[0], parent)
+	}
+	return encodeInodesResp(chain), nil
+}
+
+func (s *Service) handleGetattr(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	ino := namespace.Ino(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	in, found, err := s.store.Getattr(ino)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, CodedError(CodeNotOwner, "ino %d not on MDS %d", ino, s.ID)
+	}
+	s.recordRead(in.Parent, 0)
+	return encodeInodeResp(in), nil
+}
+
+func (s *Service) handleCreate(body []byte) ([]byte, error) {
+	start := time.Now()
+	r := rpc.NewReader(body)
+	parent := namespace.Ino(r.U64())
+	name := r.Str()
+	typ := namespace.FileType(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if name == "" {
+		return nil, CodedError(CodeInvalid, "empty name")
+	}
+	if !s.ownsEntry(parent) {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+	}
+	pin, found, err := s.store.Getattr(parent)
+	if err != nil {
+		return nil, err
+	}
+	if !found || !pin.IsDir() {
+		return nil, CodedError(CodeNotDir, "ino %d", parent)
+	}
+	if _, exists, err := s.store.Lookup(parent, name); err != nil {
+		return nil, err
+	} else if exists {
+		return nil, CodedError(CodeExist, "%q in dir %d", name, parent)
+	}
+	now := s.now()
+	in := &namespace.Inode{
+		Ino:    s.store.AllocIno(),
+		Parent: parent,
+		Name:   name,
+		Type:   typ,
+		Mode:   0o644,
+		Nlink:  1,
+		Atime:  now, Mtime: now, Ctime: now,
+	}
+	if typ == namespace.TypeDir {
+		in.Mode = 0o755
+		in.Nlink = 2
+	}
+	if err := s.store.Put(in); err != nil {
+		return nil, err
+	}
+	s.recordWrite(parent, time.Since(start).Nanoseconds())
+	return encodeInodeResp(in), nil
+}
+
+func (s *Service) handleRemove(body []byte) ([]byte, error) {
+	start := time.Now()
+	r := rpc.NewReader(body)
+	parent := namespace.Ino(r.U64())
+	name := r.Str()
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if !s.ownsEntry(parent) {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+	}
+	in, found, err := s.store.Lookup(parent, name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, CodedError(CodeNoEnt, "%q in dir %d", name, parent)
+	}
+	if in.IsDir() {
+		children, err := s.store.ReadDir(in.Ino)
+		if err != nil {
+			return nil, err
+		}
+		if len(children) > 0 {
+			return nil, CodedError(CodeNotEmpty, "dir %d has %d entries", in.Ino, len(children))
+		}
+	}
+	if err := s.store.Delete(parent, name); err != nil {
+		return nil, err
+	}
+	s.recordWrite(parent, time.Since(start).Nanoseconds())
+	return nil, nil
+}
+
+func (s *Service) handleRename(body []byte) ([]byte, error) {
+	start := time.Now()
+	r := rpc.NewReader(body)
+	srcParent := namespace.Ino(r.U64())
+	srcName := r.Str()
+	dstParent := namespace.Ino(r.U64())
+	dstName := r.Str()
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if !s.ownsEntry(srcParent) {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", srcParent, s.ID)
+	}
+	if !s.ownsEntry(dstParent) {
+		// Cross-shard rename is orchestrated by the client via
+		// Insert+Remove; the single-shard fast path requires locality.
+		return nil, CodedError(CodeNotOwner, "dst dir %d not on MDS %d", dstParent, s.ID)
+	}
+	in, found, err := s.store.Lookup(srcParent, srcName)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, CodedError(CodeNoEnt, "%q in dir %d", srcName, srcParent)
+	}
+	if existing, exists, err := s.store.Lookup(dstParent, dstName); err != nil {
+		return nil, err
+	} else if exists {
+		if existing.IsDir() {
+			children, _ := s.store.ReadDir(existing.Ino)
+			if len(children) > 0 {
+				return nil, CodedError(CodeNotEmpty, "dir %d", existing.Ino)
+			}
+		}
+		if err := s.store.Delete(dstParent, dstName); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.store.Delete(srcParent, srcName); err != nil {
+		return nil, err
+	}
+	in.Parent = dstParent
+	in.Name = dstName
+	in.Ctime = s.now()
+	if err := s.store.Put(in); err != nil {
+		return nil, err
+	}
+	s.recordWrite(srcParent, time.Since(start).Nanoseconds())
+	return encodeInodeResp(in), nil
+}
+
+func (s *Service) handleReaddir(body []byte) ([]byte, error) {
+	start := time.Now()
+	r := rpc.NewReader(body)
+	ino := namespace.Ino(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if !s.ownsEntry(ino) {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", ino, s.ID)
+	}
+	children, err := s.store.ReadDir(ino)
+	if err != nil {
+		return nil, err
+	}
+	s.recordRead(ino, time.Since(start).Nanoseconds())
+	return encodeInodesResp(children), nil
+}
+
+func (s *Service) handleSetattr(body []byte) ([]byte, error) {
+	start := time.Now()
+	r := rpc.NewReader(body)
+	ino := namespace.Ino(r.U64())
+	size := r.I64()
+	mode := uint16(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	in, found, err := s.store.Getattr(ino)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, CodedError(CodeNotOwner, "ino %d not on MDS %d", ino, s.ID)
+	}
+	in.Size = size
+	in.Mode = mode
+	in.Ctime = s.now()
+	if err := s.store.Put(in); err != nil {
+		return nil, err
+	}
+	s.recordWrite(in.Parent, time.Since(start).Nanoseconds())
+	return encodeInodeResp(in), nil
+}
+
+func (s *Service) handleStats(body []byte) ([]byte, error) {
+	s.mu.Lock()
+	st := StatsSnapshot{
+		Ops:       s.ops,
+		RPCs:      s.rpcs,
+		ServiceNS: s.serviceNS,
+		Inodes:    int64(s.store.Count()),
+	}
+	s.mu.Unlock()
+	return EncodeDump(st, nil), nil
+}
+
+// handleDump emits the epoch's Data Collector rows and resets the epoch
+// counters (the collector's Reset happens at dump time, like the
+// simulator's).
+func (s *Service) handleDump(body []byte) ([]byte, error) {
+	s.mu.Lock()
+	acc := s.dirAcc
+	s.dirAcc = make(map[namespace.Ino]*dirCounters)
+	st := StatsSnapshot{
+		Ops:       s.ops,
+		RPCs:      s.rpcs,
+		ServiceNS: s.serviceNS,
+		Inodes:    int64(s.store.Count()),
+	}
+	s.ops, s.rpcs, s.serviceNS = 0, 0, 0
+	s.mu.Unlock()
+
+	// Every directory on the shard appears in the dump (idle ones with
+	// zero counters) so the coordinator can reconstruct parent chains
+	// and subtree aggregates.
+	dirInos := s.store.DirInos()
+	rows := make([]DumpRow, 0, len(dirInos))
+	for _, ino := range dirInos {
+		in, found, err := s.store.Getattr(ino)
+		if err != nil || !found || !in.IsDir() {
+			continue
+		}
+		c := acc[ino]
+		if c == nil {
+			c = &dirCounters{}
+		}
+		row := DumpRow{
+			Ino:       ino,
+			Parent:    in.Parent,
+			Reads:     c.reads,
+			Writes:    c.writes,
+			Lookups:   c.lookups,
+			ServiceNS: c.serviceNS,
+		}
+		children, err := s.store.ReadDir(ino)
+		if err == nil {
+			for _, ch := range children {
+				if ch.IsDir() {
+					row.ChildDirs++
+				} else {
+					row.ChildFiles++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return EncodeDump(st, rows), nil
+}
+
+func (s *Service) handleIngest(body []byte) ([]byte, error) {
+	ins, err := DecodeInodesResp(body)
+	if err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	for _, in := range ins {
+		if err := s.store.Put(in); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (s *Service) handleInsert(body []byte) ([]byte, error) {
+	in, err := DecodeInodeResp(body)
+	if err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if err := s.store.Put(in); err != nil {
+		return nil, err
+	}
+	s.recordWrite(in.Parent, 0)
+	return nil, nil
+}
+
+// handleMigrate executes a subtree push to another MDS: collect, ship,
+// then delete locally. The coordinator updates the partition map after a
+// successful response.
+func (s *Service) handleMigrate(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	root := namespace.Ino(r.U64())
+	destID := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if s.peers == nil {
+		return nil, errors.New("mds: no peer resolver configured")
+	}
+	// Freeze: no metadata operation may interleave with collect-ship-
+	// swap, or entries created mid-copy would be stranded on the source.
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	inos, err := s.store.CollectSubtree(root)
+	if err != nil {
+		return nil, CodedError(CodeNoEnt, "%v", err)
+	}
+	peer, err := s.peers(destID)
+	if err != nil {
+		return nil, err
+	}
+	// Ship in batches to bound frame sizes.
+	const batch = 512
+	for i := 0; i < len(inos); i += batch {
+		end := i + batch
+		if end > len(inos) {
+			end = len(inos)
+		}
+		if _, err := peer.Call(MethodIngest, encodeInodesResp(inos[i:end])); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.store.RemoveSubtree(inos); err != nil {
+		return nil, err
+	}
+	// Leave a fake-inode behind (§3.1): the boundary dirent stays
+	// resolvable on the source and records the destination MDS in Size,
+	// so clients with stale maps follow the redirect.
+	fake := *inos[0]
+	fake.Type = namespace.TypeFake
+	fake.Size = int64(destID)
+	if err := s.store.Put(&fake); err != nil {
+		return nil, err
+	}
+	var w rpc.Wire
+	w.U32(uint32(len(inos)))
+	return w.Bytes(), nil
+}
+
+func (s *Service) handleGetMap(body []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pins := make([]PinEntry, 0, len(s.pins))
+	for ino, mds := range s.pins {
+		pins = append(pins, PinEntry{Ino: ino, MDS: mds})
+	}
+	return EncodeMap(s.mapVersion, pins), nil
+}
+
+func (s *Service) handleSetMap(body []byte) ([]byte, error) {
+	version, pins, err := DecodeMap(body)
+	if err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	s.mu.Lock()
+	if version <= s.mapVersion && s.mapVersion != 0 {
+		s.mu.Unlock()
+		return nil, nil // stale push
+	}
+	s.mapVersion = version
+	s.pins = make(map[namespace.Ino]int, len(pins))
+	for _, p := range pins {
+		s.pins[p.Ino] = p.MDS
+	}
+	s.mu.Unlock()
+	// Persist so a restarted MDS still serves the latest map.
+	if err := s.store.SavePinMap(body); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}

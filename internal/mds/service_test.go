@@ -1,0 +1,245 @@
+package mds
+
+import (
+	"strings"
+	"testing"
+
+	"origami/internal/kvstore"
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// localService builds a service without a listener: handlers are invoked
+// directly, which keeps protocol-robustness tests fast and deterministic.
+func localService(t *testing.T) *Service {
+	t.Helper()
+	store, err := OpenStore(t.TempDir(), 0, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewService(0, store, nil)
+}
+
+func mustCreate(t *testing.T, s *Service, parent namespace.Ino, name string, typ namespace.FileType) *namespace.Inode {
+	t.Helper()
+	var w rpc.Wire
+	w.U64(uint64(parent)).Str(name).U8(uint8(typ))
+	body, err := s.handleCreate(w.Bytes())
+	if err != nil {
+		t.Fatalf("create %q: %v", name, err)
+	}
+	in, err := DecodeInodeResp(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestHandlersRejectTruncatedBodies(t *testing.T) {
+	s := localService(t)
+	handlers := map[string]rpc.Handler{
+		"lookup":  s.handleLookup,
+		"getattr": s.handleGetattr,
+		"create":  s.handleCreate,
+		"remove":  s.handleRemove,
+		"rename":  s.handleRename,
+		"readdir": s.handleReaddir,
+		"setattr": s.handleSetattr,
+		"migrate": s.handleMigrate,
+		"ingest":  s.handleIngest,
+		"insert":  s.handleInsert,
+		"setmap":  s.handleSetMap,
+	}
+	for name, h := range handlers {
+		for _, body := range [][]byte{nil, {1}, {1, 2, 3}} {
+			if _, err := h(body); err == nil {
+				t.Errorf("%s accepted truncated body %v", name, body)
+			}
+		}
+	}
+}
+
+func TestCreateSemantics(t *testing.T) {
+	s := localService(t)
+	d := mustCreate(t, s, namespace.RootIno, "dir", namespace.TypeDir)
+	mustCreate(t, s, d.Ino, "f", namespace.TypeFile)
+	// Duplicate.
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).Str("f").U8(uint8(namespace.TypeFile))
+	if _, err := s.handleCreate(w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeExist) {
+		t.Errorf("duplicate create err = %v, want EEXIST", err)
+	}
+	// Empty name.
+	var w2 rpc.Wire
+	w2.U64(uint64(d.Ino)).Str("").U8(uint8(namespace.TypeFile))
+	if _, err := s.handleCreate(w2.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeInvalid) {
+		t.Errorf("empty-name create err = %v, want EINVAL", err)
+	}
+	// Under a file.
+	f, _, _ := s.store.Lookup(d.Ino, "f")
+	var w3 rpc.Wire
+	w3.U64(uint64(f.Ino)).Str("x").U8(uint8(namespace.TypeFile))
+	if _, err := s.handleCreate(w3.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotDir) {
+		t.Errorf("create under file err = %v, want ENOTDIR", err)
+	}
+	// Under an unknown dir: not-owner redirect.
+	var w4 rpc.Wire
+	w4.U64(99999).Str("x").U8(uint8(namespace.TypeFile))
+	if _, err := s.handleCreate(w4.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotOwner) {
+		t.Errorf("create under foreign dir err = %v, want ENOTOWNER", err)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	s := localService(t)
+	d := mustCreate(t, s, namespace.RootIno, "dir", namespace.TypeDir)
+	mustCreate(t, s, d.Ino, "f", namespace.TypeFile)
+	// Non-empty dir refuses.
+	var w rpc.Wire
+	w.U64(uint64(namespace.RootIno)).Str("dir")
+	if _, err := s.handleRemove(w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotEmpty) {
+		t.Errorf("rmdir non-empty err = %v, want ENOTEMPTY", err)
+	}
+	// Remove file, then dir.
+	var w2 rpc.Wire
+	w2.U64(uint64(d.Ino)).Str("f")
+	if _, err := s.handleRemove(w2.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.handleRemove(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// Missing entry.
+	if _, err := s.handleRemove(w2.Bytes()); err == nil {
+		t.Error("remove of missing entry succeeded")
+	}
+}
+
+func TestRenameReplaceSemantics(t *testing.T) {
+	s := localService(t)
+	d := mustCreate(t, s, namespace.RootIno, "dir", namespace.TypeDir)
+	mustCreate(t, s, d.Ino, "a", namespace.TypeFile)
+	mustCreate(t, s, d.Ino, "b", namespace.TypeFile)
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).Str("a").U64(uint64(d.Ino)).Str("b")
+	if _, err := s.handleRename(w.Bytes()); err != nil {
+		t.Fatalf("rename over file: %v", err)
+	}
+	if _, found, _ := s.store.Lookup(d.Ino, "a"); found {
+		t.Error("rename source survived")
+	}
+	in, found, _ := s.store.Lookup(d.Ino, "b")
+	if !found || in.Name != "b" {
+		t.Error("rename target wrong")
+	}
+}
+
+func TestDumpResetsCounters(t *testing.T) {
+	s := localService(t)
+	d := mustCreate(t, s, namespace.RootIno, "dir", namespace.TypeDir)
+	var w rpc.Wire
+	w.U64(uint64(d.Ino))
+	if _, err := s.handleReaddir(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	body, err := s.handleDump(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rows, err := DecodeDump(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops == 0 {
+		t.Error("dump shows no ops")
+	}
+	if len(rows) < 2 { // root + dir
+		t.Errorf("dump rows = %d", len(rows))
+	}
+	// Second dump: counters were reset.
+	body, _ = s.handleDump(nil)
+	st, _, _ = DecodeDump(body)
+	if st.Ops != 0 {
+		t.Errorf("counters not reset: %+v", st)
+	}
+}
+
+func TestSetMapVersioning(t *testing.T) {
+	s := localService(t)
+	if _, err := s.handleSetMap(EncodeMap(2, []PinEntry{{Ino: 5, MDS: 1}})); err != nil {
+		t.Fatal(err)
+	}
+	// Stale push ignored.
+	if _, err := s.handleSetMap(EncodeMap(1, []PinEntry{{Ino: 5, MDS: 2}})); err != nil {
+		t.Fatal(err)
+	}
+	body, err := s.handleGetMap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, pins, err := DecodeMap(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || len(pins) != 1 || pins[0].MDS != 1 {
+		t.Errorf("map = v%d %v, stale push applied?", v, pins)
+	}
+}
+
+func TestLookupOnFakeRedirects(t *testing.T) {
+	s := localService(t)
+	d := mustCreate(t, s, namespace.RootIno, "moved", namespace.TypeDir)
+	mustCreate(t, s, d.Ino, "f", namespace.TypeFile)
+	// Simulate a completed migration: replace the subtree with a fake.
+	inos, err := s.store.CollectSubtree(d.Ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.RemoveSubtree(inos); err != nil {
+		t.Fatal(err)
+	}
+	fake := *inos[0]
+	fake.Type = namespace.TypeFake
+	fake.Size = 2 // destination MDS
+	if err := s.store.Put(&fake); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup of the moved dir itself returns the fake (the client
+	// follows the redirect).
+	var w rpc.Wire
+	w.U64(uint64(namespace.RootIno)).Str("moved")
+	body, err := s.handleLookup(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := DecodeInodeResp(body)
+	if in.Type != namespace.TypeFake || in.Size != 2 {
+		t.Errorf("lookup of migrated dir = %+v, want fake with dest 2", in)
+	}
+	// Lookups *under* the moved dir must yield not-owner, not ENOENT.
+	var w2 rpc.Wire
+	w2.U64(uint64(d.Ino)).Str("f")
+	if _, err := s.handleLookup(w2.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotOwner) {
+		t.Errorf("lookup under fake err = %v, want ENOTOWNER", err)
+	}
+}
+
+func TestPingAndStats(t *testing.T) {
+	s := localService(t)
+	out, err := s.handlePing(nil)
+	if err != nil || string(out) != "pong" {
+		t.Errorf("ping = %q, %v", out, err)
+	}
+	body, err := s.handleStats(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := DecodeDump(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inodes < 1 {
+		t.Errorf("stats inodes = %d", st.Inodes)
+	}
+}

@@ -1,0 +1,277 @@
+// Package mds implements one OrigamiFS metadata server for the networked
+// deployment (§4.2): a kvstore-backed inode shard with the Data Collector
+// counters, the RPC service exposing metadata operations, and the subtree
+// Migrator endpoints. Requests for metadata this shard does not hold are
+// answered with a not-owner redirect, the networked analogue of the
+// simulator's fake-inode forwarding.
+package mds
+
+import (
+	"fmt"
+	"sync"
+
+	"origami/internal/kvstore"
+	"origami/internal/namespace"
+)
+
+// Store is the durable inode shard of one MDS: inodes keyed by
+// (parent, name) in the local fragmented-LSM store, with an in-memory
+// inode-number index for attribute lookups.
+type Store struct {
+	mu    sync.Mutex
+	db    *kvstore.DB
+	byIno map[namespace.Ino]inoRef
+	// nextIno allocates inode numbers from this MDS's private range.
+	nextIno uint64
+	idBase  uint64
+}
+
+type inoRef struct {
+	parent namespace.Ino
+	name   string
+	isDir  bool
+}
+
+// inoRangeBits shifts the MDS id into the top bits of allocated inode
+// numbers so shards never collide.
+const inoRangeBits = 48
+
+// Metadata keys persist store-internal state. Their 0xff prefix keeps
+// them above every real (parent, name) key, whose 8-byte big-endian
+// parent prefix never reaches 0xff at realistic MDS counts.
+var (
+	metaNextInoKey = []byte("\xffmeta\xffnext_ino")
+	metaPinMapKey  = []byte("\xffmeta\xffpin_map")
+)
+
+// OpenStore opens (or creates) the shard at dir for the given MDS id.
+func OpenStore(dir string, mdsID int, opts kvstore.Options) (*Store, error) {
+	db, err := kvstore.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		db:     db,
+		byIno:  make(map[namespace.Ino]inoRef),
+		idBase: uint64(mdsID) << inoRangeBits,
+	}
+	s.nextIno = s.idBase + 2 // skip 0 (invalid) and 1 (root)
+	// Rebuild the ino index and the allocation watermark.
+	err = db.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) > 0 && k[0] == 0xff { // metadata keys
+			return true
+		}
+		parent, name, kerr := namespace.DecodeKey(k)
+		if kerr != nil {
+			return true
+		}
+		in, derr := namespace.DecodeInode(v)
+		if derr != nil {
+			return true
+		}
+		s.byIno[in.Ino] = inoRef{parent: parent, name: name, isDir: in.IsDir()}
+		if u := uint64(in.Ino); u >= s.idBase && u >= s.nextIno {
+			s.nextIno = u + 1
+		}
+		return true
+	})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	if v, found, _ := db.Get(metaNextInoKey); found && len(v) == 8 {
+		var u uint64
+		for _, b := range v {
+			u = u<<8 | uint64(b)
+		}
+		if u > s.nextIno {
+			s.nextIno = u
+		}
+	}
+	return s, nil
+}
+
+// Close flushes and closes the shard.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Close()
+}
+
+// AllocIno returns a fresh inode number from this MDS's range.
+func (s *Store) AllocIno() namespace.Ino {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino := namespace.Ino(s.nextIno)
+	s.nextIno++
+	var buf [8]byte
+	u := s.nextIno
+	for i := 7; i >= 0; i-- {
+		buf[i] = byte(u)
+		u >>= 8
+	}
+	_ = s.db.Put(metaNextInoKey, buf[:])
+	return ino
+}
+
+// Put installs (or replaces) an inode record.
+func (s *Store) Put(in *namespace.Inode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(in)
+}
+
+func (s *Store) putLocked(in *namespace.Inode) error {
+	if err := s.db.Put(namespace.EncodeKey(in.Parent, in.Name), namespace.EncodeInode(in)); err != nil {
+		return err
+	}
+	s.byIno[in.Ino] = inoRef{parent: in.Parent, name: in.Name, isDir: in.IsDir()}
+	return nil
+}
+
+// Lookup fetches the entry name under parent.
+func (s *Store) Lookup(parent namespace.Ino, name string) (*namespace.Inode, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, found, err := s.db.Get(namespace.EncodeKey(parent, name))
+	if err != nil || !found {
+		return nil, false, err
+	}
+	in, err := namespace.DecodeInode(v)
+	if err != nil {
+		return nil, false, err
+	}
+	return in, true, nil
+}
+
+// Getattr fetches an inode by number.
+func (s *Store) Getattr(ino namespace.Ino) (*namespace.Inode, bool, error) {
+	s.mu.Lock()
+	ref, ok := s.byIno[ino]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	return s.Lookup(ref.parent, ref.name)
+}
+
+// Delete removes the entry name under parent.
+func (s *Store) Delete(parent namespace.Ino, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, found, err := s.db.Get(namespace.EncodeKey(parent, name))
+	if err != nil {
+		return err
+	}
+	if found {
+		if in, derr := namespace.DecodeInode(v); derr == nil {
+			delete(s.byIno, in.Ino)
+		}
+	}
+	return s.db.Delete(namespace.EncodeKey(parent, name))
+}
+
+// ReadDir lists the direct children of a directory held on this shard.
+func (s *Store) ReadDir(parent namespace.Ino) ([]*namespace.Inode, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo, hi := namespace.DirKeyRange(parent)
+	var out []*namespace.Inode
+	err := s.db.Scan(lo, hi, func(k, v []byte) bool {
+		if in, derr := namespace.DecodeInode(v); derr == nil {
+			out = append(out, in)
+		}
+		return true
+	})
+	return out, err
+}
+
+// HasIno reports whether this shard holds the inode.
+func (s *Store) HasIno(ino namespace.Ino) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byIno[ino]
+	return ok
+}
+
+// Count returns the number of inodes held.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byIno)
+}
+
+// DirInos returns every directory inode number held on this shard.
+func (s *Store) DirInos() []namespace.Ino {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []namespace.Ino
+	for ino, ref := range s.byIno {
+		if ref.isDir {
+			out = append(out, ino)
+		}
+	}
+	return out
+}
+
+// CollectSubtree gathers every inode in the subtree rooted at root that
+// this shard holds, in breadth-first order — the migration source's copy
+// set.
+func (s *Store) CollectSubtree(root namespace.Ino) ([]*namespace.Inode, error) {
+	rootIn, ok, err := s.Getattr(root)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("mds: subtree root %d not on this shard", root)
+	}
+	out := []*namespace.Inode{rootIn}
+	queue := []namespace.Ino{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		children, err := s.ReadDir(cur)
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range children {
+			out = append(out, in)
+			if in.IsDir() {
+				queue = append(queue, in.Ino)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RemoveSubtree deletes every inode of the subtree from this shard (after
+// a successful migration hand-off). The subtree root's own dirent is
+// removed as well.
+func (s *Store) RemoveSubtree(inos []*namespace.Inode) error {
+	for _, in := range inos {
+		if err := s.Delete(in.Parent, in.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SavePinMap durably records the serialised partition map (MDS 0 is the
+// map authority and must survive restarts with it).
+func (s *Store) SavePinMap(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Put(metaPinMapKey, data)
+}
+
+// LoadPinMap returns the serialised partition map, or nil if none was
+// saved.
+func (s *Store) LoadPinMap() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, found, err := s.db.Get(metaPinMapKey)
+	if err != nil || !found {
+		return nil, err
+	}
+	return v, nil
+}

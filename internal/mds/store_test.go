@@ -1,0 +1,188 @@
+package mds
+
+import (
+	"fmt"
+	"testing"
+
+	"origami/internal/kvstore"
+	"origami/internal/namespace"
+)
+
+func openTestStore(t *testing.T, id int) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), id, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStorePutLookupGetattr(t *testing.T) {
+	s := openTestStore(t, 0)
+	in := &namespace.Inode{Ino: 100, Parent: 1, Name: "f", Type: namespace.TypeFile, Size: 42}
+	if err := s.Put(in); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := s.Lookup(1, "f")
+	if err != nil || !found {
+		t.Fatalf("Lookup: found=%v err=%v", found, err)
+	}
+	if got.Size != 42 {
+		t.Errorf("size = %d", got.Size)
+	}
+	got, found, err = s.Getattr(100)
+	if err != nil || !found || got.Name != "f" {
+		t.Errorf("Getattr = %+v found=%v err=%v", got, found, err)
+	}
+	if !s.HasIno(100) || s.HasIno(101) {
+		t.Error("HasIno wrong")
+	}
+}
+
+func TestStoreAllocInoRange(t *testing.T) {
+	s3 := openTestStore(t, 3)
+	ino := s3.AllocIno()
+	if uint64(ino)>>inoRangeBits != 3 {
+		t.Errorf("allocated ino %d not in MDS 3's range", ino)
+	}
+	if s3.AllocIno() == ino {
+		t.Error("AllocIno repeated")
+	}
+}
+
+func TestStoreAllocSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.AllocIno()
+	second := s.AllocIno()
+	s.Close()
+	re, err := OpenStore(dir, 2, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	third := re.AllocIno()
+	if third <= second || third <= first {
+		t.Errorf("alloc went backwards after restart: %d %d then %d", first, second, third)
+	}
+}
+
+func TestStoreReadDir(t *testing.T) {
+	s := openTestStore(t, 0)
+	for i := 0; i < 5; i++ {
+		in := &namespace.Inode{Ino: namespace.Ino(10 + i), Parent: 5, Name: fmt.Sprintf("c%d", i), Type: namespace.TypeFile}
+		if err := s.Put(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An entry in another directory must not leak into the listing.
+	s.Put(&namespace.Inode{Ino: 99, Parent: 6, Name: "other", Type: namespace.TypeFile})
+	children, err := s.ReadDir(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != 5 {
+		t.Errorf("ReadDir = %d entries, want 5", len(children))
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := openTestStore(t, 0)
+	s.Put(&namespace.Inode{Ino: 7, Parent: 1, Name: "x", Type: namespace.TypeFile})
+	if err := s.Delete(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Lookup(1, "x"); found {
+		t.Error("deleted entry still found")
+	}
+	if s.HasIno(7) {
+		t.Error("ino index not cleaned")
+	}
+}
+
+func TestStoreCollectSubtree(t *testing.T) {
+	s := openTestStore(t, 0)
+	// root(1) -> d(2) -> {f(3), e(4) -> g(5)}
+	s.Put(&namespace.Inode{Ino: 2, Parent: 1, Name: "d", Type: namespace.TypeDir})
+	s.Put(&namespace.Inode{Ino: 3, Parent: 2, Name: "f", Type: namespace.TypeFile})
+	s.Put(&namespace.Inode{Ino: 4, Parent: 2, Name: "e", Type: namespace.TypeDir})
+	s.Put(&namespace.Inode{Ino: 5, Parent: 4, Name: "g", Type: namespace.TypeFile})
+	inos, err := s.CollectSubtree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inos) != 4 {
+		t.Fatalf("collected %d inodes, want 4", len(inos))
+	}
+	if inos[0].Ino != 2 {
+		t.Errorf("first collected = %d, want subtree root", inos[0].Ino)
+	}
+	if err := s.RemoveSubtree(inos); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []namespace.Ino{2, 3, 4, 5} {
+		if s.HasIno(in) {
+			t.Errorf("ino %d survived RemoveSubtree", in)
+		}
+	}
+}
+
+func TestStoreCollectSubtreeMissing(t *testing.T) {
+	s := openTestStore(t, 0)
+	if _, err := s.CollectSubtree(12345); err == nil {
+		t.Error("collecting a missing subtree succeeded")
+	}
+}
+
+func TestStoreDirInos(t *testing.T) {
+	s := openTestStore(t, 0)
+	s.Put(&namespace.Inode{Ino: 2, Parent: 1, Name: "d", Type: namespace.TypeDir})
+	s.Put(&namespace.Inode{Ino: 3, Parent: 2, Name: "f", Type: namespace.TypeFile})
+	dirs := s.DirInos()
+	if len(dirs) != 1 || dirs[0] != 2 {
+		t.Errorf("DirInos = %v", dirs)
+	}
+}
+
+func TestErrCodeParsing(t *testing.T) {
+	err := CodedError(CodeNoEnt, "missing %q", "x")
+	if err.Error() != `ENOENT: missing "x"` {
+		t.Errorf("coded error = %q", err.Error())
+	}
+	// ErrCode only recognises RemoteError (transported errors).
+	if ErrCode(err) != "" {
+		t.Errorf("local error should not parse as remote code")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	st := StatsSnapshot{Ops: 10, RPCs: 12, ServiceNS: 999, Inodes: 3}
+	rows := []DumpRow{
+		{Ino: 2, Parent: 1, Reads: 5, Writes: 1, Lookups: 7, ServiceNS: 100, ChildFiles: 2, ChildDirs: 1},
+	}
+	gotSt, gotRows, err := DecodeDump(EncodeDump(st, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSt != st {
+		t.Errorf("stats = %+v", gotSt)
+	}
+	if len(gotRows) != 1 || gotRows[0] != rows[0] {
+		t.Errorf("rows = %+v", gotRows)
+	}
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	pins := []PinEntry{{Ino: 5, MDS: 2}, {Ino: 9, MDS: 0}}
+	v, got, err := DecodeMap(EncodeMap(7, pins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 || len(got) != 2 || got[0] != pins[0] || got[1] != pins[1] {
+		t.Errorf("map round trip: v=%d pins=%v", v, got)
+	}
+}

@@ -1,0 +1,345 @@
+// Package metaopt implements the Meta-OPT algorithm (Algorithm 1): given
+// an epoch's Data Collector dump — per-subtree loads, crossing traffic,
+// and per-MDS totals — it greedily selects the sequence of subtree
+// migrations that maximally reduces the estimated job completion time,
+// subject to the Δ imbalance constraint, stopping when the best remaining
+// benefit falls below a threshold.
+//
+// The JCT model is the §3.2 bin-packing approximation: each MDS's load is
+// the summed service cost of the requests it handles, and JCT is the
+// largest bin. Migrating a subtree s from MDS A to MDS B moves its load
+// l_s (the subtree's owned service time) off A and onto B, plus the
+// crossing overhead o_s a new partition boundary introduces (Appendix A):
+// every resolution that traverses s from outside pays an extra hop, except
+// when the client cache already absorbs the boundary because s's parent
+// sits in the cached near-root region — the effect behind Origami's
+// preference for near-root and deep write-heavy subtrees (§5.4).
+package metaopt
+
+import (
+	"sort"
+	"time"
+
+	"origami/internal/cluster"
+	"origami/internal/costmodel"
+	"origami/internal/namespace"
+)
+
+// Config parameterises one planning run.
+type Config struct {
+	// Delta is the Δ imbalance bound of Algorithm 1 (line 9): a
+	// migration must not leave the destination ahead of the source by
+	// more than Delta. Zero means "one epoch's mean MDS load".
+	Delta time.Duration
+	// Threshold stops the greedy loop when the best remaining benefit
+	// falls below it (line 16). Zero means 0.5% of the initial JCT.
+	Threshold time.Duration
+	// MaxDecisions caps the decision list (0 = 32).
+	MaxDecisions int
+	// CacheDepth is the client near-root cache threshold: a boundary cut
+	// at a directory whose parent is cached (depth < CacheDepth) incurs
+	// no crossing overhead.
+	CacheDepth int
+	// Params supplies the cost constants pricing a boundary crossing.
+	Params *costmodel.Params
+	// MinLoad prunes candidate subtrees whose owned load is below this
+	// fraction of the mean MDS load (default 0.01).
+	MinLoad float64
+}
+
+func (c Config) withDefaults(es *cluster.EpochStats) Config {
+	if c.MaxDecisions <= 0 {
+		c.MaxDecisions = 32
+	}
+	if c.Params == nil {
+		p := costmodel.DefaultParams()
+		c.Params = &p
+	}
+	mean := time.Duration(0)
+	for _, s := range es.Service {
+		mean += s
+	}
+	if n := len(es.Service); n > 0 {
+		mean /= time.Duration(n)
+	}
+	if c.Delta <= 0 {
+		c.Delta = mean
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = costmodel.JCT(es.Service) / 200
+	}
+	if c.MinLoad <= 0 {
+		c.MinLoad = 0.01
+	}
+	return c
+}
+
+// Candidate is one subtree's evaluated migration option.
+type Candidate struct {
+	Subtree namespace.Ino
+	From    cluster.MDSID
+	To      cluster.MDSID
+	// Load is l_s: the busy time that moves with the subtree.
+	Load time.Duration
+	// Overhead is o_s: the extra busy time a cut here adds per epoch.
+	Overhead time.Duration
+	// Benefit is the JCT reduction of this single migration.
+	Benefit time.Duration
+}
+
+// state is the working view of the greedy loop: per-MDS loads plus the
+// ownership overrides applied so far.
+type state struct {
+	es        *cluster.EpochStats
+	loads     []time.Duration
+	overrides map[namespace.Ino]cluster.MDSID
+	frozen    map[namespace.Ino]bool // chosen roots and their ancestors/descendants
+	mixed     map[namespace.Ino]bool // subtrees containing foreign pins
+	cfg       Config
+}
+
+// ownerOf resolves a directory's current owner: the nearest override on
+// the ancestor chain, else the dump-time owner.
+func (st *state) ownerOf(d *cluster.DirStat) cluster.MDSID {
+	cur := d
+	for {
+		if mds, ok := st.overrides[cur.Ino]; ok {
+			return mds
+		}
+		if cur.Ino == namespace.RootIno {
+			return d.Owner
+		}
+		pi, ok := st.es.Index[cur.Parent]
+		if !ok {
+			return d.Owner
+		}
+		cur = &st.es.Dirs[pi]
+	}
+}
+
+// overheadOf prices o_s for cutting at d: each traversal from outside pays
+// one extra visit (dispatch + fake-inode read) unless the parent sits in
+// the client-cached near-root region, plus the parent's directory listings
+// which must now contact one more MDS.
+func overheadOf(d *cluster.DirStat, cfg Config) time.Duration {
+	perCross := cfg.Params.RPCHandle + cfg.Params.TInode
+	if d.Depth-1 < cfg.CacheDepth {
+		// Resolution starts at d: the visit exists either way, it just
+		// lands on the new owner. Only the listing overhead remains
+		// (and that is wire time, so it does not load the bins).
+		return 0
+	}
+	return time.Duration(d.Through)*perCross +
+		time.Duration(d.ParentLsdirs)*cfg.Params.RPCHandle
+}
+
+// markMixed flags every ancestor of a pin whose owner differs from the
+// pinned MDS: such subtrees would not move atomically, so the additive
+// load model excludes them as candidates.
+func markMixed(es *cluster.EpochStats, pm *cluster.PartitionMap) map[namespace.Ino]bool {
+	mixed := make(map[namespace.Ino]bool)
+	for _, pin := range pm.Pins() {
+		di, ok := es.Index[pin.Ino]
+		if !ok {
+			continue
+		}
+		cur := es.Dirs[di]
+		for cur.Ino != namespace.RootIno {
+			pi, ok := es.Index[cur.Parent]
+			if !ok {
+				break
+			}
+			parent := es.Dirs[pi]
+			if parent.Owner != pin.MDS {
+				mixed[parent.Ino] = true
+			}
+			cur = parent
+		}
+	}
+	return mixed
+}
+
+// bestFor evaluates the best destination for subtree d under the current
+// state, honouring the Δ constraint. ok=false when no destination helps.
+func (st *state) bestFor(d *cluster.DirStat) (Candidate, bool) {
+	from := st.ownerOf(d)
+	ls := d.OwnedService
+	os := overheadOf(d, st.cfg)
+	before := costmodel.JCT(st.loads)
+	best := Candidate{Subtree: d.Ino, From: from, Load: ls, Overhead: os}
+	found := false
+	for to := cluster.MDSID(0); int(to) < len(st.loads); to++ {
+		if to == from {
+			continue
+		}
+		newFrom := st.loads[from] - ls
+		newTo := st.loads[to] + ls + os
+		// Δ constraint (Alg. 1 line 9): don't create a fresh imbalance.
+		if newTo-newFrom >= st.cfg.Delta {
+			continue
+		}
+		after := newFrom
+		if newTo > after {
+			after = newTo
+		}
+		for i, l := range st.loads {
+			if cluster.MDSID(i) == from || cluster.MDSID(i) == to {
+				continue
+			}
+			if l > after {
+				after = l
+			}
+		}
+		benefit := before - after
+		if benefit <= 0 {
+			continue
+		}
+		if !found || benefit > best.Benefit {
+			best.To = to
+			best.Benefit = benefit
+			found = true
+		}
+	}
+	return best, found
+}
+
+// apply commits a candidate to the working state and freezes its subtree
+// line per Algorithm 1 (nested subtrees are no longer considered).
+func (st *state) apply(c Candidate) {
+	st.loads[c.From] -= c.Load
+	st.loads[c.To] += c.Load + c.Overhead
+	st.overrides[c.Subtree] = c.To
+	st.frozen[c.Subtree] = true
+	// Freeze ancestors (their aggregate loads are now stale)...
+	di := st.es.Index[c.Subtree]
+	cur := st.es.Dirs[di]
+	for cur.Ino != namespace.RootIno {
+		pi, ok := st.es.Index[cur.Parent]
+		if !ok {
+			break
+		}
+		cur = st.es.Dirs[pi]
+		st.frozen[cur.Ino] = true
+	}
+	// ...and descendants (Alg. 1: once s migrates, nested subtrees are
+	// out). Descendant test happens lazily in eligible().
+}
+
+// eligible reports whether d may still be chosen.
+func (st *state) eligible(d *cluster.DirStat) bool {
+	if d.Ino == namespace.RootIno || st.frozen[d.Ino] || st.mixed[d.Ino] {
+		return false
+	}
+	// Lazily check whether any ancestor was chosen (descendant freeze).
+	cur := d
+	for cur.Ino != namespace.RootIno {
+		pi, ok := st.es.Index[cur.Parent]
+		if !ok {
+			break
+		}
+		cur = &st.es.Dirs[pi]
+		if _, chosen := st.overrides[cur.Ino]; chosen {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan runs Algorithm 1 over one epoch dump and returns the migration
+// decision list, most beneficial first.
+func Plan(es *cluster.EpochStats, pm *cluster.PartitionMap, cfg Config) []cluster.Decision {
+	cfg = cfg.withDefaults(es)
+	st := &state{
+		es:        es,
+		loads:     append([]time.Duration(nil), es.Service...),
+		overrides: make(map[namespace.Ino]cluster.MDSID),
+		frozen:    make(map[namespace.Ino]bool),
+		mixed:     markMixed(es, pm),
+		cfg:       cfg,
+	}
+	minLoad := time.Duration(cfg.MinLoad * float64(meanLoad(es.Service)))
+	var decisions []cluster.Decision
+	for len(decisions) < cfg.MaxDecisions {
+		var best Candidate
+		found := false
+		for i := range es.Dirs {
+			d := &es.Dirs[i]
+			if d.OwnedService < minLoad || !st.eligible(d) {
+				continue
+			}
+			if c, ok := st.bestFor(d); ok {
+				if !found || c.Benefit > best.Benefit {
+					best = c
+					found = true
+				}
+			}
+		}
+		if !found || best.Benefit < cfg.Threshold {
+			break
+		}
+		st.apply(best)
+		decisions = append(decisions, cluster.Decision{
+			Subtree:          best.Subtree,
+			From:             best.From,
+			To:               best.To,
+			PredictedBenefit: best.Benefit,
+		})
+	}
+	return decisions
+}
+
+func meanLoad(loads []time.Duration) time.Duration {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range loads {
+		sum += l
+	}
+	return sum / time.Duration(len(loads))
+}
+
+// Benefits evaluates, for every eligible subtree, the benefit of its best
+// single migration under the dump's partition — the training labels of
+// the Origami pipeline (§4.3). Subtrees with no beneficial move get label
+// zero (kept in the dataset: the model must learn to rank them low).
+func Benefits(es *cluster.EpochStats, pm *cluster.PartitionMap, cfg Config) map[namespace.Ino]Candidate {
+	cfg = cfg.withDefaults(es)
+	st := &state{
+		es:        es,
+		loads:     append([]time.Duration(nil), es.Service...),
+		overrides: make(map[namespace.Ino]cluster.MDSID),
+		frozen:    make(map[namespace.Ino]bool),
+		mixed:     markMixed(es, pm),
+		cfg:       cfg,
+	}
+	out := make(map[namespace.Ino]Candidate, len(es.Dirs))
+	for i := range es.Dirs {
+		d := &es.Dirs[i]
+		if d.Ino == namespace.RootIno || st.mixed[d.Ino] {
+			continue
+		}
+		if c, ok := st.bestFor(d); ok {
+			out[d.Ino] = c
+		} else {
+			out[d.Ino] = Candidate{Subtree: d.Ino, From: d.Owner, To: d.Owner,
+				Load: d.OwnedService, Overhead: overheadOf(d, cfg)}
+		}
+	}
+	return out
+}
+
+// SortedByBenefit returns the candidates ordered by descending benefit.
+func SortedByBenefit(m map[namespace.Ino]Candidate) []Candidate {
+	out := make([]Candidate, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benefit != out[j].Benefit {
+			return out[i].Benefit > out[j].Benefit
+		}
+		return out[i].Subtree < out[j].Subtree
+	})
+	return out
+}

@@ -1,0 +1,131 @@
+package metaopt
+
+import (
+	"time"
+
+	"origami/internal/cluster"
+	"origami/internal/costmodel"
+	"origami/internal/namespace"
+)
+
+// Oracle support: an exhaustive search over migration plans for small
+// instances, used by tests to measure Algorithm 1's sub-optimality gap
+// against Theorem 1's −Δ bound. The search enumerates every assignment of
+// a bounded set of candidate subtrees to MDSs (subject to the nesting rule
+// that a migrated subtree carries its descendants) under the same additive
+// l_s/o_s load model the greedy uses.
+
+// OracleResult is the best plan the exhaustive search found.
+type OracleResult struct {
+	JCT       time.Duration
+	Decisions []cluster.Decision
+}
+
+// Exhaustive finds the optimal migration plan by brute force. Candidates
+// are the non-root directories in es with positive owned load; instances
+// with more than maxCandidates of them are truncated to the largest by
+// load (tests keep instances small enough that no truncation occurs).
+func Exhaustive(es *cluster.EpochStats, cfg Config, maxCandidates int) OracleResult {
+	cfg = cfg.withDefaults(es)
+	var cands []*cluster.DirStat
+	for i := range es.Dirs {
+		d := &es.Dirs[i]
+		if d.Ino == namespace.RootIno || d.OwnedService <= 0 {
+			continue
+		}
+		cands = append(cands, d)
+	}
+	if len(cands) > maxCandidates {
+		SortDirsByLoad(cands)
+		cands = cands[:maxCandidates]
+	}
+	best := OracleResult{JCT: costmodel.JCT(es.Service)}
+	loads := append([]time.Duration(nil), es.Service...)
+	var moves []cluster.Decision
+	n := len(es.Service)
+
+	isDescendant := func(child, anc *cluster.DirStat) bool {
+		cur := child
+		for cur.Ino != namespace.RootIno {
+			if cur.Ino == anc.Ino {
+				return true
+			}
+			pi, ok := es.Index[cur.Parent]
+			if !ok {
+				return false
+			}
+			cur = &es.Dirs[pi]
+		}
+		return anc.Ino == namespace.RootIno
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(cands) {
+			j := costmodel.JCT(loads)
+			if j < best.JCT {
+				best.JCT = j
+				best.Decisions = append(best.Decisions[:0:0], moves...)
+			}
+			return
+		}
+		d := cands[i]
+		// Option 0: leave d in place.
+		rec(i + 1)
+		// Nested rule: skip moves when an ancestor already moved.
+		for _, m := range moves {
+			mi := es.Index[m.Subtree]
+			if isDescendant(d, &es.Dirs[mi]) && d.Ino != m.Subtree {
+				return
+			}
+		}
+		ls := d.OwnedService
+		os := overheadOf(d, cfg)
+		from := d.Owner
+		for to := 0; to < n; to++ {
+			if cluster.MDSID(to) == from {
+				continue
+			}
+			newFrom := loads[from] - ls
+			newTo := loads[to] + ls + os
+			if newTo-newFrom >= cfg.Delta {
+				continue
+			}
+			loads[from] = newFrom
+			loads[to] = newTo
+			moves = append(moves, cluster.Decision{Subtree: d.Ino, From: from, To: cluster.MDSID(to)})
+			rec(i + 1)
+			moves = moves[:len(moves)-1]
+			loads[from] += ls
+			loads[to] -= ls + os
+		}
+	}
+	rec(0)
+	return best
+}
+
+// AppendixBenefit evaluates the Appendix-A benefit formula for migrating a
+// body of load l with crossing overhead o from an MDS that leads its
+// destination by D: the system-wide gain is l when the gap is wide enough
+// to absorb the move (D >= 2l+o), and D−(l+o) when the destination becomes
+// the new maximum.
+func AppendixBenefit(d, l, o time.Duration) time.Duration {
+	if d >= 2*l+o {
+		return l
+	}
+	return d - (l + o)
+}
+
+// SortDirsByLoad orders dirs by descending owned load (stable by ino).
+func SortDirsByLoad(dirs []*cluster.DirStat) {
+	for i := 1; i < len(dirs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := dirs[j-1], dirs[j]
+			if a.OwnedService > b.OwnedService ||
+				(a.OwnedService == b.OwnedService && a.Ino < b.Ino) {
+				break
+			}
+			dirs[j-1], dirs[j] = b, a
+		}
+	}
+}

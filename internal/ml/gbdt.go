@@ -1,0 +1,223 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// GBDTConfig configures gradient-boosted tree training. The zero value
+// resolves to the paper's LightGBM settings: 400 boosting rounds and 32
+// leaves grown leaf-wise.
+type GBDTConfig struct {
+	// Rounds is the number of boosting iterations (default 400).
+	Rounds int
+	// LearningRate shrinks each tree's contribution (default 0.1).
+	LearningRate float64
+	// NumLeaves caps leaves per tree in leaf-wise mode (default 32).
+	NumLeaves int
+	// MaxDepth caps depth in depth-wise mode (default 6).
+	MaxDepth int
+	// DepthWise selects classic level-order growth (the paper's "GBDT"
+	// comparison model) instead of leaf-wise.
+	DepthWise bool
+	// MinLeafSamples is the minimum samples per leaf (default 5).
+	MinLeafSamples int
+	// Lambda is the L2 regulariser on leaf values (default 1).
+	Lambda float64
+	// Bins is the histogram resolution per feature (default 64, max 256).
+	Bins int
+	// EarlyStopRounds stops when a held-out validation MSE (20% of the
+	// training data, deterministic split) hasn't improved for this many
+	// rounds (0 = never).
+	EarlyStopRounds int
+}
+
+func (c GBDTConfig) withDefaults() GBDTConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 400
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.NumLeaves <= 1 {
+		c.NumLeaves = 32
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 6
+	}
+	if c.MinLeafSamples <= 0 {
+		c.MinLeafSamples = 5
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1
+	}
+	if c.Bins <= 1 || c.Bins > 256 {
+		c.Bins = 64
+	}
+	return c
+}
+
+// GBDT is a fitted gradient-boosted tree ensemble.
+type GBDT struct {
+	Base     float64   `json:"base"`
+	LR       float64   `json:"lr"`
+	Trees    []*tree   `json:"trees"`
+	Gain     []float64 `json:"gain"`   // per-feature cumulative split gain
+	Splits   []int     `json:"splits"` // per-feature split counts
+	NumFeats int       `json:"num_feats"`
+}
+
+// TrainGBDT fits an ensemble to the dataset.
+func TrainGBDT(ds Dataset, cfg GBDTConfig) (*GBDT, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	var val Dataset
+	if cfg.EarlyStopRounds > 0 && ds.Len() >= 25 {
+		ds, val = ds.Split(0.2, 1)
+	}
+	nf := ds.NumFeatures()
+	b := newBinner(ds.X, cfg.Bins)
+	xq := b.quantise(ds.X)
+
+	var base float64
+	for _, y := range ds.Y {
+		base += y
+	}
+	base /= float64(len(ds.Y))
+
+	model := &GBDT{
+		Base:     base,
+		LR:       cfg.LearningRate,
+		Gain:     make([]float64, nf),
+		Splits:   make([]int, nf),
+		NumFeats: nf,
+	}
+	pred := make([]float64, len(ds.Y))
+	for i := range pred {
+		pred[i] = base
+	}
+	grads := make([]float64, len(ds.Y))
+	valPred := make([]float64, val.Len())
+	for i := range valPred {
+		valPred[i] = base
+	}
+	bestMSE := -1.0
+	sinceBest := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range grads {
+			grads[i] = ds.Y[i] - pred[i] // negative gradient of squared loss
+		}
+		spec := &growSpec{
+			Xq:        xq,
+			grads:     grads,
+			binEdges:  b.edges,
+			numLeaves: cfg.NumLeaves,
+			maxDepth:  cfg.MaxDepth,
+			depthWise: cfg.DepthWise,
+			minLeaf:   cfg.MinLeafSamples,
+			lambda:    cfg.Lambda,
+			gainAcc:   model.Gain,
+			splitAcc:  model.Splits,
+		}
+		t := growTree(spec)
+		model.Trees = append(model.Trees, t)
+		for i := range pred {
+			pred[i] += cfg.LearningRate * t.predict(ds.X[i])
+		}
+		if cfg.EarlyStopRounds > 0 && val.Len() > 0 {
+			for i := range valPred {
+				valPred[i] += cfg.LearningRate * t.predict(val.X[i])
+			}
+			m := MSE(valPred, val.Y)
+			if bestMSE < 0 || m < bestMSE*(1-1e-6) {
+				bestMSE = m
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest >= cfg.EarlyStopRounds {
+					break
+				}
+			}
+		}
+	}
+	return model, nil
+}
+
+// Predict evaluates the ensemble on one example.
+func (m *GBDT) Predict(x []float64) float64 {
+	out := m.Base
+	for _, t := range m.Trees {
+		out += m.LR * t.predict(x)
+	}
+	return out
+}
+
+// PredictBatch evaluates many examples.
+func (m *GBDT) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Importance returns per-feature split-gain importance normalised to sum
+// to 1 — the "Gini importance" of Table 1.
+func (m *GBDT) Importance() []float64 {
+	out := make([]float64, len(m.Gain))
+	var total float64
+	for _, g := range m.Gain {
+		total += g
+	}
+	if total == 0 {
+		return out
+	}
+	for i, g := range m.Gain {
+		out[i] = g / total
+	}
+	return out
+}
+
+// ImportanceRank returns each feature's importance rank (1 = most
+// important); tied importances share the smaller rank, mirroring how
+// Table 1 reports two features at rank 2 and two at rank 6.
+func (m *GBDT) ImportanceRank() []int {
+	imp := m.Importance()
+	type fi struct {
+		f   int
+		imp float64
+	}
+	order := make([]fi, len(imp))
+	for i, v := range imp {
+		order[i] = fi{i, v}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].imp > order[b].imp })
+	ranks := make([]int, len(imp))
+	for pos, o := range order {
+		rank := pos + 1
+		if pos > 0 && o.imp == order[pos-1].imp {
+			rank = ranks[order[pos-1].f]
+		}
+		ranks[o.f] = rank
+	}
+	return ranks
+}
+
+// Save writes the model as JSON.
+func (m *GBDT) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// LoadGBDT reads a model written by Save.
+func LoadGBDT(r io.Reader) (*GBDT, error) {
+	var m GBDT
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ml: load gbdt: %w", err)
+	}
+	return &m, nil
+}

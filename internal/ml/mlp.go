@@ -1,0 +1,238 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLPConfig configures the multi-layer perceptron regressor. The zero
+// value resolves to the paper's architecture: four hidden layers.
+type MLPConfig struct {
+	// Hidden lists hidden-layer widths (default [64, 64, 32, 16]).
+	Hidden []int
+	// Epochs over the training set (default 200).
+	Epochs int
+	// BatchSize for minibatch Adam (default 32).
+	BatchSize int
+	// LearningRate for Adam (default 1e-3).
+	LearningRate float64
+	// Seed for weight init and shuffling (default 1).
+	Seed int64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64, 32, 16}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// layer holds one dense layer's parameters and Adam state.
+type layer struct {
+	in, out int
+	w       []float64 // out×in
+	b       []float64
+	mw, vw  []float64
+	mb, vb  []float64
+}
+
+func newLayer(in, out int, rnd *rand.Rand) *layer {
+	l := &layer{
+		in: in, out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	scale := math.Sqrt(2 / float64(in)) // He init for ReLU
+	for i := range l.w {
+		l.w[i] = rnd.NormFloat64() * scale
+	}
+	return l
+}
+
+// MLP is a fitted feed-forward regressor with ReLU hidden activations.
+type MLP struct {
+	layers []*layer
+	cfg    MLPConfig
+	// Input standardisation fitted on the training set.
+	mean, std []float64
+	step      int
+}
+
+// TrainMLP fits an MLP to the dataset.
+func TrainMLP(ds Dataset, cfg MLPConfig) (*MLP, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	nf := ds.NumFeatures()
+	m := &MLP{cfg: cfg, mean: make([]float64, nf), std: make([]float64, nf)}
+	// Standardise inputs.
+	for f := 0; f < nf; f++ {
+		var s float64
+		for _, row := range ds.X {
+			s += row[f]
+		}
+		m.mean[f] = s / float64(len(ds.X))
+		var v float64
+		for _, row := range ds.X {
+			d := row[f] - m.mean[f]
+			v += d * d
+		}
+		m.std[f] = math.Sqrt(v / float64(len(ds.X)))
+		if m.std[f] == 0 {
+			m.std[f] = 1
+		}
+	}
+	sizes := append([]int{nf}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, newLayer(sizes[i], sizes[i+1], rnd))
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rnd.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			m.trainBatch(ds, idx[start:end])
+		}
+	}
+	return m, nil
+}
+
+func (m *MLP) standardise(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = (x[i] - m.mean[i]) / m.std[i]
+	}
+	return out
+}
+
+// forward runs one example, keeping pre-activation inputs for backprop.
+func (m *MLP) forward(x []float64) (acts [][]float64) {
+	acts = append(acts, x)
+	cur := x
+	for li, l := range m.layers {
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			wrow := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range cur {
+				s += wrow[i] * v
+			}
+			if li < len(m.layers)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			next[o] = s
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (m *MLP) trainBatch(ds Dataset, batch []int) {
+	grads := make([]*layer, len(m.layers))
+	for i, l := range m.layers {
+		grads[i] = &layer{in: l.in, out: l.out, w: make([]float64, len(l.w)), b: make([]float64, len(l.b))}
+	}
+	for _, si := range batch {
+		x := m.standardise(ds.X[si])
+		acts := m.forward(x)
+		out := acts[len(acts)-1][0]
+		delta := []float64{2 * (out - ds.Y[si])} // dMSE/dout
+		for li := len(m.layers) - 1; li >= 0; li-- {
+			l := m.layers[li]
+			in := acts[li]
+			g := grads[li]
+			nextDelta := make([]float64, l.in)
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				wrow := l.w[o*l.in : (o+1)*l.in]
+				grow := g.w[o*l.in : (o+1)*l.in]
+				for i, v := range in {
+					grow[i] += d * v
+					nextDelta[i] += d * wrow[i]
+				}
+				g.b[o] += d
+			}
+			// ReLU derivative for the layer below (skip for input).
+			if li > 0 {
+				below := acts[li]
+				_ = below
+				for i := range nextDelta {
+					if acts[li][i] <= 0 {
+						nextDelta[i] = 0
+					}
+				}
+			}
+			delta = nextDelta
+		}
+	}
+	m.step++
+	scale := 1 / float64(len(batch))
+	lr := m.cfg.LearningRate
+	bc1 := 1 - math.Pow(adamBeta1, float64(m.step))
+	bc2 := 1 - math.Pow(adamBeta2, float64(m.step))
+	for li, l := range m.layers {
+		g := grads[li]
+		for i := range l.w {
+			gw := g.w[i] * scale
+			l.mw[i] = adamBeta1*l.mw[i] + (1-adamBeta1)*gw
+			l.vw[i] = adamBeta2*l.vw[i] + (1-adamBeta2)*gw*gw
+			l.w[i] -= lr * (l.mw[i] / bc1) / (math.Sqrt(l.vw[i]/bc2) + adamEps)
+		}
+		for i := range l.b {
+			gb := g.b[i] * scale
+			l.mb[i] = adamBeta1*l.mb[i] + (1-adamBeta1)*gb
+			l.vb[i] = adamBeta2*l.vb[i] + (1-adamBeta2)*gb*gb
+			l.b[i] -= lr * (l.mb[i] / bc1) / (math.Sqrt(l.vb[i]/bc2) + adamEps)
+		}
+	}
+}
+
+// Predict evaluates the network on one raw (unstandardised) example.
+func (m *MLP) Predict(x []float64) float64 {
+	acts := m.forward(m.standardise(x))
+	return acts[len(acts)-1][0]
+}
+
+// PredictBatch evaluates many examples.
+func (m *MLP) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram-based regression trees. Feature values are quantised once per
+// training run into at most Bins buckets per feature (quantile edges);
+// split search then scans per-bin gradient sums instead of sorted raw
+// values — LightGBM's core trick.
+
+// binner holds per-feature bin edges and maps raw values to bin indices.
+type binner struct {
+	edges [][]float64 // per feature, ascending upper edges (len <= bins-1)
+}
+
+func newBinner(X [][]float64, bins int) *binner {
+	if bins < 2 {
+		bins = 2
+	}
+	nf := len(X[0])
+	b := &binner{edges: make([][]float64, nf)}
+	vals := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i := range X {
+			vals[i] = X[i][f]
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for q := 1; q < bins; q++ {
+			v := vals[q*len(vals)/bins]
+			if len(edges) == 0 || v > edges[len(edges)-1] {
+				edges = append(edges, v)
+			}
+		}
+		b.edges[f] = edges
+	}
+	return b
+}
+
+// binOf maps a raw value to its bin index in [0, len(edges)].
+func (b *binner) binOf(f int, v float64) int {
+	edges := b.edges[f]
+	return sort.SearchFloat64s(edges, v) + boundAdjust(edges, v)
+}
+
+// boundAdjust places values equal to an edge in the bin to its right, so
+// the split predicate "v < edge" is consistent between train and predict.
+func boundAdjust(edges []float64, v float64) int {
+	i := sort.SearchFloat64s(edges, v)
+	if i < len(edges) && edges[i] == v {
+		return 1
+	}
+	return 0
+}
+
+// quantise converts the full matrix to bin indices.
+func (b *binner) quantise(X [][]float64) [][]uint8 {
+	out := make([][]uint8, len(X))
+	for i, row := range X {
+		q := make([]uint8, len(row))
+		for f, v := range row {
+			q[f] = uint8(b.binOf(f, v))
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// treeNode is one node of a fitted regression tree.
+type treeNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"` // raw-value threshold: go left when v < t
+	Left      int     `json:"l"` // child indices; -1 for leaves
+	Right     int     `json:"r"`
+	Value     float64 `json:"v"` // leaf output
+}
+
+// tree is a fitted regression tree in flattened form.
+type tree struct {
+	Nodes []treeNode `json:"nodes"`
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.Left < 0 {
+			return n.Value
+		}
+		if x[n.Feature] < n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// growSpec bundles what the grower needs.
+type growSpec struct {
+	Xq        [][]uint8
+	grads     []float64 // gradient per sample (residual for MSE)
+	binEdges  [][]float64
+	numLeaves int
+	maxDepth  int  // used in depth-wise mode
+	depthWise bool // growth order
+	minLeaf   int
+	lambda    float64
+	gainAcc   []float64 // per-feature cumulative split gain (importance)
+	splitAcc  []int     // per-feature split counts
+}
+
+// leafCand is a grown-but-unsplit leaf and its best available split.
+type leafCand struct {
+	node     int   // index into tree.Nodes
+	samples  []int // sample indices reaching this leaf
+	depth    int
+	gain     float64
+	feature  int
+	binSplit int // split before this bin: left bins < binSplit
+}
+
+// growTree fits one regression tree to the negative gradients.
+func growTree(spec *growSpec) *tree {
+	t := &tree{}
+	all := make([]int, len(spec.Xq))
+	for i := range all {
+		all[i] = i
+	}
+	root := leafCand{node: 0, samples: all, depth: 0}
+	t.Nodes = append(t.Nodes, treeNode{Left: -1, Right: -1, Value: leafValue(spec, all)})
+	findBest(spec, &root)
+	leaves := []leafCand{root}
+	numLeaves := 1
+	for {
+		// Pick the next leaf to split.
+		best := -1
+		if spec.depthWise {
+			// Depth-wise: split in FIFO order while depth allows.
+			for i := range leaves {
+				if leaves[i].gain > 0 && leaves[i].depth < spec.maxDepth {
+					best = i
+					break
+				}
+			}
+		} else {
+			// Leaf-wise: split the highest-gain leaf.
+			for i := range leaves {
+				if leaves[i].gain <= 0 {
+					continue
+				}
+				if best == -1 || leaves[i].gain > leaves[best].gain {
+					best = i
+				}
+			}
+		}
+		if best == -1 || numLeaves >= spec.numLeaves {
+			break
+		}
+		lc := leaves[best]
+		leaves = append(leaves[:best], leaves[best+1:]...)
+		// Materialise the split.
+		edges := spec.binEdges[lc.feature]
+		thr := edges[lc.binSplit-1]
+		var left, right []int
+		for _, si := range lc.samples {
+			if int(spec.Xq[si][lc.feature]) < lc.binSplit {
+				left = append(left, si)
+			} else {
+				right = append(right, si)
+			}
+		}
+		spec.gainAcc[lc.feature] += lc.gain
+		spec.splitAcc[lc.feature]++
+		li := len(t.Nodes)
+		t.Nodes = append(t.Nodes, treeNode{Left: -1, Right: -1, Value: leafValue(spec, left)})
+		ri := len(t.Nodes)
+		t.Nodes = append(t.Nodes, treeNode{Left: -1, Right: -1, Value: leafValue(spec, right)})
+		t.Nodes[lc.node].Feature = lc.feature
+		t.Nodes[lc.node].Threshold = thr
+		t.Nodes[lc.node].Left = li
+		t.Nodes[lc.node].Right = ri
+		numLeaves++
+		lcl := leafCand{node: li, samples: left, depth: lc.depth + 1}
+		lcr := leafCand{node: ri, samples: right, depth: lc.depth + 1}
+		findBest(spec, &lcl)
+		findBest(spec, &lcr)
+		leaves = append(leaves, lcl, lcr)
+	}
+	return t
+}
+
+// leafValue is the optimal MSE leaf output: mean residual with L2
+// shrinkage.
+func leafValue(spec *growSpec, samples []int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var g float64
+	for _, si := range samples {
+		g += spec.grads[si]
+	}
+	return g / (float64(len(samples)) + spec.lambda)
+}
+
+// findBest computes the leaf's best split via per-bin histograms.
+func findBest(spec *growSpec, lc *leafCand) {
+	lc.gain = 0
+	if len(lc.samples) < 2*spec.minLeaf {
+		return
+	}
+	nf := len(spec.binEdges)
+	var gTot float64
+	for _, si := range lc.samples {
+		gTot += spec.grads[si]
+	}
+	nTot := float64(len(lc.samples))
+	parentScore := gTot * gTot / (nTot + spec.lambda)
+	for f := 0; f < nf; f++ {
+		nbins := len(spec.binEdges[f]) + 1
+		if nbins < 2 {
+			continue
+		}
+		sums := make([]float64, nbins)
+		counts := make([]int, nbins)
+		for _, si := range lc.samples {
+			b := spec.Xq[si][f]
+			sums[b] += spec.grads[si]
+			counts[b]++
+		}
+		var gl float64
+		nl := 0
+		for b := 1; b < nbins; b++ {
+			gl += sums[b-1]
+			nl += counts[b-1]
+			nr := len(lc.samples) - nl
+			if nl < spec.minLeaf || nr < spec.minLeaf {
+				continue
+			}
+			gr := gTot - gl
+			gain := gl*gl/(float64(nl)+spec.lambda) +
+				gr*gr/(float64(nr)+spec.lambda) - parentScore
+			if gain > lc.gain && !math.IsNaN(gain) {
+				lc.gain = gain
+				lc.feature = f
+				lc.binSplit = b
+			}
+		}
+	}
+}

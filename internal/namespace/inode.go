@@ -1,0 +1,76 @@
+// Package namespace implements the hierarchical file-system namespace that
+// OrigamiFS manages: an inode table indexed by (parent inode, name), a
+// directory tree supporting subtree iteration and per-directory statistics,
+// and fake-inodes that record where a migrated subtree now lives.
+//
+// The namespace is the unit every other subsystem operates on: the cost
+// model walks paths through it, the Meta-OPT algorithm enumerates its
+// subtrees, workload generators populate it, and the feature pipeline
+// derives the Table-1 statistics from it.
+package namespace
+
+import "fmt"
+
+// Ino is an inode number. Ino 0 is invalid; the root directory is RootIno.
+type Ino uint64
+
+// RootIno is the inode number of the root directory "/".
+const RootIno Ino = 1
+
+// InvalidIno is the zero, never-allocated inode number.
+const InvalidIno Ino = 0
+
+// FileType distinguishes the kinds of namespace entries.
+type FileType uint8
+
+const (
+	// TypeDir is a directory inode.
+	TypeDir FileType = iota
+	// TypeFile is a regular-file inode.
+	TypeFile
+	// TypeFake marks a placeholder inode left behind on the source MDS
+	// after a subtree migration; it records the destination MDS so that
+	// path resolution can be forwarded (§3.1: "m additional fake-inodes
+	// are stored to preserve migration information").
+	TypeFake
+)
+
+// String returns a short human-readable name for the file type.
+func (t FileType) String() string {
+	switch t {
+	case TypeDir:
+		return "dir"
+	case TypeFile:
+		return "file"
+	case TypeFake:
+		return "fake"
+	default:
+		return fmt.Sprintf("FileType(%d)", uint8(t))
+	}
+}
+
+// Inode holds the metadata attributes of one namespace entry. Fields mirror
+// the attributes a POSIX metadata server maintains, trimmed to what the
+// paper's operations and feature pipeline consume.
+type Inode struct {
+	Ino    Ino
+	Parent Ino
+	Name   string
+	Type   FileType
+	Mode   uint16 // permission bits
+	Uid    uint32
+	Gid    uint32
+	Size   int64
+	Nlink  uint32
+	Atime  int64 // virtual-clock nanoseconds
+	Mtime  int64
+	Ctime  int64
+}
+
+// IsDir reports whether the inode is a directory.
+func (in *Inode) IsDir() bool { return in.Type == TypeDir }
+
+// String implements fmt.Stringer for debugging output.
+func (in *Inode) String() string {
+	return fmt.Sprintf("%s(ino=%d parent=%d name=%q)", in.Type, in.Ino, in.Parent, in.Name)
+}

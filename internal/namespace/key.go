@@ -1,0 +1,113 @@
+package namespace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Inode records are persisted in each MDS's local key-value store keyed by
+// the parent inode number combined with the entry name, following InfiniFS
+// and CFS (paper §4.2). The big-endian parent prefix keeps all children of
+// one directory contiguous, so a directory scan is a single range scan.
+
+// EncodeKey builds the KV key for the entry name under directory parent.
+func EncodeKey(parent Ino, name string) []byte {
+	k := make([]byte, 8+len(name))
+	binary.BigEndian.PutUint64(k, uint64(parent))
+	copy(k[8:], name)
+	return k
+}
+
+// DecodeKey splits a KV key back into (parent, name).
+func DecodeKey(k []byte) (Ino, string, error) {
+	if len(k) < 8 {
+		return 0, "", fmt.Errorf("namespace: key too short (%d bytes)", len(k))
+	}
+	return Ino(binary.BigEndian.Uint64(k)), string(k[8:]), nil
+}
+
+// DirKeyRange returns the [lo, hi) key range that covers every child entry
+// of the directory parent.
+func DirKeyRange(parent Ino) (lo, hi []byte) {
+	lo = EncodeKey(parent, "")
+	hi = EncodeKey(parent+1, "")
+	return lo, hi
+}
+
+const inodeRecordSize = 8 + 8 + 1 + 2 + 4 + 4 + 8 + 4 + 8 + 8 + 8 // fixed part
+
+// EncodeInode serialises an inode to the compact binary record stored as
+// the KV value. The name is carried in the key, not duplicated in the
+// value, except that we keep it for self-describing dumps.
+func EncodeInode(in *Inode) []byte {
+	buf := make([]byte, inodeRecordSize+2+len(in.Name))
+	o := 0
+	binary.BigEndian.PutUint64(buf[o:], uint64(in.Ino))
+	o += 8
+	binary.BigEndian.PutUint64(buf[o:], uint64(in.Parent))
+	o += 8
+	buf[o] = byte(in.Type)
+	o++
+	binary.BigEndian.PutUint16(buf[o:], in.Mode)
+	o += 2
+	binary.BigEndian.PutUint32(buf[o:], in.Uid)
+	o += 4
+	binary.BigEndian.PutUint32(buf[o:], in.Gid)
+	o += 4
+	binary.BigEndian.PutUint64(buf[o:], uint64(in.Size))
+	o += 8
+	binary.BigEndian.PutUint32(buf[o:], in.Nlink)
+	o += 4
+	binary.BigEndian.PutUint64(buf[o:], uint64(in.Atime))
+	o += 8
+	binary.BigEndian.PutUint64(buf[o:], uint64(in.Mtime))
+	o += 8
+	binary.BigEndian.PutUint64(buf[o:], uint64(in.Ctime))
+	o += 8
+	binary.BigEndian.PutUint16(buf[o:], uint16(len(in.Name)))
+	o += 2
+	copy(buf[o:], in.Name)
+	return buf
+}
+
+// ErrBadRecord reports a corrupt or truncated serialised inode.
+var ErrBadRecord = errors.New("namespace: bad inode record")
+
+// DecodeInode parses a record produced by EncodeInode.
+func DecodeInode(buf []byte) (*Inode, error) {
+	if len(buf) < inodeRecordSize+2 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadRecord, len(buf))
+	}
+	in := &Inode{}
+	o := 0
+	in.Ino = Ino(binary.BigEndian.Uint64(buf[o:]))
+	o += 8
+	in.Parent = Ino(binary.BigEndian.Uint64(buf[o:]))
+	o += 8
+	in.Type = FileType(buf[o])
+	o++
+	in.Mode = binary.BigEndian.Uint16(buf[o:])
+	o += 2
+	in.Uid = binary.BigEndian.Uint32(buf[o:])
+	o += 4
+	in.Gid = binary.BigEndian.Uint32(buf[o:])
+	o += 4
+	in.Size = int64(binary.BigEndian.Uint64(buf[o:]))
+	o += 8
+	in.Nlink = binary.BigEndian.Uint32(buf[o:])
+	o += 4
+	in.Atime = int64(binary.BigEndian.Uint64(buf[o:]))
+	o += 8
+	in.Mtime = int64(binary.BigEndian.Uint64(buf[o:]))
+	o += 8
+	in.Ctime = int64(binary.BigEndian.Uint64(buf[o:]))
+	o += 8
+	nameLen := int(binary.BigEndian.Uint16(buf[o:]))
+	o += 2
+	if len(buf) < o+nameLen {
+		return nil, fmt.Errorf("%w: truncated name", ErrBadRecord)
+	}
+	in.Name = string(buf[o : o+nameLen])
+	return in, nil
+}

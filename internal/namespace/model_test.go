@@ -1,0 +1,273 @@
+package namespace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// model is a trivially correct namespace: a set of absolute paths with
+// type flags. The randomized test drives the Tree and the model with the
+// same operation stream and cross-checks after every step.
+type model struct {
+	dirs  map[string]bool
+	files map[string]bool
+}
+
+func newModel() *model {
+	return &model{dirs: map[string]bool{"/": true}, files: map[string]bool{}}
+}
+
+func (m *model) childrenOf(dir string) []string {
+	var out []string
+	for p := range m.dirs {
+		if p != "/" && parentOf(p) == dir {
+			out = append(out, p)
+		}
+	}
+	for p := range m.files {
+		if parentOf(p) == dir {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parentOf(p string) string {
+	d, _ := ParentPath(p)
+	return d
+}
+
+func (m *model) mkdir(p string) bool {
+	if m.dirs[p] || m.files[p] || !m.dirs[parentOf(p)] {
+		return false
+	}
+	m.dirs[p] = true
+	return true
+}
+
+func (m *model) create(p string) bool {
+	if m.dirs[p] || m.files[p] || !m.dirs[parentOf(p)] {
+		return false
+	}
+	m.files[p] = true
+	return true
+}
+
+func (m *model) remove(p string) bool {
+	if m.files[p] {
+		delete(m.files, p)
+		return true
+	}
+	if m.dirs[p] && p != "/" && len(m.childrenOf(p)) == 0 {
+		delete(m.dirs, p)
+		return true
+	}
+	return false
+}
+
+// rename moves p (and, for dirs, every descendant) to dst.
+func (m *model) rename(p, dst string) bool {
+	if p == "/" || dst == "/" || p == dst {
+		return false
+	}
+	if !m.dirs[parentOf(dst)] {
+		return false
+	}
+	if strings.HasPrefix(dst, p+"/") {
+		return false // into own subtree
+	}
+	isDir := m.dirs[p]
+	isFile := m.files[p]
+	if !isDir && !isFile {
+		return false
+	}
+	// Destination constraints mirror POSIX rename.
+	if m.files[dst] && isDir {
+		return false
+	}
+	if m.dirs[dst] {
+		if !isDir || len(m.childrenOf(dst)) > 0 {
+			return false
+		}
+		delete(m.dirs, dst)
+	}
+	if m.files[dst] {
+		delete(m.files, dst)
+	}
+	if isFile {
+		delete(m.files, p)
+		m.files[dst] = true
+		return true
+	}
+	// Directory: move the whole subtree.
+	moves := map[string]string{}
+	for q := range m.dirs {
+		if q == p || strings.HasPrefix(q, p+"/") {
+			moves[q] = dst + q[len(p):]
+		}
+	}
+	fileMoves := map[string]string{}
+	for q := range m.files {
+		if strings.HasPrefix(q, p+"/") {
+			fileMoves[q] = dst + q[len(p):]
+		}
+	}
+	for from, to := range moves {
+		delete(m.dirs, from)
+		m.dirs[to] = true
+	}
+	for from, to := range fileMoves {
+		delete(m.files, from)
+		m.files[to] = true
+	}
+	return true
+}
+
+// resolveIno resolves a model path against the tree.
+func resolveIno(t *testing.T, tr *Tree, p string) (Ino, bool) {
+	chain, err := tr.ResolvePath(p)
+	if err != nil {
+		return 0, false
+	}
+	return chain[len(chain)-1].Ino, true
+}
+
+// TestTreeMatchesModel drives thousands of random operations through the
+// Tree and the path-set model and verifies they agree on success/failure
+// and on the resulting namespace contents.
+func TestTreeMatchesModel(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20250705))
+	tr := NewTree()
+	m := newModel()
+
+	randomPath := func() string {
+		// Draw from known dirs plus a fresh component so both valid and
+		// invalid paths occur.
+		dirs := make([]string, 0, len(m.dirs))
+		for d := range m.dirs {
+			dirs = append(dirs, d)
+		}
+		sort.Strings(dirs)
+		base := dirs[rnd.Intn(len(dirs))]
+		switch rnd.Intn(4) {
+		case 0: // existing child (maybe)
+			kids := m.childrenOf(base)
+			if len(kids) > 0 {
+				return kids[rnd.Intn(len(kids))]
+			}
+			fallthrough
+		default:
+			name := fmt.Sprintf("n%d", rnd.Intn(25))
+			if base == "/" {
+				return "/" + name
+			}
+			return base + "/" + name
+		}
+	}
+
+	applyTree := func(op string, p, dst string) bool {
+		switch op {
+		case "mkdir", "create":
+			dir, name := ParentPath(p)
+			pi, ok := resolveIno(t, tr, dir)
+			if !ok {
+				return false
+			}
+			typ := TypeFile
+			if op == "mkdir" {
+				typ = TypeDir
+			}
+			_, err := tr.Create(pi, name, typ, 0)
+			return err == nil
+		case "remove":
+			dir, name := ParentPath(p)
+			pi, ok := resolveIno(t, tr, dir)
+			if !ok || name == "" {
+				return false
+			}
+			return tr.Remove(pi, name, 0) == nil
+		case "rename":
+			sdir, sname := ParentPath(p)
+			ddir, dname := ParentPath(dst)
+			spi, ok1 := resolveIno(t, tr, sdir)
+			dpi, ok2 := resolveIno(t, tr, ddir)
+			if !ok1 || !ok2 || sname == "" || dname == "" {
+				return false
+			}
+			if _, err := tr.Lookup(spi, sname); err != nil {
+				return false
+			}
+			return tr.Rename(spi, sname, dpi, dname, 0) == nil
+		}
+		return false
+	}
+
+	for step := 0; step < 6000; step++ {
+		p := randomPath()
+		var op, dst string
+		switch rnd.Intn(10) {
+		case 0, 1:
+			op = "mkdir"
+		case 2, 3, 4:
+			op = "create"
+		case 5, 6:
+			op = "remove"
+		default:
+			op = "rename"
+			dst = randomPath()
+		}
+		var modelOK bool
+		switch op {
+		case "mkdir":
+			modelOK = m.mkdir(p)
+		case "create":
+			modelOK = m.create(p)
+		case "remove":
+			modelOK = m.remove(p)
+		case "rename":
+			modelOK = m.rename(p, dst)
+		}
+		treeOK := applyTree(op, p, dst)
+		if treeOK != modelOK {
+			t.Fatalf("step %d: %s %q %q: tree=%v model=%v", step, op, p, dst, treeOK, modelOK)
+		}
+	}
+
+	// Final cross-check: every model path resolves with the right type,
+	// and the tree holds exactly as many inodes as the model has paths.
+	for p := range m.dirs {
+		chain, err := tr.ResolvePath(p)
+		if err != nil {
+			t.Fatalf("model dir %q unresolvable: %v", p, err)
+		}
+		if !chain[len(chain)-1].IsDir() {
+			t.Fatalf("model dir %q is not a dir in the tree", p)
+		}
+	}
+	for p := range m.files {
+		chain, err := tr.ResolvePath(p)
+		if err != nil {
+			t.Fatalf("model file %q unresolvable: %v", p, err)
+		}
+		if chain[len(chain)-1].Type != TypeFile {
+			t.Fatalf("model file %q is not a file in the tree", p)
+		}
+	}
+	wantInodes := len(m.dirs) + len(m.files) // "/" counts as the root inode
+	if tr.NumInodes() != wantInodes {
+		t.Fatalf("tree has %d inodes, model has %d paths", tr.NumInodes(), wantInodes)
+	}
+	// Subtree statistics agree with the model's totals.
+	stats, err := tr.StatsOf(RootIno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != len(m.files) || stats.Dirs != len(m.dirs) {
+		t.Fatalf("StatsOf(root) = %d files %d dirs, model %d/%d",
+			stats.Files, stats.Dirs, len(m.files), len(m.dirs))
+	}
+}

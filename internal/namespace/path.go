@@ -1,0 +1,56 @@
+package namespace
+
+import "strings"
+
+// SplitPath splits an absolute slash-separated path into its components,
+// ignoring empty segments. "/" yields an empty slice; "/a//b/" yields
+// ["a", "b"]. Relative paths are treated as rooted at "/".
+func SplitPath(p string) []string {
+	if p == "" || p == "/" {
+		return nil
+	}
+	raw := strings.Split(p, "/")
+	out := make([]string, 0, len(raw))
+	for _, c := range raw {
+		if c != "" && c != "." {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// JoinPath assembles path components into an absolute path.
+func JoinPath(components []string) string {
+	if len(components) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(components, "/")
+}
+
+// ParentPath returns the parent directory of an absolute path, and the final
+// component. ParentPath("/a/b/c") == ("/a/b", "c"). The parent of "/" is "/"
+// with an empty name.
+func ParentPath(p string) (dir, name string) {
+	comps := SplitPath(p)
+	if len(comps) == 0 {
+		return "/", ""
+	}
+	return JoinPath(comps[:len(comps)-1]), comps[len(comps)-1]
+}
+
+// Depth returns the number of components of an absolute path: Depth("/")
+// is 0, Depth("/a/b") is 2.
+func Depth(p string) int { return len(SplitPath(p)) }
+
+// IsPathPrefix reports whether prefix is an ancestor path of p (or equal to
+// it), comparing whole components: "/a/b" is a prefix of "/a/b/c" but not of
+// "/a/bc".
+func IsPathPrefix(prefix, p string) bool {
+	if prefix == "/" {
+		return true
+	}
+	if p == prefix {
+		return true
+	}
+	return strings.HasPrefix(p, prefix) && len(p) > len(prefix) && p[len(prefix)] == '/'
+}

@@ -1,0 +1,203 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/features"
+	"origami/internal/ml"
+	"origami/internal/sim"
+	"origami/internal/trace"
+	"origami/internal/workload"
+)
+
+func smallCfg() Config {
+	return Config{
+		Sim: sim.Config{
+			NumMDS: 5, Clients: 30, CacheDepth: 3, Epoch: time.Second,
+		},
+	}
+}
+
+func rwTrace(seed int64, ops int) *trace.Trace {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = ops
+	cfg.Seed = seed
+	return workload.TraceRW(cfg)
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds, err := GenerateDataset(rwTrace(5, 60000), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() < 100 {
+		t.Fatalf("dataset too small: %d", ds.Len())
+	}
+	if ds.NumFeatures() != features.NumFeatures {
+		t.Errorf("features = %d, want %d", ds.NumFeatures(), features.NumFeatures)
+	}
+	pos := 0
+	for _, y := range ds.Y {
+		if y > 0 {
+			pos++
+		}
+	}
+	if pos == 0 {
+		t.Error("no positive labels collected")
+	}
+}
+
+func TestGenerateDatasetEpochCap(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Epochs = 1
+	ds, err := GenerateDataset(rwTrace(5, 60000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One epoch yields one row per non-root directory.
+	if ds.Len() > 2000 {
+		t.Errorf("epoch cap ignored: %d rows", ds.Len())
+	}
+}
+
+func TestTrainProducesUsableModel(t *testing.T) {
+	ds, err := GenerateDataset(rwTrace(5, 60000), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Train(ds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LightGBM == nil {
+		t.Fatal("no model")
+	}
+	if len(rep.ImportanceRank) != features.NumFeatures {
+		t.Errorf("importance ranks = %v", rep.ImportanceRank)
+	}
+	if len(rep.Models) != 1 || rep.Models[0].Name != "LightGBM" {
+		t.Errorf("models = %+v", rep.Models)
+	}
+	// The model must rank benefits far better than chance.
+	if rep.Models[0].Spearman < 0.3 {
+		t.Errorf("spearman = %v, want >= 0.3", rep.Models[0].Spearman)
+	}
+}
+
+func TestTrainCompareAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three model families")
+	}
+	ds, err := GenerateDataset(rwTrace(5, 60000), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Train(ds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Models) != 3 {
+		t.Fatalf("models = %d, want 3", len(rep.Models))
+	}
+	names := map[string]bool{}
+	for _, m := range rep.Models {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"LightGBM", "GBDT", "MLP"} {
+		if !names[want] {
+			t.Errorf("missing model %s", want)
+		}
+	}
+}
+
+// TestValidateTrainedModelCompetitive is the §4.3 online-validation stage:
+// the offline-trained model driving Origami must perform in the
+// neighbourhood of the Meta-OPT bootstrap it was trained to imitate.
+func TestValidateTrainedModelCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline integration")
+	}
+	cfg := smallCfg()
+	rep, res, err := Run(rwTrace(5, 60000), rwTrace(9, 60000), cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("validation run did nothing")
+	}
+	// Baseline: same validation trace, Meta-OPT bootstrap (no model).
+	boot, err := Validate(rwTrace(9, 60000), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyThroughput < 0.7*boot.SteadyThroughput {
+		t.Errorf("trained model throughput %.0f too far below bootstrap %.0f",
+			res.SteadyThroughput, boot.SteadyThroughput)
+	}
+	_ = rep
+}
+
+func TestGenerateDatasetFailsOnEmptyTrace(t *testing.T) {
+	empty := &trace.Trace{Name: "empty"}
+	if _, err := GenerateDataset(empty, smallCfg()); err == nil {
+		t.Error("expected error for label-less run")
+	}
+}
+
+func TestGenerateDatasetPartialEpochStillLabels(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Sim.Epoch = time.Hour // only the final partial epoch fires
+	ds, err := GenerateDataset(rwTrace(1, 5000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Error("partial epoch produced no labels")
+	}
+}
+
+// TestCompareModelsAgreeOnSystemOutcome reproduces the §4.3 observation:
+// the three model families, validated online, land at similar end-to-end
+// throughput because Meta-OPT-style filtering makes the system robust to
+// prediction differences.
+func TestCompareModelsAgreeOnSystemOutcome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three model families and runs three validations")
+	}
+	cfg := smallCfg()
+	ds, err := GenerateDataset(rwTrace(5, 60000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := CompareModels(ds, func() *trace.Trace { return rwTrace(9, 60000) }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	lo, hi := runs[0].Result.SteadyThroughput, runs[0].Result.SteadyThroughput
+	for _, r := range runs {
+		v := r.Result.SteadyThroughput
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < 0.6*hi {
+		t.Errorf("model families diverge too much: min %.0f vs max %.0f", lo, hi)
+	}
+}
+
+func TestValidateNilModelUsesBootstrap(t *testing.T) {
+	res, err := Validate(rwTrace(3, 30000), (*ml.GBDT)(nil), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Error("bootstrap validation did nothing")
+	}
+}

@@ -1,0 +1,318 @@
+// Package rpc is the wire layer of the networked OrigamiFS: length-
+// prefixed binary frames over TCP, with request multiplexing on the
+// client side and one goroutine per connection on the server side.
+//
+// Frame layout:
+//
+//	[4B frameLen][8B requestID][1B kind][2B method][body]
+//
+// kind distinguishes requests from responses; response bodies start with
+// a status byte (0 = OK, otherwise an error whose message follows).
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Method identifies an RPC handler.
+type Method uint16
+
+const (
+	kindRequest  byte = 0
+	kindResponse byte = 1
+
+	// MaxFrame bounds a single frame (16 MiB).
+	MaxFrame = 16 << 20
+)
+
+// RemoteError is a server-side failure transported back to the caller.
+type RemoteError struct {
+	Method Method
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: method %d: %s", e.Method, e.Msg)
+}
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("rpc: connection closed")
+
+func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, body []byte) error {
+	frameLen := 8 + 1 + 2 + len(body)
+	if frameLen > MaxFrame {
+		return fmt.Errorf("rpc: frame too large (%d bytes)", frameLen)
+	}
+	var hdr [15]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(frameLen))
+	binary.BigEndian.PutUint64(hdr[4:], reqID)
+	hdr[12] = kind
+	binary.BigEndian.PutUint16(hdr[13:], uint16(method))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (reqID uint64, kind byte, method Method, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	frameLen := binary.BigEndian.Uint32(lenBuf[:])
+	if frameLen < 11 || frameLen > MaxFrame {
+		return 0, 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", frameLen)
+	}
+	buf := make([]byte, frameLen)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	reqID = binary.BigEndian.Uint64(buf[0:])
+	kind = buf[8]
+	method = Method(binary.BigEndian.Uint16(buf[9:]))
+	return reqID, kind, method, buf[11:], nil
+}
+
+// Handler serves one method. The returned bytes become the OK response
+// body; a returned error is transported as a RemoteError.
+type Handler func(body []byte) ([]byte, error)
+
+// Server dispatches incoming requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[Method]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[Method]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler; it must be called before Serve.
+func (s *Server) Handle(m Method, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[m] = h
+}
+
+// Listen binds the address and starts accepting in the background. It
+// returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var wmu sync.Mutex
+	for {
+		reqID, kind, method, body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if kind != kindRequest {
+			continue
+		}
+		s.mu.RLock()
+		h := s.handlers[method]
+		s.mu.RUnlock()
+		// Handlers run inline: metadata ops are short and ordering per
+		// connection mirrors a real MDS dispatch queue.
+		var resp []byte
+		if h == nil {
+			resp = errorBody(fmt.Sprintf("unknown method %d", method))
+		} else if out, err := safeCall(h, body); err != nil {
+			resp = errorBody(err.Error())
+		} else {
+			resp = append([]byte{0}, out...)
+		}
+		wmu.Lock()
+		err = writeFrame(w, reqID, kindResponse, method, resp)
+		wmu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+func errorBody(msg string) []byte {
+	return append([]byte{1}, msg...)
+}
+
+// safeCall shields the connection from a panicking handler: one bad
+// request becomes an error response instead of tearing down every client
+// multiplexed on the connection.
+func safeCall(h Handler, body []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	return h(body)
+}
+
+// Close stops the listener, force-closes active connections, and waits
+// for the handler goroutines to drain.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a multiplexing RPC client over one TCP connection: concurrent
+// Calls are pipelined and matched to responses by request ID.
+type Client struct {
+	conn    net.Conn
+	w       *bufio.Writer
+	wmu     sync.Mutex
+	nextID  atomic.Uint64
+	pending sync.Map // reqID -> chan response
+	closed  atomic.Bool
+	readErr error
+	done    chan struct{}
+}
+
+type response struct {
+	body []byte
+	err  error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn: conn,
+		w:    bufio.NewWriterSize(conn, 64<<10),
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		reqID, kind, method, body, err := readFrame(r)
+		if err != nil {
+			c.readErr = err
+			close(c.done)
+			// Fail all pending calls.
+			c.pending.Range(func(k, v interface{}) bool {
+				v.(chan response) <- response{err: ErrClosed}
+				c.pending.Delete(k)
+				return true
+			})
+			return
+		}
+		if kind != kindResponse {
+			continue
+		}
+		ch, ok := c.pending.LoadAndDelete(reqID)
+		if !ok {
+			continue
+		}
+		if len(body) == 0 {
+			ch.(chan response) <- response{err: &RemoteError{Method: method, Msg: "empty response"}}
+			continue
+		}
+		if body[0] != 0 {
+			ch.(chan response) <- response{err: &RemoteError{Method: method, Msg: string(body[1:])}}
+			continue
+		}
+		ch.(chan response) <- response{body: body[1:]}
+	}
+}
+
+// Call issues one request and waits for its response.
+func (c *Client) Call(m Method, body []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan response, 1)
+	c.pending.Store(id, ch)
+	c.wmu.Lock()
+	err := writeFrame(c.w, id, kindRequest, m, body)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pending.Delete(id)
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	select {
+	case resp := <-ch:
+		return resp.body, resp.err
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.conn.Close()
+}

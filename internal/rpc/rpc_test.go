@@ -1,0 +1,172 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func startEcho(t *testing.T) (string, *Server) {
+	t.Helper()
+	srv := NewServer()
+	srv.Handle(1, func(body []byte) ([]byte, error) {
+		return append([]byte("echo:"), body...), nil
+	})
+	srv.Handle(2, func(body []byte) ([]byte, error) {
+		return nil, fmt.Errorf("EBOOM: deliberate failure")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	addr, _ := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Call(1, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hello" {
+		t.Errorf("response = %q", out)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	addr, _ := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(2, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "EBOOM: deliberate failure" {
+		t.Errorf("msg = %q", re.Msg)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	addr, _ := startEcho(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Call(99, nil); err == nil {
+		t.Error("unknown method succeeded")
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	addr, _ := startEcho(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("msg-%03d", i))
+			out, err := c.Call(1, payload)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(out, append([]byte("echo:"), payload...)) {
+				errs <- fmt.Errorf("mismatched response %q for %q", out, payload)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestClientAfterServerClose(t *testing.T) {
+	srv := NewServer()
+	srv.Handle(1, func(b []byte) ([]byte, error) { return b, nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := c.Call(1, []byte("y")); err == nil {
+		t.Error("call after server close succeeded")
+	}
+}
+
+func TestCallOnClosedClient(t *testing.T) {
+	addr, _ := startEcho(t)
+	c, _ := Dial(addr)
+	c.Close()
+	if _, err := c.Call(1, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var w Wire
+	w.U8(7).U32(1234).U64(1 << 40).I64(-5).Str("hello").Blob([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if r.U8() != 7 || r.U32() != 1234 || r.U64() != 1<<40 || r.I64() != -5 {
+		t.Error("scalar round trip failed")
+	}
+	if r.Str() != "hello" {
+		t.Error("string round trip failed")
+	}
+	if !bytes.Equal(r.Blob(), []byte{1, 2, 3}) {
+		t.Error("blob round trip failed")
+	}
+	if r.Err() != nil {
+		t.Errorf("err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestWireTruncation(t *testing.T) {
+	var w Wire
+	w.Str("hello")
+	r := NewReader(w.Bytes()[:3])
+	_ = r.Str()
+	if r.Err() == nil {
+		t.Error("truncated read succeeded")
+	}
+	// Bogus huge length must not panic.
+	r2 := NewReader([]byte{0xff, 0xff, 0xff, 0xff, 1, 2})
+	_ = r2.Blob()
+	if r2.Err() == nil {
+		t.Error("bogus length accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire is a tiny append-only encoder for RPC bodies.
+type Wire struct {
+	buf []byte
+}
+
+// Bytes returns the encoded body.
+func (w *Wire) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Wire) U8(v uint8) *Wire { w.buf = append(w.buf, v); return w }
+
+// U32 appends a big-endian uint32.
+func (w *Wire) U32(v uint32) *Wire { w.buf = binary.BigEndian.AppendUint32(w.buf, v); return w }
+
+// U64 appends a big-endian uint64.
+func (w *Wire) U64(v uint64) *Wire { w.buf = binary.BigEndian.AppendUint64(w.buf, v); return w }
+
+// I64 appends a big-endian int64.
+func (w *Wire) I64(v int64) *Wire { return w.U64(uint64(v)) }
+
+// Str appends a length-prefixed string.
+func (w *Wire) Str(s string) *Wire {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Blob appends length-prefixed bytes.
+func (w *Wire) Blob(b []byte) *Wire {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// ErrTruncated reports a short RPC body.
+var ErrTruncated = errors.New("rpc: truncated body")
+
+// Reader decodes RPC bodies written with Wire.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a body.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf))
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := int(r.U32())
+	if r.err != nil || n > len(r.buf) {
+		if r.err == nil {
+			r.err = ErrTruncated
+		}
+		return ""
+	}
+	b := r.take(n)
+	return string(b)
+}
+
+// Blob reads length-prefixed bytes.
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	if r.err != nil || n > len(r.buf) {
+		if r.err == nil {
+			r.err = ErrTruncated
+		}
+		return nil
+	}
+	return r.take(n)
+}
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"origami/internal/client"
+	"origami/internal/namespace"
+)
+
+// TestChaosOpsMigrationsRestarts interleaves random namespace mutations,
+// random subtree migrations, and full-cluster restarts, cross-checking
+// the cluster against a model of expected paths after every phase. It is
+// the networked stack's end-to-end durability and redirect torture test.
+func TestChaosOpsMigrationsRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	dir := t.TempDir()
+	rnd := rand.New(rand.NewSource(7))
+
+	model := map[string]bool{} // path -> isDir
+	dirs := []string{}         // known dirs, "/" excluded
+
+	cl, err := StartCluster(3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(cl)
+
+	reconnect := func() {
+		sdk.Close()
+		cl.Close()
+		cl, err = StartCluster(3, dir)
+		if err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+		sdk, err = client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+		if err != nil {
+			t.Fatalf("reconnect: %v", err)
+		}
+		co = NewCoordinator(cl)
+	}
+	defer func() {
+		sdk.Close()
+		cl.Close()
+	}()
+
+	seq := 0
+	for round := 0; round < 6; round++ {
+		// Phase 1: random mutations.
+		for i := 0; i < 40; i++ {
+			switch rnd.Intn(10) {
+			case 0, 1, 2: // mkdir
+				parent := "/"
+				if len(dirs) > 0 && rnd.Intn(2) == 0 {
+					parent = dirs[rnd.Intn(len(dirs))]
+				}
+				p := fmt.Sprintf("%s/d%04d", parent, seq)
+				if parent == "/" {
+					p = fmt.Sprintf("/d%04d", seq)
+				}
+				seq++
+				if _, err := sdk.Mkdir(p); err != nil {
+					t.Fatalf("round %d mkdir %s: %v", round, p, err)
+				}
+				model[p] = true
+				dirs = append(dirs, p)
+			case 3: // remove a file
+				for p, isDir := range model {
+					if !isDir {
+						if err := sdk.Remove(p); err != nil {
+							t.Fatalf("round %d remove %s: %v", round, p, err)
+						}
+						delete(model, p)
+						break
+					}
+				}
+			default: // create
+				parent := "/"
+				if len(dirs) > 0 {
+					parent = dirs[rnd.Intn(len(dirs))]
+				}
+				p := fmt.Sprintf("%s/f%04d", parent, seq)
+				if parent == "/" {
+					p = fmt.Sprintf("/f%04d", seq)
+				}
+				seq++
+				if _, err := sdk.Create(p); err != nil {
+					t.Fatalf("round %d create %s: %v", round, p, err)
+				}
+				model[p] = false
+			}
+		}
+		// Phase 2: random migration of a random directory.
+		if len(dirs) > 0 {
+			p := dirs[rnd.Intn(len(dirs))]
+			in, err := sdk.Stat(p)
+			if err != nil {
+				t.Fatalf("round %d stat %s: %v", round, p, err)
+			}
+			pins := co.Pins()
+			from := 0
+			// Walk up for the effective owner using the coordinator's map.
+			if m, ok := pins[in.Ino]; ok {
+				from = m
+			} else {
+				// Parent chain unknown client-side; ask each possible
+				// source until one accepts. (Chaos tests may try wrong
+				// sources; the coordinator rejects them safely.)
+				from = -1
+				for cand := 0; cand < 3; cand++ {
+					if err := co.Migrate(in.Ino, cand, (cand+1)%3); err == nil {
+						from = cand
+						break
+					}
+				}
+			}
+			if from >= 0 {
+				if m, ok := pins[in.Ino]; ok && m == from {
+					to := (from + 1) % 3
+					if err := co.Migrate(in.Ino, from, to); err != nil {
+						t.Fatalf("round %d migrate %s: %v", round, p, err)
+					}
+				}
+			}
+		}
+		// Phase 3: occasional full restart.
+		if round%2 == 1 {
+			reconnect()
+		}
+		// Phase 4: verify the model.
+		for p, isDir := range model {
+			in, err := sdk.Stat(p)
+			if err != nil {
+				t.Fatalf("round %d: model path %s unresolvable: %v", round, p, err)
+			}
+			if isDir != (in.Type == namespace.TypeDir) {
+				t.Fatalf("round %d: %s type mismatch", round, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package server assembles networked OrigamiFS clusters: it can start N
+// in-process MDS services (used by tests, examples, and the CLI dev mode)
+// and runs the Coordinator — the §4.2 Metadata Balancer on MDS 0 that
+// pulls Data Collector dumps every epoch, plans migrations with Meta-OPT
+// (or a trained model), executes them through the Migrator RPCs, and
+// publishes the updated partition map.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"origami/internal/kvstore"
+	"origami/internal/mds"
+	"origami/internal/rpc"
+)
+
+// Cluster is a set of running MDS services plus coordinator connections.
+type Cluster struct {
+	Services  []*mds.Service
+	Addrs     []string
+	conns     []*rpc.Client
+	peerConns []*rpc.Client
+	dir       string
+}
+
+// StartCluster launches n in-process MDS services storing shards under
+// baseDir (one sub-directory per MDS). MDS 0 holds the root.
+func StartCluster(n int, baseDir string) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("server: cluster size %d", n)
+	}
+	c := &Cluster{dir: baseDir, peerConns: make([]*rpc.Client, n)}
+	// Peer resolver: lazily dials by id using the address table, which
+	// is filled as services come up.
+	peers := func(id int) (*rpc.Client, error) {
+		if id < 0 || id >= len(c.Addrs) {
+			return nil, fmt.Errorf("server: peer %d out of range", id)
+		}
+		if c.peerConns[id] == nil {
+			conn, err := rpc.Dial(c.Addrs[id])
+			if err != nil {
+				return nil, err
+			}
+			c.peerConns[id] = conn
+		}
+		return c.peerConns[id], nil
+	}
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(baseDir, fmt.Sprintf("mds%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.Close()
+			return nil, err
+		}
+		store, err := mds.OpenStore(dir, i, kvstore.Options{})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("server: open store %d: %w", i, err)
+		}
+		svc := mds.NewService(i, store, peers)
+		addr, err := svc.Serve("127.0.0.1:0")
+		if err != nil {
+			store.Close()
+			c.Close()
+			return nil, fmt.Errorf("server: serve MDS %d: %w", i, err)
+		}
+		c.Services = append(c.Services, svc)
+		c.Addrs = append(c.Addrs, addr)
+	}
+	for i := 0; i < n; i++ {
+		conn, err := rpc.Dial(c.Addrs[i])
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, conn)
+	}
+	return c, nil
+}
+
+// Conn returns the coordinator's connection to one MDS.
+func (c *Cluster) Conn(id int) *rpc.Client { return c.conns[id] }
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	for _, conn := range c.peerConns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	for _, svc := range c.Services {
+		if svc != nil {
+			svc.Close()
+		}
+	}
+}

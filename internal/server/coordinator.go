@@ -1,0 +1,298 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"origami/internal/cluster"
+	"origami/internal/mds"
+	"origami/internal/metaopt"
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// Coordinator is the networked Metadata Balancer (§4.2): it runs on (or
+// beside) MDS 0, collects dumps, plans migrations, executes them, and
+// publishes the partition map. By default it plans with Meta-OPT
+// directly; any cluster.Strategy (e.g. a model-driven balancer.Origami
+// loaded from origami-train's output) can be plugged in instead.
+type Coordinator struct {
+	cluster *Cluster
+	pins    map[namespace.Ino]int
+	version uint64
+	// CacheDepth mirrors the client cache configuration for the benefit
+	// model's crossing-overhead pricing.
+	CacheDepth int
+	// MaxMigrations bounds decisions per epoch.
+	MaxMigrations int
+	// Strategy, when non-nil, replaces the built-in Meta-OPT planner.
+	// Its Setup is invoked lazily on first use.
+	Strategy cluster.Strategy
+
+	strategyReady bool
+}
+
+// NewCoordinator attaches a coordinator to a running cluster, seeding its
+// partition view from the map authority (MDS 0) so a restarted
+// coordinator resumes where the last one stopped.
+func NewCoordinator(c *Cluster) *Coordinator {
+	co := &Coordinator{
+		cluster:       c,
+		pins:          make(map[namespace.Ino]int),
+		CacheDepth:    3,
+		MaxMigrations: 8,
+	}
+	if body, err := c.Conn(0).Call(mds.MethodGetMap, nil); err == nil {
+		if version, pins, derr := mds.DecodeMap(body); derr == nil {
+			co.version = version
+			for _, p := range pins {
+				co.pins[p.Ino] = p.MDS
+			}
+		}
+	}
+	return co
+}
+
+// Pins returns a snapshot of the coordinator's partition map.
+func (co *Coordinator) Pins() map[namespace.Ino]int {
+	out := make(map[namespace.Ino]int, len(co.pins))
+	for k, v := range co.pins {
+		out[k] = v
+	}
+	return out
+}
+
+// collect pulls one epoch dump from every MDS.
+func (co *Coordinator) collect() ([]mds.StatsSnapshot, [][]mds.DumpRow, error) {
+	n := len(co.cluster.Addrs)
+	stats := make([]mds.StatsSnapshot, n)
+	rows := make([][]mds.DumpRow, n)
+	for i := 0; i < n; i++ {
+		body, err := co.cluster.Conn(i).Call(mds.MethodDump, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: dump from MDS %d: %w", i, err)
+		}
+		st, r, err := mds.DecodeDump(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats[i] = st
+		rows[i] = r
+	}
+	return stats, rows, nil
+}
+
+// merge builds a cluster.EpochStats from the per-shard dumps, computing
+// depths, owners, and subtree aggregates from the parent links.
+func (co *Coordinator) merge(epoch int, stats []mds.StatsSnapshot, shardRows [][]mds.DumpRow) *cluster.EpochStats {
+	type rec struct {
+		row   mds.DumpRow
+		shard int
+	}
+	byIno := make(map[namespace.Ino]*rec)
+	for shard, rows := range shardRows {
+		for _, row := range rows {
+			r := row
+			byIno[row.Ino] = &rec{row: r, shard: shard}
+		}
+	}
+	inos := make([]namespace.Ino, 0, len(byIno))
+	for ino := range byIno {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+
+	es := &cluster.EpochStats{
+		Epoch:    epoch,
+		Dirs:     make([]cluster.DirStat, len(inos)),
+		Index:    make(map[namespace.Ino]int, len(inos)),
+		Service:  make([]time.Duration, len(stats)),
+		RCT:      make([]time.Duration, len(stats)),
+		QPS:      make([]int64, len(stats)),
+		RPCs:     make([]int64, len(stats)),
+		Forwards: make([]int64, len(stats)),
+		Inodes:   make([]int, len(stats)),
+	}
+	for i, st := range stats {
+		es.Service[i] = time.Duration(st.ServiceNS)
+		es.QPS[i] = st.Ops
+		es.RPCs[i] = st.RPCs
+		es.Inodes[i] = int(st.Inodes)
+		es.Ops += st.Ops
+	}
+	for i, ino := range inos {
+		es.Index[ino] = i
+	}
+	// Owners: nearest pinned ancestor via parent links; default MDS 0.
+	var ownerOf func(ino namespace.Ino, hops int) cluster.MDSID
+	ownerOf = func(ino namespace.Ino, hops int) cluster.MDSID {
+		if hops > 64 {
+			return 0
+		}
+		if m, ok := co.pins[ino]; ok {
+			return cluster.MDSID(m)
+		}
+		if ino == namespace.RootIno {
+			return 0
+		}
+		r, ok := byIno[ino]
+		if !ok {
+			return 0
+		}
+		return ownerOf(r.row.Parent, hops+1)
+	}
+	var depthOf func(ino namespace.Ino, hops int) int
+	depthOf = func(ino namespace.Ino, hops int) int {
+		if ino == namespace.RootIno || hops > 64 {
+			return 0
+		}
+		r, ok := byIno[ino]
+		if !ok {
+			return 1
+		}
+		return depthOf(r.row.Parent, hops+1) + 1
+	}
+	// Children lists for subtree aggregation.
+	children := make(map[namespace.Ino][]namespace.Ino)
+	for _, ino := range inos {
+		r := byIno[ino]
+		if ino != namespace.RootIno {
+			children[r.row.Parent] = append(children[r.row.Parent], ino)
+		}
+	}
+	type agg struct {
+		files, dirs   int
+		reads, writes int64
+		service       int64
+		owned         int64
+		ownedInodes   int
+	}
+	memo := make(map[namespace.Ino]agg)
+	var walk func(ino namespace.Ino) agg
+	walk = func(ino namespace.Ino) agg {
+		if a, ok := memo[ino]; ok {
+			return a
+		}
+		r := byIno[ino]
+		a := agg{
+			files:       int(r.row.ChildFiles),
+			reads:       r.row.Reads,
+			writes:      r.row.Writes,
+			service:     r.row.ServiceNS,
+			owned:       r.row.ServiceNS,
+			ownedInodes: 1 + int(r.row.ChildFiles),
+		}
+		owner := ownerOf(ino, 0)
+		for _, ch := range children[ino] {
+			ca := walk(ch)
+			a.files += ca.files
+			a.dirs += ca.dirs + 1
+			a.reads += ca.reads
+			a.writes += ca.writes
+			a.service += ca.service
+			if ownerOf(ch, 0) == owner {
+				a.owned += ca.owned
+				a.ownedInodes += ca.ownedInodes
+			}
+		}
+		memo[ino] = a
+		return a
+	}
+	for i, ino := range inos {
+		r := byIno[ino]
+		a := walk(ino)
+		es.Dirs[i] = cluster.DirStat{
+			Ino:            ino,
+			Parent:         r.row.Parent,
+			Depth:          depthOf(ino, 0),
+			SubFiles:       a.files,
+			SubDirs:        a.dirs,
+			SubtreeReads:   a.reads,
+			SubtreeWrites:  a.writes,
+			OwnReads:       r.row.Reads,
+			OwnWrites:      r.row.Writes,
+			SubtreeService: time.Duration(a.service),
+			OwnedService:   time.Duration(a.owned),
+			OwnedInodes:    a.ownedInodes,
+			Through:        r.row.Lookups,
+			Owner:          ownerOf(ino, 0),
+		}
+	}
+	return es
+}
+
+// RunEpoch performs one balancing round: collect, plan, migrate, publish.
+// It returns the decisions that were actually executed.
+func (co *Coordinator) RunEpoch() ([]cluster.Decision, error) {
+	stats, rows, err := co.collect()
+	if err != nil {
+		return nil, err
+	}
+	es := co.merge(0, stats, rows)
+	pm := cluster.NewPartitionMap(len(co.cluster.Addrs))
+	for ino, m := range co.pins {
+		if err := pm.Pin(ino, cluster.MDSID(m)); err != nil {
+			return nil, err
+		}
+	}
+	var plan []cluster.Decision
+	if co.Strategy != nil {
+		if !co.strategyReady {
+			if err := co.Strategy.Setup(nil, pm); err != nil {
+				return nil, err
+			}
+			co.strategyReady = true
+		}
+		plan = co.Strategy.Rebalance(es, nil, pm)
+	} else {
+		plan = metaopt.Plan(es, pm, metaopt.Config{
+			CacheDepth:   co.CacheDepth,
+			MaxDecisions: co.MaxMigrations,
+		})
+	}
+	var applied []cluster.Decision
+	for _, d := range plan {
+		var w rpc.Wire
+		w.U64(uint64(d.Subtree)).U32(uint32(d.To))
+		if _, err := co.cluster.Conn(int(d.From)).Call(mds.MethodMigrate, w.Bytes()); err != nil {
+			continue // source rejected (e.g. subtree moved meanwhile)
+		}
+		co.pins[d.Subtree] = int(d.To)
+		applied = append(applied, d)
+	}
+	if len(applied) > 0 {
+		if err := co.publish(); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// Migrate executes one explicit migration (the pluggable Migrator
+// interface for external algorithms).
+func (co *Coordinator) Migrate(subtree namespace.Ino, from, to int) error {
+	var w rpc.Wire
+	w.U64(uint64(subtree)).U32(uint32(to))
+	if _, err := co.cluster.Conn(from).Call(mds.MethodMigrate, w.Bytes()); err != nil {
+		return err
+	}
+	co.pins[subtree] = to
+	return co.publish()
+}
+
+// publish pushes the current partition map to every MDS.
+func (co *Coordinator) publish() error {
+	co.version++
+	pins := make([]mds.PinEntry, 0, len(co.pins))
+	for ino, m := range co.pins {
+		pins = append(pins, mds.PinEntry{Ino: ino, MDS: m})
+	}
+	body := mds.EncodeMap(co.version, pins)
+	for i := range co.cluster.Addrs {
+		if _, err := co.cluster.Conn(i).Call(mds.MethodSetMap, body); err != nil {
+			return fmt.Errorf("server: publish map to MDS %d: %w", i, err)
+		}
+	}
+	return nil
+}

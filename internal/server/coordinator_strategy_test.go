@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"origami/internal/balancer"
+)
+
+// TestCoordinatorWithPluggedStrategy drives the networked cluster with a
+// balancer.Origami strategy instead of the built-in Meta-OPT planner —
+// the deployment path where origami-train's model runs the live cluster.
+func TestCoordinatorWithPluggedStrategy(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+	co.Strategy = &balancer.Origami{CacheDepth: 3}
+
+	sdk.Mkdir("/hotA")
+	sdk.Mkdir("/hotB")
+	for i := 0; i < 10; i++ {
+		sdk.Create(fmt.Sprintf("/hotA/f%d", i))
+		sdk.Create(fmt.Sprintf("/hotB/f%d", i))
+	}
+	for round := 0; round < 300; round++ {
+		sdk.Stat(fmt.Sprintf("/hotA/f%d", round%10))
+		sdk.Stat(fmt.Sprintf("/hotB/f%d", round%10))
+	}
+	applied, err := co.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) == 0 {
+		t.Fatal("plugged strategy migrated nothing off the overloaded MDS")
+	}
+	// The cluster must remain fully functional.
+	for i := 0; i < 10; i++ {
+		if _, err := sdk.Stat(fmt.Sprintf("/hotA/f%d", i)); err != nil {
+			t.Errorf("post-balance stat: %v", err)
+		}
+	}
+	// A second epoch with the same strategy instance must not fail
+	// (Setup is invoked only once).
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatalf("second epoch: %v", err)
+	}
+}
+
+// TestCoordinatorWithLunule exercises the heuristic strategy over the
+// networked dump-merge path.
+func TestCoordinatorWithLunule(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+	co.Strategy = &balancer.Lunule{}
+
+	for d := 0; d < 4; d++ {
+		sdk.Mkdir(fmt.Sprintf("/t%d", d))
+		for i := 0; i < 5; i++ {
+			sdk.Create(fmt.Sprintf("/t%d/f%d", d, i))
+		}
+	}
+	for round := 0; round < 400; round++ {
+		sdk.Stat(fmt.Sprintf("/t%d/f%d", round%4, round%5))
+	}
+	applied, err := co.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) == 0 {
+		t.Fatal("Lunule migrated nothing")
+	}
+	for d := 0; d < 4; d++ {
+		if _, err := sdk.Stat(fmt.Sprintf("/t%d/f0", d)); err != nil {
+			t.Errorf("post-balance stat t%d: %v", d, err)
+		}
+	}
+}

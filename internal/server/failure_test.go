@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"origami/internal/client"
+)
+
+// TestMDSCrashIsolated kills one MDS and verifies operations on the
+// surviving shards keep working while operations needing the dead shard
+// fail fast with an error (no hang).
+func TestMDSCrashIsolated(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+
+	sdk.Mkdir("/alive")
+	sdk.Mkdir("/doomed")
+	for i := 0; i < 5; i++ {
+		sdk.Create(fmt.Sprintf("/alive/f%d", i))
+		sdk.Create(fmt.Sprintf("/doomed/f%d", i))
+	}
+	doomed, err := sdk.Stat("/doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move /doomed to MDS 2, then kill MDS 2.
+	if err := co.Migrate(doomed.Ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	cl.Services[2].Close()
+	cl.Services[2] = nil
+
+	// A fresh client (fresh connections — the old ones died with the
+	// server).
+	fresh, err := client.Dial(client.Config{Addrs: cl.Addrs[:2], CacheDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	// Shard-0 data still works.
+	for i := 0; i < 5; i++ {
+		if _, err := fresh.Stat(fmt.Sprintf("/alive/f%d", i)); err != nil {
+			t.Errorf("surviving shard op failed: %v", err)
+		}
+	}
+	// The migrated subtree is unreachable, and the failure is an error,
+	// not a hang (lookup hits MDS 0's fake, redirect targets dead MDS 2
+	// which is out of the fresh client's address range).
+	if _, err := fresh.Stat("/doomed/f0"); err == nil {
+		t.Error("op on dead shard succeeded")
+	}
+}
+
+// TestCoordinatorSurvivesFailedMigrationTarget verifies a migration order
+// whose source rejects it (stale decision) is skipped, not fatal.
+func TestCoordinatorSurvivesFailedMigrationTarget(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+	sdk.Mkdir("/d")
+	d, _ := sdk.Stat("/d")
+	// Migrating a subtree that is not on the named source fails cleanly.
+	if err := co.Migrate(d.Ino, 1, 2); err == nil {
+		t.Error("migration from wrong source succeeded")
+	}
+	// The cluster is still healthy.
+	if _, err := sdk.Create("/d/f"); err != nil {
+		t.Errorf("cluster broken after failed migration: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"time"
+
+	"origami/internal/costmodel"
+)
+
+// DataPath models the data cluster for end-to-end runs (Fig. 9b): after
+// the metadata operation completes, file-touching operations pay a data
+// transfer served by a pool of data servers. The pool is deliberately
+// simple — the paper's end-to-end experiment needs the data stage only as
+// a constant-cost pipeline step downstream of metadata.
+type DataPath struct {
+	// Servers is the number of data servers (round-robin service).
+	Servers int
+	// ReadTime and WriteTime are the per-object service times.
+	ReadTime  time.Duration
+	WriteTime time.Duration
+
+	freeAt []time.Duration
+	next   int
+}
+
+// NewDataPath builds a data cluster sized like the paper's testbed (the
+// remaining nodes after 5 MDSs and clients), with ~1 MiB objects over NVMe
+// and a 10 GbE-class network.
+func NewDataPath() *DataPath {
+	return &DataPath{Servers: 5, ReadTime: 400 * time.Microsecond, WriteTime: 700 * time.Microsecond}
+}
+
+// Applies reports whether the operation has a data stage.
+func (d *DataPath) Applies(op costmodel.OpType) bool {
+	switch op {
+	case costmodel.OpOpen, costmodel.OpCreate:
+		return true
+	default:
+		return false
+	}
+}
+
+// Serve enqueues one data op starting no earlier than t and returns its
+// completion time.
+func (d *DataPath) Serve(t time.Duration, op costmodel.OpType) time.Duration {
+	if d.freeAt == nil {
+		if d.Servers <= 0 {
+			d.Servers = 1
+		}
+		d.freeAt = make([]time.Duration, d.Servers)
+	}
+	svc := d.ReadTime
+	if op.IsWrite() {
+		svc = d.WriteTime
+	}
+	srv := d.next
+	d.next = (d.next + 1) % len(d.freeAt)
+	start := t
+	if d.freeAt[srv] > start {
+		start = d.freeAt[srv]
+	}
+	done := start + svc
+	d.freeAt[srv] = done
+	return done
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/costmodel"
+)
+
+func TestDataPathApplies(t *testing.T) {
+	d := NewDataPath()
+	if !d.Applies(costmodel.OpOpen) || !d.Applies(costmodel.OpCreate) {
+		t.Error("open/create must have a data stage")
+	}
+	for _, op := range []costmodel.OpType{
+		costmodel.OpStat, costmodel.OpMkdir, costmodel.OpRename,
+		costmodel.OpLsdir, costmodel.OpUnlink, costmodel.OpSetattr,
+	} {
+		if d.Applies(op) {
+			t.Errorf("%v should not have a data stage", op)
+		}
+	}
+}
+
+func TestDataPathWriteSlowerThanRead(t *testing.T) {
+	d := NewDataPath()
+	read := d.Serve(0, costmodel.OpOpen) // open = read
+	d2 := NewDataPath()
+	write := d2.Serve(0, costmodel.OpCreate) // create = write
+	if write <= read {
+		t.Errorf("write %v not slower than read %v", write, read)
+	}
+}
+
+func TestDataPathRoundRobinSpreads(t *testing.T) {
+	d := NewDataPath()
+	d.Servers = 3
+	// Three simultaneous ops land on three servers: identical finish.
+	t1 := d.Serve(0, costmodel.OpOpen)
+	t2 := d.Serve(0, costmodel.OpOpen)
+	t3 := d.Serve(0, costmodel.OpOpen)
+	if t1 != t2 || t2 != t3 {
+		t.Errorf("parallel ops staggered: %v %v %v", t1, t2, t3)
+	}
+	// The fourth queues behind the first server.
+	t4 := d.Serve(0, costmodel.OpOpen)
+	if t4 <= t1 {
+		t.Errorf("fourth op did not queue: %v after %v", t4, t1)
+	}
+}
+
+func TestDataPathStartAfterFree(t *testing.T) {
+	d := NewDataPath()
+	d.Servers = 1
+	done := d.Serve(0, costmodel.OpOpen)
+	// A request arriving after the server freed starts immediately.
+	later := done + time.Millisecond
+	next := d.Serve(later, costmodel.OpOpen)
+	if next != later+d.ReadTime {
+		t.Errorf("idle server did not start at arrival: %v, want %v", next, later+d.ReadTime)
+	}
+}
+
+func TestDataPathZeroServersClamped(t *testing.T) {
+	d := &DataPath{Servers: 0, ReadTime: time.Millisecond, WriteTime: time.Millisecond}
+	if done := d.Serve(0, costmodel.OpOpen); done <= 0 {
+		t.Errorf("zero-server pool unusable: %v", done)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"origami/internal/balancer"
+	"origami/internal/costmodel"
+	"origami/internal/trace"
+	"origami/internal/workload"
+)
+
+// TestBrokenOpsCountedNotFatal injects operations on paths that do not
+// exist; the simulator must count them as failed and keep going.
+func TestBrokenOpsCountedNotFatal(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 2000
+	cfg.Modules = 4
+	tr := workload.TraceRW(cfg)
+	// Splice bogus ops into the access stream.
+	broken := []trace.Op{
+		{Type: costmodel.OpStat, Path: "/no/such/path"},
+		{Type: costmodel.OpCreate, Path: "/missing-dir/f"},
+		{Type: costmodel.OpRename, Path: "/ghost", Dst: "/project/g"},
+	}
+	ops := append([]trace.Op{}, tr.Ops[:1000]...)
+	ops = append(ops, broken...)
+	ops = append(ops, tr.Ops[1000:]...)
+	tr.Ops = ops
+
+	res, err := Run(Config{NumMDS: 3, Clients: 10, CacheDepth: 3}, tr, balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedOps != int64(len(broken)) {
+		t.Errorf("FailedOps = %d, want %d", res.FailedOps, len(broken))
+	}
+	if res.Ops != int64(cfg.NumOps) {
+		t.Errorf("Ops = %d, want %d (good ops must all complete)", res.Ops, cfg.NumOps)
+	}
+}
+
+// TestSetupFailureIsAnError verifies a trace whose setup cannot replay is
+// rejected up front rather than silently producing garbage.
+func TestSetupFailureIsAnError(t *testing.T) {
+	tr := &trace.Trace{
+		Name:  "bad-setup",
+		Setup: []trace.Op{{Type: costmodel.OpCreate, Path: "/nodir/f"}},
+		Ops:   []trace.Op{{Type: costmodel.OpStat, Path: "/nodir/f"}},
+	}
+	if _, err := Run(Config{NumMDS: 1, Clients: 1}, tr, balancer.Single{}); err == nil {
+		t.Error("broken setup accepted")
+	}
+}
+
+// TestInvalidParamsRejected verifies config validation runs.
+func TestInvalidParamsRejected(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 100
+	tr := workload.TraceRW(cfg)
+	bad := Config{NumMDS: 2, Clients: 2}
+	bad.Params = costmodel.DefaultParams()
+	bad.Params.TExec[costmodel.OpStat] = 0
+	if _, err := Run(bad, tr, balancer.Single{}); err == nil {
+		t.Error("invalid cost parameters accepted")
+	}
+}

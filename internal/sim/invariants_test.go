@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/workload"
+)
+
+// Conservation and consistency invariants of the event engine.
+
+func runInvariantSim(t *testing.T) *Result {
+	t.Helper()
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 30000
+	cfg.Modules = 10
+	tr := workload.TraceRW(cfg)
+	res, err := Run(Config{
+		NumMDS: 5, Clients: 25, CacheDepth: 3, Epoch: 500 * time.Millisecond,
+	}, tr, &balancer.Origami{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEpochOpsSumToTotal(t *testing.T) {
+	res := runInvariantSim(t)
+	var sum int64
+	for _, em := range res.Epochs {
+		sum += em.Ops
+	}
+	if sum != res.Ops {
+		t.Errorf("epoch ops sum %d != total %d", sum, res.Ops)
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	res := runInvariantSim(t)
+	if res.P50Latency > res.P99Latency {
+		t.Errorf("p50 %v > p99 %v", res.P50Latency, res.P99Latency)
+	}
+	if res.MeanLatency <= 0 || res.P99Latency <= 0 {
+		t.Errorf("non-positive latency: mean=%v p99=%v", res.MeanLatency, res.P99Latency)
+	}
+}
+
+func TestEpochTimesMonotone(t *testing.T) {
+	res := runInvariantSim(t)
+	prev := time.Duration(-1)
+	for _, em := range res.Epochs {
+		if em.Start <= prev {
+			t.Errorf("epoch %d start %v not after %v", em.Epoch, em.Start, prev)
+		}
+		prev = em.Start
+	}
+}
+
+func TestAppliedMigrationsMatchCount(t *testing.T) {
+	res := runInvariantSim(t)
+	if len(res.Applied) != res.Migrations {
+		t.Errorf("Applied records %d != Migrations %d", len(res.Applied), res.Migrations)
+	}
+	for _, am := range res.Applied {
+		if am.Inodes <= 0 {
+			t.Errorf("migration moved %d inodes", am.Inodes)
+		}
+		if am.WriteFraction < 0 || am.WriteFraction > 1 {
+			t.Errorf("write fraction %v out of range", am.WriteFraction)
+		}
+		if am.Decision.From == am.Decision.To {
+			t.Errorf("self-migration recorded: %+v", am.Decision)
+		}
+	}
+}
+
+func TestForwardedFractionConsistent(t *testing.T) {
+	res := runInvariantSim(t)
+	// rpc/request = 1 + forwardedFraction * rpc/request.
+	lhs := res.RPCPerRequest * (1 - res.ForwardedFraction)
+	if lhs < 0.999 || lhs > 1.001 {
+		t.Errorf("rpc accounting inconsistent: rpc=%v fwd=%v", res.RPCPerRequest, res.ForwardedFraction)
+	}
+}
+
+func TestThroughputMatchesElapsed(t *testing.T) {
+	res := runInvariantSim(t)
+	want := float64(res.Ops) / res.Elapsed.Seconds()
+	if res.Throughput < want*0.999 || res.Throughput > want*1.001 {
+		t.Errorf("throughput %v != ops/elapsed %v", res.Throughput, want)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/workload"
+)
+
+func openLoopRun(t *testing.T, rate float64, ops int) *Result {
+	t.Helper()
+	cfg := workload.DefaultRW()
+	cfg.NumOps = ops
+	cfg.Modules = 8
+	tr := workload.TraceRW(cfg)
+	res, err := Run(Config{
+		NumMDS: 1, Clients: 32, CacheDepth: 3, ArrivalRate: rate,
+	}, tr, balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOpenLoopCompletesTrace(t *testing.T) {
+	res := openLoopRun(t, 5000, 10000)
+	if res.Ops != 10000 {
+		t.Errorf("Ops = %d (failed %d)", res.Ops, res.FailedOps)
+	}
+	// At 5k offered ops/s the run must take about 2 virtual seconds.
+	if res.Elapsed < 1500*time.Millisecond || res.Elapsed > 3*time.Second {
+		t.Errorf("elapsed = %v, want ~2s", res.Elapsed)
+	}
+}
+
+func TestOpenLoopLatencyGrowsWithLoad(t *testing.T) {
+	// A single MDS saturates around ~8k ops/s on this workload; latency
+	// must climb steeply as the offered load approaches that.
+	light := openLoopRun(t, 2000, 8000)
+	heavy := openLoopRun(t, 7000, 8000)
+	if heavy.MeanLatency <= light.MeanLatency {
+		t.Errorf("latency did not grow with load: %v @2k vs %v @7k",
+			light.MeanLatency, heavy.MeanLatency)
+	}
+	if heavy.P99Latency <= light.P99Latency {
+		t.Errorf("p99 did not grow with load: %v vs %v",
+			light.P99Latency, heavy.P99Latency)
+	}
+}
+
+func TestOpenLoopUnderloadLatencyNearServiceTime(t *testing.T) {
+	res := openLoopRun(t, 500, 3000)
+	// With almost no queueing, mean latency is close to RTT + service;
+	// generously bound it at 1 ms (service is tens of microseconds).
+	if res.MeanLatency > time.Millisecond {
+		t.Errorf("underloaded mean latency = %v, want < 1ms", res.MeanLatency)
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	a := openLoopRun(t, 3000, 5000)
+	b := openLoopRun(t, 3000, 5000)
+	if a.Elapsed != b.Elapsed || a.MeanLatency != b.MeanLatency {
+		t.Error("open-loop run not deterministic")
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/workload"
+)
+
+func TestSingleMDSRun(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 20000
+	cfg.Modules = 12
+	tr := workload.TraceRW(cfg)
+	res, err := Run(Config{NumMDS: 1, Clients: 50, CacheDepth: 3}, tr, balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int64(cfg.NumOps) {
+		t.Errorf("Ops = %d, want %d (failed %d)", res.Ops, cfg.NumOps, res.FailedOps)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("Throughput = %v", res.Throughput)
+	}
+	if res.RPCPerRequest < 1 || res.RPCPerRequest > 1.01 {
+		t.Errorf("single MDS RPC/request = %v, want 1", res.RPCPerRequest)
+	}
+	if res.MeanLatency <= 0 {
+		t.Errorf("MeanLatency = %v", res.MeanLatency)
+	}
+	if res.FailedOps != 0 {
+		t.Errorf("FailedOps = %d", res.FailedOps)
+	}
+}
+
+func TestFHashDistributesLoad(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 20000
+	cfg.Modules = 12
+	tr := workload.TraceRW(cfg)
+	res, err := Run(Config{NumMDS: 5, Clients: 50, CacheDepth: 3}, tr, balancer.FHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	// Hashing must spread requests: RPC/request > 1 (forwarding) and the
+	// last epoch's QPS must be spread across several MDSs.
+	if res.RPCPerRequest <= 1.05 {
+		t.Errorf("F-Hash RPC/request = %v, want > 1.05", res.RPCPerRequest)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	active := 0
+	for _, q := range last.QPS {
+		if q > 0 {
+			active++
+		}
+	}
+	if active < 3 {
+		t.Errorf("F-Hash active MDSs = %d, want >= 3 (QPS %v)", active, last.QPS)
+	}
+}
+
+func TestMultiMDSBeatsSingleUnderHighLoad(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 30000
+	cfg.Modules = 12
+	tr := workload.TraceRW(cfg)
+	single, err := Run(Config{NumMDS: 1, Clients: 50, CacheDepth: 3}, tr, balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := workload.TraceRW(cfg)
+	chash, err := Run(Config{NumMDS: 5, Clients: 50, CacheDepth: 3}, tr2, balancer.CHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chash.Throughput <= single.Throughput {
+		t.Errorf("C-Hash (%0.f/s) should beat single MDS (%0.f/s) at high load",
+			chash.Throughput, single.Throughput)
+	}
+}
+
+func TestSingleThreadLatencyLowerOnSingleMDS(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 5000
+	cfg.Modules = 8
+	tr := workload.TraceRW(cfg)
+	single, err := Run(Config{NumMDS: 1, Clients: 1, CacheDepth: 3}, tr, balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := workload.TraceRW(cfg)
+	fhash, err := Run(Config{NumMDS: 5, Clients: 1, CacheDepth: 3}, tr2, balancer.FHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under a single thread there is no queueing: hash partitioning only
+	// adds forwarding, so latency must be strictly worse (Fig. 5b).
+	if fhash.MeanLatency <= single.MeanLatency {
+		t.Errorf("F-Hash single-thread latency %v should exceed single-MDS %v",
+			fhash.MeanLatency, single.MeanLatency)
+	}
+}
+
+func TestCacheReducesRPCs(t *testing.T) {
+	cfg := workload.DefaultRO()
+	cfg.NumOps = 10000
+	cfg.Sites = 10
+	tr := workload.TraceRO(cfg)
+	withCache, err := Run(Config{NumMDS: 5, Clients: 20, CacheDepth: 3}, tr, balancer.FHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := workload.TraceRO(cfg)
+	noCache, err := Run(Config{NumMDS: 5, Clients: 20, CacheDepth: 0}, tr2, balancer.FHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCache.RPCPerRequest >= noCache.RPCPerRequest {
+		t.Errorf("cache should cut RPC/request: with=%v without=%v",
+			withCache.RPCPerRequest, noCache.RPCPerRequest)
+	}
+	if withCache.Throughput <= noCache.Throughput {
+		t.Errorf("cache should raise throughput: with=%0.f without=%0.f",
+			withCache.Throughput, noCache.Throughput)
+	}
+}
+
+func TestEpochMetricsRecorded(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 20000
+	cfg.Modules = 8
+	tr := workload.TraceRW(cfg)
+	res, err := Run(Config{NumMDS: 5, Clients: 50, CacheDepth: 3, Epoch: 100 * time.Millisecond}, tr, balancer.FHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) < 2 {
+		t.Fatalf("epochs recorded = %d, want >= 2", len(res.Epochs))
+	}
+	for _, em := range res.Epochs {
+		if em.ImbalanceQPS < 0 || em.ImbalanceQPS > 1 {
+			t.Errorf("epoch %d imbalance QPS = %v", em.Epoch, em.ImbalanceQPS)
+		}
+		if len(em.QPS) != 5 || len(em.BusyFrac) != 5 {
+			t.Errorf("epoch %d vector sizes wrong", em.Epoch)
+		}
+		for _, b := range em.BusyFrac {
+			if b < 0 || b > 1.5 { // migration stalls can briefly exceed 1
+				t.Errorf("epoch %d busy frac = %v", em.Epoch, b)
+			}
+		}
+	}
+}
+
+func TestDataPathExtendsRuntime(t *testing.T) {
+	cfg := workload.DefaultRO()
+	cfg.NumOps = 5000
+	cfg.Sites = 8
+	tr := workload.TraceRO(cfg)
+	meta, err := Run(Config{NumMDS: 5, Clients: 20, CacheDepth: 3}, tr, balancer.CHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := workload.TraceRO(cfg)
+	e2e, err := Run(Config{NumMDS: 5, Clients: 20, CacheDepth: 3, DataPath: NewDataPath()}, tr2, balancer.CHash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e.Throughput >= meta.Throughput {
+		t.Errorf("data path should lower end-to-end throughput: %0.f >= %0.f",
+			e2e.Throughput, meta.Throughput)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 5000
+	cfg.Modules = 6
+	run := func() *Result {
+		tr := workload.TraceRW(cfg)
+		res, err := Run(Config{NumMDS: 3, Clients: 10, CacheDepth: 3}, tr, balancer.FHash{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed || a.Ops != b.Ops || a.RPCPerRequest != b.RPCPerRequest {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMaxVirtualStopsRun(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 100000
+	tr := workload.TraceRW(cfg)
+	res, err := Run(Config{NumMDS: 1, Clients: 10, CacheDepth: 3, MaxVirtual: time.Second}, tr, balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops >= int64(cfg.NumOps) {
+		t.Errorf("run did not stop early: %d ops", res.Ops)
+	}
+}
+
+func TestDataPathServeOrdering(t *testing.T) {
+	d := NewDataPath()
+	d.Servers = 1
+	t1 := d.Serve(0, 0 /* OpStat read */)
+	t2 := d.Serve(0, 0)
+	if t2 <= t1 {
+		t.Errorf("same-server data ops should queue: %v then %v", t1, t2)
+	}
+}

@@ -1,0 +1,283 @@
+// Package trace defines the metadata operation trace format the workloads
+// emit and the simulator, servers, and training pipeline replay. A trace
+// is an ordered sequence of path-addressed metadata operations, with an
+// optional setup prefix that builds the namespace the access phase runs
+// against.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"origami/internal/costmodel"
+)
+
+// Op is a single metadata operation. Rename carries a destination path;
+// every other operation uses Path alone.
+type Op struct {
+	Type costmodel.OpType
+	Path string
+	Dst  string // rename destination; empty otherwise
+}
+
+// String renders the op in the text trace format.
+func (o Op) String() string {
+	if o.Type == costmodel.OpRename {
+		return fmt.Sprintf("%s %s %s", o.Type, o.Path, o.Dst)
+	}
+	return fmt.Sprintf("%s %s", o.Type, o.Path)
+}
+
+// Trace is a named operation sequence. Setup builds the initial namespace
+// (replayed before measurement begins); Ops is the measured access phase.
+type Trace struct {
+	Name  string
+	Setup []Op
+	Ops   []Op
+}
+
+// Len returns the number of measured operations.
+func (t *Trace) Len() int { return len(t.Ops) }
+
+// OpMix returns the fraction of measured operations per type.
+func (t *Trace) OpMix() map[costmodel.OpType]float64 {
+	counts := make(map[costmodel.OpType]int)
+	for _, op := range t.Ops {
+		counts[op.Type]++
+	}
+	mix := make(map[costmodel.OpType]float64, len(counts))
+	for typ, n := range counts {
+		mix[typ] = float64(n) / float64(len(t.Ops))
+	}
+	return mix
+}
+
+// WriteFraction returns the fraction of measured operations that mutate
+// metadata.
+func (t *Trace) WriteFraction() float64 {
+	if len(t.Ops) == 0 {
+		return 0
+	}
+	w := 0
+	for _, op := range t.Ops {
+		if op.Type.IsWrite() {
+			w++
+		}
+	}
+	return float64(w) / float64(len(t.Ops))
+}
+
+const (
+	binaryMagic   uint32 = 0x0217a5e5
+	sectionSetup  byte   = 1
+	sectionAccess byte   = 2
+)
+
+// ErrBadTrace reports a malformed serialized trace.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// WriteBinary serialises the trace in the compact binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.BigEndian, binaryMagic); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(t.Name); err != nil {
+		return err
+	}
+	writeSection := func(kind byte, ops []Op) error {
+		if err := bw.WriteByte(kind); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(ops))); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := bw.WriteByte(byte(op.Type)); err != nil {
+				return err
+			}
+			if err := writeString(op.Path); err != nil {
+				return err
+			}
+			if err := writeString(op.Dst); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeSection(sectionSetup, t.Setup); err != nil {
+		return err
+	}
+	if err := writeSection(sectionAccess, t.Ops); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadTrace, magic)
+	}
+	readString := func() (string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: string too long", ErrBadTrace)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	t := &Trace{}
+	var err error
+	if t.Name, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadTrace, err)
+	}
+	readSection := func(wantKind byte) ([]Op, error) {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if kind != wantKind {
+			return nil, fmt.Errorf("%w: unexpected section %d", ErrBadTrace, kind)
+		}
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return nil, err
+		}
+		ops := make([]Op, 0, n)
+		for i := uint32(0); i < n; i++ {
+			tb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if int(tb) >= costmodel.NumOpTypes {
+				return nil, fmt.Errorf("%w: bad op type %d", ErrBadTrace, tb)
+			}
+			var op Op
+			op.Type = costmodel.OpType(tb)
+			if op.Path, err = readString(); err != nil {
+				return nil, err
+			}
+			if op.Dst, err = readString(); err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+		}
+		return ops, nil
+	}
+	if t.Setup, err = readSection(sectionSetup); err != nil {
+		return nil, fmt.Errorf("%w: setup: %v", ErrBadTrace, err)
+	}
+	if t.Ops, err = readSection(sectionAccess); err != nil {
+		return nil, fmt.Errorf("%w: access: %v", ErrBadTrace, err)
+	}
+	return t, nil
+}
+
+// WriteText serialises the trace in a line-oriented human-readable format:
+// a header, then one op per line, with setup ops prefixed by '+'.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# origami-trace %s\n", t.Name); err != nil {
+		return err
+	}
+	for _, op := range t.Setup {
+		if _, err := fmt.Fprintf(bw, "+%s\n", op); err != nil {
+			return err
+		}
+	}
+	for _, op := range t.Ops {
+		if _, err := fmt.Fprintln(bw, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTextOp parses one op line of the text format (without the '+'
+// setup marker).
+func ParseTextOp(line string) (Op, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Op{}, fmt.Errorf("%w: %q", ErrBadTrace, line)
+	}
+	var typ costmodel.OpType
+	found := false
+	for i := 0; i < costmodel.NumOpTypes; i++ {
+		if costmodel.OpType(i).String() == fields[0] {
+			typ = costmodel.OpType(i)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Op{}, fmt.Errorf("%w: unknown op %q", ErrBadTrace, fields[0])
+	}
+	op := Op{Type: typ, Path: fields[1]}
+	if typ == costmodel.OpRename {
+		if len(fields) < 3 {
+			return Op{}, fmt.Errorf("%w: rename needs destination: %q", ErrBadTrace, line)
+		}
+		op.Dst = fields[2]
+	}
+	return op, nil
+}
+
+// ReadText parses a trace written by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first && strings.HasPrefix(line, "# origami-trace") {
+			t.Name = strings.TrimSpace(strings.TrimPrefix(line, "# origami-trace"))
+			first = false
+			continue
+		}
+		first = false
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		setup := strings.HasPrefix(line, "+")
+		op, err := ParseTextOp(strings.TrimPrefix(line, "+"))
+		if err != nil {
+			return nil, err
+		}
+		if setup {
+			t.Setup = append(t.Setup, op)
+		} else {
+			t.Ops = append(t.Ops, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"origami/internal/costmodel"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "sample",
+		Setup: []Op{
+			{Type: costmodel.OpMkdir, Path: "/a"},
+			{Type: costmodel.OpCreate, Path: "/a/f"},
+		},
+		Ops: []Op{
+			{Type: costmodel.OpStat, Path: "/a/f"},
+			{Type: costmodel.OpRename, Path: "/a/f", Dst: "/a/g"},
+			{Type: costmodel.OpLsdir, Path: "/a"},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	tr.WriteBinary(&buf)
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("text round trip mismatch:\n got %+v\nwant %+v\ntext:\n%s", got, tr, buf.String())
+	}
+}
+
+func TestParseTextOp(t *testing.T) {
+	op, err := ParseTextOp("create /x/y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Type != costmodel.OpCreate || op.Path != "/x/y" {
+		t.Errorf("parsed %+v", op)
+	}
+	if _, err := ParseTextOp("fly /x"); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := ParseTextOp("create"); err == nil {
+		t.Error("missing path accepted")
+	}
+	if _, err := ParseTextOp("rename /a"); err == nil {
+		t.Error("rename without dst accepted")
+	}
+}
+
+func TestReadTextSkipsComments(t *testing.T) {
+	in := "# origami-trace demo\n# a comment\n\nstat /a\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || len(tr.Ops) != 1 {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestOpMixAndWriteFraction(t *testing.T) {
+	tr := sampleTrace()
+	mix := tr.OpMix()
+	if mix[costmodel.OpStat] != 1.0/3 {
+		t.Errorf("stat mix = %v", mix[costmodel.OpStat])
+	}
+	wf := tr.WriteFraction()
+	if wf != 1.0/3 { // rename is the only write among 3 ops
+		t.Errorf("write fraction = %v", wf)
+	}
+	empty := &Trace{}
+	if empty.WriteFraction() != 0 {
+		t.Error("empty write fraction != 0")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Type: costmodel.OpRename, Path: "/a", Dst: "/b"}
+	if op.String() != "rename /a /b" {
+		t.Errorf("String = %q", op.String())
+	}
+	op = Op{Type: costmodel.OpStat, Path: "/a"}
+	if op.String() != "stat /a" {
+		t.Errorf("String = %q", op.String())
+	}
+}

@@ -1,0 +1,343 @@
+// Package workload synthesises the three real-world metadata traces the
+// paper evaluates on (§5.1), matching the characteristics each source
+// publication reports rather than byte-identical logs (which are not
+// publicly redistributable):
+//
+//   - Trace-RW: a large compilation job (Mantle) — a source tree with hot
+//     shared headers, mixed reads (stat/open/lsdir of sources and headers)
+//     and writes (creating and renaming object files).
+//   - Trace-RO: a web-access trace (Lunule) — read-only, significantly
+//     skewed (Zipf) and deep (paths past ten components).
+//   - Trace-WI: a write-intensive cloud DFS trace (CFS) — creates,
+//     setattrs, and renames dominate, and the hot user population shifts
+//     over time (dynamic skew). The paper itself reproduced this trace
+//     from the CFS paper's description.
+//
+// All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"origami/internal/costmodel"
+	"origami/internal/trace"
+)
+
+// builder accumulates a namespace model while emitting the setup ops that
+// create it, so access ops can reference paths that exist.
+type builder struct {
+	setup []trace.Op
+	rnd   *rand.Rand
+}
+
+func newBuilder(seed int64) *builder {
+	return &builder{rnd: rand.New(rand.NewSource(seed))}
+}
+
+func (b *builder) mkdir(path string) string {
+	b.setup = append(b.setup, trace.Op{Type: costmodel.OpMkdir, Path: path})
+	return path
+}
+
+func (b *builder) create(path string) string {
+	b.setup = append(b.setup, trace.Op{Type: costmodel.OpCreate, Path: path})
+	return path
+}
+
+// zipfRanks returns a Zipf sampler over [0, n) with exponent s.
+func zipfRanks(rnd *rand.Rand, s float64, n int) *rand.Zipf {
+	if n < 1 {
+		n = 1
+	}
+	return rand.NewZipf(rnd, s, 1, uint64(n-1))
+}
+
+// RWConfig sizes the compilation workload.
+type RWConfig struct {
+	Seed     int64
+	NumOps   int // access-phase operations
+	Modules  int // source modules (sub-directories of /project/src)
+	Files    int // source files per module
+	Headers  int // shared headers in /project/include
+	SubDepth int // nested sub-directory levels inside each module
+}
+
+// DefaultRW returns the configuration used by the experiments.
+func DefaultRW() RWConfig {
+	return RWConfig{Seed: 1, NumOps: 200000, Modules: 48, Files: 30, Headers: 120, SubDepth: 5}
+}
+
+// TraceRW synthesises the read-write compilation trace.
+func TraceRW(cfg RWConfig) *trace.Trace {
+	if cfg.NumOps == 0 {
+		cfg = DefaultRW()
+	}
+	b := newBuilder(cfg.Seed)
+	b.mkdir("/project")
+	b.mkdir("/project/src")
+	b.mkdir("/project/include")
+	b.mkdir("/project/build")
+	// Headers live in nested library directories (include/libX/vY/) so
+	// header stats exercise real path resolution depth.
+	headers := make([]string, cfg.Headers)
+	numLibs := cfg.Headers/12 + 1
+	libDirs := make([]string, numLibs)
+	for i := range libDirs {
+		lib := b.mkdir(fmt.Sprintf("/project/include/lib%02d", i))
+		libDirs[i] = b.mkdir(lib + "/v1")
+	}
+	for i := range headers {
+		headers[i] = b.create(fmt.Sprintf("%s/h%03d.h", libDirs[i%numLibs], i))
+	}
+	type module struct {
+		dir      string
+		buildDir string
+		makefile string
+		sources  []string
+	}
+	subDepth := cfg.SubDepth
+	if subDepth <= 0 {
+		subDepth = 3
+	}
+	modules := make([]module, cfg.Modules)
+	for mi := range modules {
+		m := &modules[mi]
+		m.dir = b.mkdir(fmt.Sprintf("/project/src/mod%03d", mi))
+		m.buildDir = b.mkdir(fmt.Sprintf("/project/build/mod%03d", mi))
+		m.makefile = b.create(m.dir + "/Makefile")
+		// Real compile trees nest: each module is a chain of sub-dirs
+		// with sources spread across all levels.
+		dirs := []string{m.dir}
+		d := m.dir
+		for lvl := 0; lvl < subDepth; lvl++ {
+			d = b.mkdir(fmt.Sprintf("%s/sub%d", d, lvl))
+			dirs = append(dirs, d)
+		}
+		m.sources = make([]string, cfg.Files)
+		for fi := range m.sources {
+			// Deep-biased placement: real source trees keep most files
+			// well below the module root.
+			lvl := fi % (len(dirs) + 2)
+			if lvl >= len(dirs) {
+				lvl = len(dirs) - 1
+			}
+			m.sources[fi] = b.create(fmt.Sprintf("%s/file%03d.c", dirs[lvl], fi))
+		}
+	}
+
+	rnd := b.rnd
+	headerZipf := zipfRanks(rnd, 1.3, len(headers))
+	// Real builds are module-skewed: a few large or frequently rebuilt
+	// modules dominate. This subtree-level skew is what a load balancer
+	// has to work with.
+	moduleZipf := zipfRanks(rnd, 1.25, len(modules))
+	ops := make([]trace.Op, 0, cfg.NumOps)
+	objSeq := 0
+	for len(ops) < cfg.NumOps {
+		m := &modules[moduleZipf.Uint64()]
+		// One compilation unit: scan the module, read the makefile,
+		// open several sources, stat a handful of (skewed) shared
+		// headers, then produce the object file via create + rename.
+		ops = append(ops,
+			trace.Op{Type: costmodel.OpLsdir, Path: m.dir},
+			trace.Op{Type: costmodel.OpStat, Path: m.makefile},
+		)
+		ns := 5 + rnd.Intn(2)
+		for s := 0; s < ns; s++ {
+			ops = append(ops, trace.Op{Type: costmodel.OpOpen, Path: m.sources[rnd.Intn(len(m.sources))]})
+		}
+		nh := 2 + rnd.Intn(4)
+		for h := 0; h < nh; h++ {
+			ops = append(ops, trace.Op{Type: costmodel.OpStat, Path: headers[headerZipf.Uint64()]})
+		}
+		tmp := fmt.Sprintf("%s/obj%06d.o.tmp", m.buildDir, objSeq)
+		obj := fmt.Sprintf("%s/obj%06d.o", m.buildDir, objSeq)
+		objSeq++
+		ops = append(ops,
+			trace.Op{Type: costmodel.OpCreate, Path: tmp},
+			trace.Op{Type: costmodel.OpSetattr, Path: tmp},
+			trace.Op{Type: costmodel.OpRename, Path: tmp, Dst: obj},
+			trace.Op{Type: costmodel.OpStat, Path: obj},
+		)
+	}
+	return &trace.Trace{Name: "Trace-RW", Setup: b.setup, Ops: ops[:cfg.NumOps]}
+}
+
+// ROConfig sizes the web-access workload.
+type ROConfig struct {
+	Seed     int64
+	NumOps   int
+	Sites    int     // top-level site directories
+	Depth    int     // directory depth below each site
+	PerDir   int     // files per leaf directory
+	Skew     float64 // Zipf exponent across sites (must be > 1)
+	DeepSkew float64 // Zipf exponent across files within a site
+}
+
+// DefaultRO returns the configuration used by the experiments.
+func DefaultRO() ROConfig {
+	return ROConfig{Seed: 2, NumOps: 200000, Sites: 40, Depth: 9, PerDir: 12, Skew: 1.4, DeepSkew: 1.15}
+}
+
+// TraceRO synthesises the read-only web-access trace.
+func TraceRO(cfg ROConfig) *trace.Trace {
+	if cfg.NumOps == 0 {
+		cfg = DefaultRO()
+	}
+	b := newBuilder(cfg.Seed)
+	b.mkdir("/www")
+	siteFiles := make([][]string, cfg.Sites)
+	siteDirs := make([][]string, cfg.Sites)
+	for si := 0; si < cfg.Sites; si++ {
+		dir := b.mkdir(fmt.Sprintf("/www/site%03d", si))
+		// A chain of nested sections gives the paper's "considerable
+		// depth"; each level holds content files.
+		for d := 0; d < cfg.Depth; d++ {
+			dir = b.mkdir(fmt.Sprintf("%s/sec%d", dir, d))
+			siteDirs[si] = append(siteDirs[si], dir)
+			for f := 0; f < cfg.PerDir; f++ {
+				siteFiles[si] = append(siteFiles[si], b.create(fmt.Sprintf("%s/page%03d.html", dir, f)))
+			}
+		}
+	}
+	rnd := b.rnd
+	siteZipf := zipfRanks(rnd, cfg.Skew, cfg.Sites)
+	ops := make([]trace.Op, 0, cfg.NumOps)
+	for len(ops) < cfg.NumOps {
+		si := int(siteZipf.Uint64())
+		files := siteFiles[si]
+		fileZipf := rnd.Intn(len(files)) // uniform within site...
+		// ...sharpened: bias toward early (shallow) files with DeepSkew.
+		if cfg.DeepSkew > 1 && rnd.Float64() < 0.7 {
+			fileZipf = int(zipfRanks(rnd, cfg.DeepSkew, len(files)).Uint64())
+		}
+		f := files[fileZipf]
+		switch rnd.Intn(10) {
+		case 0:
+			dirs := siteDirs[si]
+			ops = append(ops, trace.Op{Type: costmodel.OpLsdir, Path: dirs[rnd.Intn(len(dirs))]})
+		case 1, 2:
+			ops = append(ops, trace.Op{Type: costmodel.OpStat, Path: f})
+		default:
+			ops = append(ops, trace.Op{Type: costmodel.OpOpen, Path: f})
+		}
+	}
+	return &trace.Trace{Name: "Trace-RO", Setup: b.setup, Ops: ops[:cfg.NumOps]}
+}
+
+// WIConfig sizes the write-intensive cloud workload.
+type WIConfig struct {
+	Seed       int64
+	NumOps     int
+	Users      int // user home directories
+	DirsPer    int // data directories per user
+	Nested     int // nested sub-directory levels inside each data dir
+	HotUsers   int // size of the rotating hot set
+	Phases     int // how many times the hot set rotates
+	WriteRatio float64
+}
+
+// DefaultWI returns the configuration used by the experiments.
+func DefaultWI() WIConfig {
+	return WIConfig{Seed: 3, NumOps: 200000, Users: 60, DirsPer: 4, Nested: 2, HotUsers: 6, Phases: 2, WriteRatio: 0.8}
+}
+
+// TraceWI synthesises the write-intensive trace with a rotating hotspot.
+func TraceWI(cfg WIConfig) *trace.Trace {
+	if cfg.NumOps == 0 {
+		cfg = DefaultWI()
+	}
+	if cfg.Nested <= 0 {
+		cfg.Nested = 2
+	}
+	b := newBuilder(cfg.Seed)
+	b.mkdir("/users")
+	userDirs := make([][]string, cfg.Users)
+	seedFiles := make([][]string, cfg.Users)
+	for ui := 0; ui < cfg.Users; ui++ {
+		home := b.mkdir(fmt.Sprintf("/users/u%03d", ui))
+		for di := 0; di < cfg.DirsPer; di++ {
+			d := b.mkdir(fmt.Sprintf("%s/data%02d", home, di))
+			// Cloud object trees nest: data/dataNN/partK/segJ/...
+			for lvl := 0; lvl < cfg.Nested; lvl++ {
+				d = b.mkdir(fmt.Sprintf("%s/part%d", d, lvl))
+			}
+			userDirs[ui] = append(userDirs[ui], d)
+			f := b.create(d + "/seed.dat")
+			seedFiles[ui] = append(seedFiles[ui], f)
+		}
+	}
+	rnd := b.rnd
+	ops := make([]trace.Op, 0, cfg.NumOps)
+	fileSeq := 0
+	created := make([][]string, cfg.Users) // files created during the run
+	// The hot set is a sliding window over the user population: it
+	// advances one user at a time (tenants ramp up and cool down
+	// gradually), completing Phases*HotUsers steps over the run.
+	steps := cfg.Phases * cfg.HotUsers
+	for len(ops) < cfg.NumOps {
+		start := len(ops) * steps / cfg.NumOps
+		var ui int
+		if rnd.Float64() < 0.8 {
+			ui = (start + rnd.Intn(cfg.HotUsers)) % cfg.Users
+		} else {
+			ui = rnd.Intn(cfg.Users)
+		}
+		dir := userDirs[ui][rnd.Intn(len(userDirs[ui]))]
+		if rnd.Float64() < cfg.WriteRatio {
+			switch rnd.Intn(10) {
+			case 0, 1:
+				if fs := created[ui]; len(fs) > 0 {
+					old := fs[rnd.Intn(len(fs))]
+					ops = append(ops, trace.Op{Type: costmodel.OpSetattr, Path: old})
+					continue
+				}
+				fallthrough
+			case 2:
+				if fs := created[ui]; len(fs) > 0 {
+					i := rnd.Intn(len(fs))
+					old := fs[i]
+					moved := old + ".bak"
+					ops = append(ops, trace.Op{Type: costmodel.OpRename, Path: old, Dst: moved})
+					created[ui][i] = moved
+					continue
+				}
+				fallthrough
+			default:
+				f := fmt.Sprintf("%s/obj%07d.dat", dir, fileSeq)
+				fileSeq++
+				ops = append(ops, trace.Op{Type: costmodel.OpCreate, Path: f})
+				created[ui] = append(created[ui], f)
+			}
+		} else {
+			if fs := created[ui]; len(fs) > 0 && rnd.Intn(2) == 0 {
+				ops = append(ops, trace.Op{Type: costmodel.OpStat, Path: fs[rnd.Intn(len(fs))]})
+			} else {
+				ops = append(ops, trace.Op{Type: costmodel.OpOpen, Path: seedFiles[ui][rnd.Intn(len(seedFiles[ui]))]})
+			}
+		}
+	}
+	return &trace.Trace{Name: "Trace-WI", Setup: b.setup, Ops: ops[:cfg.NumOps]}
+}
+
+// ByName builds one of the three paper workloads ("rw", "ro", "wi") with
+// its default configuration scaled to numOps operations.
+func ByName(name string, seed int64, numOps int) (*trace.Trace, error) {
+	switch name {
+	case "rw", "Trace-RW":
+		cfg := DefaultRW()
+		cfg.Seed, cfg.NumOps = seed, numOps
+		return TraceRW(cfg), nil
+	case "ro", "Trace-RO":
+		cfg := DefaultRO()
+		cfg.Seed, cfg.NumOps = seed, numOps
+		return TraceRO(cfg), nil
+	case "wi", "Trace-WI":
+		cfg := DefaultWI()
+		cfg.Seed, cfg.NumOps = seed, numOps
+		return TraceWI(cfg), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown trace %q (want rw, ro, or wi)", name)
+	}
+}

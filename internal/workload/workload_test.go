@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"origami/internal/costmodel"
+	"origami/internal/namespace"
+	"origami/internal/trace"
+)
+
+// applyToTree replays a trace's ops against a namespace.Tree, verifying
+// every op is applicable in order (paths exist when referenced, don't when
+// created). This is the key generator invariant: traces must replay
+// cleanly.
+func applyToTree(t *testing.T, tr *trace.Trace) *namespace.Tree {
+	t.Helper()
+	tree := namespace.NewTree()
+	apply := func(op trace.Op, phase string) {
+		t.Helper()
+		switch op.Type {
+		case costmodel.OpMkdir, costmodel.OpCreate:
+			dir, name := namespace.ParentPath(op.Path)
+			chain, err := tree.ResolvePath(dir)
+			if err != nil {
+				t.Fatalf("%s %v: parent: %v", phase, op, err)
+			}
+			typ := namespace.TypeFile
+			if op.Type == costmodel.OpMkdir {
+				typ = namespace.TypeDir
+			}
+			if _, err := tree.Create(chain[len(chain)-1].Ino, name, typ, 0); err != nil {
+				t.Fatalf("%s %v: %v", phase, op, err)
+			}
+		case costmodel.OpRename:
+			sdir, sname := namespace.ParentPath(op.Path)
+			ddir, dname := namespace.ParentPath(op.Dst)
+			sc, err := tree.ResolvePath(sdir)
+			if err != nil {
+				t.Fatalf("%s %v: src parent: %v", phase, op, err)
+			}
+			dc, err := tree.ResolvePath(ddir)
+			if err != nil {
+				t.Fatalf("%s %v: dst parent: %v", phase, op, err)
+			}
+			if err := tree.Rename(sc[len(sc)-1].Ino, sname, dc[len(dc)-1].Ino, dname, 0); err != nil {
+				t.Fatalf("%s %v: %v", phase, op, err)
+			}
+		case costmodel.OpUnlink, costmodel.OpRmdir:
+			dir, name := namespace.ParentPath(op.Path)
+			chain, err := tree.ResolvePath(dir)
+			if err != nil {
+				t.Fatalf("%s %v: parent: %v", phase, op, err)
+			}
+			if err := tree.Remove(chain[len(chain)-1].Ino, name, 0); err != nil {
+				t.Fatalf("%s %v: %v", phase, op, err)
+			}
+		default: // reads
+			if _, err := tree.ResolvePath(op.Path); err != nil {
+				t.Fatalf("%s %v: %v", phase, op, err)
+			}
+		}
+	}
+	for _, op := range tr.Setup {
+		apply(op, "setup")
+	}
+	for _, op := range tr.Ops {
+		apply(op, "access")
+	}
+	return tree
+}
+
+func TestTraceRWReplaysCleanly(t *testing.T) {
+	cfg := DefaultRW()
+	cfg.NumOps = 5000
+	tr := TraceRW(cfg)
+	tree := applyToTree(t, tr)
+	if tree.NumInodes() < 1000 {
+		t.Errorf("RW tree too small: %d inodes", tree.NumInodes())
+	}
+}
+
+func TestTraceROReplaysCleanly(t *testing.T) {
+	cfg := DefaultRO()
+	cfg.NumOps = 5000
+	tr := TraceRO(cfg)
+	applyToTree(t, tr)
+}
+
+func TestTraceWIReplaysCleanly(t *testing.T) {
+	cfg := DefaultWI()
+	cfg.NumOps = 5000
+	tr := TraceWI(cfg)
+	applyToTree(t, tr)
+}
+
+func TestTraceRWIsMixed(t *testing.T) {
+	cfg := DefaultRW()
+	cfg.NumOps = 20000
+	tr := TraceRW(cfg)
+	wf := tr.WriteFraction()
+	if wf < 0.15 || wf > 0.6 {
+		t.Errorf("RW write fraction = %v, want mixed (0.15..0.6)", wf)
+	}
+	if tr.Len() != cfg.NumOps {
+		t.Errorf("Len = %d, want %d", tr.Len(), cfg.NumOps)
+	}
+}
+
+func TestTraceROIsReadOnly(t *testing.T) {
+	cfg := DefaultRO()
+	cfg.NumOps = 20000
+	tr := TraceRO(cfg)
+	if wf := tr.WriteFraction(); wf != 0 {
+		t.Errorf("RO write fraction = %v, want 0", wf)
+	}
+}
+
+func TestTraceROIsDeep(t *testing.T) {
+	cfg := DefaultRO()
+	cfg.NumOps = 5000
+	tr := TraceRO(cfg)
+	maxDepth := 0
+	for _, op := range tr.Ops {
+		if d := namespace.Depth(op.Path); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < 10 {
+		t.Errorf("RO max access depth = %d, want >= 10 (paper: exceeds ten levels)", maxDepth)
+	}
+}
+
+func TestTraceROIsSkewed(t *testing.T) {
+	cfg := DefaultRO()
+	cfg.NumOps = 50000
+	tr := TraceRO(cfg)
+	counts := map[string]int{}
+	for _, op := range tr.Ops {
+		// Bucket by site (first two components).
+		comps := namespace.SplitPath(op.Path)
+		counts[comps[1]]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if frac := float64(top) / float64(cfg.NumOps); frac < 0.2 {
+		t.Errorf("hottest site fraction = %v, want significant skew (>= 0.2)", frac)
+	}
+}
+
+func TestTraceWIIsWriteIntensive(t *testing.T) {
+	cfg := DefaultWI()
+	cfg.NumOps = 20000
+	tr := TraceWI(cfg)
+	if wf := tr.WriteFraction(); wf < 0.6 {
+		t.Errorf("WI write fraction = %v, want >= 0.6", wf)
+	}
+}
+
+func TestTraceWIHotspotShifts(t *testing.T) {
+	cfg := DefaultWI()
+	cfg.NumOps = 40000
+	tr := TraceWI(cfg)
+	// The dominant user of the first phase should differ from the last's.
+	phase := func(ops []trace.Op) string {
+		counts := map[string]int{}
+		for _, op := range ops {
+			comps := namespace.SplitPath(op.Path)
+			if len(comps) >= 2 {
+				counts[comps[1]]++
+			}
+		}
+		best, bestN := "", 0
+		for u, n := range counts {
+			if n > bestN {
+				best, bestN = u, n
+			}
+		}
+		return best
+	}
+	first := phase(tr.Ops[:cfg.NumOps/8])
+	last := phase(tr.Ops[len(tr.Ops)-cfg.NumOps/8:])
+	if first == last {
+		t.Errorf("hotspot did not shift: first=%s last=%s", first, last)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := TraceRW(RWConfig{Seed: 9, NumOps: 2000, Modules: 8, Files: 5, Headers: 10})
+	b := TraceRW(RWConfig{Seed: 9, NumOps: 2000, Modules: 8, Files: 5, Headers: 10})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("TraceRW not deterministic in seed")
+	}
+	c := TraceRW(RWConfig{Seed: 10, NumOps: 2000, Modules: 8, Files: 5, Headers: 10})
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Error("TraceRW identical across seeds")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"rw", "ro", "wi"} {
+		tr, err := ByName(name, 1, 1000)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if tr.Len() != 1000 {
+			t.Errorf("ByName(%s) len = %d", name, tr.Len())
+		}
+	}
+	if _, err := ByName("bogus", 1, 10); err == nil {
+		t.Error("bogus name accepted")
+	}
+}
