@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all check build vet test test-race race bench experiments examples clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, vet, full test suite, then the race
+# detector over the concurrency-heavy networked packages.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+test-race:
+	$(GO) test -race ./internal/rpc/... ./internal/mds/... ./internal/server/... ./internal/client/...
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # kvstore micro-benchmarks.

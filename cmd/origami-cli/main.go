@@ -136,9 +136,11 @@ func runCommand(sdk *client.Client, args []string) error {
 		_, err = sdk.Setattr(args[1], size, 0o644)
 		return err
 	case "rpcstats":
-		fmt.Printf("ops=%d rpcs=%d (%.3f rpc/op)\n",
-			sdk.Ops.Load(), sdk.RPCCount.Load(),
-			float64(sdk.RPCCount.Load())/float64(max64(1, sdk.Ops.Load())))
+		st := sdk.Stats()
+		fmt.Printf("ops=%d rpcs=%d (%.3f rpc/op) retries=%d exhausted=%d\n",
+			st.Ops, st.RPCs,
+			float64(st.RPCs)/float64(max64(1, st.Ops)),
+			st.Retries, st.RetriesExhausted)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)

@@ -114,15 +114,20 @@ func runCluster(n int, dataDir string, epoch time.Duration, modelPath string) {
 	for {
 		select {
 		case <-ticker.C:
-			applied, err := co.RunEpoch()
+			res, err := co.RunEpoch()
 			if err != nil {
 				log.Printf("rebalance: %v", err)
 				continue
 			}
-			if len(applied) > 0 {
-				for _, d := range applied {
-					log.Printf("rebalance: %v", d)
-				}
+			for _, d := range res.Applied {
+				log.Printf("rebalance: %v", d)
+			}
+			if len(res.Rejected) > 0 {
+				log.Printf("rebalance: %d decision(s) rejected", len(res.Rejected))
+			}
+			if res.Degraded() {
+				log.Printf("rebalance: degraded epoch (skipped MDSs %v, stale maps %v)",
+					res.SkippedMDS, res.StaleMDS)
 			}
 		case <-sig:
 			log.Printf("shutting down")

@@ -58,12 +58,13 @@ func main() {
 		}
 	}
 	co := server.NewCoordinator(cl)
-	applied, err := co.RunEpoch()
+	res, err := co.RunEpoch()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncoordinator epoch: %d migration(s)\n", len(applied))
-	for _, d := range applied {
+	fmt.Printf("\ncoordinator epoch: %d migration(s), %d rejected\n",
+		len(res.Applied), len(res.Rejected))
+	for _, d := range res.Applied {
 		fmt.Printf("  %v\n", d)
 	}
 

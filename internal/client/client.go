@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"origami/internal/mds"
 	"origami/internal/namespace"
@@ -23,6 +24,25 @@ type Config struct {
 	// CacheDepth enables the near-root cache for entries with
 	// depth < CacheDepth (0 disables caching).
 	CacheDepth int
+	// CallTimeout bounds each metadata RPC (0 = no deadline). Timed-out
+	// idempotent reads are retried against the reconnecting transport.
+	CallTimeout time.Duration
+	// RetryBudget is the maximum transport-failure retries per
+	// idempotent RPC (default 3; negative disables retries).
+	RetryBudget int
+	// RetryBackoff is the base delay between such retries, doubled each
+	// attempt (default 10ms).
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	return c
 }
 
 type cacheKey struct {
@@ -44,20 +64,50 @@ type Client struct {
 	RPCCount atomic.Int64
 	// Ops tallies completed SDK operations.
 	Ops atomic.Int64
+	// Retries tallies transport-failure retries of idempotent RPCs.
+	Retries atomic.Int64
+	// RetriesExhausted tallies idempotent RPCs that failed even after
+	// spending the whole retry budget.
+	RetriesExhausted atomic.Int64
 }
 
-// Dial connects to every MDS in the cluster.
+// Stats is a snapshot of the client's counters.
+type Stats struct {
+	RPCs             int64
+	Ops              int64
+	Retries          int64
+	RetriesExhausted int64
+}
+
+// Stats snapshots the client counters, including the retry budget spend.
+func (c *Client) Stats() Stats {
+	return Stats{
+		RPCs:             c.RPCCount.Load(),
+		Ops:              c.Ops.Load(),
+		Retries:          c.Retries.Load(),
+		RetriesExhausted: c.RetriesExhausted.Load(),
+	}
+}
+
+// Dial connects to every MDS in the cluster. Connections redial
+// automatically after a drop; idempotent reads additionally retry with
+// backoff inside the configured budget.
 func Dial(cfg Config) (*Client, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("client: no MDS addresses")
 	}
+	cfg = cfg.withDefaults()
 	c := &Client{
 		cfg:   cfg,
 		pins:  make(map[namespace.Ino]int),
 		cache: make(map[cacheKey]*namespace.Inode),
 	}
 	for _, addr := range cfg.Addrs {
-		conn, err := rpc.Dial(addr)
+		conn, err := rpc.DialOptions(addr, rpc.ClientOptions{
+			CallTimeout: cfg.CallTimeout,
+			Reconnect:   true,
+			BackoffBase: 5 * time.Millisecond,
+		})
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -88,9 +138,33 @@ func (c *Client) call(mdsID int, m rpc.Method, body []byte) ([]byte, error) {
 	return c.conns[mdsID].Call(m, body)
 }
 
+// callIdem issues an idempotent (read-only) RPC, retrying transport
+// failures — lost connection, expired deadline — with exponential backoff
+// inside the retry budget. Mutating RPCs never come through here: a
+// create retried across a timeout could double-apply.
+func (c *Client) callIdem(mdsID int, m rpc.Method, body []byte) ([]byte, error) {
+	out, err := c.call(mdsID, m, body)
+	if err == nil || !rpc.IsRetryable(err) {
+		return out, err
+	}
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt < c.cfg.RetryBudget; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		c.Retries.Add(1)
+		out, err = c.call(mdsID, m, body)
+		if err == nil || !rpc.IsRetryable(err) {
+			return out, err
+		}
+	}
+	c.RetriesExhausted.Add(1)
+	return nil, fmt.Errorf("client: MDS %d unreachable after %d retries: %w",
+		mdsID, c.cfg.RetryBudget, err)
+}
+
 // RefreshMap pulls the partition map from MDS 0.
 func (c *Client) RefreshMap() error {
-	body, err := c.call(0, mds.MethodGetMap, nil)
+	body, err := c.callIdem(0, mds.MethodGetMap, nil)
 	if err != nil {
 		return err
 	}
@@ -147,7 +221,7 @@ func (c *Client) lookupPathAt(owner int, parent namespace.Ino, names []string) (
 		w.Str(n)
 	}
 	for attempt := 0; attempt < 3; attempt++ {
-		body, err := c.call(owner, mds.MethodLookupPath, w.Bytes())
+		body, err := c.callIdem(owner, mds.MethodLookupPath, w.Bytes())
 		if err != nil {
 			if mds.IsNotOwner(err) {
 				if rerr := c.RefreshMap(); rerr != nil {
@@ -216,7 +290,7 @@ func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
 				dest := int(in.Size)
 				var gw rpc.Wire
 				gw.U64(uint64(in.Ino))
-				gbody, gerr := c.call(dest, mds.MethodGetattr, gw.Bytes())
+				gbody, gerr := c.callIdem(dest, mds.MethodGetattr, gw.Bytes())
 				if gerr != nil {
 					return nil, 0, fmt.Errorf("client: resolve %q: redirect for %q: %w", path, in.Name, gerr)
 				}
@@ -363,7 +437,7 @@ func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
 		dir := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(dir.Ino))
-		body, err := c.call(owner, mds.MethodReaddir, w.Bytes())
+		body, err := c.callIdem(owner, mds.MethodReaddir, w.Bytes())
 		if err != nil {
 			return err
 		}
@@ -430,7 +504,7 @@ func (c *Client) Rename(src, dst string) error {
 		// Cross-shard: read, insert remotely, remove locally.
 		var lw rpc.Wire
 		lw.U64(uint64(sparent.Ino)).Str(sname)
-		body, err := c.call(sowner, mds.MethodLookup, lw.Bytes())
+		body, err := c.callIdem(sowner, mds.MethodLookup, lw.Bytes())
 		if err != nil {
 			return err
 		}

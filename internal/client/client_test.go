@@ -3,8 +3,10 @@ package client_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"origami/internal/client"
+	"origami/internal/rpc"
 	"origami/internal/server"
 )
 
@@ -98,5 +100,78 @@ func TestDeepNamespaceThroughCache(t *testing.T) {
 	// leaf — all on one shard here, so 1 RPC per stat.
 	if perStat > 2 {
 		t.Errorf("cached deep stat costs %.1f RPCs, want <= 2", perStat)
+	}
+}
+
+func TestIdempotentRetryAfterTransientDisconnect(t *testing.T) {
+	cl, err := server.StartCluster(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	sdk, err := client.Dial(client.Config{
+		Addrs:        cl.Addrs,
+		RetryBudget:  5,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdk.Close() })
+
+	// Sever the next two incoming requests, then recover.
+	inj := rpc.NewRuleInjector(1, rpc.Rule{
+		Point:  rpc.PointServerRecv,
+		Count:  2,
+		Action: rpc.FaultDisconnect,
+	})
+	cl.Services[0].Server().SetFaultInjector(inj)
+	if err := sdk.RefreshMap(); err != nil {
+		t.Fatalf("RefreshMap over transient disconnects: %v", err)
+	}
+	st := sdk.Stats()
+	if st.Retries < 2 {
+		t.Errorf("Retries = %d, want >= 2", st.Retries)
+	}
+	if st.RetriesExhausted != 0 {
+		t.Errorf("RetriesExhausted = %d, want 0", st.RetriesExhausted)
+	}
+	if inj.Fired(0) != 2 {
+		t.Errorf("injector fired %d times, want 2", inj.Fired(0))
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	cl, err := server.StartCluster(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	sdk, err := client.Dial(client.Config{
+		Addrs:        cl.Addrs,
+		RetryBudget:  2,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdk.Close() })
+
+	cl.Services[0].Server().SetFaultInjector(rpc.DownInjector())
+	err = sdk.RefreshMap()
+	if err == nil {
+		t.Fatal("RefreshMap against a down MDS succeeded")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("error %q does not report exhaustion", err)
+	}
+	if got := sdk.Stats().RetriesExhausted; got != 1 {
+		t.Errorf("RetriesExhausted = %d, want 1", got)
+	}
+
+	// Clearing the injector "restarts" the MDS: the same client recovers.
+	cl.Services[0].Server().SetFaultInjector(nil)
+	if err := sdk.RefreshMap(); err != nil {
+		t.Fatalf("RefreshMap after recovery: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package mds
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"origami/internal/kvstore"
 	"origami/internal/namespace"
@@ -149,5 +150,134 @@ func TestPinMapPersistence(t *testing.T) {
 	}
 	if v != 5 || len(pins) != 1 || pins[0].Ino != 9 || pins[0].MDS != 2 {
 		t.Errorf("recovered map = v%d %v", v, pins)
+	}
+}
+
+func TestMigratePrepareThenCommit(t *testing.T) {
+	src, dst := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	sub := mustCreate(t, src, d.Ino, "sub", namespace.TypeDir)
+	mustCreate(t, src, d.Ino, "f1", namespace.TypeFile)
+	mustCreate(t, src, sub.Ino, "f2", namespace.TypeFile)
+
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	out, err := src.handleMigratePrepare(w.Bytes())
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if n := rpc.NewReader(out).U32(); n != 4 {
+		t.Errorf("prepared %d inodes, want 4", n)
+	}
+	// After prepare the destination holds the copy, but the source is
+	// untouched: the subtree is frozen, not yet moved.
+	if _, found, _ := dst.store.Lookup(sub.Ino, "f2"); !found {
+		t.Error("destination missing shipped inode after prepare")
+	}
+	if in, found, _ := src.store.Lookup(namespace.RootIno, "proj"); !found || in.Type == namespace.TypeFake {
+		t.Errorf("source boundary changed before commit: found=%v %+v", found, in)
+	}
+
+	var cw rpc.Wire
+	cw.U64(uint64(d.Ino))
+	out, err = src.handleMigrateCommit(cw.Bytes())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if n := rpc.NewReader(out).U32(); n != 4 {
+		t.Errorf("committed %d inodes, want 4", n)
+	}
+	in, found, _ := src.store.Lookup(namespace.RootIno, "proj")
+	if !found || in.Type != namespace.TypeFake || in.Size != 1 {
+		t.Errorf("source boundary after commit = found=%v %+v, want fake -> 1", found, in)
+	}
+	if _, found, _ := src.store.Lookup(d.Ino, "f1"); found {
+		t.Error("source still holds migrated child after commit")
+	}
+}
+
+func TestMigrateAbortRollsBack(t *testing.T) {
+	src, dst := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	mustCreate(t, src, d.Ino, "f1", namespace.TypeFile)
+
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	if _, err := src.handleMigratePrepare(w.Bytes()); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	var aw rpc.Wire
+	aw.U64(uint64(d.Ino))
+	if _, err := src.handleMigrateAbort(aw.Bytes()); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	// Rollback: source intact, destination copy evicted, abort counted.
+	if in, found, _ := src.store.Lookup(namespace.RootIno, "proj"); !found || in.Type == namespace.TypeFake {
+		t.Errorf("source damaged by abort: found=%v %+v", found, in)
+	}
+	if _, found, _ := dst.store.Lookup(namespace.RootIno, "proj"); found {
+		t.Error("destination still holds evicted copy")
+	}
+	src.mu.Lock()
+	aborts := src.MigrationAborts
+	src.mu.Unlock()
+	if aborts != 1 {
+		t.Errorf("MigrationAborts = %d, want 1", aborts)
+	}
+	// The freeze lifted and the slot cleared: a new cycle must succeed.
+	if _, err := src.handleMigratePrepare(w.Bytes()); err != nil {
+		t.Fatalf("prepare after abort: %v", err)
+	}
+	var cw rpc.Wire
+	cw.U64(uint64(d.Ino))
+	if _, err := src.handleMigrateCommit(cw.Bytes()); err != nil {
+		t.Fatalf("commit after abort: %v", err)
+	}
+}
+
+func TestMigratePrepareTimeoutAutoAborts(t *testing.T) {
+	src, dst := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	mustCreate(t, src, d.Ino, "f1", namespace.TypeFile)
+	src.PrepareTimeout = 50 * time.Millisecond
+
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	if _, err := src.handleMigratePrepare(w.Bytes()); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	// A coordinator that dies here never sends commit or abort; the
+	// source's timer must lift the freeze on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		src.mu.Lock()
+		aborts := src.MigrationAborts
+		src.mu.Unlock()
+		if aborts == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prepare never timed out")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, found, _ := dst.store.Lookup(namespace.RootIno, "proj"); found {
+		t.Error("destination still holds copy after auto-abort")
+	}
+	// A late commit for the expired prepare must be refused.
+	var cw rpc.Wire
+	cw.U64(uint64(d.Ino))
+	if _, err := src.handleMigrateCommit(cw.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeInvalid) {
+		t.Errorf("late commit err = %v, want EINVAL", err)
+	}
+}
+
+func TestMigrateCommitWithoutPrepare(t *testing.T) {
+	src, _ := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	var cw rpc.Wire
+	cw.U64(uint64(d.Ino))
+	if _, err := src.handleMigrateCommit(cw.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeInvalid) {
+		t.Errorf("commit without prepare err = %v, want EINVAL", err)
 	}
 }

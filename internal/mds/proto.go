@@ -31,6 +31,16 @@ const (
 	// or shard boundary — the batching the Eq.-2 cost model assumes
 	// (one RPC per same-owner run of components).
 	MethodLookupPath
+	// Two-phase migration (coordinator-driven): Prepare freezes the
+	// source subtree and ships it to the destination, Commit swaps it
+	// for a fake-inode redirect, Abort rolls the shipped copy back.
+	// The one-shot MethodMigrate remains for wire compatibility.
+	MethodMigratePrepare
+	MethodMigrateCommit
+	MethodMigrateAbort
+	// MethodEvict removes a shipped-but-uncommitted subtree copy from a
+	// migration destination (the rollback half of MethodMigrateAbort).
+	MethodEvict
 )
 
 // Error codes carried in RemoteError messages as "Exxx: detail". The
@@ -44,6 +54,7 @@ const (
 	CodeIsDir    = "EISDIR"
 	CodeNotOwner = "ENOTOWNER"
 	CodeInvalid  = "EINVAL"
+	CodeBusy     = "EBUSY"
 )
 
 // CodedError formats a protocol error.

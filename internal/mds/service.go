@@ -33,6 +33,23 @@ type Service struct {
 	serviceNS  int64
 	now        func() int64
 	peers      func(id int) (*rpc.Client, error) // for migration pushes
+
+	// prep is the in-flight two-phase migration, if any. While it is
+	// non-nil the service holds opMu exclusively (the freeze spans
+	// prepare → commit/abort); PrepareTimeout bounds how long an
+	// abandoned prepare may hold the freeze before auto-abort.
+	prep            *preparedMigration
+	PrepareTimeout  time.Duration
+	MigrationAborts int64 // auto- or explicit aborts (observability)
+}
+
+// preparedMigration is the source-side state between MigratePrepare and
+// MigrateCommit/Abort.
+type preparedMigration struct {
+	root  namespace.Ino
+	dest  int
+	inos  []*namespace.Inode
+	timer *time.Timer
 }
 
 type dirCounters struct {
@@ -50,6 +67,8 @@ func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Ser
 		dirAcc: make(map[namespace.Ino]*dirCounters),
 		now:    func() int64 { return time.Now().UnixNano() },
 		peers:  peers,
+
+		PrepareTimeout: 30 * time.Second,
 	}
 	if id == 0 {
 		// MDS 0 owns the root in the initial state (§4.2).
@@ -90,6 +109,10 @@ func (s *Service) Serve(addr string) (string, error) {
 	srv.Handle(MethodDump, s.handleDump)
 	srv.Handle(MethodIngest, s.handleIngest)
 	srv.Handle(MethodMigrate, s.handleMigrate)
+	srv.Handle(MethodMigratePrepare, s.handleMigratePrepare)
+	srv.Handle(MethodMigrateCommit, s.handleMigrateCommit)
+	srv.Handle(MethodMigrateAbort, s.handleMigrateAbort)
+	srv.Handle(MethodEvict, s.handleEvict)
 	srv.Handle(MethodGetMap, s.handleGetMap)
 	srv.Handle(MethodSetMap, s.handleSetMap)
 	srv.Handle(MethodInsert, s.handleInsert)
@@ -98,16 +121,35 @@ func (s *Service) Serve(addr string) (string, error) {
 	return srv.Listen(addr)
 }
 
-// Close stops the RPC server and the store.
+// Close stops the RPC server and the store, releasing any migration
+// freeze left by an uncommitted prepare.
 func (s *Service) Close() error {
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
 	}
+	s.mu.Lock()
+	p := s.prep
+	s.prep = nil
+	s.mu.Unlock()
+	if p != nil {
+		p.timer.Stop()
+		s.opMu.Unlock()
+	}
 	if cerr := s.store.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// Server exposes the underlying RPC server (fault injection, tests).
+func (s *Service) Server() *rpc.Server { return s.srv }
+
+// MapVersion returns the partition-map version this MDS currently serves.
+func (s *Service) MapVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mapVersion
 }
 
 // timed wraps a handler with the migration freeze (shared side) and
@@ -562,16 +604,8 @@ func (s *Service) handleMigrate(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Ship in batches to bound frame sizes.
-	const batch = 512
-	for i := 0; i < len(inos); i += batch {
-		end := i + batch
-		if end > len(inos) {
-			end = len(inos)
-		}
-		if _, err := peer.Call(MethodIngest, encodeInodesResp(inos[i:end])); err != nil {
-			return nil, err
-		}
+	if err := shipInodes(peer, MethodIngest, inos); err != nil {
+		return nil, err
 	}
 	if err := s.store.RemoveSubtree(inos); err != nil {
 		return nil, err
@@ -588,6 +622,171 @@ func (s *Service) handleMigrate(body []byte) ([]byte, error) {
 	var w rpc.Wire
 	w.U32(uint32(len(inos)))
 	return w.Bytes(), nil
+}
+
+// shipInodes pushes a batch-bounded inode stream to a peer.
+func shipInodes(peer *rpc.Client, method rpc.Method, inos []*namespace.Inode) error {
+	const batch = 512
+	for i := 0; i < len(inos); i += batch {
+		end := i + batch
+		if end > len(inos) {
+			end = len(inos)
+		}
+		if _, err := peer.Call(method, encodeInodesResp(inos[i:end])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleMigratePrepare is phase one of a two-phase migration: freeze the
+// shard, collect the subtree, ship a copy to the destination, and hold
+// the freeze until MigrateCommit or MigrateAbort (or the PrepareTimeout
+// auto-abort, which also rolls the destination copy back). The source
+// keeps serving nothing during the freeze — exactly the §4.1
+// freeze-copy-switch window, but now survivable if the coordinator dies
+// between phases.
+func (s *Service) handleMigratePrepare(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	root := namespace.Ino(r.U64())
+	destID := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if s.peers == nil {
+		return nil, errors.New("mds: no peer resolver configured")
+	}
+	if destID == s.ID {
+		return nil, CodedError(CodeInvalid, "migration dest %d is the source", destID)
+	}
+	s.opMu.Lock()
+	s.mu.Lock()
+	if s.prep != nil {
+		busy := s.prep.root
+		s.mu.Unlock()
+		s.opMu.Unlock()
+		return nil, CodedError(CodeBusy, "migration of %d already prepared on MDS %d", busy, s.ID)
+	}
+	s.mu.Unlock()
+	inos, err := s.store.CollectSubtree(root)
+	if err != nil {
+		s.opMu.Unlock()
+		return nil, CodedError(CodeNoEnt, "%v", err)
+	}
+	peer, err := s.peers(destID)
+	if err == nil {
+		err = shipInodes(peer, MethodIngest, inos)
+	}
+	if err != nil {
+		// Roll back whatever partial copy landed on the destination.
+		if peer != nil {
+			s.evictFrom(peer, inos)
+		}
+		s.opMu.Unlock()
+		return nil, err
+	}
+	p := &preparedMigration{root: root, dest: destID, inos: inos}
+	p.timer = time.AfterFunc(s.PrepareTimeout, func() { s.abortPrepared(root) })
+	s.mu.Lock()
+	s.prep = p
+	s.mu.Unlock()
+	var w rpc.Wire
+	w.U32(uint32(len(inos)))
+	return w.Bytes(), nil
+}
+
+// takePrepared claims the prepared migration for root, stopping its
+// auto-abort timer. The caller inherits ownership of the exclusive opMu
+// hold and must release it.
+func (s *Service) takePrepared(root namespace.Ino) (*preparedMigration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prep == nil || s.prep.root != root {
+		return nil, false
+	}
+	p := s.prep
+	s.prep = nil
+	p.timer.Stop()
+	return p, true
+}
+
+// handleMigrateCommit is phase two: drop the local subtree and swap in
+// the fake-inode redirect. Only valid after a matching MigratePrepare.
+func (s *Service) handleMigrateCommit(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	root := namespace.Ino(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	p, ok := s.takePrepared(root)
+	if !ok {
+		return nil, CodedError(CodeInvalid, "no prepared migration for subtree %d on MDS %d", root, s.ID)
+	}
+	defer s.opMu.Unlock()
+	if err := s.store.RemoveSubtree(p.inos); err != nil {
+		return nil, err
+	}
+	// Leave a fake-inode behind (§3.1): the boundary dirent stays
+	// resolvable on the source and records the destination MDS in Size,
+	// so clients with stale maps follow the redirect.
+	fake := *p.inos[0]
+	fake.Type = namespace.TypeFake
+	fake.Size = int64(p.dest)
+	if err := s.store.Put(&fake); err != nil {
+		return nil, err
+	}
+	var w rpc.Wire
+	w.U32(uint32(len(p.inos)))
+	return w.Bytes(), nil
+}
+
+// handleMigrateAbort rolls back a prepared migration: the destination
+// copy is evicted and the freeze lifts. Aborting a migration that is not
+// prepared is a no-op (the coordinator aborts best-effort).
+func (s *Service) handleMigrateAbort(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	root := namespace.Ino(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	s.abortPrepared(root)
+	return nil, nil
+}
+
+// abortPrepared releases a prepared migration, evicting the shipped copy
+// from the destination best-effort. Shared by the explicit abort RPC and
+// the PrepareTimeout auto-abort.
+func (s *Service) abortPrepared(root namespace.Ino) {
+	p, ok := s.takePrepared(root)
+	if !ok {
+		return
+	}
+	if peer, err := s.peers(p.dest); err == nil {
+		s.evictFrom(peer, p.inos)
+	}
+	s.mu.Lock()
+	s.MigrationAborts++
+	s.mu.Unlock()
+	s.opMu.Unlock()
+}
+
+// evictFrom asks a migration destination to drop shipped inodes
+// (best-effort rollback; the destination never served them, because the
+// partition map was never repointed).
+func (s *Service) evictFrom(peer *rpc.Client, inos []*namespace.Inode) {
+	_ = shipInodes(peer, MethodEvict, inos)
+}
+
+// handleEvict removes a shipped-but-uncommitted subtree copy.
+func (s *Service) handleEvict(body []byte) ([]byte, error) {
+	ins, err := DecodeInodesResp(body)
+	if err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if err := s.store.RemoveSubtree(ins); err != nil {
+		return nil, err
+	}
+	return nil, nil
 }
 
 func (s *Service) handleGetMap(body []byte) ([]byte, error) {

@@ -8,17 +8,26 @@
 //
 // kind distinguishes requests from responses; response bodies start with
 // a status byte (0 = OK, otherwise an error whose message follows).
+//
+// The layer is fault-aware: calls can carry deadlines (CallTimeout /
+// CallCtx), a dropped connection is redialed automatically with
+// exponential backoff plus jitter (ClientOptions.Reconnect), and both
+// ends accept a FaultInjector that drops, delays, fails, or severs
+// frames for chaos testing.
 package rpc
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Method identifies an RPC handler.
@@ -43,8 +52,18 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: method %d: %s", e.Method, e.Msg)
 }
 
-// ErrClosed reports use of a closed client.
+// ErrClosed reports use of a closed (or currently disconnected) client.
 var ErrClosed = errors.New("rpc: connection closed")
+
+// ErrTimeout reports a call that exceeded its deadline.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// IsRetryable reports whether err is a transport failure (lost
+// connection or expired deadline) that an idempotent caller may retry,
+// as opposed to a RemoteError the server deliberately returned.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, ErrTimeout)
+}
 
 func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, body []byte) error {
 	frameLen := 8 + 1 + 2 + len(body)
@@ -97,7 +116,10 @@ type Server struct {
 	closed   atomic.Bool
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
+	injector atomic.Value // injectorBox
 }
+
+type injectorBox struct{ fi FaultInjector }
 
 // NewServer creates an empty server.
 func NewServer() *Server {
@@ -112,6 +134,20 @@ func (s *Server) Handle(m Method, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[m] = h
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector
+// consulted at PointServerRecv for every parsed request and at
+// PointServerSend for every response. Safe to call while serving.
+func (s *Server) SetFaultInjector(fi FaultInjector) {
+	s.injector.Store(injectorBox{fi})
+}
+
+func (s *Server) faultInjector() FaultInjector {
+	if box, ok := s.injector.Load().(injectorBox); ok {
+		return box.fi
+	}
+	return nil
 }
 
 // Listen binds the address and starts accepting in the background. It
@@ -161,18 +197,54 @@ func (s *Server) serveConn(conn net.Conn) {
 		if kind != kindRequest {
 			continue
 		}
+		var injectedErr error
+		if fi := s.faultInjector(); fi != nil {
+			f := fi.Intercept(PointServerRecv, method)
+			switch f.Action {
+			case FaultDrop:
+				continue // request vanishes; the caller times out
+			case FaultDelay:
+				time.Sleep(f.Delay)
+			case FaultError:
+				injectedErr = f.Err
+				if injectedErr == nil {
+					injectedErr = ErrInjected
+				}
+			case FaultDisconnect:
+				return
+			}
+		}
 		s.mu.RLock()
 		h := s.handlers[method]
 		s.mu.RUnlock()
 		// Handlers run inline: metadata ops are short and ordering per
 		// connection mirrors a real MDS dispatch queue.
 		var resp []byte
-		if h == nil {
+		if injectedErr != nil {
+			resp = errorBody(injectedErr.Error())
+		} else if h == nil {
 			resp = errorBody(fmt.Sprintf("unknown method %d", method))
 		} else if out, err := safeCall(h, body); err != nil {
 			resp = errorBody(err.Error())
 		} else {
 			resp = append([]byte{0}, out...)
+		}
+		if fi := s.faultInjector(); fi != nil {
+			f := fi.Intercept(PointServerSend, method)
+			switch f.Action {
+			case FaultDrop:
+				continue // response vanishes
+			case FaultDelay:
+				time.Sleep(f.Delay)
+			case FaultError:
+				errResp := f.Err
+				if errResp == nil {
+					errResp = ErrInjected
+				}
+				resp = errorBody(errResp.Error())
+			case FaultDisconnect:
+				return
+			}
 		}
 		wmu.Lock()
 		err = writeFrame(w, reqID, kindResponse, method, resp)
@@ -219,17 +291,73 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ClientOptions tunes a Client's fault-tolerance behaviour. The zero
+// value reproduces the bare transport: no deadlines, no reconnect.
+type ClientOptions struct {
+	// CallTimeout bounds every Call (0 = wait forever). Calls that
+	// exceed it fail with ErrTimeout; a late response is discarded.
+	CallTimeout time.Duration
+	// Reconnect redials a dropped connection in the background with
+	// exponential backoff plus jitter. Calls issued while disconnected
+	// fail fast with ErrClosed; callers retry on their own schedule.
+	Reconnect bool
+	// BackoffBase is the first redial delay (default 10ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the redial delay (default 1s).
+	BackoffMax time.Duration
+	// MaxRedials bounds consecutive failed redials before the client
+	// gives up and closes permanently (0 = keep trying until Close).
+	MaxRedials int
+	// Seed drives the backoff jitter (default 1).
+	Seed int64
+	// Injector, when non-nil, intercepts frames at PointClientSend and
+	// PointClientRecv.
+	Injector FaultInjector
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// connGen is one connection generation: its done channel closes when the
+// underlying connection dies, failing the calls in flight on it.
+type connGen struct {
+	done chan struct{}
+	err  error // read error, set before done closes
+}
+
 // Client is a multiplexing RPC client over one TCP connection: concurrent
-// Calls are pipelined and matched to responses by request ID.
+// Calls are pipelined and matched to responses by request ID. With
+// Reconnect enabled it transparently redials after a drop.
 type Client struct {
-	conn    net.Conn
-	w       *bufio.Writer
-	wmu     sync.Mutex
+	addr string
+	opts ClientOptions
+
+	wmu sync.Mutex // serialises frame writes
+
+	mu   sync.Mutex // guards conn, w, gen across reconnects
+	conn net.Conn
+	w    *bufio.Writer
+	gen  *connGen
+
 	nextID  atomic.Uint64
 	pending sync.Map // reqID -> chan response
 	closed  atomic.Bool
-	readErr error
-	done    chan struct{}
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	// Reconnects counts completed redials.
+	Reconnects atomic.Int64
 }
 
 type response struct {
@@ -237,42 +365,94 @@ type response struct {
 	err  error
 }
 
-// Dial connects to a server.
+// Dial connects to a server with default (zero) options.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions connects to a server with explicit fault-tolerance options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
+	opts = opts.withDefaults()
 	c := &Client{
+		addr: addr,
+		opts: opts,
 		conn: conn,
 		w:    bufio.NewWriterSize(conn, 64<<10),
-		done: make(chan struct{}),
+		gen:  &connGen{done: make(chan struct{})},
+		rnd:  rand.New(rand.NewSource(opts.Seed)),
 	}
-	go c.readLoop()
+	go c.readLoop(conn, c.gen)
 	return c, nil
 }
 
-func (c *Client) readLoop() {
-	r := bufio.NewReaderSize(c.conn, 64<<10)
+// Addr returns the dialed address.
+func (c *Client) Addr() string { return c.addr }
+
+// Connected reports whether the client currently holds a live connection.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	gen := c.gen
+	c.mu.Unlock()
+	select {
+	case <-gen.done:
+		return false
+	default:
+		return !c.closed.Load()
+	}
+}
+
+func (c *Client) readLoop(conn net.Conn, gen *connGen) {
+	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		reqID, kind, method, body, err := readFrame(r)
 		if err != nil {
-			c.readErr = err
-			close(c.done)
-			// Fail all pending calls.
+			gen.err = err
+			// Fail the calls in flight, then close done so a Call that
+			// raced its pending entry past this drain wakes up and
+			// removes it itself (no leak, no hang).
 			c.pending.Range(func(k, v interface{}) bool {
-				v.(chan response) <- response{err: ErrClosed}
 				c.pending.Delete(k)
+				v.(chan response) <- response{err: ErrClosed}
 				return true
 			})
+			close(gen.done)
+			conn.Close()
+			if c.opts.Reconnect && !c.closed.Load() {
+				go c.redial()
+			}
 			return
 		}
 		if kind != kindResponse {
 			continue
 		}
+		if fi := c.opts.Injector; fi != nil {
+			f := fi.Intercept(PointClientRecv, method)
+			switch f.Action {
+			case FaultDrop:
+				continue // response vanishes; the call times out
+			case FaultDelay:
+				time.Sleep(f.Delay)
+			case FaultError:
+				if ch, ok := c.pending.LoadAndDelete(reqID); ok {
+					ferr := f.Err
+					if ferr == nil {
+						ferr = ErrInjected
+					}
+					ch.(chan response) <- response{err: ferr}
+				}
+				continue
+			case FaultDisconnect:
+				conn.Close()
+				continue // next readFrame fails and runs the drop path
+			}
+		}
 		ch, ok := c.pending.LoadAndDelete(reqID)
 		if !ok {
-			continue
+			continue // late response to a timed-out call
 		}
 		if len(body) == 0 {
 			ch.(chan response) <- response{err: &RemoteError{Method: method, Msg: "empty response"}}
@@ -286,33 +466,135 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Call issues one request and waits for its response.
+// redial re-establishes the connection with exponential backoff plus
+// jitter. At most one redial loop runs at a time (it is spawned only by
+// the dying readLoop).
+func (c *Client) redial() {
+	backoff := c.opts.BackoffBase
+	for attempt := 1; ; attempt++ {
+		if c.closed.Load() {
+			return
+		}
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			c.mu.Lock()
+			if c.closed.Load() {
+				c.mu.Unlock()
+				conn.Close()
+				return
+			}
+			gen := &connGen{done: make(chan struct{})}
+			c.conn = conn
+			c.w = bufio.NewWriterSize(conn, 64<<10)
+			c.gen = gen
+			c.mu.Unlock()
+			c.Reconnects.Add(1)
+			go c.readLoop(conn, gen)
+			return
+		}
+		if c.opts.MaxRedials > 0 && attempt >= c.opts.MaxRedials {
+			c.closed.Store(true)
+			return
+		}
+		c.rndMu.Lock()
+		jitter := time.Duration(c.rnd.Int63n(int64(backoff)/2 + 1))
+		c.rndMu.Unlock()
+		time.Sleep(backoff + jitter)
+		backoff *= 2
+		if backoff > c.opts.BackoffMax {
+			backoff = c.opts.BackoffMax
+		}
+	}
+}
+
+// Call issues one request and waits for its response, honouring the
+// client's CallTimeout.
 func (c *Client) Call(m Method, body []byte) ([]byte, error) {
+	return c.call(nil, m, body)
+}
+
+// CallCtx is Call with an explicit context: the call fails with the
+// context's error when it is cancelled. The client CallTimeout still
+// applies as an upper bound.
+func (c *Client) CallCtx(ctx context.Context, m Method, body []byte) ([]byte, error) {
+	return c.call(ctx, m, body)
+}
+
+func (c *Client) call(ctx context.Context, m Method, body []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	conn, w, gen := c.conn, c.w, c.gen
+	c.mu.Unlock()
+	select {
+	case <-gen.done:
+		return nil, ErrClosed // disconnected; fail fast while redialing
+	default:
+	}
+	dropped := false
+	if fi := c.opts.Injector; fi != nil {
+		f := fi.Intercept(PointClientSend, m)
+		switch f.Action {
+		case FaultDrop:
+			dropped = true // never send; the call waits for its deadline
+		case FaultDelay:
+			time.Sleep(f.Delay)
+		case FaultError:
+			ferr := f.Err
+			if ferr == nil {
+				ferr = ErrInjected
+			}
+			return nil, ferr
+		case FaultDisconnect:
+			conn.Close()
+			return nil, ErrClosed
+		}
 	}
 	id := c.nextID.Add(1)
 	ch := make(chan response, 1)
 	c.pending.Store(id, ch)
-	c.wmu.Lock()
-	err := writeFrame(c.w, id, kindRequest, m, body)
-	c.wmu.Unlock()
-	if err != nil {
-		c.pending.Delete(id)
-		return nil, fmt.Errorf("rpc: send: %w", err)
+	if !dropped {
+		c.wmu.Lock()
+		err := writeFrame(w, id, kindRequest, m, body)
+		c.wmu.Unlock()
+		if err != nil {
+			c.pending.Delete(id)
+			return nil, fmt.Errorf("rpc: send: %v: %w", err, ErrClosed)
+		}
+	}
+	var deadline <-chan time.Time
+	if c.opts.CallTimeout > 0 {
+		timer := time.NewTimer(c.opts.CallTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
 	}
 	select {
 	case resp := <-ch:
 		return resp.body, resp.err
-	case <-c.done:
+	case <-gen.done:
+		c.pending.Delete(id)
 		return nil, ErrClosed
+	case <-deadline:
+		c.pending.Delete(id)
+		return nil, fmt.Errorf("%w: method %d after %v", ErrTimeout, m, c.opts.CallTimeout)
+	case <-ctxDone:
+		c.pending.Delete(id)
+		return nil, ctx.Err()
 	}
 }
 
-// Close tears down the connection.
+// Close tears down the connection and stops any redialing.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	return c.conn.Close()
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"origami/internal/client"
 	"origami/internal/namespace"
+	"origami/internal/rpc"
 )
 
 // TestChaosOpsMigrationsRestarts interleaves random namespace mutations,
@@ -143,6 +145,148 @@ func TestChaosOpsMigrationsRestarts(t *testing.T) {
 			if isDir != (in.Type == namespace.TypeDir) {
 				t.Fatalf("round %d: %s type mismatch", round, p)
 			}
+		}
+	}
+}
+
+// TestChaosKillMDSMidEpoch kills one MDS in the middle of a balancing
+// epoch — after the coordinator has collected its dump, but before the
+// map publish reaches it — then verifies the epoch completes degraded,
+// the next epoch skips the dead shard entirely, and a genuine
+// stop/restart plus one reconciliation round restores a consistent
+// cluster-wide partition map.
+func TestChaosKillMDSMidEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	dir := t.TempDir()
+	cl, err := StartCluster(3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(cl)
+
+	// Three hot subtrees on MDS 0 so the planner spreads migrations over
+	// both other shards — at least one lands on the surviving MDS 1.
+	var paths []string
+	for s := 0; s < 3; s++ {
+		d := fmt.Sprintf("/h%d", s)
+		if _, err := sdk.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			p := fmt.Sprintf("%s/f%d", d, i)
+			if _, err := sdk.Create(p); err != nil {
+				t.Fatal(err)
+			}
+			paths = append(paths, p)
+		}
+	}
+	for round := 0; round < 200; round++ {
+		for s := 0; s < 3; s++ {
+			if _, err := sdk.Stat(fmt.Sprintf("/h%d/f%d", s, round%8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Mid-epoch kill: let the heartbeat ping and the epoch dump through
+	// (Skip: 2), then sever every connection — migrations into MDS 2 and
+	// its map publish fail while the epoch is already underway.
+	const victim = 2
+	cl.Services[victim].Server().SetFaultInjector(rpc.NewRuleInjector(3, rpc.Rule{
+		Point:  rpc.PointServerRecv,
+		Skip:   2,
+		Action: rpc.FaultDisconnect,
+	}))
+
+	res, err := co.RunEpoch()
+	if err != nil {
+		t.Fatalf("mid-epoch kill aborted the epoch: %v", err)
+	}
+	if !res.Degraded() {
+		t.Fatal("epoch with a mid-epoch kill not reported degraded")
+	}
+	if len(res.Applied) == 0 {
+		t.Fatal("no migration survived onto the healthy shard")
+	}
+	for _, d := range res.Applied {
+		if int(d.To) == victim {
+			t.Errorf("migration %v claims to have committed into the dead MDS", d)
+		}
+	}
+	staleOrSkipped := false
+	for _, id := range append(append([]int{}, res.StaleMDS...), res.SkippedMDS...) {
+		if id == victim {
+			staleOrSkipped = true
+		}
+	}
+	if !staleOrSkipped {
+		t.Errorf("dead MDS absent from StaleMDS %v and SkippedMDS %v", res.StaleMDS, res.SkippedMDS)
+	}
+
+	// The next epoch plans around the dead shard from the start.
+	res2, err := co.RunEpoch()
+	if err != nil {
+		t.Fatalf("epoch over the survivors: %v", err)
+	}
+	skipped := false
+	for _, id := range res2.SkippedMDS {
+		if id == victim {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Errorf("dead shard not skipped: SkippedMDS = %v", res2.SkippedMDS)
+	}
+
+	// Genuine crash/restart: the shard comes back from its on-disk state
+	// on a fresh address, with an out-of-date partition map.
+	if err := cl.StopMDS(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RestartMDS(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for co.Health.Check(victim) != Up {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted MDS unreachable: %v", co.Health.LastErr(victim))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	updated := co.Reconcile()
+	caught := false
+	for _, id := range updated {
+		if id == victim {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Errorf("Reconcile updated %v, want it to include %d", updated, victim)
+	}
+	for i := range cl.Services {
+		if v := cl.Services[i].MapVersion(); v != co.MapVersion() {
+			t.Errorf("MDS %d map version %d, want %d", i, v, co.MapVersion())
+		}
+	}
+
+	// Every path still resolves for a fresh client against the healed
+	// cluster (the restarted shard listens on a new address).
+	sdk.Close()
+	sdk2, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdk2.Close()
+	for _, p := range paths {
+		if _, err := sdk2.Stat(p); err != nil {
+			t.Errorf("post-heal stat %s: %v", p, err)
 		}
 	}
 }

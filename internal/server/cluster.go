@@ -10,42 +10,42 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"origami/internal/kvstore"
 	"origami/internal/mds"
 	"origami/internal/rpc"
 )
 
+// DefaultCallTimeout bounds the coordinator's RPCs to each MDS so a dead
+// shard degrades an epoch instead of hanging it.
+const DefaultCallTimeout = 3 * time.Second
+
 // Cluster is a set of running MDS services plus coordinator connections.
 type Cluster struct {
-	Services  []*mds.Service
-	Addrs     []string
+	Services []*mds.Service
+	Addrs    []string
+
+	mu        sync.Mutex
 	conns     []*rpc.Client
 	peerConns []*rpc.Client
 	dir       string
+	timeout   time.Duration
 }
 
 // StartCluster launches n in-process MDS services storing shards under
-// baseDir (one sub-directory per MDS). MDS 0 holds the root.
+// baseDir (one sub-directory per MDS). MDS 0 holds the root. The
+// coordinator connections carry DefaultCallTimeout deadlines and redial
+// automatically after a drop.
 func StartCluster(n int, baseDir string) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("server: cluster size %d", n)
 	}
-	c := &Cluster{dir: baseDir, peerConns: make([]*rpc.Client, n)}
-	// Peer resolver: lazily dials by id using the address table, which
-	// is filled as services come up.
-	peers := func(id int) (*rpc.Client, error) {
-		if id < 0 || id >= len(c.Addrs) {
-			return nil, fmt.Errorf("server: peer %d out of range", id)
-		}
-		if c.peerConns[id] == nil {
-			conn, err := rpc.Dial(c.Addrs[id])
-			if err != nil {
-				return nil, err
-			}
-			c.peerConns[id] = conn
-		}
-		return c.peerConns[id], nil
+	c := &Cluster{
+		dir:       baseDir,
+		peerConns: make([]*rpc.Client, n),
+		timeout:   DefaultCallTimeout,
 	}
 	for i := 0; i < n; i++ {
 		dir := filepath.Join(baseDir, fmt.Sprintf("mds%d", i))
@@ -58,7 +58,7 @@ func StartCluster(n int, baseDir string) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("server: open store %d: %w", i, err)
 		}
-		svc := mds.NewService(i, store, peers)
+		svc := mds.NewService(i, store, c.peerResolver)
 		addr, err := svc.Serve("127.0.0.1:0")
 		if err != nil {
 			store.Close()
@@ -69,7 +69,7 @@ func StartCluster(n int, baseDir string) (*Cluster, error) {
 		c.Addrs = append(c.Addrs, addr)
 	}
 	for i := 0; i < n; i++ {
-		conn, err := rpc.Dial(c.Addrs[i])
+		conn, err := c.dial(i)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -79,17 +79,111 @@ func StartCluster(n int, baseDir string) (*Cluster, error) {
 	return c, nil
 }
 
+func (c *Cluster) dial(id int) (*rpc.Client, error) {
+	return rpc.DialOptions(c.Addrs[id], rpc.ClientOptions{
+		CallTimeout: c.timeout,
+		Reconnect:   true,
+		BackoffBase: 5 * time.Millisecond,
+	})
+}
+
+// peerResolver lazily dials MDS-to-MDS connections (migration pushes) by
+// id from the address table, re-dialing when a cached connection died or
+// the peer restarted on a new address.
+func (c *Cluster) peerResolver(id int) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.Addrs) {
+		return nil, fmt.Errorf("server: peer %d out of range", id)
+	}
+	if cached := c.peerConns[id]; cached != nil {
+		if cached.Connected() && cached.Addr() == c.Addrs[id] {
+			return cached, nil
+		}
+		cached.Close()
+		c.peerConns[id] = nil
+	}
+	conn, err := c.dial(id)
+	if err != nil {
+		return nil, err
+	}
+	c.peerConns[id] = conn
+	return conn, nil
+}
+
 // Conn returns the coordinator's connection to one MDS.
-func (c *Cluster) Conn(id int) *rpc.Client { return c.conns[id] }
+func (c *Cluster) Conn(id int) *rpc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conns[id]
+}
+
+// StopMDS shuts one MDS down in place (crash simulation). Its connection
+// slots stay allocated so calls fail fast rather than panic; RestartMDS
+// brings the shard back from its on-disk state.
+func (c *Cluster) StopMDS(id int) error {
+	if id < 0 || id >= len(c.Services) || c.Services[id] == nil {
+		return fmt.Errorf("server: no MDS %d to stop", id)
+	}
+	err := c.Services[id].Close()
+	c.Services[id] = nil
+	return err
+}
+
+// RestartMDS revives a stopped MDS from its shard directory, rebinding it
+// to a fresh address and re-dialing the coordinator connection. Peer
+// connections re-resolve lazily.
+func (c *Cluster) RestartMDS(id int) error {
+	if id < 0 || id >= len(c.Addrs) {
+		return fmt.Errorf("server: MDS %d out of range", id)
+	}
+	if c.Services[id] != nil {
+		return fmt.Errorf("server: MDS %d still running", id)
+	}
+	dir := filepath.Join(c.dir, fmt.Sprintf("mds%d", id))
+	store, err := mds.OpenStore(dir, id, kvstore.Options{})
+	if err != nil {
+		return fmt.Errorf("server: reopen store %d: %w", id, err)
+	}
+	svc := mds.NewService(id, store, c.peerResolver)
+	addr, err := svc.Serve("127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		return fmt.Errorf("server: reserve MDS %d: %w", id, err)
+	}
+	c.mu.Lock()
+	c.Services[id] = svc
+	c.Addrs[id] = addr
+	if c.conns[id] != nil {
+		c.conns[id].Close()
+	}
+	if c.peerConns[id] != nil {
+		c.peerConns[id].Close()
+		c.peerConns[id] = nil
+	}
+	c.mu.Unlock()
+	conn, err := c.dial(id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.conns[id] = conn
+	c.mu.Unlock()
+	return nil
+}
 
 // Close shuts everything down.
 func (c *Cluster) Close() {
-	for _, conn := range c.conns {
+	c.mu.Lock()
+	conns := append([]*rpc.Client{}, c.conns...)
+	peers := append([]*rpc.Client{}, c.peerConns...)
+	c.mu.Unlock()
+	for _, conn := range conns {
 		if conn != nil {
 			conn.Close()
 		}
 	}
-	for _, conn := range c.peerConns {
+	for _, conn := range peers {
 		if conn != nil {
 			conn.Close()
 		}

@@ -17,6 +17,11 @@ import (
 // publishes the partition map. By default it plans with Meta-OPT
 // directly; any cluster.Strategy (e.g. a model-driven balancer.Origami
 // loaded from origami-train's output) can be plugged in instead.
+//
+// The coordinator fails open: an epoch plans over whatever subset of the
+// cluster answers its probes, migrations run as prepare/commit pairs
+// with rollback, and MDSs that miss a map publish are reconciled when
+// they come back (RunEpoch's opening GetMap sweep).
 type Coordinator struct {
 	cluster *Cluster
 	pins    map[namespace.Ino]int
@@ -29,8 +34,45 @@ type Coordinator struct {
 	// Strategy, when non-nil, replaces the built-in Meta-OPT planner.
 	// Its Setup is invoked lazily on first use.
 	Strategy cluster.Strategy
+	// Health tracks per-MDS liveness from heartbeats and RPC outcomes.
+	Health *HealthTracker
+	// PublishRetries is how many attempts each map publish gets per MDS
+	// before the MDS is left stale for later reconciliation.
+	PublishRetries int
+	// PublishBackoff separates publish attempts.
+	PublishBackoff time.Duration
 
 	strategyReady bool
+	staleMaps     map[int]bool // MDSs that missed a publish
+}
+
+// EpochResult is what one balancing round actually did — including the
+// parts that failed. A degraded result is still a successful epoch.
+type EpochResult struct {
+	// Applied are the migrations that committed.
+	Applied []cluster.Decision
+	// Rejected are planned migrations that did not happen: the source
+	// refused the prepare (e.g. the subtree moved meanwhile), a phase
+	// failed, or a participant was down. Callers doing experiment
+	// accounting must not count these as applied.
+	Rejected []cluster.Decision
+	// SkippedMDS lists shards excluded from this epoch (down or their
+	// dump failed); their load was invisible to the planner.
+	SkippedMDS []int
+	// StaleMDS lists shards that missed the map publish and will be
+	// reconciled once reachable.
+	StaleMDS []int
+	// Reconciled lists shards whose lagging maps were caught up at the
+	// start of the epoch.
+	Reconciled []int
+	// MapVersion is the coordinator's partition-map version after the
+	// epoch.
+	MapVersion uint64
+}
+
+// Degraded reports whether the epoch worked around any failure.
+func (r *EpochResult) Degraded() bool {
+	return len(r.SkippedMDS) > 0 || len(r.StaleMDS) > 0
 }
 
 // NewCoordinator attaches a coordinator to a running cluster, seeding its
@@ -38,10 +80,14 @@ type Coordinator struct {
 // coordinator resumes where the last one stopped.
 func NewCoordinator(c *Cluster) *Coordinator {
 	co := &Coordinator{
-		cluster:       c,
-		pins:          make(map[namespace.Ino]int),
-		CacheDepth:    3,
-		MaxMigrations: 8,
+		cluster:        c,
+		pins:           make(map[namespace.Ino]int),
+		CacheDepth:     3,
+		MaxMigrations:  8,
+		Health:         NewHealthTracker(c),
+		PublishRetries: 3,
+		PublishBackoff: 10 * time.Millisecond,
+		staleMaps:      make(map[int]bool),
 	}
 	if body, err := c.Conn(0).Call(mds.MethodGetMap, nil); err == nil {
 		if version, pins, derr := mds.DecodeMap(body); derr == nil {
@@ -63,24 +109,38 @@ func (co *Coordinator) Pins() map[namespace.Ino]int {
 	return out
 }
 
-// collect pulls one epoch dump from every MDS.
-func (co *Coordinator) collect() ([]mds.StatsSnapshot, [][]mds.DumpRow, error) {
+// MapVersion returns the coordinator's current partition-map version.
+func (co *Coordinator) MapVersion() uint64 { return co.version }
+
+// collect pulls one epoch dump from every reachable MDS. Shards whose
+// dump fails are skipped (and demoted in the health tracker) instead of
+// failing the round; their slots stay zero so index positions hold.
+func (co *Coordinator) collect() (stats []mds.StatsSnapshot, rows [][]mds.DumpRow, skipped []int) {
 	n := len(co.cluster.Addrs)
-	stats := make([]mds.StatsSnapshot, n)
-	rows := make([][]mds.DumpRow, n)
+	stats = make([]mds.StatsSnapshot, n)
+	rows = make([][]mds.DumpRow, n)
 	for i := 0; i < n; i++ {
+		if co.Health.State(i) == Down {
+			skipped = append(skipped, i)
+			continue
+		}
 		body, err := co.cluster.Conn(i).Call(mds.MethodDump, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("server: dump from MDS %d: %w", i, err)
+			co.Health.ReportFailure(i, err)
+			skipped = append(skipped, i)
+			continue
 		}
 		st, r, err := mds.DecodeDump(body)
 		if err != nil {
-			return nil, nil, err
+			co.Health.ReportFailure(i, err)
+			skipped = append(skipped, i)
+			continue
 		}
+		co.Health.ReportSuccess(i)
 		stats[i] = st
 		rows[i] = r
 	}
-	return stats, rows, nil
+	return stats, rows, skipped
 }
 
 // merge builds a cluster.EpochStats from the per-shard dumps, computing
@@ -222,25 +282,76 @@ func (co *Coordinator) merge(epoch int, stats []mds.StatsSnapshot, shardRows [][
 	return es
 }
 
-// RunEpoch performs one balancing round: collect, plan, migrate, publish.
-// It returns the decisions that were actually executed.
-func (co *Coordinator) RunEpoch() ([]cluster.Decision, error) {
-	stats, rows, err := co.collect()
-	if err != nil {
-		return nil, err
+// migrate2PC runs one migration as prepare → commit, rolling back with
+// an abort if the commit fails. The partition pin moves only after a
+// successful commit.
+func (co *Coordinator) migrate2PC(subtree namespace.Ino, from, to int) error {
+	var w rpc.Wire
+	w.U64(uint64(subtree)).U32(uint32(to))
+	conn := co.cluster.Conn(from)
+	if _, err := conn.Call(mds.MethodMigratePrepare, w.Bytes()); err != nil {
+		co.reportOutcome(from, err)
+		return fmt.Errorf("server: prepare migrate %d from MDS %d: %w", subtree, from, err)
+	}
+	var cw rpc.Wire
+	cw.U64(uint64(subtree))
+	if _, err := conn.Call(mds.MethodMigrateCommit, cw.Bytes()); err != nil {
+		co.reportOutcome(from, err)
+		// Roll back: lift the freeze and evict the destination copy. If
+		// the source is unreachable its PrepareTimeout auto-abort fires.
+		var aw rpc.Wire
+		aw.U64(uint64(subtree))
+		conn.Call(mds.MethodMigrateAbort, aw.Bytes()) //nolint:errcheck // best-effort
+		return fmt.Errorf("server: commit migrate %d from MDS %d: %w", subtree, from, err)
+	}
+	co.Health.ReportSuccess(from)
+	return nil
+}
+
+// reportOutcome feeds a migration RPC failure into the health tracker,
+// but only for transport-level failures — a RemoteError means the shard
+// is alive and answering.
+func (co *Coordinator) reportOutcome(id int, err error) {
+	if rpc.IsRetryable(err) {
+		co.Health.ReportFailure(id, err)
+	}
+}
+
+// RunEpoch performs one balancing round: reconcile lagging maps, collect
+// dumps, plan, migrate (two-phase), publish. A partially failed cluster
+// degrades the round instead of aborting it: unreachable shards are
+// skipped and reported in the result, which callers should inspect for
+// Rejected decisions before crediting migrations to an experiment. An
+// error is returned only when no shard at all can be collected.
+func (co *Coordinator) RunEpoch() (*EpochResult, error) {
+	res := &EpochResult{}
+	co.Health.CheckAll()
+	res.Reconciled = co.Reconcile()
+	stats, rows, skipped := co.collect()
+	res.SkippedMDS = skipped
+	if len(skipped) == len(co.cluster.Addrs) {
+		res.MapVersion = co.version
+		return res, fmt.Errorf("server: no reachable MDS (all %d dumps failed)", len(skipped))
+	}
+	reachable := make(map[int]bool, len(co.cluster.Addrs))
+	for i := range co.cluster.Addrs {
+		reachable[i] = true
+	}
+	for _, i := range skipped {
+		reachable[i] = false
 	}
 	es := co.merge(0, stats, rows)
 	pm := cluster.NewPartitionMap(len(co.cluster.Addrs))
 	for ino, m := range co.pins {
 		if err := pm.Pin(ino, cluster.MDSID(m)); err != nil {
-			return nil, err
+			return res, err
 		}
 	}
 	var plan []cluster.Decision
 	if co.Strategy != nil {
 		if !co.strategyReady {
 			if err := co.Strategy.Setup(nil, pm); err != nil {
-				return nil, err
+				return res, err
 			}
 			co.strategyReady = true
 		}
@@ -251,38 +362,46 @@ func (co *Coordinator) RunEpoch() ([]cluster.Decision, error) {
 			MaxDecisions: co.MaxMigrations,
 		})
 	}
-	var applied []cluster.Decision
 	for _, d := range plan {
-		var w rpc.Wire
-		w.U64(uint64(d.Subtree)).U32(uint32(d.To))
-		if _, err := co.cluster.Conn(int(d.From)).Call(mds.MethodMigrate, w.Bytes()); err != nil {
-			continue // source rejected (e.g. subtree moved meanwhile)
+		// A down shard can neither source nor absorb a migration; the
+		// planner saw zeroed stats for it, so drop those decisions.
+		if !reachable[int(d.From)] || !reachable[int(d.To)] {
+			res.Rejected = append(res.Rejected, d)
+			continue
+		}
+		if err := co.migrate2PC(d.Subtree, int(d.From), int(d.To)); err != nil {
+			res.Rejected = append(res.Rejected, d)
+			continue
 		}
 		co.pins[d.Subtree] = int(d.To)
-		applied = append(applied, d)
+		res.Applied = append(res.Applied, d)
 	}
-	if len(applied) > 0 {
-		if err := co.publish(); err != nil {
-			return applied, err
-		}
+	if len(res.Applied) > 0 {
+		res.StaleMDS = co.publish()
 	}
-	return applied, nil
+	res.MapVersion = co.version
+	return res, nil
 }
 
 // Migrate executes one explicit migration (the pluggable Migrator
-// interface for external algorithms).
+// interface for external algorithms) as a prepare/commit pair. Shards
+// that miss the resulting map publish are left for reconciliation; the
+// migration itself succeeding is what decides the return value.
 func (co *Coordinator) Migrate(subtree namespace.Ino, from, to int) error {
-	var w rpc.Wire
-	w.U64(uint64(subtree)).U32(uint32(to))
-	if _, err := co.cluster.Conn(from).Call(mds.MethodMigrate, w.Bytes()); err != nil {
+	if err := co.migrate2PC(subtree, from, to); err != nil {
 		return err
 	}
 	co.pins[subtree] = to
-	return co.publish()
+	if stale := co.publish(); len(stale) > 0 {
+		return fmt.Errorf("server: map publish incomplete (stale MDSs %v), reconciliation pending", stale)
+	}
+	return nil
 }
 
-// publish pushes the current partition map to every MDS.
-func (co *Coordinator) publish() error {
+// publish pushes the current partition map to every MDS, retrying each
+// with backoff and returning the ids that still missed it (recorded for
+// reconciliation) rather than failing the epoch.
+func (co *Coordinator) publish() (stale []int) {
 	co.version++
 	pins := make([]mds.PinEntry, 0, len(co.pins))
 	for ino, m := range co.pins {
@@ -290,9 +409,70 @@ func (co *Coordinator) publish() error {
 	}
 	body := mds.EncodeMap(co.version, pins)
 	for i := range co.cluster.Addrs {
-		if _, err := co.cluster.Conn(i).Call(mds.MethodSetMap, body); err != nil {
-			return fmt.Errorf("server: publish map to MDS %d: %w", i, err)
+		if err := co.publishOne(i, body); err != nil {
+			co.staleMaps[i] = true
+			stale = append(stale, i)
+		} else {
+			delete(co.staleMaps, i)
 		}
 	}
-	return nil
+	return stale
+}
+
+func (co *Coordinator) publishOne(id int, body []byte) error {
+	var err error
+	for attempt := 0; attempt < co.PublishRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(co.PublishBackoff * time.Duration(attempt))
+		}
+		_, err = co.cluster.Conn(id).Call(mds.MethodSetMap, body)
+		if err == nil {
+			co.Health.ReportSuccess(id)
+			return nil
+		}
+		co.reportOutcome(id, err)
+		if !rpc.IsRetryable(err) {
+			break // the shard answered; retrying the same push is futile
+		}
+	}
+	return fmt.Errorf("server: publish map to MDS %d: %w", id, err)
+}
+
+// Reconcile compares every MDS's served map version against the
+// coordinator's (MethodGetMap) and re-pushes the current map to the ones
+// that lag — the catch-up path for shards that were down during a
+// publish. It returns the ids that were brought up to date.
+func (co *Coordinator) Reconcile() []int {
+	if co.version == 0 {
+		return nil
+	}
+	pins := make([]mds.PinEntry, 0, len(co.pins))
+	for ino, m := range co.pins {
+		pins = append(pins, mds.PinEntry{Ino: ino, MDS: m})
+	}
+	body := mds.EncodeMap(co.version, pins)
+	var updated []int
+	for i := range co.cluster.Addrs {
+		vbody, err := co.cluster.Conn(i).Call(mds.MethodGetMap, nil)
+		if err != nil {
+			co.reportOutcome(i, err)
+			continue
+		}
+		co.Health.ReportSuccess(i)
+		served, _, derr := mds.DecodeMap(vbody)
+		if derr != nil {
+			continue
+		}
+		if served >= co.version {
+			delete(co.staleMaps, i)
+			continue
+		}
+		if _, err := co.cluster.Conn(i).Call(mds.MethodSetMap, body); err != nil {
+			co.reportOutcome(i, err)
+			continue
+		}
+		delete(co.staleMaps, i)
+		updated = append(updated, i)
+	}
+	return updated
 }

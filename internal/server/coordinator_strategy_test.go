@@ -25,11 +25,11 @@ func TestCoordinatorWithPluggedStrategy(t *testing.T) {
 		sdk.Stat(fmt.Sprintf("/hotA/f%d", round%10))
 		sdk.Stat(fmt.Sprintf("/hotB/f%d", round%10))
 	}
-	applied, err := co.RunEpoch()
+	res, err := co.RunEpoch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(applied) == 0 {
+	if len(res.Applied) == 0 {
 		t.Fatal("plugged strategy migrated nothing off the overloaded MDS")
 	}
 	// The cluster must remain fully functional.
@@ -61,11 +61,11 @@ func TestCoordinatorWithLunule(t *testing.T) {
 	for round := 0; round < 400; round++ {
 		sdk.Stat(fmt.Sprintf("/t%d/f%d", round%4, round%5))
 	}
-	applied, err := co.RunEpoch()
+	res, err := co.RunEpoch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(applied) == 0 {
+	if len(res.Applied) == 0 {
 		t.Fatal("Lunule migrated nothing")
 	}
 	for d := 0; d < 4; d++ {

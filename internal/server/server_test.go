@@ -173,14 +173,14 @@ func TestCoordinatorRunEpochBalances(t *testing.T) {
 		sdk.Stat(fmt.Sprintf("/t0/f%d", round%8))
 		sdk.Stat(fmt.Sprintf("/t1/f%d", round%8))
 	}
-	applied, err := co.RunEpoch()
+	res, err := co.RunEpoch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(applied) == 0 {
+	if len(res.Applied) == 0 {
 		t.Fatal("coordinator migrated nothing off the overloaded MDS")
 	}
-	for _, d := range applied {
+	for _, d := range res.Applied {
 		if d.From != 0 {
 			t.Errorf("migration from MDS %d, want 0", d.From)
 		}

@@ -2,9 +2,12 @@ package sim
 
 import (
 	"testing"
+	"time"
 
 	"origami/internal/balancer"
+	"origami/internal/cluster"
 	"origami/internal/costmodel"
+	"origami/internal/namespace"
 	"origami/internal/trace"
 	"origami/internal/workload"
 )
@@ -62,5 +65,101 @@ func TestInvalidParamsRejected(t *testing.T) {
 	bad.Params.TExec[costmodel.OpStat] = 0
 	if _, err := Run(bad, tr, balancer.Single{}); err == nil {
 		t.Error("invalid cost parameters accepted")
+	}
+}
+
+// outageOneShot emits a single fixed migration decision at the first
+// epoch boundary, so tests can observe whether the simulator applies or
+// rejects it.
+type outageOneShot struct {
+	d     cluster.Decision
+	fired bool
+}
+
+func (o *outageOneShot) Name() string                                            { return "oneshot" }
+func (o *outageOneShot) Setup(t *namespace.Tree, pm *cluster.PartitionMap) error { return nil }
+func (o *outageOneShot) PinPolicy() cluster.PinPolicy                            { return nil }
+func (o *outageOneShot) Rebalance(es *cluster.EpochStats, t *namespace.Tree, pm *cluster.PartitionMap) []cluster.Decision {
+	if o.fired {
+		return nil
+	}
+	o.fired = true
+	return []cluster.Decision{o.d}
+}
+
+// TestOutageStallsRequests verifies that requests visiting an MDS inside
+// an outage window wait for recovery: the same trace runs strictly slower
+// with the outage than without.
+func TestOutageStallsRequests(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 3000
+	cfg.Modules = 4
+	base := Config{NumMDS: 2, Clients: 8, CacheDepth: 3}
+
+	healthy, err := Run(base, workload.TraceRW(cfg), balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := base
+	down.Outages = []Outage{{MDS: 0, From: 0, Until: 2 * time.Second}}
+	degraded, err := Run(down, workload.TraceRW(cfg), balancer.Single{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Ops != healthy.Ops {
+		t.Errorf("outage lost ops: %d vs %d", degraded.Ops, healthy.Ops)
+	}
+	if degraded.Elapsed <= healthy.Elapsed {
+		t.Errorf("outage run finished in %v, healthy in %v; want slower",
+			degraded.Elapsed, healthy.Elapsed)
+	}
+	if degraded.MeanLatency <= healthy.MeanLatency {
+		t.Errorf("outage mean latency %v <= healthy %v",
+			degraded.MeanLatency, healthy.MeanLatency)
+	}
+}
+
+// TestOutageRejectsMigrations verifies the degraded-epoch rule: a
+// migration decision whose destination is inside an outage window is
+// rejected (DecisionsSkip), while the identical decision applies cleanly
+// on a healthy cluster.
+func TestOutageRejectsMigrations(t *testing.T) {
+	cfg := workload.DefaultRW()
+	cfg.NumOps = 3000
+	cfg.Modules = 4
+	run := func(outages []Outage) *Result {
+		t.Helper()
+		tr := workload.TraceRW(cfg)
+		s, err := New(Config{NumMDS: 2, Clients: 8, Outages: outages}, tr, &outageOneShot{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := s.Tree().ResolvePath("/project/src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.strategy.(*outageOneShot)
+		st.d = cluster.Decision{Subtree: chain[len(chain)-1].Ino, From: 0, To: 1}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	healthy := run(nil)
+	if healthy.Migrations != 1 {
+		t.Fatalf("healthy run applied %d migrations, want 1", healthy.Migrations)
+	}
+	degraded := run([]Outage{{MDS: 1, From: 0, Until: time.Hour}})
+	if degraded.Migrations != 0 {
+		t.Errorf("degraded run applied %d migrations, want 0", degraded.Migrations)
+	}
+	var skips int
+	for _, em := range degraded.Epochs {
+		skips += em.DecisionsSkip
+	}
+	if skips != 1 {
+		t.Errorf("degraded run skipped %d decisions, want 1", skips)
 	}
 }

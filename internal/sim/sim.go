@@ -48,6 +48,19 @@ type Config struct {
 	// DataPath, when non-nil, appends a simulated data-cluster stage to
 	// every open/create (the Fig. 9b end-to-end configuration).
 	DataPath *DataPath
+	// Outages takes MDSs offline for windows of virtual time: requests
+	// visiting a downed MDS stall until it recovers, and the coordinator
+	// rejects migration decisions that touch it (degraded epochs).
+	Outages []Outage
+}
+
+// Outage is one MDS-unavailability window in virtual time,
+// [From, Until).
+type Outage struct {
+	MDS  int
+	From time.Duration
+	// Until is when the MDS is back; it must be > From.
+	Until time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +98,7 @@ type EpochMetrics struct {
 	// Migrations applied at the end of this epoch.
 	Migrations    int
 	MigratedInos  int
-	DecisionsSkip int // decisions rejected as stale
+	DecisionsSkip int // decisions rejected (stale or participant in outage)
 }
 
 // Result summarises a run.
@@ -270,6 +283,18 @@ func (s *Sim) Tree() *namespace.Tree { return s.exec.Tree }
 // PartitionMap exposes the live partition map.
 func (s *Sim) PartitionMap() *cluster.PartitionMap { return s.exec.PM }
 
+// outageEnd returns when MDS id comes back if it is in an outage at
+// virtual time t, or t itself when it is up.
+func (s *Sim) outageEnd(id int, t time.Duration) time.Duration {
+	end := t
+	for _, o := range s.cfg.Outages {
+		if o.MDS == id && end >= o.From && end < o.Until {
+			end = o.Until
+		}
+	}
+	return end
+}
+
 func (s *Sim) schedule(at time.Duration, client int) {
 	s.seq++
 	heap.Push(&s.events, event{at: at, seq: s.seq, client: client})
@@ -365,6 +390,10 @@ func (s *Sim) step(ev event) {
 			cs.queueWait += s.freeAt[v.MDS] - start
 			start = s.freeAt[v.MDS]
 		}
+		if end := s.outageEnd(int(v.MDS), start); end > start {
+			cs.queueWait += end - start
+			start = end
+		}
 		finish := start + v.Service
 		s.freeAt[v.MDS] = finish
 		cs.visitIdx++
@@ -436,6 +465,14 @@ func (s *Sim) endEpoch() {
 
 	decisions := s.strategy.Rebalance(es, s.exec.Tree, s.exec.PM)
 	for _, d := range decisions {
+		// A migration needs both participants alive; with either side in
+		// an outage the coordinator runs a degraded epoch and rejects the
+		// decision (mirroring server.Coordinator's reachability filter).
+		if s.outageEnd(int(d.From), s.clock) > s.clock ||
+			s.outageEnd(int(d.To), s.clock) > s.clock {
+			em.DecisionsSkip++
+			continue
+		}
 		cost, err := s.migrator.Apply(s.exec.Tree, s.exec.PM, d)
 		if err != nil {
 			em.DecisionsSkip++
