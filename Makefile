@@ -2,19 +2,23 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench experiments examples clean
+.PHONY: all check build vet fmt-check test test-race race bench experiments examples profile clean
 
 all: check
 
-# The default gate: compile, vet, full test suite, then the race
-# detector over the concurrency-heavy networked packages.
-check: build vet test test-race
+# The default gate: compile, vet, formatting, full test suite, then the
+# race detector over the concurrency-heavy networked packages.
+check: build vet fmt-check test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails when any file needs gofmt; prints the offenders.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -33,6 +37,12 @@ bench:
 # Regenerate every paper artefact as a text report.
 experiments:
 	$(GO) run ./cmd/origami-bench -exp all
+
+# Capture a CPU profile of the headline experiment plus a simulator
+# telemetry snapshot, then explore with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/origami-bench -exp headline -cpuprofile cpu.pprof -metrics-out metrics.json
+	@echo "next: $(GO) tool pprof cpu.pprof"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"origami/internal/balancer"
@@ -20,6 +21,23 @@ import (
 	"origami/internal/sim"
 	"origami/internal/trace"
 )
+
+// writeMetrics dumps the simulator's telemetry registry (virtual-clock
+// op latency histograms, epoch/migration counters) as JSON next to the
+// experiment results.
+func writeMetrics(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "origami-bench: metrics out: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := sim.Metrics().WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "origami-bench: write metrics: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", path)
+}
 
 // replayTrace runs one strategy over an external trace file and prints
 // the run metrics — `origami-bench -exp replay -trace t.bin -strategy origami`.
@@ -61,14 +79,29 @@ func replayTrace(path, strategyName string, numMDS int) error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "headline", "experiment to run (or 'all')")
-		full      = flag.Bool("full", false, "run at near paper-scale lengths")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		traceFile = flag.String("trace", "", "trace file for -exp replay")
-		strategy  = flag.String("strategy", "origami", "strategy for -exp replay")
-		numMDS    = flag.Int("mds", 5, "cluster size for -exp replay")
+		exp        = flag.String("exp", "headline", "experiment to run (or 'all')")
+		full       = flag.Bool("full", false, "run at near paper-scale lengths")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		traceFile  = flag.String("trace", "", "trace file for -exp replay")
+		strategy   = flag.String("strategy", "origami", "strategy for -exp replay")
+		numMDS     = flag.Int("mds", 5, "cluster size for -exp replay")
+		metricsOut = flag.String("metrics-out", "", "write the simulator telemetry snapshot (JSON) to this file after the run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "origami-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "origami-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *exp == "replay" {
 		if *traceFile == "" {
 			fmt.Fprintln(os.Stderr, "origami-bench: -exp replay needs -trace <file>")
@@ -77,6 +110,9 @@ func main() {
 		if err := replayTrace(*traceFile, *strategy, *numMDS); err != nil {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
+		}
+		if *metricsOut != "" {
+			writeMetrics(*metricsOut)
 		}
 		return
 	}
@@ -199,5 +235,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *metricsOut != "" {
+		writeMetrics(*metricsOut)
 	}
 }

@@ -4,19 +4,22 @@
 //	origami-cli -mds 127.0.0.1:7201,127.0.0.1:7202 mkdir /a
 //	origami-cli -mds 127.0.0.1:7201,127.0.0.1:7202        # interactive
 //
-// Commands: mkdir, create (touch), stat, ls, rm, mv, setattr, rpcstats,
+// Commands: mkdir, create (touch), stat, ls, rm, mv, setattr, metrics,
 // help, quit.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"origami/internal/client"
+	"origami/internal/telemetry"
 )
 
 func main() {
@@ -70,7 +73,7 @@ func runCommand(sdk *client.Client, args []string) error {
 	}
 	switch cmd {
 	case "help":
-		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | rpcstats | quit")
+		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {
@@ -135,12 +138,26 @@ func runCommand(sdk *client.Client, args []string) error {
 		}
 		_, err = sdk.Setattr(args[1], size, 0o644)
 		return err
-	case "rpcstats":
-		st := sdk.Stats()
-		fmt.Printf("ops=%d rpcs=%d (%.3f rpc/op) retries=%d exhausted=%d\n",
-			st.Ops, st.RPCs,
-			float64(st.RPCs)/float64(max64(1, st.Ops)),
-			st.Retries, st.RetriesExhausted)
+	case "metrics", "rpcstats":
+		// "metrics" (or its pre-telemetry alias "rpcstats") shows the
+		// client-side view; "metrics all" or "metrics <id>" additionally
+		// pulls per-MDS registries over the MethodMetrics RPC.
+		if len(args) < 2 {
+			printClientMetrics(sdk)
+			return nil
+		}
+		if args[1] == "all" {
+			printClientMetrics(sdk)
+			for i := 0; i < sdk.NumMDS(); i++ {
+				printMDSMetrics(sdk, i)
+			}
+			return nil
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("metrics: bad MDS id %q", args[1])
+		}
+		printMDSMetrics(sdk, id)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
@@ -152,4 +169,60 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+func printClientMetrics(sdk *client.Client) {
+	st := sdk.Stats()
+	fmt.Printf("client: ops=%d rpcs=%d (%.3f rpc/op) retries=%d exhausted=%d\n",
+		st.Ops, st.RPCs,
+		float64(st.RPCs)/float64(max64(1, st.Ops)),
+		st.Retries, st.RetriesExhausted)
+	printSnapshot("  ", sdk.Registry().Snapshot())
+}
+
+func printMDSMetrics(sdk *client.Client, id int) {
+	body, err := sdk.FetchMetrics(id)
+	if err != nil {
+		fmt.Printf("mds %d: DOWN (%v)\n", id, err)
+		return
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		fmt.Printf("mds %d: bad metrics payload: %v\n", id, err)
+		return
+	}
+	fmt.Printf("mds %d: up\n", id)
+	printSnapshot("  ", snap)
+}
+
+// printSnapshot renders a registry snapshot: counters and gauges one per
+// line, histograms as count plus percentile milliseconds.
+func printSnapshot(indent string, snap telemetry.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s%s = %d\n", indent, name, snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s%s = %g\n", indent, name, snap.Gauges[name])
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("%s%s: n=%d p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
+			indent, name, h.Count,
+			float64(h.P50)/1e6, float64(h.P95)/1e6, float64(h.P99)/1e6, float64(h.Max)/1e6)
+	}
 }

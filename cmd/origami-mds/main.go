@@ -4,19 +4,27 @@
 //
 // Single server:
 //
-//	origami-mds -id 0 -addr 127.0.0.1:7201 -peers 127.0.0.1:7201,127.0.0.1:7202 -data /var/lib/origami/mds0
+//	origami-mds -id 0 -addr 127.0.0.1:7201 -peers 127.0.0.1:7201,127.0.0.1:7202 -data /var/lib/origami/mds0 -admin 127.0.0.1:7301
 //
 // Development cluster:
 //
-//	origami-mds -cluster 5 -data /tmp/origami -epoch 10s
+//	origami-mds -cluster 5 -data /tmp/origami -epoch 10s -admin 127.0.0.1:7301
+//
+// With -admin each MDS serves an HTTP endpoint (consecutive ports in
+// -cluster mode): /metrics returns the telemetry registry as JSON,
+// /healthz the liveness document, and -pprof additionally mounts
+// net/http/pprof under /debug/pprof/. MDS 0's admin endpoint also
+// exports the coordinator registry (epoch durations, migration
+// outcomes, per-shard health gauges) in -cluster mode.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -27,27 +35,81 @@ import (
 	"origami/internal/ml"
 	"origami/internal/rpc"
 	"origami/internal/server"
+	"origami/internal/telemetry"
 )
 
 func main() {
 	var (
-		id       = flag.Int("id", 0, "MDS id (index into -peers)")
-		addr     = flag.String("addr", "127.0.0.1:7201", "listen address")
-		peers    = flag.String("peers", "", "comma-separated addresses of every MDS, in id order")
-		dataDir  = flag.String("data", "./origami-data", "storage directory")
-		clusterN = flag.Int("cluster", 0, "run an n-MDS development cluster in-process")
-		epoch    = flag.Duration("epoch", 10*time.Second, "rebalance epoch for -cluster mode")
-		model    = flag.String("model", "", "trained benefit model (origami-train output) driving the balancer in -cluster mode")
+		id        = flag.Int("id", 0, "MDS id (index into -peers)")
+		addr      = flag.String("addr", "127.0.0.1:7201", "listen address")
+		peers     = flag.String("peers", "", "comma-separated addresses of every MDS, in id order")
+		dataDir   = flag.String("data", "./origami-data", "storage directory")
+		clusterN  = flag.Int("cluster", 0, "run an n-MDS development cluster in-process")
+		epoch     = flag.Duration("epoch", 10*time.Second, "rebalance epoch for -cluster mode")
+		model     = flag.String("model", "", "trained benefit model (origami-train output) driving the balancer in -cluster mode")
+		adminAddr = flag.String("admin", "", "HTTP admin address serving /metrics and /healthz (consecutive ports per MDS in -cluster mode; empty disables)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on the admin endpoint (requires -admin)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	flag.Parse()
+	telemetry.SetLogLevel(parseLevel(*logLevel))
 	if *clusterN > 0 {
-		runCluster(*clusterN, *dataDir, *epoch, *model)
+		runCluster(*clusterN, *dataDir, *epoch, *model, *adminAddr, *pprofOn)
 		return
 	}
-	runSingle(*id, *addr, *peers, *dataDir)
+	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn)
 }
 
-func runSingle(id int, addr, peers, dataDir string) {
+func parseLevel(s string) telemetry.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return telemetry.LevelDebug
+	case "warn":
+		return telemetry.LevelWarn
+	case "error":
+		return telemetry.LevelError
+	default:
+		return telemetry.LevelInfo
+	}
+}
+
+// adminAddrFor offsets the admin base address's port by i, so -cluster
+// mode gives each MDS its own endpoint. A zero port stays zero (every
+// MDS binds an ephemeral port).
+func adminAddrFor(base string, i int) string {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return base
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port == 0 {
+		return base
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+i))
+}
+
+// startAdmin brings up one MDS's admin endpoint. extra registries (the
+// coordinator's, on MDS 0 in cluster mode) are merged into the export.
+func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Service, extra map[string]*telemetry.Registry, health func() map[string]interface{}) *telemetry.Admin {
+	regs := map[string]*telemetry.Registry{"mds": svc.Registry()}
+	for name, reg := range extra {
+		regs[name] = reg
+	}
+	admin, err := telemetry.StartAdmin(addr, telemetry.AdminConfig{
+		Registries: regs,
+		Health:     health,
+		Pprof:      pprofOn,
+	})
+	if err != nil {
+		log.Error("admin endpoint failed", "addr", addr, "err", err)
+		os.Exit(1)
+	}
+	log.Info("admin endpoint up", "addr", admin.Addr(), "pprof", pprofOn)
+	return admin
+}
+
+func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
+	log := telemetry.L("origami-mds").With("mds", id)
 	peerAddrs := strings.Split(peers, ",")
 	if peers == "" {
 		peerAddrs = []string{addr}
@@ -68,45 +130,79 @@ func runSingle(id int, addr, peers, dataDir string) {
 	}
 	store, err := mds.OpenStore(dataDir, id, kvstore.Options{})
 	if err != nil {
-		log.Fatalf("open store: %v", err)
+		log.Error("open store failed", "dir", dataDir, "err", err)
+		os.Exit(1)
 	}
 	svc := mds.NewService(id, store, resolve)
 	bound, err := svc.Serve(addr)
 	if err != nil {
-		log.Fatalf("serve: %v", err)
+		log.Error("serve failed", "addr", addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("origami-mds %d serving on %s (data %s)", id, bound, dataDir)
+	if adminAddr != "" {
+		admin := startAdmin(log, adminAddr, pprofOn, svc, nil, func() map[string]interface{} {
+			return map[string]interface{}{
+				"mds_id":      id,
+				"rpc_addr":    bound,
+				"map_version": svc.MapVersion(),
+			}
+		})
+		defer admin.Close()
+	}
+	log.Info("serving", "addr", bound, "data", dataDir)
 	waitForSignal()
 	if err := svc.Close(); err != nil {
-		log.Printf("shutdown: %v", err)
+		log.Warn("shutdown error", "err", err)
 	}
 }
 
-func runCluster(n int, dataDir string, epoch time.Duration, modelPath string) {
+func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr string, pprofOn bool) {
+	log := telemetry.L("origami-mds")
 	cl, err := server.StartCluster(n, dataDir)
 	if err != nil {
-		log.Fatalf("start cluster: %v", err)
+		log.Error("start cluster failed", "err", err)
+		os.Exit(1)
 	}
 	defer cl.Close()
 	co := server.NewCoordinator(cl)
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
 		if err != nil {
-			log.Fatalf("open model: %v", err)
+			log.Error("open model failed", "path", modelPath, "err", err)
+			os.Exit(1)
 		}
 		m, err := ml.LoadGBDT(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("load model: %v", err)
+			log.Error("load model failed", "path", modelPath, "err", err)
+			os.Exit(1)
 		}
 		co.Strategy = &balancer.Origami{Model: m}
-		log.Printf("balancer: trained model from %s (%d trees)", modelPath, len(m.Trees))
+		log.Info("balancer using trained model", "path", modelPath, "trees", len(m.Trees))
 	}
-	log.Printf("origami cluster: %d MDSs", n)
+	if adminAddr != "" {
+		for i, svc := range cl.Services {
+			// MDS 0's endpoint carries the coordinator registry too: one
+			// curl shows epoch outcomes and per-shard health gauges.
+			var extra map[string]*telemetry.Registry
+			if i == 0 {
+				extra = map[string]*telemetry.Registry{"coordinator": co.Registry()}
+			}
+			id, rpcAddr, s := i, cl.Addrs[i], svc
+			admin := startAdmin(log, adminAddrFor(adminAddr, i), pprofOn, svc, extra, func() map[string]interface{} {
+				return map[string]interface{}{
+					"mds_id":      id,
+					"rpc_addr":    rpcAddr,
+					"map_version": s.MapVersion(),
+				}
+			})
+			defer admin.Close()
+		}
+	}
+	log.Info("cluster up", "mds_count", n, "epoch", epoch)
 	for i, a := range cl.Addrs {
-		log.Printf("  MDS %d: %s", i, a)
+		log.Info("shard", "mds", i, "addr", a)
 	}
-	log.Printf("coordinator: epoch %v", epoch)
 	ticker := time.NewTicker(epoch)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
@@ -116,21 +212,20 @@ func runCluster(n int, dataDir string, epoch time.Duration, modelPath string) {
 		case <-ticker.C:
 			res, err := co.RunEpoch()
 			if err != nil {
-				log.Printf("rebalance: %v", err)
+				log.Warn("rebalance failed", "err", err)
 				continue
 			}
 			for _, d := range res.Applied {
-				log.Printf("rebalance: %v", d)
+				log.Info("rebalance applied", "decision", fmt.Sprint(d))
 			}
 			if len(res.Rejected) > 0 {
-				log.Printf("rebalance: %d decision(s) rejected", len(res.Rejected))
+				log.Warn("rebalance rejections", "count", len(res.Rejected))
 			}
 			if res.Degraded() {
-				log.Printf("rebalance: degraded epoch (skipped MDSs %v, stale maps %v)",
-					res.SkippedMDS, res.StaleMDS)
+				log.Warn("degraded epoch", "skipped", fmt.Sprint(res.SkippedMDS), "stale", fmt.Sprint(res.StaleMDS))
 			}
 		case <-sig:
-			log.Printf("shutting down")
+			log.Info("shutting down")
 			return
 		}
 	}

@@ -6,6 +6,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"origami/internal/mds"
 	"origami/internal/namespace"
 	"origami/internal/rpc"
+	"origami/internal/telemetry"
 )
 
 // Config configures a client.
@@ -33,6 +35,10 @@ type Config struct {
 	// RetryBackoff is the base delay between such retries, doubled each
 	// attempt (default 10ms).
 	RetryBackoff time.Duration
+	// Registry receives the SDK's telemetry (per-op end-to-end latency,
+	// RPC-layer metrics, retry spend). Nil allocates a private one,
+	// reachable via Client.Registry.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +60,8 @@ type cacheKey struct {
 type Client struct {
 	cfg   Config
 	conns []*rpc.Client
+	reg   *telemetry.Registry
+	log   *telemetry.Logger
 
 	mu         sync.Mutex
 	pins       map[namespace.Ino]int
@@ -97,16 +105,25 @@ func Dial(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("client: no MDS addresses")
 	}
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	c := &Client{
 		cfg:   cfg,
+		reg:   reg,
+		log:   telemetry.L("client"),
 		pins:  make(map[namespace.Ino]int),
 		cache: make(map[cacheKey]*namespace.Inode),
 	}
-	for _, addr := range cfg.Addrs {
+	for i, addr := range cfg.Addrs {
 		conn, err := rpc.DialOptions(addr, rpc.ClientOptions{
 			CallTimeout: cfg.CallTimeout,
 			Reconnect:   true,
 			BackoffBase: 5 * time.Millisecond,
+			Registry:    reg,
+			MethodName:  mds.MethodName,
+			Logger:      telemetry.L("rpc").With("mds", i),
 		})
 		if err != nil {
 			c.Close()
@@ -115,6 +132,45 @@ func Dial(cfg Config) (*Client, error) {
 		c.conns = append(c.conns, conn)
 	}
 	return c, nil
+}
+
+// Registry exposes the client's telemetry registry.
+func (c *Client) Registry() *telemetry.Registry { return c.reg }
+
+// NumMDS returns the cluster size the client was dialed against.
+func (c *Client) NumMDS() int { return len(c.conns) }
+
+// FetchMetrics pulls one MDS's telemetry registry snapshot as JSON via
+// the MethodMetrics RPC (the transport-level twin of the HTTP admin
+// /metrics endpoint).
+func (c *Client) FetchMetrics(mdsID int) ([]byte, error) {
+	return c.callIdem(context.Background(), mdsID, mds.MethodMetrics, nil)
+}
+
+// op starts one SDK operation: it allocates the operation's trace ID
+// (propagated to every MDS the operation touches) and returns the
+// context plus a completion hook recording end-to-end latency and — at
+// debug level — the span.
+func (c *Client) op(name string) (context.Context, func(error)) {
+	ctx, trace := telemetry.EnsureTraceID(context.Background())
+	start := time.Now()
+	return ctx, func(err error) {
+		el := time.Since(start).Nanoseconds()
+		c.reg.Counter("client.op." + name + ".calls").Inc()
+		c.reg.Histogram("client.op." + name + ".latency_ns").Record(el)
+		if err != nil {
+			c.reg.Counter("client.op." + name + ".errors").Inc()
+		}
+		if c.log.Enabled(telemetry.LevelDebug) {
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+			}
+			c.log.Debug("span",
+				"trace", telemetry.FormatTraceID(trace),
+				"op", name, "ns", el, "status", status)
+		}
+	}
 }
 
 // Close tears down all connections.
@@ -130,20 +186,20 @@ func (c *Client) Close() error {
 	return err
 }
 
-func (c *Client) call(mdsID int, m rpc.Method, body []byte) ([]byte, error) {
+func (c *Client) call(ctx context.Context, mdsID int, m rpc.Method, body []byte) ([]byte, error) {
 	if mdsID < 0 || mdsID >= len(c.conns) {
 		return nil, fmt.Errorf("client: MDS id %d out of range", mdsID)
 	}
 	c.RPCCount.Add(1)
-	return c.conns[mdsID].Call(m, body)
+	return c.conns[mdsID].CallCtx(ctx, m, body)
 }
 
 // callIdem issues an idempotent (read-only) RPC, retrying transport
 // failures — lost connection, expired deadline — with exponential backoff
 // inside the retry budget. Mutating RPCs never come through here: a
 // create retried across a timeout could double-apply.
-func (c *Client) callIdem(mdsID int, m rpc.Method, body []byte) ([]byte, error) {
-	out, err := c.call(mdsID, m, body)
+func (c *Client) callIdem(ctx context.Context, mdsID int, m rpc.Method, body []byte) ([]byte, error) {
+	out, err := c.call(ctx, mdsID, m, body)
 	if err == nil || !rpc.IsRetryable(err) {
 		return out, err
 	}
@@ -152,19 +208,23 @@ func (c *Client) callIdem(mdsID int, m rpc.Method, body []byte) ([]byte, error) 
 		time.Sleep(backoff)
 		backoff *= 2
 		c.Retries.Add(1)
-		out, err = c.call(mdsID, m, body)
+		c.reg.Counter("client.retries").Inc()
+		out, err = c.call(ctx, mdsID, m, body)
 		if err == nil || !rpc.IsRetryable(err) {
 			return out, err
 		}
 	}
 	c.RetriesExhausted.Add(1)
+	c.reg.Counter("client.retries_exhausted").Inc()
 	return nil, fmt.Errorf("client: MDS %d unreachable after %d retries: %w",
 		mdsID, c.cfg.RetryBudget, err)
 }
 
 // RefreshMap pulls the partition map from MDS 0.
-func (c *Client) RefreshMap() error {
-	body, err := c.callIdem(0, mds.MethodGetMap, nil)
+func (c *Client) RefreshMap() error { return c.refreshMap(context.Background()) }
+
+func (c *Client) refreshMap(ctx context.Context) error {
+	body, err := c.callIdem(ctx, 0, mds.MethodGetMap, nil)
 	if err != nil {
 		return err
 	}
@@ -214,17 +274,17 @@ func (c *Client) cacheDrop(parent namespace.Ino, name string) {
 
 // lookupPathAt resolves a run of components in one RPC, following
 // not-owner redirects by refreshing the partition map.
-func (c *Client) lookupPathAt(owner int, parent namespace.Ino, names []string) ([]*namespace.Inode, int, error) {
+func (c *Client) lookupPathAt(ctx context.Context, owner int, parent namespace.Ino, names []string) ([]*namespace.Inode, int, error) {
 	var w rpc.Wire
 	w.U64(uint64(parent)).U32(uint32(len(names)))
 	for _, n := range names {
 		w.Str(n)
 	}
 	for attempt := 0; attempt < 3; attempt++ {
-		body, err := c.callIdem(owner, mds.MethodLookupPath, w.Bytes())
+		body, err := c.callIdem(ctx, owner, mds.MethodLookupPath, w.Bytes())
 		if err != nil {
 			if mds.IsNotOwner(err) {
-				if rerr := c.RefreshMap(); rerr != nil {
+				if rerr := c.refreshMap(ctx); rerr != nil {
 					return nil, 0, rerr
 				}
 				if p, ok := c.pinOf(parent); ok && p != owner {
@@ -249,6 +309,10 @@ func (c *Client) lookupPathAt(owner int, parent namespace.Ino, names []string) (
 // holds, so a path costs one RPC per ownership run (the m of Eq. 2), not
 // one per component.
 func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
+	return c.resolve(context.Background(), path)
+}
+
+func (c *Client) resolve(ctx context.Context, path string) ([]*namespace.Inode, int, error) {
 	comps := namespace.SplitPath(path)
 	owner := 0
 	if p, ok := c.pinOf(namespace.RootIno); ok {
@@ -276,7 +340,7 @@ func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
 		if p, ok := c.pinOf(cur.Ino); ok {
 			owner = p
 		}
-		ins, newOwner, err := c.lookupPathAt(owner, cur.Ino, comps[i:])
+		ins, newOwner, err := c.lookupPathAt(ctx, owner, cur.Ino, comps[i:])
 		if err != nil {
 			return nil, 0, fmt.Errorf("client: resolve %q at %q: %w", path, comps[i], err)
 		}
@@ -290,7 +354,7 @@ func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
 				dest := int(in.Size)
 				var gw rpc.Wire
 				gw.U64(uint64(in.Ino))
-				gbody, gerr := c.callIdem(dest, mds.MethodGetattr, gw.Bytes())
+				gbody, gerr := c.callIdem(ctx, dest, mds.MethodGetattr, gw.Bytes())
 				if gerr != nil {
 					return nil, 0, fmt.Errorf("client: resolve %q: redirect for %q: %w", path, in.Name, gerr)
 				}
@@ -332,14 +396,14 @@ func (c *Client) dropPathCache(path string) {
 // map, drops the stale cached prefixes of the involved paths, and retries.
 // Migrations land between an operation's resolution and its final RPC, so
 // every SDK operation needs this, not just path lookups.
-func (c *Client) retryOp(paths []string, fn func() error) error {
+func (c *Client) retryOp(ctx context.Context, paths []string, fn func() error) error {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		err = fn()
 		if err == nil || !mds.IsNotOwner(err) {
 			return err
 		}
-		if rerr := c.RefreshMap(); rerr != nil {
+		if rerr := c.refreshMap(ctx); rerr != nil {
 			return rerr
 		}
 		for _, p := range paths {
@@ -351,15 +415,17 @@ func (c *Client) retryOp(paths []string, fn func() error) error {
 
 // Stat returns the inode at path.
 func (c *Client) Stat(path string) (*namespace.Inode, error) {
+	ctx, done := c.op("stat")
 	var out *namespace.Inode
-	err := c.retryOp([]string{path}, func() error {
-		chain, _, err := c.Resolve(path)
+	err := c.retryOp(ctx, []string{path}, func() error {
+		chain, _, err := c.resolve(ctx, path)
 		if err != nil {
 			return err
 		}
 		out = chain[len(chain)-1]
 		return nil
 	})
+	done(err)
 	if err != nil {
 		return nil, err
 	}
@@ -378,23 +444,29 @@ func (c *Client) Create(path string) (*namespace.Inode, error) {
 }
 
 func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.Inode, error) {
+	opName := "create"
+	if typ == namespace.TypeDir {
+		opName = "mkdir"
+	}
+	ctx, done := c.op(opName)
 	dir, name := namespace.ParentPath(path)
 	var out *namespace.Inode
-	err := c.retryOp([]string{dir}, func() error {
-		chain, owner, err := c.Resolve(dir)
+	err := c.retryOp(ctx, []string{dir}, func() error {
+		chain, owner, err := c.resolve(ctx, dir)
 		if err != nil {
 			return err
 		}
 		parent := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(parent.Ino)).Str(name).U8(uint8(typ))
-		body, err := c.call(owner, mds.MethodCreate, w.Bytes())
+		body, err := c.call(ctx, owner, mds.MethodCreate, w.Bytes())
 		if err != nil {
 			return err
 		}
 		out, err = mds.DecodeInodeResp(body)
 		return err
 	})
+	done(err)
 	if err != nil {
 		return nil, fmt.Errorf("client: create %q: %w", path, err)
 	}
@@ -404,21 +476,23 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 
 // Remove unlinks a file or removes an empty directory.
 func (c *Client) Remove(path string) error {
+	ctx, done := c.op("remove")
 	dir, name := namespace.ParentPath(path)
-	err := c.retryOp([]string{dir}, func() error {
-		chain, owner, err := c.Resolve(dir)
+	err := c.retryOp(ctx, []string{dir}, func() error {
+		chain, owner, err := c.resolve(ctx, dir)
 		if err != nil {
 			return err
 		}
 		parent := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(parent.Ino)).Str(name)
-		if _, err := c.call(owner, mds.MethodRemove, w.Bytes()); err != nil {
+		if _, err := c.call(ctx, owner, mds.MethodRemove, w.Bytes()); err != nil {
 			return err
 		}
 		c.cacheDrop(parent.Ino, name)
 		return nil
 	})
+	done(err)
 	if err != nil {
 		return fmt.Errorf("client: remove %q: %w", path, err)
 	}
@@ -428,22 +502,24 @@ func (c *Client) Remove(path string) error {
 
 // Readdir lists a directory.
 func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
+	ctx, done := c.op("readdir")
 	var out []*namespace.Inode
-	err := c.retryOp([]string{path}, func() error {
-		chain, owner, err := c.Resolve(path)
+	err := c.retryOp(ctx, []string{path}, func() error {
+		chain, owner, err := c.resolve(ctx, path)
 		if err != nil {
 			return err
 		}
 		dir := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(dir.Ino))
-		body, err := c.callIdem(owner, mds.MethodReaddir, w.Bytes())
+		body, err := c.callIdem(ctx, owner, mds.MethodReaddir, w.Bytes())
 		if err != nil {
 			return err
 		}
 		out, err = mds.DecodeInodesResp(body)
 		return err
 	})
+	done(err)
 	if err != nil {
 		return nil, fmt.Errorf("client: readdir %q: %w", path, err)
 	}
@@ -453,22 +529,24 @@ func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
 
 // Setattr updates size and mode of the entry at path.
 func (c *Client) Setattr(path string, size int64, mode uint16) (*namespace.Inode, error) {
+	ctx, done := c.op("setattr")
 	var out *namespace.Inode
-	err := c.retryOp([]string{path}, func() error {
-		chain, owner, err := c.Resolve(path)
+	err := c.retryOp(ctx, []string{path}, func() error {
+		chain, owner, err := c.resolve(ctx, path)
 		if err != nil {
 			return err
 		}
 		in := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(in.Ino)).I64(size).U32(uint32(mode))
-		body, err := c.call(owner, mds.MethodSetattr, w.Bytes())
+		body, err := c.call(ctx, owner, mds.MethodSetattr, w.Bytes())
 		if err != nil {
 			return err
 		}
 		out, err = mds.DecodeInodeResp(body)
 		return err
 	})
+	done(err)
 	if err != nil {
 		return nil, fmt.Errorf("client: setattr %q: %w", path, err)
 	}
@@ -481,14 +559,15 @@ func (c *Client) Setattr(path string, size int64, mode uint16) (*namespace.Inode
 // shards — the coordinator path of a production system would wrap this in
 // the T_coor transaction the cost model prices).
 func (c *Client) Rename(src, dst string) error {
+	ctx, done := c.op("rename")
 	sdir, sname := namespace.ParentPath(src)
 	ddir, dname := namespace.ParentPath(dst)
-	err := c.retryOp([]string{sdir, ddir}, func() error {
-		schain, sowner, err := c.Resolve(sdir)
+	err := c.retryOp(ctx, []string{sdir, ddir}, func() error {
+		schain, sowner, err := c.resolve(ctx, sdir)
 		if err != nil {
 			return err
 		}
-		dchain, downer, err := c.Resolve(ddir)
+		dchain, downer, err := c.resolve(ctx, ddir)
 		if err != nil {
 			return err
 		}
@@ -498,13 +577,13 @@ func (c *Client) Rename(src, dst string) error {
 		if sowner == downer {
 			var w rpc.Wire
 			w.U64(uint64(sparent.Ino)).Str(sname).U64(uint64(dparent.Ino)).Str(dname)
-			_, err := c.call(sowner, mds.MethodRename, w.Bytes())
+			_, err := c.call(ctx, sowner, mds.MethodRename, w.Bytes())
 			return err
 		}
 		// Cross-shard: read, insert remotely, remove locally.
 		var lw rpc.Wire
 		lw.U64(uint64(sparent.Ino)).Str(sname)
-		body, err := c.callIdem(sowner, mds.MethodLookup, lw.Bytes())
+		body, err := c.callIdem(ctx, sowner, mds.MethodLookup, lw.Bytes())
 		if err != nil {
 			return err
 		}
@@ -517,14 +596,15 @@ func (c *Client) Rename(src, dst string) error {
 		moved.Name = dname
 		var iw rpc.Wire
 		iw.Blob(namespace.EncodeInode(&moved))
-		if _, err := c.call(downer, mds.MethodInsert, iw.Bytes()); err != nil {
+		if _, err := c.call(ctx, downer, mds.MethodInsert, iw.Bytes()); err != nil {
 			return err
 		}
 		var rw rpc.Wire
 		rw.U64(uint64(sparent.Ino)).Str(sname)
-		_, err = c.call(sowner, mds.MethodRemove, rw.Bytes())
+		_, err = c.call(ctx, sowner, mds.MethodRemove, rw.Bytes())
 		return err
 	})
+	done(err)
 	if err != nil {
 		return fmt.Errorf("client: rename %q -> %q: %w", src, dst, err)
 	}

@@ -41,7 +41,42 @@ const (
 	// MethodEvict removes a shipped-but-uncommitted subtree copy from a
 	// migration destination (the rollback half of MethodMigrateAbort).
 	MethodEvict
+	// MethodMetrics returns the MDS's telemetry registry snapshot as
+	// JSON (the RPC twin of the HTTP /metrics admin endpoint, for
+	// clients that only know shard RPC addresses).
+	MethodMetrics
 )
+
+// methodNames maps method numbers to the segment used in metric names
+// (rpc.client.<name>.calls, rpc.server.<name>.latency_ns, ...).
+var methodNames = map[rpc.Method]string{
+	MethodPing:           "ping",
+	MethodLookup:         "lookup",
+	MethodGetattr:        "getattr",
+	MethodCreate:         "create",
+	MethodRemove:         "remove",
+	MethodRename:         "rename",
+	MethodReaddir:        "readdir",
+	MethodSetattr:        "setattr",
+	MethodStats:          "stats",
+	MethodDump:           "dump",
+	MethodIngest:         "ingest",
+	MethodMigrate:        "migrate",
+	MethodGetMap:         "getmap",
+	MethodSetMap:         "setmap",
+	MethodInsert:         "insert",
+	MethodLookupPath:     "lookup_path",
+	MethodMigratePrepare: "migrate_prepare",
+	MethodMigrateCommit:  "migrate_commit",
+	MethodMigrateAbort:   "migrate_abort",
+	MethodEvict:          "evict",
+	MethodMetrics:        "metrics",
+}
+
+// MethodName returns the human-readable metric segment for a protocol
+// method, or "" for unknown methods (the rpc layer then falls back to
+// "m<N>").
+func MethodName(m rpc.Method) string { return methodNames[m] }
 
 // Error codes carried in RemoteError messages as "Exxx: detail". The
 // NotOwner code is the networked analogue of a fake-inode redirect: the

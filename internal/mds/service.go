@@ -1,12 +1,14 @@
 package mds
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"time"
 
 	"origami/internal/namespace"
 	"origami/internal/rpc"
+	"origami/internal/telemetry"
 )
 
 // Service is one running metadata server: the shard store, the Data
@@ -41,6 +43,12 @@ type Service struct {
 	prep            *preparedMigration
 	PrepareTimeout  time.Duration
 	MigrationAborts int64 // auto- or explicit aborts (observability)
+
+	// reg holds the shard's telemetry: per-op service latency,
+	// migration phase timings, store size. Exported over both the
+	// MethodMetrics RPC and the HTTP admin endpoint.
+	reg *telemetry.Registry
+	log *telemetry.Logger
 }
 
 // preparedMigration is the source-side state between MigratePrepare and
@@ -69,6 +77,9 @@ func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Ser
 		peers:  peers,
 
 		PrepareTimeout: 30 * time.Second,
+
+		reg: telemetry.NewRegistry(),
+		log: telemetry.L("mds").With("mds", id),
 	}
 	if id == 0 {
 		// MDS 0 owns the root in the initial state (§4.2).
@@ -97,14 +108,15 @@ func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Ser
 // address.
 func (s *Service) Serve(addr string) (string, error) {
 	srv := rpc.NewServer()
+	srv.SetTelemetry(s.reg, MethodName)
 	srv.Handle(MethodPing, s.handlePing)
-	srv.Handle(MethodLookup, s.timed(s.handleLookup))
-	srv.Handle(MethodGetattr, s.timed(s.handleGetattr))
-	srv.Handle(MethodCreate, s.timed(s.handleCreate))
-	srv.Handle(MethodRemove, s.timed(s.handleRemove))
-	srv.Handle(MethodRename, s.timed(s.handleRename))
-	srv.Handle(MethodReaddir, s.timed(s.handleReaddir))
-	srv.Handle(MethodSetattr, s.timed(s.handleSetattr))
+	srv.HandleInfo(MethodLookup, s.timed("lookup", s.handleLookup))
+	srv.HandleInfo(MethodGetattr, s.timed("getattr", s.handleGetattr))
+	srv.HandleInfo(MethodCreate, s.timed("create", s.handleCreate))
+	srv.HandleInfo(MethodRemove, s.timed("remove", s.handleRemove))
+	srv.HandleInfo(MethodRename, s.timed("rename", s.handleRename))
+	srv.HandleInfo(MethodReaddir, s.timed("readdir", s.handleReaddir))
+	srv.HandleInfo(MethodSetattr, s.timed("setattr", s.handleSetattr))
 	srv.Handle(MethodStats, s.handleStats)
 	srv.Handle(MethodDump, s.handleDump)
 	srv.Handle(MethodIngest, s.handleIngest)
@@ -116,7 +128,8 @@ func (s *Service) Serve(addr string) (string, error) {
 	srv.Handle(MethodGetMap, s.handleGetMap)
 	srv.Handle(MethodSetMap, s.handleSetMap)
 	srv.Handle(MethodInsert, s.handleInsert)
-	srv.Handle(MethodLookupPath, s.timed(s.handleLookupPath))
+	srv.HandleInfo(MethodLookupPath, s.timed("lookup_path", s.handleLookupPath))
+	srv.Handle(MethodMetrics, s.handleMetrics)
 	s.srv = srv
 	return srv.Listen(addr)
 }
@@ -152,10 +165,13 @@ func (s *Service) MapVersion() uint64 {
 	return s.mapVersion
 }
 
-// timed wraps a handler with the migration freeze (shared side) and
-// busy-time and RPC accounting.
-func (s *Service) timed(h rpc.Handler) rpc.Handler {
-	return func(body []byte) ([]byte, error) {
+// timed wraps a handler with the migration freeze (shared side),
+// busy-time and RPC accounting, a per-op-type service latency
+// histogram, and — at debug level — a per-request span record carrying
+// the propagated trace ID.
+func (s *Service) timed(op string, h rpc.Handler) rpc.InfoHandler {
+	hist := s.reg.Histogram("mds.op." + op + ".latency_ns")
+	return func(info rpc.CallInfo, body []byte) ([]byte, error) {
 		s.opMu.RLock()
 		start := time.Now()
 		out, err := h(body)
@@ -165,8 +181,34 @@ func (s *Service) timed(h rpc.Handler) rpc.Handler {
 		s.rpcs++
 		s.serviceNS += el
 		s.mu.Unlock()
+		hist.Record(el)
+		if s.log.Enabled(telemetry.LevelDebug) {
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+			}
+			s.log.Debug("span",
+				"trace", telemetry.FormatTraceID(info.TraceID),
+				"op", op, "ns", el, "status", status)
+		}
 		return out, err
 	}
+}
+
+// Registry exposes the shard's telemetry registry (admin endpoint,
+// tests).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// handleMetrics serves the registry snapshot as JSON. It deliberately
+// skips the migration freeze: metrics stay readable while a prepared
+// migration holds the shard frozen.
+func (s *Service) handleMetrics(body []byte) ([]byte, error) {
+	s.reg.Gauge("mds.store.inodes").Set(float64(s.store.Count()))
+	var buf bytes.Buffer
+	if err := s.reg.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func (s *Service) dirAccum(ino namespace.Ino) *dirCounters {
@@ -498,6 +540,7 @@ func (s *Service) handleStats(body []byte) ([]byte, error) {
 		Inodes:    int64(s.store.Count()),
 	}
 	s.mu.Unlock()
+	s.reg.Gauge("mds.store.inodes").Set(float64(st.Inodes))
 	return EncodeDump(st, nil), nil
 }
 
@@ -516,6 +559,7 @@ func (s *Service) handleDump(body []byte) ([]byte, error) {
 	}
 	s.ops, s.rpcs, s.serviceNS = 0, 0, 0
 	s.mu.Unlock()
+	s.reg.Gauge("mds.store.inodes").Set(float64(st.Inodes))
 
 	// Every directory on the shard appears in the dump (idle ones with
 	// zero counters) so the coordinator can reconstruct parent chains
@@ -647,6 +691,7 @@ func shipInodes(peer *rpc.Client, method rpc.Method, inos []*namespace.Inode) er
 // freeze-copy-switch window, but now survivable if the coordinator dies
 // between phases.
 func (s *Service) handleMigratePrepare(body []byte) ([]byte, error) {
+	start := time.Now()
 	r := rpc.NewReader(body)
 	root := namespace.Ino(r.U64())
 	destID := int(r.U32())
@@ -690,6 +735,8 @@ func (s *Service) handleMigratePrepare(body []byte) ([]byte, error) {
 	s.mu.Lock()
 	s.prep = p
 	s.mu.Unlock()
+	s.reg.Histogram("mds.migration.prepare_ns").Record(time.Since(start).Nanoseconds())
+	s.log.Info("migration prepared", "root", uint64(root), "dest", destID, "inodes", len(inos))
 	var w rpc.Wire
 	w.U32(uint32(len(inos)))
 	return w.Bytes(), nil
@@ -713,6 +760,7 @@ func (s *Service) takePrepared(root namespace.Ino) (*preparedMigration, bool) {
 // handleMigrateCommit is phase two: drop the local subtree and swap in
 // the fake-inode redirect. Only valid after a matching MigratePrepare.
 func (s *Service) handleMigrateCommit(body []byte) ([]byte, error) {
+	start := time.Now()
 	r := rpc.NewReader(body)
 	root := namespace.Ino(r.U64())
 	if err := r.Err(); err != nil {
@@ -735,6 +783,8 @@ func (s *Service) handleMigrateCommit(body []byte) ([]byte, error) {
 	if err := s.store.Put(&fake); err != nil {
 		return nil, err
 	}
+	s.reg.Histogram("mds.migration.commit_ns").Record(time.Since(start).Nanoseconds())
+	s.log.Info("migration committed", "root", uint64(root), "dest", p.dest, "inodes", len(p.inos))
 	var w rpc.Wire
 	w.U32(uint32(len(p.inos)))
 	return w.Bytes(), nil
@@ -767,6 +817,8 @@ func (s *Service) abortPrepared(root namespace.Ino) {
 	s.mu.Lock()
 	s.MigrationAborts++
 	s.mu.Unlock()
+	s.reg.Counter("mds.migration.aborts").Inc()
+	s.log.Warn("migration aborted", "root", uint64(root), "dest", p.dest, "inodes", len(p.inos))
 	s.opMu.Unlock()
 }
 

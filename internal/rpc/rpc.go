@@ -4,16 +4,25 @@
 //
 // Frame layout:
 //
-//	[4B frameLen][8B requestID][1B kind][2B method][body]
+//	[4B frameLen][8B requestID][1B kind][2B method][8B traceID][body]
 //
 // kind distinguishes requests from responses; response bodies start with
-// a status byte (0 = OK, otherwise an error whose message follows).
+// a status byte (0 = OK, otherwise an error whose message follows). The
+// traceID ties a request to the client operation that issued it: servers
+// echo it in the response and hand it to handlers via CallInfo, so one
+// trace ID follows an operation from the SDK through every shard it
+// touches.
 //
 // The layer is fault-aware: calls can carry deadlines (CallTimeout /
 // CallCtx), a dropped connection is redialed automatically with
 // exponential backoff plus jitter (ClientOptions.Reconnect), and both
 // ends accept a FaultInjector that drops, delays, fails, or severs
 // frames for chaos testing.
+//
+// Both ends are also instrumented: give a Client or Server a
+// telemetry.Registry and every call is counted and timed per method
+// (rpc.client.<method>.* / rpc.server.<method>.*), with reconnects,
+// timeouts, and injected faults tallied alongside.
 package rpc
 
 import (
@@ -28,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"origami/internal/telemetry"
 )
 
 // Method identifies an RPC handler.
@@ -36,6 +47,10 @@ type Method uint16
 const (
 	kindRequest  byte = 0
 	kindResponse byte = 1
+
+	// frameOverhead is the post-length header size: request ID, kind,
+	// method, trace ID.
+	frameOverhead = 8 + 1 + 2 + 8
 
 	// MaxFrame bounds a single frame (16 MiB).
 	MaxFrame = 16 << 20
@@ -65,16 +80,17 @@ func IsRetryable(err error) bool {
 	return errors.Is(err, ErrClosed) || errors.Is(err, ErrTimeout)
 }
 
-func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, body []byte) error {
-	frameLen := 8 + 1 + 2 + len(body)
+func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, trace uint64, body []byte) error {
+	frameLen := frameOverhead + len(body)
 	if frameLen > MaxFrame {
 		return fmt.Errorf("rpc: frame too large (%d bytes)", frameLen)
 	}
-	var hdr [15]byte
+	var hdr [4 + frameOverhead]byte
 	binary.BigEndian.PutUint32(hdr[0:], uint32(frameLen))
 	binary.BigEndian.PutUint64(hdr[4:], reqID)
 	hdr[12] = kind
 	binary.BigEndian.PutUint16(hdr[13:], uint16(method))
+	binary.BigEndian.PutUint64(hdr[15:], trace)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -84,39 +100,59 @@ func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, body []
 	return w.Flush()
 }
 
-func readFrame(r *bufio.Reader) (reqID uint64, kind byte, method Method, body []byte, err error) {
+func readFrame(r *bufio.Reader) (reqID uint64, kind byte, method Method, trace uint64, body []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, 0, 0, nil, err
+		return 0, 0, 0, 0, nil, err
 	}
 	frameLen := binary.BigEndian.Uint32(lenBuf[:])
-	if frameLen < 11 || frameLen > MaxFrame {
-		return 0, 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", frameLen)
+	if frameLen < frameOverhead || frameLen > MaxFrame {
+		return 0, 0, 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", frameLen)
 	}
 	buf := make([]byte, frameLen)
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, 0, 0, nil, err
+		return 0, 0, 0, 0, nil, err
 	}
 	reqID = binary.BigEndian.Uint64(buf[0:])
 	kind = buf[8]
 	method = Method(binary.BigEndian.Uint16(buf[9:]))
-	return reqID, kind, method, buf[11:], nil
+	trace = binary.BigEndian.Uint64(buf[11:])
+	return reqID, kind, method, trace, buf[frameOverhead:], nil
+}
+
+// CallInfo carries per-request wire metadata into a handler.
+type CallInfo struct {
+	// Method is the dispatched method number.
+	Method Method
+	// TraceID is the trace the caller attached, or 0.
+	TraceID uint64
 }
 
 // Handler serves one method. The returned bytes become the OK response
 // body; a returned error is transported as a RemoteError.
 type Handler func(body []byte) ([]byte, error)
 
+// InfoHandler is a Handler that also receives the request's CallInfo
+// (trace ID propagation, method-aware middleware).
+type InfoHandler func(info CallInfo, body []byte) ([]byte, error)
+
+// serverTelem is the swappable observability configuration of a Server.
+type serverTelem struct {
+	reg   *telemetry.Registry
+	namer func(Method) string
+}
+
 // Server dispatches incoming requests to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[Method]Handler
+	handlers map[Method]InfoHandler
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
 	injector atomic.Value // injectorBox
+	telem    atomic.Value // serverTelem
 }
 
 type injectorBox struct{ fi FaultInjector }
@@ -124,13 +160,18 @@ type injectorBox struct{ fi FaultInjector }
 // NewServer creates an empty server.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[Method]Handler),
+		handlers: make(map[Method]InfoHandler),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
 // Handle registers a handler; it must be called before Serve.
 func (s *Server) Handle(m Method, h Handler) {
+	s.HandleInfo(m, func(_ CallInfo, body []byte) ([]byte, error) { return h(body) })
+}
+
+// HandleInfo registers a handler that receives the request's CallInfo.
+func (s *Server) HandleInfo(m Method, h InfoHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[m] = h
@@ -148,6 +189,30 @@ func (s *Server) faultInjector() FaultInjector {
 		return box.fi
 	}
 	return nil
+}
+
+// SetTelemetry instruments the server: per-method request counts,
+// handler latency, error and injected-fault tallies land in reg. namer
+// maps method numbers to metric-name segments (nil falls back to "m<N>").
+// Safe to call while serving.
+func (s *Server) SetTelemetry(reg *telemetry.Registry, namer func(Method) string) {
+	s.telem.Store(serverTelem{reg: reg, namer: namer})
+}
+
+func (s *Server) telemetry() serverTelem {
+	if t, ok := s.telem.Load().(serverTelem); ok {
+		return t
+	}
+	return serverTelem{}
+}
+
+func methodLabel(namer func(Method) string, m Method) string {
+	if namer != nil {
+		if name := namer(m); name != "" {
+			return name
+		}
+	}
+	return fmt.Sprintf("m%d", m)
 }
 
 // Listen binds the address and starts accepting in the background. It
@@ -190,16 +255,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	w := bufio.NewWriterSize(conn, 64<<10)
 	var wmu sync.Mutex
 	for {
-		reqID, kind, method, body, err := readFrame(r)
+		reqID, kind, method, trace, body, err := readFrame(r)
 		if err != nil {
 			return
 		}
 		if kind != kindRequest {
 			continue
 		}
+		tl := s.telemetry()
 		var injectedErr error
 		if fi := s.faultInjector(); fi != nil {
 			f := fi.Intercept(PointServerRecv, method)
+			if f.Action != FaultNone && tl.reg != nil {
+				tl.reg.Counter("rpc.server.faults_injected").Inc()
+			}
 			switch f.Action {
 			case FaultDrop:
 				continue // request vanishes; the caller times out
@@ -220,17 +289,31 @@ func (s *Server) serveConn(conn net.Conn) {
 		// Handlers run inline: metadata ops are short and ordering per
 		// connection mirrors a real MDS dispatch queue.
 		var resp []byte
+		isErr := true
+		start := time.Now()
 		if injectedErr != nil {
 			resp = errorBody(injectedErr.Error())
 		} else if h == nil {
 			resp = errorBody(fmt.Sprintf("unknown method %d", method))
-		} else if out, err := safeCall(h, body); err != nil {
+		} else if out, err := safeCall(h, CallInfo{Method: method, TraceID: trace}, body); err != nil {
 			resp = errorBody(err.Error())
 		} else {
 			resp = append([]byte{0}, out...)
+			isErr = false
+		}
+		if tl.reg != nil {
+			name := methodLabel(tl.namer, method)
+			tl.reg.Counter("rpc.server." + name + ".requests").Inc()
+			tl.reg.Histogram("rpc.server." + name + ".latency_ns").Record(time.Since(start).Nanoseconds())
+			if isErr {
+				tl.reg.Counter("rpc.server." + name + ".errors").Inc()
+			}
 		}
 		if fi := s.faultInjector(); fi != nil {
 			f := fi.Intercept(PointServerSend, method)
+			if f.Action != FaultNone && tl.reg != nil {
+				tl.reg.Counter("rpc.server.faults_injected").Inc()
+			}
 			switch f.Action {
 			case FaultDrop:
 				continue // response vanishes
@@ -247,7 +330,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		wmu.Lock()
-		err = writeFrame(w, reqID, kindResponse, method, resp)
+		err = writeFrame(w, reqID, kindResponse, method, trace, resp)
 		wmu.Unlock()
 		if err != nil {
 			return
@@ -262,14 +345,14 @@ func errorBody(msg string) []byte {
 // safeCall shields the connection from a panicking handler: one bad
 // request becomes an error response instead of tearing down every client
 // multiplexed on the connection.
-func safeCall(h Handler, body []byte) (out []byte, err error) {
+func safeCall(h InfoHandler, info CallInfo, body []byte) (out []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
 			err = fmt.Errorf("handler panic: %v", r)
 		}
 	}()
-	return h(body)
+	return h(info, body)
 }
 
 // Close stops the listener, force-closes active connections, and waits
@@ -313,6 +396,15 @@ type ClientOptions struct {
 	// Injector, when non-nil, intercepts frames at PointClientSend and
 	// PointClientRecv.
 	Injector FaultInjector
+	// Registry, when non-nil, receives per-method call counts, call
+	// latency histograms, error/timeout tallies, and reconnect counts.
+	Registry *telemetry.Registry
+	// MethodName maps method numbers to metric-name segments (nil falls
+	// back to "m<N>").
+	MethodName func(Method) string
+	// Logger, when non-nil, receives structured connection-lifecycle
+	// records (disconnects, redials).
+	Logger *telemetry.Logger
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -350,7 +442,7 @@ type Client struct {
 	gen  *connGen
 
 	nextID  atomic.Uint64
-	pending sync.Map // reqID -> chan response
+	pending sync.Map // reqID -> *pendingCall
 	closed  atomic.Bool
 
 	rndMu sync.Mutex
@@ -358,6 +450,13 @@ type Client struct {
 
 	// Reconnects counts completed redials.
 	Reconnects atomic.Int64
+}
+
+// pendingCall is one in-flight request: the response channel plus the
+// trace ID the request carried, for response-echo verification.
+type pendingCall struct {
+	ch    chan response
+	trace uint64
 }
 
 type response struct {
@@ -405,10 +504,17 @@ func (c *Client) Connected() bool {
 	}
 }
 
+func (c *Client) counter(name string) *telemetry.Counter {
+	if c.opts.Registry == nil {
+		return nil
+	}
+	return c.opts.Registry.Counter(name)
+}
+
 func (c *Client) readLoop(conn net.Conn, gen *connGen) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		reqID, kind, method, body, err := readFrame(r)
+		reqID, kind, method, trace, body, err := readFrame(r)
 		if err != nil {
 			gen.err = err
 			// Fail the calls in flight, then close done so a Call that
@@ -416,11 +522,14 @@ func (c *Client) readLoop(conn net.Conn, gen *connGen) {
 			// removes it itself (no leak, no hang).
 			c.pending.Range(func(k, v interface{}) bool {
 				c.pending.Delete(k)
-				v.(chan response) <- response{err: ErrClosed}
+				v.(*pendingCall).ch <- response{err: ErrClosed}
 				return true
 			})
 			close(gen.done)
 			conn.Close()
+			if c.opts.Logger != nil && !c.closed.Load() {
+				c.opts.Logger.Warn("connection lost", "addr", c.addr, "err", err)
+			}
 			if c.opts.Reconnect && !c.closed.Load() {
 				go c.redial()
 			}
@@ -431,18 +540,23 @@ func (c *Client) readLoop(conn net.Conn, gen *connGen) {
 		}
 		if fi := c.opts.Injector; fi != nil {
 			f := fi.Intercept(PointClientRecv, method)
+			if f.Action != FaultNone {
+				if ctr := c.counter("rpc.client.faults_injected"); ctr != nil {
+					ctr.Inc()
+				}
+			}
 			switch f.Action {
 			case FaultDrop:
 				continue // response vanishes; the call times out
 			case FaultDelay:
 				time.Sleep(f.Delay)
 			case FaultError:
-				if ch, ok := c.pending.LoadAndDelete(reqID); ok {
+				if pc, ok := c.pending.LoadAndDelete(reqID); ok {
 					ferr := f.Err
 					if ferr == nil {
 						ferr = ErrInjected
 					}
-					ch.(chan response) <- response{err: ferr}
+					pc.(*pendingCall).ch <- response{err: ferr}
 				}
 				continue
 			case FaultDisconnect:
@@ -450,19 +564,27 @@ func (c *Client) readLoop(conn net.Conn, gen *connGen) {
 				continue // next readFrame fails and runs the drop path
 			}
 		}
-		ch, ok := c.pending.LoadAndDelete(reqID)
+		v, ok := c.pending.LoadAndDelete(reqID)
 		if !ok {
 			continue // late response to a timed-out call
 		}
+		pc := v.(*pendingCall)
+		if pc.trace != 0 && trace != pc.trace {
+			// The server must echo the request's trace ID; a mismatch
+			// means a framing bug, not a user error — count it loudly.
+			if ctr := c.counter("rpc.client.trace_mismatch"); ctr != nil {
+				ctr.Inc()
+			}
+		}
 		if len(body) == 0 {
-			ch.(chan response) <- response{err: &RemoteError{Method: method, Msg: "empty response"}}
+			pc.ch <- response{err: &RemoteError{Method: method, Msg: "empty response"}}
 			continue
 		}
 		if body[0] != 0 {
-			ch.(chan response) <- response{err: &RemoteError{Method: method, Msg: string(body[1:])}}
+			pc.ch <- response{err: &RemoteError{Method: method, Msg: string(body[1:])}}
 			continue
 		}
-		ch.(chan response) <- response{body: body[1:]}
+		pc.ch <- response{body: body[1:]}
 	}
 }
 
@@ -489,11 +611,23 @@ func (c *Client) redial() {
 			c.gen = gen
 			c.mu.Unlock()
 			c.Reconnects.Add(1)
+			if ctr := c.counter("rpc.client.reconnects"); ctr != nil {
+				ctr.Inc()
+			}
+			if c.opts.Logger != nil {
+				c.opts.Logger.Info("reconnected", "addr", c.addr, "attempt", attempt)
+			}
 			go c.readLoop(conn, gen)
 			return
 		}
 		if c.opts.MaxRedials > 0 && attempt >= c.opts.MaxRedials {
 			c.closed.Store(true)
+			if ctr := c.counter("rpc.client.redials_exhausted"); ctr != nil {
+				ctr.Inc()
+			}
+			if c.opts.Logger != nil {
+				c.opts.Logger.Error("redial budget exhausted", "addr", c.addr, "attempts", attempt)
+			}
 			return
 		}
 		c.rndMu.Lock()
@@ -508,19 +642,40 @@ func (c *Client) redial() {
 }
 
 // Call issues one request and waits for its response, honouring the
-// client's CallTimeout.
+// client's CallTimeout. The request carries no trace ID; use CallCtx
+// with telemetry.WithTraceID to propagate one.
 func (c *Client) Call(m Method, body []byte) ([]byte, error) {
 	return c.call(nil, m, body)
 }
 
 // CallCtx is Call with an explicit context: the call fails with the
-// context's error when it is cancelled. The client CallTimeout still
-// applies as an upper bound.
+// context's error when it is cancelled, and a trace ID attached with
+// telemetry.WithTraceID rides the request frame to the server. The
+// client CallTimeout still applies as an upper bound.
 func (c *Client) CallCtx(ctx context.Context, m Method, body []byte) ([]byte, error) {
 	return c.call(ctx, m, body)
 }
 
 func (c *Client) call(ctx context.Context, m Method, body []byte) ([]byte, error) {
+	reg := c.opts.Registry
+	if reg == nil {
+		return c.doCall(ctx, m, body)
+	}
+	start := time.Now()
+	out, err := c.doCall(ctx, m, body)
+	name := methodLabel(c.opts.MethodName, m)
+	reg.Counter("rpc.client." + name + ".calls").Inc()
+	reg.Histogram("rpc.client." + name + ".latency_ns").Record(time.Since(start).Nanoseconds())
+	if err != nil {
+		reg.Counter("rpc.client." + name + ".errors").Inc()
+		if errors.Is(err, ErrTimeout) {
+			reg.Counter("rpc.client.timeouts").Inc()
+		}
+	}
+	return out, err
+}
+
+func (c *Client) doCall(ctx context.Context, m Method, body []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -535,6 +690,11 @@ func (c *Client) call(ctx context.Context, m Method, body []byte) ([]byte, error
 	dropped := false
 	if fi := c.opts.Injector; fi != nil {
 		f := fi.Intercept(PointClientSend, m)
+		if f.Action != FaultNone {
+			if ctr := c.counter("rpc.client.faults_injected"); ctr != nil {
+				ctr.Inc()
+			}
+		}
 		switch f.Action {
 		case FaultDrop:
 			dropped = true // never send; the call waits for its deadline
@@ -551,12 +711,13 @@ func (c *Client) call(ctx context.Context, m Method, body []byte) ([]byte, error
 			return nil, ErrClosed
 		}
 	}
+	trace := telemetry.TraceIDFrom(ctx)
 	id := c.nextID.Add(1)
-	ch := make(chan response, 1)
-	c.pending.Store(id, ch)
+	pc := &pendingCall{ch: make(chan response, 1), trace: trace}
+	c.pending.Store(id, pc)
 	if !dropped {
 		c.wmu.Lock()
-		err := writeFrame(w, id, kindRequest, m, body)
+		err := writeFrame(w, id, kindRequest, m, trace, body)
 		c.wmu.Unlock()
 		if err != nil {
 			c.pending.Delete(id)
@@ -574,7 +735,7 @@ func (c *Client) call(ctx context.Context, m Method, body []byte) ([]byte, error
 		ctxDone = ctx.Done()
 	}
 	select {
-	case resp := <-ch:
+	case resp := <-pc.ch:
 		return resp.body, resp.err
 	case <-gen.done:
 		c.pending.Delete(id)

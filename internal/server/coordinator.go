@@ -10,6 +10,7 @@ import (
 	"origami/internal/metaopt"
 	"origami/internal/namespace"
 	"origami/internal/rpc"
+	"origami/internal/telemetry"
 )
 
 // Coordinator is the networked Metadata Balancer (§4.2): it runs on (or
@@ -44,6 +45,12 @@ type Coordinator struct {
 
 	strategyReady bool
 	staleMaps     map[int]bool // MDSs that missed a publish
+
+	// reg holds the balancer's telemetry: epoch durations, migration
+	// outcome counters, and per-MDS health-state gauges
+	// (coordinator.health.mds_<i>: 0 = up, 1 = degraded, 2 = down).
+	reg *telemetry.Registry
+	log *telemetry.Logger
 }
 
 // EpochResult is what one balancing round actually did — including the
@@ -88,6 +95,8 @@ func NewCoordinator(c *Cluster) *Coordinator {
 		PublishRetries: 3,
 		PublishBackoff: 10 * time.Millisecond,
 		staleMaps:      make(map[int]bool),
+		reg:            telemetry.NewRegistry(),
+		log:            telemetry.L("coordinator"),
 	}
 	if body, err := c.Conn(0).Call(mds.MethodGetMap, nil); err == nil {
 		if version, pins, derr := mds.DecodeMap(body); derr == nil {
@@ -98,6 +107,18 @@ func NewCoordinator(c *Cluster) *Coordinator {
 		}
 	}
 	return co
+}
+
+// Registry exposes the coordinator's telemetry registry (admin
+// endpoint, tests).
+func (co *Coordinator) Registry() *telemetry.Registry { return co.reg }
+
+// recordHealthGauges mirrors the health tracker into per-MDS gauges
+// (0 = up, 1 = degraded, 2 = down).
+func (co *Coordinator) recordHealthGauges() {
+	for i := range co.cluster.Addrs {
+		co.reg.Gauge(fmt.Sprintf("coordinator.health.mds_%d", i)).Set(float64(co.Health.State(i)))
+	}
 }
 
 // Pins returns a snapshot of the coordinator's partition map.
@@ -127,6 +148,7 @@ func (co *Coordinator) collect() (stats []mds.StatsSnapshot, rows [][]mds.DumpRo
 		body, err := co.cluster.Conn(i).Call(mds.MethodDump, nil)
 		if err != nil {
 			co.Health.ReportFailure(i, err)
+			co.log.Warn("dump failed, skipping shard this epoch", "mds", i, "err", err)
 			skipped = append(skipped, i)
 			continue
 		}
@@ -291,12 +313,14 @@ func (co *Coordinator) migrate2PC(subtree namespace.Ino, from, to int) error {
 	conn := co.cluster.Conn(from)
 	if _, err := conn.Call(mds.MethodMigratePrepare, w.Bytes()); err != nil {
 		co.reportOutcome(from, err)
+		co.log.Warn("migration prepare failed", "subtree", uint64(subtree), "from", from, "to", to, "err", err)
 		return fmt.Errorf("server: prepare migrate %d from MDS %d: %w", subtree, from, err)
 	}
 	var cw rpc.Wire
 	cw.U64(uint64(subtree))
 	if _, err := conn.Call(mds.MethodMigrateCommit, cw.Bytes()); err != nil {
 		co.reportOutcome(from, err)
+		co.log.Warn("migration commit failed, aborting", "subtree", uint64(subtree), "from", from, "to", to, "err", err)
 		// Roll back: lift the freeze and evict the destination copy. If
 		// the source is unreachable its PrepareTimeout auto-abort fires.
 		var aw rpc.Wire
@@ -305,6 +329,7 @@ func (co *Coordinator) migrate2PC(subtree namespace.Ino, from, to int) error {
 		return fmt.Errorf("server: commit migrate %d from MDS %d: %w", subtree, from, err)
 	}
 	co.Health.ReportSuccess(from)
+	co.log.Info("migration committed", "subtree", uint64(subtree), "from", from, "to", to)
 	return nil
 }
 
@@ -325,6 +350,22 @@ func (co *Coordinator) reportOutcome(id int, err error) {
 // error is returned only when no shard at all can be collected.
 func (co *Coordinator) RunEpoch() (*EpochResult, error) {
 	res := &EpochResult{}
+	start := time.Now()
+	defer func() {
+		co.reg.Counter("coordinator.epochs").Inc()
+		co.reg.Histogram("coordinator.epoch.duration_ns").Record(time.Since(start).Nanoseconds())
+		co.reg.Counter("coordinator.epoch.applied").Add(int64(len(res.Applied)))
+		co.reg.Counter("coordinator.epoch.rejected").Add(int64(len(res.Rejected)))
+		co.reg.Counter("coordinator.epoch.skipped_mds").Add(int64(len(res.SkippedMDS)))
+		co.reg.Counter("coordinator.epoch.stale_mds").Add(int64(len(res.StaleMDS)))
+		co.reg.Counter("coordinator.epoch.reconciled").Add(int64(len(res.Reconciled)))
+		co.recordHealthGauges()
+		co.log.Info("epoch done",
+			"applied", len(res.Applied), "rejected", len(res.Rejected),
+			"skipped", len(res.SkippedMDS), "stale", len(res.StaleMDS),
+			"reconciled", len(res.Reconciled), "map_version", res.MapVersion,
+			"ns", time.Since(start).Nanoseconds())
+	}()
 	co.Health.CheckAll()
 	res.Reconciled = co.Reconcile()
 	stats, rows, skipped := co.collect()
@@ -410,6 +451,7 @@ func (co *Coordinator) publish() (stale []int) {
 	body := mds.EncodeMap(co.version, pins)
 	for i := range co.cluster.Addrs {
 		if err := co.publishOne(i, body); err != nil {
+			co.log.Warn("map publish missed", "mds", i, "version", co.version, "err", err)
 			co.staleMaps[i] = true
 			stale = append(stale, i)
 		} else {
@@ -473,6 +515,7 @@ func (co *Coordinator) Reconcile() []int {
 		}
 		delete(co.staleMaps, i)
 		updated = append(updated, i)
+		co.log.Info("reconciled lagging map", "mds", i, "version", co.version)
 	}
 	return updated
 }

@@ -1,0 +1,13 @@
+package sim
+
+import "origami/internal/telemetry"
+
+// simReg is the simulator's telemetry registry. The simulator runs on a
+// virtual clock, so its latency histograms hold virtual nanoseconds —
+// recorded through the same Counter/Gauge/Histogram interfaces the live
+// cluster uses, and exported with the same JSON shape (origami-bench
+// writes it next to the results).
+var simReg = telemetry.NewRegistry()
+
+// Metrics returns the simulator's shared telemetry registry.
+func Metrics() *telemetry.Registry { return simReg }

@@ -418,6 +418,7 @@ func (s *Sim) completeOp(client int) {
 	s.done++
 	s.epochOps++
 	s.latencies = append(s.latencies, rct.Seconds())
+	simReg.Histogram("sim.op.latency_ns").Record(rct.Nanoseconds())
 	s.rpcTotal += int64(len(cs.visits))
 	s.fwdTotal += int64(len(cs.visits) - 1)
 	s.coll.Record(cs.op, &cs.res, rct)
@@ -499,6 +500,11 @@ func (s *Sim) endEpoch() {
 		s.freeAt[d.From] += cost.SrcService
 		s.freeAt[d.To] += cost.DstService
 	}
+	simReg.Counter("sim.epochs").Inc()
+	simReg.Counter("sim.migrations").Add(int64(em.Migrations))
+	simReg.Counter("sim.decisions_skipped").Add(int64(em.DecisionsSkip))
+	simReg.Counter("sim.migrated_inodes").Add(int64(em.MigratedInos))
+	simReg.Gauge("sim.imbalance_qps").Set(em.ImbalanceQPS)
 	s.metrics = append(s.metrics, em)
 	s.coll.Reset()
 	s.epochIdx++

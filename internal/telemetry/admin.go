@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// AdminConfig configures an admin endpoint.
+type AdminConfig struct {
+	// Registries maps an export name (e.g. "mds", "coordinator") to the
+	// registry served under it in the /metrics document.
+	Registries map[string]*Registry
+	// Health, when non-nil, contributes extra fields to /healthz.
+	Health func() map[string]interface{}
+	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default:
+	// profiling endpoints on a production port are opt-in).
+	Pprof bool
+}
+
+// Admin is a running HTTP admin server exposing /metrics (JSON registry
+// snapshots), /healthz, and optionally /debug/pprof/.
+type Admin struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// StartAdmin binds addr (":0" works) and serves the admin API in the
+// background, returning the handle with the bound address.
+func StartAdmin(addr string, cfg AdminConfig) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		doc := make(map[string]Snapshot, len(cfg.Registries))
+		for name, reg := range cfg.Registries {
+			doc[name] = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		doc := map[string]interface{}{
+			"status":         "ok",
+			"uptime_seconds": time.Since(a.start).Seconds(),
+		}
+		if cfg.Health != nil {
+			extra := cfg.Health()
+			keys := make([]string, 0, len(extra))
+			for k := range extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				doc[k] = extra[k]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(doc) //nolint:errcheck // client went away
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	a.srv = &http.Server{Handler: mux}
+	go a.srv.Serve(ln) //nolint:errcheck // closed on shutdown
+	return a, nil
+}
+
+// Addr returns the bound address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server.
+func (a *Admin) Close() error { return a.srv.Close() }

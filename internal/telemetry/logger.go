@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// sink is a shared log destination: loggers derived from the same sink
+// (e.g. everything hanging off the process default) retarget together
+// when the output or level changes.
+type sink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+}
+
+func newSink(w io.Writer, level Level) *sink {
+	s := &sink{w: w}
+	s.level.Store(int32(level))
+	return s
+}
+
+var defaultSink = newSink(os.Stderr, LevelInfo)
+
+// SetLogOutput redirects the process-default logger (and every component
+// logger derived from it via L) to w. Tests use this to capture spans.
+func SetLogOutput(w io.Writer) {
+	defaultSink.mu.Lock()
+	defaultSink.w = w
+	defaultSink.mu.Unlock()
+}
+
+// SetLogLevel sets the minimum severity the process-default logger emits.
+func SetLogLevel(l Level) { defaultSink.level.Store(int32(l)) }
+
+// Logger is a leveled structured logger: every record is one line of
+//
+//	<RFC3339-ms timestamp> <LEVEL> <component>: <msg> key=value ...
+//
+// Loggers are cheap values — With derives a child carrying extra fields —
+// and safe for concurrent use.
+type Logger struct {
+	sink      *sink
+	component string
+	fields    string // pre-rendered " key=value" pairs
+}
+
+// NewLogger creates a standalone logger with its own output and level.
+func NewLogger(w io.Writer, component string, level Level) *Logger {
+	return &Logger{sink: newSink(w, level), component: component}
+}
+
+// L returns a component logger on the process-default sink.
+func L(component string) *Logger {
+	return &Logger{sink: defaultSink, component: component}
+}
+
+// With derives a logger that appends the given key/value pairs to every
+// record.
+func (l *Logger) With(kv ...interface{}) *Logger {
+	return &Logger{
+		sink:      l.sink,
+		component: l.component,
+		fields:    l.fields + renderFields(kv),
+	}
+}
+
+// Enabled reports whether records at the given level would be emitted —
+// guard for expensive field construction.
+func (l *Logger) Enabled(level Level) bool {
+	return level >= Level(l.sink.level.Load())
+}
+
+// Debug emits a debug record.
+func (l *Logger) Debug(msg string, kv ...interface{}) { l.log(LevelDebug, msg, kv) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, kv ...interface{}) { l.log(LevelInfo, msg, kv) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, kv ...interface{}) { l.log(LevelWarn, msg, kv) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, kv ...interface{}) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []interface{}) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	if l.component != "" {
+		b.WriteString(l.component)
+		b.WriteString(": ")
+	}
+	b.WriteString(msg)
+	b.WriteString(l.fields)
+	b.WriteString(renderFields(kv))
+	b.WriteByte('\n')
+	l.sink.mu.Lock()
+	l.sink.w.Write([]byte(b.String())) //nolint:errcheck // logging is best-effort
+	l.sink.mu.Unlock()
+}
+
+// renderFields formats key/value pairs as " key=value" runs. A trailing
+// odd value is logged under the key "!EXTRA" rather than dropped.
+func renderFields(kv []interface{}) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(renderValue(kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" !EXTRA=")
+		b.WriteString(renderValue(kv[len(kv)-1]))
+	}
+	return b.String()
+}
+
+func renderValue(v interface{}) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+// Package telemetry is the observability layer of OrigamiFS: atomic
+// counters and gauges, log-bucketed latency histograms with percentile
+// snapshots, a named registry with JSON export, a leveled structured
+// logger, trace-ID propagation helpers, and an HTTP admin server.
+//
+// Everything is standard-library only and safe for concurrent use; the
+// recording paths are lock-free (atomics), so instrumentation can sit on
+// the metadata hot path. The same interfaces serve both wall-clock
+// components (rpc, mds, client, coordinator) and the virtual-clock
+// simulator, so a metric name means the same thing in either world.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value (health states, store
+// sizes, queue depths).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; rare path).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the bucket count: index 0 holds values <= 0, index i
+// (1..64) holds values in [2^(i-1), 2^i - 1]. Covers the full int64
+// range, so nanosecond latencies from 1ns to ~292 years all land.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution recorder. Recording is
+// lock-free; Snapshot derives internally consistent percentiles from the
+// bucket counts alone.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+}
+
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// bucketLower returns the inclusive lower bound of bucket i.
+func bucketLower(i int) int64 {
+	if i == 0 {
+		return math.MinInt64
+	}
+	return int64(1) << uint(i-1)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	if h.count.Add(1) == 1 {
+		// First observation seeds min/max; racing recorders fix any
+		// misordering in the CAS loops below.
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Bucket is one nonzero histogram bucket in a snapshot: N observations
+// with values <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram. Count,
+// percentiles, and Buckets are mutually consistent (derived from one
+// bucket sweep); Sum/Min/Max are read alongside and may trail by the
+// observations that landed mid-sweep.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     int64    `json:"p50"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot summarises the histogram. Percentiles are estimated by linear
+// interpolation inside the log2 bucket that holds the target rank.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		Count: total,
+		Sum:   h.sum.Load(),
+	}
+	if total == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(total)
+	// Interpolated ranks can overshoot inside the log2 bucket that holds
+	// the extreme observation; clamp to the observed range.
+	clamp := func(v int64) int64 {
+		if v < s.Min {
+			return s.Min
+		}
+		if v > s.Max {
+			return s.Max
+		}
+		return v
+	}
+	s.P50 = clamp(quantile(&counts, total, 0.50))
+	s.P95 = clamp(quantile(&counts, total, 0.95))
+	s.P99 = clamp(quantile(&counts, total, 0.99))
+	for i, n := range counts {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), N: n})
+		}
+	}
+	return s
+}
+
+// quantile locates the bucket containing rank q*total and interpolates
+// linearly between the bucket bounds.
+func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	rank := q * float64(total)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		n := counts[i]
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) >= rank {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			if i == 0 {
+				return 0
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += float64(n)
+	}
+	return bucketUpper(histBuckets - 1)
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Errorf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 500500 {
+		t.Errorf("sum = %d, want 500500", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+	// Log-bucketed percentiles are approximate: require same order of
+	// magnitude (each bucket spans a factor of two).
+	if s.P50 < 250 || s.P50 > 1024 {
+		t.Errorf("p50 = %d, expected within [250,1024]", s.P50)
+	}
+	if s.P99 < s.P50 || s.P95 < s.P50 || s.P99 > s.Max {
+		t.Errorf("percentiles disordered: p50=%d p95=%d p99=%d max=%d", s.P50, s.P95, s.P99, s.Max)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-7)
+	h.Record(42)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Errorf("count = %d, want 3", s.Count)
+	}
+	if s.Min != -7 || s.Max != 42 {
+		t.Errorf("min/max = %d/%d, want -7/42", s.Min, s.Max)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(int64(g*perG + i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Errorf("count = %d, want %d", s.Count, want)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.N
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.Min != 1 || s.Max != goroutines*perG {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+// TestSnapshotWhileRecording exercises concurrent Snapshot against
+// recording goroutines: every snapshot must be internally consistent
+// (bucket totals equal count, percentiles ordered, count monotonic).
+func TestSnapshotWhileRecording(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := int64(g + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(v)
+					v = v*1103515245%100000 + 1
+				}
+			}
+		}(g)
+	}
+	var lastCount int64
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count < lastCount {
+			t.Fatalf("count went backwards: %d -> %d", lastCount, s.Count)
+		}
+		lastCount = s.Count
+		var bucketTotal int64
+		for _, b := range s.Buckets {
+			bucketTotal += b.N
+		}
+		if bucketTotal != s.Count {
+			t.Fatalf("snapshot torn: bucket total %d != count %d", bucketTotal, s.Count)
+		}
+		if s.Count > 0 && (s.P50 > s.P95 || s.P95 > s.P99) {
+			t.Fatalf("percentiles disordered: %d/%d/%d", s.P50, s.P95, s.P99)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter identity not stable")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram identity not stable")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("shared").Inc()
+			r.Histogram("lat").Record(5)
+			r.Gauge("g").Set(1)
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 32 {
+		t.Errorf("shared counter = %d, want 32", got)
+	}
+	if got := r.Histogram("lat").Count(); got != 32 {
+		t.Errorf("lat count = %d, want 32", got)
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(7)
+	r.Gauge("health").Set(2)
+	r.Histogram("latency_ns").Record(1500)
+	r.Histogram("latency_ns").Record(3000)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if s.Counters["ops"] != 7 {
+		t.Errorf("ops = %d, want 7", s.Counters["ops"])
+	}
+	if s.Gauges["health"] != 2 {
+		t.Errorf("health = %v, want 2", s.Gauges["health"])
+	}
+	hs := s.Histograms["latency_ns"]
+	if hs.Count != 2 || hs.Sum != 4500 {
+		t.Errorf("histogram = %+v", hs)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	if bucketUpper(64) != math.MaxInt64 {
+		t.Errorf("top bucket upper = %d", bucketUpper(64))
+	}
+	for i := 1; i < 64; i++ {
+		if bucketLower(i) > bucketUpper(i) {
+			t.Errorf("bucket %d bounds inverted", i)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookups get-or-create, so
+// instrumentation points never need registration ceremony; the registry
+// itself is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, name := range counters {
+		s.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range gauges {
+		s.Gauges[name] = r.Gauge(name).Value()
+	}
+	for _, name := range hists {
+		s.Histograms[name] = r.Histogram(name).Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// HistogramNames lists the snapshot's histogram names in sorted order
+// (stable iteration for reports).
+func (s Snapshot) HistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterNames lists the snapshot's counter names in sorted order.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames lists the snapshot's gauge names in sorted order.
+func (s Snapshot) GaugeNames() []string {
+	names := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
