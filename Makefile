@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/rpc/... ./internal/mds/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/server/... ./internal/client/...
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # kvstore micro-benchmarks.

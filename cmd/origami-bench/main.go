@@ -7,6 +7,14 @@
 //
 // Experiments: fig2, fig5a, fig5b, fig6, table1, table2, fig7, fig8,
 // fig9, headline, ablation-cache, ablation-cost, ablation-migcap.
+//
+// With -tcp the command instead benchmarks a live loopback TCP cluster
+// with a closed-loop multi-worker load generator, comparing serial and
+// concurrent RPC dispatch:
+//
+//	origami-bench -tcp                            # 1 MDS, 1/8/32 workers
+//	origami-bench -tcp -workers 4,16 -duration 5s
+//	origami-bench -tcp -dispatch concurrent -mds 3
 package main
 
 import (
@@ -14,13 +22,99 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"origami/internal/balancer"
 	"origami/internal/experiments"
+	"origami/internal/kvstore"
+	"origami/internal/loadgen"
+	"origami/internal/server"
 	"origami/internal/sim"
 	"origami/internal/trace"
 )
+
+// runTCPBench starts a fresh loopback cluster per dispatch mode and
+// drives it with the closed-loop load generator at each worker count,
+// printing an ops/sec matrix plus the concurrent-over-serial speedup.
+func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct int) error {
+	modes := []string{"serial", "concurrent"}
+	if dispatch != "both" {
+		modes = []string{dispatch}
+	}
+	thr := make(map[string]map[int]float64)
+	for _, mode := range modes {
+		thr[mode] = make(map[int]float64)
+		dir, err := os.MkdirTemp("", "origami-tcpbench-")
+		if err != nil {
+			return err
+		}
+		cluster, err := server.StartClusterOpts(numMDS, dir, kvstore.Options{SyncWAL: syncWAL})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		for _, svc := range cluster.Services {
+			svc.Server().SetSerialDispatch(mode == "serial")
+		}
+		fmt.Printf("## dispatch=%s (%d MDS, %v per point, syncwal=%v, writepct=%d)\n",
+			mode, numMDS, dur, syncWAL, writePct)
+		var lastPuts, lastSyncs int64
+		for _, w := range workerCounts {
+			res, err := loadgen.Run(loadgen.Config{
+				Addrs:    cluster.Addrs,
+				Workers:  w,
+				Duration: dur,
+				Root:     fmt.Sprintf("bench-%s-w%d", mode, w),
+				WritePct: writePct,
+				Seed:     1,
+			})
+			if err != nil {
+				cluster.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+			thr[mode][w] = res.Throughput()
+			var puts, syncs int64
+			for _, svc := range cluster.Services {
+				st := svc.StoreStats()
+				puts += st.Puts + st.Deletes
+				syncs += st.WALSyncs
+			}
+			batch := "n/a"
+			if d := syncs - lastSyncs; d > 0 {
+				batch = fmt.Sprintf("%.1f", float64(puts-lastPuts)/float64(d))
+			}
+			lastPuts, lastSyncs = puts, syncs
+			fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %v, wal batch %s)\n",
+				w, res.Throughput(), res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond), batch)
+		}
+		cluster.Close()
+		os.RemoveAll(dir)
+	}
+	if dispatch == "both" {
+		fmt.Println("## speedup (concurrent / serial)")
+		for _, w := range workerCounts {
+			if s := thr["serial"][w]; s > 0 {
+				fmt.Printf("  workers=%-3d  %.2fx\n", w, thr["concurrent"][w]/s)
+			}
+		}
+	}
+	return nil
+}
+
+func parseWorkerCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 // writeMetrics dumps the simulator's telemetry registry (virtual-clock
 // op latency histograms, epoch/migration counters) as JSON next to the
@@ -87,8 +181,38 @@ func main() {
 		numMDS     = flag.Int("mds", 5, "cluster size for -exp replay")
 		metricsOut = flag.String("metrics-out", "", "write the simulator telemetry snapshot (JSON) to this file after the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		tcp        = flag.Bool("tcp", false, "benchmark a live loopback TCP cluster instead of running simulator experiments")
+		workers    = flag.String("workers", "1,8,32", "comma-separated closed-loop worker counts for -tcp")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement time per -tcp point")
+		dispatch   = flag.String("dispatch", "both", "dispatch modes to benchmark with -tcp: both, serial, or concurrent")
+		syncWAL    = flag.Bool("syncwal", true, "make MDS writes durable before acknowledgement (-tcp; group commit)")
+		writePct   = flag.Int("writepct", 100, "percentage of mutating ops in the -tcp workload (default is an mdtest-style create storm)")
 	)
 	flag.Parse()
+	if *tcp {
+		// The simulator experiments default -mds to 5; the dispatch
+		// benchmark is sharpest on one MDS unless asked otherwise.
+		tcpMDS := 1
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "mds" {
+				tcpMDS = *numMDS
+			}
+		})
+		wc, err := parseWorkerCounts(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *dispatch != "both" && *dispatch != "serial" && *dispatch != "concurrent" {
+			fmt.Fprintf(os.Stderr, "origami-bench: bad -dispatch %q\n", *dispatch)
+			os.Exit(1)
+		}
+		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct); err != nil {
+			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

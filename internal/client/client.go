@@ -313,6 +313,21 @@ func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
 }
 
 func (c *Client) resolve(ctx context.Context, path string) ([]*namespace.Inode, int, error) {
+	return c.resolvePath(ctx, path, false)
+}
+
+// resolveDir resolves a directory that only needs to be located, not
+// freshly described: the final component may be served from the cache
+// too, so a fully cached parent path costs zero RPCs. Operations whose
+// follow-up RPC is authoritative anyway (create, remove, readdir) use
+// it — a stale cached parent fails that RPC with not-owner or no-entry
+// and retryOp re-resolves with the cache dropped. Stat and Setattr keep
+// the authoritative final lookup because they return the attributes.
+func (c *Client) resolveDir(ctx context.Context, path string) ([]*namespace.Inode, int, error) {
+	return c.resolvePath(ctx, path, true)
+}
+
+func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool) ([]*namespace.Inode, int, error) {
 	comps := namespace.SplitPath(path)
 	owner := 0
 	if p, ok := c.pinOf(namespace.RootIno); ok {
@@ -322,9 +337,14 @@ func (c *Client) resolve(ctx context.Context, path string) ([]*namespace.Inode, 
 	chain := []*namespace.Inode{root}
 	cur := root
 	i := 0
-	// Cached prefix (never including the final component, which is
-	// always served authoritatively).
-	for i < len(comps)-1 {
+	// Cached prefix (including the final component only for
+	// resolveDir callers; plain resolve always serves it
+	// authoritatively).
+	cachedLimit := len(comps) - 1
+	if cachedFinal {
+		cachedLimit = len(comps)
+	}
+	for i < cachedLimit {
 		in, ok := c.cacheGet(cur.Ino, comps[i])
 		if !ok {
 			break
@@ -452,7 +472,7 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 	dir, name := namespace.ParentPath(path)
 	var out *namespace.Inode
 	err := c.retryOp(ctx, []string{dir}, func() error {
-		chain, owner, err := c.resolve(ctx, dir)
+		chain, owner, err := c.resolveDir(ctx, dir)
 		if err != nil {
 			return err
 		}
@@ -479,7 +499,7 @@ func (c *Client) Remove(path string) error {
 	ctx, done := c.op("remove")
 	dir, name := namespace.ParentPath(path)
 	err := c.retryOp(ctx, []string{dir}, func() error {
-		chain, owner, err := c.resolve(ctx, dir)
+		chain, owner, err := c.resolveDir(ctx, dir)
 		if err != nil {
 			return err
 		}
@@ -505,7 +525,7 @@ func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
 	ctx, done := c.op("readdir")
 	var out []*namespace.Inode
 	err := c.retryOp(ctx, []string{path}, func() error {
-		chain, owner, err := c.resolve(ctx, path)
+		chain, owner, err := c.resolveDir(ctx, path)
 		if err != nil {
 			return err
 		}

@@ -147,7 +147,7 @@ func (db *DB) writeEntriesIntoLevel(li int, entries []walOp) error {
 		}
 		if t != nil {
 			run.tables = append([]*sstable{t}, run.tables...)
-			db.stats.BytesCompacted += t.size
+			db.stats.bytesCompacted.Add(t.size)
 		}
 	}
 	return nil
@@ -236,7 +236,7 @@ func (db *DB) replaceRun(run *guardRun, entries []walOp) error {
 		run.tables = nil
 	} else {
 		run.tables = []*sstable{t}
-		db.stats.BytesCompacted += t.size
+		db.stats.bytesCompacted.Add(t.size)
 	}
 	return nil
 }
@@ -260,7 +260,7 @@ func (db *DB) compactL0Locked() error {
 	}
 	db.l0 = nil
 	db.removeTables(old)
-	db.stats.Compactions++
+	db.stats.compactions.Add(1)
 	return nil
 }
 
@@ -284,6 +284,6 @@ func (db *DB) compactRunLocked(li int, run *guardRun) error {
 		run.tables = nil
 		db.removeTables(old)
 	}
-	db.stats.Compactions++
+	db.stats.compactions.Add(1)
 	return nil
 }

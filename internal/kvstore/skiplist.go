@@ -10,9 +10,14 @@
 //
 // The store offers Put / Delete / Get / Scan / ApplyBatch over []byte keys
 // and values, durability through a CRC-framed write-ahead log, and crash
-// recovery on Open. A single mutex serialises mutations; flush and
-// compaction run inline at well-defined points so that tests and the
-// discrete-event simulator stay deterministic.
+// recovery on Open. Mutations serialise on a write mutex (WAL order ==
+// memtable order == replay order) and take the structure lock exclusively
+// only for the memtable insert, so point and range reads — which hold the
+// structure lock shared — run concurrently with each other and overlap
+// everything in the write path except that brief insert. Under SyncWAL,
+// durability uses group commit: concurrent writers share WAL fsyncs.
+// Flush and compaction run inline under both locks at well-defined points
+// so that tests and the discrete-event simulator stay deterministic.
 package kvstore
 
 import (

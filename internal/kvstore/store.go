@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Options configures a DB. The zero value is usable; unset fields take the
@@ -21,8 +23,10 @@ type Options struct {
 	MaxTablesPerGuard int
 	// MaxLevels is the number of guarded levels below L0. Default 4.
 	MaxLevels int
-	// SyncWAL forces an fsync after every WAL record. Default false
-	// (group durability via OS flush, standard for benchmarks).
+	// SyncWAL makes every write durable before it is acknowledged: the
+	// writer waits for a WAL fsync covering its record. Concurrent
+	// writers share fsyncs (group commit). Default false — durability
+	// rides the OS flush, standard for benchmarks.
 	SyncWAL bool
 	// Seed seeds the memtable skiplist's height generator so runs are
 	// reproducible. Default 1.
@@ -78,22 +82,71 @@ type Stats struct {
 	MemtableEntries int
 	TablesPerLevel  []int
 	WALBytes        int64
+	// WALSyncs counts group-commit fsyncs. Under SyncWAL with
+	// concurrent writers it runs well below Puts+Deletes — the batching
+	// factor is (writes / syncs).
+	WALSyncs int64
 }
 
-// DB is a fragmented log-structured merge store. All methods are safe for
-// concurrent use.
+// dbStats is the live counter set behind Stats. The counters are
+// atomics because Gets is bumped by concurrent readers holding only the
+// shared lock; the write-side counters ride along for uniformity.
+type dbStats struct {
+	puts, deletes, gets          atomic.Int64
+	flushes, compactions         atomic.Int64
+	bytesFlushed, bytesCompacted atomic.Int64
+	walSyncs                     atomic.Int64
+}
+
+// DB is a fragmented log-structured merge store. All methods are safe
+// for concurrent use: point and range reads run concurrently with each
+// other (shared lock over the immutable SSTables and the memtable),
+// while mutations — which append to the WAL, update the memtable in
+// place, and may flush or compact — hold the lock exclusively.
+//
+// With SyncWAL enabled, durability uses group commit: a writer appends
+// its record and inserts into the memtable under short locks, then
+// waits for a WAL fsync covering its sequence number. One writer at a
+// time leads an fsync; every record appended before the sync rides the
+// same fsync, so N concurrent writers share ~one fsync instead of
+// paying one each. A write is acknowledged only after its record is
+// durable, but a concurrent reader may observe it slightly earlier —
+// the standard trade (a crash can lose data a reader saw but whose
+// writer was never acknowledged).
 type DB struct {
-	mu          sync.Mutex
-	dir         string
-	opts        Options
-	mem         *skiplist
-	wal         *wal
+	// writeMu serialises the write path so WAL append order, memtable
+	// insert order, and crash-replay order all agree. Lock hierarchy:
+	// writeMu → mu → gc.mu; a group-commit sync leader holds writeMu
+	// alone while fsyncing, so readers (mu shared) are never blocked
+	// behind an fsync.
+	writeMu sync.Mutex
+	mu      sync.RWMutex
+	dir     string
+	opts    Options
+	mem     *skiplist
+	wal     *wal
+	// walSeq counts records appended to the WAL. Writers advance it
+	// under writeMu; the group-commit leader also polls it locklessly
+	// in its gather loop, hence the atomic.
+	walSeq      atomic.Uint64
+	walGen      uint64 // bumped when a flush swaps the WAL; guarded by writeMu
+	gc          groupCommit
 	l0          []*sstable // newest first
 	levels      []*dbLevel // levels[0] is L1
 	guards      guardSet
 	nextFileNum uint64
-	stats       Stats
+	stats       dbStats
 	closed      bool
+}
+
+// groupCommit tracks which WAL sequence numbers are durable and elects
+// one waiting writer at a time to lead the next fsync.
+type groupCommit struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	synced  uint64 // highest WAL seq known durable
+	leading bool   // an fsync is in flight
+	err     error  // sticky sync failure
 }
 
 // Open opens or creates a DB rooted at dir, replaying any WAL left by a
@@ -121,11 +174,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	}); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(db.walPath(), opts.SyncWAL)
+	// Per-record fsync stays off even under SyncWAL: durability comes
+	// from the group-commit path, which batches concurrent writers onto
+	// shared fsyncs.
+	w, err := openWAL(db.walPath(), false)
 	if err != nil {
 		return nil, err
 	}
 	db.wal = w
+	db.gc.cond = sync.NewCond(&db.gc.mu)
 	return db, nil
 }
 
@@ -136,34 +193,144 @@ func (db *DB) newTablePath() string {
 	return filepath.Join(db.dir, fmt.Sprintf("%08d.sst", db.nextFileNum))
 }
 
-// Put inserts or replaces the value for key.
-func (db *DB) Put(key, value []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// applyWrite runs one logical mutation through the write path: append
+// to the WAL (logFn) and insert into the memtable (memFn) in a globally
+// consistent order under writeMu, taking mu exclusively only for the
+// memtable insert (and an inline flush when the memtable is full). With
+// SyncWAL, the writer then waits on the group-commit fsync covering its
+// record — unless a flush already made it durable via the SSTable sync.
+func (db *DB) applyWrite(logFn func(*wal) error, memFn func()) error {
+	db.writeMu.Lock()
 	if db.closed {
-		return fmt.Errorf("kvstore: put on closed DB")
+		db.writeMu.Unlock()
+		return fmt.Errorf("kvstore: write on closed DB")
 	}
-	if err := db.wal.logPut(key, value); err != nil {
+	if err := logFn(db.wal); err != nil {
+		db.writeMu.Unlock()
 		return err
 	}
-	db.stats.Puts++
-	db.mem.put(append([]byte(nil), key...), append([]byte(nil), value...), false)
-	return db.maybeFlushLocked()
+	seq := db.walSeq.Add(1)
+	db.mu.Lock()
+	memFn()
+	var ferr error
+	flushed := false
+	if db.mem.sizeBytes() >= db.opts.MemtableBytes {
+		flushed = true
+		ferr = db.flushLocked()
+	}
+	db.mu.Unlock()
+	db.writeMu.Unlock()
+	if ferr != nil || flushed || !db.opts.SyncWAL {
+		return ferr
+	}
+	return db.waitSynced(seq)
+}
+
+// waitSynced blocks until the WAL is durable through seq. The first
+// waiter to find no fsync in flight leads one (covering every record
+// appended so far); the rest wait and are released by the broadcast —
+// the group-commit batch.
+func (db *DB) waitSynced(seq uint64) error {
+	g := &db.gc
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.synced < seq {
+		if g.err != nil {
+			return g.err
+		}
+		if g.leading {
+			g.cond.Wait()
+			continue
+		}
+		g.leading = true
+		g.mu.Unlock()
+		// Gather: yield while concurrent writers are still appending,
+		// so one fsync covers as many records as the scheduler can
+		// deliver. A lone writer pays a single yield — the first
+		// re-read sees no progress and breaks.
+		cur := db.walSeq.Load()
+		for i := 0; i < 16; i++ {
+			runtime.Gosched()
+			next := db.walSeq.Load()
+			if next == cur {
+				break
+			}
+			cur = next
+		}
+		// Pin the WAL file under writeMu, then fsync WITHOUT holding it:
+		// writers keep appending during the sync and ride the next one —
+		// that window is where the group-commit batch forms. Every record
+		// counted in walSeq has reached the OS (writeRecord flushes its
+		// buffered writer), so the fsync covers all of them.
+		db.writeMu.Lock()
+		target := db.walSeq.Load()
+		gen := db.walGen
+		f := db.wal.f
+		closed := db.closed
+		db.writeMu.Unlock()
+		var err error
+		if closed {
+			err = fmt.Errorf("kvstore: DB closed awaiting WAL sync")
+		} else if err = syncFile(f); err != nil {
+			// A concurrent flush may have swapped (and closed) the WAL
+			// mid-sync. If so, the flush fsynced an SSTable covering
+			// every record through target — the failure is benign.
+			db.writeMu.Lock()
+			if db.walGen != gen {
+				err = nil
+			}
+			db.writeMu.Unlock()
+		}
+		if err == nil {
+			db.stats.walSyncs.Add(1)
+		}
+		g.mu.Lock()
+		g.leading = false
+		if err != nil {
+			if g.err == nil {
+				g.err = err
+			}
+		} else if target > g.synced {
+			g.synced = target
+		}
+		g.cond.Broadcast()
+	}
+	return nil
+}
+
+// markSynced records that the WAL is durable through seq (a flush made
+// everything durable via the SSTable fsync) and releases any waiters.
+func (db *DB) markSynced(seq uint64) {
+	g := &db.gc
+	g.mu.Lock()
+	if seq > g.synced {
+		g.synced = seq
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Put inserts or replaces the value for key.
+func (db *DB) Put(key, value []byte) error {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	return db.applyWrite(
+		func(w *wal) error { return w.logPut(key, value) },
+		func() {
+			db.stats.puts.Add(1)
+			db.mem.put(k, v, false)
+		})
 }
 
 // Delete removes key. Deleting an absent key is not an error.
 func (db *DB) Delete(key []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return fmt.Errorf("kvstore: delete on closed DB")
-	}
-	if err := db.wal.logDelete(key); err != nil {
-		return err
-	}
-	db.stats.Deletes++
-	db.mem.put(append([]byte(nil), key...), nil, true)
-	return db.maybeFlushLocked()
+	k := append([]byte(nil), key...)
+	return db.applyWrite(
+		func(w *wal) error { return w.logDelete(key) },
+		func() {
+			db.stats.deletes.Add(1)
+			db.mem.put(k, nil, true)
+		})
 }
 
 // Batch collects mutations to be applied atomically by ApplyBatch.
@@ -196,30 +363,27 @@ func (db *DB) ApplyBatch(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return fmt.Errorf("kvstore: batch on closed DB")
-	}
-	if err := db.wal.logBatch(b); err != nil {
-		return err
-	}
-	for _, op := range b.ops {
-		if op.tombstone {
-			db.stats.Deletes++
-		} else {
-			db.stats.Puts++
-		}
-		db.mem.put(op.key, op.value, op.tombstone)
-	}
-	return db.maybeFlushLocked()
+	return db.applyWrite(
+		func(w *wal) error { return w.logBatch(b) },
+		func() {
+			for _, op := range b.ops {
+				if op.tombstone {
+					db.stats.deletes.Add(1)
+				} else {
+					db.stats.puts.Add(1)
+				}
+				db.mem.put(op.key, op.value, op.tombstone)
+			}
+		})
 }
 
-// Get returns the value stored for key.
+// Get returns the value stored for key. Point reads hold the lock
+// shared, so any number of them run concurrently with each other (and
+// with Scans); a read sees every write that completed before it.
 func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stats.Gets++
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.gets.Add(1)
 	if v, f, deleted := db.mem.get(key); f {
 		if deleted {
 			return nil, false, nil
@@ -277,10 +441,13 @@ func (l *dbLevel) allRuns() []*guardRun {
 // Scan visits all live entries with lo <= key < hi in ascending key order
 // until fn returns false. A nil hi scans to the end of the key space. The
 // scan streams through a k-way merge of lazy cursors: memory use is
-// bounded by the number of sources, not the range size.
+// bounded by the number of sources, not the range size. Like Get, a
+// Scan holds the lock shared for its whole run — concurrent with other
+// reads, excluded only by writers — so fn must not call back into a
+// mutating DB method.
 func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	// Source order encodes recency: memtable, then L0 newest-first, then
 	// the guarded levels top-down.
 	cursors := []cursor{newMemCursor(db.mem, lo, hi)}
@@ -333,18 +500,15 @@ func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 // Flush forces the memtable to an L0 table (no-op when empty) and runs any
 // due compactions.
 func (db *DB) Flush() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.flushLocked()
 }
 
-func (db *DB) maybeFlushLocked() error {
-	if db.mem.sizeBytes() < db.opts.MemtableBytes {
-		return nil
-	}
-	return db.flushLocked()
-}
-
+// flushLocked writes the memtable to an L0 table and resets the WAL.
+// Caller holds both writeMu (the WAL is swapped) and mu exclusively.
 func (db *DB) flushLocked() error {
 	if db.mem.len() == 0 {
 		return nil
@@ -371,12 +535,15 @@ func (db *DB) flushLocked() error {
 		return err
 	}
 	db.l0 = append([]*sstable{t}, db.l0...)
-	db.stats.Flushes++
-	db.stats.BytesFlushed += t.size
-	db.mem = newSkiplist(db.opts.Seed + db.stats.Flushes)
+	flushes := db.stats.flushes.Add(1)
+	db.stats.bytesFlushed.Add(t.size)
+	db.mem = newSkiplist(db.opts.Seed + flushes)
 	if err := db.resetWALLocked(); err != nil {
 		return err
 	}
+	// The SSTable build fsynced everything the old WAL covered, so any
+	// group-commit waiters are durable now.
+	db.markSynced(db.walSeq.Load())
 	if err := db.maybeCompactLocked(); err != nil {
 		return err
 	}
@@ -390,16 +557,19 @@ func (db *DB) resetWALLocked() error {
 	if err := os.Remove(db.walPath()); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	w, err := openWAL(db.walPath(), db.opts.SyncWAL)
+	w, err := openWAL(db.walPath(), false)
 	if err != nil {
 		return err
 	}
 	db.wal = w
+	db.walGen++
 	return nil
 }
 
 // Close flushes and releases all resources.
 func (db *DB) Close() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -427,9 +597,20 @@ func (db *DB) Close() error {
 
 // Stats returns a snapshot of DB statistics.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := db.stats
+	db.writeMu.Lock() // pins db.wal and its size against concurrent appends
+	defer db.writeMu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{
+		Puts:           db.stats.puts.Load(),
+		Deletes:        db.stats.deletes.Load(),
+		Gets:           db.stats.gets.Load(),
+		Flushes:        db.stats.flushes.Load(),
+		Compactions:    db.stats.compactions.Load(),
+		BytesFlushed:   db.stats.bytesFlushed.Load(),
+		BytesCompacted: db.stats.bytesCompacted.Load(),
+		WALSyncs:       db.stats.walSyncs.Load(),
+	}
 	s.MemtableEntries = db.mem.len()
 	s.WALBytes = db.wal.size
 	s.TablesPerLevel = make([]int, 1+len(db.levels))

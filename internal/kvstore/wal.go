@@ -105,6 +105,17 @@ func (w *wal) logBatch(b *Batch) error {
 	return w.writeRecord(payload)
 }
 
+// syncFile fsyncs a log file handle. Records already flushed to the OS
+// (writeRecord flushes the buffered writer) become durable; the group
+// commit layer in DB decides when to call it, on a handle pinned while
+// appends continue.
+func syncFile(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("kvstore: wal sync: %w", err)
+	}
+	return nil
+}
+
 func (w *wal) close() error {
 	if err := w.w.Flush(); err != nil {
 		w.f.Close()

@@ -1,0 +1,189 @@
+// Package loadgen is a closed-loop metadata load generator for live TCP
+// OrigamiFS clusters. A fixed pool of workers issues a deterministic mix
+// of stat / readdir / create+remove operations through the SDK client as
+// fast as the cluster answers (closed loop: a worker never has more than
+// one operation outstanding). It backs `origami-bench -tcp` and
+// BenchmarkTCPClusterThroughput, whose serial-vs-concurrent dispatch
+// comparison is the headline number for the concurrent MDS request path.
+//
+// All workers share one SDK client, so every request to a given MDS
+// multiplexes onto a single TCP connection — exactly the scenario the
+// server's per-request dispatch targets: with serial dispatch the shared
+// connection handles one request at a time; with concurrent dispatch the
+// handlers overlap and only frame writes serialise.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"origami/internal/client"
+)
+
+// Config parameterises one load-generation run.
+type Config struct {
+	// Addrs lists the MDS addresses (index = MDS id).
+	Addrs []string
+	// Workers is the number of closed-loop worker goroutines.
+	Workers int
+	// Duration bounds the run in wall-clock time. Ignored when TotalOps
+	// is set.
+	Duration time.Duration
+	// TotalOps, when > 0, stops the run after exactly this many
+	// operations across all workers (benchmark mode: TotalOps = b.N).
+	TotalOps int64
+	// Root names the working directory the run creates under "/". Give
+	// concurrent or repeated runs distinct roots so their namespaces
+	// (and readdir costs) stay independent.
+	Root string
+	// PreFiles is the number of files pre-created per worker directory
+	// as stat/readdir targets (default 32).
+	PreFiles int
+	// CacheDepth is the SDK near-root cache depth (default 3, enough to
+	// cache the root → worker-dir chain so each op costs ~1 RPC).
+	CacheDepth int
+	// WritePct is the percentage of operations that mutate (create,
+	// with trailing removes bounding directory size). Default 20; 100
+	// gives an mdtest-style pure metadata-write workload. Of the
+	// remainder, ~20 points go to readdir and the rest to stat.
+	WritePct int
+	// Seed seeds the per-worker op-target choice.
+	Seed int64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Ops     int64         // operations completed
+	Errors  int64         // operations that returned an error
+	Elapsed time.Duration // wall-clock time of the measured loop
+	Workers int
+}
+
+// Throughput returns completed operations per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Root == "" {
+		c.Root = "bench"
+	}
+	if c.PreFiles <= 0 {
+		c.PreFiles = 32
+	}
+	if c.CacheDepth == 0 {
+		c.CacheDepth = 3
+	}
+	if c.WritePct == 0 {
+		c.WritePct = 20
+	}
+	if c.WritePct > 100 {
+		c.WritePct = 100
+	}
+	if c.Duration <= 0 && c.TotalOps <= 0 {
+		c.Duration = time.Second
+	}
+	return c
+}
+
+// Run executes one closed-loop load generation against a live cluster.
+// The op mix is deterministic by ticket number: WritePct% of ops are
+// creates (with trailing removes keeping directories bounded), ~20% are
+// readdirs of the worker's directory, and the rest are stats of
+// pre-created files.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	c, err := client.Dial(client.Config{Addrs: cfg.Addrs, CacheDepth: cfg.CacheDepth})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// Namespace setup happens outside the measured loop.
+	root := "/" + cfg.Root
+	if _, err := c.Mkdir(root); err != nil {
+		return nil, fmt.Errorf("loadgen: mkdir %s: %w", root, err)
+	}
+	dirs := make([]string, cfg.Workers)
+	targets := make([][]string, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		dirs[w] = fmt.Sprintf("%s/w%d", root, w)
+		if _, err := c.Mkdir(dirs[w]); err != nil {
+			return nil, fmt.Errorf("loadgen: mkdir %s: %w", dirs[w], err)
+		}
+		targets[w] = make([]string, cfg.PreFiles)
+		for i := 0; i < cfg.PreFiles; i++ {
+			targets[w][i] = fmt.Sprintf("%s/pre%04d", dirs[w], i)
+			if _, err := c.Create(targets[w][i]); err != nil {
+				return nil, fmt.Errorf("loadgen: create %s: %w", targets[w][i], err)
+			}
+		}
+	}
+
+	var (
+		tickets  atomic.Int64 // global op ticket counter
+		errCount atomic.Int64
+		wg       sync.WaitGroup
+	)
+	var deadline time.Time
+	start := time.Now()
+	if cfg.TotalOps <= 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			dir := dirs[w]
+			var created, removed int64
+			for {
+				i := tickets.Add(1) - 1
+				if cfg.TotalOps > 0 && i >= cfg.TotalOps {
+					tickets.Add(-1) // unclaimed ticket
+					return
+				}
+				if cfg.TotalOps <= 0 && time.Now().After(deadline) {
+					tickets.Add(-1)
+					return
+				}
+				var err error
+				// i*37 mod 100 walks all residues (37 ⊥ 100), spreading
+				// each op class evenly instead of in 20-ticket bursts.
+				switch pick := int(i * 37 % 100); {
+				case pick < cfg.WritePct: // mutation; removes bound the dir
+					if created-removed >= 16 {
+						err = c.Remove(fmt.Sprintf("%s/t%08d", dir, removed))
+						removed++
+					} else {
+						_, err = c.Create(fmt.Sprintf("%s/t%08d", dir, created))
+						created++
+					}
+				case pick < cfg.WritePct+20 && cfg.WritePct < 100:
+					_, err = c.Readdir(dir)
+				default:
+					_, err = c.Stat(targets[w][rnd.Intn(len(targets[w]))])
+				}
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return &Result{
+		Ops:     tickets.Load(),
+		Errors:  errCount.Load(),
+		Elapsed: time.Since(start),
+		Workers: cfg.Workers,
+	}, nil
+}

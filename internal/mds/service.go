@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"origami/internal/kvstore"
 	"origami/internal/namespace"
 	"origami/internal/rpc"
 	"origami/internal/telemetry"
@@ -23,18 +25,31 @@ type Service struct {
 	// hold it shared, a migration holds it exclusively while it
 	// collects, ships, and swaps the subtree for a fake-inode (§4.1's
 	// freeze-copy-switch). Without the freeze, a create landing between
-	// collect and delete would be orphaned on the source.
+	// collect and delete would be orphaned on the source. opMu sits at
+	// the top of the shard's lock hierarchy:
+	//
+	//	opMu → Store stripe(s) → Store.inoMu → kvstore.DB
 	opMu sync.RWMutex
 
+	// mu guards the low-rate control state: the partition map, the
+	// prepared migration, and the abort count. The hot-path Data
+	// Collector counters deliberately do NOT use it — they are the
+	// atomics and shards below, so concurrent requests never contend
+	// on one mutex just to bump statistics.
 	mu         sync.Mutex
 	mapVersion uint64
 	pins       map[namespace.Ino]int
-	dirAcc     map[namespace.Ino]*dirCounters
-	ops        int64
-	rpcs       int64
-	serviceNS  int64
-	now        func() int64
-	peers      func(id int) (*rpc.Client, error) // for migration pushes
+
+	// Data Collector epoch counters (dumped and reset by handleDump).
+	ops       atomic.Int64
+	rpcs      atomic.Int64
+	serviceNS atomic.Int64
+	// dirAcc shards the per-directory access counters by ino so the
+	// get-or-create map step doesn't serialise unrelated directories.
+	dirAcc [dirAccShards]dirAccShard
+
+	now   func() int64
+	peers func(id int) (*rpc.Client, error) // for migration pushes
 
 	// prep is the in-flight two-phase migration, if any. While it is
 	// non-nil the service holds opMu exclusively (the freeze spans
@@ -60,8 +75,21 @@ type preparedMigration struct {
 	timer *time.Timer
 }
 
+// dirAccShards splits the per-directory counter map; 16 shards are
+// plenty given the counters themselves are atomic (the shard mutex is
+// only held for the map lookup).
+const dirAccShards = 16
+
+type dirAccShard struct {
+	mu sync.Mutex
+	m  map[namespace.Ino]*dirCounters
+}
+
+// dirCounters accumulates one directory's epoch counters. Fields are
+// atomic so two requests touching the same directory bump them without
+// holding any lock.
 type dirCounters struct {
-	reads, writes, lookups, serviceNS int64
+	reads, writes, lookups, serviceNS atomic.Int64
 }
 
 // NewService assembles a service around an open store. peers resolves
@@ -69,17 +97,19 @@ type dirCounters struct {
 // nil on clusters that never migrate.
 func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Service {
 	s := &Service{
-		ID:     id,
-		store:  store,
-		pins:   make(map[namespace.Ino]int),
-		dirAcc: make(map[namespace.Ino]*dirCounters),
-		now:    func() int64 { return time.Now().UnixNano() },
-		peers:  peers,
+		ID:    id,
+		store: store,
+		pins:  make(map[namespace.Ino]int),
+		now:   func() int64 { return time.Now().UnixNano() },
+		peers: peers,
 
 		PrepareTimeout: 30 * time.Second,
 
 		reg: telemetry.NewRegistry(),
 		log: telemetry.L("mds").With("mds", id),
+	}
+	for i := range s.dirAcc {
+		s.dirAcc[i].m = make(map[namespace.Ino]*dirCounters)
 	}
 	if id == 0 {
 		// MDS 0 owns the root in the initial state (§4.2).
@@ -158,6 +188,9 @@ func (s *Service) Close() error {
 // Server exposes the underlying RPC server (fault injection, tests).
 func (s *Service) Server() *rpc.Server { return s.srv }
 
+// StoreStats exposes the shard store's counters (benchmarks, admin).
+func (s *Service) StoreStats() kvstore.Stats { return s.store.DBStats() }
+
 // MapVersion returns the partition-map version this MDS currently serves.
 func (s *Service) MapVersion() uint64 {
 	s.mu.Lock()
@@ -177,10 +210,8 @@ func (s *Service) timed(op string, h rpc.Handler) rpc.InfoHandler {
 		out, err := h(body)
 		el := time.Since(start).Nanoseconds()
 		s.opMu.RUnlock()
-		s.mu.Lock()
-		s.rpcs++
-		s.serviceNS += el
-		s.mu.Unlock()
+		s.rpcs.Add(1)
+		s.serviceNS.Add(el)
 		hist.Record(el)
 		if s.log.Enabled(telemetry.LevelDebug) {
 			status := "ok"
@@ -212,36 +243,33 @@ func (s *Service) handleMetrics(body []byte) ([]byte, error) {
 }
 
 func (s *Service) dirAccum(ino namespace.Ino) *dirCounters {
-	c, ok := s.dirAcc[ino]
+	sh := &s.dirAcc[uint64(ino)%dirAccShards]
+	sh.mu.Lock()
+	c, ok := sh.m[ino]
 	if !ok {
 		c = &dirCounters{}
-		s.dirAcc[ino] = c
+		sh.m[ino] = c
 	}
+	sh.mu.Unlock()
 	return c
 }
 
 func (s *Service) recordRead(dir namespace.Ino, ns int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops++
+	s.ops.Add(1)
 	c := s.dirAccum(dir)
-	c.reads++
-	c.serviceNS += ns
+	c.reads.Add(1)
+	c.serviceNS.Add(ns)
 }
 
 func (s *Service) recordWrite(dir namespace.Ino, ns int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops++
+	s.ops.Add(1)
 	c := s.dirAccum(dir)
-	c.writes++
-	c.serviceNS += ns
+	c.writes.Add(1)
+	c.serviceNS.Add(ns)
 }
 
 func (s *Service) recordLookup(dir namespace.Ino) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.dirAccum(dir).lookups++
+	s.dirAccum(dir).lookups.Add(1)
 }
 
 // localDir fetches a directory this shard authoritatively serves. A
@@ -369,18 +397,6 @@ func (s *Service) handleCreate(body []byte) ([]byte, error) {
 	if !s.ownsEntry(parent) {
 		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
 	}
-	pin, found, err := s.store.Getattr(parent)
-	if err != nil {
-		return nil, err
-	}
-	if !found || !pin.IsDir() {
-		return nil, CodedError(CodeNotDir, "ino %d", parent)
-	}
-	if _, exists, err := s.store.Lookup(parent, name); err != nil {
-		return nil, err
-	} else if exists {
-		return nil, CodedError(CodeExist, "%q in dir %d", name, parent)
-	}
 	now := s.now()
 	in := &namespace.Inode{
 		Ino:    s.store.AllocIno(),
@@ -395,7 +411,15 @@ func (s *Service) handleCreate(body []byte) ([]byte, error) {
 		in.Mode = 0o755
 		in.Nlink = 2
 	}
-	if err := s.store.Put(in); err != nil {
+	// CreateEntry redoes the parent-liveness and exists checks under the
+	// parent's stripe: with concurrent dispatch, two creates of the same
+	// name would otherwise both pass a bare Lookup check and both Put.
+	switch err := s.store.CreateEntry(in); {
+	case errors.Is(err, ErrNotDir):
+		return nil, CodedError(CodeNotDir, "ino %d", parent)
+	case errors.Is(err, ErrExist):
+		return nil, CodedError(CodeExist, "%q in dir %d", name, parent)
+	case err != nil:
 		return nil, err
 	}
 	s.recordWrite(parent, time.Since(start).Nanoseconds())
@@ -413,23 +437,15 @@ func (s *Service) handleRemove(body []byte) ([]byte, error) {
 	if !s.ownsEntry(parent) {
 		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
 	}
-	in, found, err := s.store.Lookup(parent, name)
-	if err != nil {
-		return nil, err
-	}
-	if !found {
+	// RemoveEntry holds the parent's stripe (and, for a directory, the
+	// victim's stripe) across the emptiness check and the delete, so a
+	// concurrent create cannot slip a child under a dir being removed.
+	switch _, err := s.store.RemoveEntry(parent, name); {
+	case errors.Is(err, ErrNoEnt):
 		return nil, CodedError(CodeNoEnt, "%q in dir %d", name, parent)
-	}
-	if in.IsDir() {
-		children, err := s.store.ReadDir(in.Ino)
-		if err != nil {
-			return nil, err
-		}
-		if len(children) > 0 {
-			return nil, CodedError(CodeNotEmpty, "dir %d has %d entries", in.Ino, len(children))
-		}
-	}
-	if err := s.store.Delete(parent, name); err != nil {
+	case errors.Is(err, ErrNotEmpty):
+		return nil, CodedError(CodeNotEmpty, "dir %q in %d not empty", name, parent)
+	case err != nil:
 		return nil, err
 	}
 	s.recordWrite(parent, time.Since(start).Nanoseconds())
@@ -454,33 +470,15 @@ func (s *Service) handleRename(body []byte) ([]byte, error) {
 		// Insert+Remove; the single-shard fast path requires locality.
 		return nil, CodedError(CodeNotOwner, "dst dir %d not on MDS %d", dstParent, s.ID)
 	}
-	in, found, err := s.store.Lookup(srcParent, srcName)
-	if err != nil {
-		return nil, err
-	}
-	if !found {
+	// RenameEntry holds both parents' stripes (and a replaced directory's
+	// stripe) for the whole delete-dst / delete-src / put-moved sequence.
+	in, err := s.store.RenameEntry(srcParent, srcName, dstParent, dstName, s.now())
+	switch {
+	case errors.Is(err, ErrNoEnt):
 		return nil, CodedError(CodeNoEnt, "%q in dir %d", srcName, srcParent)
-	}
-	if existing, exists, err := s.store.Lookup(dstParent, dstName); err != nil {
-		return nil, err
-	} else if exists {
-		if existing.IsDir() {
-			children, _ := s.store.ReadDir(existing.Ino)
-			if len(children) > 0 {
-				return nil, CodedError(CodeNotEmpty, "dir %d", existing.Ino)
-			}
-		}
-		if err := s.store.Delete(dstParent, dstName); err != nil {
-			return nil, err
-		}
-	}
-	if err := s.store.Delete(srcParent, srcName); err != nil {
-		return nil, err
-	}
-	in.Parent = dstParent
-	in.Name = dstName
-	in.Ctime = s.now()
-	if err := s.store.Put(in); err != nil {
+	case errors.Is(err, ErrNotEmpty):
+		return nil, CodedError(CodeNotEmpty, "dir %q in %d not empty", dstName, dstParent)
+	case err != nil:
 		return nil, err
 	}
 	s.recordWrite(srcParent, time.Since(start).Nanoseconds())
@@ -514,17 +512,19 @@ func (s *Service) handleSetattr(body []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, CodedError(CodeInvalid, "%v", err)
 	}
-	in, found, err := s.store.Getattr(ino)
-	if err != nil {
-		return nil, err
-	}
-	if !found {
+	// UpdateAttr re-verifies the ino → (parent, name) binding under the
+	// parent's stripe: a bare Getattr+Put racing a rename would write
+	// the old dirent back, duplicating the inode under two names.
+	now := s.now()
+	in, err := s.store.UpdateAttr(ino, func(in *namespace.Inode) {
+		in.Size = size
+		in.Mode = mode
+		in.Ctime = now
+	})
+	if errors.Is(err, ErrNoEnt) {
 		return nil, CodedError(CodeNotOwner, "ino %d not on MDS %d", ino, s.ID)
 	}
-	in.Size = size
-	in.Mode = mode
-	in.Ctime = s.now()
-	if err := s.store.Put(in); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	s.recordWrite(in.Parent, time.Since(start).Nanoseconds())
@@ -532,14 +532,12 @@ func (s *Service) handleSetattr(body []byte) ([]byte, error) {
 }
 
 func (s *Service) handleStats(body []byte) ([]byte, error) {
-	s.mu.Lock()
 	st := StatsSnapshot{
-		Ops:       s.ops,
-		RPCs:      s.rpcs,
-		ServiceNS: s.serviceNS,
+		Ops:       s.ops.Load(),
+		RPCs:      s.rpcs.Load(),
+		ServiceNS: s.serviceNS.Load(),
 		Inodes:    int64(s.store.Count()),
 	}
-	s.mu.Unlock()
 	s.reg.Gauge("mds.store.inodes").Set(float64(st.Inodes))
 	return EncodeDump(st, nil), nil
 }
@@ -548,17 +546,26 @@ func (s *Service) handleStats(body []byte) ([]byte, error) {
 // counters (the collector's Reset happens at dump time, like the
 // simulator's).
 func (s *Service) handleDump(body []byte) ([]byte, error) {
-	s.mu.Lock()
-	acc := s.dirAcc
-	s.dirAcc = make(map[namespace.Ino]*dirCounters)
+	// Swap each shard's map out and zero the scalar counters. Requests
+	// racing the dump land their increments in either the old epoch or
+	// the new one — never lost, at worst attributed one epoch late.
+	acc := make(map[namespace.Ino]*dirCounters)
+	for i := range s.dirAcc {
+		sh := &s.dirAcc[i]
+		sh.mu.Lock()
+		m := sh.m
+		sh.m = make(map[namespace.Ino]*dirCounters)
+		sh.mu.Unlock()
+		for ino, c := range m {
+			acc[ino] = c
+		}
+	}
 	st := StatsSnapshot{
-		Ops:       s.ops,
-		RPCs:      s.rpcs,
-		ServiceNS: s.serviceNS,
+		Ops:       s.ops.Swap(0),
+		RPCs:      s.rpcs.Swap(0),
+		ServiceNS: s.serviceNS.Swap(0),
 		Inodes:    int64(s.store.Count()),
 	}
-	s.ops, s.rpcs, s.serviceNS = 0, 0, 0
-	s.mu.Unlock()
 	s.reg.Gauge("mds.store.inodes").Set(float64(st.Inodes))
 
 	// Every directory on the shard appears in the dump (idle ones with
@@ -578,10 +585,10 @@ func (s *Service) handleDump(body []byte) ([]byte, error) {
 		row := DumpRow{
 			Ino:       ino,
 			Parent:    in.Parent,
-			Reads:     c.reads,
-			Writes:    c.writes,
-			Lookups:   c.lookups,
-			ServiceNS: c.serviceNS,
+			Reads:     c.reads.Load(),
+			Writes:    c.writes.Load(),
+			Lookups:   c.lookups.Load(),
+			ServiceNS: c.serviceNS.Load(),
 		}
 		children, err := s.store.ReadDir(ino)
 		if err == nil {

@@ -4,27 +4,85 @@
 // Migrator endpoints. Requests for metadata this shard does not hold are
 // answered with a not-owner redirect, the networked analogue of the
 // simulator's fake-inode forwarding.
+//
+// Concurrency: the request path is lock-striped. Every entry operation
+// takes the stripe of its parent directory (shared for reads, exclusive
+// for mutations), so operations on different directories proceed in
+// parallel while same-directory check-then-act sequences (create's
+// exists check, remove's emptiness check) stay atomic. Compound ops
+// that span directories (RemoveEntry on a directory, RenameEntry)
+// acquire their stripes in index order, which keeps them deadlock-free.
+// The lock hierarchy, top to bottom, is:
+//
+//	Service.opMu (migration freeze) → Store stripe(s) → Store.inoMu → kvstore.DB
+//
+// A lock is only ever taken below one already held, never above.
 package mds
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"origami/internal/kvstore"
 	"origami/internal/namespace"
 )
 
+// Sentinel errors of the compound store operations. The Service maps
+// them onto wire error codes.
+var (
+	// ErrExist reports a create of a name that is already present.
+	ErrExist = errors.New("mds: entry exists")
+	// ErrNoEnt reports an operation on a missing entry.
+	ErrNoEnt = errors.New("mds: no such entry")
+	// ErrNotEmpty reports a remove (or rename-over) of a non-empty
+	// directory.
+	ErrNotEmpty = errors.New("mds: directory not empty")
+	// ErrNotDir reports a create under a parent that is not a live
+	// directory on this shard.
+	ErrNotDir = errors.New("mds: parent not a directory on this shard")
+)
+
+// storeStripes is the number of per-directory lock stripes. Power of
+// two so the stripe index is a mask; 64 stripes keep the collision
+// probability negligible at the paper's 50-client concurrency.
+const storeStripes = 64
+
 // Store is the durable inode shard of one MDS: inodes keyed by
 // (parent, name) in the local fragmented-LSM store, with an in-memory
 // inode-number index for attribute lookups.
 type Store struct {
-	mu    sync.Mutex
-	db    *kvstore.DB
+	db *kvstore.DB
+
+	// stripes serialise same-directory operations: an op locks the
+	// stripe of the parent whose entries it touches (shared for reads).
+	stripes [storeStripes]sync.RWMutex
+
+	// inoMu guards the ino → (parent, name) index. It nests strictly
+	// below the stripes and is never held across a db call that blocks.
+	inoMu sync.RWMutex
 	byIno map[namespace.Ino]inoRef
+
 	// nextIno allocates inode numbers from this MDS's private range.
-	nextIno uint64
-	idBase  uint64
+	// inoWatermark is the durably persisted upper bound: every ino
+	// below it is covered by a metaNextInoKey record already in the
+	// WAL, so allocation is a lock-free atomic add in the common case
+	// and only extends (and persists) the watermark once per
+	// inoChunk allocations. Restart resumes from the watermark,
+	// wasting at most inoChunk-1 numbers — inos are never reused.
+	nextIno      atomic.Uint64
+	inoWatermark atomic.Uint64
+	// inoSaveMu serialises watermark extension so the stored value
+	// only moves forward.
+	inoSaveMu sync.Mutex
+	idBase    uint64
 }
+
+// inoChunk is the allocation watermark stride: one durable watermark
+// write covers this many subsequent AllocIno calls.
+const inoChunk = 64
 
 type inoRef struct {
 	parent namespace.Ino
@@ -55,7 +113,7 @@ func OpenStore(dir string, mdsID int, opts kvstore.Options) (*Store, error) {
 		byIno:  make(map[namespace.Ino]inoRef),
 		idBase: uint64(mdsID) << inoRangeBits,
 	}
-	s.nextIno = s.idBase + 2 // skip 0 (invalid) and 1 (root)
+	s.nextIno.Store(s.idBase + 2) // skip 0 (invalid) and 1 (root)
 	// Rebuild the ino index and the allocation watermark.
 	err = db.Scan(nil, nil, func(k, v []byte) bool {
 		if len(k) > 0 && k[0] == 0xff { // metadata keys
@@ -70,8 +128,8 @@ func OpenStore(dir string, mdsID int, opts kvstore.Options) (*Store, error) {
 			return true
 		}
 		s.byIno[in.Ino] = inoRef{parent: parent, name: name, isDir: in.IsDir()}
-		if u := uint64(in.Ino); u >= s.idBase && u >= s.nextIno {
-			s.nextIno = u + 1
+		if u := uint64(in.Ino); u >= s.idBase && u >= s.nextIno.Load() {
+			s.nextIno.Store(u + 1)
 		}
 		return true
 	})
@@ -84,55 +142,111 @@ func OpenStore(dir string, mdsID int, opts kvstore.Options) (*Store, error) {
 		for _, b := range v {
 			u = u<<8 | uint64(b)
 		}
-		if u > s.nextIno {
-			s.nextIno = u
+		if u > s.nextIno.Load() {
+			s.nextIno.Store(u)
 		}
 	}
+	// Nothing above nextIno is covered yet; the first AllocIno after a
+	// restart extends (and persists) the watermark again.
+	s.inoWatermark.Store(s.nextIno.Load())
 	return s, nil
 }
 
-// Close flushes and closes the shard.
+// stripe returns the lock stripe covering entries under parent.
+func (s *Store) stripe(parent namespace.Ino) *sync.RWMutex {
+	return &s.stripes[uint64(parent)&(storeStripes-1)]
+}
+
+// lockStripes write-locks the stripes of the given directories in index
+// order (deduplicated) and returns the matching unlock function.
+// Ordered acquisition keeps multi-directory ops deadlock-free against
+// each other and against single-stripe ops.
+func (s *Store) lockStripes(dirs ...namespace.Ino) func() {
+	idx := make([]int, 0, len(dirs))
+	for _, d := range dirs {
+		idx = append(idx, int(uint64(d)&(storeStripes-1)))
+	}
+	sort.Ints(idx)
+	locked := idx[:0]
+	for i, x := range idx {
+		if i > 0 && x == idx[i-1] {
+			continue
+		}
+		s.stripes[x].Lock()
+		locked = append(locked, x)
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			s.stripes[locked[i]].Unlock()
+		}
+	}
+}
+
+// Close flushes and closes the shard. The caller must have quiesced
+// request traffic (the Service closes its RPC server first).
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.db.Close()
 }
 
-// AllocIno returns a fresh inode number from this MDS's range.
-func (s *Store) AllocIno() namespace.Ino {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ino := namespace.Ino(s.nextIno)
-	s.nextIno++
-	var buf [8]byte
-	u := s.nextIno
-	for i := 7; i >= 0; i-- {
-		buf[i] = byte(u)
-		u >>= 8
-	}
-	_ = s.db.Put(metaNextInoKey, buf[:])
-	return ino
+// DBStats exposes the underlying store's counters (WAL sync batching,
+// flush/compaction activity) for benchmarks and the admin surface.
+func (s *Store) DBStats() kvstore.Stats {
+	return s.db.Stats()
 }
 
-// Put installs (or replaces) an inode record.
+// AllocIno returns a fresh inode number from this MDS's range. The
+// common case is one atomic add with no lock and no I/O: the durable
+// watermark record already covers the number. Once per inoChunk
+// allocations one caller extends the watermark with a single db.Put;
+// because the WAL is ordered, the watermark record always precedes any
+// create record using a covered ino, so a crash can never replay an
+// inode whose number could be handed out again.
+func (s *Store) AllocIno() namespace.Ino {
+	ino := s.nextIno.Add(1) - 1
+	for s.inoWatermark.Load() <= ino {
+		s.inoSaveMu.Lock()
+		if wm := s.inoWatermark.Load(); wm <= ino {
+			next := ino + inoChunk
+			var buf [8]byte
+			u := next
+			for i := 7; i >= 0; i-- {
+				buf[i] = byte(u)
+				u >>= 8
+			}
+			if err := s.db.Put(metaNextInoKey, buf[:]); err == nil {
+				s.inoWatermark.Store(next)
+			}
+		}
+		s.inoSaveMu.Unlock()
+	}
+	return namespace.Ino(ino)
+}
+
+// Put installs (or replaces) an inode record unconditionally. Migration
+// ingest and cross-shard inserts use it; the create path goes through
+// CreateEntry for its atomic exists check.
 func (s *Store) Put(in *namespace.Inode) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.stripe(in.Parent)
+	mu.Lock()
+	defer mu.Unlock()
 	return s.putLocked(in)
 }
 
+// putLocked writes the record and updates the ino index. Caller holds
+// the parent's stripe exclusively.
 func (s *Store) putLocked(in *namespace.Inode) error {
 	if err := s.db.Put(namespace.EncodeKey(in.Parent, in.Name), namespace.EncodeInode(in)); err != nil {
 		return err
 	}
+	s.inoMu.Lock()
 	s.byIno[in.Ino] = inoRef{parent: in.Parent, name: in.Name, isDir: in.IsDir()}
+	s.inoMu.Unlock()
 	return nil
 }
 
-// Lookup fetches the entry name under parent.
-func (s *Store) Lookup(parent namespace.Ino, name string) (*namespace.Inode, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// getLocked fetches (parent, name); caller holds the parent's stripe
+// (shared or exclusive).
+func (s *Store) getLocked(parent namespace.Ino, name string) (*namespace.Inode, bool, error) {
 	v, found, err := s.db.Get(namespace.EncodeKey(parent, name))
 	if err != nil || !found {
 		return nil, false, err
@@ -144,37 +258,265 @@ func (s *Store) Lookup(parent namespace.Ino, name string) (*namespace.Inode, boo
 	return in, true, nil
 }
 
-// Getattr fetches an inode by number.
-func (s *Store) Getattr(ino namespace.Ino) (*namespace.Inode, bool, error) {
-	s.mu.Lock()
-	ref, ok := s.byIno[ino]
-	s.mu.Unlock()
-	if !ok {
-		return nil, false, nil
-	}
-	return s.Lookup(ref.parent, ref.name)
-}
-
-// Delete removes the entry name under parent.
-func (s *Store) Delete(parent namespace.Ino, name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// deleteLocked removes (parent, name) and deindexes it; caller holds
+// the parent's stripe exclusively.
+func (s *Store) deleteLocked(parent namespace.Ino, name string) error {
 	v, found, err := s.db.Get(namespace.EncodeKey(parent, name))
 	if err != nil {
 		return err
 	}
 	if found {
 		if in, derr := namespace.DecodeInode(v); derr == nil {
+			s.inoMu.Lock()
 			delete(s.byIno, in.Ino)
+			s.inoMu.Unlock()
 		}
 	}
 	return s.db.Delete(namespace.EncodeKey(parent, name))
 }
 
+// hasChildLocked reports whether dir has at least one entry; caller
+// holds dir's stripe (blocking concurrent creates under it).
+func (s *Store) hasChildLocked(dir namespace.Ino) (bool, error) {
+	lo, hi := namespace.DirKeyRange(dir)
+	any := false
+	err := s.db.Scan(lo, hi, func(k, v []byte) bool {
+		any = true
+		return false
+	})
+	return any, err
+}
+
+// CreateEntry atomically installs a brand-new entry: the parent must be
+// a live directory on this shard and (parent, name) must be absent.
+// Returns ErrNotDir or ErrExist otherwise. This is the only safe create
+// path under concurrent dispatch — a bare exists-check + Put would let
+// two racing creates of the same name both succeed.
+func (s *Store) CreateEntry(in *namespace.Inode) error {
+	mu := s.stripe(in.Parent)
+	mu.Lock()
+	defer mu.Unlock()
+	s.inoMu.RLock()
+	pref, ok := s.byIno[in.Parent]
+	s.inoMu.RUnlock()
+	if !ok || !pref.isDir {
+		return ErrNotDir
+	}
+	if _, found, err := s.getLocked(in.Parent, in.Name); err != nil {
+		return err
+	} else if found {
+		return ErrExist
+	}
+	return s.putLocked(in)
+}
+
+// RemoveEntry atomically deletes (parent, name), enforcing that a
+// directory victim is empty. It locks the parent's stripe and — for a
+// directory — the victim's own stripe, so no create can slip a child
+// under the directory between the emptiness check and the delete.
+// Returns the removed inode.
+func (s *Store) RemoveEntry(parent namespace.Ino, name string) (*namespace.Inode, error) {
+	for {
+		mu := s.stripe(parent)
+		mu.RLock()
+		in, found, err := s.getLocked(parent, name)
+		mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, ErrNoEnt
+		}
+		locks := []namespace.Ino{parent}
+		if in.IsDir() {
+			locks = append(locks, in.Ino)
+		}
+		unlock := s.lockStripes(locks...)
+		// Re-verify under the write locks: the entry may have been
+		// removed or replaced while we upgraded.
+		cur, found, err := s.getLocked(parent, name)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		if !found {
+			unlock()
+			return nil, ErrNoEnt
+		}
+		if cur.Ino != in.Ino || cur.IsDir() != in.IsDir() {
+			unlock()
+			continue // entry changed shape; retry with fresh locks
+		}
+		if cur.IsDir() {
+			any, err := s.hasChildLocked(cur.Ino)
+			if err != nil {
+				unlock()
+				return nil, err
+			}
+			if any {
+				unlock()
+				return nil, ErrNotEmpty
+			}
+		}
+		err = s.deleteLocked(parent, name)
+		unlock()
+		if err != nil {
+			return nil, err
+		}
+		return cur, nil
+	}
+}
+
+// RenameEntry atomically moves (srcParent, srcName) to (dstParent,
+// dstName) on this shard, replacing an existing destination if it is a
+// file or an empty directory. ctime stamps the moved inode. Both parent
+// stripes (and, when replacing a directory, its stripe) are held for
+// the whole move.
+func (s *Store) RenameEntry(srcParent namespace.Ino, srcName string, dstParent namespace.Ino, dstName string, ctime int64) (*namespace.Inode, error) {
+	for {
+		// Peek at the destination to learn whether its stripe is needed
+		// for an emptiness check.
+		dmu := s.stripe(dstParent)
+		dmu.RLock()
+		dst, dstFound, err := s.getLocked(dstParent, dstName)
+		dmu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		locks := []namespace.Ino{srcParent, dstParent}
+		if dstFound && dst.IsDir() {
+			locks = append(locks, dst.Ino)
+		}
+		unlock := s.lockStripes(locks...)
+		in, found, err := s.getLocked(srcParent, srcName)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		if !found {
+			unlock()
+			return nil, ErrNoEnt
+		}
+		cur, curFound, err := s.getLocked(dstParent, dstName)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		if curFound != dstFound || (curFound && (cur.Ino != dst.Ino || cur.IsDir() != dst.IsDir())) {
+			unlock()
+			continue // destination changed while locking; retry
+		}
+		if curFound {
+			if cur.IsDir() {
+				any, err := s.hasChildLocked(cur.Ino)
+				if err != nil {
+					unlock()
+					return nil, err
+				}
+				if any {
+					unlock()
+					return nil, ErrNotEmpty
+				}
+			}
+			if err := s.deleteLocked(dstParent, dstName); err != nil {
+				unlock()
+				return nil, err
+			}
+		}
+		if err := s.deleteLocked(srcParent, srcName); err != nil {
+			unlock()
+			return nil, err
+		}
+		moved := *in
+		moved.Parent = dstParent
+		moved.Name = dstName
+		moved.Ctime = ctime
+		err = s.putLocked(&moved)
+		unlock()
+		if err != nil {
+			return nil, err
+		}
+		return &moved, nil
+	}
+}
+
+// UpdateAttr atomically applies mutate to the inode numbered ino under
+// its parent's stripe, re-verifying that the ino → (parent, name)
+// binding did not move (a concurrent rename) between the index read and
+// the lock. mutate must not change Ino, Parent, or Name.
+func (s *Store) UpdateAttr(ino namespace.Ino, mutate func(in *namespace.Inode)) (*namespace.Inode, error) {
+	for {
+		s.inoMu.RLock()
+		ref, ok := s.byIno[ino]
+		s.inoMu.RUnlock()
+		if !ok {
+			return nil, ErrNoEnt
+		}
+		mu := s.stripe(ref.parent)
+		mu.Lock()
+		s.inoMu.RLock()
+		cur, ok := s.byIno[ino]
+		s.inoMu.RUnlock()
+		if !ok {
+			mu.Unlock()
+			return nil, ErrNoEnt
+		}
+		if cur != ref {
+			mu.Unlock()
+			continue // moved while locking; retry against the new home
+		}
+		in, found, err := s.getLocked(ref.parent, ref.name)
+		if err != nil {
+			mu.Unlock()
+			return nil, err
+		}
+		if !found || in.Ino != ino {
+			mu.Unlock()
+			return nil, ErrNoEnt
+		}
+		mutate(in)
+		err = s.putLocked(in)
+		mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+}
+
+// Lookup fetches the entry name under parent.
+func (s *Store) Lookup(parent namespace.Ino, name string) (*namespace.Inode, bool, error) {
+	mu := s.stripe(parent)
+	mu.RLock()
+	defer mu.RUnlock()
+	return s.getLocked(parent, name)
+}
+
+// Getattr fetches an inode by number.
+func (s *Store) Getattr(ino namespace.Ino) (*namespace.Inode, bool, error) {
+	s.inoMu.RLock()
+	ref, ok := s.byIno[ino]
+	s.inoMu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	return s.Lookup(ref.parent, ref.name)
+}
+
+// Delete removes the entry name under parent with no emptiness check
+// (migration rollback/removal path; RemoveEntry is the request path).
+func (s *Store) Delete(parent namespace.Ino, name string) error {
+	mu := s.stripe(parent)
+	mu.Lock()
+	defer mu.Unlock()
+	return s.deleteLocked(parent, name)
+}
+
 // ReadDir lists the direct children of a directory held on this shard.
 func (s *Store) ReadDir(parent namespace.Ino) ([]*namespace.Inode, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.stripe(parent)
+	mu.RLock()
+	defer mu.RUnlock()
 	lo, hi := namespace.DirKeyRange(parent)
 	var out []*namespace.Inode
 	err := s.db.Scan(lo, hi, func(k, v []byte) bool {
@@ -188,23 +530,23 @@ func (s *Store) ReadDir(parent namespace.Ino) ([]*namespace.Inode, error) {
 
 // HasIno reports whether this shard holds the inode.
 func (s *Store) HasIno(ino namespace.Ino) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.inoMu.RLock()
+	defer s.inoMu.RUnlock()
 	_, ok := s.byIno[ino]
 	return ok
 }
 
 // Count returns the number of inodes held.
 func (s *Store) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.inoMu.RLock()
+	defer s.inoMu.RUnlock()
 	return len(s.byIno)
 }
 
 // DirInos returns every directory inode number held on this shard.
 func (s *Store) DirInos() []namespace.Ino {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.inoMu.RLock()
+	defer s.inoMu.RUnlock()
 	var out []namespace.Ino
 	for ino, ref := range s.byIno {
 		if ref.isDir {
@@ -216,7 +558,8 @@ func (s *Store) DirInos() []namespace.Ino {
 
 // CollectSubtree gathers every inode in the subtree rooted at root that
 // this shard holds, in breadth-first order — the migration source's copy
-// set.
+// set. Callers run under the Service's exclusive migration freeze, so
+// the walk sees a quiesced shard.
 func (s *Store) CollectSubtree(root namespace.Ino) ([]*namespace.Inode, error) {
 	rootIn, ok, err := s.Getattr(root)
 	if err != nil {
@@ -257,18 +600,15 @@ func (s *Store) RemoveSubtree(inos []*namespace.Inode) error {
 }
 
 // SavePinMap durably records the serialised partition map (MDS 0 is the
-// map authority and must survive restarts with it).
+// map authority and must survive restarts with it). The metadata key
+// lives outside every directory's key range, so no stripe is involved.
 func (s *Store) SavePinMap(data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.db.Put(metaPinMapKey, data)
 }
 
 // LoadPinMap returns the serialised partition map, or nil if none was
 // saved.
 func (s *Store) LoadPinMap() ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	v, found, err := s.db.Get(metaPinMapKey)
 	if err != nil || !found {
 		return nil, err

@@ -1,6 +1,8 @@
 // Package rpc is the wire layer of the networked OrigamiFS: length-
 // prefixed binary frames over TCP, with request multiplexing on the
-// client side and one goroutine per connection on the server side.
+// client side and concurrent request dispatch on the server side: one
+// goroutine reads frames per connection and hands each request to its
+// own handler goroutine, bounded by a per-server worker limit.
 //
 // Frame layout:
 //
@@ -54,6 +56,12 @@ const (
 
 	// MaxFrame bounds a single frame (16 MiB).
 	MaxFrame = 16 << 20
+
+	// DefaultConcurrency is the default per-server bound on in-flight
+	// handler goroutines. It is sized well above the paper's 50 client
+	// threads so a migration freeze (handlers parked on the MDS opMu)
+	// cannot starve the commit RPC of a worker slot.
+	DefaultConcurrency = 256
 )
 
 // RemoteError is a server-side failure transported back to the caller.
@@ -142,7 +150,11 @@ type serverTelem struct {
 	namer func(Method) string
 }
 
-// Server dispatches incoming requests to registered handlers.
+// Server dispatches incoming requests to registered handlers. Each
+// parsed request runs in its own goroutine (bounded by the worker
+// limit); frame writes on a connection are serialised by a per-
+// connection write mutex. SetSerialDispatch restores the historical
+// one-request-at-a-time mode for deterministic tests.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[Method]InfoHandler
@@ -153,16 +165,45 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	injector atomic.Value // injectorBox
 	telem    atomic.Value // serverTelem
+
+	// serial switches request dispatch back to inline execution in the
+	// connection's read loop (per-connection FIFO ordering).
+	serial atomic.Bool
+	// sem bounds in-flight handler goroutines across all connections.
+	sem chan struct{}
+	// BadFrames counts frames dropped because their kind was not a
+	// request (also exported as rpc.server.bad_frames).
+	BadFrames atomic.Int64
 }
 
 type injectorBox struct{ fi FaultInjector }
 
-// NewServer creates an empty server.
+// NewServer creates an empty server with the default worker limit.
 func NewServer() *Server {
 	return &Server{
 		handlers: make(map[Method]InfoHandler),
 		conns:    make(map[net.Conn]struct{}),
+		sem:      make(chan struct{}, DefaultConcurrency),
 	}
+}
+
+// SetConcurrency bounds the number of in-flight handler goroutines
+// across all connections. It must be called before Listen.
+func (s *Server) SetConcurrency(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.sem = make(chan struct{}, n)
+}
+
+// SetSerialDispatch switches between concurrent (false, the default)
+// and inline serial (true) request dispatch. Serial mode processes one
+// request at a time per connection in arrival order — the deterministic
+// mode tests and the dispatch-ablation benchmark use. Safe to call
+// while serving; in-flight requests finish under the mode they started
+// with.
+func (s *Server) SetSerialDispatch(serial bool) {
+	s.serial.Store(serial)
 }
 
 // Handle registers a handler; it must be called before Serve.
@@ -253,89 +294,135 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
-	var wmu sync.Mutex
+	wmu := &sync.Mutex{}
 	for {
 		reqID, kind, method, trace, body, err := readFrame(r)
 		if err != nil {
 			return
 		}
 		if kind != kindRequest {
+			// A response-kind frame arriving at a server is a framing
+			// bug on the peer, not a transient condition — count and
+			// log it instead of silently skipping.
+			s.BadFrames.Add(1)
+			if tl := s.telemetry(); tl.reg != nil {
+				tl.reg.Counter("rpc.server.bad_frames").Inc()
+			}
+			serverLog().Warn("dropping non-request frame",
+				"kind", kind, "method", uint16(method), "req", reqID)
 			continue
 		}
-		tl := s.telemetry()
-		var injectedErr error
-		if fi := s.faultInjector(); fi != nil {
-			f := fi.Intercept(PointServerRecv, method)
-			if f.Action != FaultNone && tl.reg != nil {
-				tl.reg.Counter("rpc.server.faults_injected").Inc()
-			}
-			switch f.Action {
-			case FaultDrop:
-				continue // request vanishes; the caller times out
-			case FaultDelay:
-				time.Sleep(f.Delay)
-			case FaultError:
-				injectedErr = f.Err
-				if injectedErr == nil {
-					injectedErr = ErrInjected
-				}
-			case FaultDisconnect:
+		if s.serial.Load() {
+			// Serial mode: handlers run inline, so ordering per
+			// connection mirrors a strict FIFO dispatch queue.
+			if !s.handleRequest(conn, w, wmu, reqID, method, trace, body) {
 				return
 			}
+			continue
 		}
-		s.mu.RLock()
-		h := s.handlers[method]
-		s.mu.RUnlock()
-		// Handlers run inline: metadata ops are short and ordering per
-		// connection mirrors a real MDS dispatch queue.
-		var resp []byte
-		isErr := true
-		start := time.Now()
-		if injectedErr != nil {
-			resp = errorBody(injectedErr.Error())
-		} else if h == nil {
-			resp = errorBody(fmt.Sprintf("unknown method %d", method))
-		} else if out, err := safeCall(h, CallInfo{Method: method, TraceID: trace}, body); err != nil {
-			resp = errorBody(err.Error())
-		} else {
-			resp = append([]byte{0}, out...)
-			isErr = false
-		}
-		if tl.reg != nil {
-			name := methodLabel(tl.namer, method)
-			tl.reg.Counter("rpc.server." + name + ".requests").Inc()
-			tl.reg.Histogram("rpc.server." + name + ".latency_ns").Record(time.Since(start).Nanoseconds())
-			if isErr {
-				tl.reg.Counter("rpc.server." + name + ".errors").Inc()
+		// Concurrent mode: each request gets its own goroutine so slow
+		// handlers (or injected delays) stall only themselves. The
+		// semaphore bounds in-flight work across all connections;
+		// acquiring it here applies backpressure to the read loop.
+		s.sem <- struct{}{}
+		s.wg.Add(1)
+		go func(reqID uint64, method Method, trace uint64, body []byte) {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			if !s.handleRequest(conn, w, wmu, reqID, method, trace, body) {
+				// A disconnect fault (or write failure) severs the
+				// connection; the read loop exits on its next read.
+				conn.Close()
 			}
+		}(reqID, method, trace, body)
+	}
+}
+
+// handleRequest runs one request end to end: server-side fault
+// injection, handler dispatch, telemetry, and the response write
+// (serialised on wmu). It reports false when the connection must be
+// severed (disconnect fault or failed write).
+func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, reqID uint64, method Method, trace uint64, body []byte) bool {
+	tl := s.telemetry()
+	var injectedErr error
+	if fi := s.faultInjector(); fi != nil {
+		f := fi.Intercept(PointServerRecv, method)
+		if f.Action != FaultNone && tl.reg != nil {
+			tl.reg.Counter("rpc.server.faults_injected").Inc()
 		}
-		if fi := s.faultInjector(); fi != nil {
-			f := fi.Intercept(PointServerSend, method)
-			if f.Action != FaultNone && tl.reg != nil {
-				tl.reg.Counter("rpc.server.faults_injected").Inc()
+		switch f.Action {
+		case FaultDrop:
+			return true // request vanishes; the caller times out
+		case FaultDelay:
+			time.Sleep(f.Delay) // stalls only this request's goroutine
+		case FaultError:
+			injectedErr = f.Err
+			if injectedErr == nil {
+				injectedErr = ErrInjected
 			}
-			switch f.Action {
-			case FaultDrop:
-				continue // response vanishes
-			case FaultDelay:
-				time.Sleep(f.Delay)
-			case FaultError:
-				errResp := f.Err
-				if errResp == nil {
-					errResp = ErrInjected
-				}
-				resp = errorBody(errResp.Error())
-			case FaultDisconnect:
-				return
-			}
-		}
-		wmu.Lock()
-		err = writeFrame(w, reqID, kindResponse, method, trace, resp)
-		wmu.Unlock()
-		if err != nil {
-			return
+		case FaultDisconnect:
+			return false
 		}
 	}
+	s.mu.RLock()
+	h := s.handlers[method]
+	s.mu.RUnlock()
+	var resp []byte
+	isErr := true
+	start := time.Now()
+	if injectedErr != nil {
+		resp = errorBody(injectedErr.Error())
+	} else if h == nil {
+		resp = errorBody(fmt.Sprintf("unknown method %d", method))
+	} else if out, err := safeCall(h, CallInfo{Method: method, TraceID: trace}, body); err != nil {
+		resp = errorBody(err.Error())
+	} else {
+		resp = append([]byte{0}, out...)
+		isErr = false
+	}
+	if tl.reg != nil {
+		name := methodLabel(tl.namer, method)
+		tl.reg.Counter("rpc.server." + name + ".requests").Inc()
+		tl.reg.Histogram("rpc.server." + name + ".latency_ns").Record(time.Since(start).Nanoseconds())
+		if isErr {
+			tl.reg.Counter("rpc.server." + name + ".errors").Inc()
+		}
+	}
+	if fi := s.faultInjector(); fi != nil {
+		f := fi.Intercept(PointServerSend, method)
+		if f.Action != FaultNone && tl.reg != nil {
+			tl.reg.Counter("rpc.server.faults_injected").Inc()
+		}
+		switch f.Action {
+		case FaultDrop:
+			return true // response vanishes
+		case FaultDelay:
+			time.Sleep(f.Delay)
+		case FaultError:
+			errResp := f.Err
+			if errResp == nil {
+				errResp = ErrInjected
+			}
+			resp = errorBody(errResp.Error())
+		case FaultDisconnect:
+			return false
+		}
+	}
+	wmu.Lock()
+	err := writeFrame(w, reqID, kindResponse, method, trace, resp)
+	wmu.Unlock()
+	return err == nil
+}
+
+// serverLog is the package logger for server-side wire anomalies.
+var serverLogger = struct {
+	once sync.Once
+	l    *telemetry.Logger
+}{}
+
+func serverLog() *telemetry.Logger {
+	serverLogger.once.Do(func() { serverLogger.l = telemetry.L("rpc.server") })
+	return serverLogger.l
 }
 
 func errorBody(msg string) []byte {

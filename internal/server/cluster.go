@@ -32,6 +32,7 @@ type Cluster struct {
 	peerConns []*rpc.Client
 	dir       string
 	timeout   time.Duration
+	kvOpts    kvstore.Options
 }
 
 // StartCluster launches n in-process MDS services storing shards under
@@ -39,6 +40,13 @@ type Cluster struct {
 // coordinator connections carry DefaultCallTimeout deadlines and redial
 // automatically after a drop.
 func StartCluster(n int, baseDir string) (*Cluster, error) {
+	return StartClusterOpts(n, baseDir, kvstore.Options{})
+}
+
+// StartClusterOpts is StartCluster with explicit store options for every
+// shard — e.g. SyncWAL for durable-write benchmarks. Restarted MDSs
+// reopen their shards with the same options.
+func StartClusterOpts(n int, baseDir string, kvOpts kvstore.Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("server: cluster size %d", n)
 	}
@@ -46,6 +54,7 @@ func StartCluster(n int, baseDir string) (*Cluster, error) {
 		dir:       baseDir,
 		peerConns: make([]*rpc.Client, n),
 		timeout:   DefaultCallTimeout,
+		kvOpts:    kvOpts,
 	}
 	for i := 0; i < n; i++ {
 		dir := filepath.Join(baseDir, fmt.Sprintf("mds%d", i))
@@ -53,7 +62,7 @@ func StartCluster(n int, baseDir string) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		store, err := mds.OpenStore(dir, i, kvstore.Options{})
+		store, err := mds.OpenStore(dir, i, kvOpts)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("server: open store %d: %w", i, err)
@@ -141,7 +150,7 @@ func (c *Cluster) RestartMDS(id int) error {
 		return fmt.Errorf("server: MDS %d still running", id)
 	}
 	dir := filepath.Join(c.dir, fmt.Sprintf("mds%d", id))
-	store, err := mds.OpenStore(dir, id, kvstore.Options{})
+	store, err := mds.OpenStore(dir, id, c.kvOpts)
 	if err != nil {
 		return fmt.Errorf("server: reopen store %d: %w", id, err)
 	}
