@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test test-race race bench experiments examples profile clean
+.PHONY: all check build vet fmt-check test test-race race chaos bench experiments examples profile clean
 
 all: check
 
@@ -27,7 +27,13 @@ race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/replication/... ./internal/server/... ./internal/client/...
+
+# The failure-injection suites: primary kills mid-write-storm, failover
+# promotion, replication gap/overflow resyncs — all under the race
+# detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Failover|Resync' ./internal/server/... ./internal/replication/...
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # kvstore micro-benchmarks.

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,13 +36,40 @@ import (
 	"origami/internal/trace"
 )
 
+// tcpBenchPoint is one (dispatch mode, worker count) measurement in the
+// machine-readable BENCH_tcp.json report.
+type tcpBenchPoint struct {
+	Dispatch  string  `json:"dispatch"`
+	Workers   int     `json:"workers"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+}
+
+// tcpBenchReport is the whole BENCH_tcp.json document.
+type tcpBenchReport struct {
+	MDS      int             `json:"mds"`
+	SyncWAL  bool            `json:"syncwal"`
+	WritePct int             `json:"writepct"`
+	Duration string          `json:"duration_per_point"`
+	Points   []tcpBenchPoint `json:"points"`
+}
+
 // runTCPBench starts a fresh loopback cluster per dispatch mode and
 // drives it with the closed-loop load generator at each worker count,
 // printing an ops/sec matrix plus the concurrent-over-serial speedup.
-func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct int) error {
+// Alongside the text report it writes BENCH_tcp.json (jsonOut) with the
+// per-point throughput and exact p50/p95/p99 latencies.
+func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct int, jsonOut string) error {
 	modes := []string{"serial", "concurrent"}
 	if dispatch != "both" {
 		modes = []string{dispatch}
+	}
+	report := tcpBenchReport{
+		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, Duration: dur.String(),
 	}
 	thr := make(map[string]map[int]float64)
 	for _, mode := range modes {
@@ -87,8 +115,14 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 				batch = fmt.Sprintf("%.1f", float64(puts-lastPuts)/float64(d))
 			}
 			lastPuts, lastSyncs = puts, syncs
-			fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %v, wal batch %s)\n",
-				w, res.Throughput(), res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond), batch)
+			fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %v, wal batch %s, p50 %v p95 %v p99 %v)\n",
+				w, res.Throughput(), res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond), batch,
+				res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+			report.Points = append(report.Points, tcpBenchPoint{
+				Dispatch: mode, Workers: w,
+				OpsPerSec: res.Throughput(), Ops: res.Ops, Errors: res.Errors,
+				P50Ns: res.P50.Nanoseconds(), P95Ns: res.P95.Nanoseconds(), P99Ns: res.P99.Nanoseconds(),
+			})
 		}
 		cluster.Close()
 		os.RemoveAll(dir)
@@ -100,6 +134,16 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 				fmt.Printf("  workers=%-3d  %.2fx\n", w, thr["concurrent"][w]/s)
 			}
 		}
+	}
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable report written to %s\n", jsonOut)
 	}
 	return nil
 }
@@ -187,6 +231,7 @@ func main() {
 		dispatch   = flag.String("dispatch", "both", "dispatch modes to benchmark with -tcp: both, serial, or concurrent")
 		syncWAL    = flag.Bool("syncwal", true, "make MDS writes durable before acknowledgement (-tcp; group commit)")
 		writePct   = flag.Int("writepct", 100, "percentage of mutating ops in the -tcp workload (default is an mdtest-style create storm)")
+		jsonOut    = flag.String("json-out", "BENCH_tcp.json", "write the -tcp results as JSON to this file (empty disables)")
 	)
 	flag.Parse()
 	if *tcp {
@@ -207,7 +252,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origami-bench: bad -dispatch %q\n", *dispatch)
 			os.Exit(1)
 		}
-		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct); err != nil {
+		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -10,6 +10,11 @@
 //
 //	origami-mds -cluster 5 -data /tmp/origami -epoch 10s -admin 127.0.0.1:7301
 //
+// Replicated cluster (ring WAL shipping + heartbeat-driven failover; add
+// -repl-sync to ack writes only after the backup applied them):
+//
+//	origami-mds -cluster 3 -repl -heartbeat 1s -data /tmp/origami -admin 127.0.0.1:7301
+//
 // With -admin each MDS serves an HTTP endpoint (consecutive ports in
 // -cluster mode): /metrics returns the telemetry registry as JSON,
 // /healthz the liveness document, and -pprof additionally mounts
@@ -47,6 +52,9 @@ func main() {
 		clusterN  = flag.Int("cluster", 0, "run an n-MDS development cluster in-process")
 		epoch     = flag.Duration("epoch", 10*time.Second, "rebalance epoch for -cluster mode")
 		model     = flag.String("model", "", "trained benefit model (origami-train output) driving the balancer in -cluster mode")
+		repl      = flag.Bool("repl", false, "enable ring replication between the MDSs in -cluster mode (async WAL shipping)")
+		replSync  = flag.Bool("repl-sync", false, "replication acks each write only after the backup applied it (implies -repl)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "health-probe interval of the auto-failover loop when replication is on")
 		adminAddr = flag.String("admin", "", "HTTP admin address serving /metrics and /healthz (consecutive ports per MDS in -cluster mode; empty disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on the admin endpoint (requires -admin)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
@@ -54,8 +62,13 @@ func main() {
 	flag.Parse()
 	telemetry.SetLogLevel(parseLevel(*logLevel))
 	if *clusterN > 0 {
-		runCluster(*clusterN, *dataDir, *epoch, *model, *adminAddr, *pprofOn)
+		runCluster(*clusterN, *dataDir, *epoch, *model, *adminAddr, *pprofOn,
+			*repl || *replSync, *replSync, *heartbeat)
 		return
+	}
+	if *repl || *replSync {
+		fmt.Fprintln(os.Stderr, "origami-mds: -repl/-repl-sync need -cluster (replication is wired by the in-process cluster)")
+		os.Exit(2)
 	}
 	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn)
 }
@@ -90,15 +103,16 @@ func adminAddrFor(base string, i int) string {
 
 // startAdmin brings up one MDS's admin endpoint. extra registries (the
 // coordinator's, on MDS 0 in cluster mode) are merged into the export.
-func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Service, extra map[string]*telemetry.Registry, health func() map[string]interface{}) *telemetry.Admin {
+func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Service, extra map[string]*telemetry.Registry, health, replFn func() map[string]interface{}) *telemetry.Admin {
 	regs := map[string]*telemetry.Registry{"mds": svc.Registry()}
 	for name, reg := range extra {
 		regs[name] = reg
 	}
 	admin, err := telemetry.StartAdmin(addr, telemetry.AdminConfig{
-		Registries: regs,
-		Health:     health,
-		Pprof:      pprofOn,
+		Registries:  regs,
+		Health:      health,
+		Replication: replFn,
+		Pprof:       pprofOn,
 	})
 	if err != nil {
 		log.Error("admin endpoint failed", "addr", addr, "err", err)
@@ -146,7 +160,7 @@ func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
 				"rpc_addr":    bound,
 				"map_version": svc.MapVersion(),
 			}
-		})
+		}, nil)
 		defer admin.Close()
 	}
 	log.Info("serving", "addr", bound, "data", dataDir)
@@ -156,7 +170,7 @@ func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
 	}
 }
 
-func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr string, pprofOn bool) {
+func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr string, pprofOn, replOn, replSync bool, heartbeat time.Duration) {
 	log := telemetry.L("origami-mds")
 	cl, err := server.StartCluster(n, dataDir)
 	if err != nil {
@@ -165,6 +179,15 @@ func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr
 	}
 	defer cl.Close()
 	co := server.NewCoordinator(cl)
+	if replOn {
+		if err := cl.EnableReplication(replSync, nil); err != nil {
+			log.Error("enable replication failed", "err", err)
+			os.Exit(1)
+		}
+		stopFailover := co.StartAutoFailover(heartbeat)
+		defer stopFailover()
+		log.Info("replication on", "sync", replSync, "heartbeat", heartbeat)
+	}
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
 		if err != nil {
@@ -184,18 +207,25 @@ func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr
 		for i, svc := range cl.Services {
 			// MDS 0's endpoint carries the coordinator registry too: one
 			// curl shows epoch outcomes and per-shard health gauges.
-			var extra map[string]*telemetry.Registry
+			extra := map[string]*telemetry.Registry{}
 			if i == 0 {
-				extra = map[string]*telemetry.Registry{"coordinator": co.Registry()}
+				extra["coordinator"] = co.Registry()
+			}
+			if reg := cl.ReplRegistry(i); reg != nil {
+				extra["replication"] = reg
 			}
 			id, rpcAddr, s := i, cl.Addrs[i], svc
+			var replFn func() map[string]interface{}
+			if replOn {
+				replFn = func() map[string]interface{} { return cl.ReplicationStatus(id) }
+			}
 			admin := startAdmin(log, adminAddrFor(adminAddr, i), pprofOn, svc, extra, func() map[string]interface{} {
 				return map[string]interface{}{
 					"mds_id":      id,
 					"rpc_addr":    rpcAddr,
 					"map_version": s.MapVersion(),
 				}
-			})
+			}, replFn)
 			defer admin.Close()
 		}
 	}

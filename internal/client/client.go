@@ -116,8 +116,11 @@ func Dial(cfg Config) (*Client, error) {
 		pins:  make(map[namespace.Ino]int),
 		cache: make(map[cacheKey]*namespace.Inode),
 	}
+	// Lazy dial: an MDS that is down at SDK start (crashed, mid-failover)
+	// must not block the whole mount — its connection comes up when the
+	// shard returns, and the partition map routes around it meanwhile.
 	for i, addr := range cfg.Addrs {
-		conn, err := rpc.DialOptions(addr, rpc.ClientOptions{
+		conn, err := rpc.DialLazyOptions(addr, rpc.ClientOptions{
 			CallTimeout: cfg.CallTimeout,
 			Reconnect:   true,
 			BackoffBase: 5 * time.Millisecond,
@@ -240,6 +243,13 @@ func (c *Client) refreshMap(ctx context.Context) error {
 		c.pins[p.Ino] = p.MDS
 	}
 	return nil
+}
+
+// MapVersion returns the version of the partition map the client holds.
+func (c *Client) MapVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mapVersion
 }
 
 func (c *Client) pinOf(ino namespace.Ino) (int, bool) {
@@ -370,8 +380,14 @@ func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool)
 		}
 		for _, in := range ins {
 			if in.Type == namespace.TypeFake {
-				// Follow the migration redirect for this component.
+				// Follow the migration redirect for this component. The
+				// partition map wins over the redirect payload when both
+				// know the inode: after a failover the fake inode still
+				// names the dead MDS while the map points at the promotee.
 				dest := int(in.Size)
+				if p, ok := c.pinOf(in.Ino); ok {
+					dest = p
+				}
 				var gw rpc.Wire
 				gw.U64(uint64(in.Ino))
 				gbody, gerr := c.callIdem(ctx, dest, mds.MethodGetattr, gw.Bytes())
@@ -412,19 +428,37 @@ func (c *Client) dropPathCache(path string) {
 	}
 }
 
-// retryOp runs fn, and on a not-owner redirect refreshes the partition
-// map, drops the stale cached prefixes of the involved paths, and retries.
-// Migrations land between an operation's resolution and its final RPC, so
-// every SDK operation needs this, not just path lookups.
+// opRetryAttempts bounds retryOp. The backoff schedule below keeps the
+// total worst-case wait in the hundreds of milliseconds — enough to ride
+// out a migration publish or a heartbeat-driven failover.
+const opRetryAttempts = 6
+
+// retryOp runs fn, recovering from the two redirect-shaped failures every
+// SDK operation can hit: a not-owner response (a migration landed between
+// the operation's resolution and its final RPC) and a transport failure
+// (the owning MDS died and the coordinator is promoting its backup). Both
+// recoveries refresh the partition map and drop the stale cached prefixes
+// of the involved paths. When the refreshed map has not moved — the
+// migration's publish or the failover has not landed yet — the retry
+// backs off instead of burning the remaining attempts on the same answer.
 func (c *Client) retryOp(ctx context.Context, paths []string, fn func() error) error {
 	var err error
-	for attempt := 0; attempt < 3; attempt++ {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt < opRetryAttempts; attempt++ {
 		err = fn()
-		if err == nil || !mds.IsNotOwner(err) {
+		if err == nil || (!mds.IsNotOwner(err) && !rpc.IsRetryable(err)) {
 			return err
 		}
+		c.reg.Counter("client.op_retries").Inc()
+		prev := c.MapVersion()
 		if rerr := c.refreshMap(ctx); rerr != nil {
-			return rerr
+			// MDS 0 may itself be mid-recovery; keep retrying on the
+			// stale map rather than giving up the whole operation.
+			time.Sleep(backoff)
+			backoff *= 2
+		} else if c.MapVersion() == prev {
+			time.Sleep(backoff)
+			backoff *= 2
 		}
 		for _, p := range paths {
 			c.dropPathCache(p)
@@ -471,6 +505,7 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 	ctx, done := c.op(opName)
 	dir, name := namespace.ParentPath(path)
 	var out *namespace.Inode
+	transportLost := false
 	err := c.retryOp(ctx, []string{dir}, func() error {
 		chain, owner, err := c.resolveDir(ctx, dir)
 		if err != nil {
@@ -481,6 +516,25 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 		w.U64(uint64(parent.Ino)).Str(name).U8(uint8(typ))
 		body, err := c.call(ctx, owner, mds.MethodCreate, w.Bytes())
 		if err != nil {
+			if rpc.IsRetryable(err) {
+				transportLost = true
+				return err
+			}
+			if transportLost && mds.ErrCode(err) == mds.CodeExist {
+				// The connection died after a previous attempt reached the
+				// shard (or its promoted backup replayed the write): the
+				// entry is ours. Fetch it instead of surfacing a spurious
+				// EEXIST for our own create.
+				var lw rpc.Wire
+				lw.U64(uint64(parent.Ino)).Str(name)
+				lbody, lerr := c.callIdem(ctx, owner, mds.MethodLookup, lw.Bytes())
+				if lerr == nil {
+					if in, derr := mds.DecodeInodeResp(lbody); derr == nil {
+						out = in
+						return nil
+					}
+				}
+			}
 			return err
 		}
 		out, err = mds.DecodeInodeResp(body)
@@ -498,6 +552,7 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 func (c *Client) Remove(path string) error {
 	ctx, done := c.op("remove")
 	dir, name := namespace.ParentPath(path)
+	transportLost := false
 	err := c.retryOp(ctx, []string{dir}, func() error {
 		chain, owner, err := c.resolveDir(ctx, dir)
 		if err != nil {
@@ -507,6 +562,17 @@ func (c *Client) Remove(path string) error {
 		var w rpc.Wire
 		w.U64(uint64(parent.Ino)).Str(name)
 		if _, err := c.call(ctx, owner, mds.MethodRemove, w.Bytes()); err != nil {
+			if rpc.IsRetryable(err) {
+				transportLost = true
+				return err
+			}
+			if transportLost && mds.ErrCode(err) == mds.CodeNoEnt {
+				// A previous attempt's remove reached the shard before the
+				// connection died; the entry is gone, which is the outcome
+				// the caller asked for.
+				c.cacheDrop(parent.Ino, name)
+				return nil
+			}
 			return err
 		}
 		c.cacheDrop(parent.Ino, name)

@@ -31,9 +31,21 @@ func TestDialRequiresAddrs(t *testing.T) {
 	}
 }
 
-func TestDialFailsOnDeadAddr(t *testing.T) {
-	if _, err := client.Dial(client.Config{Addrs: []string{"127.0.0.1:1"}}); err == nil {
-		t.Error("dial to closed port succeeded")
+func TestDialToDeadAddrStartsDisconnected(t *testing.T) {
+	// A dead MDS must not block SDK start (it may be mid-failover); the
+	// connection stays down and operations against it fail fast until it
+	// returns.
+	sdk, err := client.Dial(client.Config{
+		Addrs:        []string{"127.0.0.1:1"},
+		RetryBudget:  -1,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("lazy dial to closed port failed: %v", err)
+	}
+	defer sdk.Close()
+	if err := sdk.RefreshMap(); err == nil {
+		t.Error("RefreshMap against a dead cluster succeeded")
 	}
 }
 

@@ -1,0 +1,147 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+type kvPair struct{ k, v []byte }
+
+func scanAll(t *testing.T, db *DB) []kvPair {
+	t.Helper()
+	var out []kvPair
+	err := db.Scan(nil, nil, func(k, v []byte) bool {
+		out = append(out, kvPair{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+func pairsEqual(a, b []kvPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].k, b[i].k) || !bytes.Equal(a[i].v, b[i].v) {
+			return false
+		}
+	}
+	return true
+}
+
+// populate writes a mixed workload: puts across the keyspace, a batch,
+// overwrites, and deletes, pushing some data through flushes so the
+// snapshot spans memtable and sstables.
+func populateSnapshotWorkload(t *testing.T, db *DB) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		if err := db.Put(k, []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := &Batch{}
+	for i := 0; i < 50; i++ {
+		b.Put([]byte(fmt.Sprintf("batch%03d", i)), []byte("b"))
+	}
+	if err := db.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i += 3 {
+		if err := db.Delete([]byte(fmt.Sprintf("key%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 7 {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		if err := db.Put(k, []byte(fmt.Sprintf("rewrite%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotExportInstallRoundTrip exports one store with Snapshot and
+// installs the pairs into a fresh store; the two must then scan
+// byte-identically.
+func TestSnapshotExportInstallRoundTrip(t *testing.T) {
+	src := openTest(t, smallOpts())
+	populateSnapshotWorkload(t, src)
+
+	var exported []kvPair
+	err := src.Snapshot(func(k, v []byte) bool {
+		exported = append(exported, kvPair{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	})
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(exported) == 0 {
+		t.Fatal("snapshot exported nothing")
+	}
+
+	dst := openTest(t, smallOpts())
+	for _, p := range exported {
+		if err := dst.Put(p.k, p.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pairsEqual(scanAll(t, src), scanAll(t, dst)) {
+		t.Fatal("installed store does not match the exported one")
+	}
+}
+
+// TestWipeThenInstall wipes a populated store in place (the receiver's
+// re-bootstrap path), verifies it is empty, installs a snapshot into it,
+// and checks the result survives a close/reopen cycle.
+func TestWipeThenInstall(t *testing.T) {
+	src := openTest(t, smallOpts())
+	populateSnapshotWorkload(t, src)
+	want := scanAll(t, src)
+	var exported []kvPair
+	if err := src.Snapshot(func(k, v []byte) bool {
+		exported = append(exported, kvPair{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	dst, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateSnapshotWorkload(t, dst)
+	// Divergent extra state the wipe must clear.
+	if err := dst.Put([]byte("zzz-divergent"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Wipe(); err != nil {
+		t.Fatalf("wipe: %v", err)
+	}
+	if got := scanAll(t, dst); len(got) != 0 {
+		t.Fatalf("wiped store still has %d pairs", len(got))
+	}
+	for _, p := range exported {
+		if err := dst.Put(p.k, p.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pairsEqual(want, scanAll(t, dst)) {
+		t.Fatal("wipe+install does not match the source")
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatalf("reopen after wipe+install: %v", err)
+	}
+	defer re.Close()
+	if !pairsEqual(want, scanAll(t, re)) {
+		t.Fatal("wipe+install did not survive reopen")
+	}
+}

@@ -136,7 +136,36 @@ type DB struct {
 	guards      guardSet
 	nextFileNum uint64
 	stats       dbStats
+	hook        CommitHook // guarded by writeMu
 	closed      bool
+}
+
+// Mutation is one committed logical mutation, as observed by a
+// CommitHook: a put of Key=Value, or — when Tombstone is set — a delete
+// of Key. The slices are the DB's own copies; observers must treat them
+// as read-only but may retain them.
+type Mutation struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// CommitHook observes every committed mutation in WAL order. It is
+// called under the DB's write lock — immediately after the record is
+// logged and applied to the memtable, before the next write can start —
+// so the sequence of hook invocations is exactly the WAL sequence. The
+// hook must be fast and must not call back into the DB. It may return a
+// non-nil wait func, which the writer runs after releasing the DB locks
+// (and after its own durability wait): this is where a synchronous
+// replication ack blocks without stalling other writers.
+type CommitHook func(muts []Mutation) (wait func() error)
+
+// SetCommitHook installs (or, with nil, removes) the commit hook. A
+// batch delivers all its mutations in one call.
+func (db *DB) SetCommitHook(h CommitHook) {
+	db.writeMu.Lock()
+	db.hook = h
+	db.writeMu.Unlock()
 }
 
 // groupCommit tracks which WAL sequence numbers are durable and elects
@@ -199,7 +228,9 @@ func (db *DB) newTablePath() string {
 // memtable insert (and an inline flush when the memtable is full). With
 // SyncWAL, the writer then waits on the group-commit fsync covering its
 // record — unless a flush already made it durable via the SSTable sync.
-func (db *DB) applyWrite(logFn func(*wal) error, memFn func()) error {
+// muts lazily materialises the mutations for the commit hook; it is only
+// invoked when a hook is installed.
+func (db *DB) applyWrite(logFn func(*wal) error, memFn func(), muts func() []Mutation) error {
 	db.writeMu.Lock()
 	if db.closed {
 		db.writeMu.Unlock()
@@ -219,11 +250,26 @@ func (db *DB) applyWrite(logFn func(*wal) error, memFn func()) error {
 		ferr = db.flushLocked()
 	}
 	db.mu.Unlock()
+	// The hook runs under writeMu so its invocation order is the WAL
+	// order; its wait func (if any) runs only after every lock is
+	// released and the local durability wait is done.
+	var wait func() error
+	if db.hook != nil {
+		wait = db.hook(muts())
+	}
 	db.writeMu.Unlock()
-	if ferr != nil || flushed || !db.opts.SyncWAL {
+	if ferr != nil {
 		return ferr
 	}
-	return db.waitSynced(seq)
+	if db.opts.SyncWAL && !flushed {
+		if err := db.waitSynced(seq); err != nil {
+			return err
+		}
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
 }
 
 // waitSynced blocks until the WAL is durable through seq. The first
@@ -319,7 +365,8 @@ func (db *DB) Put(key, value []byte) error {
 		func() {
 			db.stats.puts.Add(1)
 			db.mem.put(k, v, false)
-		})
+		},
+		func() []Mutation { return []Mutation{{Key: k, Value: v}} })
 }
 
 // Delete removes key. Deleting an absent key is not an error.
@@ -330,7 +377,8 @@ func (db *DB) Delete(key []byte) error {
 		func() {
 			db.stats.deletes.Add(1)
 			db.mem.put(k, nil, true)
-		})
+		},
+		func() []Mutation { return []Mutation{{Key: k, Tombstone: true}} })
 }
 
 // Batch collects mutations to be applied atomically by ApplyBatch.
@@ -374,6 +422,13 @@ func (db *DB) ApplyBatch(b *Batch) error {
 				}
 				db.mem.put(op.key, op.value, op.tombstone)
 			}
+		},
+		func() []Mutation {
+			muts := make([]Mutation, len(b.ops))
+			for i, op := range b.ops {
+				muts[i] = Mutation{Key: op.key, Value: op.value, Tombstone: op.tombstone}
+			}
+			return muts
 		})
 }
 
@@ -564,6 +619,62 @@ func (db *DB) resetWALLocked() error {
 	db.wal = w
 	db.walGen++
 	return nil
+}
+
+// Snapshot streams every live key/value pair in ascending key order —
+// the full-state export used for replica bootstrap. It is a plain Scan
+// over the whole key space: tombstoned keys are skipped, so replaying a
+// snapshot plus the WAL tail that accumulated during the export
+// converges to the source state (mutations are last-writer-wins and
+// deletes of absent keys are no-ops).
+func (db *DB) Snapshot(fn func(key, value []byte) bool) error {
+	return db.Scan(nil, nil, fn)
+}
+
+// Wipe discards every record in the store — memtable, WAL, and all
+// SSTables — leaving an empty DB with the same options. It is the first
+// half of a snapshot install: the caller streams the snapshot's pairs
+// back in (ApplyBatch) afterwards. The install is not crash-atomic; a
+// crash mid-install leaves a partial store, so installers must restart
+// the whole install (the replication receiver re-bootstraps from
+// scratch). The commit hook, if any, is left in place.
+func (db *DB) Wipe() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("kvstore: wipe on closed DB")
+	}
+	for _, t := range db.l0 {
+		t.close()
+		if err := removeFile(t.path); err != nil {
+			return err
+		}
+	}
+	db.l0 = nil
+	for _, lvl := range db.levels {
+		for _, run := range lvl.allRuns() {
+			for _, t := range run.tables {
+				t.close()
+				if err := removeFile(t.path); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	db.levels = make([]*dbLevel, db.opts.MaxLevels)
+	for i := range db.levels {
+		db.levels[i] = &dbLevel{}
+	}
+	db.guards = guardSet{}
+	db.mem = newSkiplist(db.opts.Seed)
+	if err := db.resetWALLocked(); err != nil {
+		return err
+	}
+	// Nothing is pending anymore; release any group-commit waiters.
+	db.markSynced(db.walSeq.Load())
+	return db.saveManifest()
 }
 
 // Close flushes and releases all resources.

@@ -16,6 +16,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,10 @@ type Result struct {
 	Errors  int64         // operations that returned an error
 	Elapsed time.Duration // wall-clock time of the measured loop
 	Workers int
+
+	// P50/P95/P99 are exact per-operation latency percentiles over every
+	// operation of the measured loop (not histogram-bucket estimates).
+	P50, P95, P99 time.Duration
 }
 
 // Throughput returns completed operations per second.
@@ -68,6 +73,22 @@ func (r *Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// percentile returns the pth percentile (0 < p <= 100) of sorted samples
+// using the nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +155,7 @@ func Run(cfg Config) (*Result, error) {
 		errCount atomic.Int64
 		wg       sync.WaitGroup
 	)
+	lats := make([][]time.Duration, cfg.Workers) // per-worker, merged after the loop
 	var deadline time.Time
 	start := time.Now()
 	if cfg.TotalOps <= 0 {
@@ -157,6 +179,7 @@ func Run(cfg Config) (*Result, error) {
 					return
 				}
 				var err error
+				opStart := time.Now()
 				// i*37 mod 100 walks all residues (37 ⊥ 100), spreading
 				// each op class evenly instead of in 20-ticket bursts.
 				switch pick := int(i * 37 % 100); {
@@ -173,6 +196,7 @@ func Run(cfg Config) (*Result, error) {
 				default:
 					_, err = c.Stat(targets[w][rnd.Intn(len(targets[w]))])
 				}
+				lats[w] = append(lats[w], time.Since(opStart))
 				if err != nil {
 					errCount.Add(1)
 				}
@@ -180,10 +204,19 @@ func Run(cfg Config) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return &Result{
 		Ops:     tickets.Load(),
 		Errors:  errCount.Load(),
-		Elapsed: time.Since(start),
+		Elapsed: elapsed,
 		Workers: cfg.Workers,
+		P50:     percentile(all, 50),
+		P95:     percentile(all, 95),
+		P99:     percentile(all, 99),
 	}, nil
 }

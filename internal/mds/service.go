@@ -185,8 +185,12 @@ func (s *Service) Close() error {
 	return err
 }
 
-// Server exposes the underlying RPC server (fault injection, tests).
+// Server exposes the underlying RPC server (fault injection, tests,
+// replication handler registration).
 func (s *Service) Server() *rpc.Server { return s.srv }
+
+// Store exposes the shard store (replication shipping and promotion).
+func (s *Service) Store() *Store { return s.store }
 
 // StoreStats exposes the shard store's counters (benchmarks, admin).
 func (s *Service) StoreStats() kvstore.Stats { return s.store.DBStats() }

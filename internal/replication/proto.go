@@ -1,0 +1,186 @@
+// Package replication implements primary–backup replication for the
+// OrigamiFS metadata servers: each MDS (the primary for its own shard)
+// streams its kvstore WAL records to a backup MDS over the existing RPC
+// layer, where a Receiver replays them into a warm replica mds.Store. A
+// fresh or lagging backup first catches up from a full-state snapshot,
+// then switches to tail streaming. On failover the coordinator promotes
+// the backup: the replica is absorbed into the promotee's serving store
+// and the cluster map is repointed at it.
+//
+// The shipping protocol is a single-writer stream identified by a
+// (primary, session) pair. Sessions restart from scratch — a new session
+// always begins with a snapshot — and records within a session carry
+// densely increasing sequence numbers, so the receiver can detect any
+// gap and force a resync. Replay is idempotent (last-writer-wins puts,
+// no-op deletes of absent keys), which lets a snapshot overlap the tail
+// that accumulated while it was exported.
+package replication
+
+import (
+	"origami/internal/kvstore"
+	"origami/internal/mds"
+	"origami/internal/rpc"
+)
+
+// RPC method numbers of the replication protocol. They live in a range
+// far above the metadata protocol so both handler sets share one server.
+const (
+	// MethodSnapBegin opens a new session: the receiver discards any
+	// previous replica state for the primary and prepares a fresh store.
+	MethodSnapBegin rpc.Method = iota + 100
+	// MethodSnapChunk delivers one chunk of full-state snapshot pairs.
+	MethodSnapChunk
+	// MethodSnapEnd seals the snapshot: the replica is live and tail
+	// appends resume from the carried base sequence number.
+	MethodSnapEnd
+	// MethodAppend delivers a batch of tail WAL records.
+	MethodAppend
+	// MethodPromote absorbs the replica into the backup's serving store
+	// (coordinator failover).
+	MethodPromote
+	// MethodReplStatus reports a replica's session/applied state.
+	MethodReplStatus
+)
+
+// methodNames feeds the rpc metric name hook.
+var methodNames = map[rpc.Method]string{
+	MethodSnapBegin:  "repl_snap_begin",
+	MethodSnapChunk:  "repl_snap_chunk",
+	MethodSnapEnd:    "repl_snap_end",
+	MethodAppend:     "repl_append",
+	MethodPromote:    "repl_promote",
+	MethodReplStatus: "repl_status",
+}
+
+// MethodName returns the metric segment for a replication method.
+func MethodName(m rpc.Method) string { return methodNames[m] }
+
+// CodeGap is the coded error a receiver returns when an append does not
+// extend its replica exactly — wrong session or non-contiguous sequence.
+// The shipper reacts by starting a new session with a fresh snapshot.
+const CodeGap = "EREPLGAP"
+
+// IsGap reports whether err is a receiver gap/session-mismatch error.
+func IsGap(err error) bool { return mds.ErrCode(err) == CodeGap }
+
+// Record is one shipped WAL record: a session-scoped sequence number and
+// the mutation it carries.
+type Record struct {
+	Seq uint64
+	Mut kvstore.Mutation
+}
+
+func encodeSnapBegin(primary int, session uint64) []byte {
+	var w rpc.Wire
+	w.U32(uint32(primary)).U64(session)
+	return w.Bytes()
+}
+
+func decodeSnapBegin(body []byte) (primary int, session uint64, err error) {
+	r := rpc.NewReader(body)
+	primary = int(r.U32())
+	session = r.U64()
+	return primary, session, r.Err()
+}
+
+func encodeSnapChunk(primary int, session uint64, pairs []kvstore.Mutation) []byte {
+	var w rpc.Wire
+	w.U32(uint32(primary)).U64(session).U32(uint32(len(pairs)))
+	for _, p := range pairs {
+		w.Blob(p.Key)
+		w.Blob(p.Value)
+	}
+	return w.Bytes()
+}
+
+func decodeSnapChunk(body []byte) (primary int, session uint64, pairs []kvstore.Mutation, err error) {
+	r := rpc.NewReader(body)
+	primary = int(r.U32())
+	session = r.U64()
+	n := int(r.U32())
+	pairs = make([]kvstore.Mutation, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.Blob()
+		v := r.Blob()
+		pairs = append(pairs, kvstore.Mutation{Key: k, Value: v})
+	}
+	return primary, session, pairs, r.Err()
+}
+
+func encodeSnapEnd(primary int, session, baseSeq uint64) []byte {
+	var w rpc.Wire
+	w.U32(uint32(primary)).U64(session).U64(baseSeq)
+	return w.Bytes()
+}
+
+func decodeSnapEnd(body []byte) (primary int, session, baseSeq uint64, err error) {
+	r := rpc.NewReader(body)
+	primary = int(r.U32())
+	session = r.U64()
+	baseSeq = r.U64()
+	return primary, session, baseSeq, r.Err()
+}
+
+func encodeAppend(primary int, session uint64, recs []Record) []byte {
+	var w rpc.Wire
+	w.U32(uint32(primary)).U64(session)
+	w.U64(recs[0].Seq)
+	w.U32(uint32(len(recs)))
+	for _, rec := range recs {
+		if rec.Mut.Tombstone {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+		w.Blob(rec.Mut.Key)
+		w.Blob(rec.Mut.Value)
+	}
+	return w.Bytes()
+}
+
+func decodeAppend(body []byte) (primary int, session, fromSeq uint64, muts []kvstore.Mutation, err error) {
+	r := rpc.NewReader(body)
+	primary = int(r.U32())
+	session = r.U64()
+	fromSeq = r.U64()
+	n := int(r.U32())
+	muts = make([]kvstore.Mutation, 0, n)
+	for i := 0; i < n; i++ {
+		tomb := r.U8() != 0
+		k := r.Blob()
+		v := r.Blob()
+		if tomb {
+			v = nil
+		}
+		muts = append(muts, kvstore.Mutation{Key: k, Value: v, Tombstone: tomb})
+	}
+	return primary, session, fromSeq, muts, r.Err()
+}
+
+func encodeAppliedResp(applied uint64) []byte {
+	var w rpc.Wire
+	w.U64(applied)
+	return w.Bytes()
+}
+
+func decodeAppliedResp(body []byte) (uint64, error) {
+	r := rpc.NewReader(body)
+	applied := r.U64()
+	return applied, r.Err()
+}
+
+// EncodePromote builds the body of a MethodPromote call: absorb the
+// replica of the given dead primary into the serving store.
+func EncodePromote(primary int) []byte {
+	var w rpc.Wire
+	w.U32(uint32(primary))
+	return w.Bytes()
+}
+
+// DecodePromoteResp parses the MethodPromote response: the number of
+// inode records absorbed.
+func DecodePromoteResp(body []byte) (int, error) {
+	r := rpc.NewReader(body)
+	n := int(r.U64())
+	return n, r.Err()
+}

@@ -1,0 +1,290 @@
+package replication
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"origami/internal/kvstore"
+	"origami/internal/mds"
+	"origami/internal/rpc"
+	"origami/internal/telemetry"
+)
+
+// Receiver is the backup side of replication: it hosts one warm replica
+// mds.Store per primary it protects, replays shipped snapshot chunks and
+// WAL records into it, and — on coordinator failover — absorbs a replica
+// into the host MDS's own serving store (promotion).
+//
+// A receiver registers its handlers on the host MDS's RPC server, so
+// replication shares the data-plane connections, fault injection, and
+// telemetry of the metadata protocol.
+type Receiver struct {
+	hostID  int
+	dir     string // replica stores live at dir/replica-<primary>
+	serving *mds.Store
+	kvOpts  kvstore.Options
+	reg     *telemetry.Registry
+	log     *telemetry.Logger
+
+	mu       sync.Mutex
+	replicas map[int]*replica
+	closed   bool
+
+	recordsC    *telemetry.Counter
+	snapshotsC  *telemetry.Counter
+	promotionsC *telemetry.Counter
+	gapsC       *telemetry.Counter
+}
+
+// replica is the state of one protected primary. All fields are guarded
+// by the receiver mutex; the shipper serialises its stream, so holding
+// it across the store apply costs nothing in the common case.
+type replica struct {
+	store   *mds.Store
+	dir     string
+	session uint64
+	applied uint64 // highest contiguous shipped seq applied
+	live    bool   // snapshot sealed; tail appends accepted
+}
+
+// NewReceiver creates a receiver for the MDS hostID whose serving store
+// is serving. Replica stores are created under dir with kvOpts (use the
+// same options as the serving store so durability matches). reg may be
+// nil for a private registry.
+func NewReceiver(hostID int, dir string, serving *mds.Store, kvOpts kvstore.Options, reg *telemetry.Registry) *Receiver {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Receiver{
+		hostID:      hostID,
+		dir:         dir,
+		serving:     serving,
+		kvOpts:      kvOpts,
+		reg:         reg,
+		log:         telemetry.L("repl").With("mds", hostID),
+		replicas:    make(map[int]*replica),
+		recordsC:    reg.Counter("repl.receiver.records_applied"),
+		snapshotsC:  reg.Counter("repl.receiver.snapshots_installed"),
+		promotionsC: reg.Counter("repl.receiver.promotions"),
+		gapsC:       reg.Counter("repl.receiver.gaps"),
+	}
+}
+
+// Register installs the replication handlers on the host's RPC server.
+func (rc *Receiver) Register(srv *rpc.Server) {
+	srv.Handle(MethodSnapBegin, rc.handleSnapBegin)
+	srv.Handle(MethodSnapChunk, rc.handleSnapChunk)
+	srv.Handle(MethodSnapEnd, rc.handleSnapEnd)
+	srv.Handle(MethodAppend, rc.handleAppend)
+	srv.Handle(MethodPromote, rc.handlePromote)
+	srv.Handle(MethodReplStatus, rc.handleReplStatus)
+}
+
+func (rc *Receiver) appliedGauge(primary int) *telemetry.Gauge {
+	return rc.reg.Gauge(fmt.Sprintf("repl.receiver.applied_seq.p%d", primary))
+}
+
+func (rc *Receiver) handleSnapBegin(body []byte) ([]byte, error) {
+	primary, session, err := decodeSnapBegin(body)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil, fmt.Errorf("replication: receiver closed")
+	}
+	rep, ok := rc.replicas[primary]
+	if ok {
+		// Resync: reuse the open store, dropping its contents.
+		if err := rep.store.WipeForInstall(); err != nil {
+			return nil, err
+		}
+	} else {
+		dir := filepath.Join(rc.dir, fmt.Sprintf("replica-%d", primary))
+		// Leftovers from a previous process are stale — a new session
+		// always starts from an empty replica.
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, err
+		}
+		st, err := mds.OpenStore(dir, primary, rc.kvOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep = &replica{store: st, dir: dir}
+		rc.replicas[primary] = rep
+	}
+	rep.session = session
+	rep.applied = 0
+	rep.live = false
+	rc.appliedGauge(primary).Set(0)
+	rc.log.Info("replica session started", "primary", primary, "session", session)
+	return nil, nil
+}
+
+func (rc *Receiver) handleSnapChunk(body []byte) ([]byte, error) {
+	primary, session, pairs, err := decodeSnapChunk(body)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rep, ok := rc.replicas[primary]
+	if !ok || rep.session != session || rep.live {
+		rc.gapsC.Inc()
+		return nil, mds.CodedError(CodeGap, "no open snapshot for primary %d session %d", primary, session)
+	}
+	if err := rep.store.ApplyReplicated(pairs); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (rc *Receiver) handleSnapEnd(body []byte) ([]byte, error) {
+	primary, session, baseSeq, err := decodeSnapEnd(body)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rep, ok := rc.replicas[primary]
+	if !ok || rep.session != session || rep.live {
+		rc.gapsC.Inc()
+		return nil, mds.CodedError(CodeGap, "no open snapshot for primary %d session %d", primary, session)
+	}
+	rep.live = true
+	rep.applied = baseSeq
+	rc.snapshotsC.Inc()
+	rc.appliedGauge(primary).Set(float64(baseSeq))
+	rc.log.Info("replica snapshot sealed", "primary", primary, "base_seq", baseSeq)
+	return encodeAppliedResp(rep.applied), nil
+}
+
+func (rc *Receiver) handleAppend(body []byte) ([]byte, error) {
+	primary, session, fromSeq, muts, err := decodeAppend(body)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rep, ok := rc.replicas[primary]
+	if !ok || !rep.live || rep.session != session || fromSeq != rep.applied+1 {
+		rc.gapsC.Inc()
+		return nil, mds.CodedError(CodeGap, "append does not extend replica of primary %d (session %d from %d)", primary, session, fromSeq)
+	}
+	if err := rep.store.ApplyReplicated(muts); err != nil {
+		return nil, err
+	}
+	rep.applied += uint64(len(muts))
+	rc.recordsC.Add(int64(len(muts)))
+	rc.appliedGauge(primary).Set(float64(rep.applied))
+	return encodeAppliedResp(rep.applied), nil
+}
+
+func (rc *Receiver) handlePromote(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	primary := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rep, ok := rc.replicas[primary]
+	if !ok {
+		return nil, mds.CodedError(mds.CodeInvalid, "no replica of primary %d on mds %d", primary, rc.hostID)
+	}
+	if !rep.live {
+		return nil, mds.CodedError(mds.CodeBusy, "replica of primary %d still bootstrapping", primary)
+	}
+	absorbed, err := rc.serving.AbsorbFrom(rep.store)
+	if err != nil {
+		return nil, fmt.Errorf("replication: absorb replica of %d: %w", primary, err)
+	}
+	delete(rc.replicas, primary)
+	rep.store.Close()
+	os.RemoveAll(rep.dir)
+	rc.promotionsC.Inc()
+	rc.appliedGauge(primary).Set(0)
+	rc.log.Info("replica promoted", "primary", primary, "absorbed", absorbed, "applied_seq", rep.applied)
+	var w rpc.Wire
+	w.U64(uint64(absorbed))
+	return w.Bytes(), nil
+}
+
+func (rc *Receiver) handleReplStatus(body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	primary := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var w rpc.Wire
+	rep, ok := rc.replicas[primary]
+	if !ok {
+		w.U8(0).U8(0).U64(0).U64(0)
+		return w.Bytes(), nil
+	}
+	live := uint8(0)
+	if rep.live {
+		live = 1
+	}
+	w.U8(1).U8(live).U64(rep.session).U64(rep.applied)
+	return w.Bytes(), nil
+}
+
+// ReplicaStatus is one replica's state as reported on the admin surface.
+type ReplicaStatus struct {
+	Primary int    `json:"primary"`
+	Session uint64 `json:"session"`
+	Applied uint64 `json:"applied_seq"`
+	Live    bool   `json:"live"`
+	Inodes  int    `json:"inodes"`
+}
+
+// Status reports every hosted replica (admin /healthz).
+func (rc *Receiver) Status() []ReplicaStatus {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]ReplicaStatus, 0, len(rc.replicas))
+	for pid, rep := range rc.replicas {
+		out = append(out, ReplicaStatus{
+			Primary: pid,
+			Session: rep.session,
+			Applied: rep.applied,
+			Live:    rep.live,
+			Inodes:  rep.store.Count(),
+		})
+	}
+	return out
+}
+
+// ReplicaStore exposes a hosted replica's store (tests), or nil.
+func (rc *Receiver) ReplicaStore(primary int) *mds.Store {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rep, ok := rc.replicas[primary]; ok {
+		return rep.store
+	}
+	return nil
+}
+
+// Close shuts every hosted replica store.
+func (rc *Receiver) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil
+	}
+	rc.closed = true
+	var err error
+	for pid, rep := range rc.replicas {
+		if cerr := rep.store.Close(); err == nil {
+			err = cerr
+		}
+		delete(rc.replicas, pid)
+	}
+	return err
+}

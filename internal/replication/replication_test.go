@@ -1,0 +1,272 @@
+package replication
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"origami/internal/kvstore"
+	"origami/internal/mds"
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+	"origami/internal/telemetry"
+)
+
+// backupNode is one MDS acting as a replication target: a serving store,
+// an RPC server, and a receiver registered on it.
+type backupNode struct {
+	store *mds.Store
+	svc   *mds.Service
+	rcv   *Receiver
+	addr  string
+}
+
+func startBackup(t *testing.T, id int) *backupNode {
+	t.Helper()
+	store, err := mds.OpenStore(t.TempDir(), id, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := mds.NewService(id, store, nil)
+	addr, err := svc.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv := NewReceiver(id, t.TempDir(), store, kvstore.Options{}, telemetry.NewRegistry())
+	rcv.Register(svc.Server())
+	t.Cleanup(func() {
+		rcv.Close()
+		svc.Close()
+	})
+	return &backupNode{store: store, svc: svc, rcv: rcv, addr: addr}
+}
+
+// dialerTo returns a Dial option resolving every id to the node's
+// address, caching the client. down, when non-nil, simulates an
+// unreachable backup while set.
+func dialerTo(t *testing.T, node *backupNode, down *atomic.Bool) func(int) (*rpc.Client, error) {
+	t.Helper()
+	var mu sync.Mutex
+	var cli *rpc.Client
+	return func(int) (*rpc.Client, error) {
+		if down != nil && down.Load() {
+			return nil, fmt.Errorf("test: backup marked down")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if cli == nil {
+			c, err := rpc.Dial(node.addr)
+			if err != nil {
+				return nil, err
+			}
+			t.Cleanup(func() { c.Close() })
+			cli = c
+		}
+		return cli, nil
+	}
+}
+
+func openPrimary(t *testing.T, id int) *mds.Store {
+	t.Helper()
+	store, err := mds.OpenStore(t.TempDir(), id, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+type rawPair struct{ k, v []byte }
+
+func storePairs(t *testing.T, s *mds.Store) []rawPair {
+	t.Helper()
+	var out []rawPair
+	err := s.SnapshotPairs(func(k, v []byte) bool {
+		out = append(out, rawPair{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// requireConverged waits until the stream is caught up (no pending
+// snapshot, zero lag) and the replica is byte-identical to the primary.
+func requireConverged(t *testing.T, sh *Shipper, primary *mds.Store, node *backupNode) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := sh.Status()
+		if !st.Syncing && st.Lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never converged: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep := node.rcv.ReplicaStore(sh.opts.Primary)
+	if rep == nil {
+		t.Fatal("no replica store on the backup")
+	}
+	want, got := storePairs(t, primary), storePairs(t, rep)
+	if len(want) != len(got) {
+		t.Fatalf("replica has %d pairs, primary %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i].k, got[i].k) || !bytes.Equal(want[i].v, got[i].v) {
+			t.Fatalf("replica diverges at pair %d", i)
+		}
+	}
+}
+
+func putFile(t *testing.T, s *mds.Store, ino namespace.Ino, name string) {
+	t.Helper()
+	err := s.Put(&namespace.Inode{
+		Ino: ino, Parent: namespace.RootIno, Name: name,
+		Type: namespace.TypeFile, Size: int64(ino),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotInstallThenTailReplay covers the full stream lifecycle:
+// data written before Start arrives via snapshot bootstrap, data written
+// after arrives via tail appends, and deletes/overwrites replay
+// idempotently — the replica ends byte-identical to the primary.
+func TestSnapshotInstallThenTailReplay(t *testing.T) {
+	primary := openPrimary(t, 1)
+	node := startBackup(t, 2)
+
+	base := namespace.Ino(1) << 48 // MDS 1's ino range
+	for i := 0; i < 100; i++ {
+		putFile(t, primary, base+namespace.Ino(i), fmt.Sprintf("pre%03d", i))
+	}
+
+	sh := NewShipper(primary, Options{
+		Primary: 1, Backup: 2,
+		RetryBackoff: 5 * time.Millisecond,
+		SnapChunk:    16, // several chunks even at test scale
+		Dial:         dialerTo(t, node, nil),
+	})
+	sh.Start()
+	t.Cleanup(sh.Stop)
+
+	for i := 100; i < 250; i++ {
+		putFile(t, primary, base+namespace.Ino(i), fmt.Sprintf("tail%03d", i))
+	}
+	for i := 0; i < 250; i += 5 { // deletes replay as tombstones
+		if err := primary.Delete(namespace.RootIno, entryName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 250; i += 9 { // overwrites are last-writer-wins
+		putFile(t, primary, base+namespace.Ino(i), entryName(i))
+	}
+	requireConverged(t, sh, primary, node)
+
+	if st := sh.Status(); st.Dropped != 0 {
+		t.Fatalf("lossless run dropped %d records", st.Dropped)
+	}
+}
+
+func entryName(i int) string {
+	if i < 100 {
+		return fmt.Sprintf("pre%03d", i)
+	}
+	return fmt.Sprintf("tail%03d", i)
+}
+
+// TestSyncModeAcksAfterBackupApply verifies -repl-sync semantics: by the
+// time a write returns, its record is applied on the backup replica.
+func TestSyncModeAcksAfterBackupApply(t *testing.T) {
+	primary := openPrimary(t, 1)
+	node := startBackup(t, 2)
+	sh := NewShipper(primary, Options{
+		Primary: 1, Backup: 2, Sync: true,
+		RetryBackoff: 5 * time.Millisecond,
+		SyncTimeout:  5 * time.Second,
+		Dial:         dialerTo(t, node, nil),
+	})
+	sh.Start()
+	t.Cleanup(sh.Stop)
+
+	base := namespace.Ino(1) << 48
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("sync%03d", i)
+		putFile(t, primary, base+namespace.Ino(i), name)
+		rep := node.rcv.ReplicaStore(1)
+		if rep == nil {
+			t.Fatal("no replica after an acked sync write")
+		}
+		if _, found, err := rep.Lookup(namespace.RootIno, name); err != nil || !found {
+			t.Fatalf("acked sync write %q not on backup (found=%v err=%v)", name, found, err)
+		}
+	}
+}
+
+// TestOverflowTriggersSnapshotResync forces the async backlog over its
+// cap while the backup is unreachable: the shipper drops the buffer,
+// counts the loss exposure, and resyncs by snapshot once the backup
+// returns — converging to byte-identical state anyway (the store still
+// held every dropped mutation).
+func TestOverflowTriggersSnapshotResync(t *testing.T) {
+	primary := openPrimary(t, 1)
+	node := startBackup(t, 2)
+	var down atomic.Bool
+	down.Store(true)
+	sh := NewShipper(primary, Options{
+		Primary: 1, Backup: 2,
+		MaxBacklog:   8,
+		RetryBackoff: 2 * time.Millisecond,
+		Dial:         dialerTo(t, node, &down),
+	})
+	sh.Start()
+	t.Cleanup(sh.Stop)
+
+	base := namespace.Ino(1) << 48
+	for i := 0; i < 200; i++ {
+		putFile(t, primary, base+namespace.Ino(i), fmt.Sprintf("f%03d", i))
+	}
+	if st := sh.Status(); st.Dropped == 0 {
+		t.Fatalf("expected overflow drops with backup down, status %+v", st)
+	}
+	down.Store(false)
+	requireConverged(t, sh, primary, node)
+}
+
+// TestReceiverRestartCausesGapResync bounces the backup: the fresh
+// receiver has no session state, the next append is refused with a gap
+// error, and the shipper recovers by re-bootstrapping a snapshot.
+func TestReceiverRestartCausesGapResync(t *testing.T) {
+	primary := openPrimary(t, 1)
+	node := startBackup(t, 2)
+	sh := NewShipper(primary, Options{
+		Primary: 1, Backup: 2,
+		RetryBackoff: 5 * time.Millisecond,
+		Dial:         dialerTo(t, node, nil),
+	})
+	sh.Start()
+	t.Cleanup(sh.Stop)
+
+	base := namespace.Ino(1) << 48
+	for i := 0; i < 50; i++ {
+		putFile(t, primary, base+namespace.Ino(i), fmt.Sprintf("a%03d", i))
+	}
+	requireConverged(t, sh, primary, node)
+
+	// Replace the receiver in place: same server, empty session table.
+	node.rcv.Close()
+	node.rcv = NewReceiver(2, t.TempDir(), node.store, kvstore.Options{}, telemetry.NewRegistry())
+	node.rcv.Register(node.svc.Server())
+
+	for i := 50; i < 120; i++ {
+		putFile(t, primary, base+namespace.Ino(i), fmt.Sprintf("b%03d", i))
+	}
+	requireConverged(t, sh, primary, node)
+}

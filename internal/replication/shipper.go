@@ -1,0 +1,430 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"origami/internal/kvstore"
+	"origami/internal/mds"
+	"origami/internal/rpc"
+	"origami/internal/telemetry"
+)
+
+// Options configures a Shipper. The zero value of every optional field
+// takes the default documented on it.
+type Options struct {
+	// Primary is the MDS id whose store is being shipped.
+	Primary int
+	// Backup is the MDS id hosting the replica.
+	Backup int
+	// Sync makes every local write wait until its record is applied on
+	// the backup before it is acknowledged (the -repl-sync mode: zero
+	// acknowledged-write loss across a primary crash). Default false —
+	// async shipping with a bounded backlog.
+	Sync bool
+	// Window is the max records per Append RPC. Default 256.
+	Window int
+	// MaxBacklog is the max buffered unshipped records; past it the
+	// buffer is dropped and the backup is resynced by snapshot. This
+	// bounds both shipper memory and the async-mode loss window.
+	// Default 16384.
+	MaxBacklog int
+	// SnapChunk is the max pairs per snapshot chunk RPC. Default 512.
+	SnapChunk int
+	// SyncTimeout bounds a sync-mode ack wait; past it the write is
+	// reported failed to its issuer (it is still applied locally — the
+	// conservative side of the no-loss guarantee). Default 2s.
+	SyncTimeout time.Duration
+	// RetryBackoff is the pause after a failed ship attempt. Default 50ms.
+	RetryBackoff time.Duration
+	// Registry receives the shipper's gauges and counters; nil means a
+	// private registry.
+	Registry *telemetry.Registry
+	// Dial resolves an MDS id to an RPC client for its current address.
+	Dial func(id int) (*rpc.Client, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 256
+	}
+	if o.MaxBacklog <= 0 {
+		o.MaxBacklog = 16384
+	}
+	if o.SnapChunk <= 0 {
+		o.SnapChunk = 512
+	}
+	if o.SyncTimeout <= 0 {
+		o.SyncTimeout = 2 * time.Second
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+	return o
+}
+
+// Shipper is the primary side of replication. It taps the serving
+// store's kvstore commit hook — observing every mutation in WAL order —
+// buffers the records, and a background sender streams them to the
+// backup in bounded batches. A new (or retargeted, or gapped, or
+// overflowed) stream starts with a full snapshot: the shipper exports
+// the store, ships it chunk-wise under a fresh session, and resumes tail
+// appends from the sequence number the snapshot covers. In Sync mode the
+// hook hands each writer a wait that blocks until the backup has applied
+// its record (or SyncTimeout).
+type Shipper struct {
+	store *mds.Store
+	opts  Options
+	log   *telemetry.Logger
+
+	mu       sync.Mutex
+	cond     *sync.Cond    // wakes the sender: work or state change
+	ackCh    chan struct{} // closed and replaced whenever acked advances
+	buf      []Record      // unshipped tail, seq-ordered
+	lastSeq  uint64        // last assigned record seq
+	acked    uint64        // highest seq known applied on the backup
+	session  uint64
+	sessGen  uint64 // feeds session ids
+	backup   int
+	needSnap bool
+	stopped  bool
+	dropped  uint64 // records dropped to overflow (async loss exposure)
+
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+
+	backlogG     *telemetry.Gauge
+	lastSeqG     *telemetry.Gauge
+	ackedG       *telemetry.Gauge
+	lagG         *telemetry.Gauge
+	shippedC     *telemetry.Counter
+	resyncC      *telemetry.Counter
+	syncTimeoutC *telemetry.Counter
+	shipErrC     *telemetry.Counter
+	droppedC     *telemetry.Counter
+}
+
+// NewShipper creates a shipper for store. Call Start to install the
+// commit hook and begin streaming.
+func NewShipper(store *mds.Store, opts Options) *Shipper {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	sh := &Shipper{
+		store:        store,
+		opts:         opts,
+		log:          telemetry.L("repl").With("mds", opts.Primary),
+		ackCh:        make(chan struct{}),
+		backup:       opts.Backup,
+		needSnap:     true, // a new stream always starts with a snapshot
+		stopCh:       make(chan struct{}),
+		backlogG:     reg.Gauge("repl.shipper.backlog"),
+		lastSeqG:     reg.Gauge("repl.shipper.last_seq"),
+		ackedG:       reg.Gauge("repl.shipper.acked_seq"),
+		lagG:         reg.Gauge("repl.shipper.lag"),
+		shippedC:     reg.Counter("repl.shipper.shipped_records"),
+		resyncC:      reg.Counter("repl.shipper.resyncs"),
+		syncTimeoutC: reg.Counter("repl.shipper.sync_timeouts"),
+		shipErrC:     reg.Counter("repl.shipper.ship_errors"),
+		droppedC:     reg.Counter("repl.shipper.dropped_records"),
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	// Seed sessions off the clock so a restarted primary never reuses a
+	// session id against a backup that outlived it.
+	sh.sessGen = uint64(time.Now().UnixNano())
+	return sh
+}
+
+// Start installs the commit hook and launches the sender. The first
+// thing the sender does is bootstrap the backup with a snapshot.
+func (sh *Shipper) Start() {
+	sh.store.SetCommitHook(sh.tap)
+	sh.wg.Add(1)
+	go sh.run()
+}
+
+// Stop uninstalls the hook, releases any sync waiters (with an error),
+// and waits for the sender to exit.
+func (sh *Shipper) Stop() {
+	sh.store.SetCommitHook(nil)
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		return
+	}
+	sh.stopped = true
+	close(sh.stopCh)
+	close(sh.ackCh) // wake sync waiters; they re-check stopped
+	sh.ackCh = make(chan struct{})
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	sh.wg.Wait()
+}
+
+// Retarget points the shipper at a new backup (re-replication after the
+// old backup was promoted elsewhere or died). The new stream bootstraps
+// with a snapshot.
+func (sh *Shipper) Retarget(newBackup int) {
+	sh.mu.Lock()
+	sh.backup = newBackup
+	sh.needSnap = true
+	sh.cond.Signal()
+	sh.mu.Unlock()
+}
+
+// Status is a point-in-time view of the stream (admin /healthz, tests).
+type Status struct {
+	Primary  int    `json:"primary"`
+	Backup   int    `json:"backup"`
+	Sync     bool   `json:"sync"`
+	Session  uint64 `json:"session"`
+	LastSeq  uint64 `json:"last_seq"`
+	AckedSeq uint64 `json:"acked_seq"`
+	Lag      uint64 `json:"lag"`
+	Backlog  int    `json:"backlog"`
+	Dropped  uint64 `json:"dropped_records"`
+	Syncing  bool   `json:"snapshotting"`
+}
+
+// Status reports the stream state.
+func (sh *Shipper) Status() Status {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return Status{
+		Primary:  sh.opts.Primary,
+		Backup:   sh.backup,
+		Sync:     sh.opts.Sync,
+		Session:  sh.session,
+		LastSeq:  sh.lastSeq,
+		AckedSeq: sh.acked,
+		Lag:      sh.lastSeq - sh.acked,
+		Backlog:  len(sh.buf),
+		Dropped:  sh.dropped,
+		Syncing:  sh.needSnap,
+	}
+}
+
+// tap is the kvstore commit hook: called under the DB write lock, in WAL
+// order, once per committed write (a batch is one call). It assigns
+// sequence numbers, buffers the records, and in Sync mode returns the
+// wait the writer blocks on after releasing its locks.
+func (sh *Shipper) tap(muts []kvstore.Mutation) func() error {
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		return nil
+	}
+	for _, m := range muts {
+		sh.lastSeq++
+		sh.buf = append(sh.buf, Record{Seq: sh.lastSeq, Mut: m})
+	}
+	last := sh.lastSeq
+	sh.lastSeqG.Set(float64(last))
+	if len(sh.buf) > sh.opts.MaxBacklog {
+		// Overflow: drop the buffer and resync by snapshot. The store
+		// itself still holds every dropped mutation, so the snapshot
+		// covers them; only the stream restarts.
+		sh.dropped += uint64(len(sh.buf))
+		sh.droppedC.Add(int64(len(sh.buf)))
+		sh.buf = nil
+		if !sh.needSnap {
+			sh.needSnap = true
+			sh.resyncC.Inc()
+		}
+	}
+	sh.backlogG.Set(float64(len(sh.buf)))
+	sh.lagG.Set(float64(sh.lastSeq - sh.acked))
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	if !sh.opts.Sync {
+		return nil
+	}
+	return func() error { return sh.waitAcked(last) }
+}
+
+// waitAcked blocks until the backup has applied seq, the shipper stops,
+// or SyncTimeout passes.
+func (sh *Shipper) waitAcked(seq uint64) error {
+	timer := time.NewTimer(sh.opts.SyncTimeout)
+	defer timer.Stop()
+	for {
+		sh.mu.Lock()
+		if sh.acked >= seq {
+			sh.mu.Unlock()
+			return nil
+		}
+		if sh.stopped {
+			sh.mu.Unlock()
+			return fmt.Errorf("replication: shipper stopped before seq %d was acked", seq)
+		}
+		ch := sh.ackCh
+		sh.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			sh.syncTimeoutC.Inc()
+			return fmt.Errorf("replication: sync ack timeout at seq %d (backup %d unreachable or lagging)", seq, sh.backup)
+		}
+	}
+}
+
+// advanceAcked moves the ack frontier and wakes waiters. Caller holds mu.
+func (sh *Shipper) advanceAcked(seq uint64) {
+	if seq <= sh.acked {
+		return
+	}
+	sh.acked = seq
+	sh.ackedG.Set(float64(seq))
+	sh.lagG.Set(float64(sh.lastSeq - sh.acked))
+	close(sh.ackCh)
+	sh.ackCh = make(chan struct{})
+}
+
+// sleep pauses for the retry backoff, returning early on Stop.
+func (sh *Shipper) sleep() {
+	select {
+	case <-sh.stopCh:
+	case <-time.After(sh.opts.RetryBackoff):
+	}
+}
+
+// run is the sender loop: bootstrap by snapshot whenever the stream
+// needs one, otherwise ship the buffered tail in Window-sized batches.
+func (sh *Shipper) run() {
+	defer sh.wg.Done()
+	for {
+		sh.mu.Lock()
+		for !sh.stopped && !sh.needSnap && len(sh.buf) == 0 {
+			sh.cond.Wait()
+		}
+		if sh.stopped {
+			sh.mu.Unlock()
+			return
+		}
+		if sh.needSnap {
+			// Open a fresh session. Everything assigned so far is in the
+			// store and therefore covered by the snapshot; the buffer
+			// restarts empty and collects the tail that commits during
+			// the export (double-applied harmlessly — replay is
+			// idempotent).
+			sh.needSnap = false
+			sh.sessGen++
+			sh.session = sh.sessGen
+			sh.buf = nil
+			base := sh.lastSeq
+			session := sh.session
+			backup := sh.backup
+			sh.mu.Unlock()
+			err := sh.bootstrap(backup, session, base)
+			sh.mu.Lock()
+			if err != nil {
+				sh.shipErrC.Inc()
+				if !sh.stopped {
+					sh.needSnap = true
+				}
+				sh.mu.Unlock()
+				sh.log.Warn("replica bootstrap failed", "backup", backup, "err", err)
+				sh.sleep()
+				continue
+			}
+			// Every seq <= base is applied on the backup now, even if a
+			// newer resync was requested meanwhile.
+			sh.advanceAcked(base)
+			sh.mu.Unlock()
+			sh.log.Info("replica bootstrapped", "backup", backup, "session", session, "base_seq", base)
+			continue
+		}
+		n := len(sh.buf)
+		if n > sh.opts.Window {
+			n = sh.opts.Window
+		}
+		recs := make([]Record, n)
+		copy(recs, sh.buf[:n])
+		session := sh.session
+		backup := sh.backup
+		sh.mu.Unlock()
+
+		applied, err := sh.ship(backup, session, recs)
+		sh.mu.Lock()
+		if err == nil && sh.session == session {
+			// Pop exactly what we shipped — unless an overflow reset the
+			// buffer underneath us.
+			if len(sh.buf) >= n && sh.buf[0].Seq == recs[0].Seq {
+				sh.buf = sh.buf[n:]
+			}
+			sh.advanceAcked(applied)
+			sh.shippedC.Add(int64(n))
+			sh.backlogG.Set(float64(len(sh.buf)))
+			sh.mu.Unlock()
+			continue
+		}
+		if err != nil && IsGap(err) && sh.session == session {
+			// The backup lost our stream (restart, wipe, session
+			// mismatch): start over with a snapshot.
+			sh.needSnap = true
+			sh.resyncC.Inc()
+			sh.mu.Unlock()
+			sh.log.Warn("backup reports gap; resyncing", "backup", backup)
+			continue
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			sh.shipErrC.Inc()
+			sh.sleep()
+		}
+	}
+}
+
+// ship sends one Append batch and returns the backup's applied frontier.
+func (sh *Shipper) ship(backup int, session uint64, recs []Record) (uint64, error) {
+	cli, err := sh.opts.Dial(backup)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cli.Call(MethodAppend, encodeAppend(sh.opts.Primary, session, recs))
+	if err != nil {
+		return 0, err
+	}
+	return decodeAppliedResp(resp)
+}
+
+// bootstrap ships a full snapshot under a fresh session: SnapBegin,
+// chunked pairs, SnapEnd carrying the base seq the tail resumes from.
+// The export is copied out under the store's read lock before any
+// network send, so writers are never blocked behind the backup.
+func (sh *Shipper) bootstrap(backup int, session uint64, base uint64) error {
+	cli, err := sh.opts.Dial(backup)
+	if err != nil {
+		return err
+	}
+	if _, err := cli.Call(MethodSnapBegin, encodeSnapBegin(sh.opts.Primary, session)); err != nil {
+		return err
+	}
+	var pairs []kvstore.Mutation
+	err = sh.store.SnapshotPairs(func(k, v []byte) bool {
+		pairs = append(pairs, kvstore.Mutation{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(pairs); off += sh.opts.SnapChunk {
+		end := off + sh.opts.SnapChunk
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if _, err := cli.Call(MethodSnapChunk, encodeSnapChunk(sh.opts.Primary, session, pairs[off:end])); err != nil {
+			return err
+		}
+	}
+	if _, err := cli.Call(MethodSnapEnd, encodeSnapEnd(sh.opts.Primary, session, base)); err != nil {
+		return err
+	}
+	return nil
+}

@@ -575,6 +575,33 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	return c, nil
 }
 
+// DialLazyOptions is DialOptions for servers that may be down right now:
+// when the initial dial fails and Reconnect is on, the client starts in
+// the disconnected state and the redial loop brings the connection up
+// once the server returns. Calls issued while disconnected fail fast
+// with a retryable error. Without Reconnect the initial dial error is
+// returned as from DialOptions.
+func DialLazyOptions(addr string, opts ClientOptions) (*Client, error) {
+	cli, err := DialOptions(addr, opts)
+	if err == nil || !opts.Reconnect {
+		return cli, err
+	}
+	opts = opts.withDefaults()
+	gen := &connGen{done: make(chan struct{}), err: ErrClosed}
+	close(gen.done)
+	c := &Client{
+		addr: addr,
+		opts: opts,
+		gen:  gen,
+		rnd:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	if c.opts.Logger != nil {
+		c.opts.Logger.Warn("initial dial failed; starting disconnected", "addr", addr, "err", err)
+	}
+	go c.redial()
+	return c, nil
+}
+
 // Addr returns the dialed address.
 func (c *Client) Addr() string { return c.addr }
 
@@ -844,5 +871,8 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
+	if conn == nil {
+		return nil // lazily-dialed client that never connected
+	}
 	return conn.Close()
 }

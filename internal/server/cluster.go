@@ -33,6 +33,10 @@ type Cluster struct {
 	dir       string
 	timeout   time.Duration
 	kvOpts    kvstore.Options
+
+	// repl is the replication wiring, nil until EnableReplication. Like
+	// Services it is mutated only by single-threaded admin operations.
+	repl *replGroup
 }
 
 // StartCluster launches n in-process MDS services storing shards under
@@ -134,7 +138,14 @@ func (c *Cluster) StopMDS(id int) error {
 	if id < 0 || id >= len(c.Services) || c.Services[id] == nil {
 		return fmt.Errorf("server: no MDS %d to stop", id)
 	}
+	// Close the service first, replication actors second. The reverse
+	// order opens a sync-mode loss window: with the commit hook already
+	// uninstalled but the server still answering, a write would be
+	// acknowledged without ever reaching the backup. Closing the server
+	// first kills the connections, so in-flight writes can commit and
+	// ship but their acks never escape — exactly a crash's semantics.
 	err := c.Services[id].Close()
+	c.stopReplicationFor(id)
 	c.Services[id] = nil
 	return err
 }
@@ -178,11 +189,17 @@ func (c *Cluster) RestartMDS(id int) error {
 	c.mu.Lock()
 	c.conns[id] = conn
 	c.mu.Unlock()
+	c.startReplicationFor(id)
 	return nil
 }
 
 // Close shuts everything down.
 func (c *Cluster) Close() {
+	if c.repl != nil {
+		for i := range c.repl.shippers {
+			c.stopReplicationFor(i)
+		}
+	}
 	c.mu.Lock()
 	conns := append([]*rpc.Client{}, c.conns...)
 	peers := append([]*rpc.Client{}, c.peerConns...)

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"origami/internal/cluster"
@@ -43,8 +44,14 @@ type Coordinator struct {
 	// PublishBackoff separates publish attempts.
 	PublishBackoff time.Duration
 
+	// mu serialises the coordinator's control-plane operations (RunEpoch,
+	// Migrate, Reconcile, Failover) against each other — the auto-failover
+	// loop runs concurrently with the epoch ticker.
+	mu sync.Mutex
+
 	strategyReady bool
 	staleMaps     map[int]bool // MDSs that missed a publish
+	failedOver    map[int]bool // primaries already failed over this outage
 
 	// reg holds the balancer's telemetry: epoch durations, migration
 	// outcome counters, and per-MDS health-state gauges
@@ -95,6 +102,7 @@ func NewCoordinator(c *Cluster) *Coordinator {
 		PublishRetries: 3,
 		PublishBackoff: 10 * time.Millisecond,
 		staleMaps:      make(map[int]bool),
+		failedOver:     make(map[int]bool),
 		reg:            telemetry.NewRegistry(),
 		log:            telemetry.L("coordinator"),
 	}
@@ -123,6 +131,8 @@ func (co *Coordinator) recordHealthGauges() {
 
 // Pins returns a snapshot of the coordinator's partition map.
 func (co *Coordinator) Pins() map[namespace.Ino]int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
 	out := make(map[namespace.Ino]int, len(co.pins))
 	for k, v := range co.pins {
 		out[k] = v
@@ -131,7 +141,11 @@ func (co *Coordinator) Pins() map[namespace.Ino]int {
 }
 
 // MapVersion returns the coordinator's current partition-map version.
-func (co *Coordinator) MapVersion() uint64 { return co.version }
+func (co *Coordinator) MapVersion() uint64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.version
+}
 
 // collect pulls one epoch dump from every reachable MDS. Shards whose
 // dump fails are skipped (and demoted in the health tracker) instead of
@@ -349,6 +363,8 @@ func (co *Coordinator) reportOutcome(id int, err error) {
 // Rejected decisions before crediting migrations to an experiment. An
 // error is returned only when no shard at all can be collected.
 func (co *Coordinator) RunEpoch() (*EpochResult, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
 	res := &EpochResult{}
 	start := time.Now()
 	defer func() {
@@ -367,7 +383,7 @@ func (co *Coordinator) RunEpoch() (*EpochResult, error) {
 			"ns", time.Since(start).Nanoseconds())
 	}()
 	co.Health.CheckAll()
-	res.Reconciled = co.Reconcile()
+	res.Reconciled = co.reconcileLocked()
 	stats, rows, skipped := co.collect()
 	res.SkippedMDS = skipped
 	if len(skipped) == len(co.cluster.Addrs) {
@@ -429,6 +445,8 @@ func (co *Coordinator) RunEpoch() (*EpochResult, error) {
 // that miss the resulting map publish are left for reconciliation; the
 // migration itself succeeding is what decides the return value.
 func (co *Coordinator) Migrate(subtree namespace.Ino, from, to int) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
 	if err := co.migrate2PC(subtree, from, to); err != nil {
 		return err
 	}
@@ -485,6 +503,12 @@ func (co *Coordinator) publishOne(id int, body []byte) error {
 // that lag — the catch-up path for shards that were down during a
 // publish. It returns the ids that were brought up to date.
 func (co *Coordinator) Reconcile() []int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.reconcileLocked()
+}
+
+func (co *Coordinator) reconcileLocked() []int {
 	if co.version == 0 {
 		return nil
 	}

@@ -1,0 +1,314 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"origami/internal/namespace"
+	"origami/internal/replication"
+	"origami/internal/telemetry"
+)
+
+// Replication wiring for in-process clusters: ring topology, MDS i ships
+// its WAL to MDS (i+1) mod n. Each MDS is simultaneously the primary of
+// its own shard and the backup of its predecessor's. The coordinator
+// drives failover (Coordinator.Failover / StartAutoFailover) and
+// re-replication retargets the shippers that were using the dead MDS as
+// their backup.
+
+// replGroup holds the per-MDS replication actors. Slots are nil while
+// the matching MDS is stopped. Mutated only by the single-threaded admin
+// operations (Enable/Stop/Restart/Retarget/Close), like Services itself.
+type replGroup struct {
+	sync      bool
+	backups   []int // backups[i] = backup MDS of primary i
+	shippers  []*replication.Shipper
+	receivers []*replication.Receiver
+	regs      []*telemetry.Registry
+}
+
+// EnableReplication wires ring replication into a running cluster:
+// every MDS gets a Receiver registered on its RPC server and a Shipper
+// streaming its shard to the next MDS. syncMode acks local writes only
+// after the backup applied them (-repl-sync). tweak, when non-nil, is
+// applied to each shipper's options before start (tests shrink windows
+// and timeouts with it).
+func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Options)) error {
+	n := len(c.Services)
+	if n < 2 {
+		return fmt.Errorf("server: replication needs >= 2 MDSs, have %d", n)
+	}
+	if c.repl != nil {
+		return fmt.Errorf("server: replication already enabled")
+	}
+	g := &replGroup{
+		sync:      syncMode,
+		backups:   make([]int, n),
+		shippers:  make([]*replication.Shipper, n),
+		receivers: make([]*replication.Receiver, n),
+		regs:      make([]*telemetry.Registry, n),
+	}
+	for i, svc := range c.Services {
+		g.regs[i] = telemetry.NewRegistry()
+		rcv := replication.NewReceiver(i, c.replicaDir(i), svc.Store(), c.kvOpts, g.regs[i])
+		rcv.Register(svc.Server())
+		g.receivers[i] = rcv
+	}
+	for i, svc := range c.Services {
+		g.backups[i] = (i + 1) % n
+		opts := replication.Options{
+			Primary:  i,
+			Backup:   g.backups[i],
+			Sync:     syncMode,
+			Registry: g.regs[i],
+			Dial:     c.peerResolver,
+		}
+		if tweak != nil {
+			tweak(&opts)
+		}
+		sh := replication.NewShipper(svc.Store(), opts)
+		g.shippers[i] = sh
+		sh.Start()
+	}
+	c.repl = g
+	return nil
+}
+
+func (c *Cluster) replicaDir(id int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("mds%d", id), "replicas")
+}
+
+// ReplicationEnabled reports whether EnableReplication ran.
+func (c *Cluster) ReplicationEnabled() bool { return c.repl != nil }
+
+// BackupOf returns the backup MDS of a primary, or -1 when replication
+// is off (or the id is out of range).
+func (c *Cluster) BackupOf(id int) int {
+	if c.repl == nil || id < 0 || id >= len(c.repl.backups) {
+		return -1
+	}
+	return c.repl.backups[id]
+}
+
+// ShipperOf returns a primary's shipper (tests, status), or nil.
+func (c *Cluster) ShipperOf(id int) *replication.Shipper {
+	if c.repl == nil {
+		return nil
+	}
+	return c.repl.shippers[id]
+}
+
+// ReceiverOf returns an MDS's receiver (tests, status), or nil.
+func (c *Cluster) ReceiverOf(id int) *replication.Receiver {
+	if c.repl == nil {
+		return nil
+	}
+	return c.repl.receivers[id]
+}
+
+// ReplRegistry returns the replication telemetry registry of one MDS, or
+// nil when replication is off.
+func (c *Cluster) ReplRegistry(id int) *telemetry.Registry {
+	if c.repl == nil {
+		return nil
+	}
+	return c.repl.regs[id]
+}
+
+// RetargetReplication re-replicates around a dead MDS: every live
+// primary whose backup was dead is retargeted to its next live
+// successor, which bootstraps a fresh replica by snapshot.
+func (c *Cluster) RetargetReplication(dead int) {
+	if c.repl == nil {
+		return
+	}
+	n := len(c.Services)
+	for i := 0; i < n; i++ {
+		if i == dead || c.repl.shippers[i] == nil || c.repl.backups[i] != dead {
+			continue
+		}
+		nb := -1
+		for cand := (i + 1) % n; cand != i; cand = (cand + 1) % n {
+			if cand != dead && c.Services[cand] != nil {
+				nb = cand
+				break
+			}
+		}
+		if nb < 0 {
+			continue // nobody left to replicate to
+		}
+		c.repl.backups[i] = nb
+		c.repl.shippers[i].Retarget(nb)
+	}
+}
+
+// ReplicationStatus summarises one MDS's replication state for the admin
+// /healthz document: its role, the stream it ships, and the replicas it
+// hosts. Returns nil when replication is off.
+func (c *Cluster) ReplicationStatus(id int) map[string]interface{} {
+	if c.repl == nil || id < 0 || id >= len(c.repl.shippers) {
+		return nil
+	}
+	doc := map[string]interface{}{"sync": c.repl.sync}
+	role := ""
+	if sh := c.repl.shippers[id]; sh != nil {
+		role = "primary"
+		doc["shipper"] = sh.Status()
+	}
+	if rc := c.repl.receivers[id]; rc != nil {
+		replicas := rc.Status()
+		if len(replicas) > 0 {
+			if role != "" {
+				role += "+backup"
+			} else {
+				role = "backup"
+			}
+			doc["replicas"] = replicas
+		}
+	}
+	if role == "" {
+		role = "idle"
+	}
+	doc["role"] = role
+	return doc
+}
+
+// stopReplicationFor tears down the replication actors of one MDS ahead
+// of its shutdown: the shipper dies with its primary (sync waiters are
+// released with an error) and hosted replicas are closed.
+func (c *Cluster) stopReplicationFor(id int) {
+	if c.repl == nil {
+		return
+	}
+	if sh := c.repl.shippers[id]; sh != nil {
+		sh.Stop()
+		c.repl.shippers[id] = nil
+	}
+	if rc := c.repl.receivers[id]; rc != nil {
+		rc.Close()
+		c.repl.receivers[id] = nil
+	}
+}
+
+// startReplicationFor re-wires replication after RestartMDS: a fresh
+// receiver on the revived server and a shipper that re-bootstraps its
+// backup from snapshot.
+func (c *Cluster) startReplicationFor(id int) {
+	if c.repl == nil {
+		return
+	}
+	svc := c.Services[id]
+	reg := c.repl.regs[id]
+	rcv := replication.NewReceiver(id, c.replicaDir(id), svc.Store(), c.kvOpts, reg)
+	rcv.Register(svc.Server())
+	c.repl.receivers[id] = rcv
+	opts := replication.Options{
+		Primary:  id,
+		Backup:   c.repl.backups[id],
+		Sync:     c.repl.sync,
+		Registry: reg,
+		Dial:     c.peerResolver,
+	}
+	sh := replication.NewShipper(svc.Store(), opts)
+	c.repl.shippers[id] = sh
+	sh.Start()
+}
+
+// Failover handles a confirmed-dead primary: promote its backup (the
+// replica is absorbed into the backup's serving store), repoint every
+// subtree the dead MDS owned at the promotee, re-replicate around the
+// hole, and publish the bumped map so clients recover through the
+// not-owner/map-version retry path.
+func (co *Coordinator) Failover(dead int) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.failoverLocked(dead)
+}
+
+func (co *Coordinator) failoverLocked(dead int) error {
+	start := time.Now()
+	backup := co.cluster.BackupOf(dead)
+	if backup < 0 {
+		return fmt.Errorf("server: no backup for MDS %d (replication not enabled)", dead)
+	}
+	if backup == dead || co.cluster.Services[backup] == nil {
+		return fmt.Errorf("server: backup %d of MDS %d is not alive", backup, dead)
+	}
+	resp, err := co.cluster.Conn(backup).Call(replication.MethodPromote, replication.EncodePromote(dead))
+	if err != nil {
+		co.reg.Counter("coordinator.failover.errors").Inc()
+		return fmt.Errorf("server: promote replica of %d on MDS %d: %w", dead, backup, err)
+	}
+	absorbed, _ := replication.DecodePromoteResp(resp)
+	moved := 0
+	for ino, m := range co.pins {
+		if m == dead {
+			co.pins[ino] = backup
+			moved++
+		}
+	}
+	if dead == 0 {
+		// MDS 0 is the default owner of everything unpinned; pin the root
+		// at the promotee so resolution lands there. (Clients still
+		// bootstrap their map from MDS 0 — promoting MDS 0 keeps the data
+		// available but needs an out-of-band map source; see DESIGN.md.)
+		co.pins[namespace.RootIno] = backup
+		moved++
+	}
+	co.cluster.RetargetReplication(dead)
+	stale := co.publish()
+	co.failedOver[dead] = true
+	co.reg.Counter("coordinator.failovers").Inc()
+	co.reg.Histogram("coordinator.failover.duration_ns").Record(time.Since(start).Nanoseconds())
+	co.log.Info("failover complete",
+		"dead", dead, "promoted", backup, "absorbed", absorbed,
+		"pins_moved", moved, "map_version", co.version, "stale", stale)
+	return nil
+}
+
+// StartAutoFailover launches the heartbeat/failover loop: every interval
+// it probes all MDSs and fails over any primary the tracker declares
+// Down (once per outage — a revived MDS re-arms). Returns a stop func.
+func (co *Coordinator) StartAutoFailover(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			co.failoverSweep()
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// failoverSweep is one heartbeat round: probe everything, fail over what
+// is down and still has a live backup.
+func (co *Coordinator) failoverSweep() {
+	for id := range co.cluster.Addrs {
+		st := co.Health.Check(id)
+		co.mu.Lock()
+		switch {
+		case st == Up:
+			delete(co.failedOver, id) // re-arm after a revival
+		case st == Down && !co.failedOver[id]:
+			backup := co.cluster.BackupOf(id)
+			if backup >= 0 && backup != id && co.Health.State(backup) == Up {
+				if err := co.failoverLocked(id); err != nil {
+					co.log.Warn("failover failed", "dead", id, "err", err)
+				}
+			}
+		}
+		co.mu.Unlock()
+	}
+	co.recordHealthGauges()
+}

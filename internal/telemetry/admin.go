@@ -17,6 +17,10 @@ type AdminConfig struct {
 	Registries map[string]*Registry
 	// Health, when non-nil, contributes extra fields to /healthz.
 	Health func() map[string]interface{}
+	// Replication, when non-nil, contributes the node's replication
+	// document — role, shipped/applied WAL offsets, lag — under the
+	// "replication" key of /healthz.
+	Replication func() map[string]interface{}
 	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default:
 	// profiling endpoints on a production port are opt-in).
 	Pprof bool
@@ -53,6 +57,11 @@ func StartAdmin(addr string, cfg AdminConfig) (*Admin, error) {
 		doc := map[string]interface{}{
 			"status":         "ok",
 			"uptime_seconds": time.Since(a.start).Seconds(),
+		}
+		if cfg.Replication != nil {
+			if repl := cfg.Replication(); repl != nil {
+				doc["replication"] = repl
+			}
 		}
 		if cfg.Health != nil {
 			extra := cfg.Health()
