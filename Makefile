@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test test-race race chaos bench experiments examples profile clean
+.PHONY: all check build vet fmt-check test test-race race chaos train-smoke bench experiments examples profile clean
 
 all: check
 
@@ -33,7 +33,14 @@ test-race:
 # promotion, replication gap/overflow resyncs — all under the race
 # detector.
 chaos:
-	$(GO) test -race -run 'Chaos|Failover|Resync' ./internal/server/... ./internal/replication/...
+	$(GO) test -race -run 'Chaos|Failover|Resync|OnlineLoop' ./internal/server/... ./internal/replication/...
+
+# Seconds-long live-cluster smoke of the online learning loop under the
+# race detector: skewed load → harvested labels → background retrain →
+# hot-swapped model → loadable checkpoint, plus the admin RPCs and the
+# warm-start path.
+train-smoke:
+	$(GO) test -race -count=1 -timeout 120s -run 'OnlineLoop|AdminRPC|WarmStart' ./internal/server/...
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # kvstore micro-benchmarks.

@@ -73,7 +73,7 @@ func runCommand(sdk *client.Client, args []string) error {
 	}
 	switch cmd {
 	case "help":
-		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | quit")
+		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | epoch | model | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {
@@ -159,8 +159,47 @@ func runCommand(sdk *client.Client, args []string) error {
 		}
 		printMDSMetrics(sdk, id)
 		return nil
+	case "epoch":
+		// Ask the coordinator (beside MDS 0) for one balancing round.
+		body, err := sdk.TriggerEpoch()
+		if err != nil {
+			return fmt.Errorf("epoch: %w", err)
+		}
+		printJSON(body)
+		return nil
+	case "model":
+		// The coordinator's learning-loop status: model version, dataset
+		// size, retrain counters — or the frozen strategy in use.
+		body, err := sdk.ModelInfo()
+		if err != nil {
+			return fmt.Errorf("model: %w", err)
+		}
+		printJSON(body)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+// printJSON pretty-prints a JSON RPC response as sorted key = value
+// lines (falling back to the raw payload if it does not parse).
+func printJSON(body []byte) {
+	var doc map[string]interface{}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Println(string(body))
+		return
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, err := json.Marshal(doc[k])
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%s = %s\n", k, v)
 	}
 }
 

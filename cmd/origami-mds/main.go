@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"origami/internal/balancer"
+	"origami/internal/features"
 	"origami/internal/kvstore"
 	"origami/internal/mds"
 	"origami/internal/ml"
@@ -51,7 +52,10 @@ func main() {
 		dataDir   = flag.String("data", "./origami-data", "storage directory")
 		clusterN  = flag.Int("cluster", 0, "run an n-MDS development cluster in-process")
 		epoch     = flag.Duration("epoch", 10*time.Second, "rebalance epoch for -cluster mode")
-		model     = flag.String("model", "", "trained benefit model (origami-train output) driving the balancer in -cluster mode")
+		model     = flag.String("model", "", "trained benefit model (origami-train output) driving the balancer in -cluster mode; without it the coordinator learns online")
+		autoBal   = flag.Bool("auto-balance", true, "run the background balance loop every -epoch in -cluster mode (off: epochs only via 'origami-cli epoch')")
+		modelDir  = flag.String("model-dir", "", "directory for online-learning model checkpoints; the newest one warm-starts the balancer")
+		retrain   = flag.Int("retrain-every", 256, "retrain the online model after this many newly harvested rows")
 		repl      = flag.Bool("repl", false, "enable ring replication between the MDSs in -cluster mode (async WAL shipping)")
 		replSync  = flag.Bool("repl-sync", false, "replication acks each write only after the backup applied it (implies -repl)")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "health-probe interval of the auto-failover loop when replication is on")
@@ -62,8 +66,20 @@ func main() {
 	flag.Parse()
 	telemetry.SetLogLevel(parseLevel(*logLevel))
 	if *clusterN > 0 {
-		runCluster(*clusterN, *dataDir, *epoch, *model, *adminAddr, *pprofOn,
-			*repl || *replSync, *replSync, *heartbeat)
+		runCluster(clusterOpts{
+			n:            *clusterN,
+			dataDir:      *dataDir,
+			epoch:        *epoch,
+			modelPath:    *model,
+			modelDir:     *modelDir,
+			retrainEvery: *retrain,
+			autoBalance:  *autoBal,
+			adminAddr:    *adminAddr,
+			pprofOn:      *pprofOn,
+			replOn:       *repl || *replSync,
+			replSync:     *replSync,
+			heartbeat:    *heartbeat,
+		})
 		return
 	}
 	if *repl || *replSync {
@@ -170,40 +186,76 @@ func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
 	}
 }
 
-func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr string, pprofOn, replOn, replSync bool, heartbeat time.Duration) {
+// clusterOpts bundles the -cluster mode configuration.
+type clusterOpts struct {
+	n            int
+	dataDir      string
+	epoch        time.Duration
+	modelPath    string
+	modelDir     string
+	retrainEvery int
+	autoBalance  bool
+	adminAddr    string
+	pprofOn      bool
+	replOn       bool
+	replSync     bool
+	heartbeat    time.Duration
+}
+
+func runCluster(o clusterOpts) {
 	log := telemetry.L("origami-mds")
-	cl, err := server.StartCluster(n, dataDir)
+	cl, err := server.StartCluster(o.n, o.dataDir)
 	if err != nil {
 		log.Error("start cluster failed", "err", err)
 		os.Exit(1)
 	}
 	defer cl.Close()
 	co := server.NewCoordinator(cl)
-	if replOn {
-		if err := cl.EnableReplication(replSync, nil); err != nil {
+	if o.replOn {
+		if err := cl.EnableReplication(o.replSync, nil); err != nil {
 			log.Error("enable replication failed", "err", err)
 			os.Exit(1)
 		}
-		stopFailover := co.StartAutoFailover(heartbeat)
+		stopFailover := co.StartAutoFailover(o.heartbeat)
 		defer stopFailover()
-		log.Info("replication on", "sync", replSync, "heartbeat", heartbeat)
+		log.Info("replication on", "sync", o.replSync, "heartbeat", o.heartbeat)
 	}
-	if modelPath != "" {
-		f, err := os.Open(modelPath)
+	if o.modelPath != "" {
+		// Frozen model: no online learning, the checkpointed (or
+		// origami-train) model drives every epoch.
+		f, err := os.Open(o.modelPath)
 		if err != nil {
-			log.Error("open model failed", "path", modelPath, "err", err)
+			log.Error("open model failed", "path", o.modelPath, "err", err)
 			os.Exit(1)
 		}
 		m, err := ml.LoadGBDT(f)
 		f.Close()
 		if err != nil {
-			log.Error("load model failed", "path", modelPath, "err", err)
+			log.Error("load model failed", "path", o.modelPath, "err", err)
 			os.Exit(1)
 		}
-		co.Strategy = &balancer.Origami{Model: m}
-		log.Info("balancer using trained model", "path", modelPath, "trees", len(m.Trees))
+		if err := m.CheckCompatible(features.NumFeatures); err != nil {
+			log.Error("model incompatible with feature schema", "path", o.modelPath, "err", err)
+			os.Exit(1)
+		}
+		co.SetStrategy(&balancer.Origami{Model: m})
+		log.Info("balancer using trained model", "path", o.modelPath, "trees", len(m.Trees))
+	} else {
+		// No model: close the §4.3 loop on the live cluster — harvest
+		// every epoch, retrain in the background, hot-swap, checkpoint.
+		if err := co.EnableOnlineLearning(server.LearnerConfig{
+			RetrainEvery: o.retrainEvery,
+			ModelDir:     o.modelDir,
+		}); err != nil {
+			log.Error("enable online learning failed", "err", err)
+			os.Exit(1)
+		}
+		log.Info("online learning on", "model_dir", o.modelDir, "retrain_every", o.retrainEvery)
 	}
-	if adminAddr != "" {
+	// Coordinator admin protocol (origami-cli epoch / model) rides on
+	// MDS 0's RPC server.
+	co.RegisterAdmin(cl.Services[0].Server())
+	if o.adminAddr != "" {
 		for i, svc := range cl.Services {
 			// MDS 0's endpoint carries the coordinator registry too: one
 			// curl shows epoch outcomes and per-shard health gauges.
@@ -216,49 +268,35 @@ func runCluster(n int, dataDir string, epoch time.Duration, modelPath, adminAddr
 			}
 			id, rpcAddr, s := i, cl.Addrs[i], svc
 			var replFn func() map[string]interface{}
-			if replOn {
+			if o.replOn {
 				replFn = func() map[string]interface{} { return cl.ReplicationStatus(id) }
 			}
-			admin := startAdmin(log, adminAddrFor(adminAddr, i), pprofOn, svc, extra, func() map[string]interface{} {
-				return map[string]interface{}{
+			admin := startAdmin(log, adminAddrFor(o.adminAddr, i), o.pprofOn, svc, extra, func() map[string]interface{} {
+				h := map[string]interface{}{
 					"mds_id":      id,
 					"rpc_addr":    rpcAddr,
 					"map_version": s.MapVersion(),
 				}
+				if id == 0 {
+					if st := co.LearnerStatus(); st != nil {
+						h["learner"] = st
+					}
+				}
+				return h
 			}, replFn)
 			defer admin.Close()
 		}
 	}
-	log.Info("cluster up", "mds_count", n, "epoch", epoch)
+	log.Info("cluster up", "mds_count", o.n, "epoch", o.epoch, "auto_balance", o.autoBalance)
 	for i, a := range cl.Addrs {
 		log.Info("shard", "mds", i, "addr", a)
 	}
-	ticker := time.NewTicker(epoch)
-	defer ticker.Stop()
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	for {
-		select {
-		case <-ticker.C:
-			res, err := co.RunEpoch()
-			if err != nil {
-				log.Warn("rebalance failed", "err", err)
-				continue
-			}
-			for _, d := range res.Applied {
-				log.Info("rebalance applied", "decision", fmt.Sprint(d))
-			}
-			if len(res.Rejected) > 0 {
-				log.Warn("rebalance rejections", "count", len(res.Rejected))
-			}
-			if res.Degraded() {
-				log.Warn("degraded epoch", "skipped", fmt.Sprint(res.SkippedMDS), "stale", fmt.Sprint(res.StaleMDS))
-			}
-		case <-sig:
-			log.Info("shutting down")
-			return
-		}
+	if o.autoBalance {
+		stopBalance := co.StartAutoBalance(o.epoch)
+		defer stopBalance()
 	}
+	waitForSignal()
+	log.Info("shutting down")
 }
 
 func waitForSignal() {

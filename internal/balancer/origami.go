@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"sync"
 	"time"
 
 	"origami/internal/cluster"
@@ -43,6 +44,12 @@ type Origami struct {
 	// Online enables self-training when Model is nil (default on).
 	DisableOnline bool
 
+	// modelMu guards the hot-swap slot: SetModel runs on a retrainer's
+	// goroutine while the coordinator (or simulator) drives Rebalance.
+	modelMu      sync.RWMutex
+	swapped      ml.Predictor
+	modelVersion uint64
+
 	dataset  ml.Dataset
 	trained  *ml.GBDT
 	epochs   int
@@ -74,9 +81,42 @@ func (s *Origami) Setup(*namespace.Tree, *cluster.PartitionMap) error {
 // migrates subtrees afterwards.
 func (s *Origami) PinPolicy() cluster.PinPolicy { return nil }
 
+// SetModel atomically hot-swaps the benefit predictor: the next
+// Rebalance uses the new model, whatever epoch the host is in. The swap
+// is rejected when the model's feature schema does not match the host's
+// extractor — a mismatched model must fail here, not mispredict later.
+// version tags the swap for observability (ModelVersion).
+func (s *Origami) SetModel(p ml.Predictor, version uint64) error {
+	if c, ok := p.(interface{ CheckCompatible(int) error }); ok && p != nil {
+		if err := c.CheckCompatible(features.NumFeatures); err != nil {
+			return err
+		}
+	}
+	s.modelMu.Lock()
+	s.swapped = p
+	s.modelVersion = version
+	s.modelMu.Unlock()
+	return nil
+}
+
+// ModelVersion returns the version tag of the last SetModel (0 before
+// any swap).
+func (s *Origami) ModelVersion() uint64 {
+	s.modelMu.RLock()
+	defer s.modelMu.RUnlock()
+	return s.modelVersion
+}
+
 // activeModel returns the predictor to use this epoch, or nil for the
-// Meta-OPT bootstrap.
+// Meta-OPT bootstrap. Hot-swapped models take precedence over the
+// statically configured one, which beats the self-trained fallback.
 func (s *Origami) activeModel() ml.Predictor {
+	s.modelMu.RLock()
+	swapped := s.swapped
+	s.modelMu.RUnlock()
+	if swapped != nil {
+		return swapped
+	}
 	if s.Model != nil {
 		return s.Model
 	}

@@ -150,6 +150,19 @@ func (c *Client) FetchMetrics(mdsID int) ([]byte, error) {
 	return c.callIdem(context.Background(), mdsID, mds.MethodMetrics, nil)
 }
 
+// TriggerEpoch asks the coordinator (co-located with MDS 0) for one
+// balancing round and returns its JSON summary. Not idempotent — an
+// epoch migrates subtrees — so it gets exactly one attempt.
+func (c *Client) TriggerEpoch() ([]byte, error) {
+	return c.call(context.Background(), 0, mds.MethodEpochRun, nil)
+}
+
+// ModelInfo returns the coordinator's learning-loop status (model
+// version, dataset size, retrain counters) as JSON.
+func (c *Client) ModelInfo() ([]byte, error) {
+	return c.callIdem(context.Background(), 0, mds.MethodModelInfo, nil)
+}
+
 // op starts one SDK operation: it allocates the operation's trace ID
 // (propagated to every MDS the operation touches) and returns the
 // context plus a completion hook recording end-to-end latency and — at

@@ -47,6 +47,20 @@ const (
 	MethodMetrics
 )
 
+// Coordinator admin protocol. These methods are served not by the MDS
+// itself but by the coordinator co-located with MDS 0 (the map
+// authority), registered onto the same RPC server — the numbering range
+// stays clear of both the metadata protocol above and the replication
+// protocol (100+).
+const (
+	// MethodEpochRun asks the coordinator for one balancing round and
+	// returns the EpochResult summary as JSON.
+	MethodEpochRun rpc.Method = iota + 200
+	// MethodModelInfo returns the coordinator's learning-loop status
+	// (model version, dataset size, retrain counters) as JSON.
+	MethodModelInfo
+)
+
 // methodNames maps method numbers to the segment used in metric names
 // (rpc.client.<name>.calls, rpc.server.<name>.latency_ns, ...).
 var methodNames = map[rpc.Method]string{
@@ -71,6 +85,8 @@ var methodNames = map[rpc.Method]string{
 	MethodMigrateAbort:   "migrate_abort",
 	MethodEvict:          "evict",
 	MethodMetrics:        "metrics",
+	MethodEpochRun:       "epoch_run",
+	MethodModelInfo:      "model_info",
 }
 
 // MethodName returns the human-readable metric segment for a protocol

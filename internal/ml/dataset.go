@@ -64,6 +64,27 @@ func (d *Dataset) Append(x []float64, y float64) {
 // Len returns the number of examples.
 func (d *Dataset) Len() int { return len(d.X) }
 
+// TrimFront bounds the dataset to its most recent max rows, evicting the
+// oldest — the retention policy of a live dataset that grows forever.
+func (d *Dataset) TrimFront(max int) {
+	if max <= 0 || len(d.X) <= max {
+		return
+	}
+	n := len(d.X) - max
+	d.X = append([][]float64(nil), d.X[n:]...)
+	d.Y = append([]float64(nil), d.Y[n:]...)
+}
+
+// Clone deep-copies the row slices (not the rows themselves — feature
+// vectors are never mutated after Append), so a trainer can work on a
+// stable snapshot while the owner keeps appending.
+func (d *Dataset) Clone() Dataset {
+	return Dataset{
+		X: append([][]float64(nil), d.X...),
+		Y: append([]float64(nil), d.Y...),
+	}
+}
+
 // Split partitions the dataset into train and test deterministically by
 // seed, with testFrac of rows in the test set.
 func (d *Dataset) Split(testFrac float64, seed int64) (train, test Dataset) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 )
 
@@ -32,6 +33,10 @@ type GBDTConfig struct {
 	// training data, deterministic split) hasn't improved for this many
 	// rounds (0 = never).
 	EarlyStopRounds int
+	// Workers parallelises the split-gain search across feature columns
+	// (0 = GOMAXPROCS, 1 = sequential). The parallel reduction is
+	// deterministic: any worker count fits the identical model.
+	Workers int
 }
 
 func (c GBDTConfig) withDefaults() GBDTConfig {
@@ -55,6 +60,9 @@ func (c GBDTConfig) withDefaults() GBDTConfig {
 	}
 	if c.Bins <= 1 || c.Bins > 256 {
 		c.Bins = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -120,6 +128,7 @@ func TrainGBDT(ds Dataset, cfg GBDTConfig) (*GBDT, error) {
 			depthWise: cfg.DepthWise,
 			minLeaf:   cfg.MinLeafSamples,
 			lambda:    cfg.Lambda,
+			workers:   cfg.Workers,
 			gainAcc:   model.Gain,
 			splitAcc:  model.Splits,
 		}
@@ -213,11 +222,56 @@ func (m *GBDT) Save(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// LoadGBDT reads a model written by Save.
+// LoadGBDT reads a model written by Save, rejecting structurally broken
+// ensembles (a tree referencing a feature outside the persisted schema
+// would silently mispredict — or panic — at serve time).
 func LoadGBDT(r io.Reader) (*GBDT, error) {
 	var m GBDT
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("ml: load gbdt: %w", err)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("ml: load gbdt: %w", err)
+	}
 	return &m, nil
+}
+
+// Validate checks the ensemble's structural integrity: a declared
+// feature count, trees whose split features fall inside it, and child
+// indices that stay in range.
+func (m *GBDT) Validate() error {
+	if m.NumFeats <= 0 {
+		return fmt.Errorf("model declares no feature count (num_feats=%d)", m.NumFeats)
+	}
+	for ti, t := range m.Trees {
+		if t == nil {
+			return fmt.Errorf("tree %d is null", ti)
+		}
+		for ni := range t.Nodes {
+			n := &t.Nodes[ni]
+			if n.Left < 0 {
+				continue // leaf
+			}
+			if n.Feature < 0 || n.Feature >= m.NumFeats {
+				return fmt.Errorf("tree %d node %d splits on feature %d, schema has %d",
+					ti, ni, n.Feature, m.NumFeats)
+			}
+			if n.Left >= len(t.Nodes) || n.Right < 0 || n.Right >= len(t.Nodes) {
+				return fmt.Errorf("tree %d node %d has out-of-range children [%d %d]",
+					ti, ni, n.Left, n.Right)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCompatible verifies the model was trained on the caller's feature
+// schema. Loading a model with a different feature dimension must fail
+// loudly: predictions against reordered or missing columns are silent
+// garbage.
+func (m *GBDT) CheckCompatible(numFeatures int) error {
+	if m.NumFeats != numFeatures {
+		return fmt.Errorf("ml: model trained on %d features, host extracts %d", m.NumFeats, numFeatures)
+	}
+	return nil
 }

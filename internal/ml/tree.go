@@ -3,6 +3,8 @@ package ml
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Histogram-based regression trees. Feature values are quantised once per
@@ -107,6 +109,7 @@ type growSpec struct {
 	depthWise bool // growth order
 	minLeaf   int
 	lambda    float64
+	workers   int       // split-search parallelism (<=1 = inline)
 	gainAcc   []float64 // per-feature cumulative split gain (importance)
 	splitAcc  []int     // per-feature split counts
 }
@@ -204,7 +207,22 @@ func leafValue(spec *growSpec, samples []int) float64 {
 	return g / (float64(len(samples)) + spec.lambda)
 }
 
-// findBest computes the leaf's best split via per-bin histograms.
+// parallelMinSamples is the leaf size below which fanning the split
+// search out to the worker pool costs more than the scan itself.
+const parallelMinSamples = 256
+
+// featSplit is one feature's best available split on a leaf.
+type featSplit struct {
+	gain     float64
+	binSplit int
+}
+
+// findBest computes the leaf's best split via per-bin histograms. With
+// spec.workers > 1 the per-feature histogram scans run on a worker pool;
+// each feature's scan is self-contained and the final reduction walks
+// features in ascending order with the same strict-greater tie-break as
+// the inline loop, so the chosen split (and hence the fitted tree) is
+// bit-identical to the sequential result.
 func findBest(spec *growSpec, lc *leafCand) {
 	lc.gain = 0
 	if len(lc.samples) < 2*spec.minLeaf {
@@ -217,35 +235,74 @@ func findBest(spec *growSpec, lc *leafCand) {
 	}
 	nTot := float64(len(lc.samples))
 	parentScore := gTot * gTot / (nTot + spec.lambda)
-	for f := 0; f < nf; f++ {
-		nbins := len(spec.binEdges[f]) + 1
-		if nbins < 2 {
-			continue
+	cands := make([]featSplit, nf)
+	if w := spec.workers; w > 1 && len(lc.samples) >= parallelMinSamples {
+		if w > nf {
+			w = nf
 		}
-		sums := make([]float64, nbins)
-		counts := make([]int, nbins)
-		for _, si := range lc.samples {
-			b := spec.Xq[si][f]
-			sums[b] += spec.grads[si]
-			counts[b]++
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					f := int(cursor.Add(1)) - 1
+					if f >= nf {
+						return
+					}
+					cands[f] = bestSplitOn(spec, lc.samples, gTot, parentScore, f)
+				}
+			}()
 		}
-		var gl float64
-		nl := 0
-		for b := 1; b < nbins; b++ {
-			gl += sums[b-1]
-			nl += counts[b-1]
-			nr := len(lc.samples) - nl
-			if nl < spec.minLeaf || nr < spec.minLeaf {
-				continue
-			}
-			gr := gTot - gl
-			gain := gl*gl/(float64(nl)+spec.lambda) +
-				gr*gr/(float64(nr)+spec.lambda) - parentScore
-			if gain > lc.gain && !math.IsNaN(gain) {
-				lc.gain = gain
-				lc.feature = f
-				lc.binSplit = b
-			}
+		wg.Wait()
+	} else {
+		for f := 0; f < nf; f++ {
+			cands[f] = bestSplitOn(spec, lc.samples, gTot, parentScore, f)
 		}
 	}
+	for f := 0; f < nf; f++ {
+		if cands[f].gain > lc.gain {
+			lc.gain = cands[f].gain
+			lc.feature = f
+			lc.binSplit = cands[f].binSplit
+		}
+	}
+}
+
+// bestSplitOn scans one feature's bin histogram for the best split of a
+// leaf. The arithmetic and scan order match the historical inline loop
+// exactly — parallel and sequential training must produce identical
+// models.
+func bestSplitOn(spec *growSpec, samples []int, gTot, parentScore float64, f int) featSplit {
+	var best featSplit
+	nbins := len(spec.binEdges[f]) + 1
+	if nbins < 2 {
+		return best
+	}
+	sums := make([]float64, nbins)
+	counts := make([]int, nbins)
+	for _, si := range samples {
+		b := spec.Xq[si][f]
+		sums[b] += spec.grads[si]
+		counts[b]++
+	}
+	var gl float64
+	nl := 0
+	for b := 1; b < nbins; b++ {
+		gl += sums[b-1]
+		nl += counts[b-1]
+		nr := len(samples) - nl
+		if nl < spec.minLeaf || nr < spec.minLeaf {
+			continue
+		}
+		gr := gTot - gl
+		gain := gl*gl/(float64(nl)+spec.lambda) +
+			gr*gr/(float64(nr)+spec.lambda) - parentScore
+		if gain > best.gain && !math.IsNaN(gain) {
+			best.gain = gain
+			best.binSplit = b
+		}
+	}
+	return best
 }

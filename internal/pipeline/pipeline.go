@@ -19,11 +19,7 @@ import (
 	"time"
 
 	"origami/internal/balancer"
-	"origami/internal/cluster"
-	"origami/internal/features"
-	"origami/internal/metaopt"
 	"origami/internal/ml"
-	"origami/internal/namespace"
 	"origami/internal/sim"
 	"origami/internal/trace"
 )
@@ -38,52 +34,18 @@ type Config struct {
 	Epochs int
 }
 
-// capture wraps the Meta-OPT oracle, harvesting (features, benefit) pairs
-// from every epoch dump before delegating the rebalance decision.
-type capture struct {
-	inner      cluster.Strategy
-	dataset    *ml.Dataset
-	cacheDepth int
-	maxEpochs  int
-	epochs     int
-}
-
-// Name implements cluster.Strategy.
-func (c *capture) Name() string { return "LabelGen(" + c.inner.Name() + ")" }
-
-// Setup implements cluster.Strategy.
-func (c *capture) Setup(t *namespace.Tree, pm *cluster.PartitionMap) error {
-	return c.inner.Setup(t, pm)
-}
-
-// PinPolicy implements cluster.Strategy.
-func (c *capture) PinPolicy() cluster.PinPolicy { return c.inner.PinPolicy() }
-
-// Rebalance implements cluster.Strategy.
-func (c *capture) Rebalance(es *cluster.EpochStats, t *namespace.Tree, pm *cluster.PartitionMap) []cluster.Decision {
-	if c.maxEpochs == 0 || c.epochs < c.maxEpochs {
-		benefits := metaopt.Benefits(es, pm, metaopt.Config{CacheDepth: c.cacheDepth})
-		m := features.Extract(es)
-		labels := features.LabelsFromBenefits(m, es, benefits)
-		for i := range m.X {
-			c.dataset.Append(m.X[i], labels[i])
-		}
-		c.epochs++
-	}
-	return c.inner.Rebalance(es, t, pm)
-}
-
 // GenerateDataset runs label generation over a workload and returns the
-// training set.
+// training set. It is the simulator host of the Harvester; the networked
+// coordinator hosts the same capture logic through its online learner.
 func GenerateDataset(tr *trace.Trace, cfg Config) (ml.Dataset, error) {
 	var ds ml.Dataset
-	cap := &capture{
-		inner:      &balancer.MetaOPTOracle{CacheDepth: cfg.Sim.CacheDepth},
-		dataset:    &ds,
-		cacheDepth: cfg.Sim.CacheDepth,
-		maxEpochs:  cfg.Epochs,
+	h := &Harvester{
+		Inner:      &balancer.MetaOPTOracle{CacheDepth: cfg.Sim.CacheDepth},
+		Dataset:    &ds,
+		CacheDepth: cfg.Sim.CacheDepth,
+		MaxEpochs:  cfg.Epochs,
 	}
-	if _, err := sim.Run(cfg.Sim, tr, cap); err != nil {
+	if _, err := sim.Run(cfg.Sim, tr, h); err != nil {
 		return ml.Dataset{}, fmt.Errorf("pipeline: label generation: %w", err)
 	}
 	if ds.Len() == 0 {

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+
+	"origami/internal/cluster"
+	"origami/internal/mds"
+	"origami/internal/rpc"
+)
+
+// Coordinator admin RPCs. The coordinator has no listener of its own —
+// it lives beside MDS 0 (the map authority), so its admin methods
+// register onto that MDS's rpc.Server under the 200+ method range.
+// origami-cli reaches them through any client that can dial MDS 0.
+
+// epochSummary is the JSON shape of a MethodEpochRun response.
+type epochSummary struct {
+	Applied    []string `json:"applied"`
+	Rejected   []string `json:"rejected"`
+	SkippedMDS []int    `json:"skipped_mds"`
+	StaleMDS   []int    `json:"stale_mds"`
+	Reconciled []int    `json:"reconciled"`
+	MapVersion uint64   `json:"map_version"`
+	Degraded   bool     `json:"degraded"`
+}
+
+func decisionStrings(ds []cluster.Decision) []string {
+	out := make([]string, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// RegisterAdmin installs the coordinator admin protocol on an MDS's RPC
+// server (normally MDS 0's). Safe to call after Serve — handler
+// registration is mutex-guarded.
+func (co *Coordinator) RegisterAdmin(srv *rpc.Server) {
+	srv.Handle(mds.MethodEpochRun, func([]byte) ([]byte, error) {
+		res, err := co.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(epochSummary{
+			Applied:    decisionStrings(res.Applied),
+			Rejected:   decisionStrings(res.Rejected),
+			SkippedMDS: res.SkippedMDS,
+			StaleMDS:   res.StaleMDS,
+			Reconciled: res.Reconciled,
+			MapVersion: res.MapVersion,
+			Degraded:   res.Degraded(),
+		})
+	})
+	srv.Handle(mds.MethodModelInfo, func([]byte) ([]byte, error) {
+		if st := co.LearnerStatus(); st != nil {
+			return json.Marshal(st)
+		}
+		name := "metaopt"
+		if s := co.StrategyInUse(); s != nil {
+			name = s.Name()
+		}
+		return json.Marshal(map[string]interface{}{
+			"online_learning": false,
+			"strategy":        name,
+		})
+	})
+}

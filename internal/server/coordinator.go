@@ -33,9 +33,6 @@ type Coordinator struct {
 	CacheDepth int
 	// MaxMigrations bounds decisions per epoch.
 	MaxMigrations int
-	// Strategy, when non-nil, replaces the built-in Meta-OPT planner.
-	// Its Setup is invoked lazily on first use.
-	Strategy cluster.Strategy
 	// Health tracks per-MDS liveness from heartbeats and RPC outcomes.
 	Health *HealthTracker
 	// PublishRetries is how many attempts each map publish gets per MDS
@@ -49,9 +46,19 @@ type Coordinator struct {
 	// loop runs concurrently with the epoch ticker.
 	mu sync.Mutex
 
+	// strategy, when non-nil, replaces the built-in Meta-OPT planner.
+	// All assignment goes through SetStrategy so strategyReady is
+	// re-armed: a swapped-in strategy must get its Setup call, and the
+	// swap must serialise against a concurrently ticking epoch loop.
+	strategy      cluster.Strategy
 	strategyReady bool
 	staleMaps     map[int]bool // MDSs that missed a publish
 	failedOver    map[int]bool // primaries already failed over this outage
+
+	// learner, when non-nil, closes the §4.3 loop on the live cluster:
+	// every epoch it harvests labeled rows from the dump, and in the
+	// background retrains and hot-swaps the strategy's benefit model.
+	learner *onlineLearner
 
 	// reg holds the balancer's telemetry: epoch durations, migration
 	// outcome counters, and per-MDS health-state gauges
@@ -120,6 +127,63 @@ func NewCoordinator(c *Cluster) *Coordinator {
 // Registry exposes the coordinator's telemetry registry (admin
 // endpoint, tests).
 func (co *Coordinator) Registry() *telemetry.Registry { return co.reg }
+
+// SetStrategy installs (or, with nil, removes) the pluggable planning
+// strategy and re-arms its lazy Setup: the next epoch calls the new
+// strategy's Setup with the current partition map before planning with
+// it. Safe to call while an auto-balance loop is running — the swap
+// serialises against RunEpoch on co.mu, so no epoch ever sees a
+// half-installed strategy or skips Setup on a swapped-in one.
+func (co *Coordinator) SetStrategy(s cluster.Strategy) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.strategy = s
+	co.strategyReady = false
+}
+
+// StrategyInUse returns the installed strategy (nil = built-in
+// Meta-OPT planner).
+func (co *Coordinator) StrategyInUse() cluster.Strategy {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.strategy
+}
+
+// StartAutoBalance launches the background balance loop: every interval
+// it runs one epoch (collect → plan → migrate → publish), logging
+// outcomes and pressing on after degraded rounds. It mirrors
+// StartAutoFailover and composes with it — both loops serialise on the
+// coordinator's control-plane lock. Returns a stop func.
+func (co *Coordinator) StartAutoBalance(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			res, err := co.RunEpoch()
+			if err != nil {
+				co.log.Warn("auto-balance epoch failed", "err", err)
+				continue
+			}
+			for _, d := range res.Applied {
+				co.log.Info("auto-balance applied", "decision", d.String())
+			}
+			if res.Degraded() {
+				co.log.Warn("auto-balance degraded epoch",
+					"skipped", fmt.Sprint(res.SkippedMDS), "stale", fmt.Sprint(res.StaleMDS))
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
 
 // recordHealthGauges mirrors the health tracker into per-MDS gauges
 // (0 = up, 1 = degraded, 2 = down).
@@ -405,14 +469,17 @@ func (co *Coordinator) RunEpoch() (*EpochResult, error) {
 		}
 	}
 	var plan []cluster.Decision
-	if co.Strategy != nil {
+	if co.strategy != nil {
 		if !co.strategyReady {
-			if err := co.Strategy.Setup(nil, pm); err != nil {
-				return res, err
+			if err := co.strategy.Setup(nil, pm); err != nil {
+				// Leave strategyReady unarmed: the next epoch retries
+				// Setup (or a SetStrategy swap replaces the broken one).
+				co.reg.Counter("coordinator.strategy.setup_errors").Inc()
+				return res, fmt.Errorf("server: strategy %s setup: %w", co.strategy.Name(), err)
 			}
 			co.strategyReady = true
 		}
-		plan = co.Strategy.Rebalance(es, nil, pm)
+		plan = co.strategy.Rebalance(es, nil, pm)
 	} else {
 		plan = metaopt.Plan(es, pm, metaopt.Config{
 			CacheDepth:   co.CacheDepth,
@@ -437,6 +504,9 @@ func (co *Coordinator) RunEpoch() (*EpochResult, error) {
 		res.StaleMDS = co.publish()
 	}
 	res.MapVersion = co.version
+	if co.learner != nil {
+		co.learner.observe(es, pm, res)
+	}
 	return res, nil
 }
 

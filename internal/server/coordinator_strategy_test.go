@@ -13,7 +13,7 @@ import (
 func TestCoordinatorWithPluggedStrategy(t *testing.T) {
 	cl, sdk := startTestCluster(t, 3)
 	co := NewCoordinator(cl)
-	co.Strategy = &balancer.Origami{CacheDepth: 3}
+	co.SetStrategy(&balancer.Origami{CacheDepth: 3})
 
 	sdk.Mkdir("/hotA")
 	sdk.Mkdir("/hotB")
@@ -50,7 +50,7 @@ func TestCoordinatorWithPluggedStrategy(t *testing.T) {
 func TestCoordinatorWithLunule(t *testing.T) {
 	cl, sdk := startTestCluster(t, 3)
 	co := NewCoordinator(cl)
-	co.Strategy = &balancer.Lunule{}
+	co.SetStrategy(&balancer.Lunule{})
 
 	for d := 0; d < 4; d++ {
 		sdk.Mkdir(fmt.Sprintf("/t%d", d))

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/client"
+	"origami/internal/cluster"
+	"origami/internal/features"
+	"origami/internal/ml"
+	"origami/internal/namespace"
+)
+
+// skewedTraffic builds four hot directories (all initially owned by
+// MDS 0, since subtrees inherit the root's owner) and runs one round of
+// stat storms over them — the workload every balancing test here uses.
+func skewedTraffic(t *testing.T, sdk *client.Client, round int) {
+	t.Helper()
+	if round == 0 {
+		for d := 0; d < 4; d++ {
+			if _, err := sdk.Mkdir(fmt.Sprintf("/hot%d", d)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := sdk.Create(fmt.Sprintf("/hot%d/f%d", d, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for i := 0; i < 400; i++ {
+		sdk.Stat(fmt.Sprintf("/hot%d/f%d", i%4, i%5)) //nolint:errcheck // load generation
+	}
+}
+
+// TestOnlineLoopRetrainsAndHotSwaps is the end-to-end §4.3 loop on the
+// live cluster: skewed load → harvested labels → background retrain →
+// hot-swapped model → balanced cluster, with a loadable checkpoint on
+// disk at the end.
+func TestOnlineLoopRetrainsAndHotSwaps(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+	dir := t.TempDir()
+	if err := co.EnableOnlineLearning(LearnerConfig{
+		// The tiny test namespace yields only a handful of rows per
+		// epoch; retrain as soon as a couple of epochs accumulate.
+		RetrainEvery: 16,
+		MinRows:      16,
+		ModelDir:     dir,
+		Rounds:       20,
+		NumLeaves:    8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	applied := 0
+	var firstImbalance float64
+	for epoch := 0; epoch < 8; epoch++ {
+		skewedTraffic(t, sdk, epoch)
+		res, err := co.RunEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		applied += len(res.Applied)
+		if epoch == 0 {
+			firstImbalance = co.Registry().Gauge("coordinator.imbalance").Value()
+		}
+	}
+	if applied == 0 {
+		t.Fatal("online loop never migrated anything off the overloaded shard")
+	}
+
+	// The retrain runs on its own goroutine; give it a bounded wait.
+	deadline := time.Now().Add(10 * time.Second)
+	var st map[string]interface{}
+	for {
+		st = co.LearnerStatus()
+		if st["retrains"].(int64) >= 1 && !st["training"].(bool) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no retrain completed; learner status %v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v := st["model_version"].(uint64); v == 0 {
+		t.Fatalf("model version still 0 after retrain; status %v", st)
+	}
+	if rows := st["rows"].(int); rows == 0 {
+		t.Fatal("live dataset empty after 8 harvested epochs")
+	}
+
+	// The hot-swapped model must actually be live in the strategy.
+	og, ok := co.StrategyInUse().(*balancer.Origami)
+	if !ok {
+		t.Fatalf("strategy in use is %T, want *balancer.Origami", co.StrategyInUse())
+	}
+	if og.ModelVersion() == 0 {
+		t.Fatal("strategy never received a hot-swapped model")
+	}
+
+	// A later epoch must run under the swapped model without error and
+	// leave the load spread out.
+	skewedTraffic(t, sdk, 9)
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatalf("post-swap epoch: %v", err)
+	}
+	finalImbalance := co.Registry().Gauge("coordinator.imbalance").Value()
+	if firstImbalance > 0.2 && finalImbalance >= firstImbalance {
+		t.Errorf("imbalance did not drop: first %.3f, final %.3f", firstImbalance, finalImbalance)
+	}
+
+	// The checkpoint on disk must be loadable and schema-compatible.
+	path, version, err := ml.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("no checkpoint written")
+	}
+	ck, err := ml.LoadCheckpoint(path, features.NumFeatures)
+	if err != nil {
+		t.Fatalf("checkpoint unloadable: %v", err)
+	}
+	if ck.Version != version || len(ck.Model.Trees) == 0 {
+		t.Fatalf("checkpoint version %d (want %d), %d trees", ck.Version, version, len(ck.Model.Trees))
+	}
+
+	// The cluster must remain fully functional after all the swapping.
+	for i := 0; i < 5; i++ {
+		if _, err := sdk.Stat(fmt.Sprintf("/hot0/f%d", i)); err != nil {
+			t.Errorf("post-loop stat: %v", err)
+		}
+	}
+}
+
+// TestOnlineLearningWarmStart verifies a restarted coordinator picks up
+// the newest checkpoint instead of relearning from scratch.
+func TestOnlineLearningWarmStart(t *testing.T) {
+	cl, _ := startTestCluster(t, 3)
+	dir := t.TempDir()
+
+	// Seed the model directory with two checkpoints.
+	model := trainSmallModel(t)
+	for _, v := range []uint64{3, 7} {
+		ck := &ml.Checkpoint{
+			Format:      ml.CheckpointFormat,
+			Version:     v,
+			NumFeatures: features.NumFeatures,
+			Rows:        100,
+			Model:       model,
+		}
+		if _, err := ml.SaveCheckpoint(dir, ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	co := NewCoordinator(cl)
+	if err := co.EnableOnlineLearning(LearnerConfig{ModelDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	st := co.LearnerStatus()
+	if v := st["model_version"].(uint64); v != 7 {
+		t.Fatalf("warm start picked version %d, want 7", v)
+	}
+	og := co.StrategyInUse().(*balancer.Origami)
+	if og.ModelVersion() != 7 {
+		t.Fatalf("strategy model version %d, want 7", og.ModelVersion())
+	}
+}
+
+// TestOnlineLearningRejectsIncompatibleCheckpoint: a checkpoint trained
+// under a different feature schema must fail EnableOnlineLearning, not
+// silently mispredict.
+func TestOnlineLearningRejectsIncompatibleCheckpoint(t *testing.T) {
+	cl, _ := startTestCluster(t, 2)
+	dir := t.TempDir()
+	ck := &ml.Checkpoint{
+		Format:      ml.CheckpointFormat,
+		Version:     1,
+		NumFeatures: features.NumFeatures + 2,
+		Rows:        10,
+		Model:       trainWideModel(t, features.NumFeatures+2),
+	}
+	if _, err := ml.SaveCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(cl)
+	if err := co.EnableOnlineLearning(LearnerConfig{ModelDir: dir}); err == nil {
+		t.Fatal("incompatible checkpoint accepted")
+	}
+}
+
+func trainSmallModel(t *testing.T) *ml.GBDT {
+	t.Helper()
+	return trainWideModel(t, features.NumFeatures)
+}
+
+func trainWideModel(t *testing.T, nf int) *ml.GBDT {
+	t.Helper()
+	var ds ml.Dataset
+	for i := 0; i < 64; i++ {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = float64((i*7+j*13)%32) / 32
+		}
+		ds.Append(row, row[0]+0.5*row[1])
+	}
+	m, err := ml.TrainGBDT(ds, ml.GBDTConfig{Rounds: 10, NumLeaves: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// setupCountingStrategy counts Setup invocations and can be told to
+// fail them — the probe for the strategy-lifecycle fixes.
+type setupCountingStrategy struct {
+	name      string
+	setups    int
+	failSetup bool
+}
+
+func (s *setupCountingStrategy) Name() string { return s.name }
+func (s *setupCountingStrategy) Setup(*namespace.Tree, *cluster.PartitionMap) error {
+	s.setups++
+	if s.failSetup {
+		return fmt.Errorf("induced setup failure")
+	}
+	return nil
+}
+func (s *setupCountingStrategy) PinPolicy() cluster.PinPolicy { return nil }
+func (s *setupCountingStrategy) Rebalance(*cluster.EpochStats, *namespace.Tree, *cluster.PartitionMap) []cluster.Decision {
+	return nil
+}
+
+// TestSetStrategyRearmsSetup: swapping strategies mid-run must give the
+// new strategy its Setup call (the old bug: strategyReady stayed true
+// across an assignment, so swapped-in strategies ran unconfigured).
+func TestSetStrategyRearmsSetup(t *testing.T) {
+	cl, sdk := startTestCluster(t, 2)
+	co := NewCoordinator(cl)
+	sdk.Mkdir("/d") //nolint:errcheck
+
+	a := &setupCountingStrategy{name: "A"}
+	co.SetStrategy(a)
+	for i := 0; i < 2; i++ {
+		if _, err := co.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.setups != 1 {
+		t.Fatalf("strategy A set up %d times, want 1 (lazy, once)", a.setups)
+	}
+
+	b := &setupCountingStrategy{name: "B"}
+	co.SetStrategy(b)
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if b.setups != 1 {
+		t.Fatalf("swapped-in strategy B set up %d times, want 1", b.setups)
+	}
+}
+
+// TestStrategySetupErrorRetriesNextEpoch: a failing Setup must fail the
+// epoch, bump the error counter, and retry on the next epoch rather
+// than marking the strategy ready.
+func TestStrategySetupErrorRetriesNextEpoch(t *testing.T) {
+	cl, _ := startTestCluster(t, 2)
+	co := NewCoordinator(cl)
+	s := &setupCountingStrategy{name: "flaky", failSetup: true}
+	co.SetStrategy(s)
+
+	if _, err := co.RunEpoch(); err == nil {
+		t.Fatal("epoch succeeded despite failing Setup")
+	}
+	if n := co.Registry().Counter("coordinator.strategy.setup_errors").Value(); n != 1 {
+		t.Fatalf("setup_errors = %d, want 1", n)
+	}
+	// Recovery: the strategy starts working; the next epoch must call
+	// Setup again instead of trusting the failed attempt.
+	s.failSetup = false
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatalf("recovered epoch: %v", err)
+	}
+	if s.setups != 2 {
+		t.Fatalf("Setup called %d times, want 2 (retry after failure)", s.setups)
+	}
+}
+
+// fixedPlanStrategy always proposes the same decision.
+type fixedPlanStrategy struct {
+	plan []cluster.Decision
+}
+
+func (s *fixedPlanStrategy) Name() string                                       { return "fixed" }
+func (s *fixedPlanStrategy) Setup(*namespace.Tree, *cluster.PartitionMap) error { return nil }
+func (s *fixedPlanStrategy) PinPolicy() cluster.PinPolicy                       { return nil }
+func (s *fixedPlanStrategy) Rebalance(*cluster.EpochStats, *namespace.Tree, *cluster.PartitionMap) []cluster.Decision {
+	return s.plan
+}
+
+// TestRunEpochRejectsDecisionsToDownShard: planned migrations whose
+// source or destination is unreachable must land in Rejected, not
+// Applied — experiment accounting depends on the distinction.
+func TestRunEpochRejectsDecisionsToDownShard(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+	in, err := sdk.Mkdir("/victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sdk.Stat("/victim") //nolint:errcheck // load so dumps are non-empty
+	}
+
+	// Kill MDS 2, then plan a migration into it.
+	if err := cl.StopMDS(2); err != nil {
+		t.Fatal(err)
+	}
+	co.SetStrategy(&fixedPlanStrategy{plan: []cluster.Decision{
+		{Subtree: in.Ino, From: 0, To: 2},
+	}})
+	res, err := co.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Applied) != 0 {
+		t.Fatalf("migration into a down shard applied: %v", res.Applied)
+	}
+	if len(res.Rejected) != 1 {
+		t.Fatalf("rejected = %v, want the one planned decision", res.Rejected)
+	}
+	// The pin must not have moved.
+	if owner, ok := co.Pins()[in.Ino]; ok && owner == 2 {
+		t.Fatal("pin moved to the down shard")
+	}
+}
+
+// TestAdminRPCs drives the coordinator admin protocol end to end: the
+// origami-cli path (client → MDS 0's RPC server → coordinator).
+func TestAdminRPCs(t *testing.T) {
+	cl, sdk := startTestCluster(t, 3)
+	co := NewCoordinator(cl)
+	if err := co.EnableOnlineLearning(LearnerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	co.RegisterAdmin(cl.Services[0].Server())
+
+	skewedTraffic(t, sdk, 0)
+	body, err := sdk.TriggerEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		MapVersion uint64 `json:"map_version"`
+		Degraded   bool   `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &summary); err != nil {
+		t.Fatalf("epoch summary not JSON: %v (%s)", err, body)
+	}
+	if summary.Degraded {
+		t.Errorf("healthy cluster reported a degraded epoch: %s", body)
+	}
+
+	body, err = sdk.ModelInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]interface{}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("model info not JSON: %v (%s)", err, body)
+	}
+	if online, _ := info["online_learning"].(bool); !online {
+		t.Fatalf("model info reports learning off: %s", body)
+	}
+	if _, ok := info["rows"]; !ok {
+		t.Fatalf("model info missing dataset size: %s", body)
+	}
+}
+
+// TestModelInfoWithoutLearner: the admin RPC must answer (with
+// online_learning=false) when the coordinator runs a frozen strategy.
+func TestModelInfoWithoutLearner(t *testing.T) {
+	cl, sdk := startTestCluster(t, 2)
+	co := NewCoordinator(cl)
+	co.RegisterAdmin(cl.Services[0].Server())
+	body, err := sdk.ModelInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]interface{}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if online, _ := info["online_learning"].(bool); online {
+		t.Fatalf("no learner enabled but info says otherwise: %s", body)
+	}
+}
