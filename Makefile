@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test test-race race chaos train-smoke bench experiments examples profile clean
+.PHONY: all check build vet fmt-check test test-race race chaos train-smoke sim sim-smoke bench experiments examples profile clean
 
 all: check
 
-# The default gate: compile, vet, formatting, full test suite, then the
-# race detector over the concurrency-heavy networked packages.
-check: build vet fmt-check test test-race
+# The default gate: compile, vet, formatting, full test suite, the race
+# detector over the concurrency-heavy networked packages, then a fast
+# scenario-harness smoke.
+check: build vet fmt-check test test-race sim-smoke
 
 build:
 	$(GO) build ./...
@@ -30,10 +31,22 @@ test-race:
 	$(GO) test -race ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/replication/... ./internal/server/... ./internal/client/...
 
 # The failure-injection suites: primary kills mid-write-storm, failover
-# promotion, replication gap/overflow resyncs — all under the race
-# detector.
+# promotion, replication gap/overflow resyncs, and the scenario harness
+# itself — all under the race detector. The failover tests are thin
+# wrappers over scenarios/kill-primary-{sync,async}.yaml.
 chaos:
 	$(GO) test -race -run 'Chaos|Failover|Resync|OnlineLoop' ./internal/server/... ./internal/replication/...
+	$(GO) test -race ./internal/scenario/...
+
+# The full scenario library under its fixed seeds: every run must go
+# green, and same-seed reruns replay their event logs bit for bit.
+sim:
+	$(GO) run ./cmd/origami-sim run -q scenarios/*.yaml
+
+# The fast subset for `make check`: the 1000-shard virtual-clock stress
+# run plus one real-cluster kill-the-primary scenario (~3s total).
+sim-smoke:
+	$(GO) run ./cmd/origami-sim run -q scenarios/stress-1000.yaml scenarios/kill-primary-sync.yaml
 
 # Seconds-long live-cluster smoke of the online learning loop under the
 # race detector: skewed load → harvested labels → background retrain →

@@ -39,6 +39,11 @@ type Config struct {
 	// RPC-layer metrics, retry spend). Nil allocates a private one,
 	// reachable via Client.Registry.
 	Registry *telemetry.Registry
+	// LinkInjector, when non-nil, supplies a fault injector for the
+	// connection to each MDS id — how chaos harnesses extend cluster
+	// partitions and lossy links to the data plane (see
+	// server.Cluster.ClientInjector).
+	LinkInjector func(mdsID int) rpc.FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -120,14 +125,18 @@ func Dial(cfg Config) (*Client, error) {
 	// must not block the whole mount — its connection comes up when the
 	// shard returns, and the partition map routes around it meanwhile.
 	for i, addr := range cfg.Addrs {
-		conn, err := rpc.DialLazyOptions(addr, rpc.ClientOptions{
+		opts := rpc.ClientOptions{
 			CallTimeout: cfg.CallTimeout,
 			Reconnect:   true,
 			BackoffBase: 5 * time.Millisecond,
 			Registry:    reg,
 			MethodName:  mds.MethodName,
 			Logger:      telemetry.L("rpc").With("mds", i),
-		})
+		}
+		if cfg.LinkInjector != nil {
+			opts.Injector = cfg.LinkInjector(i)
+		}
+		conn, err := rpc.DialLazyOptions(addr, opts)
 		if err != nil {
 			c.Close()
 			return nil, err

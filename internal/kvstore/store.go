@@ -7,7 +7,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Throttle is a dynamically tunable write-path delay — the slow-disk
+// injector chaos harnesses attach to a store. While the delay is
+// non-zero every logical write stalls that long under the write lock,
+// which serialises writers exactly the way a saturated device does.
+// Safe for concurrent use; the zero value (and a zero delay) is free.
+type Throttle struct{ ns atomic.Int64 }
+
+// Set replaces the per-write delay (0 restores full speed).
+func (t *Throttle) Set(d time.Duration) { t.ns.Store(int64(d)) }
+
+// Delay returns the current per-write delay.
+func (t *Throttle) Delay() time.Duration { return time.Duration(t.ns.Load()) }
 
 // Options configures a DB. The zero value is usable; unset fields take the
 // defaults documented on each field.
@@ -35,6 +49,10 @@ type Options struct {
 	// with overlapping next-level tables, rewriting them) instead of
 	// PebblesDB-style fragmented mode. Used by the ablation benchmark.
 	PlainLeveled bool
+	// Throttle, when non-nil, is consulted on every write: a non-zero
+	// delay stalls the write under the write lock (slow-disk fault
+	// injection). Default nil — no per-write check at all.
+	Throttle *Throttle
 }
 
 func (o Options) withDefaults() Options {
@@ -235,6 +253,11 @@ func (db *DB) applyWrite(logFn func(*wal) error, memFn func(), muts func() []Mut
 	if db.closed {
 		db.writeMu.Unlock()
 		return fmt.Errorf("kvstore: write on closed DB")
+	}
+	if t := db.opts.Throttle; t != nil {
+		if d := t.Delay(); d > 0 {
+			time.Sleep(d) // injected slow disk: stall the append path
+		}
 	}
 	if err := logFn(db.wal); err != nil {
 		db.writeMu.Unlock()

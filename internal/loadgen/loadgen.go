@@ -75,9 +75,10 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
-// percentile returns the pth percentile (0 < p <= 100) of sorted samples
-// using the nearest-rank method.
-func percentile(sorted []time.Duration, p float64) time.Duration {
+// Percentile returns the pth percentile (0 < p <= 100) of sorted samples
+// using the nearest-rank method. Exported so other harnesses (the
+// scenario runner) summarise latencies the same way this package does.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -215,8 +216,8 @@ func Run(cfg Config) (*Result, error) {
 		Errors:  errCount.Load(),
 		Elapsed: elapsed,
 		Workers: cfg.Workers,
-		P50:     percentile(all, 50),
-		P95:     percentile(all, 95),
-		P99:     percentile(all, 99),
+		P50:     Percentile(all, 50),
+		P95:     Percentile(all, 95),
+		P99:     Percentile(all, 99),
 	}, nil
 }

@@ -346,15 +346,16 @@ func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, 
 	tl := s.telemetry()
 	var injectedErr error
 	if fi := s.faultInjector(); fi != nil {
-		f := fi.Intercept(PointServerRecv, method)
-		if f.Action != FaultNone && tl.reg != nil {
-			tl.reg.Counter("rpc.server.faults_injected").Inc()
+		delay, f, fired := resolveFaults(faultsFor(fi, PointServerRecv, method))
+		if fired > 0 && tl.reg != nil {
+			tl.reg.Counter("rpc.server.faults_injected").Add(int64(fired))
+		}
+		if delay > 0 {
+			time.Sleep(delay) // stalls only this request's goroutine
 		}
 		switch f.Action {
 		case FaultDrop:
 			return true // request vanishes; the caller times out
-		case FaultDelay:
-			time.Sleep(f.Delay) // stalls only this request's goroutine
 		case FaultError:
 			injectedErr = f.Err
 			if injectedErr == nil {
@@ -389,15 +390,16 @@ func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, 
 		}
 	}
 	if fi := s.faultInjector(); fi != nil {
-		f := fi.Intercept(PointServerSend, method)
-		if f.Action != FaultNone && tl.reg != nil {
-			tl.reg.Counter("rpc.server.faults_injected").Inc()
+		delay, f, fired := resolveFaults(faultsFor(fi, PointServerSend, method))
+		if fired > 0 && tl.reg != nil {
+			tl.reg.Counter("rpc.server.faults_injected").Add(int64(fired))
+		}
+		if delay > 0 {
+			time.Sleep(delay)
 		}
 		switch f.Action {
 		case FaultDrop:
 			return true // response vanishes
-		case FaultDelay:
-			time.Sleep(f.Delay)
 		case FaultError:
 			errResp := f.Err
 			if errResp == nil {
@@ -532,6 +534,10 @@ type Client struct {
 	pending sync.Map // reqID -> *pendingCall
 	closed  atomic.Bool
 
+	// injector is the swappable fault injector (injectorBox), seeded
+	// from opts.Injector; SetFaultInjector replaces it while running.
+	injector atomic.Value
+
 	rndMu sync.Mutex
 	rnd   *rand.Rand
 
@@ -571,6 +577,7 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 		gen:  &connGen{done: make(chan struct{})},
 		rnd:  rand.New(rand.NewSource(opts.Seed)),
 	}
+	c.injector.Store(injectorBox{opts.Injector})
 	go c.readLoop(conn, c.gen)
 	return c, nil
 }
@@ -595,6 +602,7 @@ func DialLazyOptions(addr string, opts ClientOptions) (*Client, error) {
 		gen:  gen,
 		rnd:  rand.New(rand.NewSource(opts.Seed)),
 	}
+	c.injector.Store(injectorBox{opts.Injector})
 	if c.opts.Logger != nil {
 		c.opts.Logger.Warn("initial dial failed; starting disconnected", "addr", addr, "err", err)
 	}
@@ -604,6 +612,21 @@ func DialLazyOptions(addr string, opts ClientOptions) (*Client, error) {
 
 // Addr returns the dialed address.
 func (c *Client) Addr() string { return c.addr }
+
+// SetFaultInjector installs (or, with nil, removes) the client's fault
+// injector, replacing the one given at dial time. Safe to call while
+// calls are in flight — link-fault harnesses retune live connections
+// with it.
+func (c *Client) SetFaultInjector(fi FaultInjector) {
+	c.injector.Store(injectorBox{fi})
+}
+
+func (c *Client) faultInjector() FaultInjector {
+	if box, ok := c.injector.Load().(injectorBox); ok {
+		return box.fi
+	}
+	return nil
+}
 
 // Connected reports whether the client currently holds a live connection.
 func (c *Client) Connected() bool {
@@ -652,18 +675,19 @@ func (c *Client) readLoop(conn net.Conn, gen *connGen) {
 		if kind != kindResponse {
 			continue
 		}
-		if fi := c.opts.Injector; fi != nil {
-			f := fi.Intercept(PointClientRecv, method)
-			if f.Action != FaultNone {
+		if fi := c.faultInjector(); fi != nil {
+			delay, f, fired := resolveFaults(faultsFor(fi, PointClientRecv, method))
+			if fired > 0 {
 				if ctr := c.counter("rpc.client.faults_injected"); ctr != nil {
-					ctr.Inc()
+					ctr.Add(int64(fired))
 				}
+			}
+			if delay > 0 {
+				time.Sleep(delay)
 			}
 			switch f.Action {
 			case FaultDrop:
 				continue // response vanishes; the call times out
-			case FaultDelay:
-				time.Sleep(f.Delay)
 			case FaultError:
 				if pc, ok := c.pending.LoadAndDelete(reqID); ok {
 					ferr := f.Err
@@ -802,18 +826,19 @@ func (c *Client) doCall(ctx context.Context, m Method, body []byte) ([]byte, err
 	default:
 	}
 	dropped := false
-	if fi := c.opts.Injector; fi != nil {
-		f := fi.Intercept(PointClientSend, m)
-		if f.Action != FaultNone {
+	if fi := c.faultInjector(); fi != nil {
+		delay, f, fired := resolveFaults(faultsFor(fi, PointClientSend, m))
+		if fired > 0 {
 			if ctr := c.counter("rpc.client.faults_injected"); ctr != nil {
-				ctr.Inc()
+				ctr.Add(int64(fired))
 			}
+		}
+		if delay > 0 {
+			time.Sleep(delay)
 		}
 		switch f.Action {
 		case FaultDrop:
 			dropped = true // never send; the call waits for its deadline
-		case FaultDelay:
-			time.Sleep(f.Delay)
 		case FaultError:
 			ferr := f.Err
 			if ferr == nil {

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"origami/internal/client"
+	"origami/internal/server"
+)
+
+// Assertion evaluation. Convergence assertions poll with a bounded wait
+// (their "within" is the deadline); everything else reads final state.
+// Loss assertions re-read every acknowledged create through a fresh
+// SDK client — cold cache, fresh map — which is the only honest way to
+// ask "did the cluster keep what it promised".
+
+func evaluateAssertions(sc *Scenario, res *RunResult, cl *server.Cluster, co *server.Coordinator, drv *driver) {
+	var lost, lossChecked = 0, false
+	countLost := func() int {
+		if lossChecked {
+			return lost
+		}
+		lossChecked = true
+		lost = countMissing(cl, drv.ackedPaths())
+		res.Workload.Lost = lost
+		return lost
+	}
+
+	for _, a := range sc.Assertions {
+		r := AssertionResult{Kind: a.Kind}
+		switch a.Kind {
+		case AssertNoAckedLoss:
+			n := countLost()
+			r.Passed = n == 0
+			r.Detail = fmt.Sprintf("%d of %d acked creates lost", n, res.Workload.Acked)
+		case AssertBoundedLoss:
+			n := countLost()
+			r.Passed = float64(n) <= a.Value
+			r.Detail = fmt.Sprintf("%d acked creates lost (bound %s)", n, trimFloat(a.Value))
+		case AssertOpsMin:
+			r.Passed = float64(res.Workload.Ops) >= a.Value
+			r.Detail = fmt.Sprintf("%d ops completed (want >= %s)", res.Workload.Ops, trimFloat(a.Value))
+		case AssertErrorsMax:
+			r.Passed = float64(res.Workload.Errors) <= a.Value
+			r.Detail = fmt.Sprintf("%d errors (allow <= %s)", res.Workload.Errors, trimFloat(a.Value))
+		case AssertErrRateLE:
+			rate := 0.0
+			if res.Workload.Attempted > 0 {
+				rate = float64(res.Workload.Errors) / float64(res.Workload.Attempted)
+			}
+			r.Passed = rate <= a.Value
+			r.Detail = fmt.Sprintf("error rate %.4f (allow <= %s)", rate, trimFloat(a.Value))
+		case AssertFailoversMin, AssertFailoversMax:
+			n := co.Registry().Counter("coordinator.failovers").Value()
+			if a.Kind == AssertFailoversMin {
+				r.Passed = float64(n) >= a.Value
+			} else {
+				r.Passed = float64(n) <= a.Value
+			}
+			r.Detail = fmt.Sprintf("%d failovers (want %s %s)", n, cmpWord(a.Kind), trimFloat(a.Value))
+		case AssertMigrationsMin:
+			n := co.Registry().Counter("coordinator.epoch.applied").Value()
+			r.Passed = float64(n) >= a.Value
+			r.Detail = fmt.Sprintf("%d epoch migrations applied (want >= %s)", n, trimFloat(a.Value))
+		case AssertMapConverged:
+			r.Passed = WaitUntil(a.Within, func() bool { return mapsConverged(cl, co) })
+			r.Detail = fmt.Sprintf("live MDS maps vs coordinator v%d within %s", co.MapVersion(), a.Within)
+		case AssertReplConverged:
+			r.Passed = WaitUntil(a.Within, func() bool { return replConverged(cl) })
+			r.Detail = fmt.Sprintf("all live shippers drained within %s", a.Within)
+		case AssertP95LE:
+			r.Passed = res.Workload.P95 <= a.Dur
+			r.Detail = fmt.Sprintf("p95 %s (ceiling %s)", res.Workload.P95.Round(time.Microsecond), a.Dur)
+		case AssertAvailMin:
+			avail := 1.0
+			if res.Workload.Attempted > 0 {
+				avail = float64(res.Workload.Ops) / float64(res.Workload.Attempted)
+			}
+			r.Passed = avail >= a.Value
+			r.Detail = fmt.Sprintf("availability %.4f (want >= %s)", avail, trimFloat(a.Value))
+		}
+		res.Assertions = append(res.Assertions, r)
+	}
+}
+
+func cmpWord(kind string) string {
+	if kind == AssertFailoversMin {
+		return ">="
+	}
+	return "<="
+}
+
+// mapsConverged reports whether every live MDS serves a partition map at
+// least as new as the coordinator's.
+func mapsConverged(cl *server.Cluster, co *server.Coordinator) bool {
+	want := co.MapVersion()
+	for _, svc := range cl.Services {
+		if svc == nil {
+			continue
+		}
+		if svc.MapVersion() < want {
+			return false
+		}
+	}
+	return true
+}
+
+// replConverged reports whether every live shipper has drained: not
+// snapshotting and zero lag.
+func replConverged(cl *server.Cluster) bool {
+	if !cl.ReplicationEnabled() {
+		return true
+	}
+	for id := range cl.Services {
+		if cl.Services[id] == nil {
+			continue
+		}
+		sh := cl.ShipperOf(id)
+		if sh == nil {
+			continue
+		}
+		st := sh.Status()
+		if st.Syncing || st.Lag != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countMissing stats every acknowledged path through a fresh client and
+// returns how many are gone. Exported to the ported chaos tests via
+// RunResult.Workload.Lost.
+func countMissing(cl *server.Cluster, acked []string) int {
+	sdk, err := client.Dial(client.Config{
+		Addrs: cl.Addrs, CacheDepth: 0,
+		RetryBackoff: 5 * time.Millisecond,
+		LinkInjector: cl.ClientInjector,
+	})
+	if err != nil {
+		return len(acked)
+	}
+	defer sdk.Close()
+	// Bootstrap the partition map like a real fresh mount. Without it the
+	// client follows on-disk redirect stubs, and a revived MDS with a
+	// pre-failover store will happily serve stale reads (it never returns
+	// NotOwner, so nothing triggers a refresh). The map's pin must win.
+	sdk.RefreshMap()
+	missing := 0
+	for _, p := range acked {
+		if _, err := sdk.Stat(p); err != nil {
+			missing++
+		}
+	}
+	return missing
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"origami/internal/namespace"
+	"origami/internal/server"
+)
+
+// engine applies timeline events to a live cluster. Events run
+// sequentially on the timeline goroutine; an event that fails (killing
+// an already-dead MDS, a migration rejected mid-churn) logs and moves
+// on — chaos harnesses press ahead, they don't abort the run.
+type engine struct {
+	sc   *Scenario
+	cl   *server.Cluster
+	co   *server.Coordinator
+	drv  *driver
+	logf func(string, ...interface{})
+
+	// stormDirs are the pre-created migration-storm subtrees, stormNext
+	// the next one to move.
+	stormDirs []namespace.Ino
+	stormNext int
+	// stormApplied counts migrations the storm committed (reported, not
+	// logged — rejections under churn are runtime-dependent).
+	stormApplied atomic.Int64
+}
+
+// prepare creates every directory the timeline needs while the cluster
+// is still healthy: flash-crowd hot dirs and migration-storm subtrees.
+func (e *engine) prepare() error {
+	storm := 0
+	for _, ev := range e.sc.Events {
+		switch ev.Action {
+		case ActFlashCrowd:
+			if _, err := e.drv.mkdirAll(ev.Path); err != nil {
+				return fmt.Errorf("flash-crowd dir %s: %w", ev.Path, err)
+			}
+		case ActMigrationStorm:
+			storm += ev.Count
+		}
+	}
+	for i := 0; i < storm; i++ {
+		in, err := e.drv.sdk.Mkdir(fmt.Sprintf("/storm-sub-%03d", i))
+		if err != nil {
+			return fmt.Errorf("storm subtree %d: %w", i, err)
+		}
+		e.stormDirs = append(e.stormDirs, in.Ino)
+	}
+	return nil
+}
+
+func (e *engine) apply(se ScheduledEvent) {
+	warn := func(err error) {
+		if err != nil {
+			e.logf("    event %d (%s): %v", se.Seq, se.Action, err)
+		}
+	}
+	switch se.Action {
+	case ActKill:
+		id, _ := parseMDSTarget(se.Target, e.sc.Fleet.MDS)
+		warn(e.cl.StopMDS(id))
+	case ActRestart:
+		id, _ := parseMDSTarget(se.Target, e.sc.Fleet.MDS)
+		warn(e.cl.RestartMDS(id))
+	case ActPartition:
+		groups, err := ParseGroups(se.Groups, e.sc.Fleet.MDS)
+		if err == nil {
+			err = e.cl.Partition(groups)
+		}
+		warn(err)
+	case ActHeal:
+		e.cl.HealPartition()
+	case ActPacketDrop:
+		a, b, _ := parseLinkOrMDS(se.Target, e.sc.Fleet.MDS)
+		p := se.Pct / 100
+		if b < 0 {
+			e.cl.Faults().SetNodeDrop(a, p)
+			if se.Delay > 0 {
+				e.cl.Faults().SetNodeDelay(a, se.Delay)
+			}
+		} else {
+			e.cl.Faults().SetLinkDrop(a, b, p)
+			if se.Delay > 0 {
+				// Latency and loss on the same link — the injector
+				// stacks them (rpc.MultiInjector).
+				e.cl.Faults().SetLinkDelay(a, b, se.Delay)
+			}
+		}
+	case ActLinkLatency:
+		a, b, _ := parseLinkOrMDS(se.Target, e.sc.Fleet.MDS)
+		if b < 0 {
+			e.cl.Faults().SetNodeDelay(a, se.Delay)
+		} else {
+			e.cl.Faults().SetLinkDelay(a, b, se.Delay)
+		}
+	case ActSlowDisk:
+		id, _ := parseMDSTarget(se.Target, e.sc.Fleet.MDS)
+		e.cl.DiskThrottle(id).Set(se.Delay)
+	case ActClearFaults:
+		e.cl.Faults().Clear()
+		for id := 0; id < e.sc.Fleet.MDS; id++ {
+			e.cl.DiskThrottle(id).Set(0)
+		}
+	case ActFlashCrowd:
+		e.drv.setHot(se.Path, se.Pct, se.For)
+	case ActMigrationStorm:
+		e.migrationStorm(se.Count)
+	case ActEpoch:
+		_, err := e.co.RunEpoch()
+		warn(err)
+	}
+}
+
+// migrationStorm moves Count pre-created subtrees in rapid succession,
+// round-robining the destinations across the fleet. Targets derive from
+// the subtree index, not runtime state, so the storm is deterministic in
+// what it attempts; what commits under churn lands in the report.
+func (e *engine) migrationStorm(count int) {
+	n := e.sc.Fleet.MDS
+	pins := e.co.Pins()
+	for i := 0; i < count && e.stormNext < len(e.stormDirs); i++ {
+		ino := e.stormDirs[e.stormNext]
+		from := 0
+		if m, ok := pins[ino]; ok {
+			from = m
+		}
+		to := (e.stormNext + 1) % n
+		e.stormNext++
+		if to == from {
+			to = (to + 1) % n
+		}
+		if err := e.co.Migrate(ino, from, to); err != nil {
+			e.logf("    storm migration %d -> mds-%d: %v", ino, to, err)
+			continue
+		}
+		e.stormApplied.Add(1)
+	}
+}
+
+// WaitUntil polls cond every few milliseconds until it holds or the
+// deadline passes. Shared by convergence assertions and the ported
+// chaos tests — bounded waits with a reason, never bare sleeps.
+func WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

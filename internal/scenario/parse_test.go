@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenRoundTrip pins the parser and encoder against golden files:
+// Parse(file) -> Encode must match the .golden byte for byte, re-parsing
+// that output must yield the same scenario, and Encode must be a fixed
+// point of the round trip.
+func TestGoldenRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.yaml"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata scenarios: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			sc, err := ParseFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := sc.Encode()
+			golden := strings.TrimSuffix(file, ".yaml") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(enc), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if enc != string(want) {
+				t.Errorf("Encode drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, enc, want)
+			}
+
+			sc2, err := Parse(enc)
+			if err != nil {
+				t.Fatalf("re-parse of Encode output: %v", err)
+			}
+			if !reflect.DeepEqual(sc, sc2) {
+				t.Errorf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", sc, sc2)
+			}
+			if enc2 := sc2.Encode(); enc2 != enc {
+				t.Errorf("Encode is not a fixed point:\nfirst:\n%s\nsecond:\n%s", enc, enc2)
+			}
+		})
+	}
+}
+
+// TestEverythingCoversVocabulary fails when a new event action or
+// assertion kind is added without extending the golden scenario — the
+// round-trip test only protects what the file exercises.
+func TestEverythingCoversVocabulary(t *testing.T) {
+	sc, err := ParseFile(filepath.Join("testdata", "everything.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := map[string]bool{}
+	for _, e := range sc.Events {
+		actions[e.Action] = true
+	}
+	for a := range knownActions {
+		if !actions[a] {
+			t.Errorf("everything.yaml has no %q event", a)
+		}
+	}
+	asserts := map[string]bool{}
+	for _, a := range sc.Assertions {
+		asserts[a.Kind] = true
+	}
+	for a := range knownAsserts {
+		if !asserts[a] {
+			t.Errorf("everything.yaml has no %q assertion", a)
+		}
+	}
+}
+
+const minimalScenario = `name: t
+seed: 1
+duration: 1s
+fleet:
+  mds: 3
+workload:
+  kind: mix
+assertions:
+  - kind: ops-min
+    value: 1
+`
+
+// mutate applies a line-level edit to the minimal scenario.
+func mutate(old, new string) string {
+	return strings.Replace(minimalScenario, old, new, 1)
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown top-level key", mutate("seed: 1", "sede: 1"), `unknown key "sede"`},
+		{"unknown fleet key", mutate("mds: 3", "mds: 3\n  hearbeat: 25ms"), `unknown key "hearbeat"`},
+		{"unknown workload key", mutate("kind: mix", "kind: mix\n  wrokers: 4"), `unknown key "wrokers"`},
+		{"unknown assertion key", mutate("value: 1", "value: 1\n    witin: 5s"), `unknown key "witin"`},
+		{"unknown event key", mutate("assertions:", "events:\n  - at: 1ms\n    action: kill\n    tagret: mds-1\nassertions:"), `unknown key "tagret"`},
+		{"duplicate key", mutate("duration: 1s", "duration: 1s\nduration: 2s"), `duplicate key "duration"`},
+		{"tab indentation", mutate("  mds: 3", "\tmds: 3"), "tab"},
+		{"unknown action", mutate("assertions:", "events:\n  - at: 1ms\n    action: explode\nassertions:"), `unknown action "explode"`},
+		{"unknown assertion", mutate("kind: ops-min", "kind: ops-max"), `unknown assertion "ops-max"`},
+		{"event past duration", mutate("assertions:", "events:\n  - at: 2s\n    action: heal\nassertions:"), "outside the 1s run"},
+		{"bad mds target", mutate("assertions:", "events:\n  - at: 1ms\n    action: kill\n    target: mds-7\nassertions:"), "no such MDS"},
+		{"duplicate partition node", mutate("assertions:", "events:\n  - at: 1ms\n    action: partition\n    groups: \"0,1|1,2\"\nassertions:"), "node 1 appears twice"},
+		{"single partition group", mutate("assertions:", "events:\n  - at: 1ms\n    action: partition\n    groups: \"0,1,2\"\nassertions:"), ">= 2 groups"},
+		{"no assertions", strings.Replace(minimalScenario, "assertions:\n  - kind: ops-min\n    value: 1\n", "", 1), "no assertions"},
+		{"loss without mix", mutate("kind: mix", "kind: none") + "  - kind: no-acked-loss\n", "needs the mix workload"},
+		{"p95 without dur", mutate("kind: ops-min\n    value: 1", "kind: p95-le"), "needs a duration"},
+		{"convergence without within", mutate("kind: ops-min\n    value: 1", "kind: map-converged"), "needs within"},
+		{"bad replication mode", mutate("mds: 3", "mds: 3\n  replication: paxos"), `replication "paxos"`},
+		{"stress with events", "name: t\nseed: 1\nstress:\n  fleet: 10\n  chaos-rate: 0.1\n  duration: 1m\nevents:\n  - at: 1ms\n    action: heal\nassertions:\n  - kind: ops-min\n    value: 1\n", "chaos-rate, not events"},
+		{"stress-only assertion outside stress", mutate("kind: ops-min\n    value: 1", "kind: map-converged\n    within: 5s") + "", ""},
+	}
+	for _, tc := range cases {
+		if tc.wantErr == "" {
+			continue // placeholder rows document allowed forms
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("parse accepted invalid scenario:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestUnknownKeyNamesLine checks the strict decoder points at the
+// offending line, not just the key.
+func TestUnknownKeyNamesLine(t *testing.T) {
+	src := "name: t\nseed: 1\nbogus: 9\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("parse accepted an unknown key")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}
+
+// TestLibraryScenariosParse keeps every shipped scenario loadable: a
+// library file that stops parsing is a regression even before it runs.
+func TestLibraryScenariosParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no library scenarios found: %v", err)
+	}
+	if len(files) < 10 {
+		t.Errorf("library has %d scenarios, the harness promises >= 10", len(files))
+	}
+	for _, file := range files {
+		if _, err := ParseFile(file); err != nil {
+			t.Errorf("%s: %v", filepath.Base(file), err)
+		}
+	}
+}

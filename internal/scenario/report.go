@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report rendering: one JSON document per run (machine diffing, CI
+// artifacts) and a compact text form for terminals.
+
+// WriteJSON writes the run result as indented JSON.
+func (r *RunResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Text renders the human-readable report.
+func (r *RunResult) Text() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "%s  %s (seed %d, %s)\n", status, r.Name, r.Seed, r.Elapsed.Round(time.Millisecond))
+	w := r.Workload
+	if w.Attempted > 0 {
+		fmt.Fprintf(&b, "  workload: %d ops, %d errors of %d attempts", w.Ops, w.Errors, w.Attempted)
+		if w.Acked > 0 {
+			fmt.Fprintf(&b, ", %d acked creates (%d lost)", w.Acked, w.Lost)
+		}
+		fmt.Fprintf(&b, "\n  latency: p50 %s  p95 %s  p99 %s\n",
+			w.P50.Round(time.Microsecond), w.P95.Round(time.Microsecond), w.P99.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "  control plane: %d failovers, %d migrations, map v%d\n",
+		r.Failovers, r.Migrations, r.MapVersion)
+	if len(r.EventLog) > 0 {
+		fmt.Fprintf(&b, "  timeline (%d events):\n", len(r.EventLog))
+		for _, line := range r.EventLog {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	for _, a := range r.Assertions {
+		mark := "ok  "
+		if !a.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  assert %s %-16s %s\n", mark, a.Kind, a.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Stress mode: a virtual-clock emulation of large fleets (1000 shards
+// and up) under sustained chaos. Real sockets and stores would hit fd
+// and wall-clock limits three orders of magnitude before the
+// interesting scale, so the emulator keeps the failure model — kill,
+// detect after a heartbeat delay, promote the ring successor, resync,
+// async loss bounded by the ship window — and drops the bytes. Ticks
+// advance a virtual clock; a 10-minute storm over 1000 shards runs in
+// well under a second and replays bit-identically under its seed.
+
+// stressShard is one emulated MDS.
+type stressShard struct {
+	up         bool
+	killedAt   time.Duration // virtual time of the kill
+	failedOver bool
+	restartAt  time.Duration
+	// owner is the shard currently serving this shard's subtree: the
+	// shard itself, or its promotee after a failover.
+	owner int
+}
+
+const stressDetectDelay = 2 // ticks from kill to promotion
+
+func runStress(sc *Scenario, seed int64, logf func(string, ...interface{})) (*RunResult, error) {
+	start := time.Now()
+	st := sc.Stress
+	rnd := rand.New(rand.NewSource(seed))
+	res := &RunResult{Name: sc.Name, Seed: seed, Stress: true}
+
+	n := st.Fleet
+	shards := make([]*stressShard, n)
+	for i := range shards {
+		shards[i] = &stressShard{up: true, owner: i}
+	}
+	// Zipf op weights by shard rank: shard i receives a 1/(i+1)^skew
+	// share of every tick's ops, the canonical skewed-namespace shape.
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), st.Skew)
+		wsum += weights[i]
+	}
+	// Every shard serves at least one op per tick so a kill anywhere in
+	// the tail still dents availability; the Zipf share shapes the rest.
+	opsOf := make([]int64, n)
+	for i := range weights {
+		opsOf[i] = int64(float64(st.OpsPerTick) * weights[i] / wsum)
+		if opsOf[i] < 1 {
+			opsOf[i] = 1
+		}
+	}
+
+	// Per-tick kill probability from the per-minute chaos rate.
+	pKill := st.ChaosRate * st.Tick.Minutes()
+
+	var (
+		attempted, acked, failed int64
+		lostAcked                int64
+		failovers, kills         int64
+	)
+	ticks := int(st.Duration / st.Tick)
+	var pendingFailover []int // shard ids awaiting promotion, FIFO with their kill tick
+	killTick := make(map[int]int)
+
+	logEvent := func(vt time.Duration, format string, args ...interface{}) {
+		res.EventLog = append(res.EventLog, fmt.Sprintf("vt=%s %s", vt, fmt.Sprintf(format, args...)))
+	}
+
+	for tick := 0; tick < ticks; tick++ {
+		vt := time.Duration(tick) * st.Tick
+
+		// Chaos: seeded Bernoulli kill per live shard.
+		for i, sh := range shards {
+			if !sh.up || pKill <= 0 {
+				continue
+			}
+			if rnd.Float64() >= pKill {
+				continue
+			}
+			sh.up = false
+			sh.failedOver = false
+			sh.killedAt = vt
+			sh.restartAt = vt + 2*time.Second + time.Duration(rnd.Int63n(int64(8*time.Second)))
+			kills++
+			killTick[i] = tick
+			pendingFailover = append(pendingFailover, i)
+			logEvent(vt, "kill shard-%d", i)
+			if st.Mode == "async" {
+				// The unshipped tail dies with the primary: up to one
+				// ship window of acknowledged writes.
+				lostAcked += rnd.Int63n(257)
+			}
+		}
+
+		// Failover: promote after the detection delay.
+		var still []int
+		for _, id := range pendingFailover {
+			if tick-killTick[id] < stressDetectDelay {
+				still = append(still, id)
+				continue
+			}
+			sh := shards[id]
+			if sh.up { // restarted before detection
+				continue
+			}
+			promotee := -1
+			for cand := (id + 1) % n; cand != id; cand = (cand + 1) % n {
+				if shards[cand].up {
+					promotee = cand
+					break
+				}
+			}
+			if promotee < 0 {
+				still = append(still, id) // nobody alive; keep waiting
+				continue
+			}
+			sh.failedOver = true
+			sh.owner = promotee
+			failovers++
+			logEvent(vt, "failover shard-%d -> shard-%d", id, promotee)
+		}
+		pendingFailover = still
+
+		// Restarts: a revived shard resyncs and takes its subtree back.
+		for i, sh := range shards {
+			if !sh.up && vt >= sh.restartAt {
+				sh.up = true
+				sh.failedOver = false
+				sh.owner = i
+				logEvent(vt, "restart shard-%d", i)
+			}
+		}
+
+		// Offered load: ops to a dead, not-yet-failed-over subtree fail;
+		// everything else is acknowledged by the current owner.
+		for i, sh := range shards {
+			ops := opsOf[i]
+			attempted += ops
+			owner := shards[sh.owner]
+			switch {
+			case sh.up:
+				acked += ops
+			case sh.failedOver && owner.up:
+				acked += ops
+			default:
+				failed += ops
+			}
+		}
+	}
+
+	if st.Mode == "sync" {
+		lostAcked = 0 // the mode's invariant: nothing acked is lost
+	}
+	res.Workload = WorkloadStats{
+		Attempted: attempted,
+		Ops:       acked,
+		Errors:    failed,
+		Acked:     int(acked),
+		Lost:      int(lostAcked),
+	}
+	res.Failovers = failovers
+	logf("  stress: %d shards, %d ticks, %d kills, %d failovers, %d/%d ops acked",
+		n, ticks, kills, failovers, acked, attempted)
+
+	for _, a := range sc.Assertions {
+		r := AssertionResult{Kind: a.Kind}
+		switch a.Kind {
+		case AssertAvailMin:
+			avail := 1.0
+			if attempted > 0 {
+				avail = float64(acked) / float64(attempted)
+			}
+			r.Passed = avail >= a.Value
+			r.Detail = fmt.Sprintf("availability %.4f (want >= %s)", avail, trimFloat(a.Value))
+		case AssertNoAckedLoss:
+			r.Passed = lostAcked == 0
+			r.Detail = fmt.Sprintf("%d acked writes lost", lostAcked)
+		case AssertBoundedLoss:
+			r.Passed = float64(lostAcked) <= a.Value
+			r.Detail = fmt.Sprintf("%d acked writes lost (bound %s)", lostAcked, trimFloat(a.Value))
+		case AssertFailoversMin:
+			r.Passed = float64(failovers) >= a.Value
+			r.Detail = fmt.Sprintf("%d failovers (want >= %s)", failovers, trimFloat(a.Value))
+		case AssertFailoversMax:
+			r.Passed = float64(failovers) <= a.Value
+			r.Detail = fmt.Sprintf("%d failovers (allow <= %s)", failovers, trimFloat(a.Value))
+		case AssertOpsMin:
+			r.Passed = float64(acked) >= a.Value
+			r.Detail = fmt.Sprintf("%d ops acked (want >= %s)", acked, trimFloat(a.Value))
+		case AssertErrorsMax:
+			r.Passed = float64(failed) <= a.Value
+			r.Detail = fmt.Sprintf("%d ops failed (allow <= %s)", failed, trimFloat(a.Value))
+		case AssertErrRateLE:
+			rate := 0.0
+			if attempted > 0 {
+				rate = float64(failed) / float64(attempted)
+			}
+			r.Passed = rate <= a.Value
+			r.Detail = fmt.Sprintf("error rate %.4f (allow <= %s)", rate, trimFloat(a.Value))
+		default:
+			r.Passed = false
+			r.Detail = "assertion not applicable in stress mode"
+		}
+		res.Assertions = append(res.Assertions, r)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

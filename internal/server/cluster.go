@@ -22,17 +22,40 @@ import (
 // shard degrades an epoch instead of hanging it.
 const DefaultCallTimeout = 3 * time.Second
 
+// ClusterConfig tunes a cluster beyond the store options. The zero value
+// reproduces StartCluster's defaults.
+type ClusterConfig struct {
+	// KvOpts are the store options of every shard (SyncWAL etc.).
+	KvOpts kvstore.Options
+	// CallTimeout bounds coordinator and peer RPCs (default
+	// DefaultCallTimeout). Chaos scenarios shrink it so dropped frames
+	// resolve quickly.
+	CallTimeout time.Duration
+	// FaultSeed seeds the link-fault table's drop RNG (default 1).
+	FaultSeed int64
+}
+
 // Cluster is a set of running MDS services plus coordinator connections.
 type Cluster struct {
 	Services []*mds.Service
 	Addrs    []string
 
-	mu        sync.Mutex
-	conns     []*rpc.Client
-	peerConns []*rpc.Client
+	mu    sync.Mutex
+	conns []*rpc.Client
+	// peerConns[from][to] is MDS from's connection to MDS to, dialed
+	// lazily. Keeping the matrix per-caller lets link faults (partitions,
+	// loss, latency) apply to exactly one direction of one link.
+	peerConns [][]*rpc.Client
 	dir       string
 	timeout   time.Duration
 	kvOpts    kvstore.Options
+
+	// faults is the live network-fault table every cluster-owned
+	// connection consults (see netfaults.go).
+	faults *LinkFaults
+	// throttles are the per-MDS slow-disk injectors, installed into each
+	// shard's store options (surviving restarts).
+	throttles []*kvstore.Throttle
 
 	// repl is the replication wiring, nil until EnableReplication. Like
 	// Services it is mutated only by single-threaded admin operations.
@@ -44,21 +67,38 @@ type Cluster struct {
 // coordinator connections carry DefaultCallTimeout deadlines and redial
 // automatically after a drop.
 func StartCluster(n int, baseDir string) (*Cluster, error) {
-	return StartClusterOpts(n, baseDir, kvstore.Options{})
+	return StartClusterConfig(n, baseDir, ClusterConfig{})
 }
 
 // StartClusterOpts is StartCluster with explicit store options for every
 // shard — e.g. SyncWAL for durable-write benchmarks. Restarted MDSs
 // reopen their shards with the same options.
 func StartClusterOpts(n int, baseDir string, kvOpts kvstore.Options) (*Cluster, error) {
+	return StartClusterConfig(n, baseDir, ClusterConfig{KvOpts: kvOpts})
+}
+
+// StartClusterConfig is the fully configurable constructor.
+func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("server: cluster size %d", n)
 	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = DefaultCallTimeout
+	}
+	if cfg.FaultSeed == 0 {
+		cfg.FaultSeed = 1
+	}
 	c := &Cluster{
 		dir:       baseDir,
-		peerConns: make([]*rpc.Client, n),
-		timeout:   DefaultCallTimeout,
-		kvOpts:    kvOpts,
+		peerConns: make([][]*rpc.Client, n),
+		timeout:   cfg.CallTimeout,
+		kvOpts:    cfg.KvOpts,
+		faults:    NewLinkFaults(cfg.FaultSeed),
+		throttles: make([]*kvstore.Throttle, n),
+	}
+	for i := range c.peerConns {
+		c.peerConns[i] = make([]*rpc.Client, n)
+		c.throttles[i] = &kvstore.Throttle{}
 	}
 	for i := 0; i < n; i++ {
 		dir := filepath.Join(baseDir, fmt.Sprintf("mds%d", i))
@@ -66,12 +106,12 @@ func StartClusterOpts(n int, baseDir string, kvOpts kvstore.Options) (*Cluster, 
 			c.Close()
 			return nil, err
 		}
-		store, err := mds.OpenStore(dir, i, kvOpts)
+		store, err := mds.OpenStore(dir, i, c.shardOpts(i))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("server: open store %d: %w", i, err)
 		}
-		svc := mds.NewService(i, store, c.peerResolver)
+		svc := mds.NewService(i, store, c.peerResolverFor(i))
 		addr, err := svc.Serve("127.0.0.1:0")
 		if err != nil {
 			store.Close()
@@ -82,7 +122,7 @@ func StartClusterOpts(n int, baseDir string, kvOpts kvstore.Options) (*Cluster, 
 		c.Addrs = append(c.Addrs, addr)
 	}
 	for i := 0; i < n; i++ {
-		conn, err := c.dial(i)
+		conn, err := c.dialLink(0, i)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -92,36 +132,58 @@ func StartClusterOpts(n int, baseDir string, kvOpts kvstore.Options) (*Cluster, 
 	return c, nil
 }
 
-func (c *Cluster) dial(id int) (*rpc.Client, error) {
-	return rpc.DialOptions(c.Addrs[id], rpc.ClientOptions{
+// shardOpts is the per-MDS store configuration: the shared options plus
+// that shard's disk throttle.
+func (c *Cluster) shardOpts(id int) kvstore.Options {
+	opts := c.kvOpts
+	opts.Throttle = c.throttles[id]
+	return opts
+}
+
+// DiskThrottle returns the slow-disk injector of one MDS; setting a
+// non-zero delay stalls that shard's write path.
+func (c *Cluster) DiskThrottle(id int) *kvstore.Throttle {
+	return c.throttles[id]
+}
+
+// dialLink dials MDS to on behalf of node from (the coordinator dials as
+// MDS 0, where it lives), installing the from→to link injector so the
+// fault table applies to the connection for its whole life.
+func (c *Cluster) dialLink(from, to int) (*rpc.Client, error) {
+	return rpc.DialOptions(c.Addrs[to], rpc.ClientOptions{
 		CallTimeout: c.timeout,
 		Reconnect:   true,
 		BackoffBase: 5 * time.Millisecond,
+		Injector:    c.faults.InjectorFor(from, to),
 	})
 }
 
-// peerResolver lazily dials MDS-to-MDS connections (migration pushes) by
-// id from the address table, re-dialing when a cached connection died or
-// the peer restarted on a new address.
-func (c *Cluster) peerResolver(id int) (*rpc.Client, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if id < 0 || id >= len(c.Addrs) {
-		return nil, fmt.Errorf("server: peer %d out of range", id)
-	}
-	if cached := c.peerConns[id]; cached != nil {
-		if cached.Connected() && cached.Addr() == c.Addrs[id] {
-			return cached, nil
+// peerResolverFor builds the peer resolver of one MDS: it lazily dials
+// MDS-to-MDS connections (migration pushes, replication streams) by id,
+// re-dialing when a cached connection died or the peer restarted on a
+// new address. Each caller gets its own connections so per-link faults
+// hit only that link.
+func (c *Cluster) peerResolverFor(from int) func(int) (*rpc.Client, error) {
+	return func(id int) (*rpc.Client, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if id < 0 || id >= len(c.Addrs) {
+			return nil, fmt.Errorf("server: peer %d out of range", id)
 		}
-		cached.Close()
-		c.peerConns[id] = nil
+		if cached := c.peerConns[from][id]; cached != nil {
+			if cached.Connected() && cached.Addr() == c.Addrs[id] {
+				return cached, nil
+			}
+			cached.Close()
+			c.peerConns[from][id] = nil
+		}
+		conn, err := c.dialLink(from, id)
+		if err != nil {
+			return nil, err
+		}
+		c.peerConns[from][id] = conn
+		return conn, nil
 	}
-	conn, err := c.dial(id)
-	if err != nil {
-		return nil, err
-	}
-	c.peerConns[id] = conn
-	return conn, nil
 }
 
 // Conn returns the coordinator's connection to one MDS.
@@ -161,11 +223,11 @@ func (c *Cluster) RestartMDS(id int) error {
 		return fmt.Errorf("server: MDS %d still running", id)
 	}
 	dir := filepath.Join(c.dir, fmt.Sprintf("mds%d", id))
-	store, err := mds.OpenStore(dir, id, c.kvOpts)
+	store, err := mds.OpenStore(dir, id, c.shardOpts(id))
 	if err != nil {
 		return fmt.Errorf("server: reopen store %d: %w", id, err)
 	}
-	svc := mds.NewService(id, store, c.peerResolver)
+	svc := mds.NewService(id, store, c.peerResolverFor(id))
 	addr, err := svc.Serve("127.0.0.1:0")
 	if err != nil {
 		store.Close()
@@ -177,12 +239,14 @@ func (c *Cluster) RestartMDS(id int) error {
 	if c.conns[id] != nil {
 		c.conns[id].Close()
 	}
-	if c.peerConns[id] != nil {
-		c.peerConns[id].Close()
-		c.peerConns[id] = nil
+	for from := range c.peerConns {
+		if c.peerConns[from][id] != nil {
+			c.peerConns[from][id].Close()
+			c.peerConns[from][id] = nil
+		}
 	}
 	c.mu.Unlock()
-	conn, err := c.dial(id)
+	conn, err := c.dialLink(0, id)
 	if err != nil {
 		return err
 	}
@@ -202,7 +266,10 @@ func (c *Cluster) Close() {
 	}
 	c.mu.Lock()
 	conns := append([]*rpc.Client{}, c.conns...)
-	peers := append([]*rpc.Client{}, c.peerConns...)
+	var peers []*rpc.Client
+	for _, row := range c.peerConns {
+		peers = append(peers, row...)
+	}
 	c.mu.Unlock()
 	for _, conn := range conns {
 		if conn != nil {

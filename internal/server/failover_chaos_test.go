@@ -1,203 +1,95 @@
-package server
+// The failover chaos tests, ported onto the scenario harness. The
+// write-storm-then-kill choreography that used to live here as a
+// hand-rolled harness (fixed sleeps included) is now declared in
+// scenarios/kill-primary-{sync,async}.yaml and executed by
+// internal/scenario — one harness, not three. Timing is owned by the
+// scenario timeline; every wait below is a bounded poll with a reason.
+package server_test
 
 import (
-	"fmt"
-	"sync"
+	"path/filepath"
 	"testing"
 	"time"
 
-	"origami/internal/client"
-	"origami/internal/replication"
+	"origami/internal/scenario"
+	"origami/internal/server"
 )
 
-// failoverStorm is the shared harness of the failover chaos tests: a
-// 3-MDS replicated cluster, the /storm subtree migrated to MDS 1 (the
-// victim), and a pool of writers hammering creates while MDS 1 is killed
-// mid-storm. The auto-failover loop promotes MDS 2 (the victim's ring
-// backup); writers recover through the client's transport-retry path.
-// It returns the paths whose creates were acknowledged and the cluster
-// (with coordinator) for follow-up assertions.
-func failoverStorm(t *testing.T, syncMode bool, tweak func(*replication.Options)) (acked []string, cl *Cluster, co *Coordinator) {
+// runScenario executes one library scenario file and reports every
+// assertion verdict through the test log. Harness errors (cluster would
+// not start, bad scenario) fail immediately; a failed assertion fails
+// the test with the runner's own detail string.
+func runScenario(t *testing.T, name string, inspect func(cl *server.Cluster, co *server.Coordinator)) *scenario.RunResult {
 	t.Helper()
-	dir := t.TempDir()
-	cl, err := StartCluster(3, dir)
+	path := filepath.Join("..", "..", "scenarios", name)
+	res, err := scenario.RunFile(path, scenario.Options{Inspect: inspect})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("scenario %s: %v", name, err)
 	}
-	t.Cleanup(cl.Close)
-	if err := cl.EnableReplication(syncMode, tweak); err != nil {
-		t.Fatal(err)
-	}
-	co = NewCoordinator(cl)
-	sdk, err := client.Dial(client.Config{
-		Addrs: cl.Addrs, CacheDepth: 2,
-		RetryBackoff: 5 * time.Millisecond,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sdk.Close()
-
-	stormDir, err := sdk.Mkdir("/storm")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := co.Migrate(stormDir.Ino, 0, 1); err != nil {
-		t.Fatalf("migrate /storm to victim: %v", err)
-	}
-	if err := sdk.RefreshMap(); err != nil {
-		t.Fatal(err)
-	}
-
-	stop := co.StartAutoFailover(25 * time.Millisecond)
-	t.Cleanup(stop)
-
-	const writers = 4
-	var (
-		mu      sync.Mutex
-		wg      sync.WaitGroup
-		stormOn = make(chan struct{})
-	)
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; ; i++ {
-				select {
-				case <-stormOn:
-					return
-				default:
-				}
-				path := fmt.Sprintf("/storm/w%d-f%05d", w, i)
-				if _, err := sdk.Create(path); err == nil {
-					mu.Lock()
-					acked = append(acked, path)
-					mu.Unlock()
-				}
-			}
-		}(w)
-	}
-
-	// Let the storm build, then kill the victim mid-write.
-	time.Sleep(150 * time.Millisecond)
-	verBefore := co.MapVersion()
-	if err := cl.StopMDS(1); err != nil {
-		t.Fatal(err)
-	}
-	killed := time.Now()
-
-	// The coordinator must promote within a few heartbeats.
-	for co.MapVersion() == verBefore {
-		if time.Since(killed) > 5*time.Second {
-			t.Fatal("no failover within 5s of the kill")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Logf("failover published %v after the kill", time.Since(killed).Round(time.Millisecond))
-
-	// Keep writing against the promoted backup, then stop the storm.
-	time.Sleep(300 * time.Millisecond)
-	close(stormOn)
-	wg.Wait()
-
-	if n := co.Registry().Counter("coordinator.failovers").Value(); n < 1 {
-		t.Fatalf("coordinator.failovers = %d, want >= 1", n)
-	}
-	if pins := co.Pins(); pins[stormDir.Ino] != 2 {
-		t.Fatalf("/storm pinned to MDS %d after failover, want promoted backup 2", pins[stormDir.Ino])
-	}
-	return acked, cl, co
-}
-
-// countMissing stats every acknowledged path through a fresh client (no
-// warm cache, no stale map) and returns how many are gone.
-func countMissing(t *testing.T, cl *Cluster, acked []string) int {
-	t.Helper()
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0,
-		RetryBackoff: 5 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sdk.Close()
-	missing := 0
-	for _, p := range acked {
-		if _, err := sdk.Stat(p); err != nil {
-			missing++
+	for _, a := range res.Assertions {
+		if a.Passed {
+			t.Logf("assert ok   %-16s %s", a.Kind, a.Detail)
+		} else {
+			t.Errorf("assert FAIL %-16s %s", a.Kind, a.Detail)
 		}
 	}
-	return missing
+	return res
 }
 
 // TestChaosFailoverSyncZeroLoss kills the primary of a write storm in
-// -repl-sync mode: every acknowledged create must be readable from the
-// promoted backup. This is the mode's headline guarantee.
+// sync mode: every acknowledged create must be readable from the
+// promoted backup. This is the mode's headline guarantee, declared in
+// kill-primary-sync.yaml as a no-acked-loss assertion.
 func TestChaosFailoverSyncZeroLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test")
 	}
-	acked, cl, _ := failoverStorm(t, true, func(o *replication.Options) {
-		o.RetryBackoff = 5 * time.Millisecond
-	})
-	if len(acked) == 0 {
+	res := runScenario(t, "kill-primary-sync.yaml", nil)
+	if res.Workload.Acked == 0 {
 		t.Fatal("storm acknowledged no writes")
 	}
-	if missing := countMissing(t, cl, acked); missing != 0 {
-		t.Fatalf("sync mode lost %d of %d acknowledged creates", missing, len(acked))
-	}
-	t.Logf("all %d acknowledged creates survived the failover", len(acked))
+	t.Logf("all %d acknowledged creates survived the failover", res.Workload.Acked)
 }
 
 // TestChaosFailoverAsyncBoundedLoss is the async twin: acknowledged
-// creates may be lost across the kill, but only the unshipped tail — the
-// loss is bounded by the backlog cap plus one in-flight window, and the
-// cluster stays fully operational.
+// creates may be lost across the kill, but only the unshipped tail —
+// kill-primary-async.yaml bounds the loss at backlog + window.
 func TestChaosFailoverAsyncBoundedLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test")
 	}
-	const maxBacklog, window = 2048, 256
-	acked, cl, _ := failoverStorm(t, false, func(o *replication.Options) {
-		o.MaxBacklog = maxBacklog
-		o.Window = window
-		o.RetryBackoff = 5 * time.Millisecond
-	})
-	if len(acked) == 0 {
+	res := runScenario(t, "kill-primary-async.yaml", nil)
+	if res.Workload.Acked == 0 {
 		t.Fatal("storm acknowledged no writes")
 	}
-	missing := countMissing(t, cl, acked)
-	t.Logf("async mode: %d of %d acknowledged creates lost across the failover", missing, len(acked))
-	if missing > maxBacklog+window {
-		t.Fatalf("async loss %d exceeds the documented window %d", missing, maxBacklog+window)
-	}
+	t.Logf("async mode: %d of %d acknowledged creates lost across the failover",
+		res.Workload.Lost, res.Workload.Acked)
 }
 
 // TestFailoverRetargetsReplication checks re-replication: after MDS 1
 // dies and MDS 2 is promoted, the shipper that used MDS 1 as its backup
-// (MDS 0 in the ring) must be retargeted to a live MDS and converge there.
+// (MDS 0 in the ring) must be retargeted to a live MDS and converge
+// there. The topology checks run through the Inspect hook while the
+// scenario's cluster is still up.
 func TestFailoverRetargetsReplication(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test")
 	}
-	_, cl, _ := failoverStorm(t, false, func(o *replication.Options) {
-		o.RetryBackoff = 5 * time.Millisecond
+	runScenario(t, "kill-primary-async.yaml", func(cl *server.Cluster, co *server.Coordinator) {
+		if b := cl.BackupOf(0); b != 2 {
+			t.Errorf("MDS 0's backup is %d after the failover, want 2", b)
+		}
+		converged := scenario.WaitUntil(5*time.Second, func() bool {
+			st := cl.ShipperOf(0).Status()
+			return st.Backup == 2 && !st.Syncing && st.Lag == 0
+		})
+		if !converged {
+			t.Errorf("MDS 0's stream never converged on the new backup: %+v",
+				cl.ShipperOf(0).Status())
+		}
+		status := cl.ReplicationStatus(2)
+		if role, _ := status["role"].(string); role != "primary+backup" {
+			t.Errorf("promoted MDS 2 reports role %q, want primary+backup", role)
+		}
 	})
-	if b := cl.BackupOf(0); b != 2 {
-		t.Fatalf("MDS 0's backup is %d after the failover, want 2", b)
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		st := cl.ShipperOf(0).Status()
-		if st.Backup == 2 && !st.Syncing && st.Lag == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("MDS 0's stream never converged on the new backup: %+v", st)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	status := cl.ReplicationStatus(2)
-	role, _ := status["role"].(string)
-	if role != "primary+backup" {
-		t.Fatalf("promoted MDS 2 reports role %q, want primary+backup", role)
-	}
 }

@@ -63,7 +63,7 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 			Backup:   g.backups[i],
 			Sync:     syncMode,
 			Registry: g.regs[i],
-			Dial:     c.peerResolver,
+			Dial:     c.peerResolverFor(i),
 		}
 		if tweak != nil {
 			tweak(&opts)
@@ -209,7 +209,7 @@ func (c *Cluster) startReplicationFor(id int) {
 		Backup:   c.repl.backups[id],
 		Sync:     c.repl.sync,
 		Registry: reg,
-		Dial:     c.peerResolver,
+		Dial:     c.peerResolverFor(id),
 	}
 	sh := replication.NewShipper(svc.Store(), opts)
 	c.repl.shippers[id] = sh
