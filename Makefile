@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test test-race race chaos train-smoke sim sim-smoke bench experiments examples profile clean
+.PHONY: all check build vet fmt-check test test-race race chaos train-smoke obs-smoke sim sim-smoke bench experiments examples profile clean
 
 all: check
 
 # The default gate: compile, vet, formatting, full test suite, the race
-# detector over the concurrency-heavy networked packages, then a fast
-# scenario-harness smoke.
-check: build vet fmt-check test test-race sim-smoke
+# detector over the concurrency-heavy networked packages, a fast
+# scenario-harness smoke, then the observability-plane smoke.
+check: build vet fmt-check test test-race sim-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/replication/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/telemetry/... ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/replication/... ./internal/server/... ./internal/client/...
 
 # The failure-injection suites: primary kills mid-write-storm, failover
 # promotion, replication gap/overflow resyncs, and the scenario harness
@@ -54,6 +54,13 @@ sim-smoke:
 # warm-start path.
 train-smoke:
 	$(GO) test -race -count=1 -timeout 120s -run 'OnlineLoop|AdminRPC|WarmStart' ./internal/server/...
+
+# Observability-plane smoke: boot a sync-replicated cluster, issue
+# operations, and assert one assembled multi-node trace tree, a merged
+# cluster snapshot covering every live MDS, a parseable Prometheus
+# scrape, and the component.noun.verb metric vocabulary.
+obs-smoke:
+	$(GO) test -count=1 -timeout 120s -run 'ObsSmoke' ./internal/server/... ./internal/telemetry/...
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # kvstore micro-benchmarks.

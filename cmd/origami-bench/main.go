@@ -51,11 +51,12 @@ type tcpBenchPoint struct {
 
 // tcpBenchReport is the whole BENCH_tcp.json document.
 type tcpBenchReport struct {
-	MDS      int             `json:"mds"`
-	SyncWAL  bool            `json:"syncwal"`
-	WritePct int             `json:"writepct"`
-	Duration string          `json:"duration_per_point"`
-	Points   []tcpBenchPoint `json:"points"`
+	MDS         int             `json:"mds"`
+	SyncWAL     bool            `json:"syncwal"`
+	WritePct    int             `json:"writepct"`
+	Duration    string          `json:"duration_per_point"`
+	TraceSample float64         `json:"trace_sample"`
+	Points      []tcpBenchPoint `json:"points"`
 }
 
 // runTCPBench starts a fresh loopback cluster per dispatch mode and
@@ -63,13 +64,14 @@ type tcpBenchReport struct {
 // printing an ops/sec matrix plus the concurrent-over-serial speedup.
 // Alongside the text report it writes BENCH_tcp.json (jsonOut) with the
 // per-point throughput and exact p50/p95/p99 latencies.
-func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct int, jsonOut string) error {
+func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct int, traceSample float64, jsonOut string) error {
 	modes := []string{"serial", "concurrent"}
 	if dispatch != "both" {
 		modes = []string{dispatch}
 	}
 	report := tcpBenchReport{
 		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, Duration: dur.String(),
+		TraceSample: traceSample,
 	}
 	thr := make(map[string]map[int]float64)
 	for _, mode := range modes {
@@ -78,7 +80,10 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 		if err != nil {
 			return err
 		}
-		cluster, err := server.StartClusterOpts(numMDS, dir, kvstore.Options{SyncWAL: syncWAL})
+		cluster, err := server.StartClusterConfig(numMDS, dir, server.ClusterConfig{
+			KvOpts:          kvstore.Options{SyncWAL: syncWAL},
+			TraceSampleRate: traceSample,
+		})
 		if err != nil {
 			os.RemoveAll(dir)
 			return err
@@ -91,12 +96,13 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 		var lastPuts, lastSyncs int64
 		for _, w := range workerCounts {
 			res, err := loadgen.Run(loadgen.Config{
-				Addrs:    cluster.Addrs,
-				Workers:  w,
-				Duration: dur,
-				Root:     fmt.Sprintf("bench-%s-w%d", mode, w),
-				WritePct: writePct,
-				Seed:     1,
+				Addrs:           cluster.Addrs,
+				Workers:         w,
+				Duration:        dur,
+				Root:            fmt.Sprintf("bench-%s-w%d", mode, w),
+				WritePct:        writePct,
+				Seed:            1,
+				TraceSampleRate: traceSample,
 			})
 			if err != nil {
 				cluster.Close()
@@ -232,8 +238,22 @@ func main() {
 		syncWAL    = flag.Bool("syncwal", true, "make MDS writes durable before acknowledgement (-tcp; group commit)")
 		writePct   = flag.Int("writepct", 100, "percentage of mutating ops in the -tcp workload (default is an mdtest-style create storm)")
 		jsonOut    = flag.String("json-out", "BENCH_tcp.json", "write the -tcp results as JSON to this file (empty disables)")
+		traceRate  = flag.Float64("trace-sample", 0.01, "span head-sampling rate for the -tcp cluster and SDK (negative disables tracing)")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "origami-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "origami-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *tcp {
 		// The simulator experiments default -mds to 5; the dispatch
 		// benchmark is sharpest on one MDS unless asked otherwise.
@@ -252,24 +272,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origami-bench: bad -dispatch %q\n", *dispatch)
 			os.Exit(1)
 		}
-		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *jsonOut); err != nil {
+		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *traceRate, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
-	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "origami-bench: cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "origami-bench: cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
 	}
 	if *exp == "replay" {
 		if *traceFile == "" {

@@ -73,7 +73,7 @@ func runCommand(sdk *client.Client, args []string) error {
 	}
 	switch cmd {
 	case "help":
-		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | epoch | model | quit")
+		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | trace <id|last> | top | epoch | model | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {
@@ -159,6 +159,47 @@ func runCommand(sdk *client.Client, args []string) error {
 		}
 		printMDSMetrics(sdk, id)
 		return nil
+	case "trace":
+		// Assemble one distributed trace: spans are gathered from the
+		// local SDK tracer and every MDS's span store, stitched into a
+		// tree, and rendered with per-span latency and origin node.
+		// "trace last" shows the CLI's own most recent operation.
+		if err := need(1); err != nil {
+			return err
+		}
+		var traceID uint64
+		if args[1] == "last" {
+			traceID = sdk.LastTraceID()
+			if traceID == 0 {
+				return fmt.Errorf("trace: no operation ran yet")
+			}
+		} else {
+			id, err := strconv.ParseUint(strings.TrimPrefix(args[1], "0x"), 16, 64)
+			if err != nil {
+				return fmt.Errorf("trace: bad trace id %q (hex expected)", args[1])
+			}
+			traceID = id
+		}
+		spans, err := sdk.GatherTrace(traceID)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if len(spans) == 0 {
+			return fmt.Errorf("trace %s: no spans found (sampled out, expired, or unknown)", telemetry.FormatTraceID(traceID))
+		}
+		roots := telemetry.AssembleTrace(spans)
+		fmt.Printf("trace %s: %d span(s), components: %s\n",
+			telemetry.FormatTraceID(traceID), len(spans),
+			strings.Join(telemetry.Components(roots), ", "))
+		telemetry.RenderTraceTree(os.Stdout, roots)
+		return nil
+	case "top":
+		// Cluster-wide overview from the coordinator's merged snapshot.
+		body, err := sdk.FetchClusterMetrics()
+		if err != nil {
+			return fmt.Errorf("top: %w", err)
+		}
+		return printTop(body)
 	case "epoch":
 		// Ask the coordinator (beside MDS 0) for one balancing round.
 		body, err := sdk.TriggerEpoch()
@@ -230,8 +271,76 @@ func printMDSMetrics(sdk *client.Client, id int) {
 		fmt.Printf("mds %d: bad metrics payload: %v\n", id, err)
 		return
 	}
-	fmt.Printf("mds %d: up\n", id)
+	fmt.Printf("mds %d: up%s\n", id, buildInfoLine(sdk, id))
 	printSnapshot("  ", snap)
+}
+
+// buildInfoLine summarises one MDS's MethodBuildInfo document for the
+// metrics header ("" when the RPC fails — metrics stay readable against
+// older servers).
+func buildInfoLine(sdk *client.Client, id int) string {
+	body, err := sdk.FetchBuildInfo(id)
+	if err != nil {
+		return ""
+	}
+	var bi telemetry.BuildInfo
+	if err := json.Unmarshal(body, &bi); err != nil {
+		return ""
+	}
+	s := fmt.Sprintf("  v%s %s uptime=%.0fs", bi.Version, bi.GoVersion, bi.UptimeSeconds)
+	if len(bi.Features) > 0 {
+		s += " features=" + strings.Join(bi.Features, ",")
+	}
+	return s
+}
+
+// printTop renders the coordinator's merged cluster snapshot as one row
+// per node: operation volume, errors, inode count, and the slowest p95
+// among the node's latency histograms.
+func printTop(body []byte) error {
+	var snap struct {
+		MapVersion uint64                        `json:"map_version"`
+		Live       []int                         `json:"live"`
+		Down       []int                         `json:"down"`
+		Nodes      map[string]telemetry.Snapshot `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("top: bad snapshot payload: %w", err)
+	}
+	fmt.Printf("cluster: map_version=%d live=%v", snap.MapVersion, snap.Live)
+	if len(snap.Down) > 0 {
+		fmt.Printf(" down=%v", snap.Down)
+	}
+	fmt.Println()
+	names := make([]string, 0, len(snap.Nodes))
+	for name := range snap.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-20s %10s %8s %8s %10s\n", "NODE", "CALLS", "ERRORS", "INODES", "P95(ms)")
+	for _, name := range names {
+		s := snap.Nodes[name]
+		var calls, errs int64
+		for cname, v := range s.Counters {
+			// Server-side per-method counters end ".requests", client-side
+			// ones ".calls"; both mean "operations handled".
+			if strings.HasSuffix(cname, ".requests") || strings.HasSuffix(cname, ".calls") {
+				calls += v
+			}
+			if strings.HasSuffix(cname, ".errors") {
+				errs += v
+			}
+		}
+		var p95 int64
+		for hname, h := range s.Histograms {
+			if strings.HasSuffix(hname, ".latency_ns") && h.P95 > p95 {
+				p95 = h.P95
+			}
+		}
+		fmt.Printf("%-20s %10d %8d %8.0f %10.3f\n",
+			name, calls, errs, s.Gauges["mds.store.inodes"], float64(p95)/1e6)
+	}
+	return nil
 }
 
 // printSnapshot renders a registry snapshot: counters and gauges one per

@@ -59,9 +59,11 @@ func main() {
 		repl      = flag.Bool("repl", false, "enable ring replication between the MDSs in -cluster mode (async WAL shipping)")
 		replSync  = flag.Bool("repl-sync", false, "replication acks each write only after the backup applied it (implies -repl)")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "health-probe interval of the auto-failover loop when replication is on")
-		adminAddr = flag.String("admin", "", "HTTP admin address serving /metrics and /healthz (consecutive ports per MDS in -cluster mode; empty disables)")
+		adminAddr = flag.String("admin", "", "HTTP admin address serving /metrics, /traces, /buildinfo, and /healthz (consecutive ports per MDS in -cluster mode; empty disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on the admin endpoint (requires -admin)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		traceRate = flag.Float64("trace-sample", 1.0, "span head-sampling rate in [0,1] (slow ops always kept; negative disables tracing)")
+		slowOp    = flag.Duration("slow-op", 0, "slow-operation span threshold (0 = 50ms default; negative disables slow capture)")
 	)
 	flag.Parse()
 	telemetry.SetLogLevel(parseLevel(*logLevel))
@@ -79,6 +81,8 @@ func main() {
 			replOn:       *repl || *replSync,
 			replSync:     *replSync,
 			heartbeat:    *heartbeat,
+			traceRate:    *traceRate,
+			slowOp:       *slowOp,
 		})
 		return
 	}
@@ -86,7 +90,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "origami-mds: -repl/-repl-sync need -cluster (replication is wired by the in-process cluster)")
 		os.Exit(2)
 	}
-	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn)
+	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn, *traceRate, *slowOp)
 }
 
 func parseLevel(s string) telemetry.Level {
@@ -118,17 +122,23 @@ func adminAddrFor(base string, i int) string {
 }
 
 // startAdmin brings up one MDS's admin endpoint. extra registries (the
-// coordinator's, on MDS 0 in cluster mode) are merged into the export.
-func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Service, extra map[string]*telemetry.Registry, health, replFn func() map[string]interface{}) *telemetry.Admin {
+// coordinator's, on MDS 0 in cluster mode) are merged into the export;
+// the service's span tracer backs /traces and features feed /buildinfo.
+func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Service, extra map[string]*telemetry.Registry, health, replFn func() map[string]interface{}, features []string) *telemetry.Admin {
 	regs := map[string]*telemetry.Registry{"mds": svc.Registry()}
 	for name, reg := range extra {
 		regs[name] = reg
+	}
+	if svc.Tracer() != nil {
+		features = append(append([]string(nil), features...), "tracing")
 	}
 	admin, err := telemetry.StartAdmin(addr, telemetry.AdminConfig{
 		Registries:  regs,
 		Health:      health,
 		Replication: replFn,
 		Pprof:       pprofOn,
+		Tracer:      svc.Tracer(),
+		Features:    features,
 	})
 	if err != nil {
 		log.Error("admin endpoint failed", "addr", addr, "err", err)
@@ -138,7 +148,7 @@ func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Servi
 	return admin
 }
 
-func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
+func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool, traceRate float64, slowOp time.Duration) {
 	log := telemetry.L("origami-mds").With("mds", id)
 	peerAddrs := strings.Split(peers, ",")
 	if peers == "" {
@@ -164,6 +174,13 @@ func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
 		os.Exit(1)
 	}
 	svc := mds.NewService(id, store, resolve)
+	if traceRate >= 0 {
+		svc.SetTracer(telemetry.NewTracer(fmt.Sprintf("mds%d", id), telemetry.TracerConfig{
+			SampleRate:    traceRate,
+			SlowThreshold: slowOp,
+			Registry:      svc.Registry(),
+		}))
+	}
 	bound, err := svc.Serve(addr)
 	if err != nil {
 		log.Error("serve failed", "addr", addr, "err", err)
@@ -176,7 +193,7 @@ func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool) {
 				"rpc_addr":    bound,
 				"map_version": svc.MapVersion(),
 			}
-		}, nil)
+		}, nil, nil)
 		defer admin.Close()
 	}
 	log.Info("serving", "addr", bound, "data", dataDir)
@@ -200,11 +217,16 @@ type clusterOpts struct {
 	replOn       bool
 	replSync     bool
 	heartbeat    time.Duration
+	traceRate    float64
+	slowOp       time.Duration
 }
 
 func runCluster(o clusterOpts) {
 	log := telemetry.L("origami-mds")
-	cl, err := server.StartCluster(o.n, o.dataDir)
+	cl, err := server.StartClusterConfig(o.n, o.dataDir, server.ClusterConfig{
+		TraceSampleRate: o.traceRate,
+		SlowOpThreshold: o.slowOp,
+	})
 	if err != nil {
 		log.Error("start cluster failed", "err", err)
 		os.Exit(1)
@@ -255,6 +277,16 @@ func runCluster(o clusterOpts) {
 	// Coordinator admin protocol (origami-cli epoch / model) rides on
 	// MDS 0's RPC server.
 	co.RegisterAdmin(cl.Services[0].Server())
+	features := []string{"cluster"}
+	if o.replOn {
+		features = append(features, "replication")
+	}
+	if o.replSync {
+		features = append(features, "replication-sync")
+	}
+	if o.modelPath == "" {
+		features = append(features, "online-learning")
+	}
 	if o.adminAddr != "" {
 		for i, svc := range cl.Services {
 			// MDS 0's endpoint carries the coordinator registry too: one
@@ -283,7 +315,7 @@ func runCluster(o clusterOpts) {
 					}
 				}
 				return h
-			}, replFn)
+			}, replFn, features)
 			defer admin.Close()
 		}
 	}

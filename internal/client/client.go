@@ -7,6 +7,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,14 @@ type Config struct {
 	// partitions and lossy links to the data plane (see
 	// server.Cluster.ClientInjector).
 	LinkInjector func(mdsID int) rpc.FaultInjector
+	// TraceSampleRate is the head-sampling rate of the SDK's span tracer
+	// (0 = record everything; negative disables span collection). The
+	// sampling decision is a pure function of the trace ID, so client and
+	// servers agree on which traces to keep.
+	TraceSampleRate float64
+	// SlowOpThreshold is the always-keep-slow span cutoff (0 = the
+	// telemetry default; negative disables slow-op capture).
+	SlowOpThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -63,10 +72,15 @@ type cacheKey struct {
 
 // Client is an OrigamiFS SDK handle. It is safe for concurrent use.
 type Client struct {
-	cfg   Config
-	conns []*rpc.Client
-	reg   *telemetry.Registry
-	log   *telemetry.Logger
+	cfg    Config
+	conns  []*rpc.Client
+	reg    *telemetry.Registry
+	log    *telemetry.Logger
+	tracer *telemetry.Tracer
+
+	// lastTrace is the trace ID of the most recently started SDK
+	// operation — what `origami-cli trace last` resolves.
+	lastTrace atomic.Uint64
 
 	mu         sync.Mutex
 	pins       map[namespace.Ino]int
@@ -121,6 +135,13 @@ func Dial(cfg Config) (*Client, error) {
 		pins:  make(map[namespace.Ino]int),
 		cache: make(map[cacheKey]*namespace.Inode),
 	}
+	if cfg.TraceSampleRate >= 0 {
+		c.tracer = telemetry.NewTracer("client", telemetry.TracerConfig{
+			SampleRate:    cfg.TraceSampleRate,
+			SlowThreshold: cfg.SlowOpThreshold,
+			Registry:      reg,
+		})
+	}
 	// Lazy dial: an MDS that is down at SDK start (crashed, mid-failover)
 	// must not block the whole mount — its connection comes up when the
 	// shard returns, and the partition map routes around it meanwhile.
@@ -149,6 +170,13 @@ func Dial(cfg Config) (*Client, error) {
 // Registry exposes the client's telemetry registry.
 func (c *Client) Registry() *telemetry.Registry { return c.reg }
 
+// Tracer exposes the SDK's span tracer (nil when tracing is disabled).
+func (c *Client) Tracer() *telemetry.Tracer { return c.tracer }
+
+// LastTraceID returns the trace ID of the most recently started SDK
+// operation, or 0 when none ran yet.
+func (c *Client) LastTraceID() uint64 { return c.lastTrace.Load() }
+
 // NumMDS returns the cluster size the client was dialed against.
 func (c *Client) NumMDS() int { return len(c.conns) }
 
@@ -157,6 +185,59 @@ func (c *Client) NumMDS() int { return len(c.conns) }
 // /metrics endpoint).
 func (c *Client) FetchMetrics(mdsID int) ([]byte, error) {
 	return c.callIdem(context.Background(), mdsID, mds.MethodMetrics, nil)
+}
+
+// FetchTraces pulls one MDS's span store via MethodTraces. A non-zero
+// traceID selects that trace; zero returns the shard's recent spans.
+func (c *Client) FetchTraces(mdsID int, traceID uint64) (telemetry.TraceDump, error) {
+	var w rpc.Wire
+	w.U64(traceID)
+	body, err := c.callIdem(context.Background(), mdsID, mds.MethodTraces, w.Bytes())
+	if err != nil {
+		return telemetry.TraceDump{}, err
+	}
+	var dump telemetry.TraceDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return telemetry.TraceDump{}, fmt.Errorf("client: decode traces from MDS %d: %w", mdsID, err)
+	}
+	return dump, nil
+}
+
+// FetchBuildInfo pulls one MDS's build info (version, go runtime,
+// uptime, enabled features) as JSON via MethodBuildInfo.
+func (c *Client) FetchBuildInfo(mdsID int) ([]byte, error) {
+	return c.callIdem(context.Background(), mdsID, mds.MethodBuildInfo, nil)
+}
+
+// FetchClusterMetrics pulls the coordinator's merged cluster snapshot
+// (every live MDS registry plus the coordinator's own) as JSON via
+// MethodClusterMetrics on MDS 0.
+func (c *Client) FetchClusterMetrics() ([]byte, error) {
+	return c.callIdem(context.Background(), 0, mds.MethodClusterMetrics, nil)
+}
+
+// GatherTrace assembles one distributed trace: the SDK's own spans plus
+// the span store of every MDS, merged into a single flat list ready for
+// telemetry.AssembleTrace. Shards that fail the fetch are skipped; an
+// error is returned only when every shard failed and no local spans
+// exist either.
+func (c *Client) GatherTrace(traceID uint64) ([]telemetry.Span, error) {
+	spans := c.tracer.TraceSpans(traceID)
+	var firstErr error
+	for i := range c.conns {
+		dump, err := c.FetchTraces(i, traceID)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		spans = append(spans, dump.Spans...)
+	}
+	if len(spans) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return spans, nil
 }
 
 // TriggerEpoch asks the coordinator (co-located with MDS 0) for one
@@ -173,13 +254,17 @@ func (c *Client) ModelInfo() ([]byte, error) {
 }
 
 // op starts one SDK operation: it allocates the operation's trace ID
-// (propagated to every MDS the operation touches) and returns the
-// context plus a completion hook recording end-to-end latency and — at
-// debug level — the span.
+// (propagated to every MDS the operation touches), opens the root span
+// of the operation's trace tree, and returns the context plus a
+// completion hook recording end-to-end latency and — at debug level —
+// the span.
 func (c *Client) op(name string) (context.Context, func(error)) {
 	ctx, trace := telemetry.EnsureTraceID(context.Background())
+	c.lastTrace.Store(trace)
+	ctx, span := c.tracer.StartSpan(ctx, "client.op."+name)
 	start := time.Now()
 	return ctx, func(err error) {
+		span.Finish(err)
 		el := time.Since(start).Nanoseconds()
 		c.reg.Counter("client.op." + name + ".calls").Inc()
 		c.reg.Histogram("client.op." + name + ".latency_ns").Record(el)
@@ -233,14 +318,14 @@ func (c *Client) callIdem(ctx context.Context, mdsID int, m rpc.Method, body []b
 		time.Sleep(backoff)
 		backoff *= 2
 		c.Retries.Add(1)
-		c.reg.Counter("client.retries").Inc()
+		c.reg.Counter("client.retry.attempts").Inc()
 		out, err = c.call(ctx, mdsID, m, body)
 		if err == nil || !rpc.IsRetryable(err) {
 			return out, err
 		}
 	}
 	c.RetriesExhausted.Add(1)
-	c.reg.Counter("client.retries_exhausted").Inc()
+	c.reg.Counter("client.retry.exhausted").Inc()
 	return nil, fmt.Errorf("client: MDS %d unreachable after %d retries: %w",
 		mdsID, c.cfg.RetryBudget, err)
 }
@@ -471,7 +556,7 @@ func (c *Client) retryOp(ctx context.Context, paths []string, fn func() error) e
 		if err == nil || (!mds.IsNotOwner(err) && !rpc.IsRetryable(err)) {
 			return err
 		}
-		c.reg.Counter("client.op_retries").Inc()
+		c.reg.Counter("client.op.retries").Inc()
 		prev := c.MapVersion()
 		if rerr := c.refreshMap(ctx); rerr != nil {
 			// MDS 0 may itself be mid-recovery; keep retrying on the

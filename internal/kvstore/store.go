@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"origami/internal/telemetry"
 )
 
 // Throttle is a dynamically tunable write-path delay — the slow-disk
@@ -154,8 +157,25 @@ type DB struct {
 	guards      guardSet
 	nextFileNum uint64
 	stats       dbStats
-	hook        CommitHook // guarded by writeMu
+	hook        CommitHook   // guarded by writeMu
+	tracer      atomic.Value // tracerBox
 	closed      bool
+}
+
+type tracerBox struct{ t *telemetry.Tracer }
+
+// SetTracer installs the span tracer consulted by the write path: every
+// traced write (a context carrying a trace ID reaches PutCtx /
+// DeleteCtx / ApplyBatchCtx) records a "kvstore.commit" span covering
+// the WAL append, memtable insert, durability wait, and any commit-hook
+// wait. Nil removes it. Safe to call while serving.
+func (db *DB) SetTracer(t *telemetry.Tracer) { db.tracer.Store(tracerBox{t}) }
+
+func (db *DB) spanTracer() *telemetry.Tracer {
+	if box, ok := db.tracer.Load().(tracerBox); ok {
+		return box.t
+	}
+	return nil
 }
 
 // Mutation is one committed logical mutation, as observed by a
@@ -175,8 +195,10 @@ type Mutation struct {
 // hook must be fast and must not call back into the DB. It may return a
 // non-nil wait func, which the writer runs after releasing the DB locks
 // (and after its own durability wait): this is where a synchronous
-// replication ack blocks without stalling other writers.
-type CommitHook func(muts []Mutation) (wait func() error)
+// replication ack blocks without stalling other writers. ctx is the
+// writer's request context (trace/span propagation); it may be nil for
+// untraced writes and must not be retained past the wait func.
+type CommitHook func(ctx context.Context, muts []Mutation) (wait func() error)
 
 // SetCommitHook installs (or, with nil, removes) the commit hook. A
 // batch delivers all its mutations in one call.
@@ -247,8 +269,17 @@ func (db *DB) newTablePath() string {
 // SyncWAL, the writer then waits on the group-commit fsync covering its
 // record — unless a flush already made it durable via the SSTable sync.
 // muts lazily materialises the mutations for the commit hook; it is only
-// invoked when a hook is installed.
-func (db *DB) applyWrite(logFn func(*wal) error, memFn func(), muts func() []Mutation) error {
+// invoked when a hook is installed. ctx (nilable) carries the request's
+// trace: traced writes record a "kvstore.commit" span spanning the whole
+// path, including the durability and commit-hook waits.
+func (db *DB) applyWrite(ctx context.Context, logFn func(*wal) error, memFn func(), muts func() []Mutation) error {
+	ctx, span := db.spanTracer().StartSpan(ctx, "kvstore.commit")
+	err := db.applyWriteInner(ctx, logFn, memFn, muts)
+	span.Finish(err)
+	return err
+}
+
+func (db *DB) applyWriteInner(ctx context.Context, logFn func(*wal) error, memFn func(), muts func() []Mutation) error {
 	db.writeMu.Lock()
 	if db.closed {
 		db.writeMu.Unlock()
@@ -278,7 +309,7 @@ func (db *DB) applyWrite(logFn func(*wal) error, memFn func(), muts func() []Mut
 	// released and the local durability wait is done.
 	var wait func() error
 	if db.hook != nil {
-		wait = db.hook(muts())
+		wait = db.hook(ctx, muts())
 	}
 	db.writeMu.Unlock()
 	if ferr != nil {
@@ -381,9 +412,14 @@ func (db *DB) markSynced(seq uint64) {
 
 // Put inserts or replaces the value for key.
 func (db *DB) Put(key, value []byte) error {
+	return db.PutCtx(nil, key, value)
+}
+
+// PutCtx is Put carrying the request context for trace propagation.
+func (db *DB) PutCtx(ctx context.Context, key, value []byte) error {
 	k := append([]byte(nil), key...)
 	v := append([]byte(nil), value...)
-	return db.applyWrite(
+	return db.applyWrite(ctx,
 		func(w *wal) error { return w.logPut(key, value) },
 		func() {
 			db.stats.puts.Add(1)
@@ -394,8 +430,13 @@ func (db *DB) Put(key, value []byte) error {
 
 // Delete removes key. Deleting an absent key is not an error.
 func (db *DB) Delete(key []byte) error {
+	return db.DeleteCtx(nil, key)
+}
+
+// DeleteCtx is Delete carrying the request context for trace propagation.
+func (db *DB) DeleteCtx(ctx context.Context, key []byte) error {
 	k := append([]byte(nil), key...)
-	return db.applyWrite(
+	return db.applyWrite(ctx,
 		func(w *wal) error { return w.logDelete(key) },
 		func() {
 			db.stats.deletes.Add(1)
@@ -431,10 +472,16 @@ func (b *Batch) Len() int { return len(b.ops) }
 // ApplyBatch applies every mutation in b atomically: either all of them
 // survive a crash or none do.
 func (db *DB) ApplyBatch(b *Batch) error {
+	return db.ApplyBatchCtx(nil, b)
+}
+
+// ApplyBatchCtx is ApplyBatch carrying the request context for trace
+// propagation.
+func (db *DB) ApplyBatchCtx(ctx context.Context, b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	return db.applyWrite(
+	return db.applyWrite(ctx,
 		func(w *wal) error { return w.logBatch(b) },
 		func() {
 			for _, op := range b.ops {

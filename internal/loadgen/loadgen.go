@@ -53,6 +53,10 @@ type Config struct {
 	WritePct int
 	// Seed seeds the per-worker op-target choice.
 	Seed int64
+	// TraceSampleRate is the SDK's span head-sampling rate (0 = record
+	// everything; negative disables client-side tracing). Benchmarks
+	// use a low rate to measure realistic tracing overhead.
+	TraceSampleRate float64
 }
 
 // Result aggregates a run.
@@ -124,7 +128,11 @@ func (c Config) withDefaults() Config {
 // pre-created files.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	c, err := client.Dial(client.Config{Addrs: cfg.Addrs, CacheDepth: cfg.CacheDepth})
+	c, err := client.Dial(client.Config{
+		Addrs:           cfg.Addrs,
+		CacheDepth:      cfg.CacheDepth,
+		TraceSampleRate: cfg.TraceSampleRate,
+	})
 	if err != nil {
 		return nil, err
 	}

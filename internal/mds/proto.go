@@ -45,6 +45,13 @@ const (
 	// JSON (the RPC twin of the HTTP /metrics admin endpoint, for
 	// clients that only know shard RPC addresses).
 	MethodMetrics
+	// MethodTraces returns the MDS's span store as a telemetry.TraceDump
+	// JSON document; an optional 8-byte trace ID in the body selects one
+	// trace (the RPC twin of the HTTP /traces admin endpoint).
+	MethodTraces
+	// MethodBuildInfo returns the process build info (version, go
+	// runtime, uptime, enabled features) as JSON.
+	MethodBuildInfo
 )
 
 // Coordinator admin protocol. These methods are served not by the MDS
@@ -59,6 +66,10 @@ const (
 	// MethodModelInfo returns the coordinator's learning-loop status
 	// (model version, dataset size, retrain counters) as JSON.
 	MethodModelInfo
+	// MethodClusterMetrics returns the coordinator's merged cluster
+	// snapshot — every live MDS's registry plus the coordinator's own —
+	// as JSON (the scrape behind `origami-cli top`).
+	MethodClusterMetrics
 )
 
 // methodNames maps method numbers to the segment used in metric names
@@ -85,8 +96,11 @@ var methodNames = map[rpc.Method]string{
 	MethodMigrateAbort:   "migrate_abort",
 	MethodEvict:          "evict",
 	MethodMetrics:        "metrics",
+	MethodTraces:         "traces",
+	MethodBuildInfo:      "buildinfo",
 	MethodEpochRun:       "epoch_run",
 	MethodModelInfo:      "model_info",
+	MethodClusterMetrics: "cluster_metrics",
 }
 
 // MethodName returns the human-readable metric segment for a protocol

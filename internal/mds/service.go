@@ -2,7 +2,10 @@ package mds
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +67,46 @@ type Service struct {
 	// MethodMetrics RPC and the HTTP admin endpoint.
 	reg *telemetry.Registry
 	log *telemetry.Logger
+
+	// tracer (tracerBox) is the shard's span recorder, installed by
+	// SetTracer; nil disables span collection.
+	tracer atomic.Value
+
+	// featMu guards features, the extra feature flags reported by
+	// MethodBuildInfo.
+	featMu   sync.Mutex
+	features []string
+}
+
+type tracerBox struct{ t *telemetry.Tracer }
+
+// SetTracer installs the shard's span tracer, wiring it through the RPC
+// server (dispatch spans) and the store (kvstore commit spans) as well.
+// Call it after Serve; safe while serving.
+func (s *Service) SetTracer(t *telemetry.Tracer) {
+	s.tracer.Store(tracerBox{t})
+	if s.srv != nil {
+		s.srv.SetTracer(t)
+	}
+	s.store.SetTracer(t)
+}
+
+func (s *Service) spanTracer() *telemetry.Tracer {
+	if box, ok := s.tracer.Load().(tracerBox); ok {
+		return box.t
+	}
+	return nil
+}
+
+// Tracer returns the shard's span tracer (nil when none installed).
+func (s *Service) Tracer() *telemetry.Tracer { return s.spanTracer() }
+
+// AddBuildFeature records an enabled feature flag ("replication-sync",
+// "online-learning") for the MethodBuildInfo report.
+func (s *Service) AddBuildFeature(f string) {
+	s.featMu.Lock()
+	s.features = append(s.features, f)
+	s.featMu.Unlock()
 }
 
 // preparedMigration is the source-side state between MigratePrepare and
@@ -160,7 +203,12 @@ func (s *Service) Serve(addr string) (string, error) {
 	srv.Handle(MethodInsert, s.handleInsert)
 	srv.HandleInfo(MethodLookupPath, s.timed("lookup_path", s.handleLookupPath))
 	srv.Handle(MethodMetrics, s.handleMetrics)
+	srv.Handle(MethodTraces, s.handleTraces)
+	srv.Handle(MethodBuildInfo, s.handleBuildInfo)
 	s.srv = srv
+	if t := s.spanTracer(); t != nil {
+		srv.SetTracer(t)
+	}
 	return srv.Listen(addr)
 }
 
@@ -202,18 +250,39 @@ func (s *Service) MapVersion() uint64 {
 	return s.mapVersion
 }
 
+// ctxHandler is a metadata-op handler receiving the request context,
+// which carries the propagated trace/span identity for the store layers
+// beneath it.
+type ctxHandler func(ctx context.Context, body []byte) ([]byte, error)
+
 // timed wraps a handler with the migration freeze (shared side),
 // busy-time and RPC accounting, a per-op-type service latency
-// histogram, and — at debug level — a per-request span record carrying
-// the propagated trace ID.
-func (s *Service) timed(op string, h rpc.Handler) rpc.InfoHandler {
+// histogram, an "mds.op.<op>" span under the request's propagated
+// trace, and — at debug level — a per-request span log line.
+func (s *Service) timed(op string, h ctxHandler) rpc.InfoHandler {
 	hist := s.reg.Histogram("mds.op." + op + ".latency_ns")
+	spanName := "mds.op." + op
 	return func(info rpc.CallInfo, body []byte) ([]byte, error) {
+		ctx := context.Background()
+		var span *telemetry.ActiveSpan
+		if info.TraceID != 0 {
+			span = s.spanTracer().StartSpanFrom(telemetry.SpanContext{
+				TraceID: info.TraceID, SpanID: info.SpanID}, spanName)
+			if sc := span.Context(); sc.SpanID != 0 {
+				// Sampled: thread the span context so the kvstore and
+				// replication layers hang child spans off this op.
+				// Unsampled ops skip the context allocation entirely —
+				// their inner spans could never be retained anyway, and
+				// slow capture still sees this op-level span.
+				ctx = telemetry.WithSpanContext(ctx, sc)
+			}
+		}
 		s.opMu.RLock()
 		start := time.Now()
-		out, err := h(body)
+		out, err := h(ctx, body)
 		el := time.Since(start).Nanoseconds()
 		s.opMu.RUnlock()
+		span.Finish(err)
 		s.rpcs.Add(1)
 		s.serviceNS.Add(el)
 		hist.Record(el)
@@ -244,6 +313,38 @@ func (s *Service) handleMetrics(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// handleTraces serves the shard's span store: an optional 8-byte
+// big-endian trace ID in the body selects one trace (empty or zero =
+// recent spans). The response is the tracer's TraceDump as JSON. Like
+// handleMetrics it skips the migration freeze.
+func (s *Service) handleTraces(body []byte) ([]byte, error) {
+	var traceID uint64
+	if len(body) >= 8 {
+		r := rpc.NewReader(body)
+		traceID = r.U64()
+		if err := r.Err(); err != nil {
+			return nil, CodedError(CodeInvalid, "%v", err)
+		}
+	}
+	dump := s.spanTracer().Dump(traceID)
+	if dump.Node == "" {
+		dump.Node = fmt.Sprintf("mds%d", s.ID)
+	}
+	return json.Marshal(dump)
+}
+
+// handleBuildInfo serves the process build info (version, go runtime,
+// uptime, enabled features) as JSON.
+func (s *Service) handleBuildInfo(body []byte) ([]byte, error) {
+	s.featMu.Lock()
+	feats := append([]string(nil), s.features...)
+	s.featMu.Unlock()
+	if s.spanTracer() != nil {
+		feats = append(feats, "tracing")
+	}
+	return json.Marshal(telemetry.CollectBuildInfo(feats...))
 }
 
 func (s *Service) dirAccum(ino namespace.Ino) *dirCounters {
@@ -300,7 +401,7 @@ func (s *Service) handlePing(body []byte) ([]byte, error) {
 	return []byte("pong"), nil
 }
 
-func (s *Service) handleLookup(body []byte) ([]byte, error) {
+func (s *Service) handleLookup(ctx context.Context, body []byte) ([]byte, error) {
 	r := rpc.NewReader(body)
 	parent := namespace.Ino(r.U64())
 	name := r.Str()
@@ -326,7 +427,7 @@ func (s *Service) handleLookup(body []byte) ([]byte, error) {
 // error) at a fake-inode — the client follows the redirect — or at the
 // first component this shard cannot serve; a missing entry under a
 // locally served directory is an ENOENT for that component.
-func (s *Service) handleLookupPath(body []byte) ([]byte, error) {
+func (s *Service) handleLookupPath(ctx context.Context, body []byte) ([]byte, error) {
 	r := rpc.NewReader(body)
 	parent := namespace.Ino(r.U64())
 	n := int(r.U32())
@@ -369,7 +470,7 @@ func (s *Service) handleLookupPath(body []byte) ([]byte, error) {
 	return encodeInodesResp(chain), nil
 }
 
-func (s *Service) handleGetattr(body []byte) ([]byte, error) {
+func (s *Service) handleGetattr(ctx context.Context, body []byte) ([]byte, error) {
 	r := rpc.NewReader(body)
 	ino := namespace.Ino(r.U64())
 	if err := r.Err(); err != nil {
@@ -386,7 +487,7 @@ func (s *Service) handleGetattr(body []byte) ([]byte, error) {
 	return encodeInodeResp(in), nil
 }
 
-func (s *Service) handleCreate(body []byte) ([]byte, error) {
+func (s *Service) handleCreate(ctx context.Context, body []byte) ([]byte, error) {
 	start := time.Now()
 	r := rpc.NewReader(body)
 	parent := namespace.Ino(r.U64())
@@ -418,7 +519,7 @@ func (s *Service) handleCreate(body []byte) ([]byte, error) {
 	// CreateEntry redoes the parent-liveness and exists checks under the
 	// parent's stripe: with concurrent dispatch, two creates of the same
 	// name would otherwise both pass a bare Lookup check and both Put.
-	switch err := s.store.CreateEntry(in); {
+	switch err := s.store.CreateEntryCtx(ctx, in); {
 	case errors.Is(err, ErrNotDir):
 		return nil, CodedError(CodeNotDir, "ino %d", parent)
 	case errors.Is(err, ErrExist):
@@ -430,7 +531,7 @@ func (s *Service) handleCreate(body []byte) ([]byte, error) {
 	return encodeInodeResp(in), nil
 }
 
-func (s *Service) handleRemove(body []byte) ([]byte, error) {
+func (s *Service) handleRemove(ctx context.Context, body []byte) ([]byte, error) {
 	start := time.Now()
 	r := rpc.NewReader(body)
 	parent := namespace.Ino(r.U64())
@@ -444,7 +545,7 @@ func (s *Service) handleRemove(body []byte) ([]byte, error) {
 	// RemoveEntry holds the parent's stripe (and, for a directory, the
 	// victim's stripe) across the emptiness check and the delete, so a
 	// concurrent create cannot slip a child under a dir being removed.
-	switch _, err := s.store.RemoveEntry(parent, name); {
+	switch _, err := s.store.RemoveEntryCtx(ctx, parent, name); {
 	case errors.Is(err, ErrNoEnt):
 		return nil, CodedError(CodeNoEnt, "%q in dir %d", name, parent)
 	case errors.Is(err, ErrNotEmpty):
@@ -456,7 +557,7 @@ func (s *Service) handleRemove(body []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Service) handleRename(body []byte) ([]byte, error) {
+func (s *Service) handleRename(ctx context.Context, body []byte) ([]byte, error) {
 	start := time.Now()
 	r := rpc.NewReader(body)
 	srcParent := namespace.Ino(r.U64())
@@ -476,7 +577,7 @@ func (s *Service) handleRename(body []byte) ([]byte, error) {
 	}
 	// RenameEntry holds both parents' stripes (and a replaced directory's
 	// stripe) for the whole delete-dst / delete-src / put-moved sequence.
-	in, err := s.store.RenameEntry(srcParent, srcName, dstParent, dstName, s.now())
+	in, err := s.store.RenameEntryCtx(ctx, srcParent, srcName, dstParent, dstName, s.now())
 	switch {
 	case errors.Is(err, ErrNoEnt):
 		return nil, CodedError(CodeNoEnt, "%q in dir %d", srcName, srcParent)
@@ -489,7 +590,7 @@ func (s *Service) handleRename(body []byte) ([]byte, error) {
 	return encodeInodeResp(in), nil
 }
 
-func (s *Service) handleReaddir(body []byte) ([]byte, error) {
+func (s *Service) handleReaddir(ctx context.Context, body []byte) ([]byte, error) {
 	start := time.Now()
 	r := rpc.NewReader(body)
 	ino := namespace.Ino(r.U64())
@@ -507,7 +608,7 @@ func (s *Service) handleReaddir(body []byte) ([]byte, error) {
 	return encodeInodesResp(children), nil
 }
 
-func (s *Service) handleSetattr(body []byte) ([]byte, error) {
+func (s *Service) handleSetattr(ctx context.Context, body []byte) ([]byte, error) {
 	start := time.Now()
 	r := rpc.NewReader(body)
 	ino := namespace.Ino(r.U64())
@@ -520,7 +621,7 @@ func (s *Service) handleSetattr(body []byte) ([]byte, error) {
 	// parent's stripe: a bare Getattr+Put racing a rename would write
 	// the old dirent back, duplicating the inode under two names.
 	now := s.now()
-	in, err := s.store.UpdateAttr(ino, func(in *namespace.Inode) {
+	in, err := s.store.UpdateAttrCtx(ctx, ino, func(in *namespace.Inode) {
 		in.Size = size
 		in.Mode = mode
 		in.Ctime = now

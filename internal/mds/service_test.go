@@ -1,6 +1,7 @@
 package mds
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func mustCreate(t *testing.T, s *Service, parent namespace.Ino, name string, typ
 	t.Helper()
 	var w rpc.Wire
 	w.U64(uint64(parent)).Str(name).U8(uint8(typ))
-	body, err := s.handleCreate(w.Bytes())
+	body, err := s.handleCreate(context.Background(), w.Bytes())
 	if err != nil {
 		t.Fatalf("create %q: %v", name, err)
 	}
@@ -38,14 +39,17 @@ func mustCreate(t *testing.T, s *Service, parent namespace.Ino, name string, typ
 
 func TestHandlersRejectTruncatedBodies(t *testing.T) {
 	s := localService(t)
+	noCtx := func(h ctxHandler) rpc.Handler {
+		return func(body []byte) ([]byte, error) { return h(context.Background(), body) }
+	}
 	handlers := map[string]rpc.Handler{
-		"lookup":  s.handleLookup,
-		"getattr": s.handleGetattr,
-		"create":  s.handleCreate,
-		"remove":  s.handleRemove,
-		"rename":  s.handleRename,
-		"readdir": s.handleReaddir,
-		"setattr": s.handleSetattr,
+		"lookup":  noCtx(s.handleLookup),
+		"getattr": noCtx(s.handleGetattr),
+		"create":  noCtx(s.handleCreate),
+		"remove":  noCtx(s.handleRemove),
+		"rename":  noCtx(s.handleRename),
+		"readdir": noCtx(s.handleReaddir),
+		"setattr": noCtx(s.handleSetattr),
 		"migrate": s.handleMigrate,
 		"ingest":  s.handleIngest,
 		"insert":  s.handleInsert,
@@ -67,26 +71,26 @@ func TestCreateSemantics(t *testing.T) {
 	// Duplicate.
 	var w rpc.Wire
 	w.U64(uint64(d.Ino)).Str("f").U8(uint8(namespace.TypeFile))
-	if _, err := s.handleCreate(w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeExist) {
+	if _, err := s.handleCreate(context.Background(), w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeExist) {
 		t.Errorf("duplicate create err = %v, want EEXIST", err)
 	}
 	// Empty name.
 	var w2 rpc.Wire
 	w2.U64(uint64(d.Ino)).Str("").U8(uint8(namespace.TypeFile))
-	if _, err := s.handleCreate(w2.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeInvalid) {
+	if _, err := s.handleCreate(context.Background(), w2.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeInvalid) {
 		t.Errorf("empty-name create err = %v, want EINVAL", err)
 	}
 	// Under a file.
 	f, _, _ := s.store.Lookup(d.Ino, "f")
 	var w3 rpc.Wire
 	w3.U64(uint64(f.Ino)).Str("x").U8(uint8(namespace.TypeFile))
-	if _, err := s.handleCreate(w3.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotDir) {
+	if _, err := s.handleCreate(context.Background(), w3.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotDir) {
 		t.Errorf("create under file err = %v, want ENOTDIR", err)
 	}
 	// Under an unknown dir: not-owner redirect.
 	var w4 rpc.Wire
 	w4.U64(99999).Str("x").U8(uint8(namespace.TypeFile))
-	if _, err := s.handleCreate(w4.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotOwner) {
+	if _, err := s.handleCreate(context.Background(), w4.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotOwner) {
 		t.Errorf("create under foreign dir err = %v, want ENOTOWNER", err)
 	}
 }
@@ -98,20 +102,20 @@ func TestRemoveSemantics(t *testing.T) {
 	// Non-empty dir refuses.
 	var w rpc.Wire
 	w.U64(uint64(namespace.RootIno)).Str("dir")
-	if _, err := s.handleRemove(w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotEmpty) {
+	if _, err := s.handleRemove(context.Background(), w.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotEmpty) {
 		t.Errorf("rmdir non-empty err = %v, want ENOTEMPTY", err)
 	}
 	// Remove file, then dir.
 	var w2 rpc.Wire
 	w2.U64(uint64(d.Ino)).Str("f")
-	if _, err := s.handleRemove(w2.Bytes()); err != nil {
+	if _, err := s.handleRemove(context.Background(), w2.Bytes()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.handleRemove(w.Bytes()); err != nil {
+	if _, err := s.handleRemove(context.Background(), w.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	// Missing entry.
-	if _, err := s.handleRemove(w2.Bytes()); err == nil {
+	if _, err := s.handleRemove(context.Background(), w2.Bytes()); err == nil {
 		t.Error("remove of missing entry succeeded")
 	}
 }
@@ -123,7 +127,7 @@ func TestRenameReplaceSemantics(t *testing.T) {
 	mustCreate(t, s, d.Ino, "b", namespace.TypeFile)
 	var w rpc.Wire
 	w.U64(uint64(d.Ino)).Str("a").U64(uint64(d.Ino)).Str("b")
-	if _, err := s.handleRename(w.Bytes()); err != nil {
+	if _, err := s.handleRename(context.Background(), w.Bytes()); err != nil {
 		t.Fatalf("rename over file: %v", err)
 	}
 	if _, found, _ := s.store.Lookup(d.Ino, "a"); found {
@@ -140,7 +144,7 @@ func TestDumpResetsCounters(t *testing.T) {
 	d := mustCreate(t, s, namespace.RootIno, "dir", namespace.TypeDir)
 	var w rpc.Wire
 	w.U64(uint64(d.Ino))
-	if _, err := s.handleReaddir(w.Bytes()); err != nil {
+	if _, err := s.handleReaddir(context.Background(), w.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	body, err := s.handleDump(nil)
@@ -209,7 +213,7 @@ func TestLookupOnFakeRedirects(t *testing.T) {
 	// follows the redirect).
 	var w rpc.Wire
 	w.U64(uint64(namespace.RootIno)).Str("moved")
-	body, err := s.handleLookup(w.Bytes())
+	body, err := s.handleLookup(context.Background(), w.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +224,7 @@ func TestLookupOnFakeRedirects(t *testing.T) {
 	// Lookups *under* the moved dir must yield not-owner, not ENOENT.
 	var w2 rpc.Wire
 	w2.U64(uint64(d.Ino)).Str("f")
-	if _, err := s.handleLookup(w2.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotOwner) {
+	if _, err := s.handleLookup(context.Background(), w2.Bytes()); err == nil || !strings.HasPrefix(err.Error(), CodeNotOwner) {
 		t.Errorf("lookup under fake err = %v, want ENOTOWNER", err)
 	}
 }

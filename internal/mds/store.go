@@ -20,6 +20,7 @@
 package mds
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,6 +29,7 @@ import (
 
 	"origami/internal/kvstore"
 	"origami/internal/namespace"
+	"origami/internal/telemetry"
 )
 
 // Sentinel errors of the compound store operations. The Service maps
@@ -194,6 +196,12 @@ func (s *Store) DBStats() kvstore.Stats {
 	return s.db.Stats()
 }
 
+// SetTracer wires the span tracer through to the underlying kvstore so
+// traced mutations record their "kvstore.commit" spans.
+func (s *Store) SetTracer(t *telemetry.Tracer) {
+	s.db.SetTracer(t)
+}
+
 // AllocIno returns a fresh inode number from this MDS's range. The
 // common case is one atomic add with no lock and no I/O: the durable
 // watermark record already covers the number. Once per inoChunk
@@ -229,13 +237,14 @@ func (s *Store) Put(in *namespace.Inode) error {
 	mu := s.stripe(in.Parent)
 	mu.Lock()
 	defer mu.Unlock()
-	return s.putLocked(in)
+	return s.putLocked(nil, in)
 }
 
 // putLocked writes the record and updates the ino index. Caller holds
-// the parent's stripe exclusively.
-func (s *Store) putLocked(in *namespace.Inode) error {
-	if err := s.db.Put(namespace.EncodeKey(in.Parent, in.Name), namespace.EncodeInode(in)); err != nil {
+// the parent's stripe exclusively. ctx (nilable) propagates the
+// request's trace into the kvstore commit.
+func (s *Store) putLocked(ctx context.Context, in *namespace.Inode) error {
+	if err := s.db.PutCtx(ctx, namespace.EncodeKey(in.Parent, in.Name), namespace.EncodeInode(in)); err != nil {
 		return err
 	}
 	s.inoMu.Lock()
@@ -259,8 +268,9 @@ func (s *Store) getLocked(parent namespace.Ino, name string) (*namespace.Inode, 
 }
 
 // deleteLocked removes (parent, name) and deindexes it; caller holds
-// the parent's stripe exclusively.
-func (s *Store) deleteLocked(parent namespace.Ino, name string) error {
+// the parent's stripe exclusively. ctx (nilable) propagates the
+// request's trace into the kvstore commit.
+func (s *Store) deleteLocked(ctx context.Context, parent namespace.Ino, name string) error {
 	v, found, err := s.db.Get(namespace.EncodeKey(parent, name))
 	if err != nil {
 		return err
@@ -272,7 +282,7 @@ func (s *Store) deleteLocked(parent namespace.Ino, name string) error {
 			s.inoMu.Unlock()
 		}
 	}
-	return s.db.Delete(namespace.EncodeKey(parent, name))
+	return s.db.DeleteCtx(ctx, namespace.EncodeKey(parent, name))
 }
 
 // hasChildLocked reports whether dir has at least one entry; caller
@@ -293,6 +303,12 @@ func (s *Store) hasChildLocked(dir namespace.Ino) (bool, error) {
 // path under concurrent dispatch — a bare exists-check + Put would let
 // two racing creates of the same name both succeed.
 func (s *Store) CreateEntry(in *namespace.Inode) error {
+	return s.CreateEntryCtx(nil, in)
+}
+
+// CreateEntryCtx is CreateEntry carrying the request context for trace
+// propagation.
+func (s *Store) CreateEntryCtx(ctx context.Context, in *namespace.Inode) error {
 	mu := s.stripe(in.Parent)
 	mu.Lock()
 	defer mu.Unlock()
@@ -307,7 +323,7 @@ func (s *Store) CreateEntry(in *namespace.Inode) error {
 	} else if found {
 		return ErrExist
 	}
-	return s.putLocked(in)
+	return s.putLocked(ctx, in)
 }
 
 // RemoveEntry atomically deletes (parent, name), enforcing that a
@@ -316,6 +332,12 @@ func (s *Store) CreateEntry(in *namespace.Inode) error {
 // under the directory between the emptiness check and the delete.
 // Returns the removed inode.
 func (s *Store) RemoveEntry(parent namespace.Ino, name string) (*namespace.Inode, error) {
+	return s.RemoveEntryCtx(nil, parent, name)
+}
+
+// RemoveEntryCtx is RemoveEntry carrying the request context for trace
+// propagation.
+func (s *Store) RemoveEntryCtx(ctx context.Context, parent namespace.Ino, name string) (*namespace.Inode, error) {
 	for {
 		mu := s.stripe(parent)
 		mu.RLock()
@@ -358,7 +380,7 @@ func (s *Store) RemoveEntry(parent namespace.Ino, name string) (*namespace.Inode
 				return nil, ErrNotEmpty
 			}
 		}
-		err = s.deleteLocked(parent, name)
+		err = s.deleteLocked(ctx, parent, name)
 		unlock()
 		if err != nil {
 			return nil, err
@@ -373,6 +395,12 @@ func (s *Store) RemoveEntry(parent namespace.Ino, name string) (*namespace.Inode
 // stripes (and, when replacing a directory, its stripe) are held for
 // the whole move.
 func (s *Store) RenameEntry(srcParent namespace.Ino, srcName string, dstParent namespace.Ino, dstName string, ctime int64) (*namespace.Inode, error) {
+	return s.RenameEntryCtx(nil, srcParent, srcName, dstParent, dstName, ctime)
+}
+
+// RenameEntryCtx is RenameEntry carrying the request context for trace
+// propagation.
+func (s *Store) RenameEntryCtx(ctx context.Context, srcParent namespace.Ino, srcName string, dstParent namespace.Ino, dstName string, ctime int64) (*namespace.Inode, error) {
 	for {
 		// Peek at the destination to learn whether its stripe is needed
 		// for an emptiness check.
@@ -418,12 +446,12 @@ func (s *Store) RenameEntry(srcParent namespace.Ino, srcName string, dstParent n
 					return nil, ErrNotEmpty
 				}
 			}
-			if err := s.deleteLocked(dstParent, dstName); err != nil {
+			if err := s.deleteLocked(ctx, dstParent, dstName); err != nil {
 				unlock()
 				return nil, err
 			}
 		}
-		if err := s.deleteLocked(srcParent, srcName); err != nil {
+		if err := s.deleteLocked(ctx, srcParent, srcName); err != nil {
 			unlock()
 			return nil, err
 		}
@@ -431,7 +459,7 @@ func (s *Store) RenameEntry(srcParent namespace.Ino, srcName string, dstParent n
 		moved.Parent = dstParent
 		moved.Name = dstName
 		moved.Ctime = ctime
-		err = s.putLocked(&moved)
+		err = s.putLocked(ctx, &moved)
 		unlock()
 		if err != nil {
 			return nil, err
@@ -445,6 +473,12 @@ func (s *Store) RenameEntry(srcParent namespace.Ino, srcName string, dstParent n
 // binding did not move (a concurrent rename) between the index read and
 // the lock. mutate must not change Ino, Parent, or Name.
 func (s *Store) UpdateAttr(ino namespace.Ino, mutate func(in *namespace.Inode)) (*namespace.Inode, error) {
+	return s.UpdateAttrCtx(nil, ino, mutate)
+}
+
+// UpdateAttrCtx is UpdateAttr carrying the request context for trace
+// propagation.
+func (s *Store) UpdateAttrCtx(ctx context.Context, ino namespace.Ino, mutate func(in *namespace.Inode)) (*namespace.Inode, error) {
 	for {
 		s.inoMu.RLock()
 		ref, ok := s.byIno[ino]
@@ -475,7 +509,7 @@ func (s *Store) UpdateAttr(ino namespace.Ino, mutate func(in *namespace.Inode)) 
 			return nil, ErrNoEnt
 		}
 		mutate(in)
-		err = s.putLocked(in)
+		err = s.putLocked(ctx, in)
 		mu.Unlock()
 		if err != nil {
 			return nil, err
@@ -509,7 +543,7 @@ func (s *Store) Delete(parent namespace.Ino, name string) error {
 	mu := s.stripe(parent)
 	mu.Lock()
 	defer mu.Unlock()
-	return s.deleteLocked(parent, name)
+	return s.deleteLocked(nil, parent, name)
 }
 
 // ReadDir lists the direct children of a directory held on this shard.

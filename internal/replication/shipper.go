@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +42,9 @@ type Options struct {
 	// Registry receives the shipper's gauges and counters; nil means a
 	// private registry.
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, records a "repl.sync_ack" span for every
+	// sync-mode ack wait under a traced write.
+	Tracer *telemetry.Tracer
 	// Dial resolves an MDS id to an RPC client for its current address.
 	Dial func(id int) (*rpc.Client, error)
 }
@@ -211,7 +215,7 @@ func (sh *Shipper) Status() Status {
 // order, once per committed write (a batch is one call). It assigns
 // sequence numbers, buffers the records, and in Sync mode returns the
 // wait the writer blocks on after releasing its locks.
-func (sh *Shipper) tap(muts []kvstore.Mutation) func() error {
+func (sh *Shipper) tap(ctx context.Context, muts []kvstore.Mutation) func() error {
 	sh.mu.Lock()
 	if sh.stopped {
 		sh.mu.Unlock()
@@ -242,7 +246,14 @@ func (sh *Shipper) tap(muts []kvstore.Mutation) func() error {
 	if !sh.opts.Sync {
 		return nil
 	}
-	return func() error { return sh.waitAcked(last) }
+	return func() error {
+		// The ack wait is where sync-mode latency hides; give it its own
+		// span under the writer's kvstore.commit span.
+		_, span := sh.opts.Tracer.StartSpan(ctx, "repl.sync_ack")
+		err := sh.waitAcked(last)
+		span.Finish(err)
+		return err
+	}
 }
 
 // waitAcked blocks until the backup has applied seq, the shipper stops,

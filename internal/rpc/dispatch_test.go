@@ -230,15 +230,15 @@ func TestBadFrameCountedAndLogged(t *testing.T) {
 	defer conn.Close()
 	w := bufio.NewWriter(conn)
 	// A response frame has no business arriving at a server.
-	if err := writeFrame(w, 1, kindResponse, methFast, 0, nil); err != nil {
+	if err := writeFrame(w, 1, kindResponse, methFast, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A real request must still be served afterwards.
-	if err := writeFrame(w, 2, kindRequest, methFast, 0, nil); err != nil {
+	if err := writeFrame(w, 2, kindRequest, methFast, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	r := bufio.NewReader(conn)
-	reqID, kind, _, _, body, err := readFrame(r)
+	reqID, kind, _, _, _, body, err := readFrame(r)
 	if err != nil {
 		t.Fatal(err)
 	}

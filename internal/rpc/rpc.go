@@ -6,14 +6,18 @@
 //
 // Frame layout:
 //
-//	[4B frameLen][8B requestID][1B kind][2B method][8B traceID][body]
+//	[4B frameLen][8B requestID][1B kind][2B method][8B traceID][8B spanID][body]
 //
 // kind distinguishes requests from responses; response bodies start with
 // a status byte (0 = OK, otherwise an error whose message follows). The
 // traceID ties a request to the client operation that issued it: servers
 // echo it in the response and hand it to handlers via CallInfo, so one
 // trace ID follows an operation from the SDK through every shard it
-// touches.
+// touches. The spanID is the caller's current span: with a tracer
+// installed (SetTracer) the server opens an "rpc.server.<method>"
+// dispatch span parented on it, and handlers see the dispatch span in
+// CallInfo.SpanID, so cross-node trace trees assemble without any extra
+// wire round trips.
 //
 // The layer is fault-aware: calls can carry deadlines (CallTimeout /
 // CallCtx), a dropped connection is redialed automatically with
@@ -51,8 +55,8 @@ const (
 	kindResponse byte = 1
 
 	// frameOverhead is the post-length header size: request ID, kind,
-	// method, trace ID.
-	frameOverhead = 8 + 1 + 2 + 8
+	// method, trace ID, span ID.
+	frameOverhead = 8 + 1 + 2 + 8 + 8
 
 	// MaxFrame bounds a single frame (16 MiB).
 	MaxFrame = 16 << 20
@@ -88,7 +92,7 @@ func IsRetryable(err error) bool {
 	return errors.Is(err, ErrClosed) || errors.Is(err, ErrTimeout)
 }
 
-func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, trace uint64, body []byte) error {
+func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, trace, span uint64, body []byte) error {
 	frameLen := frameOverhead + len(body)
 	if frameLen > MaxFrame {
 		return fmt.Errorf("rpc: frame too large (%d bytes)", frameLen)
@@ -99,6 +103,7 @@ func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, trace u
 	hdr[12] = kind
 	binary.BigEndian.PutUint16(hdr[13:], uint16(method))
 	binary.BigEndian.PutUint64(hdr[15:], trace)
+	binary.BigEndian.PutUint64(hdr[23:], span)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -108,24 +113,25 @@ func writeFrame(w *bufio.Writer, reqID uint64, kind byte, method Method, trace u
 	return w.Flush()
 }
 
-func readFrame(r *bufio.Reader) (reqID uint64, kind byte, method Method, trace uint64, body []byte, err error) {
+func readFrame(r *bufio.Reader) (reqID uint64, kind byte, method Method, trace, span uint64, body []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, 0, 0, 0, nil, err
+		return 0, 0, 0, 0, 0, nil, err
 	}
 	frameLen := binary.BigEndian.Uint32(lenBuf[:])
 	if frameLen < frameOverhead || frameLen > MaxFrame {
-		return 0, 0, 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", frameLen)
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", frameLen)
 	}
 	buf := make([]byte, frameLen)
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, 0, 0, 0, nil, err
+		return 0, 0, 0, 0, 0, nil, err
 	}
 	reqID = binary.BigEndian.Uint64(buf[0:])
 	kind = buf[8]
 	method = Method(binary.BigEndian.Uint16(buf[9:]))
 	trace = binary.BigEndian.Uint64(buf[11:])
-	return reqID, kind, method, trace, buf[frameOverhead:], nil
+	span = binary.BigEndian.Uint64(buf[19:])
+	return reqID, kind, method, trace, span, buf[frameOverhead:], nil
 }
 
 // CallInfo carries per-request wire metadata into a handler.
@@ -134,6 +140,10 @@ type CallInfo struct {
 	Method Method
 	// TraceID is the trace the caller attached, or 0.
 	TraceID uint64
+	// SpanID is the parent span for any spans the handler starts: the
+	// server's dispatch span when a tracer is installed, otherwise the
+	// caller's span straight off the wire (or 0).
+	SpanID uint64
 }
 
 // Handler serves one method. The returned bytes become the OK response
@@ -165,6 +175,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	injector atomic.Value // injectorBox
 	telem    atomic.Value // serverTelem
+	tracer   atomic.Value // tracerBox
 
 	// serial switches request dispatch back to inline execution in the
 	// connection's read loop (per-connection FIFO ordering).
@@ -177,6 +188,8 @@ type Server struct {
 }
 
 type injectorBox struct{ fi FaultInjector }
+
+type tracerBox struct{ t *telemetry.Tracer }
 
 // NewServer creates an empty server with the default worker limit.
 func NewServer() *Server {
@@ -247,6 +260,21 @@ func (s *Server) telemetry() serverTelem {
 	return serverTelem{}
 }
 
+// SetTracer installs the server's span tracer: every traced request
+// (nonzero trace ID on the wire) gets an "rpc.server.<method>" dispatch
+// span parented on the caller's span, and handlers see the dispatch
+// span as CallInfo.SpanID. Safe to call while serving; nil removes it.
+func (s *Server) SetTracer(t *telemetry.Tracer) {
+	s.tracer.Store(tracerBox{t})
+}
+
+func (s *Server) spanTracer() *telemetry.Tracer {
+	if box, ok := s.tracer.Load().(tracerBox); ok {
+		return box.t
+	}
+	return nil
+}
+
 func methodLabel(namer func(Method) string, m Method) string {
 	if namer != nil {
 		if name := namer(m); name != "" {
@@ -296,7 +324,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	w := bufio.NewWriterSize(conn, 64<<10)
 	wmu := &sync.Mutex{}
 	for {
-		reqID, kind, method, trace, body, err := readFrame(r)
+		reqID, kind, method, trace, span, body, err := readFrame(r)
 		if err != nil {
 			return
 		}
@@ -315,7 +343,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.serial.Load() {
 			// Serial mode: handlers run inline, so ordering per
 			// connection mirrors a strict FIFO dispatch queue.
-			if !s.handleRequest(conn, w, wmu, reqID, method, trace, body) {
+			if !s.handleRequest(conn, w, wmu, reqID, method, trace, span, body) {
 				return
 			}
 			continue
@@ -326,15 +354,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		// acquiring it here applies backpressure to the read loop.
 		s.sem <- struct{}{}
 		s.wg.Add(1)
-		go func(reqID uint64, method Method, trace uint64, body []byte) {
+		go func(reqID uint64, method Method, trace, span uint64, body []byte) {
 			defer s.wg.Done()
 			defer func() { <-s.sem }()
-			if !s.handleRequest(conn, w, wmu, reqID, method, trace, body) {
+			if !s.handleRequest(conn, w, wmu, reqID, method, trace, span, body) {
 				// A disconnect fault (or write failure) severs the
 				// connection; the read loop exits on its next read.
 				conn.Close()
 			}
-		}(reqID, method, trace, body)
+		}(reqID, method, trace, span, body)
 	}
 }
 
@@ -342,7 +370,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // injection, handler dispatch, telemetry, and the response write
 // (serialised on wmu). It reports false when the connection must be
 // severed (disconnect fault or failed write).
-func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, reqID uint64, method Method, trace uint64, body []byte) bool {
+func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, reqID uint64, method Method, trace, span uint64, body []byte) bool {
 	tl := s.telemetry()
 	var injectedErr error
 	if fi := s.faultInjector(); fi != nil {
@@ -368,18 +396,34 @@ func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, 
 	s.mu.RLock()
 	h := s.handlers[method]
 	s.mu.RUnlock()
+	// Open the dispatch span: it brackets the handler (not the response
+	// write) and becomes the parent for every span the handler starts.
+	info := CallInfo{Method: method, TraceID: trace, SpanID: span}
+	var dispatch *telemetry.ActiveSpan
+	if tr := s.spanTracer(); tr != nil && trace != 0 {
+		dispatch = tr.StartSpanFrom(telemetry.SpanContext{TraceID: trace, SpanID: span},
+			"rpc.server."+methodLabel(tl.namer, method))
+		if id := dispatch.ID(); id != 0 {
+			info.SpanID = id
+		}
+	}
 	var resp []byte
 	isErr := true
 	start := time.Now()
 	if injectedErr != nil {
 		resp = errorBody(injectedErr.Error())
+		dispatch.Finish(injectedErr)
 	} else if h == nil {
-		resp = errorBody(fmt.Sprintf("unknown method %d", method))
-	} else if out, err := safeCall(h, CallInfo{Method: method, TraceID: trace}, body); err != nil {
+		err := fmt.Errorf("unknown method %d", method)
 		resp = errorBody(err.Error())
+		dispatch.Finish(err)
+	} else if out, err := safeCall(h, info, body); err != nil {
+		resp = errorBody(err.Error())
+		dispatch.Finish(err)
 	} else {
 		resp = append([]byte{0}, out...)
 		isErr = false
+		dispatch.Finish(nil)
 	}
 	if tl.reg != nil {
 		name := methodLabel(tl.namer, method)
@@ -411,7 +455,7 @@ func (s *Server) handleRequest(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex, 
 		}
 	}
 	wmu.Lock()
-	err := writeFrame(w, reqID, kindResponse, method, trace, resp)
+	err := writeFrame(w, reqID, kindResponse, method, trace, span, resp)
 	wmu.Unlock()
 	return err == nil
 }
@@ -651,7 +695,7 @@ func (c *Client) counter(name string) *telemetry.Counter {
 func (c *Client) readLoop(conn net.Conn, gen *connGen) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		reqID, kind, method, trace, body, err := readFrame(r)
+		reqID, kind, method, trace, _, body, err := readFrame(r)
 		if err != nil {
 			gen.err = err
 			// Fail the calls in flight, then close done so a Call that
@@ -850,13 +894,14 @@ func (c *Client) doCall(ctx context.Context, m Method, body []byte) ([]byte, err
 			return nil, ErrClosed
 		}
 	}
-	trace := telemetry.TraceIDFrom(ctx)
+	sc := telemetry.SpanContextFrom(ctx)
+	trace := sc.TraceID
 	id := c.nextID.Add(1)
 	pc := &pendingCall{ch: make(chan response, 1), trace: trace}
 	c.pending.Store(id, pc)
 	if !dropped {
 		c.wmu.Lock()
-		err := writeFrame(w, id, kindRequest, m, trace, body)
+		err := writeFrame(w, id, kindRequest, m, trace, sc.SpanID, body)
 		c.wmu.Unlock()
 		if err != nil {
 			c.pending.Delete(id)

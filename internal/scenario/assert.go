@@ -51,7 +51,7 @@ func evaluateAssertions(sc *Scenario, res *RunResult, cl *server.Cluster, co *se
 			r.Passed = rate <= a.Value
 			r.Detail = fmt.Sprintf("error rate %.4f (allow <= %s)", rate, trimFloat(a.Value))
 		case AssertFailoversMin, AssertFailoversMax:
-			n := co.Registry().Counter("coordinator.failovers").Value()
+			n := co.Registry().Counter("coordinator.failover.completed").Value()
 			if a.Kind == AssertFailoversMin {
 				r.Passed = float64(n) >= a.Value
 			} else {

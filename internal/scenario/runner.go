@@ -124,6 +124,13 @@ type RunResult struct {
 	// Coordinator / client telemetry snapshots (real-cluster runs).
 	CoordinatorMetrics *telemetry.Snapshot `json:"coordinator_metrics,omitempty"`
 	ClientMetrics      *telemetry.Snapshot `json:"client_metrics,omitempty"`
+
+	// Observability artifacts (real-cluster runs): the merged slow-op
+	// log of every node and a sample distributed trace — the spans of
+	// the run's last SDK operation, gathered from all nodes.
+	SlowOps    []telemetry.SlowOp `json:"slow_ops,omitempty"`
+	TraceID    string             `json:"trace_id,omitempty"`
+	TraceSpans []telemetry.Span   `json:"trace_spans,omitempty"`
 }
 
 // Passed reports whether every assertion held.
@@ -278,9 +285,29 @@ func runCluster(sc *Scenario, seed int64, opts Options, logf func(string, ...int
 	res.CoordinatorMetrics = &coSnap
 	clSnap := drv.registry().Snapshot()
 	res.ClientMetrics = &clSnap
-	res.Failovers = coSnap.Counters["coordinator.failovers"]
+	res.Failovers = coSnap.Counters["coordinator.failover.completed"]
 	res.Migrations = coSnap.Counters["coordinator.epoch.applied"] + eng.stormApplied.Load()
 	res.MapVersion = co.MapVersion()
+
+	// Observability artifacts: the slow-op log of every node plus one
+	// sample distributed trace (the run's last SDK operation).
+	for i := 0; i < sc.Fleet.MDS; i++ {
+		if tr := cl.Tracer(i); tr != nil {
+			res.SlowOps = append(res.SlowOps, tr.SlowOps()...)
+		}
+	}
+	if tr := co.Tracer(); tr != nil {
+		res.SlowOps = append(res.SlowOps, tr.SlowOps()...)
+	}
+	if tr := drv.sdk.Tracer(); tr != nil {
+		res.SlowOps = append(res.SlowOps, tr.SlowOps()...)
+	}
+	if id := drv.sdk.LastTraceID(); id != 0 {
+		res.TraceID = telemetry.FormatTraceID(id)
+		if spans, err := drv.sdk.GatherTrace(id); err == nil {
+			res.TraceSpans = spans
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -51,6 +51,9 @@ func (co *Coordinator) RegisterAdmin(srv *rpc.Server) {
 			Degraded:   res.Degraded(),
 		})
 	})
+	srv.Handle(mds.MethodClusterMetrics, func([]byte) ([]byte, error) {
+		return json.Marshal(co.ClusterMetrics())
+	})
 	srv.Handle(mds.MethodModelInfo, func([]byte) ([]byte, error) {
 		if st := co.LearnerStatus(); st != nil {
 			return json.Marshal(st)

@@ -16,6 +16,7 @@ import (
 	"origami/internal/kvstore"
 	"origami/internal/mds"
 	"origami/internal/rpc"
+	"origami/internal/telemetry"
 )
 
 // DefaultCallTimeout bounds the coordinator's RPCs to each MDS so a dead
@@ -33,6 +34,14 @@ type ClusterConfig struct {
 	CallTimeout time.Duration
 	// FaultSeed seeds the link-fault table's drop RNG (default 1).
 	FaultSeed int64
+	// TraceSampleRate is the head-sampling rate of every node's span
+	// tracer: 0 keeps the tracer default (record everything), a negative
+	// value disables span collection entirely. Slow operations are
+	// captured regardless of sampling.
+	TraceSampleRate float64
+	// SlowOpThreshold is the always-keep-slow span cutoff (0 = the
+	// telemetry default; negative disables slow-op capture).
+	SlowOpThreshold time.Duration
 }
 
 // Cluster is a set of running MDS services plus coordinator connections.
@@ -56,6 +65,13 @@ type Cluster struct {
 	// throttles are the per-MDS slow-disk injectors, installed into each
 	// shard's store options (surviving restarts).
 	throttles []*kvstore.Throttle
+
+	// tracers[i] is MDS i's span tracer (nil when tracing is disabled).
+	// Restarts mint a fresh tracer bound to the revived service's
+	// registry — span stores die with their process, like a crash.
+	tracers    []*telemetry.Tracer
+	traceRate  float64
+	slowThresh time.Duration
 
 	// repl is the replication wiring, nil until EnableReplication. Like
 	// Services it is mutated only by single-threaded admin operations.
@@ -89,12 +105,15 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 		cfg.FaultSeed = 1
 	}
 	c := &Cluster{
-		dir:       baseDir,
-		peerConns: make([][]*rpc.Client, n),
-		timeout:   cfg.CallTimeout,
-		kvOpts:    cfg.KvOpts,
-		faults:    NewLinkFaults(cfg.FaultSeed),
-		throttles: make([]*kvstore.Throttle, n),
+		dir:        baseDir,
+		peerConns:  make([][]*rpc.Client, n),
+		timeout:    cfg.CallTimeout,
+		kvOpts:     cfg.KvOpts,
+		faults:     NewLinkFaults(cfg.FaultSeed),
+		throttles:  make([]*kvstore.Throttle, n),
+		tracers:    make([]*telemetry.Tracer, n),
+		traceRate:  cfg.TraceSampleRate,
+		slowThresh: cfg.SlowOpThreshold,
 	}
 	for i := range c.peerConns {
 		c.peerConns[i] = make([]*rpc.Client, n)
@@ -118,6 +137,7 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 			c.Close()
 			return nil, fmt.Errorf("server: serve MDS %d: %w", i, err)
 		}
+		c.attachTracer(i, svc)
 		c.Services = append(c.Services, svc)
 		c.Addrs = append(c.Addrs, addr)
 	}
@@ -130,6 +150,39 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 		c.conns = append(c.conns, conn)
 	}
 	return c, nil
+}
+
+// newTracer builds a span tracer with the cluster's sampling config,
+// or nil when tracing is disabled (negative sample rate).
+func (c *Cluster) newTracer(node string, reg *telemetry.Registry) *telemetry.Tracer {
+	if c.traceRate < 0 {
+		return nil
+	}
+	return telemetry.NewTracer(node, telemetry.TracerConfig{
+		SampleRate:    c.traceRate,
+		SlowThreshold: c.slowThresh,
+		Registry:      reg,
+	})
+}
+
+// attachTracer mints MDS id's span tracer and wires it through the
+// service (RPC dispatch spans, mds.op spans, kvstore commit spans).
+func (c *Cluster) attachTracer(id int, svc *mds.Service) {
+	tr := c.newTracer(fmt.Sprintf("mds%d", id), svc.Registry())
+	if tr == nil {
+		return
+	}
+	c.tracers[id] = tr
+	svc.SetTracer(tr)
+}
+
+// Tracer returns one MDS's span tracer, or nil (tracing disabled, id out
+// of range).
+func (c *Cluster) Tracer(id int) *telemetry.Tracer {
+	if id < 0 || id >= len(c.tracers) {
+		return nil
+	}
+	return c.tracers[id]
 }
 
 // shardOpts is the per-MDS store configuration: the shared options plus
@@ -233,6 +286,7 @@ func (c *Cluster) RestartMDS(id int) error {
 		store.Close()
 		return fmt.Errorf("server: reserve MDS %d: %w", id, err)
 	}
+	c.attachTracer(id, svc)
 	c.mu.Lock()
 	c.Services[id] = svc
 	c.Addrs[id] = addr

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -65,6 +67,9 @@ type Coordinator struct {
 	// (coordinator.health.mds_<i>: 0 = up, 1 = degraded, 2 = down).
 	reg *telemetry.Registry
 	log *telemetry.Logger
+	// tracer records the coordinator's own spans (migration 2PC phases);
+	// nil when the cluster was started with tracing disabled.
+	tracer *telemetry.Tracer
 }
 
 // EpochResult is what one balancing round actually did — including the
@@ -113,6 +118,7 @@ func NewCoordinator(c *Cluster) *Coordinator {
 		reg:            telemetry.NewRegistry(),
 		log:            telemetry.L("coordinator"),
 	}
+	co.tracer = c.newTracer("coordinator", co.reg)
 	if body, err := c.Conn(0).Call(mds.MethodGetMap, nil); err == nil {
 		if version, pins, derr := mds.DecodeMap(body); derr == nil {
 			co.version = version
@@ -127,6 +133,54 @@ func NewCoordinator(c *Cluster) *Coordinator {
 // Registry exposes the coordinator's telemetry registry (admin
 // endpoint, tests).
 func (co *Coordinator) Registry() *telemetry.Registry { return co.reg }
+
+// Tracer exposes the coordinator's span tracer (nil when the cluster
+// was started with tracing disabled).
+func (co *Coordinator) Tracer() *telemetry.Tracer { return co.tracer }
+
+// ClusterSnapshot is the coordinator's merged observability view: the
+// telemetry registry of every reachable MDS (plus its replication
+// registry when replication is on) and the coordinator's own, keyed by
+// node name. It is the scrape behind MethodClusterMetrics and
+// `origami-cli top`.
+type ClusterSnapshot struct {
+	MapVersion uint64                        `json:"map_version"`
+	Live       []int                         `json:"live"`
+	Down       []int                         `json:"down,omitempty"`
+	Nodes      map[string]telemetry.Snapshot `json:"nodes"`
+}
+
+// ClusterMetrics scrapes MethodMetrics from every MDS and merges the
+// results with the coordinator's own registry. Shards that fail the
+// scrape land in Down instead of failing the snapshot — the
+// observability plane must keep working through partial outages.
+func (co *Coordinator) ClusterMetrics() *ClusterSnapshot {
+	snap := &ClusterSnapshot{Nodes: make(map[string]telemetry.Snapshot)}
+	for i := range co.cluster.Addrs {
+		body, err := co.cluster.Conn(i).Call(mds.MethodMetrics, nil)
+		if err != nil {
+			co.reportOutcome(i, err)
+			snap.Down = append(snap.Down, i)
+			continue
+		}
+		var s telemetry.Snapshot
+		if err := json.Unmarshal(body, &s); err != nil {
+			snap.Down = append(snap.Down, i)
+			continue
+		}
+		co.Health.ReportSuccess(i)
+		snap.Live = append(snap.Live, i)
+		snap.Nodes[fmt.Sprintf("mds%d", i)] = s
+		if reg := co.cluster.ReplRegistry(i); reg != nil {
+			snap.Nodes[fmt.Sprintf("mds%d.replication", i)] = reg.Snapshot()
+		}
+	}
+	snap.Nodes["coordinator"] = co.reg.Snapshot()
+	co.mu.Lock()
+	snap.MapVersion = co.version
+	co.mu.Unlock()
+	return snap
+}
 
 // SetStrategy installs (or, with nil, removes) the pluggable planning
 // strategy and re-arms its lazy Setup: the next epoch calls the new
@@ -384,26 +438,47 @@ func (co *Coordinator) merge(epoch int, stats []mds.StatsSnapshot, shardRows [][
 
 // migrate2PC runs one migration as prepare → commit, rolling back with
 // an abort if the commit fails. The partition pin moves only after a
-// successful commit.
+// successful commit. Each migration gets its own trace: a root
+// coordinator.migrate span with one child per 2PC phase, the trace ID
+// propagated over the wire so source-MDS dispatch spans join the tree.
 func (co *Coordinator) migrate2PC(subtree namespace.Ino, from, to int) error {
+	ctx, _ := telemetry.EnsureTraceID(context.Background())
+	ctx, root := co.tracer.StartSpan(ctx, "coordinator.migrate")
+	root.Annotate("subtree", fmt.Sprintf("%d", subtree))
+	root.Annotate("from", fmt.Sprintf("%d", from))
+	root.Annotate("to", fmt.Sprintf("%d", to))
+	err := co.migrate2PCTraced(ctx, subtree, from, to)
+	root.Finish(err)
+	return err
+}
+
+func (co *Coordinator) migrate2PCTraced(ctx context.Context, subtree namespace.Ino, from, to int) error {
 	var w rpc.Wire
 	w.U64(uint64(subtree)).U32(uint32(to))
 	conn := co.cluster.Conn(from)
-	if _, err := conn.Call(mds.MethodMigratePrepare, w.Bytes()); err != nil {
+	pctx, prep := co.tracer.StartSpan(ctx, "coordinator.migrate.prepare")
+	_, err := conn.CallCtx(pctx, mds.MethodMigratePrepare, w.Bytes())
+	prep.Finish(err)
+	if err != nil {
 		co.reportOutcome(from, err)
 		co.log.Warn("migration prepare failed", "subtree", uint64(subtree), "from", from, "to", to, "err", err)
 		return fmt.Errorf("server: prepare migrate %d from MDS %d: %w", subtree, from, err)
 	}
 	var cw rpc.Wire
 	cw.U64(uint64(subtree))
-	if _, err := conn.Call(mds.MethodMigrateCommit, cw.Bytes()); err != nil {
+	cctx, commit := co.tracer.StartSpan(ctx, "coordinator.migrate.commit")
+	_, err = conn.CallCtx(cctx, mds.MethodMigrateCommit, cw.Bytes())
+	commit.Finish(err)
+	if err != nil {
 		co.reportOutcome(from, err)
 		co.log.Warn("migration commit failed, aborting", "subtree", uint64(subtree), "from", from, "to", to, "err", err)
 		// Roll back: lift the freeze and evict the destination copy. If
 		// the source is unreachable its PrepareTimeout auto-abort fires.
 		var aw rpc.Wire
 		aw.U64(uint64(subtree))
-		conn.Call(mds.MethodMigrateAbort, aw.Bytes()) //nolint:errcheck // best-effort
+		actx, abort := co.tracer.StartSpan(ctx, "coordinator.migrate.abort")
+		_, aerr := conn.CallCtx(actx, mds.MethodMigrateAbort, aw.Bytes()) //nolint:errcheck // best-effort
+		abort.Finish(aerr)
 		return fmt.Errorf("server: commit migrate %d from MDS %d: %w", subtree, from, err)
 	}
 	co.Health.ReportSuccess(from)
@@ -432,7 +507,7 @@ func (co *Coordinator) RunEpoch() (*EpochResult, error) {
 	res := &EpochResult{}
 	start := time.Now()
 	defer func() {
-		co.reg.Counter("coordinator.epochs").Inc()
+		co.reg.Counter("coordinator.epoch.runs").Inc()
 		co.reg.Histogram("coordinator.epoch.duration_ns").Record(time.Since(start).Nanoseconds())
 		co.reg.Counter("coordinator.epoch.applied").Add(int64(len(res.Applied)))
 		co.reg.Counter("coordinator.epoch.rejected").Add(int64(len(res.Rejected)))

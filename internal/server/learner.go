@@ -177,7 +177,7 @@ func (l *onlineLearner) status() map[string]interface{} {
 		"staleness_epochs": l.epochsSinceSwap,
 		"training":         l.training,
 		"last_val_mae":     l.lastValMAE,
-		"retrains":         l.co.reg.Counter("coordinator.retrains").Value(),
+		"retrains":         l.co.reg.Counter("coordinator.retrain.completed").Value(),
 		"retrain_errors":   l.co.reg.Counter("coordinator.retrain.errors").Value(),
 		"model_dir":        l.cfg.ModelDir,
 	}
@@ -249,7 +249,7 @@ func (l *onlineLearner) observe(es *cluster.EpochStats, pm *cluster.PartitionMap
 	for i, s := range es.Service {
 		loads[i] = float64(s)
 	}
-	l.co.reg.Gauge("coordinator.imbalance").Set(stats.ImbalanceFactor(loads))
+	l.co.reg.Gauge("coordinator.balance.imbalance").Set(stats.ImbalanceFactor(loads))
 	l.co.reg.Gauge("coordinator.learn.rows").Set(float64(l.ds.Len()))
 	l.co.reg.Gauge("coordinator.model.version").Set(float64(l.version))
 	l.co.reg.Gauge("coordinator.model.staleness_epochs").Set(float64(l.epochsSinceSwap))
@@ -343,7 +343,7 @@ func (l *onlineLearner) finishRetrain(model *ml.GBDT, valMAE float64, rows int, 
 	l.epochsSinceSwap = 0
 	l.training = false
 	l.mu.Unlock()
-	l.co.reg.Counter("coordinator.retrains").Inc()
+	l.co.reg.Counter("coordinator.retrain.completed").Inc()
 	l.co.reg.Gauge("coordinator.model.version").Set(float64(version))
 	l.co.reg.Gauge("coordinator.model.staleness_epochs").Set(0)
 	l.co.log.Info("model hot-swapped",

@@ -66,7 +66,7 @@ func TestOnlineLoopRetrainsAndHotSwaps(t *testing.T) {
 		}
 		applied += len(res.Applied)
 		if epoch == 0 {
-			firstImbalance = co.Registry().Gauge("coordinator.imbalance").Value()
+			firstImbalance = co.Registry().Gauge("coordinator.balance.imbalance").Value()
 		}
 	}
 	if applied == 0 {
@@ -108,7 +108,7 @@ func TestOnlineLoopRetrainsAndHotSwaps(t *testing.T) {
 	if _, err := co.RunEpoch(); err != nil {
 		t.Fatalf("post-swap epoch: %v", err)
 	}
-	finalImbalance := co.Registry().Gauge("coordinator.imbalance").Value()
+	finalImbalance := co.Registry().Gauge("coordinator.balance.imbalance").Value()
 	if firstImbalance > 0.2 && finalImbalance >= firstImbalance {
 		t.Errorf("imbalance did not drop: first %.3f, final %.3f", firstImbalance, finalImbalance)
 	}

@@ -1,0 +1,105 @@
+package server
+
+// Metric-vocabulary audit: every metric name exported by a live cluster
+// — MDS registries, replication registries, the coordinator, and the SDK
+// client — must follow the `component.noun.verb` convention: at least
+// three dot-separated lowercase [a-z0-9_] segments whose first segment
+// names a known component.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"origami/internal/telemetry"
+)
+
+// metricComponents is the closed set of allowed first segments.
+var metricComponents = map[string]bool{
+	"client":      true,
+	"coordinator": true,
+	"kvstore":     true,
+	"mds":         true,
+	"repl":        true,
+	"rpc":         true,
+	"sim":         true,
+	"telemetry":   true,
+}
+
+var metricSegment = regexp.MustCompile(`^[a-z0-9_]+$`)
+
+func auditMetricNames(t *testing.T, registry string, snap telemetry.Snapshot) {
+	t.Helper()
+	check := func(name, kind string) {
+		segs := strings.Split(name, ".")
+		if len(segs) < 3 {
+			t.Errorf("%s %s %q: want >= 3 dot segments (component.noun.verb)", registry, kind, name)
+			return
+		}
+		if !metricComponents[segs[0]] {
+			t.Errorf("%s %s %q: unknown component %q", registry, kind, name, segs[0])
+		}
+		for _, s := range segs {
+			if !metricSegment.MatchString(s) {
+				t.Errorf("%s %s %q: segment %q outside [a-z0-9_]", registry, kind, name, s)
+			}
+		}
+	}
+	for _, n := range snap.CounterNames() {
+		check(n, "counter")
+	}
+	for _, n := range snap.GaugeNames() {
+		check(n, "gauge")
+	}
+	for _, n := range snap.HistogramNames() {
+		check(n, "histogram")
+	}
+}
+
+func TestObsSmokeMetricNaming(t *testing.T) {
+	cl, sdk := startObsCluster(t, 3)
+	co := NewCoordinator(cl)
+
+	// Touch every subsystem so the lazily-created metrics exist: reads,
+	// writes, renames, a failed op, a migration, and a balancing epoch.
+	if _, err := sdk.Mkdir("/audit"); err != nil {
+		t.Fatal(err)
+	}
+	in, err := sdk.Create("/audit/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = in
+	if _, err := sdk.Stat("/audit/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Readdir("/audit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdk.Rename("/audit/a", "/audit/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Stat("/audit/missing"); err == nil {
+		t.Fatal("stat of missing path succeeded")
+	}
+	dir, err := sdk.Mkdir("/audit/sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Migrate(dir.Ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		auditMetricNames(t, fmt.Sprintf("mds%d", i), cl.Services[i].Registry().Snapshot())
+		if reg := cl.ReplRegistry(i); reg != nil {
+			auditMetricNames(t, "repl", reg.Snapshot())
+		}
+	}
+	auditMetricNames(t, "coordinator", co.Registry().Snapshot())
+	auditMetricNames(t, "client", sdk.Registry().Snapshot())
+}

@@ -64,6 +64,7 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 			Sync:     syncMode,
 			Registry: g.regs[i],
 			Dial:     c.peerResolverFor(i),
+			Tracer:   c.Tracer(i),
 		}
 		if tweak != nil {
 			tweak(&opts)
@@ -71,6 +72,7 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 		sh := replication.NewShipper(svc.Store(), opts)
 		g.shippers[i] = sh
 		sh.Start()
+		svc.AddBuildFeature("replication")
 	}
 	c.repl = g
 	return nil
@@ -210,10 +212,12 @@ func (c *Cluster) startReplicationFor(id int) {
 		Sync:     c.repl.sync,
 		Registry: reg,
 		Dial:     c.peerResolverFor(id),
+		Tracer:   c.Tracer(id),
 	}
 	sh := replication.NewShipper(svc.Store(), opts)
 	c.repl.shippers[id] = sh
 	sh.Start()
+	svc.AddBuildFeature("replication")
 }
 
 // Failover handles a confirmed-dead primary: promote its backup (the
@@ -260,7 +264,7 @@ func (co *Coordinator) failoverLocked(dead int) error {
 	co.cluster.RetargetReplication(dead)
 	stale := co.publish()
 	co.failedOver[dead] = true
-	co.reg.Counter("coordinator.failovers").Inc()
+	co.reg.Counter("coordinator.failover.completed").Inc()
 	co.reg.Histogram("coordinator.failover.duration_ns").Record(time.Since(start).Nanoseconds())
 	co.log.Info("failover complete",
 		"dead", dead, "promoted", backup, "absorbed", absorbed,

@@ -107,8 +107,8 @@ func TestCoordinatorEpochMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := co.Registry()
-	if reg.Counter("coordinator.epochs").Value() != 1 {
-		t.Errorf("epochs = %d", reg.Counter("coordinator.epochs").Value())
+	if reg.Counter("coordinator.epoch.runs").Value() != 1 {
+		t.Errorf("epochs = %d", reg.Counter("coordinator.epoch.runs").Value())
 	}
 	if reg.Histogram("coordinator.epoch.duration_ns").Count() != 1 {
 		t.Error("epoch duration histogram empty")

@@ -500,11 +500,11 @@ func (s *Sim) endEpoch() {
 		s.freeAt[d.From] += cost.SrcService
 		s.freeAt[d.To] += cost.DstService
 	}
-	simReg.Counter("sim.epochs").Inc()
-	simReg.Counter("sim.migrations").Add(int64(em.Migrations))
-	simReg.Counter("sim.decisions_skipped").Add(int64(em.DecisionsSkip))
-	simReg.Counter("sim.migrated_inodes").Add(int64(em.MigratedInos))
-	simReg.Gauge("sim.imbalance_qps").Set(em.ImbalanceQPS)
+	simReg.Counter("sim.epoch.runs").Inc()
+	simReg.Counter("sim.migration.applied").Add(int64(em.Migrations))
+	simReg.Counter("sim.migration.skipped").Add(int64(em.DecisionsSkip))
+	simReg.Counter("sim.migration.inodes").Add(int64(em.MigratedInos))
+	simReg.Gauge("sim.balance.imbalance_qps").Set(em.ImbalanceQPS)
 	s.metrics = append(s.metrics, em)
 	s.coll.Reset()
 	s.epochIdx++

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -24,10 +26,16 @@ type AdminConfig struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default:
 	// profiling endpoints on a production port are opt-in).
 	Pprof bool
+	// Tracer, when non-nil, serves the node's span store and slow-op log
+	// under /traces (?trace=<hex id> selects one trace).
+	Tracer *Tracer
+	// Features lists enabled feature flags for /buildinfo.
+	Features []string
 }
 
 // Admin is a running HTTP admin server exposing /metrics (JSON registry
-// snapshots), /healthz, and optionally /debug/pprof/.
+// snapshots, or Prometheus text exposition with ?format=prometheus),
+// /healthz, /buildinfo, /traces, and optionally /debug/pprof/.
 type Admin struct {
 	ln    net.Listener
 	srv   *http.Server
@@ -48,10 +56,45 @@ func StartAdmin(addr string, cfg AdminConfig) (*Admin, error) {
 		for name, reg := range cfg.Registries {
 			doc[name] = reg.Snapshot()
 		}
+		format := r.URL.Query().Get("format")
+		if format == "prometheus" || (format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			WritePrometheus(w, doc)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(doc) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		var traceID uint64
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			traceID = id
+		}
+		dump := cfg.Tracer.Dump(traceID)
+		doc := struct {
+			TraceDump
+			Tree []*TraceNode `json:"tree,omitempty"`
+		}{TraceDump: dump}
+		if traceID != 0 {
+			doc.Tree = AssembleTrace(dump.Spans)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(CollectBuildInfo(cfg.Features...)) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		doc := map[string]interface{}{

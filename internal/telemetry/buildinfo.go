@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Version is the origami build version, bumped per PR series.
+const Version = "0.8.0"
+
+// processStart anchors the uptime reported by BuildInfo.
+var processStart = time.Now()
+
+// BuildInfo describes the running binary: the /buildinfo document and
+// the MethodBuildInfo RPC body.
+type BuildInfo struct {
+	Version       string   `json:"version"`
+	GoVersion     string   `json:"go_version"`
+	OS            string   `json:"os"`
+	Arch          string   `json:"arch"`
+	NumCPU        int      `json:"num_cpu"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Features      []string `json:"features,omitempty"`
+}
+
+// CollectBuildInfo assembles the process's build info with the given
+// enabled-feature flags (sorted, deduplicated).
+func CollectBuildInfo(features ...string) BuildInfo {
+	seen := map[string]bool{}
+	var fs []string
+	for _, f := range features {
+		if f != "" && !seen[f] {
+			seen[f] = true
+			fs = append(fs, f)
+		}
+	}
+	sort.Strings(fs)
+	return BuildInfo{
+		Version:       Version,
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		Features:      fs,
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) alongside the JSON
+// snapshot. Metric names keep the internal `component.noun.verb`
+// vocabulary with dots mapped to underscores and an `origami_` prefix;
+// the owning registry ("mds0", "client", "coordinator") becomes a
+// `registry` label so one scrape can serve every registry of a process.
+
+// PrometheusContentType is the Content-Type of the exposition output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// sanitizeMetricName maps an internal dotted metric name onto the
+// Prometheus name charset [a-zA-Z0-9_:], prefixed with origami_.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 8)
+	b.WriteString("origami_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a set of registry snapshots in Prometheus
+// text exposition format. Registries render in sorted name order and
+// metrics in sorted name order within each, so output is deterministic.
+func WritePrometheus(w io.Writer, snaps map[string]Snapshot) {
+	regs := make([]string, 0, len(snaps))
+	for name := range snaps {
+		regs = append(regs, name)
+	}
+	sort.Strings(regs)
+	// TYPE lines must appear once per metric name across the whole
+	// exposition, even when several registries export the same name.
+	typed := map[string]bool{}
+	writeType := func(name, kind string) {
+		if !typed[name] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+			typed[name] = true
+		}
+	}
+	for _, reg := range regs {
+		snap := snaps[reg]
+		label := fmt.Sprintf("{registry=%q}", reg)
+		for _, name := range snap.CounterNames() {
+			pn := sanitizeMetricName(name)
+			writeType(pn, "counter")
+			fmt.Fprintf(w, "%s%s %d\n", pn, label, snap.Counters[name])
+		}
+		for _, name := range snap.GaugeNames() {
+			pn := sanitizeMetricName(name)
+			writeType(pn, "gauge")
+			fmt.Fprintf(w, "%s%s %v\n", pn, label, snap.Gauges[name])
+		}
+		for _, name := range snap.HistogramNames() {
+			pn := sanitizeMetricName(name)
+			h := snap.Histograms[name]
+			writeType(pn, "histogram")
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.N
+				fmt.Fprintf(w, "%s_bucket{registry=%q,le=%q} %d\n", pn, reg, fmt.Sprintf("%d", b.Le), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{registry=%q,le=\"+Inf\"} %d\n", pn, reg, h.Count)
+			fmt.Fprintf(w, "%s_sum%s %d\n", pn, label, h.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", pn, label, h.Count)
+		}
+	}
+}
