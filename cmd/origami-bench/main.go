@@ -54,6 +54,7 @@ type tcpBenchReport struct {
 	MDS         int             `json:"mds"`
 	SyncWAL     bool            `json:"syncwal"`
 	WritePct    int             `json:"writepct"`
+	ReadPct     int             `json:"readpct"`
 	Duration    string          `json:"duration_per_point"`
 	TraceSample float64         `json:"trace_sample"`
 	Points      []tcpBenchPoint `json:"points"`
@@ -64,13 +65,16 @@ type tcpBenchReport struct {
 // printing an ops/sec matrix plus the concurrent-over-serial speedup.
 // Alongside the text report it writes BENCH_tcp.json (jsonOut) with the
 // per-point throughput and exact p50/p95/p99 latencies.
-func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct int, traceSample float64, jsonOut string) error {
+func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct, readPct int, traceSample float64, jsonOut string) error {
 	modes := []string{"serial", "concurrent"}
 	if dispatch != "both" {
 		modes = []string{dispatch}
 	}
+	if readPct > 0 {
+		writePct = 100 - min(readPct, 100)
+	}
 	report := tcpBenchReport{
-		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, Duration: dur.String(),
+		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, ReadPct: readPct, Duration: dur.String(),
 		TraceSample: traceSample,
 	}
 	thr := make(map[string]map[int]float64)
@@ -101,6 +105,7 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 				Duration:        dur,
 				Root:            fmt.Sprintf("bench-%s-w%d", mode, w),
 				WritePct:        writePct,
+				ReadPct:         readPct,
 				Seed:            1,
 				TraceSampleRate: traceSample,
 			})
@@ -237,6 +242,7 @@ func main() {
 		dispatch   = flag.String("dispatch", "both", "dispatch modes to benchmark with -tcp: both, serial, or concurrent")
 		syncWAL    = flag.Bool("syncwal", true, "make MDS writes durable before acknowledgement (-tcp; group commit)")
 		writePct   = flag.Int("writepct", 100, "percentage of mutating ops in the -tcp workload (default is an mdtest-style create storm)")
+		readPct    = flag.Int("readpct", 0, "specify the -tcp mix from the read side instead: 100 is a pure stat/readdir storm (overrides -writepct)")
 		jsonOut    = flag.String("json-out", "BENCH_tcp.json", "write the -tcp results as JSON to this file (empty disables)")
 		traceRate  = flag.Float64("trace-sample", 0.01, "span head-sampling rate for the -tcp cluster and SDK (negative disables tracing)")
 	)
@@ -272,7 +278,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origami-bench: bad -dispatch %q\n", *dispatch)
 			os.Exit(1)
 		}
-		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *traceRate, *jsonOut); err != nil {
+		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *readPct, *traceRate, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
 		}

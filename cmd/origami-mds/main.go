@@ -58,6 +58,8 @@ func main() {
 		retrain   = flag.Int("retrain-every", 256, "retrain the online model after this many newly harvested rows")
 		repl      = flag.Bool("repl", false, "enable ring replication between the MDSs in -cluster mode (async WAL shipping)")
 		replSync  = flag.Bool("repl-sync", false, "replication acks each write only after the backup applied it (implies -repl)")
+		readReps  = flag.Int("read-replicas", 0, "fan-out of the subtree read-replica sweep in -cluster mode (0 disables; needs -repl/-repl-sync)")
+		promReads = flag.Int64("promote-reads", 0, "subtree reads per epoch that promote a directory to replicated (0 = library default 1500)")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "health-probe interval of the auto-failover loop when replication is on")
 		adminAddr = flag.String("admin", "", "HTTP admin address serving /metrics, /traces, /buildinfo, and /healthz (consecutive ports per MDS in -cluster mode; empty disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on the admin endpoint (requires -admin)")
@@ -67,6 +69,10 @@ func main() {
 	)
 	flag.Parse()
 	telemetry.SetLogLevel(parseLevel(*logLevel))
+	if *readReps > 0 && !*repl && !*replSync {
+		fmt.Fprintln(os.Stderr, "origami-mds: -read-replicas needs -repl or -repl-sync (the fan-out rides the replication plane)")
+		os.Exit(2)
+	}
 	if *clusterN > 0 {
 		runCluster(clusterOpts{
 			n:            *clusterN,
@@ -80,6 +86,8 @@ func main() {
 			pprofOn:      *pprofOn,
 			replOn:       *repl || *replSync,
 			replSync:     *replSync,
+			readReplicas: *readReps,
+			promoteReads: *promReads,
 			heartbeat:    *heartbeat,
 			traceRate:    *traceRate,
 			slowOp:       *slowOp,
@@ -216,6 +224,8 @@ type clusterOpts struct {
 	pprofOn      bool
 	replOn       bool
 	replSync     bool
+	readReplicas int
+	promoteReads int64
 	heartbeat    time.Duration
 	traceRate    float64
 	slowOp       time.Duration
@@ -241,6 +251,13 @@ func runCluster(o clusterOpts) {
 		stopFailover := co.StartAutoFailover(o.heartbeat)
 		defer stopFailover()
 		log.Info("replication on", "sync", o.replSync, "heartbeat", o.heartbeat)
+		if o.readReplicas > 0 {
+			co.EnableReadReplicas(server.ReplicaPolicy{
+				Fanout:       o.readReplicas,
+				PromoteReads: o.promoteReads,
+			})
+			log.Info("read-replica sweep on", "fanout", o.readReplicas, "promote_reads", o.promoteReads)
+		}
 	}
 	if o.modelPath != "" {
 		// Frozen model: no online learning, the checkpointed (or

@@ -84,8 +84,13 @@ type Client struct {
 
 	mu         sync.Mutex
 	pins       map[namespace.Ino]int
+	reps       map[namespace.Ino]mds.ReplicaMapEntry
 	mapVersion uint64
 	cache      map[cacheKey]*namespace.Inode
+
+	// repRR round-robins read RPCs across {owner} ∪ replicas of a
+	// replicated subtree.
+	repRR atomic.Uint64
 
 	// RPCCount tallies issued metadata RPCs (for RPC-per-op metrics).
 	RPCCount atomic.Int64
@@ -338,7 +343,7 @@ func (c *Client) refreshMap(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	version, pins, err := mds.DecodeMap(body)
+	version, pins, reps, err := mds.DecodeMapFull(body)
 	if err != nil {
 		return err
 	}
@@ -349,7 +354,47 @@ func (c *Client) refreshMap(ctx context.Context) error {
 	for _, p := range pins {
 		c.pins[p.Ino] = p.MDS
 	}
+	c.reps = make(map[namespace.Ino]mds.ReplicaMapEntry, len(reps))
+	for _, re := range reps {
+		c.reps[re.Ino] = re
+	}
 	return nil
+}
+
+// ReplicaSets returns the replica table of the partition map the client
+// holds (origami-cli replicas).
+func (c *Client) ReplicaSets() []mds.ReplicaMapEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]mds.ReplicaMapEntry, 0, len(c.reps))
+	for _, re := range c.reps {
+		out = append(out, re)
+	}
+	return out
+}
+
+// readTarget picks the MDS a read under dir should try first: the write
+// owner when dir heads no replicated subtree, otherwise round-robin over
+// the owner and its read replicas. The second return says a non-owner
+// was picked — the caller falls back to owner on any error, because a
+// replica's answers (including negatives) are never authoritative.
+func (c *Client) readTarget(dir namespace.Ino, owner int) (int, bool) {
+	c.mu.Lock()
+	re, ok := c.reps[dir]
+	c.mu.Unlock()
+	if !ok || len(re.Replicas) == 0 {
+		return owner, false
+	}
+	n := len(re.Replicas) + 1 // owner takes one slot of the rotation
+	pick := int(c.repRR.Add(1) % uint64(n))
+	if pick == 0 {
+		return owner, false
+	}
+	t := re.Replicas[pick-1]
+	if t < 0 || t >= len(c.conns) || t == owner {
+		return owner, false
+	}
+	return t, true
 }
 
 // MapVersion returns the version of the partition map the client holds.
@@ -397,19 +442,34 @@ func (c *Client) lookupPathAt(ctx context.Context, owner int, parent namespace.I
 	for _, n := range names {
 		w.Str(n)
 	}
-	for attempt := 0; attempt < 3; attempt++ {
-		body, err := c.callIdem(ctx, owner, mds.MethodLookupPath, w.Bytes())
+	// Reads under a replicated hot directory spread across its warm
+	// replicas; any error from a replica (stale, dropped, plain missing)
+	// falls straight back to the write owner — replicas never speak
+	// authoritatively, least of all about absence.
+	target, spread := c.readTarget(parent, owner)
+	for attempt := 0; attempt < 4; attempt++ {
+		body, err := c.callIdem(ctx, target, mds.MethodLookupPath, w.Bytes())
 		if err != nil {
+			if spread {
+				c.reg.Counter("client.replica.fallbacks").Inc()
+				target = owner
+				spread = false
+				continue
+			}
 			if mds.IsNotOwner(err) {
 				if rerr := c.refreshMap(ctx); rerr != nil {
 					return nil, 0, rerr
 				}
 				if p, ok := c.pinOf(parent); ok && p != owner {
 					owner = p
+					target = owner
 					continue
 				}
 			}
 			return nil, 0, err
+		}
+		if spread {
+			c.reg.Counter("client.replica.reads").Inc()
 		}
 		ins, err := mds.DecodeInodesResp(body)
 		if err != nil {
@@ -705,9 +765,20 @@ func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
 		dir := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(dir.Ino))
-		body, err := c.callIdem(ctx, owner, mds.MethodReaddir, w.Bytes())
+		target, spread := c.readTarget(dir.Ino, owner)
+		body, err := c.callIdem(ctx, target, mds.MethodReaddir, w.Bytes())
+		if err != nil && spread {
+			// The replica could not serve (stale or dropped); the owner is
+			// always authoritative.
+			c.reg.Counter("client.replica.fallbacks").Inc()
+			body, err = c.callIdem(ctx, owner, mds.MethodReaddir, w.Bytes())
+			spread = false
+		}
 		if err != nil {
 			return err
+		}
+		if spread {
+			c.reg.Counter("client.replica.reads").Inc()
 		}
 		out, err = mds.DecodeInodesResp(body)
 		return err

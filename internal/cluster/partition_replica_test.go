@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"origami/internal/namespace"
+)
+
+func TestSetReplicasValidation(t *testing.T) {
+	pm := NewPartitionMap(4)
+	ino := namespace.Ino(42)
+
+	if err := pm.SetReplicas(ino, 1, []MDSID{2, 3}, 1); err != nil {
+		t.Fatalf("valid replica set rejected: %v", err)
+	}
+	if rs, ok := pm.ReplicasOf(ino); !ok || rs.Owner != 1 || rs.Epoch != 1 {
+		t.Fatalf("ReplicasOf = %+v, %v; want owner 1 epoch 1", rs, ok)
+	}
+
+	// Replica == owner must be rejected at insert time.
+	if err := pm.SetReplicas(ino, 1, []MDSID{1, 2}, 2); err == nil {
+		t.Fatal("replica == owner accepted")
+	}
+	// Duplicate replicas rejected.
+	if err := pm.SetReplicas(ino, 1, []MDSID{2, 2}, 2); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	// Out-of-range MDSs rejected.
+	if err := pm.SetReplicas(ino, 4, []MDSID{2}, 2); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+	if err := pm.SetReplicas(ino, 1, []MDSID{4}, 2); err == nil {
+		t.Fatal("out-of-range replica accepted")
+	}
+	// Failed inserts must not clobber the existing set.
+	if rs, ok := pm.ReplicasOf(ino); !ok || rs.Epoch != 1 {
+		t.Fatalf("existing set clobbered by rejected insert: %+v, %v", rs, ok)
+	}
+}
+
+func TestReplicasCloneIndependence(t *testing.T) {
+	pm := NewPartitionMap(4)
+	if err := pm.SetReplicas(7, 0, []MDSID{1, 2, 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	c := pm.Clone()
+
+	// Clone carries the entry.
+	rs, ok := c.ReplicasOf(7)
+	if !ok || rs.Owner != 0 || rs.Epoch != 5 || !reflect.DeepEqual(rs.Replicas, []MDSID{1, 2, 3}) {
+		t.Fatalf("clone ReplicasOf = %+v, %v", rs, ok)
+	}
+
+	// Mutating the clone leaves the original untouched, and vice versa.
+	c.DropReplicas(7)
+	if _, ok := pm.ReplicasOf(7); !ok {
+		t.Fatal("DropReplicas on clone removed original's entry")
+	}
+	if err := pm.SetReplicas(9, 1, []MDSID{2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.ReplicasOf(9); ok {
+		t.Fatal("SetReplicas on original leaked into clone")
+	}
+
+	// The replica slice itself must be deep-copied.
+	c2 := pm.Clone()
+	got, _ := c2.ReplicasOf(7)
+	got.Replicas[0] = 99
+	orig, _ := pm.ReplicasOf(7)
+	if orig.Replicas[0] == 99 {
+		t.Fatal("clone shares replica slice backing array with original")
+	}
+}
+
+func TestReplicaEntriesSorted(t *testing.T) {
+	pm := NewPartitionMap(4)
+	for _, ino := range []namespace.Ino{30, 10, 20} {
+		if err := pm.SetReplicas(ino, 0, []MDSID{1}, uint64(ino)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents := pm.ReplicaEntries()
+	if len(ents) != 3 || pm.NumReplicaSets() != 3 {
+		t.Fatalf("ReplicaEntries len = %d, NumReplicaSets = %d, want 3", len(ents), pm.NumReplicaSets())
+	}
+	for i, want := range []namespace.Ino{10, 20, 30} {
+		if ents[i].Ino != want {
+			t.Fatalf("ReplicaEntries[%d].Ino = %d, want %d", i, ents[i].Ino, want)
+		}
+	}
+}
+
+// Replica entries must not disturb write ownership: OwnerOf/OwnerBelow see
+// only pins.
+func TestOwnershipObliviousToReplicas(t *testing.T) {
+	tr, m := buildNS(t)
+	pm := NewPartitionMap(4)
+	if err := pm.Pin(m["b"], 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.SetReplicas(m["b"], 2, []MDSID{0, 1, 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := pm.OwnerOf(tr, m["f1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 2 {
+		t.Fatalf("OwnerOf(f1) = %d with replicas present, want 2", owner)
+	}
+	if got := pm.OwnerBelow(2, m["d"]); got != 2 {
+		t.Fatalf("OwnerBelow(2, d) = %d with replicas present, want 2", got)
+	}
+	// Replicating a subtree without pinning it leaves ownership at the
+	// ancestor's owner too.
+	if err := pm.SetReplicas(m["c"], 0, []MDSID{3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	owner, err = pm.OwnerOf(tr, m["c"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 0 {
+		t.Fatalf("OwnerOf(c) = %d, want 0", owner)
+	}
+}

@@ -51,6 +51,11 @@ type Config struct {
 	// gives an mdtest-style pure metadata-write workload. Of the
 	// remainder, ~20 points go to readdir and the rest to stat.
 	WritePct int
+	// ReadPct, when > 0, specifies the mix from the read side instead:
+	// WritePct becomes 100-ReadPct, and ReadPct=100 yields a pure
+	// stat/readdir storm — the hot-directory shape subtree read replicas
+	// absorb. ReadPct wins over WritePct when both are set.
+	ReadPct int
 	// Seed seeds the per-worker op-target choice.
 	Seed int64
 	// TraceSampleRate is the SDK's span head-sampling rate (0 = record
@@ -109,7 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheDepth == 0 {
 		c.CacheDepth = 3
 	}
-	if c.WritePct == 0 {
+	if c.ReadPct > 100 {
+		c.ReadPct = 100
+	}
+	if c.ReadPct > 0 {
+		c.WritePct = 100 - c.ReadPct
+	} else if c.WritePct == 0 {
 		c.WritePct = 20
 	}
 	if c.WritePct > 100 {

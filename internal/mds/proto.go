@@ -201,8 +201,23 @@ type PinEntry struct {
 	MDS int
 }
 
-// EncodeMap serialises a partition map version and its pins.
-func EncodeMap(version uint64, pins []PinEntry) []byte {
+// ReplicaMapEntry is one replicated subtree in the published map: the
+// unique write owner, the MDSs holding warm read replicas, and the
+// membership epoch (bumped by the coordinator on every promote/demote so
+// stale fan-out state is discardable).
+type ReplicaMapEntry struct {
+	Ino      namespace.Ino
+	Owner    int
+	Epoch    uint64
+	Replicas []int
+}
+
+// EncodeMap serialises a partition map version, its pins, and (optionally)
+// its replica table. The replica section trails the pin section so
+// pre-replica map bodies (persisted pin maps from older stores) still
+// decode: DecodeMap treats a body that ends after the pins as having no
+// replicated subtrees.
+func EncodeMap(version uint64, pins []PinEntry, reps ...ReplicaMapEntry) []byte {
 	var w rpc.Wire
 	w.U64(version)
 	w.U32(uint32(len(pins)))
@@ -210,11 +225,29 @@ func EncodeMap(version uint64, pins []PinEntry) []byte {
 		w.U64(uint64(p.Ino))
 		w.U32(uint32(p.MDS))
 	}
+	w.U32(uint32(len(reps)))
+	for _, re := range reps {
+		w.U64(uint64(re.Ino))
+		w.U32(uint32(re.Owner))
+		w.U64(re.Epoch)
+		w.U32(uint32(len(re.Replicas)))
+		for _, id := range re.Replicas {
+			w.U32(uint32(id))
+		}
+	}
 	return w.Bytes()
 }
 
-// DecodeMap parses EncodeMap output.
+// DecodeMap parses EncodeMap output, dropping the replica table.
 func DecodeMap(body []byte) (version uint64, pins []PinEntry, err error) {
+	version, pins, _, err = DecodeMapFull(body)
+	return version, pins, err
+}
+
+// DecodeMapFull parses EncodeMap output including the replica table. A
+// body with no trailing replica section (pre-replica encoders, persisted
+// pin maps) decodes with reps == nil.
+func DecodeMapFull(body []byte) (version uint64, pins []PinEntry, reps []ReplicaMapEntry, err error) {
 	r := rpc.NewReader(body)
 	version = r.U64()
 	n := int(r.U32())
@@ -223,7 +256,23 @@ func DecodeMap(body []byte) (version uint64, pins []PinEntry, err error) {
 		mds := int(r.U32())
 		pins = append(pins, PinEntry{Ino: ino, MDS: mds})
 	}
-	return version, pins, r.Err()
+	if r.Err() != nil || r.Remaining() == 0 {
+		return version, pins, nil, r.Err()
+	}
+	nr := int(r.U32())
+	for i := 0; i < nr; i++ {
+		re := ReplicaMapEntry{
+			Ino:   namespace.Ino(r.U64()),
+			Owner: int(r.U32()),
+			Epoch: r.U64(),
+		}
+		k := int(r.U32())
+		for j := 0; j < k; j++ {
+			re.Replicas = append(re.Replicas, int(r.U32()))
+		}
+		reps = append(reps, re)
+	}
+	return version, pins, reps, r.Err()
 }
 
 // DumpRow is one directory's Data Collector record in a networked dump.

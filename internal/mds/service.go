@@ -42,6 +42,14 @@ type Service struct {
 	mu         sync.Mutex
 	mapVersion uint64
 	pins       map[namespace.Ino]int
+	reps       []ReplicaMapEntry
+
+	// replicaProv, when installed, resolves a directory to a warm local
+	// replica store allowed to serve reads for it (membership and
+	// staleness already checked by the provider). Read handlers consult
+	// it after the ownership gate fails, so a replica MDS answers
+	// stat/lookup/readdir instead of bouncing the client to the owner.
+	replicaProv atomic.Value // of replicaProvBox
 
 	// Data Collector epoch counters (dumped and reset by handleDump).
 	ops       atomic.Int64
@@ -167,14 +175,39 @@ func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Ser
 	// Recover the partition map persisted by the last SetMap push, so the
 	// map authority survives restarts.
 	if data, err := store.LoadPinMap(); err == nil && data != nil {
-		if version, pins, derr := DecodeMap(data); derr == nil {
+		if version, pins, reps, derr := DecodeMapFull(data); derr == nil {
 			s.mapVersion = version
 			for _, p := range pins {
 				s.pins[p.Ino] = p.MDS
 			}
+			s.reps = reps
 		}
 	}
 	return s
+}
+
+// ReplicaProvider resolves a directory to a warm local replica store
+// cleared to serve reads for it: the provider checks both subtree
+// membership and the bounded-staleness window, returning nil when no
+// fresh replica covers the directory.
+type ReplicaProvider func(ino namespace.Ino) *Store
+
+type replicaProvBox struct{ p ReplicaProvider }
+
+// SetReplicaProvider installs the replica read source (the server wires
+// it to the replication receiver). Safe while serving; nil disables
+// replica reads.
+func (s *Service) SetReplicaProvider(p ReplicaProvider) {
+	s.replicaProv.Store(replicaProvBox{p})
+}
+
+// replicaStore returns a fresh warm replica store covering ino, or nil.
+func (s *Service) replicaStore(ino namespace.Ino) *Store {
+	box, ok := s.replicaProv.Load().(replicaProvBox)
+	if !ok || box.p == nil {
+		return nil
+	}
+	return box.p(ino)
 }
 
 // Serve registers handlers and starts listening; it returns the bound
@@ -409,6 +442,15 @@ func (s *Service) handleLookup(ctx context.Context, body []byte) ([]byte, error)
 		return nil, CodedError(CodeInvalid, "%v", err)
 	}
 	if !s.ownsEntry(parent) {
+		// A warm replica may serve the lookup, but never a negative: a
+		// miss inside the staleness window could be an entry the stream
+		// has not applied yet, so it redirects to the owner instead.
+		if rs := s.replicaStore(parent); rs != nil {
+			if in, found, err := rs.Lookup(parent, name); err == nil && found {
+				s.reg.Counter("replica.read.served").Inc()
+				return encodeInodeResp(in), nil
+			}
+		}
 		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
 	}
 	in, found, err := s.store.Lookup(parent, name)
@@ -441,13 +483,26 @@ func (s *Service) handleLookupPath(ctx context.Context, body []byte) ([]byte, er
 	if err := r.Err(); err != nil {
 		return nil, CodedError(CodeInvalid, "%v", err)
 	}
+	src := s.store
 	if !s.ownsEntry(parent) {
-		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+		// Replica-served path walk: resolve as many components as the
+		// warm replica holds, but report misses as not-owner (the replica
+		// is never authoritative for negatives).
+		rs := s.replicaStore(parent)
+		if rs == nil {
+			return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+		}
+		chain, err := s.lookupPathOn(rs, parent, names)
+		if err != nil {
+			return nil, err
+		}
+		s.reg.Counter("replica.read.served").Inc()
+		return encodeInodesResp(chain), nil
 	}
 	cur := parent
 	var chain []*namespace.Inode
-	for _, name := range names {
-		in, found, err := s.store.Lookup(cur, name)
+	for i, name := range names {
+		in, found, err := src.Lookup(cur, name)
 		if err != nil {
 			return nil, err
 		}
@@ -458,6 +513,13 @@ func (s *Service) handleLookupPath(ctx context.Context, body []byte) ([]byte, er
 			return nil, CodedError(CodeNoEnt, "%q not in dir %d", name, cur)
 		}
 		s.recordLookup(cur)
+		if i == len(names)-1 && in.Type != namespace.TypeFake {
+			// The terminal component is the operation's target: a stat
+			// of /a/b/c is a read against directory /a/b, exactly how the
+			// simulator's Data Collector tallies it. Intermediate hops
+			// stay pure traversals (the Through counter above).
+			s.recordRead(cur, 0)
+		}
 		chain = append(chain, in)
 		if in.Type == namespace.TypeFake || !in.IsDir() {
 			break
@@ -468,6 +530,33 @@ func (s *Service) handleLookupPath(ctx context.Context, body []byte) ([]byte, er
 		return nil, CodedError(CodeNoEnt, "%q not in dir %d", names[0], parent)
 	}
 	return encodeInodesResp(chain), nil
+}
+
+// lookupPathOn walks names on a warm replica store. A miss on the first
+// component maps to not-owner — within the staleness bound the entry may
+// exist on the owner but not here yet — and a later miss truncates the
+// chain so the client resumes at the owner.
+func (s *Service) lookupPathOn(rs *Store, parent namespace.Ino, names []string) ([]*namespace.Inode, error) {
+	cur := parent
+	var chain []*namespace.Inode
+	for _, name := range names {
+		in, found, err := rs.Lookup(cur, name)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			break
+		}
+		chain = append(chain, in)
+		if in.Type == namespace.TypeFake || !in.IsDir() {
+			break
+		}
+		cur = in.Ino
+	}
+	if len(chain) == 0 {
+		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+	}
+	return chain, nil
 }
 
 func (s *Service) handleGetattr(ctx context.Context, body []byte) ([]byte, error) {
@@ -481,6 +570,12 @@ func (s *Service) handleGetattr(ctx context.Context, body []byte) ([]byte, error
 		return nil, err
 	}
 	if !found {
+		if rs := s.replicaStore(ino); rs != nil {
+			if rin, rfound, rerr := rs.Getattr(ino); rerr == nil && rfound {
+				s.reg.Counter("replica.read.served").Inc()
+				return encodeInodeResp(rin), nil
+			}
+		}
 		return nil, CodedError(CodeNotOwner, "ino %d not on MDS %d", ino, s.ID)
 	}
 	s.recordRead(in.Parent, 0)
@@ -598,6 +693,12 @@ func (s *Service) handleReaddir(ctx context.Context, body []byte) ([]byte, error
 		return nil, CodedError(CodeInvalid, "%v", err)
 	}
 	if !s.ownsEntry(ino) {
+		if rs := s.replicaStore(ino); rs != nil {
+			if children, rerr := rs.ReadDir(ino); rerr == nil {
+				s.reg.Counter("replica.read.served").Inc()
+				return encodeInodesResp(children), nil
+			}
+		}
 		return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", ino, s.ID)
 	}
 	children, err := s.store.ReadDir(ino)
@@ -960,11 +1061,19 @@ func (s *Service) handleGetMap(body []byte) ([]byte, error) {
 	for ino, mds := range s.pins {
 		pins = append(pins, PinEntry{Ino: ino, MDS: mds})
 	}
-	return EncodeMap(s.mapVersion, pins), nil
+	return EncodeMap(s.mapVersion, pins, s.reps...), nil
+}
+
+// ReplicaEntries returns the replica table of the map this MDS currently
+// serves (server wiring reconciles receiver-side units against it).
+func (s *Service) ReplicaEntries() []ReplicaMapEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ReplicaMapEntry(nil), s.reps...)
 }
 
 func (s *Service) handleSetMap(body []byte) ([]byte, error) {
-	version, pins, err := DecodeMap(body)
+	version, pins, reps, err := DecodeMapFull(body)
 	if err != nil {
 		return nil, CodedError(CodeInvalid, "%v", err)
 	}
@@ -978,6 +1087,7 @@ func (s *Service) handleSetMap(body []byte) ([]byte, error) {
 	for _, p := range pins {
 		s.pins[p.Ino] = p.MDS
 	}
+	s.reps = reps
 	s.mu.Unlock()
 	// Persist so a restarted MDS still serves the latest map.
 	if err := s.store.SavePinMap(body); err != nil {

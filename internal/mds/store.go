@@ -621,6 +621,44 @@ func (s *Store) CollectSubtree(root namespace.Ino) ([]*namespace.Inode, error) {
 	return out, nil
 }
 
+// SnapshotSubtree streams the encoded (key, value) pairs of the subtree
+// rooted at root to emit, in breadth-first order — the bootstrap export
+// of a subtree replication unit. Unlike CollectSubtree it does not
+// require a quiesced shard: each directory is read under its stripe, and
+// mutations racing the walk are caught by the replication tail (replay
+// is idempotent, and the shipper buffers the tail across the export).
+// Returning false from emit aborts the walk.
+func (s *Store) SnapshotSubtree(root namespace.Ino, emit func(k, v []byte) bool) error {
+	rootIn, ok, err := s.Getattr(root)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("mds: subtree root %d not on this shard", root)
+	}
+	if !emit(namespace.EncodeKey(rootIn.Parent, rootIn.Name), namespace.EncodeInode(rootIn)) {
+		return nil
+	}
+	queue := []namespace.Ino{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		children, err := s.ReadDir(cur)
+		if err != nil {
+			return err
+		}
+		for _, in := range children {
+			if !emit(namespace.EncodeKey(in.Parent, in.Name), namespace.EncodeInode(in)) {
+				return nil
+			}
+			if in.IsDir() {
+				queue = append(queue, in.Ino)
+			}
+		}
+	}
+	return nil
+}
+
 // RemoveSubtree deletes every inode of the subtree from this shard (after
 // a successful migration hand-off). The subtree root's own dirent is
 // removed as well.

@@ -1,19 +1,28 @@
 // Package replication implements primary–backup replication for the
-// OrigamiFS metadata servers: each MDS (the primary for its own shard)
-// streams its kvstore WAL records to a backup MDS over the existing RPC
+// OrigamiFS metadata servers. The granularity of replication is a
+// *unit*: unit 0 is the whole shard store (the ring backup every MDS
+// ships to its neighbour — the failover path), and any other unit id is
+// the root inode of a subtree whose mutations are fanned out to N read
+// replicas (the hot-directory mitigation path). A unit's primary streams
+// its kvstore WAL records to each replica host over the existing RPC
 // layer, where a Receiver replays them into a warm replica mds.Store. A
-// fresh or lagging backup first catches up from a full-state snapshot,
-// then switches to tail streaming. On failover the coordinator promotes
-// the backup: the replica is absorbed into the promotee's serving store
-// and the cluster map is repointed at it.
+// fresh or lagging replica first catches up from a snapshot of the
+// unit's state, then switches to tail streaming. On failover the
+// coordinator promotes a unit-0 backup: the replica is absorbed into the
+// promotee's serving store and the cluster map is repointed at it.
+// Subtree units are never promoted — they only serve bounded-staleness
+// reads.
 //
 // The shipping protocol is a single-writer stream identified by a
-// (primary, session) pair. Sessions restart from scratch — a new session
-// always begins with a snapshot — and records within a session carry
-// densely increasing sequence numbers, so the receiver can detect any
-// gap and force a resync. Replay is idempotent (last-writer-wins puts,
-// no-op deletes of absent keys), which lets a snapshot overlap the tail
-// that accumulated while it was exported.
+// (primary, unit, session) tuple. Sessions restart from scratch — a new
+// session always begins with a snapshot — and records within a session
+// carry densely increasing sequence numbers, so the receiver can detect
+// any gap and force a resync. Replay is idempotent (last-writer-wins
+// puts, no-op deletes of absent keys), which lets a snapshot overlap the
+// tail that accumulated while it was exported. Appends additionally
+// carry the primary's head sequence (and double as keepalives when
+// empty), giving the receiver the lag and age bounds its staleness check
+// needs.
 package replication
 
 import (
@@ -70,22 +79,37 @@ type Record struct {
 	Mut kvstore.Mutation
 }
 
-func encodeSnapBegin(primary int, session uint64) []byte {
+// streamID names one replication stream on the wire: the shipping MDS
+// and the unit it ships (0 = whole store, else the subtree root inode).
+type streamID struct {
+	Primary int
+	Unit    uint64
+}
+
+func (w2 *streamID) encode(w *rpc.Wire) { w.U32(uint32(w2.Primary)).U64(w2.Unit) }
+
+func decodeStreamID(r *rpc.Reader) streamID {
+	return streamID{Primary: int(r.U32()), Unit: r.U64()}
+}
+
+func encodeSnapBegin(id streamID, session uint64) []byte {
 	var w rpc.Wire
-	w.U32(uint32(primary)).U64(session)
+	id.encode(&w)
+	w.U64(session)
 	return w.Bytes()
 }
 
-func decodeSnapBegin(body []byte) (primary int, session uint64, err error) {
+func decodeSnapBegin(body []byte) (id streamID, session uint64, err error) {
 	r := rpc.NewReader(body)
-	primary = int(r.U32())
+	id = decodeStreamID(r)
 	session = r.U64()
-	return primary, session, r.Err()
+	return id, session, r.Err()
 }
 
-func encodeSnapChunk(primary int, session uint64, pairs []kvstore.Mutation) []byte {
+func encodeSnapChunk(id streamID, session uint64, pairs []kvstore.Mutation) []byte {
 	var w rpc.Wire
-	w.U32(uint32(primary)).U64(session).U32(uint32(len(pairs)))
+	id.encode(&w)
+	w.U64(session).U32(uint32(len(pairs)))
 	for _, p := range pairs {
 		w.Blob(p.Key)
 		w.Blob(p.Value)
@@ -93,9 +117,9 @@ func encodeSnapChunk(primary int, session uint64, pairs []kvstore.Mutation) []by
 	return w.Bytes()
 }
 
-func decodeSnapChunk(body []byte) (primary int, session uint64, pairs []kvstore.Mutation, err error) {
+func decodeSnapChunk(body []byte) (id streamID, session uint64, pairs []kvstore.Mutation, err error) {
 	r := rpc.NewReader(body)
-	primary = int(r.U32())
+	id = decodeStreamID(r)
 	session = r.U64()
 	n := int(r.U32())
 	pairs = make([]kvstore.Mutation, 0, n)
@@ -104,27 +128,32 @@ func decodeSnapChunk(body []byte) (primary int, session uint64, pairs []kvstore.
 		v := r.Blob()
 		pairs = append(pairs, kvstore.Mutation{Key: k, Value: v})
 	}
-	return primary, session, pairs, r.Err()
+	return id, session, pairs, r.Err()
 }
 
-func encodeSnapEnd(primary int, session, baseSeq uint64) []byte {
+func encodeSnapEnd(id streamID, session, baseSeq uint64) []byte {
 	var w rpc.Wire
-	w.U32(uint32(primary)).U64(session).U64(baseSeq)
+	id.encode(&w)
+	w.U64(session).U64(baseSeq)
 	return w.Bytes()
 }
 
-func decodeSnapEnd(body []byte) (primary int, session, baseSeq uint64, err error) {
+func decodeSnapEnd(body []byte) (id streamID, session, baseSeq uint64, err error) {
 	r := rpc.NewReader(body)
-	primary = int(r.U32())
+	id = decodeStreamID(r)
 	session = r.U64()
 	baseSeq = r.U64()
-	return primary, session, baseSeq, r.Err()
+	return id, session, baseSeq, r.Err()
 }
 
-func encodeAppend(primary int, session uint64, recs []Record) []byte {
+// encodeAppend carries a (possibly empty) record batch plus the
+// primary's head sequence. An empty batch is a keepalive: it refreshes
+// the receiver's head/age view without extending the stream.
+func encodeAppend(id streamID, session, head, fromSeq uint64, recs []Record) []byte {
 	var w rpc.Wire
-	w.U32(uint32(primary)).U64(session)
-	w.U64(recs[0].Seq)
+	id.encode(&w)
+	w.U64(session).U64(head)
+	w.U64(fromSeq)
 	w.U32(uint32(len(recs)))
 	for _, rec := range recs {
 		if rec.Mut.Tombstone {
@@ -138,10 +167,11 @@ func encodeAppend(primary int, session uint64, recs []Record) []byte {
 	return w.Bytes()
 }
 
-func decodeAppend(body []byte) (primary int, session, fromSeq uint64, muts []kvstore.Mutation, err error) {
+func decodeAppend(body []byte) (id streamID, session, head, fromSeq uint64, muts []kvstore.Mutation, err error) {
 	r := rpc.NewReader(body)
-	primary = int(r.U32())
+	id = decodeStreamID(r)
 	session = r.U64()
+	head = r.U64()
 	fromSeq = r.U64()
 	n := int(r.U32())
 	muts = make([]kvstore.Mutation, 0, n)
@@ -154,7 +184,7 @@ func decodeAppend(body []byte) (primary int, session, fromSeq uint64, muts []kvs
 		}
 		muts = append(muts, kvstore.Mutation{Key: k, Value: v, Tombstone: tomb})
 	}
-	return primary, session, fromSeq, muts, r.Err()
+	return id, session, head, fromSeq, muts, r.Err()
 }
 
 func encodeAppliedResp(applied uint64) []byte {

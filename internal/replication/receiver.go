@@ -5,48 +5,63 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"origami/internal/kvstore"
 	"origami/internal/mds"
+	"origami/internal/namespace"
 	"origami/internal/rpc"
 	"origami/internal/telemetry"
 )
 
-// Receiver is the backup side of replication: it hosts one warm replica
-// mds.Store per primary it protects, replays shipped snapshot chunks and
-// WAL records into it, and — on coordinator failover — absorbs a replica
-// into the host MDS's own serving store (promotion).
+// Receiver is the replica side of replication: it hosts one warm replica
+// mds.Store per (primary, unit) stream it protects, replays shipped
+// snapshot chunks and WAL records into it, and — on coordinator failover
+// — absorbs a whole-store (unit 0) replica into the host MDS's own
+// serving store (promotion). Subtree units are never promoted; they
+// exist to serve bounded-staleness reads via ReadReplica.
 //
 // A receiver registers its handlers on the host MDS's RPC server, so
 // replication shares the data-plane connections, fault injection, and
 // telemetry of the metadata protocol.
 type Receiver struct {
 	hostID  int
-	dir     string // replica stores live at dir/replica-<primary>
+	dir     string // replica stores live at dir/replica-<primary>[-u<unit>]
 	serving *mds.Store
 	kvOpts  kvstore.Options
 	reg     *telemetry.Registry
 	log     *telemetry.Logger
 
+	// MaxReadLag and MaxReadAge bound the staleness a subtree replica may
+	// serve reads at: the replica must be within MaxReadLag records of
+	// the primary's head AND have heard from the primary (append or
+	// keepalive) within MaxReadAge. Outside either bound ReadReplica
+	// returns nil and the client falls back to the owner.
+	MaxReadLag uint64
+	MaxReadAge time.Duration
+
 	mu       sync.Mutex
-	replicas map[int]*replica
+	replicas map[streamID]*replica
 	closed   bool
 
 	recordsC    *telemetry.Counter
 	snapshotsC  *telemetry.Counter
 	promotionsC *telemetry.Counter
 	gapsC       *telemetry.Counter
+	staleC      *telemetry.Counter
 }
 
-// replica is the state of one protected primary. All fields are guarded
+// replica is the state of one protected stream. All fields are guarded
 // by the receiver mutex; the shipper serialises its stream, so holding
 // it across the store apply costs nothing in the common case.
 type replica struct {
-	store   *mds.Store
-	dir     string
-	session uint64
-	applied uint64 // highest contiguous shipped seq applied
-	live    bool   // snapshot sealed; tail appends accepted
+	store      *mds.Store
+	dir        string
+	session    uint64
+	applied    uint64 // highest contiguous shipped seq applied
+	head       uint64 // primary's last assigned seq, per latest append
+	lastAppend time.Time
+	live       bool // snapshot sealed; tail appends accepted
 }
 
 // NewReceiver creates a receiver for the MDS hostID whose serving store
@@ -64,11 +79,14 @@ func NewReceiver(hostID int, dir string, serving *mds.Store, kvOpts kvstore.Opti
 		kvOpts:      kvOpts,
 		reg:         reg,
 		log:         telemetry.L("repl").With("mds", hostID),
-		replicas:    make(map[int]*replica),
+		MaxReadLag:  1024,
+		MaxReadAge:  2 * time.Second,
+		replicas:    make(map[streamID]*replica),
 		recordsC:    reg.Counter("repl.receiver.records_applied"),
 		snapshotsC:  reg.Counter("repl.receiver.snapshots_installed"),
 		promotionsC: reg.Counter("repl.receiver.promotions"),
 		gapsC:       reg.Counter("repl.receiver.gaps"),
+		staleC:      reg.Counter("replica.read.stale_rejects"),
 	}
 }
 
@@ -82,12 +100,24 @@ func (rc *Receiver) Register(srv *rpc.Server) {
 	srv.Handle(MethodReplStatus, rc.handleReplStatus)
 }
 
-func (rc *Receiver) appliedGauge(primary int) *telemetry.Gauge {
-	return rc.reg.Gauge(fmt.Sprintf("repl.receiver.applied_seq.p%d", primary))
+func (rc *Receiver) appliedGauge(id streamID) *telemetry.Gauge {
+	if id.Unit == 0 {
+		return rc.reg.Gauge(fmt.Sprintf("repl.receiver.applied_seq.p%d", id.Primary))
+	}
+	return rc.reg.Gauge(fmt.Sprintf("replica.receiver.applied_seq.u%d", id.Unit))
+}
+
+// replicaDirName names a replica store directory; unit 0 keeps the
+// pre-fan-out name so ring-backup layouts are unchanged on disk.
+func replicaDirName(id streamID) string {
+	if id.Unit == 0 {
+		return fmt.Sprintf("replica-%d", id.Primary)
+	}
+	return fmt.Sprintf("replica-%d-u%d", id.Primary, id.Unit)
 }
 
 func (rc *Receiver) handleSnapBegin(body []byte) ([]byte, error) {
-	primary, session, err := decodeSnapBegin(body)
+	id, session, err := decodeSnapBegin(body)
 	if err != nil {
 		return nil, err
 	}
@@ -96,45 +126,46 @@ func (rc *Receiver) handleSnapBegin(body []byte) ([]byte, error) {
 	if rc.closed {
 		return nil, fmt.Errorf("replication: receiver closed")
 	}
-	rep, ok := rc.replicas[primary]
+	rep, ok := rc.replicas[id]
 	if ok {
 		// Resync: reuse the open store, dropping its contents.
 		if err := rep.store.WipeForInstall(); err != nil {
 			return nil, err
 		}
 	} else {
-		dir := filepath.Join(rc.dir, fmt.Sprintf("replica-%d", primary))
+		dir := filepath.Join(rc.dir, replicaDirName(id))
 		// Leftovers from a previous process are stale — a new session
 		// always starts from an empty replica.
 		if err := os.RemoveAll(dir); err != nil {
 			return nil, err
 		}
-		st, err := mds.OpenStore(dir, primary, rc.kvOpts)
+		st, err := mds.OpenStore(dir, id.Primary, rc.kvOpts)
 		if err != nil {
 			return nil, err
 		}
 		rep = &replica{store: st, dir: dir}
-		rc.replicas[primary] = rep
+		rc.replicas[id] = rep
 	}
 	rep.session = session
 	rep.applied = 0
+	rep.head = 0
 	rep.live = false
-	rc.appliedGauge(primary).Set(0)
-	rc.log.Info("replica session started", "primary", primary, "session", session)
+	rc.appliedGauge(id).Set(0)
+	rc.log.Info("replica session started", "primary", id.Primary, "unit", id.Unit, "session", session)
 	return nil, nil
 }
 
 func (rc *Receiver) handleSnapChunk(body []byte) ([]byte, error) {
-	primary, session, pairs, err := decodeSnapChunk(body)
+	id, session, pairs, err := decodeSnapChunk(body)
 	if err != nil {
 		return nil, err
 	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	rep, ok := rc.replicas[primary]
+	rep, ok := rc.replicas[id]
 	if !ok || rep.session != session || rep.live {
 		rc.gapsC.Inc()
-		return nil, mds.CodedError(CodeGap, "no open snapshot for primary %d session %d", primary, session)
+		return nil, mds.CodedError(CodeGap, "no open snapshot for primary %d unit %d session %d", id.Primary, id.Unit, session)
 	}
 	if err := rep.store.ApplyReplicated(pairs); err != nil {
 		return nil, err
@@ -143,43 +174,58 @@ func (rc *Receiver) handleSnapChunk(body []byte) ([]byte, error) {
 }
 
 func (rc *Receiver) handleSnapEnd(body []byte) ([]byte, error) {
-	primary, session, baseSeq, err := decodeSnapEnd(body)
+	id, session, baseSeq, err := decodeSnapEnd(body)
 	if err != nil {
 		return nil, err
 	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	rep, ok := rc.replicas[primary]
+	rep, ok := rc.replicas[id]
 	if !ok || rep.session != session || rep.live {
 		rc.gapsC.Inc()
-		return nil, mds.CodedError(CodeGap, "no open snapshot for primary %d session %d", primary, session)
+		return nil, mds.CodedError(CodeGap, "no open snapshot for primary %d unit %d session %d", id.Primary, id.Unit, session)
 	}
 	rep.live = true
 	rep.applied = baseSeq
+	rep.head = baseSeq
+	rep.lastAppend = time.Now()
 	rc.snapshotsC.Inc()
-	rc.appliedGauge(primary).Set(float64(baseSeq))
-	rc.log.Info("replica snapshot sealed", "primary", primary, "base_seq", baseSeq)
+	rc.appliedGauge(id).Set(float64(baseSeq))
+	rc.log.Info("replica snapshot sealed", "primary", id.Primary, "unit", id.Unit, "base_seq", baseSeq)
 	return encodeAppliedResp(rep.applied), nil
 }
 
 func (rc *Receiver) handleAppend(body []byte) ([]byte, error) {
-	primary, session, fromSeq, muts, err := decodeAppend(body)
+	id, session, head, fromSeq, muts, err := decodeAppend(body)
 	if err != nil {
 		return nil, err
 	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	rep, ok := rc.replicas[primary]
-	if !ok || !rep.live || rep.session != session || fromSeq != rep.applied+1 {
+	rep, ok := rc.replicas[id]
+	if !ok || !rep.live || rep.session != session {
 		rc.gapsC.Inc()
-		return nil, mds.CodedError(CodeGap, "append does not extend replica of primary %d (session %d from %d)", primary, session, fromSeq)
+		return nil, mds.CodedError(CodeGap, "append does not extend replica of primary %d unit %d (session %d from %d)", id.Primary, id.Unit, session, fromSeq)
+	}
+	if len(muts) == 0 {
+		// Keepalive: refresh the head/age view without extending the
+		// stream (no contiguity demanded of an empty batch).
+		rep.head = head
+		rep.lastAppend = time.Now()
+		return encodeAppliedResp(rep.applied), nil
+	}
+	if fromSeq != rep.applied+1 {
+		rc.gapsC.Inc()
+		return nil, mds.CodedError(CodeGap, "append does not extend replica of primary %d unit %d (session %d from %d)", id.Primary, id.Unit, session, fromSeq)
 	}
 	if err := rep.store.ApplyReplicated(muts); err != nil {
 		return nil, err
 	}
 	rep.applied += uint64(len(muts))
+	rep.head = head
+	rep.lastAppend = time.Now()
 	rc.recordsC.Add(int64(len(muts)))
-	rc.appliedGauge(primary).Set(float64(rep.applied))
+	rc.appliedGauge(id).Set(float64(rep.applied))
 	return encodeAppliedResp(rep.applied), nil
 }
 
@@ -189,9 +235,10 @@ func (rc *Receiver) handlePromote(body []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	id := streamID{Primary: primary} // only whole-store units promote
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	rep, ok := rc.replicas[primary]
+	rep, ok := rc.replicas[id]
 	if !ok {
 		return nil, mds.CodedError(mds.CodeInvalid, "no replica of primary %d on mds %d", primary, rc.hostID)
 	}
@@ -202,11 +249,11 @@ func (rc *Receiver) handlePromote(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replication: absorb replica of %d: %w", primary, err)
 	}
-	delete(rc.replicas, primary)
+	delete(rc.replicas, id)
 	rep.store.Close()
 	os.RemoveAll(rep.dir)
 	rc.promotionsC.Inc()
-	rc.appliedGauge(primary).Set(0)
+	rc.appliedGauge(id).Set(0)
 	rc.log.Info("replica promoted", "primary", primary, "absorbed", absorbed, "applied_seq", rep.applied)
 	var w rpc.Wire
 	w.U64(uint64(absorbed))
@@ -222,7 +269,7 @@ func (rc *Receiver) handleReplStatus(body []byte) ([]byte, error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	var w rpc.Wire
-	rep, ok := rc.replicas[primary]
+	rep, ok := rc.replicas[streamID{Primary: primary}]
 	if !ok {
 		w.U8(0).U8(0).U64(0).U64(0)
 		return w.Bytes(), nil
@@ -235,25 +282,86 @@ func (rc *Receiver) handleReplStatus(body []byte) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
+// ReadReplica returns the warm store of a subtree replica cleared to
+// serve a read of ino: the replica is live, contains ino, is within
+// MaxReadLag records of the primary's head, and heard from the primary
+// within MaxReadAge. Returns nil when no hosted unit qualifies — the
+// caller then redirects the client to the owner.
+func (rc *Receiver) ReadReplica(ino namespace.Ino) *mds.Store {
+	now := time.Now()
+	rc.mu.Lock()
+	var fresh []*mds.Store
+	stale := false
+	for id, rep := range rc.replicas {
+		if id.Unit == 0 || !rep.live {
+			continue
+		}
+		if rep.head-rep.applied > rc.MaxReadLag || now.Sub(rep.lastAppend) > rc.MaxReadAge {
+			stale = true
+			continue
+		}
+		fresh = append(fresh, rep.store)
+	}
+	rc.mu.Unlock()
+	// Membership probes happen off the receiver lock: HasIno takes the
+	// replica store's own index lock, which a concurrent apply also
+	// takes, and holding both here would serialise reads behind the
+	// stream.
+	for _, st := range fresh {
+		if st.HasIno(ino) {
+			return st
+		}
+	}
+	if stale {
+		rc.staleC.Inc()
+	}
+	return nil
+}
+
+// DropUnit closes and removes the replica of one subtree unit (demotion
+// or migration of the subtree). Unknown units are a no-op. The next
+// session for the unit bootstraps from scratch.
+func (rc *Receiver) DropUnit(primary int, unit uint64) {
+	id := streamID{Primary: primary, Unit: unit}
+	rc.mu.Lock()
+	rep, ok := rc.replicas[id]
+	if ok {
+		delete(rc.replicas, id)
+	}
+	rc.mu.Unlock()
+	if !ok {
+		return
+	}
+	rep.store.Close()
+	os.RemoveAll(rep.dir)
+	rc.appliedGauge(id).Set(0)
+	rc.log.Info("replica unit dropped", "primary", primary, "unit", unit)
+}
+
 // ReplicaStatus is one replica's state as reported on the admin surface.
 type ReplicaStatus struct {
 	Primary int    `json:"primary"`
+	Unit    uint64 `json:"unit,omitempty"`
 	Session uint64 `json:"session"`
 	Applied uint64 `json:"applied_seq"`
+	Head    uint64 `json:"head_seq"`
 	Live    bool   `json:"live"`
 	Inodes  int    `json:"inodes"`
 }
 
-// Status reports every hosted replica (admin /healthz).
+// Status reports every hosted replica (admin /healthz, origami-cli
+// replicas).
 func (rc *Receiver) Status() []ReplicaStatus {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	out := make([]ReplicaStatus, 0, len(rc.replicas))
-	for pid, rep := range rc.replicas {
+	for id, rep := range rc.replicas {
 		out = append(out, ReplicaStatus{
-			Primary: pid,
+			Primary: id.Primary,
+			Unit:    id.Unit,
 			Session: rep.session,
 			Applied: rep.applied,
+			Head:    rep.head,
 			Live:    rep.live,
 			Inodes:  rep.store.Count(),
 		})
@@ -261,11 +369,22 @@ func (rc *Receiver) Status() []ReplicaStatus {
 	return out
 }
 
-// ReplicaStore exposes a hosted replica's store (tests), or nil.
+// ReplicaStore exposes a hosted whole-store replica's store (tests), or
+// nil.
 func (rc *Receiver) ReplicaStore(primary int) *mds.Store {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	if rep, ok := rc.replicas[primary]; ok {
+	if rep, ok := rc.replicas[streamID{Primary: primary}]; ok {
+		return rep.store
+	}
+	return nil
+}
+
+// UnitStore exposes a hosted subtree unit's store (tests), or nil.
+func (rc *Receiver) UnitStore(primary int, unit uint64) *mds.Store {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rep, ok := rc.replicas[streamID{Primary: primary, Unit: unit}]; ok {
 		return rep.store
 	}
 	return nil
@@ -280,11 +399,11 @@ func (rc *Receiver) Close() error {
 	}
 	rc.closed = true
 	var err error
-	for pid, rep := range rc.replicas {
+	for id, rep := range rc.replicas {
 		if cerr := rep.store.Close(); err == nil {
 			err = cerr
 		}
-		delete(rc.replicas, pid)
+		delete(rc.replicas, id)
 	}
 	return err
 }

@@ -19,6 +19,19 @@ type Options struct {
 	Primary int
 	// Backup is the MDS id hosting the replica.
 	Backup int
+	// Unit identifies what is shipped: 0 replicates the whole store (the
+	// ring backup), any other value is the root inode of a subtree
+	// replicated for reads. The receiver keys its replica stores by
+	// (primary, unit).
+	Unit uint64
+	// Snapshot overrides the bootstrap export (nil = the whole store via
+	// SnapshotPairs). Subtree units export only their subtree.
+	Snapshot func(emit func(k, v []byte) bool) error
+	// KeepaliveEvery, when > 0, sends an empty Append at this interval
+	// while the stream is idle, refreshing the receiver's view of the
+	// primary's head (its staleness age bound). Subtree read units need
+	// it; the ring backup does not.
+	KeepaliveEvery time.Duration
 	// Sync makes every local write wait until its record is applied on
 	// the backup before it is acknowledged (the -repl-sync mode: zero
 	// acknowledged-write loss across a primary crash). Default false —
@@ -71,15 +84,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Shipper is the primary side of replication. It taps the serving
-// store's kvstore commit hook — observing every mutation in WAL order —
-// buffers the records, and a background sender streams them to the
-// backup in bounded batches. A new (or retargeted, or gapped, or
-// overflowed) stream starts with a full snapshot: the shipper exports
-// the store, ships it chunk-wise under a fresh session, and resumes tail
-// appends from the sequence number the snapshot covers. In Sync mode the
-// hook hands each writer a wait that blocks until the backup has applied
-// its record (or SyncTimeout).
+// Shipper is the primary side of one replication stream: the records of
+// one unit flowing to one replica host. It observes the unit's mutations
+// in WAL order — either by tapping the store's kvstore commit hook
+// directly (Start; the classic whole-store ring backup) or by being fed
+// pre-filtered batches from a Fanout (StartFed; one stream per
+// (unit, replica)) — buffers them, and a background sender streams them
+// to the backup in bounded batches. A new (or retargeted, or gapped, or
+// overflowed) stream starts with a snapshot: the shipper exports the
+// unit's state, ships it chunk-wise under a fresh session, and resumes
+// tail appends from the sequence number the snapshot covers. In Sync
+// mode the hook hands each writer a wait that blocks until the backup
+// has applied its record (or SyncTimeout).
 type Shipper struct {
 	store *mds.Store
 	opts  Options
@@ -95,8 +111,10 @@ type Shipper struct {
 	sessGen  uint64 // feeds session ids
 	backup   int
 	needSnap bool
+	pingDue  bool // keepalive timer fired; send an empty append when idle
 	stopped  bool
 	dropped  uint64 // records dropped to overflow (async loss exposure)
+	ownsHook bool   // Start installed the store's commit hook (vs Fanout-fed)
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -113,10 +131,22 @@ type Shipper struct {
 }
 
 // NewShipper creates a shipper for store. Call Start to install the
-// commit hook and begin streaming.
+// commit hook and begin streaming, or StartFed when a Fanout feeds it.
 func NewShipper(store *mds.Store, opts Options) *Shipper {
 	opts = opts.withDefaults()
+	if opts.Snapshot == nil {
+		opts.Snapshot = store.SnapshotPairs
+	}
 	reg := opts.Registry
+	// The ring backup (unit 0) keeps its historical repl.shipper.* metric
+	// names; subtree read units get per-unit replica.stream.* names so
+	// several streams can share one registry.
+	name := func(leaf string) string {
+		if opts.Unit == 0 {
+			return "repl.shipper." + leaf
+		}
+		return fmt.Sprintf("replica.stream.%s.u%d.b%d", leaf, opts.Unit, opts.Backup)
+	}
 	sh := &Shipper{
 		store:        store,
 		opts:         opts,
@@ -125,15 +155,15 @@ func NewShipper(store *mds.Store, opts Options) *Shipper {
 		backup:       opts.Backup,
 		needSnap:     true, // a new stream always starts with a snapshot
 		stopCh:       make(chan struct{}),
-		backlogG:     reg.Gauge("repl.shipper.backlog"),
-		lastSeqG:     reg.Gauge("repl.shipper.last_seq"),
-		ackedG:       reg.Gauge("repl.shipper.acked_seq"),
-		lagG:         reg.Gauge("repl.shipper.lag"),
-		shippedC:     reg.Counter("repl.shipper.shipped_records"),
-		resyncC:      reg.Counter("repl.shipper.resyncs"),
-		syncTimeoutC: reg.Counter("repl.shipper.sync_timeouts"),
-		shipErrC:     reg.Counter("repl.shipper.ship_errors"),
-		droppedC:     reg.Counter("repl.shipper.dropped_records"),
+		backlogG:     reg.Gauge(name("backlog")),
+		lastSeqG:     reg.Gauge(name("last_seq")),
+		ackedG:       reg.Gauge(name("acked_seq")),
+		lagG:         reg.Gauge(name("lag")),
+		shippedC:     reg.Counter(name("shipped_records")),
+		resyncC:      reg.Counter(name("resyncs")),
+		syncTimeoutC: reg.Counter(name("sync_timeouts")),
+		shipErrC:     reg.Counter(name("ship_errors")),
+		droppedC:     reg.Counter(name("dropped_records")),
 	}
 	sh.cond = sync.NewCond(&sh.mu)
 	// Seed sessions off the clock so a restarted primary never reuses a
@@ -145,15 +175,55 @@ func NewShipper(store *mds.Store, opts Options) *Shipper {
 // Start installs the commit hook and launches the sender. The first
 // thing the sender does is bootstrap the backup with a snapshot.
 func (sh *Shipper) Start() {
+	sh.mu.Lock()
+	sh.ownsHook = true
+	sh.mu.Unlock()
 	sh.store.SetCommitHook(sh.tap)
-	sh.wg.Add(1)
-	go sh.run()
+	sh.startSender()
 }
 
-// Stop uninstalls the hook, releases any sync waiters (with an error),
-// and waits for the sender to exit.
+// StartFed launches the sender without touching the store's commit-hook
+// slot: the owning Fanout holds the hook and feeds this shipper
+// pre-filtered batches via Feed.
+func (sh *Shipper) StartFed() { sh.startSender() }
+
+func (sh *Shipper) startSender() {
+	sh.wg.Add(1)
+	go sh.run()
+	if sh.opts.KeepaliveEvery > 0 {
+		sh.wg.Add(1)
+		go sh.keepaliveLoop()
+	}
+}
+
+// keepaliveLoop marks an idle-stream ping due at each tick; the sender
+// turns it into an empty Append carrying the current head.
+func (sh *Shipper) keepaliveLoop() {
+	defer sh.wg.Done()
+	t := time.NewTicker(sh.opts.KeepaliveEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-sh.stopCh:
+			return
+		case <-t.C:
+			sh.mu.Lock()
+			sh.pingDue = true
+			sh.cond.Signal()
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Stop uninstalls the hook (when this shipper owns it), releases any
+// sync waiters (with an error), and waits for the sender to exit.
 func (sh *Shipper) Stop() {
-	sh.store.SetCommitHook(nil)
+	sh.mu.Lock()
+	owns := sh.ownsHook
+	sh.mu.Unlock()
+	if owns {
+		sh.store.SetCommitHook(nil)
+	}
 	sh.mu.Lock()
 	if sh.stopped {
 		sh.mu.Unlock()
@@ -182,6 +252,7 @@ func (sh *Shipper) Retarget(newBackup int) {
 // Status is a point-in-time view of the stream (admin /healthz, tests).
 type Status struct {
 	Primary  int    `json:"primary"`
+	Unit     uint64 `json:"unit,omitempty"`
 	Backup   int    `json:"backup"`
 	Sync     bool   `json:"sync"`
 	Session  uint64 `json:"session"`
@@ -199,6 +270,7 @@ func (sh *Shipper) Status() Status {
 	defer sh.mu.Unlock()
 	return Status{
 		Primary:  sh.opts.Primary,
+		Unit:     sh.opts.Unit,
 		Backup:   sh.backup,
 		Sync:     sh.opts.Sync,
 		Session:  sh.session,
@@ -211,11 +283,18 @@ func (sh *Shipper) Status() Status {
 	}
 }
 
-// tap is the kvstore commit hook: called under the DB write lock, in WAL
-// order, once per committed write (a batch is one call). It assigns
+// tap is the kvstore commit hook of a Start-ed (hook-owning) shipper.
+func (sh *Shipper) tap(ctx context.Context, muts []kvstore.Mutation) func() error {
+	return sh.Feed(ctx, muts)
+}
+
+// Feed ingests one committed batch in WAL order. It is called either as
+// the store's commit hook (whole-store shipper) or by the Fanout with
+// the batch already filtered to this unit's subtree — in both cases
+// under the DB write lock, so it must not take store locks. It assigns
 // sequence numbers, buffers the records, and in Sync mode returns the
 // wait the writer blocks on after releasing its locks.
-func (sh *Shipper) tap(ctx context.Context, muts []kvstore.Mutation) func() error {
+func (sh *Shipper) Feed(ctx context.Context, muts []kvstore.Mutation) func() error {
 	sh.mu.Lock()
 	if sh.stopped {
 		sh.mu.Unlock()
@@ -308,13 +387,29 @@ func (sh *Shipper) run() {
 	defer sh.wg.Done()
 	for {
 		sh.mu.Lock()
-		for !sh.stopped && !sh.needSnap && len(sh.buf) == 0 {
+		for !sh.stopped && !sh.needSnap && len(sh.buf) == 0 && !sh.pingDue {
 			sh.cond.Wait()
 		}
 		if sh.stopped {
 			sh.mu.Unlock()
 			return
 		}
+		if sh.pingDue && !sh.needSnap && len(sh.buf) == 0 {
+			// Idle keepalive: an empty append refreshing the receiver's
+			// head/age view. Errors are ignored — the next tick retries,
+			// and a gap answer just means a resync is already pending.
+			sh.pingDue = false
+			session := sh.session
+			backup := sh.backup
+			head := sh.lastSeq
+			from := sh.acked + 1
+			sh.mu.Unlock()
+			if session != 0 {
+				_, _ = sh.ship(backup, session, head, from, nil)
+			}
+			continue
+		}
+		sh.pingDue = false
 		if sh.needSnap {
 			// Open a fresh session. Everything assigned so far is in the
 			// store and therefore covered by the snapshot; the buffer
@@ -356,9 +451,10 @@ func (sh *Shipper) run() {
 		copy(recs, sh.buf[:n])
 		session := sh.session
 		backup := sh.backup
+		head := sh.lastSeq
 		sh.mu.Unlock()
 
-		applied, err := sh.ship(backup, session, recs)
+		applied, err := sh.ship(backup, session, head, recs[0].Seq, recs)
 		sh.mu.Lock()
 		if err == nil && sh.session == session {
 			// Pop exactly what we shipped — unless an overflow reset the
@@ -389,20 +485,24 @@ func (sh *Shipper) run() {
 	}
 }
 
+func (sh *Shipper) streamID() streamID {
+	return streamID{Primary: sh.opts.Primary, Unit: sh.opts.Unit}
+}
+
 // ship sends one Append batch and returns the backup's applied frontier.
-func (sh *Shipper) ship(backup int, session uint64, recs []Record) (uint64, error) {
+func (sh *Shipper) ship(backup int, session, head, fromSeq uint64, recs []Record) (uint64, error) {
 	cli, err := sh.opts.Dial(backup)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := cli.Call(MethodAppend, encodeAppend(sh.opts.Primary, session, recs))
+	resp, err := cli.Call(MethodAppend, encodeAppend(sh.streamID(), session, head, fromSeq, recs))
 	if err != nil {
 		return 0, err
 	}
 	return decodeAppliedResp(resp)
 }
 
-// bootstrap ships a full snapshot under a fresh session: SnapBegin,
+// bootstrap ships a unit snapshot under a fresh session: SnapBegin,
 // chunked pairs, SnapEnd carrying the base seq the tail resumes from.
 // The export is copied out under the store's read lock before any
 // network send, so writers are never blocked behind the backup.
@@ -411,11 +511,11 @@ func (sh *Shipper) bootstrap(backup int, session uint64, base uint64) error {
 	if err != nil {
 		return err
 	}
-	if _, err := cli.Call(MethodSnapBegin, encodeSnapBegin(sh.opts.Primary, session)); err != nil {
+	if _, err := cli.Call(MethodSnapBegin, encodeSnapBegin(sh.streamID(), session)); err != nil {
 		return err
 	}
 	var pairs []kvstore.Mutation
-	err = sh.store.SnapshotPairs(func(k, v []byte) bool {
+	err = sh.opts.Snapshot(func(k, v []byte) bool {
 		pairs = append(pairs, kvstore.Mutation{
 			Key:   append([]byte(nil), k...),
 			Value: append([]byte(nil), v...),
@@ -430,11 +530,11 @@ func (sh *Shipper) bootstrap(backup int, session uint64, base uint64) error {
 		if end > len(pairs) {
 			end = len(pairs)
 		}
-		if _, err := cli.Call(MethodSnapChunk, encodeSnapChunk(sh.opts.Primary, session, pairs[off:end])); err != nil {
+		if _, err := cli.Call(MethodSnapChunk, encodeSnapChunk(sh.streamID(), session, pairs[off:end])); err != nil {
 			return err
 		}
 	}
-	if _, err := cli.Call(MethodSnapEnd, encodeSnapEnd(sh.opts.Primary, session, base)); err != nil {
+	if _, err := cli.Call(MethodSnapEnd, encodeSnapEnd(sh.streamID(), session, base)); err != nil {
 		return err
 	}
 	return nil

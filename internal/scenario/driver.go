@@ -49,6 +49,14 @@ type flashCrowd struct {
 	until time.Time // zero = until the run ends
 }
 
+// hotPreFiles is how many stat targets engine.prepare seeds in each
+// flash-crowd directory; the crowd's read side cycles over them.
+const hotPreFiles = 8
+
+func hotPrePath(dir string, i int) string {
+	return fmt.Sprintf("%s/hot-pre-%02d", dir, i)
+}
+
 func newDriver(sc *Scenario, cl *server.Cluster, seed int64) (*driver, error) {
 	sdk, err := client.Dial(client.Config{
 		Addrs:        cl.Addrs,
@@ -174,8 +182,16 @@ func (d *driver) worker(w int) {
 				path := fmt.Sprintf("%s/hot-w%d-f%05d", fc.path, w, i)
 				err := d.trackCreate(path)
 				record(start, err)
+			} else if rnd.Intn(4) == 0 {
+				_, err := d.sdk.Readdir(fc.path)
+				record(start, err)
 			} else {
-				_, err := d.sdk.Stat(fc.path)
+				// Stat files *inside* the hot dir, not the dir itself: the
+				// read then counts against the hot subtree (a stat of /hot/f
+				// is a read on /hot) and, once the dir is replicated, the
+				// client can spread it — the parent resolves from cache and
+				// only the terminal lookup picks a read target.
+				_, err := d.sdk.Stat(hotPrePath(fc.path, rnd.Intn(hotPreFiles)))
 				record(start, err)
 			}
 			continue

@@ -33,11 +33,21 @@ type engine struct {
 // is still healthy: flash-crowd hot dirs and migration-storm subtrees.
 func (e *engine) prepare() error {
 	storm := 0
+	seeded := map[string]bool{}
 	for _, ev := range e.sc.Events {
 		switch ev.Action {
 		case ActFlashCrowd:
+			if seeded[ev.Path] {
+				continue
+			}
+			seeded[ev.Path] = true
 			if _, err := e.drv.mkdirAll(ev.Path); err != nil {
 				return fmt.Errorf("flash-crowd dir %s: %w", ev.Path, err)
+			}
+			for i := 0; i < hotPreFiles; i++ {
+				if _, err := e.drv.sdk.Create(hotPrePath(ev.Path, i)); err != nil {
+					return fmt.Errorf("flash-crowd pre-file %d in %s: %w", i, ev.Path, err)
+				}
 			}
 		case ActMigrationStorm:
 			storm += ev.Count

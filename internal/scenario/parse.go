@@ -31,7 +31,7 @@ func Parse(src string) (*Scenario, error) {
 	sc.Seed = d.i64(m, "seed")
 	sc.Duration = d.dur(m, "duration")
 	if fm := d.child(m, "fleet"); fm != nil {
-		d.strict(fm, "mds", "replication", "heartbeat", "balance-every", "call-timeout", "retrain-every", "backlog", "window")
+		d.strict(fm, "mds", "replication", "heartbeat", "balance-every", "call-timeout", "retrain-every", "backlog", "window", "read-replicas", "promote-reads")
 		sc.Fleet = FleetSpec{
 			MDS:          d.num(fm, "mds"),
 			Replication:  d.str(fm, "replication"),
@@ -41,6 +41,8 @@ func Parse(src string) (*Scenario, error) {
 			RetrainEvery: d.num(fm, "retrain-every"),
 			Backlog:      d.num(fm, "backlog"),
 			Window:       d.num(fm, "window"),
+			ReadReplicas: d.num(fm, "read-replicas"),
+			PromoteReads: d.num(fm, "promote-reads"),
 		}
 	}
 	if wm := d.child(m, "workload"); wm != nil {

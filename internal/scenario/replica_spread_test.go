@@ -1,0 +1,26 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosReadFlashCrowd runs the library's read-flash-crowd scenario
+// against a real cluster: a stat/readdir storm on one directory must
+// promote a read-replica unit, spread reads across the replica hosts,
+// lose no acked write, and demote the unit once the crowd passes. This
+// is the read-path counterpart to the kill/partition chaos scenarios.
+func TestChaosReadFlashCrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real cluster")
+	}
+	res, err := RunFile(filepath.Join("..", "..", "scenarios", "read-flash-crowd.yaml"), Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assertions {
+		if !a.Passed {
+			t.Errorf("assert FAIL %-14s %s", a.Kind, a.Detail)
+		}
+	}
+}

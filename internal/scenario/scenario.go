@@ -57,6 +57,14 @@ type FleetSpec struct {
 	// Backlog / Window tune the async shipper (0 = library defaults).
 	Backlog int
 	Window  int
+	// ReadReplicas > 0 enables the coordinator's subtree read-replica
+	// sweep with that fan-out (requires replication on: the fan-out rides
+	// the replication plane).
+	ReadReplicas int
+	// PromoteReads is the per-epoch subtree read count that promotes a
+	// directory (0 = library default, far too high for a short scenario —
+	// set it explicitly alongside ReadReplicas).
+	PromoteReads int
 }
 
 // WorkloadSpec describes the load offered while the timeline plays.
@@ -148,6 +156,7 @@ const (
 	AssertReplConverged = "repl-converged"   // every live shipper drains (Lag == 0) within Within
 	AssertP95LE         = "p95-le"           // workload p95 latency <= Dur
 	AssertAvailMin      = "availability-min" // acked/attempted >= Value (0..1; stress mode)
+	AssertReplicaSpread = "replica-spread"   // >= 1 unit promoted, replicas served >= Value reads, demoted again within Within
 )
 
 // StressSpec configures the virtual-clock large-fleet emulator.
@@ -183,7 +192,7 @@ var knownAsserts = map[string]bool{
 	AssertErrorsMax: true, AssertErrRateLE: true, AssertFailoversMin: true,
 	AssertFailoversMax: true, AssertMigrationsMin: true,
 	AssertMapConverged: true, AssertReplConverged: true, AssertP95LE: true,
-	AssertAvailMin: true,
+	AssertAvailMin: true, AssertReplicaSpread: true,
 }
 
 func (f *FleetSpec) withDefaults() {
@@ -289,6 +298,12 @@ func (sc *Scenario) Validate() error {
 	if f.Replication != "off" && f.MDS < 2 {
 		return fmt.Errorf("scenario %s: replication needs mds >= 2", sc.Name)
 	}
+	if f.ReadReplicas > 0 && f.Replication == "off" {
+		return fmt.Errorf("scenario %s: read-replicas needs replication on (the fan-out rides the replication plane)", sc.Name)
+	}
+	if f.ReadReplicas > 0 && f.ReadReplicas >= f.MDS {
+		return fmt.Errorf("scenario %s: read-replicas %d needs a fleet larger than fanout+owner", sc.Name, f.ReadReplicas)
+	}
 	switch sc.Workload.Kind {
 	case "mix", "trace-rw", "trace-ro", "trace-wi", "none":
 	default:
@@ -316,6 +331,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if (a.Kind == AssertNoAckedLoss || a.Kind == AssertBoundedLoss) && sc.Workload.Kind != "mix" {
 			return fmt.Errorf("scenario %s: %s needs the mix workload (it tracks acked creates)", sc.Name, a.Kind)
+		}
+		if a.Kind == AssertReplicaSpread && sc.Fleet.ReadReplicas == 0 {
+			return fmt.Errorf("scenario %s: replica-spread needs fleet read-replicas > 0", sc.Name)
 		}
 	}
 	return nil
@@ -390,7 +408,7 @@ func (a Assertion) validate(name string) error {
 		return fmt.Errorf("scenario %s: unknown assertion %q", name, a.Kind)
 	}
 	switch a.Kind {
-	case AssertMapConverged, AssertReplConverged:
+	case AssertMapConverged, AssertReplConverged, AssertReplicaSpread:
 		if a.Within <= 0 {
 			return fmt.Errorf("scenario %s: %s needs within > 0", name, a.Kind)
 		}
@@ -521,6 +539,12 @@ func (sc *Scenario) Encode() string {
 		}
 		if sc.Fleet.Window > 0 {
 			w("  window: %d", sc.Fleet.Window)
+		}
+		if sc.Fleet.ReadReplicas > 0 {
+			w("  read-replicas: %d", sc.Fleet.ReadReplicas)
+		}
+		if sc.Fleet.PromoteReads > 0 {
+			w("  promote-reads: %d", sc.Fleet.PromoteReads)
 		}
 		w("workload:")
 		w("  kind: %s", sc.Workload.Kind)

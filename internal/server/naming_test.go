@@ -22,6 +22,7 @@ var metricComponents = map[string]bool{
 	"kvstore":     true,
 	"mds":         true,
 	"repl":        true,
+	"replica":     true,
 	"rpc":         true,
 	"sim":         true,
 	"telemetry":   true,

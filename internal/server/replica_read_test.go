@@ -1,0 +1,292 @@
+package server
+
+// End-to-end exercise of the read-replica plane: a read storm on one
+// directory drives the coordinator's promote sweep, clients spread their
+// reads across the warm replicas, a replica host dying costs no acked
+// write, and a cooled-off subtree is demoted again.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"origami/internal/balancer"
+	"origami/internal/client"
+	"origami/internal/namespace"
+)
+
+// uncachedClient dials an SDK client with the near-root cache off, so
+// every stat actually reaches an MDS — a cached client would absorb the
+// read storm before the Data Collector ever saw it.
+func uncachedClient(t *testing.T, cl *Cluster) *client.Client {
+	t.Helper()
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdk.Close() })
+	return sdk
+}
+
+// stormReads hammers a hot directory with stats and readdirs so the
+// Data Collector sees a read-dominated subtree.
+func stormReads(t *testing.T, sdk *client.Client, dir string, files int, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		if _, err := sdk.Readdir(dir); err != nil {
+			t.Fatalf("readdir round %d: %v", r, err)
+		}
+		for i := 0; i < files; i++ {
+			if _, err := sdk.Stat(fmt.Sprintf("%s/f%d", dir, i)); err != nil {
+				t.Fatalf("stat round %d file %d: %v", r, i, err)
+			}
+		}
+	}
+}
+
+func waitUnitLive(t *testing.T, cl *Cluster, host int, owner int, unit uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rcv := cl.ReceiverOf(host)
+		if rcv != nil {
+			for _, st := range rcv.Status() {
+				if st.Primary == owner && st.Unit == unit && st.Live {
+					return
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("replica unit %d of MDS %d never went live on MDS %d", unit, owner, host)
+}
+
+func TestReplicaReadFanoutLifecycle(t *testing.T) {
+	cl, sdk := startObsCluster(t, 3)
+	rdr := uncachedClient(t, cl)
+	co := NewCoordinator(cl)
+	// Migrations off: the test kills a replica host, and a migration
+	// landing /hot on the victim-to-be would make the topology random.
+	co.SetStrategy(balancer.Single{})
+	co.EnableReadReplicas(ReplicaPolicy{
+		Fanout:       2,
+		PromoteReads: 20,
+		WriteRatio:   2,
+		DemoteReads:  10,
+	})
+
+	const files = 16
+	hot, err := sdk.Mkdir("/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < files; i++ {
+		if _, err := sdk.Create(fmt.Sprintf("/hot/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read storm, then an epoch: the sweep must promote /hot.
+	stormReads(t, rdr, "/hot", files, 4)
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	sets := co.ReplicaSets()
+	if len(sets) != 1 || sets[0].Ino != hot.Ino {
+		t.Fatalf("replica sets after storm = %+v, want exactly /hot (ino %d)", sets, hot.Ino)
+	}
+	if len(sets[0].Replicas) != 2 {
+		t.Fatalf("fanout = %v, want 2 replicas", sets[0].Replicas)
+	}
+	owner := sets[0].Owner
+	for _, host := range sets[0].Replicas {
+		if host == owner {
+			t.Fatalf("owner %d is also a replica host: %+v", owner, sets[0])
+		}
+	}
+	if v := co.Registry().Counter("replica.units.promoted").Value(); v != 1 {
+		t.Errorf("replica.units.promoted = %d, want 1", v)
+	}
+	for _, host := range sets[0].Replicas {
+		waitUnitLive(t, cl, host, owner, uint64(hot.Ino))
+	}
+
+	// A client on the refreshed map spreads reads; the replica hosts must
+	// actually serve some of them.
+	if err := rdr.RefreshMap(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rdr.ReplicaSets(); len(got) != 1 {
+		t.Fatalf("client replica table = %+v, want 1 entry", got)
+	}
+	stormReads(t, rdr, "/hot", files, 4)
+	if v := rdr.Registry().Counter("client.replica.reads").Value(); v == 0 {
+		t.Error("client spread no reads to replicas")
+	}
+	served := int64(0)
+	for _, host := range sets[0].Replicas {
+		served += cl.Services[host].Registry().Counter("replica.read.served").Value()
+	}
+	if served == 0 {
+		t.Error("no replica host served a read")
+	}
+
+	// Writes keep going to the owner and stay visible through the spread
+	// path (owner fallback covers replica lag).
+	if _, err := sdk.Create("/hot/fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Stat("/hot/fresh"); err != nil {
+		t.Fatalf("stat of fresh write through replicated dir: %v", err)
+	}
+
+	// Kill one replica host mid-storm: zero acked writes may be lost and
+	// reads must keep succeeding via the surviving targets.
+	victim := sets[0].Replicas[len(sets[0].Replicas)-1]
+	if victim == cl.BackupOf(owner) {
+		victim = sets[0].Replicas[0]
+	}
+	if victim == cl.BackupOf(owner) {
+		t.Skipf("both replica hosts back up the owner; no safe victim")
+	}
+	if err := cl.StopMDS(victim); err != nil {
+		t.Fatal(err)
+	}
+	stormReads(t, rdr, "/hot", files, 2)
+	if _, err := sdk.Stat("/hot/fresh"); err != nil {
+		t.Fatalf("acked write lost after replica death: %v", err)
+	}
+
+	// Cooled off: one epoch flushes the post-kill storm out of the
+	// counters, and the next sees a cold /hot and must demote. The dead
+	// host's dump fails; that only degrades those epochs.
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if sets := co.ReplicaSets(); len(sets) != 0 {
+		t.Fatalf("replica sets after cool-off = %+v, want none", sets)
+	}
+	if v := co.Registry().Counter("replica.units.demoted").Value(); v == 0 {
+		t.Error("replica.units.demoted = 0, want > 0")
+	}
+	for host := 0; host < 3; host++ {
+		if host == victim {
+			continue
+		}
+		if rcv := cl.ReceiverOf(host); rcv != nil {
+			if st := rcv.UnitStore(owner, uint64(hot.Ino)); st != nil {
+				t.Errorf("MDS %d still holds the demoted unit store", host)
+			}
+		}
+	}
+
+	// The demoted map still routes reads — everything falls back to the
+	// owner once the client refreshes.
+	if err := rdr.RefreshMap(); err != nil {
+		t.Fatal(err)
+	}
+	stormReads(t, rdr, "/hot", files, 1)
+}
+
+func TestReplicaDropsBeforeMigration(t *testing.T) {
+	cl, sdk := startObsCluster(t, 3)
+	rdr := uncachedClient(t, cl)
+	co := NewCoordinator(cl)
+	co.EnableReadReplicas(ReplicaPolicy{PromoteReads: 20, WriteRatio: 2, DemoteReads: 10, Fanout: 1})
+
+	hot, err := sdk.Mkdir("/mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := sdk.Create(fmt.Sprintf("/mig/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for i := 0; i < 8; i++ {
+			if _, err := rdr.Stat(fmt.Sprintf("/mig/f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	sets := co.ReplicaSets()
+	if len(sets) != 1 {
+		t.Fatalf("replica sets = %+v, want 1", sets)
+	}
+
+	// An explicit migration of the replicated subtree must drop its
+	// replicas first and still complete.
+	from := sets[0].Owner
+	to := (from + 1) % 3
+	if err := co.Migrate(hot.Ino, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if sets := co.ReplicaSets(); len(sets) != 0 {
+		t.Fatalf("replica sets survived migration: %+v", sets)
+	}
+	var found bool
+	for _, e := range co.ReplicaSets() {
+		if e.Ino == hot.Ino {
+			found = true
+		}
+	}
+	if found {
+		t.Fatal("migrated subtree still replicated")
+	}
+	// The moved subtree serves from its new owner.
+	if err := sdk.RefreshMap(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Stat("/mig/f0"); err != nil {
+		t.Fatalf("stat after migration: %v", err)
+	}
+}
+
+func TestReplicaMapEncodingSurvivesPublish(t *testing.T) {
+	cl, sdk := startObsCluster(t, 3)
+	rdr := uncachedClient(t, cl)
+	co := NewCoordinator(cl)
+	co.EnableReadReplicas(ReplicaPolicy{PromoteReads: 20, WriteRatio: 2, DemoteReads: 10})
+
+	if _, err := sdk.Mkdir("/pub"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := sdk.Create(fmt.Sprintf("/pub/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for i := 0; i < 8; i++ {
+			if _, err := rdr.Stat(fmt.Sprintf("/pub/f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := co.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	want := co.ReplicaSets()
+	if len(want) == 0 {
+		t.Fatal("no replica set promoted")
+	}
+
+	// A fresh coordinator seeds its replica table from the published map —
+	// the restart inheritance path.
+	co2 := NewCoordinator(cl)
+	got := co2.ReplicaSets()
+	if len(got) != len(want) {
+		t.Fatalf("restarted coordinator sees %d sets, want %d", len(got), len(want))
+	}
+	if got[0].Ino != want[0].Ino || got[0].Owner != want[0].Owner || got[0].Epoch != want[0].Epoch {
+		t.Fatalf("restarted set %+v != published %+v", got[0], want[0])
+	}
+	_ = namespace.RootIno
+}

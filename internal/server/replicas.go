@@ -1,0 +1,353 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"origami/internal/cluster"
+	"origami/internal/mds"
+	"origami/internal/namespace"
+)
+
+// Read-replica control plane: the coordinator decides, from the same
+// harvested epoch features the balancer and the online learner consume,
+// which directories are hot enough — and read-mostly enough — to deserve
+// subtree read replicas, wires the fan-out streams up through the
+// Cluster, and publishes the replica table in the partition map so
+// clients spread their reads. Migration and failover both drop affected
+// replica sets first: a replica is always rebuildable state, never
+// something correctness hangs on.
+
+// ReplicaPolicy tunes the promote/demote sweep. Zero fields take the
+// documented defaults.
+type ReplicaPolicy struct {
+	// Fanout is how many read replicas a promoted subtree gets (default 2,
+	// capped by cluster size - 1).
+	Fanout int
+	// PromoteReads is the subtree read count per epoch above which a
+	// directory is a promotion candidate (default 1500).
+	PromoteReads int64
+	// WriteRatio gates promotion to read-mostly subtrees: reads must
+	// exceed WriteRatio × writes (default 4).
+	WriteRatio int64
+	// DemoteReads is the exit threshold: an active unit whose subtree
+	// reads fall below it is demoted (default PromoteReads / 4). The gap
+	// between the two thresholds is the hysteresis that stops a
+	// borderline directory from flapping.
+	DemoteReads int64
+	// MaxUnits bounds concurrently replicated subtrees (default 4).
+	MaxUnits int
+}
+
+func (p ReplicaPolicy) withDefaults() ReplicaPolicy {
+	if p.Fanout <= 0 {
+		p.Fanout = 2
+	}
+	if p.PromoteReads <= 0 {
+		p.PromoteReads = 1500
+	}
+	if p.WriteRatio <= 0 {
+		p.WriteRatio = 4
+	}
+	if p.DemoteReads <= 0 {
+		p.DemoteReads = p.PromoteReads / 4
+	}
+	if p.MaxUnits <= 0 {
+		p.MaxUnits = 4
+	}
+	return p
+}
+
+// repSet is the coordinator's record of one replicated subtree.
+type repSet struct {
+	owner int
+	hosts []int
+	epoch uint64
+}
+
+// EnableReadReplicas turns the promote/demote sweep on: every epoch,
+// after migrations, the coordinator reviews hot directories against the
+// policy. Without this call the coordinator never creates read replicas
+// (the ring backup is unaffected either way).
+func (co *Coordinator) EnableReadReplicas(p ReplicaPolicy) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	pol := p.withDefaults()
+	co.repPolicy = &pol
+}
+
+// ReplicaSets snapshots the coordinator's replica table (tests, CLI).
+func (co *Coordinator) ReplicaSets() []mds.ReplicaMapEntry {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.replicaEntriesLocked()
+}
+
+func (co *Coordinator) replicaEntriesLocked() []mds.ReplicaMapEntry {
+	out := make([]mds.ReplicaMapEntry, 0, len(co.reps))
+	for root, rs := range co.reps {
+		out = append(out, mds.ReplicaMapEntry{
+			Ino:      root,
+			Owner:    rs.owner,
+			Epoch:    rs.epoch,
+			Replicas: append([]int(nil), rs.hosts...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ino < out[j].Ino })
+	return out
+}
+
+// dropReplicaSetLocked tears one replica set down (streams and warm
+// stores on every host) and forgets it. Returns false for unknown roots.
+func (co *Coordinator) dropReplicaSetLocked(root namespace.Ino) bool {
+	rs, ok := co.reps[root]
+	if !ok {
+		return false
+	}
+	for _, host := range rs.hosts {
+		co.cluster.DropReadReplica(rs.owner, root, host)
+	}
+	delete(co.reps, root)
+	co.repEpochGen++
+	co.reg.Counter("replica.units.demoted").Inc()
+	co.reg.Gauge("replica.units.active").Set(float64(len(co.reps)))
+	co.log.Info("replica set dropped", "subtree", uint64(root), "owner", rs.owner, "hosts", fmt.Sprint(rs.hosts))
+	return true
+}
+
+// dropReplicasForMigration removes every replica set the migration of
+// subtree would invalidate: the subtree itself and any replicated root
+// inside it (its owner is about to change, and 2PC must not race a
+// fan-out stream shipping the records it is moving). es carries the
+// parent links for the ancestry walk; with a nil es only exact matches
+// drop. Returns whether anything changed.
+func (co *Coordinator) dropReplicasForMigration(subtree namespace.Ino, es *cluster.EpochStats) bool {
+	changed := false
+	for root := range co.reps {
+		if root == subtree || (es != nil && withinSubtree(es, root, subtree)) {
+			changed = co.dropReplicaSetLocked(root) || changed
+		}
+	}
+	return changed
+}
+
+// ownerFromPinsLocked resolves a directory's current write owner: the
+// nearest pinned ancestor under the coordinator's live pin table, walking
+// the merged dump's parent links. The dump's own Owner column is stale the
+// moment this epoch's migrations apply, so the sweep must not trust it.
+func (co *Coordinator) ownerFromPinsLocked(es *cluster.EpochStats, ino namespace.Ino) int {
+	cur := ino
+	for hops := 0; hops < 64; hops++ {
+		if m, ok := co.pins[cur]; ok {
+			return m
+		}
+		if cur == namespace.RootIno {
+			return 0
+		}
+		i, ok := es.Index[cur]
+		if !ok {
+			return 0
+		}
+		parent := es.Dirs[i].Parent
+		if parent == cur {
+			return 0
+		}
+		cur = parent
+	}
+	return 0
+}
+
+// withinSubtree walks root's parent chain in the merged epoch view,
+// reporting whether ancestor is on it.
+func withinSubtree(es *cluster.EpochStats, root, ancestor namespace.Ino) bool {
+	cur := root
+	for hops := 0; hops < 64; hops++ {
+		i, ok := es.Index[cur]
+		if !ok {
+			return false
+		}
+		parent := es.Dirs[i].Parent
+		if parent == ancestor {
+			return true
+		}
+		if parent == cur || cur == namespace.RootIno {
+			return false
+		}
+		cur = parent
+	}
+	return false
+}
+
+// dropReplicasForFailoverLocked removes the dead MDS from the replica
+// plane: sets it owned lose all their replicas (the promoted backup owns
+// the data now; the next sweep re-replicates if still hot), and sets it
+// merely hosted shrink by one replica. Returns whether anything changed.
+func (co *Coordinator) dropReplicasForFailoverLocked(dead int) bool {
+	changed := false
+	for root, rs := range co.reps {
+		if rs.owner == dead {
+			changed = co.dropReplicaSetLocked(root) || changed
+			continue
+		}
+		kept := rs.hosts[:0]
+		for _, host := range rs.hosts {
+			if host == dead {
+				co.cluster.DropReadReplica(rs.owner, root, host)
+				changed = true
+				continue
+			}
+			kept = append(kept, host)
+		}
+		rs.hosts = kept
+		if len(rs.hosts) == 0 {
+			changed = co.dropReplicaSetLocked(root) || changed
+		} else if changed {
+			rs.epoch = co.nextReplicaEpochLocked()
+		}
+	}
+	if changed {
+		co.reg.Gauge("replica.units.active").Set(float64(len(co.reps)))
+	}
+	return changed
+}
+
+func (co *Coordinator) nextReplicaEpochLocked() uint64 {
+	co.repEpochGen++
+	return co.repEpochGen
+}
+
+// replicaSweepLocked is the per-epoch promote/demote pass. It runs after
+// the migration loop (so it sees the post-move owner assignments in
+// co.pins via es ownership) and returns whether the replica table
+// changed — the caller folds that into its publish decision.
+func (co *Coordinator) replicaSweepLocked(es *cluster.EpochStats, reachable map[int]bool) bool {
+	if co.repPolicy == nil {
+		return false
+	}
+	pol := *co.repPolicy
+	changed := false
+
+	// Demotions first: cooled-off subtrees, and subtrees that vanished
+	// from the epoch view (deleted, or their shard was skipped — without
+	// fresh stats we keep the set only if its owner is still reachable).
+	for root, rs := range co.reps {
+		i, seen := es.Index[root]
+		switch {
+		case !seen:
+			if !reachable[rs.owner] {
+				changed = co.dropReplicaSetLocked(root) || changed
+			}
+		case es.Dirs[i].SubtreeReads < pol.DemoteReads:
+			changed = co.dropReplicaSetLocked(root) || changed
+		case co.ownerFromPinsLocked(es, root) != rs.owner:
+			// Ownership moved under the set (a migration this sweep did
+			// not see); the streams ship from the wrong shard — drop.
+			changed = co.dropReplicaSetLocked(root) || changed
+		}
+	}
+
+	// Promotions: hottest read-mostly directories first, while unit and
+	// host budgets allow.
+	type cand struct {
+		root  namespace.Ino
+		owner int
+		reads int64
+	}
+	var cands []cand
+	for _, d := range es.Dirs {
+		if d.Ino == namespace.RootIno {
+			continue // the root subtree is the whole namespace
+		}
+		if _, exists := co.reps[d.Ino]; exists {
+			continue
+		}
+		if d.SubtreeReads < pol.PromoteReads {
+			continue
+		}
+		if d.SubtreeReads <= pol.WriteRatio*d.SubtreeWrites {
+			continue // not read-mostly; migration is the right tool
+		}
+		owner := co.ownerFromPinsLocked(es, d.Ino)
+		if !reachable[owner] {
+			continue
+		}
+		cands = append(cands, cand{root: d.Ino, owner: owner, reads: d.SubtreeReads})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].reads != cands[j].reads {
+			return cands[i].reads > cands[j].reads
+		}
+		return cands[i].root < cands[j].root
+	})
+	for _, cd := range cands {
+		if len(co.reps) >= pol.MaxUnits {
+			break
+		}
+		// Skip candidates nested inside an already replicated subtree: the
+		// outer unit's replicas cover them.
+		nested := false
+		for root := range co.reps {
+			if withinSubtree(es, cd.root, root) {
+				nested = true
+				break
+			}
+		}
+		if nested {
+			continue
+		}
+		hosts := co.pickReplicaHosts(es, cd.owner, pol.Fanout, reachable)
+		if len(hosts) == 0 {
+			continue
+		}
+		attached := hosts[:0]
+		for _, host := range hosts {
+			if err := co.cluster.AddReadReplica(cd.owner, cd.root, host); err != nil {
+				co.reg.Counter("replica.attach.errors").Inc()
+				co.log.Warn("replica attach failed", "subtree", uint64(cd.root), "owner", cd.owner, "host", host, "err", err)
+				continue
+			}
+			attached = append(attached, host)
+		}
+		if len(attached) == 0 {
+			continue
+		}
+		co.reps[cd.root] = &repSet{owner: cd.owner, hosts: attached, epoch: co.nextReplicaEpochLocked()}
+		co.reg.Counter("replica.units.promoted").Inc()
+		co.reg.Gauge("replica.units.active").Set(float64(len(co.reps)))
+		co.log.Info("replica set promoted",
+			"subtree", uint64(cd.root), "owner", cd.owner,
+			"hosts", fmt.Sprint(attached), "subtree_reads", cd.reads)
+		changed = true
+	}
+	return changed
+}
+
+// pickReplicaHosts chooses up to fanout reachable MDSs (never the owner)
+// to host a new unit, least-loaded first by the epoch's per-shard op
+// counts so replicas land where there is headroom.
+func (co *Coordinator) pickReplicaHosts(es *cluster.EpochStats, owner, fanout int, reachable map[int]bool) []int {
+	var hosts []int
+	for i := range co.cluster.Addrs {
+		if i == owner || !reachable[i] || co.cluster.Services[i] == nil {
+			continue
+		}
+		hosts = append(hosts, i)
+	}
+	sort.Slice(hosts, func(a, b int) bool {
+		qa, qb := int64(0), int64(0)
+		if hosts[a] < len(es.QPS) {
+			qa = es.QPS[hosts[a]]
+		}
+		if hosts[b] < len(es.QPS) {
+			qb = es.QPS[hosts[b]]
+		}
+		if qa != qb {
+			return qa < qb
+		}
+		return hosts[a] < hosts[b]
+	})
+	if len(hosts) > fanout {
+		hosts = hosts[:fanout]
+	}
+	return hosts
+}

@@ -25,6 +25,7 @@ type replGroup struct {
 	sync      bool
 	backups   []int // backups[i] = backup MDS of primary i
 	shippers  []*replication.Shipper
+	fanouts   []*replication.Fanout
 	receivers []*replication.Receiver
 	regs      []*telemetry.Registry
 }
@@ -47,6 +48,7 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 		sync:      syncMode,
 		backups:   make([]int, n),
 		shippers:  make([]*replication.Shipper, n),
+		fanouts:   make([]*replication.Fanout, n),
 		receivers: make([]*replication.Receiver, n),
 		regs:      make([]*telemetry.Registry, n),
 	}
@@ -55,6 +57,7 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 		rcv := replication.NewReceiver(i, c.replicaDir(i), svc.Store(), c.kvOpts, g.regs[i])
 		rcv.Register(svc.Server())
 		g.receivers[i] = rcv
+		svc.SetReplicaProvider(rcv.ReadReplica)
 	}
 	for i, svc := range c.Services {
 		g.backups[i] = (i + 1) % n
@@ -69,9 +72,14 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 		if tweak != nil {
 			tweak(&opts)
 		}
+		// The commit hook belongs to a Fanout; the ring shipper rides it
+		// as unit 0, leaving room for subtree read units on the same shard.
 		sh := replication.NewShipper(svc.Store(), opts)
 		g.shippers[i] = sh
-		sh.Start()
+		fan := replication.NewFanout(svc.Store())
+		g.fanouts[i] = fan
+		fan.Start()
+		fan.AttachRing(sh)
 		svc.AddBuildFeature("replication")
 	}
 	c.repl = g
@@ -159,6 +167,11 @@ func (c *Cluster) ReplicationStatus(id int) map[string]interface{} {
 		role = "primary"
 		doc["shipper"] = sh.Status()
 	}
+	if fan := c.repl.fanouts[id]; fan != nil {
+		if units := fan.UnitStatuses(); len(units) > 0 {
+			doc["read_units"] = units
+		}
+	}
 	if rc := c.repl.receivers[id]; rc != nil {
 		replicas := rc.Status()
 		if len(replicas) > 0 {
@@ -184,6 +197,10 @@ func (c *Cluster) stopReplicationFor(id int) {
 	if c.repl == nil {
 		return
 	}
+	if fan := c.repl.fanouts[id]; fan != nil {
+		fan.Stop() // releases the hook, stops ring + subtree shippers
+		c.repl.fanouts[id] = nil
+	}
 	if sh := c.repl.shippers[id]; sh != nil {
 		sh.Stop()
 		c.repl.shippers[id] = nil
@@ -206,6 +223,7 @@ func (c *Cluster) startReplicationFor(id int) {
 	rcv := replication.NewReceiver(id, c.replicaDir(id), svc.Store(), c.kvOpts, reg)
 	rcv.Register(svc.Server())
 	c.repl.receivers[id] = rcv
+	svc.SetReplicaProvider(rcv.ReadReplica)
 	opts := replication.Options{
 		Primary:  id,
 		Backup:   c.repl.backups[id],
@@ -216,8 +234,61 @@ func (c *Cluster) startReplicationFor(id int) {
 	}
 	sh := replication.NewShipper(svc.Store(), opts)
 	c.repl.shippers[id] = sh
-	sh.Start()
+	fan := replication.NewFanout(svc.Store())
+	c.repl.fanouts[id] = fan
+	fan.Start()
+	fan.AttachRing(sh)
 	svc.AddBuildFeature("replication")
+}
+
+// FanoutOf returns a primary's replication fanout (tests, status), or
+// nil.
+func (c *Cluster) FanoutOf(id int) *replication.Fanout {
+	if c.repl == nil {
+		return nil
+	}
+	return c.repl.fanouts[id]
+}
+
+// AddReadReplica attaches one read-replica stream: the subtree rooted at
+// root, owned by MDS owner, fans out to a warm replica on MDS host. The
+// stream bootstraps from a subtree snapshot and then tails the owner's
+// WAL; host serves bounded-staleness reads from it once live.
+func (c *Cluster) AddReadReplica(owner int, root namespace.Ino, host int) error {
+	if c.repl == nil {
+		return fmt.Errorf("server: replication not enabled")
+	}
+	fan := c.repl.fanouts[owner]
+	if fan == nil {
+		return fmt.Errorf("server: MDS %d has no replication fanout (stopped?)", owner)
+	}
+	if c.repl.receivers[host] == nil {
+		return fmt.Errorf("server: MDS %d has no receiver (stopped?)", host)
+	}
+	_, err := fan.AttachSubtree(root, replication.Options{
+		Primary:  owner,
+		Backup:   host,
+		Registry: c.repl.regs[owner],
+		Dial:     c.peerResolverFor(owner),
+		Tracer:   c.Tracer(owner),
+	})
+	return err
+}
+
+// DropReadReplica tears one read-replica stream down on both ends:
+// detach the owner's fan-out stream and discard the host's warm store.
+// Either side already being gone (stopped MDS) is fine — the other side
+// is still cleaned up.
+func (c *Cluster) DropReadReplica(owner int, root namespace.Ino, host int) {
+	if c.repl == nil {
+		return
+	}
+	if fan := c.repl.fanouts[owner]; fan != nil {
+		fan.DetachReplica(root, host)
+	}
+	if rcv := c.repl.receivers[host]; rcv != nil {
+		rcv.DropUnit(owner, uint64(root))
+	}
 }
 
 // Failover handles a confirmed-dead primary: promote its backup (the
@@ -262,6 +333,7 @@ func (co *Coordinator) failoverLocked(dead int) error {
 		moved++
 	}
 	co.cluster.RetargetReplication(dead)
+	co.dropReplicasForFailoverLocked(dead)
 	stale := co.publish()
 	co.failedOver[dead] = true
 	co.reg.Counter("coordinator.failover.completed").Inc()
