@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/telemetry/... ./internal/rpc/... ./internal/kvstore/... ./internal/mds/... ./internal/replication/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/telemetry/... ./internal/rpc/... ./internal/kvstore/... ./internal/lease/... ./internal/mds/... ./internal/replication/... ./internal/server/... ./internal/client/...
 
 # The failure-injection suites: primary kills mid-write-storm, failover
 # promotion, replication gap/overflow resyncs, and the scenario harness

@@ -40,10 +40,12 @@ import (
 // machine-readable BENCH_tcp.json report.
 type tcpBenchPoint struct {
 	Dispatch  string  `json:"dispatch"`
+	Cache     string  `json:"cache"`
 	Workers   int     `json:"workers"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Ops       int64   `json:"ops"`
 	Errors    int64   `json:"errors"`
+	RPCPerOp  float64 `json:"rpc_per_op"`
 	P50Ns     int64   `json:"p50_ns"`
 	P95Ns     int64   `json:"p95_ns"`
 	P99Ns     int64   `json:"p99_ns"`
@@ -55,6 +57,7 @@ type tcpBenchReport struct {
 	SyncWAL     bool            `json:"syncwal"`
 	WritePct    int             `json:"writepct"`
 	ReadPct     int             `json:"readpct"`
+	Clients     int             `json:"clients"`
 	Duration    string          `json:"duration_per_point"`
 	TraceSample float64         `json:"trace_sample"`
 	Points      []tcpBenchPoint `json:"points"`
@@ -65,84 +68,105 @@ type tcpBenchReport struct {
 // printing an ops/sec matrix plus the concurrent-over-serial speedup.
 // Alongside the text report it writes BENCH_tcp.json (jsonOut) with the
 // per-point throughput and exact p50/p95/p99 latencies.
-func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct, readPct int, traceSample float64, jsonOut string) error {
+func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct, readPct int, cacheMode string, clients int, traceSample float64, jsonOut string) error {
 	modes := []string{"serial", "concurrent"}
 	if dispatch != "both" {
 		modes = []string{dispatch}
+	}
+	cacheModes := []string{cacheMode}
+	if cacheMode == "both" {
+		cacheModes = []string{"off", "leases"}
 	}
 	if readPct > 0 {
 		writePct = 100 - min(readPct, 100)
 	}
 	report := tcpBenchReport{
-		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, ReadPct: readPct, Duration: dur.String(),
-		TraceSample: traceSample,
+		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, ReadPct: readPct, Clients: clients,
+		Duration: dur.String(), TraceSample: traceSample,
 	}
 	thr := make(map[string]map[int]float64)
 	for _, mode := range modes {
-		thr[mode] = make(map[int]float64)
-		dir, err := os.MkdirTemp("", "origami-tcpbench-")
-		if err != nil {
-			return err
-		}
-		cluster, err := server.StartClusterConfig(numMDS, dir, server.ClusterConfig{
-			KvOpts:          kvstore.Options{SyncWAL: syncWAL},
-			TraceSampleRate: traceSample,
-		})
-		if err != nil {
-			os.RemoveAll(dir)
-			return err
-		}
-		for _, svc := range cluster.Services {
-			svc.Server().SetSerialDispatch(mode == "serial")
-		}
-		fmt.Printf("## dispatch=%s (%d MDS, %v per point, syncwal=%v, writepct=%d)\n",
-			mode, numMDS, dur, syncWAL, writePct)
-		var lastPuts, lastSyncs int64
-		for _, w := range workerCounts {
-			res, err := loadgen.Run(loadgen.Config{
-				Addrs:           cluster.Addrs,
-				Workers:         w,
-				Duration:        dur,
-				Root:            fmt.Sprintf("bench-%s-w%d", mode, w),
-				WritePct:        writePct,
-				ReadPct:         readPct,
-				Seed:            1,
+		for _, cache := range cacheModes {
+			key := mode + "/" + cache
+			thr[key] = make(map[int]float64)
+			dir, err := os.MkdirTemp("", "origami-tcpbench-")
+			if err != nil {
+				return err
+			}
+			cluster, err := server.StartClusterConfig(numMDS, dir, server.ClusterConfig{
+				KvOpts:          kvstore.Options{SyncWAL: syncWAL},
 				TraceSampleRate: traceSample,
 			})
 			if err != nil {
-				cluster.Close()
 				os.RemoveAll(dir)
 				return err
 			}
-			thr[mode][w] = res.Throughput()
-			var puts, syncs int64
 			for _, svc := range cluster.Services {
-				st := svc.StoreStats()
-				puts += st.Puts + st.Deletes
-				syncs += st.WALSyncs
+				svc.Server().SetSerialDispatch(mode == "serial")
 			}
-			batch := "n/a"
-			if d := syncs - lastSyncs; d > 0 {
-				batch = fmt.Sprintf("%.1f", float64(puts-lastPuts)/float64(d))
+			fmt.Printf("## dispatch=%s cache=%s (%d MDS, %v per point, syncwal=%v, writepct=%d, clients=%d)\n",
+				mode, cache, numMDS, dur, syncWAL, writePct, clients)
+			var lastPuts, lastSyncs int64
+			for _, w := range workerCounts {
+				res, err := loadgen.Run(loadgen.Config{
+					Addrs:           cluster.Addrs,
+					Workers:         w,
+					Clients:         clients,
+					Duration:        dur,
+					Root:            fmt.Sprintf("bench-%s-%s-w%d", mode, cache, w),
+					Cache:           cache,
+					WritePct:        writePct,
+					ReadPct:         readPct,
+					Seed:            1,
+					TraceSampleRate: traceSample,
+				})
+				if err != nil {
+					cluster.Close()
+					os.RemoveAll(dir)
+					return err
+				}
+				thr[key][w] = res.Throughput()
+				var puts, syncs int64
+				for _, svc := range cluster.Services {
+					st := svc.StoreStats()
+					puts += st.Puts + st.Deletes
+					syncs += st.WALSyncs
+				}
+				batch := "n/a"
+				if d := syncs - lastSyncs; d > 0 {
+					batch = fmt.Sprintf("%.1f", float64(puts-lastPuts)/float64(d))
+				}
+				lastPuts, lastSyncs = puts, syncs
+				fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %.3f rpc/op, %v, wal batch %s, p50 %v p95 %v p99 %v)\n",
+					w, res.Throughput(), res.Ops, res.Errors, res.RPCPerOp(), res.Elapsed.Round(time.Millisecond), batch,
+					res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+				report.Points = append(report.Points, tcpBenchPoint{
+					Dispatch: mode, Cache: cache, Workers: w,
+					OpsPerSec: res.Throughput(), Ops: res.Ops, Errors: res.Errors, RPCPerOp: res.RPCPerOp(),
+					P50Ns: res.P50.Nanoseconds(), P95Ns: res.P95.Nanoseconds(), P99Ns: res.P99.Nanoseconds(),
+				})
 			}
-			lastPuts, lastSyncs = puts, syncs
-			fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %v, wal batch %s, p50 %v p95 %v p99 %v)\n",
-				w, res.Throughput(), res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond), batch,
-				res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
-			report.Points = append(report.Points, tcpBenchPoint{
-				Dispatch: mode, Workers: w,
-				OpsPerSec: res.Throughput(), Ops: res.Ops, Errors: res.Errors,
-				P50Ns: res.P50.Nanoseconds(), P95Ns: res.P95.Nanoseconds(), P99Ns: res.P99.Nanoseconds(),
-			})
+			cluster.Close()
+			os.RemoveAll(dir)
 		}
-		cluster.Close()
-		os.RemoveAll(dir)
 	}
 	if dispatch == "both" {
 		fmt.Println("## speedup (concurrent / serial)")
-		for _, w := range workerCounts {
-			if s := thr["serial"][w]; s > 0 {
-				fmt.Printf("  workers=%-3d  %.2fx\n", w, thr["concurrent"][w]/s)
+		for _, cache := range cacheModes {
+			for _, w := range workerCounts {
+				if s := thr["serial/"+cache][w]; s > 0 {
+					fmt.Printf("  cache=%-6s workers=%-3d  %.2fx\n", cache, w, thr["concurrent/"+cache][w]/s)
+				}
+			}
+		}
+	}
+	if cacheMode == "both" {
+		fmt.Println("## cache speedup (leases / off)")
+		for _, mode := range modes {
+			for _, w := range workerCounts {
+				if s := thr[mode+"/off"][w]; s > 0 {
+					fmt.Printf("  dispatch=%-10s workers=%-3d  %.2fx\n", mode, w, thr[mode+"/leases"][w]/s)
+				}
 			}
 		}
 	}
@@ -243,6 +267,8 @@ func main() {
 		syncWAL    = flag.Bool("syncwal", true, "make MDS writes durable before acknowledgement (-tcp; group commit)")
 		writePct   = flag.Int("writepct", 100, "percentage of mutating ops in the -tcp workload (default is an mdtest-style create storm)")
 		readPct    = flag.Int("readpct", 0, "specify the -tcp mix from the read side instead: 100 is a pure stat/readdir storm (overrides -writepct)")
+		cacheMode  = flag.String("cache", "leases", "SDK cache mode for -tcp: leases, off, or both (A/B comparison)")
+		clients    = flag.Int("clients", 0, "simulated SDK clients for -tcp (virtual clients sharing transports; 0 = one shared client)")
 		jsonOut    = flag.String("json-out", "BENCH_tcp.json", "write the -tcp results as JSON to this file (empty disables)")
 		traceRate  = flag.Float64("trace-sample", 0.01, "span head-sampling rate for the -tcp cluster and SDK (negative disables tracing)")
 	)
@@ -278,7 +304,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origami-bench: bad -dispatch %q\n", *dispatch)
 			os.Exit(1)
 		}
-		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *readPct, *traceRate, *jsonOut); err != nil {
+		if *cacheMode != "both" && *cacheMode != "off" && *cacheMode != "leases" {
+			fmt.Fprintf(os.Stderr, "origami-bench: bad -cache %q\n", *cacheMode)
+			os.Exit(1)
+		}
+		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *readPct, *cacheMode, *clients, *traceRate, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
 		}

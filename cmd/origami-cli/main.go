@@ -24,13 +24,13 @@ import (
 
 func main() {
 	var (
-		mdsList = flag.String("mds", "127.0.0.1:7201", "comma-separated MDS addresses in id order")
-		cacheD  = flag.Int("cache", 3, "near-root cache depth (0 disables)")
+		mdsList   = flag.String("mds", "127.0.0.1:7201", "comma-separated MDS addresses in id order")
+		cacheMode = flag.String("cache", "leases", "client metadata cache mode: leases or off")
 	)
 	flag.Parse()
 	sdk, err := client.Dial(client.Config{
-		Addrs:      strings.Split(*mdsList, ","),
-		CacheDepth: *cacheD,
+		Addrs: strings.Split(*mdsList, ","),
+		Cache: *cacheMode,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
@@ -73,7 +73,7 @@ func runCommand(sdk *client.Client, args []string) error {
 	}
 	switch cmd {
 	case "help":
-		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | trace <id|last> | top | epoch | model | replicas | quit")
+		fmt.Println("commands: mkdir <p> | create <p> | stat <p> | ls <p> | rm <p> | mv <src> <dst> | setattr <p> <size> | metrics [mds|all] | trace <id|last> | top | epoch | model | replicas | leases | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {
@@ -240,6 +240,45 @@ func runCommand(sdk *client.Client, args []string) error {
 				fmt.Printf("%-12d %6d %6d %8d %12s\n", e.Ino, e.Owner, e.Epoch, host, seq)
 			}
 		}
+		return nil
+	case "leases":
+		// The lease plane: per-MDS grant/bump/expiry counters and live
+		// table size from the coordinator scrape, plus the local SDK
+		// cache's hit/invalidation counters.
+		body, err := sdk.FetchClusterMetrics()
+		if err != nil {
+			return fmt.Errorf("leases: %w", err)
+		}
+		var snap struct {
+			Nodes map[string]telemetry.Snapshot `json:"nodes"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fmt.Errorf("leases: bad snapshot payload: %w", err)
+		}
+		fmt.Printf("%-8s %10s %10s %10s %10s\n", "NODE", "ACTIVE", "GRANTED", "BUMPED", "EXPIRED")
+		names := make([]string, 0, len(snap.Nodes))
+		for name := range snap.Nodes {
+			var id int
+			if _, err := fmt.Sscanf(name, "mds%d", &id); err == nil && name == fmt.Sprintf("mds%d", id) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := snap.Nodes[name]
+			fmt.Printf("%-8s %10.0f %10d %10d %10d\n", name,
+				s.Gauges["lease.table.active"],
+				s.Counters["mds.lease.granted"],
+				s.Counters["mds.lease.bumped"],
+				s.Counters["mds.lease.expired"])
+		}
+		reg := sdk.Registry().Snapshot()
+		fmt.Printf("client cache: hits=%d negative_hits=%d misses=%d invalidations=%d entries=%.0f\n",
+			reg.Counters["client.cache.hits"],
+			reg.Counters["client.cache.negative_hits"],
+			reg.Counters["client.cache.misses"],
+			reg.Counters["client.cache.invalidations"],
+			reg.Gauges["cache.entries.active"])
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)

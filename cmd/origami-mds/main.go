@@ -66,6 +66,7 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		traceRate = flag.Float64("trace-sample", 1.0, "span head-sampling rate in [0,1] (slow ops always kept; negative disables tracing)")
 		slowOp    = flag.Duration("slow-op", 0, "slow-operation span threshold (0 = 50ms default; negative disables slow capture)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "directory-lease TTL bounding client cache staleness (0 = 2s default)")
 	)
 	flag.Parse()
 	telemetry.SetLogLevel(parseLevel(*logLevel))
@@ -91,6 +92,7 @@ func main() {
 			heartbeat:    *heartbeat,
 			traceRate:    *traceRate,
 			slowOp:       *slowOp,
+			leaseTTL:     *leaseTTL,
 		})
 		return
 	}
@@ -98,7 +100,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "origami-mds: -repl/-repl-sync need -cluster (replication is wired by the in-process cluster)")
 		os.Exit(2)
 	}
-	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn, *traceRate, *slowOp)
+	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn, *traceRate, *slowOp, *leaseTTL)
 }
 
 func parseLevel(s string) telemetry.Level {
@@ -156,7 +158,7 @@ func startAdmin(log *telemetry.Logger, addr string, pprofOn bool, svc *mds.Servi
 	return admin
 }
 
-func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool, traceRate float64, slowOp time.Duration) {
+func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool, traceRate float64, slowOp, leaseTTL time.Duration) {
 	log := telemetry.L("origami-mds").With("mds", id)
 	peerAddrs := strings.Split(peers, ",")
 	if peers == "" {
@@ -182,6 +184,9 @@ func runSingle(id int, addr, peers, dataDir, adminAddr string, pprofOn bool, tra
 		os.Exit(1)
 	}
 	svc := mds.NewService(id, store, resolve)
+	if leaseTTL > 0 {
+		svc.SetLeaseTTL(leaseTTL)
+	}
 	if traceRate >= 0 {
 		svc.SetTracer(telemetry.NewTracer(fmt.Sprintf("mds%d", id), telemetry.TracerConfig{
 			SampleRate:    traceRate,
@@ -229,6 +234,7 @@ type clusterOpts struct {
 	heartbeat    time.Duration
 	traceRate    float64
 	slowOp       time.Duration
+	leaseTTL     time.Duration
 }
 
 func runCluster(o clusterOpts) {
@@ -236,6 +242,7 @@ func runCluster(o clusterOpts) {
 	cl, err := server.StartClusterConfig(o.n, o.dataDir, server.ClusterConfig{
 		TraceSampleRate: o.traceRate,
 		SlowOpThreshold: o.slowOp,
+		LeaseTTL:        o.leaseTTL,
 	})
 	if err != nil {
 		log.Error("start cluster failed", "err", err)

@@ -35,7 +35,7 @@ func main() {
 	}
 
 	// 2. Connect the SDK and build a namespace.
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 3})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,9 @@
 // Package client is the OrigamiFS SDK (§4.2): it converts file-system
 // calls into metadata RPCs against the MDS cluster, resolving paths
 // recursively, following fake-inode redirects left by migrations, and
-// short-circuiting resolution through the configurable near-root metadata
-// cache.
+// short-circuiting resolution through the lease-coherent dentry cache —
+// a warm Stat (positive or negative) costs zero RPCs, a warm Create
+// exactly one.
 package client
 
 import (
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"origami/internal/lease"
 	"origami/internal/mds"
 	"origami/internal/namespace"
 	"origami/internal/rpc"
@@ -24,9 +26,11 @@ type Config struct {
 	// Addrs lists the MDS addresses; the index is the MDS id and index 0
 	// must be MDS 0 (the map authority).
 	Addrs []string
-	// CacheDepth enables the near-root cache for entries with
-	// depth < CacheDepth (0 disables caching).
-	CacheDepth int
+	// Cache selects the metadata cache mode: "leases" (default, also
+	// the empty string) enables the lease-coherent dentry/inode cache,
+	// "off" disables client-side caching entirely (every resolution
+	// goes to the servers — the A/B baseline of origami-bench).
+	Cache string
 	// CallTimeout bounds each metadata RPC (0 = no deadline). Timed-out
 	// idempotent reads are retried against the reconnecting transport.
 	CallTimeout time.Duration
@@ -62,12 +66,10 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.Cache == "" {
+		c.Cache = "leases"
+	}
 	return c
-}
-
-type cacheKey struct {
-	parent namespace.Ino
-	name   string
 }
 
 // Client is an OrigamiFS SDK handle. It is safe for concurrent use.
@@ -78,6 +80,16 @@ type Client struct {
 	log    *telemetry.Logger
 	tracer *telemetry.Tracer
 
+	// cache is the lease-coherent dentry/inode cache (nil when the
+	// cache mode is "off"). Coherence is driven by the grant trailers
+	// owner-served responses carry; see internal/lease.
+	cache *lease.ClientCache
+
+	// forked marks a virtual client made by Fork: it shares the parent's
+	// transports (Close must not tear them down) but owns its cache,
+	// map view, and counters.
+	forked bool
+
 	// lastTrace is the trace ID of the most recently started SDK
 	// operation — what `origami-cli trace last` resolves.
 	lastTrace atomic.Uint64
@@ -86,7 +98,6 @@ type Client struct {
 	pins       map[namespace.Ino]int
 	reps       map[namespace.Ino]mds.ReplicaMapEntry
 	mapVersion uint64
-	cache      map[cacheKey]*namespace.Inode
 
 	// repRR round-robins read RPCs across {owner} ∪ replicas of a
 	// replicated subtree.
@@ -134,11 +145,13 @@ func Dial(cfg Config) (*Client, error) {
 		reg = telemetry.NewRegistry()
 	}
 	c := &Client{
-		cfg:   cfg,
-		reg:   reg,
-		log:   telemetry.L("client"),
-		pins:  make(map[namespace.Ino]int),
-		cache: make(map[cacheKey]*namespace.Inode),
+		cfg:  cfg,
+		reg:  reg,
+		log:  telemetry.L("client"),
+		pins: make(map[namespace.Ino]int),
+	}
+	if cfg.Cache != "off" {
+		c.cache = lease.NewClientCache(reg)
 	}
 	if cfg.TraceSampleRate >= 0 {
 		c.tracer = telemetry.NewTracer("client", telemetry.TracerConfig{
@@ -172,8 +185,44 @@ func Dial(cfg Config) (*Client, error) {
 	return c, nil
 }
 
+// Fork returns a virtual client that shares this client's transports
+// but owns its cache, partition-map view, and counters — how loadgen
+// simulates thousands of clients without thousands of TCP connections
+// (the rpc layer is safe for concurrent callers). Closing a fork is a
+// no-op on the shared connections; close the parent to tear them down.
+func (c *Client) Fork() *Client {
+	n := &Client{
+		cfg:    c.cfg,
+		conns:  c.conns,
+		reg:    c.reg,
+		log:    c.log,
+		tracer: c.tracer,
+		forked: true,
+	}
+	if c.cache != nil {
+		n.cache = lease.NewClientCache(c.reg)
+	}
+	c.mu.Lock()
+	n.mapVersion = c.mapVersion
+	n.pins = make(map[namespace.Ino]int, len(c.pins))
+	for k, v := range c.pins {
+		n.pins[k] = v
+	}
+	if c.reps != nil {
+		n.reps = make(map[namespace.Ino]mds.ReplicaMapEntry, len(c.reps))
+		for k, v := range c.reps {
+			n.reps[k] = v
+		}
+	}
+	c.mu.Unlock()
+	return n
+}
+
 // Registry exposes the client's telemetry registry.
 func (c *Client) Registry() *telemetry.Registry { return c.reg }
+
+// Cache exposes the lease-coherent dentry cache (nil in "off" mode).
+func (c *Client) Cache() *lease.ClientCache { return c.cache }
 
 // Tracer exposes the SDK's span tracer (nil when tracing is disabled).
 func (c *Client) Tracer() *telemetry.Tracer { return c.tracer }
@@ -288,8 +337,12 @@ func (c *Client) op(name string) (context.Context, func(error)) {
 	}
 }
 
-// Close tears down all connections.
+// Close tears down all connections. Closing a Fork leaves the shared
+// transports to the parent.
 func (c *Client) Close() error {
+	if c.forked {
+		return nil
+	}
 	var err error
 	for _, conn := range c.conns {
 		if conn != nil {
@@ -411,32 +464,75 @@ func (c *Client) pinOf(ino namespace.Ino) (int, bool) {
 	return m, ok
 }
 
-func (c *Client) cacheGet(parent namespace.Ino, name string) (*namespace.Inode, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	in, ok := c.cache[cacheKey{parent, name}]
-	return in, ok
-}
-
-func (c *Client) cachePut(parent namespace.Ino, name string, depth int, in *namespace.Inode) {
-	if depth >= c.cfg.CacheDepth || in.Type == namespace.TypeFake {
+// observeGrants folds a response's grant trailer into the cache.
+// Replica-served responses never carry grants, so a nil slice is the
+// common no-op.
+func (c *Client) observeGrants(grants []lease.Grant, ownMutation bool) {
+	if c.cache == nil {
 		return
 	}
-	cp := *in
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache[cacheKey{parent, name}] = &cp
+	for _, g := range grants {
+		if ownMutation {
+			c.cache.ObserveMutation(g)
+		} else {
+			c.cache.Observe(g)
+		}
+	}
 }
 
-func (c *Client) cacheDrop(parent namespace.Ino, name string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.cache, cacheKey{parent, name})
+// decodeInodeGrants splits a single-inode response into the inode and
+// its grant trailer.
+func decodeInodeGrants(body []byte) (*namespace.Inode, []lease.Grant, error) {
+	r := rpc.NewReader(body)
+	blob := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	in, err := namespace.DecodeInode(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, lease.DecodeGrants(r), nil
 }
 
-// lookupPathAt resolves a run of components in one RPC, following
+// decodeInodesGrants splits an inode-list response into the list and
+// its grant trailer.
+func decodeInodesGrants(body []byte) ([]*namespace.Inode, []lease.Grant, error) {
+	r := rpc.NewReader(body)
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := make([]*namespace.Inode, 0, n)
+	for i := 0; i < n; i++ {
+		blob := r.Blob()
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		in, err := namespace.DecodeInode(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, in)
+	}
+	return out, lease.DecodeGrants(r), nil
+}
+
+// resolveResult is one MethodResolvePath response: the resolved chain,
+// whether the walk ended at an authoritative miss (the remaining path
+// does not exist), the lease grants that rode along, and whether a
+// replica served it (replica results are never cached — they may be
+// older than the client's lease epoch).
+type resolveResult struct {
+	chain    []*namespace.Inode
+	negative bool
+	grants   []lease.Grant
+	spread   bool
+}
+
+// resolveAt resolves a run of components in one RPC, following
 // not-owner redirects by refreshing the partition map.
-func (c *Client) lookupPathAt(ctx context.Context, owner int, parent namespace.Ino, names []string) ([]*namespace.Inode, int, error) {
+func (c *Client) resolveAt(ctx context.Context, owner int, parent namespace.Ino, names []string) (resolveResult, int, error) {
 	var w rpc.Wire
 	w.U64(uint64(parent)).U32(uint32(len(names)))
 	for _, n := range names {
@@ -448,7 +544,7 @@ func (c *Client) lookupPathAt(ctx context.Context, owner int, parent namespace.I
 	// authoritatively, least of all about absence.
 	target, spread := c.readTarget(parent, owner)
 	for attempt := 0; attempt < 4; attempt++ {
-		body, err := c.callIdem(ctx, target, mds.MethodLookupPath, w.Bytes())
+		body, err := c.callIdem(ctx, target, mds.MethodResolvePath, w.Bytes())
 		if err != nil {
 			if spread {
 				c.reg.Counter("client.replica.fallbacks").Inc()
@@ -458,7 +554,7 @@ func (c *Client) lookupPathAt(ctx context.Context, owner int, parent namespace.I
 			}
 			if mds.IsNotOwner(err) {
 				if rerr := c.refreshMap(ctx); rerr != nil {
-					return nil, 0, rerr
+					return resolveResult{}, 0, rerr
 				}
 				if p, ok := c.pinOf(parent); ok && p != owner {
 					owner = p
@@ -466,45 +562,61 @@ func (c *Client) lookupPathAt(ctx context.Context, owner int, parent namespace.I
 					continue
 				}
 			}
-			return nil, 0, err
+			return resolveResult{}, 0, err
 		}
 		if spread {
 			c.reg.Counter("client.replica.reads").Inc()
 		}
-		ins, err := mds.DecodeInodesResp(body)
-		if err != nil {
-			return nil, 0, err
+		r := rpc.NewReader(body)
+		n := int(r.U32())
+		if err := r.Err(); err != nil {
+			return resolveResult{}, 0, err
 		}
-		return ins, owner, nil
+		res := resolveResult{spread: spread, chain: make([]*namespace.Inode, 0, n)}
+		for i := 0; i < n; i++ {
+			blob := r.Blob()
+			if err := r.Err(); err != nil {
+				return resolveResult{}, 0, err
+			}
+			in, derr := namespace.DecodeInode(blob)
+			if derr != nil {
+				return resolveResult{}, 0, derr
+			}
+			res.chain = append(res.chain, in)
+		}
+		res.negative = r.U8() == 1
+		if err := r.Err(); err != nil {
+			return resolveResult{}, 0, err
+		}
+		res.grants = lease.DecodeGrants(r)
+		return res, owner, nil
 	}
-	return nil, 0, fmt.Errorf("client: lookup-path under %d: retries exhausted", parent)
+	return resolveResult{}, 0, fmt.Errorf("client: resolve-path under %d: retries exhausted", parent)
 }
 
 // Resolve walks path from the root, returning the chain of inodes
 // (root included) and the owning MDS of the final component. Resolution
 // is batched: each RPC resolves as many components as the contacted shard
 // holds, so a path costs one RPC per ownership run (the m of Eq. 2), not
-// one per component.
+// one per component — and zero RPCs when the lease cache holds the whole
+// chain.
 func (c *Client) Resolve(path string) ([]*namespace.Inode, int, error) {
 	return c.resolve(context.Background(), path)
 }
 
 func (c *Client) resolve(ctx context.Context, path string) ([]*namespace.Inode, int, error) {
-	return c.resolvePath(ctx, path, false)
+	return c.resolvePath(ctx, path)
 }
 
-// resolveDir resolves a directory that only needs to be located, not
-// freshly described: the final component may be served from the cache
-// too, so a fully cached parent path costs zero RPCs. Operations whose
-// follow-up RPC is authoritative anyway (create, remove, readdir) use
-// it — a stale cached parent fails that RPC with not-owner or no-entry
-// and retryOp re-resolves with the cache dropped. Stat and Setattr keep
-// the authoritative final lookup because they return the attributes.
+// resolveDir resolves a directory that only needs to be located; with
+// the lease cache keeping every component coherent it is now a plain
+// resolve, kept as a named entry point for the operations whose
+// follow-up RPC is authoritative anyway (create, remove, readdir).
 func (c *Client) resolveDir(ctx context.Context, path string) ([]*namespace.Inode, int, error) {
-	return c.resolvePath(ctx, path, true)
+	return c.resolvePath(ctx, path)
 }
 
-func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool) ([]*namespace.Inode, int, error) {
+func (c *Client) resolvePath(ctx context.Context, path string) ([]*namespace.Inode, int, error) {
 	comps := namespace.SplitPath(path)
 	owner := 0
 	if p, ok := c.pinOf(namespace.RootIno); ok {
@@ -514,17 +626,17 @@ func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool)
 	chain := []*namespace.Inode{root}
 	cur := root
 	i := 0
-	// Cached prefix (including the final component only for
-	// resolveDir callers; plain resolve always serves it
-	// authoritatively).
-	cachedLimit := len(comps) - 1
-	if cachedFinal {
-		cachedLimit = len(comps)
-	}
-	for i < cachedLimit {
-		in, ok := c.cacheGet(cur.Ino, comps[i])
+	// Cached prefix — including the final component: the lease protocol
+	// keeps these entries coherent (within the TTL staleness bound), so
+	// a fully warm path costs zero RPCs, negatives included.
+	for c.cache != nil && i < len(comps) {
+		in, negative, ok := c.cache.Lookup(cur.Ino, comps[i])
 		if !ok {
 			break
+		}
+		if negative {
+			return nil, 0, fmt.Errorf("client: resolve %q at %q: %s",
+				path, comps[i], mds.CodedError(mds.CodeNoEnt, "%q not in dir %d (cached)", comps[i], cur.Ino))
 		}
 		chain = append(chain, in)
 		if p, ok := c.pinOf(in.Ino); ok {
@@ -537,15 +649,22 @@ func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool)
 		if p, ok := c.pinOf(cur.Ino); ok {
 			owner = p
 		}
-		ins, newOwner, err := c.lookupPathAt(ctx, owner, cur.Ino, comps[i:])
+		res, newOwner, err := c.resolveAt(ctx, owner, cur.Ino, comps[i:])
 		if err != nil {
 			return nil, 0, fmt.Errorf("client: resolve %q at %q: %w", path, comps[i], err)
 		}
 		owner = newOwner
-		if len(ins) == 0 {
+		// Fold the grants in before seeding: each Put below is vouched
+		// by the grant that rode this same response.
+		c.observeGrants(res.grants, false)
+		grantOf := make(map[namespace.Ino]lease.Grant, len(res.grants))
+		for _, g := range res.grants {
+			grantOf[g.Dir] = g
+		}
+		if len(res.chain) == 0 && !res.negative {
 			return nil, 0, fmt.Errorf("client: resolve %q: empty chain at %q", path, comps[i])
 		}
-		for _, in := range ins {
+		for _, in := range res.chain {
 			if in.Type == namespace.TypeFake {
 				// Follow the migration redirect for this component. The
 				// partition map wins over the redirect payload when both
@@ -568,10 +687,32 @@ func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool)
 				in = real
 				owner = dest
 			}
-			c.cachePut(cur.Ino, comps[i], i+1, in)
+			if c.cache != nil {
+				// Seed every component the walk resolved — this is what
+				// makes one cold resolve warm the whole prefix. Redirect
+				// targets are seeded too, under the parent's grant: the
+				// name→inode binding is the parent owner's to revoke
+				// (remove/rename execute there), and attribute staleness
+				// is bounded by the lease TTL like any cross-shard entry.
+				if g, ok := grantOf[cur.Ino]; ok {
+					c.cache.Put(g, comps[i], in)
+				}
+			}
 			chain = append(chain, in)
 			cur = in
 			i++
+		}
+		if res.negative {
+			// The owner proved the next component absent: cache the
+			// negative (vouched by the same response's grant) and fail
+			// the resolution like a server ENOENT would have.
+			if c.cache != nil {
+				if g, ok := grantOf[cur.Ino]; ok {
+					c.cache.PutNegative(g, comps[i])
+				}
+			}
+			return nil, 0, fmt.Errorf("client: resolve %q at %q: %s",
+				path, comps[i], mds.CodedError(mds.CodeNoEnt, "%q not in dir %d", comps[i], cur.Ino))
 		}
 		if p, ok := c.pinOf(cur.Ino); ok {
 			owner = p
@@ -580,19 +721,23 @@ func (c *Client) resolvePath(ctx context.Context, path string, cachedFinal bool)
 	return chain, owner, nil
 }
 
-// dropPathCache removes every cached component along path, so the next
-// resolution walks through the MDSs and discovers fake-inode redirects
-// left by migrations.
+// dropPathCache forgets every directory along path (entries and lease
+// state), so the next resolution walks through the MDSs and discovers
+// fake-inode redirects left by migrations.
 func (c *Client) dropPathCache(path string) {
+	if c.cache == nil {
+		return
+	}
 	cur := namespace.RootIno
 	for _, name := range namespace.SplitPath(path) {
-		in, ok := c.cacheGet(cur, name)
-		c.cacheDrop(cur, name)
+		in, ok := c.cache.Peek(cur, name)
+		c.cache.Forget(cur)
 		if !ok {
 			return
 		}
 		cur = in.Ino
 	}
+	c.cache.Forget(cur)
 }
 
 // opRetryAttempts bounds retryOp. The backoff schedule below keeps the
@@ -696,7 +841,7 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 				lw.U64(uint64(parent.Ino)).Str(name)
 				lbody, lerr := c.callIdem(ctx, owner, mds.MethodLookup, lw.Bytes())
 				if lerr == nil {
-					if in, derr := mds.DecodeInodeResp(lbody); derr == nil {
+					if in, _, derr := decodeInodeGrants(lbody); derr == nil {
 						out = in
 						return nil
 					}
@@ -704,8 +849,22 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 			}
 			return err
 		}
-		out, err = mds.DecodeInodeResp(body)
-		return err
+		in, grants, derr := decodeInodeGrants(body)
+		if derr != nil {
+			return derr
+		}
+		// Adopt our own bump (epoch+1, cache intact) and patch in the
+		// new entry under the fresh grant.
+		c.observeGrants(grants, true)
+		if c.cache != nil {
+			for _, g := range grants {
+				if g.Dir == parent.Ino {
+					c.cache.Put(g, name, in)
+				}
+			}
+		}
+		out = in
+		return nil
 	})
 	done(err)
 	if err != nil {
@@ -728,7 +887,8 @@ func (c *Client) Remove(path string) error {
 		parent := chain[len(chain)-1]
 		var w rpc.Wire
 		w.U64(uint64(parent.Ino)).Str(name)
-		if _, err := c.call(ctx, owner, mds.MethodRemove, w.Bytes()); err != nil {
+		body, err := c.call(ctx, owner, mds.MethodRemove, w.Bytes())
+		if err != nil {
 			if rpc.IsRetryable(err) {
 				transportLost = true
 				return err
@@ -737,12 +897,25 @@ func (c *Client) Remove(path string) error {
 				// A previous attempt's remove reached the shard before the
 				// connection died; the entry is gone, which is the outcome
 				// the caller asked for.
-				c.cacheDrop(parent.Ino, name)
+				if c.cache != nil {
+					c.cache.DropEntry(parent.Ino, name)
+				}
 				return nil
 			}
 			return err
 		}
-		c.cacheDrop(parent.Ino, name)
+		if c.cache != nil {
+			// The response body is just the grant trailer. The name is
+			// now proven absent: adopt our bump and cache the negative.
+			grants := lease.DecodeGrants(rpc.NewReader(body))
+			c.observeGrants(grants, true)
+			c.cache.DropEntry(parent.Ino, name)
+			for _, g := range grants {
+				if g.Dir == parent.Ino {
+					c.cache.PutNegative(g, name)
+				}
+			}
+		}
 		return nil
 	})
 	done(err)
@@ -780,8 +953,25 @@ func (c *Client) Readdir(path string) ([]*namespace.Inode, error) {
 		if spread {
 			c.reg.Counter("client.replica.reads").Inc()
 		}
-		out, err = mds.DecodeInodesResp(body)
-		return err
+		children, grants, derr := decodeInodesGrants(body)
+		if derr != nil {
+			return derr
+		}
+		if c.cache != nil && !spread {
+			// An owner-served listing seeds the whole directory: the
+			// grant vouches every child at once.
+			c.observeGrants(grants, false)
+			for _, g := range grants {
+				if g.Dir != dir.Ino {
+					continue
+				}
+				for _, ch := range children {
+					c.cache.Put(g, ch.Name, ch)
+				}
+			}
+		}
+		out = children
+		return nil
 	})
 	done(err)
 	if err != nil {
@@ -807,8 +997,20 @@ func (c *Client) Setattr(path string, size int64, mode uint16) (*namespace.Inode
 		if err != nil {
 			return err
 		}
-		out, err = mds.DecodeInodeResp(body)
-		return err
+		upd, grants, derr := decodeInodeGrants(body)
+		if derr != nil {
+			return derr
+		}
+		c.observeGrants(grants, true)
+		if c.cache != nil {
+			for _, g := range grants {
+				if g.Dir == upd.Parent {
+					c.cache.Put(g, upd.Name, upd)
+				}
+			}
+		}
+		out = upd
+		return nil
 	})
 	done(err)
 	if err != nil {
@@ -837,12 +1039,21 @@ func (c *Client) Rename(src, dst string) error {
 		}
 		sparent := schain[len(schain)-1]
 		dparent := dchain[len(dchain)-1]
-		defer c.cacheDrop(sparent.Ino, sname)
+		if c.cache != nil {
+			defer c.cache.DropEntry(sparent.Ino, sname)
+			defer c.cache.DropEntry(dparent.Ino, dname)
+		}
 		if sowner == downer {
 			var w rpc.Wire
 			w.U64(uint64(sparent.Ino)).Str(sname).U64(uint64(dparent.Ino)).Str(dname)
-			_, err := c.call(ctx, sowner, mds.MethodRename, w.Bytes())
-			return err
+			body, err := c.call(ctx, sowner, mds.MethodRename, w.Bytes())
+			if err != nil {
+				return err
+			}
+			if _, grants, derr := decodeInodeGrants(body); derr == nil {
+				c.observeGrants(grants, true)
+			}
+			return nil
 		}
 		// Cross-shard: read, insert remotely, remove locally.
 		var lw rpc.Wire
@@ -851,7 +1062,7 @@ func (c *Client) Rename(src, dst string) error {
 		if err != nil {
 			return err
 		}
-		in, err := mds.DecodeInodeResp(body)
+		in, _, err := decodeInodeGrants(body)
 		if err != nil {
 			return err
 		}
@@ -865,7 +1076,10 @@ func (c *Client) Rename(src, dst string) error {
 		}
 		var rw rpc.Wire
 		rw.U64(uint64(sparent.Ino)).Str(sname)
-		_, err = c.call(ctx, sowner, mds.MethodRemove, rw.Bytes())
+		rbody, err := c.call(ctx, sowner, mds.MethodRemove, rw.Bytes())
+		if err == nil {
+			c.observeGrants(lease.DecodeGrants(rpc.NewReader(rbody)), true)
+		}
 		return err
 	})
 	done(err)

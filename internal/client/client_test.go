@@ -10,14 +10,14 @@ import (
 	"origami/internal/server"
 )
 
-func startOne(t *testing.T, n, cacheDepth int) (*server.Cluster, *client.Client) {
+func startOne(t *testing.T, n int, cache string) (*server.Cluster, *client.Client) {
 	t.Helper()
 	cl, err := server.StartCluster(n, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(cl.Close)
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: cacheDepth})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,14 +50,14 @@ func TestDialToDeadAddrStartsDisconnected(t *testing.T) {
 }
 
 func TestRefreshMapOnFreshCluster(t *testing.T) {
-	_, sdk := startOne(t, 2, 0)
+	_, sdk := startOne(t, 2, "off")
 	if err := sdk.RefreshMap(); err != nil {
 		t.Fatalf("RefreshMap: %v", err)
 	}
 }
 
 func TestResolveRootOnly(t *testing.T) {
-	_, sdk := startOne(t, 2, 0)
+	_, sdk := startOne(t, 2, "off")
 	chain, owner, err := sdk.Resolve("/")
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +68,7 @@ func TestResolveRootOnly(t *testing.T) {
 }
 
 func TestStatErrorMentionsPath(t *testing.T) {
-	_, sdk := startOne(t, 2, 0)
+	_, sdk := startOne(t, 2, "off")
 	_, err := sdk.Stat("/does/not/exist")
 	if err == nil {
 		t.Fatal("stat of missing path succeeded")
@@ -78,15 +78,34 @@ func TestStatErrorMentionsPath(t *testing.T) {
 	}
 }
 
+func TestCachedNegativeErrorMentionsPath(t *testing.T) {
+	_, sdk := startOne(t, 1, "leases")
+	if _, err := sdk.Stat("/does/not/exist"); err == nil {
+		t.Fatal("stat of missing path succeeded")
+	}
+	// Second stat is served from the negative cache; the error shape must
+	// stay the same for callers matching on the path or on ENOENT.
+	_, err := sdk.Stat("/does/not/exist")
+	if err == nil {
+		t.Fatal("cached stat of missing path succeeded")
+	}
+	if !strings.Contains(err.Error(), "/does/not/exist") || !strings.Contains(err.Error(), "ENOENT") {
+		t.Errorf("cached-negative error %q lacks path or ENOENT", err)
+	}
+}
+
 func TestRenameMissingSource(t *testing.T) {
-	_, sdk := startOne(t, 2, 0)
+	_, sdk := startOne(t, 2, "off")
 	if err := sdk.Rename("/ghost", "/elsewhere"); err == nil {
 		t.Error("rename of missing source succeeded")
 	}
 }
 
-func TestDeepNamespaceThroughCache(t *testing.T) {
-	_, sdk := startOne(t, 2, 4)
+// TestWarmCacheRPCCounts is the headline lease-cache property, proven by
+// counting RPC frames: once the lease cache is warm, Stat (positive and
+// negative) costs zero RPCs and Create costs exactly one.
+func TestWarmCacheRPCCounts(t *testing.T) {
+	_, sdk := startOne(t, 1, "leases")
 	p := ""
 	for _, c := range []string{"a", "b", "c", "d", "e"} {
 		p += "/" + c
@@ -97,9 +116,11 @@ func TestDeepNamespaceThroughCache(t *testing.T) {
 	if _, err := sdk.Create(p + "/leaf"); err != nil {
 		t.Fatal(err)
 	}
-	// Warm, then measure: the cached prefix must reduce per-stat RPCs to
-	// roughly the uncached suffix length.
-	sdk.Stat(p + "/leaf")
+
+	// Warm the whole chain (one batched resolve), then measure.
+	if _, err := sdk.Stat(p + "/leaf"); err != nil {
+		t.Fatal(err)
+	}
 	before := sdk.RPCCount.Load()
 	const n = 20
 	for i := 0; i < n; i++ {
@@ -107,11 +128,179 @@ func TestDeepNamespaceThroughCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	perStat := float64(sdk.RPCCount.Load()-before) / n
-	// Path has 6 components; depth < 4 cached (a, b, c) leaves d, e,
-	// leaf — all on one shard here, so 1 RPC per stat.
-	if perStat > 2 {
-		t.Errorf("cached deep stat costs %.1f RPCs, want <= 2", perStat)
+	if got := sdk.RPCCount.Load() - before; got != 0 {
+		t.Errorf("warm stats cost %d RPCs over %d ops, want 0", got, n)
+	}
+
+	// Warm negative: first miss resolves and caches the absence, repeats
+	// are free.
+	if _, err := sdk.Stat(p + "/nope"); err == nil {
+		t.Fatal("stat of missing entry succeeded")
+	}
+	before = sdk.RPCCount.Load()
+	for i := 0; i < n; i++ {
+		if _, err := sdk.Stat(p + "/nope"); err == nil {
+			t.Fatal("stat of missing entry succeeded")
+		}
+	}
+	if got := sdk.RPCCount.Load() - before; got != 0 {
+		t.Errorf("warm negative stats cost %d RPCs over %d ops, want 0", got, n)
+	}
+
+	// Warm create: the parent chain resolves from cache, so only the
+	// MethodCreate frame goes out — and the response's grant keeps the
+	// cache warm (our own epoch bump must not flush it).
+	before = sdk.RPCCount.Load()
+	for i := 0; i < n; i++ {
+		if _, err := sdk.Create(p + "/new" + string(rune('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sdk.RPCCount.Load() - before; got != n {
+		t.Errorf("warm creates cost %d RPCs over %d ops, want %d", got, n, n)
+	}
+
+	// And the creates left the cache warm: stats of the new entries and
+	// the old leaf are still free.
+	before = sdk.RPCCount.Load()
+	if _, err := sdk.Stat(p + "/newa"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Stat(p + "/leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sdk.RPCCount.Load() - before; got != 0 {
+		t.Errorf("stats after own creates cost %d RPCs, want 0", got)
+	}
+}
+
+// TestStalenessBoundAcrossClients: a mutation through one client must
+// become visible to another, fully warm client within one RPC — the
+// next server round trip piggybacks the bumped lease epoch — without
+// waiting for the TTL.
+func TestStalenessBoundAcrossClients(t *testing.T) {
+	cl, writer := startOne(t, 1, "leases")
+	reader, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reader.Close() })
+
+	if _, err := writer.Mkdir("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Create("/shared/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the reader on the entry.
+	if _, err := reader.Stat("/shared/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Stat("/shared/doomed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer removes the entry; the reader's cache still holds it.
+	if err := writer.Remove("/shared/doomed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// One RPC of any kind under the directory carries the bumped epoch.
+	// Readdir goes to the server (it always does) and its grant trailer
+	// must flush the reader's stale entry.
+	if _, err := reader.Readdir("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Stat("/shared/doomed"); err == nil {
+		t.Error("reader still sees a removed entry after observing a newer epoch")
+	}
+}
+
+// TestTTLBoundsStalenessForIdleClient: a client that issues no RPCs at
+// all (fully warm) must still converge once its lease TTL runs out.
+func TestTTLBoundsStalenessForIdleClient(t *testing.T) {
+	cl, err := server.StartCluster(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	cl.Services[0].SetLeaseTTL(100 * time.Millisecond)
+	writer, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { writer.Close() })
+	reader, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reader.Close() })
+
+	if _, err := writer.Mkdir("/idle"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Create("/idle/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Stat("/idle/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Remove("/idle/f"); err != nil {
+		t.Fatal(err)
+	}
+	// No reader RPCs: the cached entry may serve up to the TTL, no longer.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := reader.Stat("/idle/f"); err != nil {
+			break // converged
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reader still serves a removed entry long past the lease TTL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestForkIsolatesCacheSharesTransports(t *testing.T) {
+	_, sdk := startOne(t, 1, "leases")
+	if _, err := sdk.Mkdir("/fk"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Create("/fk/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Stat("/fk/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	v := sdk.Fork()
+	defer v.Close()
+	// The fork starts cold: its first stat costs RPCs, counted on its own
+	// counters, not the parent's.
+	p0 := sdk.RPCCount.Load()
+	if _, err := v.Stat("/fk/f"); err != nil {
+		t.Fatal(err)
+	}
+	if v.RPCCount.Load() == 0 {
+		t.Error("fork's cold stat cost no RPCs (cache not isolated)")
+	}
+	if sdk.RPCCount.Load() != p0 {
+		t.Error("fork's RPCs landed on the parent's counter")
+	}
+	// Warm now, and free.
+	b := v.RPCCount.Load()
+	if _, err := v.Stat("/fk/f"); err != nil {
+		t.Fatal(err)
+	}
+	if v.RPCCount.Load() != b {
+		t.Error("fork's warm stat cost RPCs")
+	}
+	// Closing the fork must not kill the parent's connections.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.Stat("/fk/f"); err != nil {
+		t.Fatalf("parent broken after fork close: %v", err)
 	}
 }
 

@@ -1,0 +1,279 @@
+package lease
+
+import (
+	"sync"
+	"time"
+
+	"origami/internal/namespace"
+	"origami/internal/telemetry"
+)
+
+// ClientCache is the SDK-side dentry/inode cache. Entries are grouped
+// by parent directory and are only served while that directory's lease
+// grant is unexpired; a grant observed on any RPC response with a
+// different ID or a newer epoch flushes the directory. Negative
+// entries (name proven absent by the owner) are cached the same way,
+// so a warm miss costs zero RPCs too.
+//
+// Writes are epoch-conditional: Put and PutNegative carry the grant
+// that rode the same response as the data, and the cache accepts the
+// entry only while that grant is still current. Responses processed
+// out of order (two goroutines sharing one client) therefore cannot
+// seed data the server has already moved past — a stale response's
+// grant is ignored by Observe and its entries are rejected by Put.
+type ClientCache struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	dirs map[namespace.Ino]*dirState
+
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	negHits       *telemetry.Counter
+	invalidations *telemetry.Counter
+	entries       *telemetry.Gauge
+	nEntries      int
+}
+
+type dirState struct {
+	id      uint64
+	epoch   uint64
+	expires time.Time
+	pos     map[string]*namespace.Inode
+	neg     map[string]struct{}
+}
+
+// NewClientCache builds an empty cache registering its metrics with reg.
+func NewClientCache(reg *telemetry.Registry) *ClientCache {
+	return &ClientCache{
+		now:           time.Now,
+		dirs:          make(map[namespace.Ino]*dirState),
+		hits:          reg.Counter("client.cache.hits"),
+		misses:        reg.Counter("client.cache.misses"),
+		negHits:       reg.Counter("client.cache.negative_hits"),
+		invalidations: reg.Counter("client.cache.invalidations"),
+		entries:       reg.Gauge("cache.entries.active"),
+	}
+}
+
+// SetNow overrides the clock; tests use it to force lease expiry.
+func (c *ClientCache) SetNow(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// Lookup serves name under dir from cache. It returns (inode, false,
+// true) on a positive hit, (nil, true, true) on a cached negative, and
+// ok=false when the cache cannot answer — no lease, an expired lease,
+// or simply no entry for the name.
+func (c *ClientCache) Lookup(dir namespace.Ino, name string) (in *namespace.Inode, negative, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dirs[dir]
+	if d == nil {
+		c.misses.Inc()
+		return nil, false, false
+	}
+	if c.now().After(d.expires) {
+		// The grant that vouched for these entries ran out; drop them
+		// rather than serve data past the staleness bound.
+		c.dropLocked(dir, d)
+		c.misses.Inc()
+		return nil, false, false
+	}
+	if _, bad := d.neg[name]; bad {
+		c.negHits.Inc()
+		return nil, true, true
+	}
+	if in := d.pos[name]; in != nil {
+		c.hits.Inc()
+		return in, false, true
+	}
+	c.misses.Inc()
+	return nil, false, false
+}
+
+// Peek is Lookup without the hit/miss accounting, for bookkeeping
+// walks (dropping a path's cached prefix) that are not cache traffic.
+func (c *ClientCache) Peek(dir namespace.Ino, name string) (in *namespace.Inode, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dirs[dir]
+	if d == nil || c.now().After(d.expires) {
+		return nil, false
+	}
+	in = d.pos[name]
+	return in, in != nil
+}
+
+// Observe folds a grant from a read-path response into the cache. An
+// unknown lease ID or a newer epoch flushes the directory's entries
+// (they were cached under a state the server has moved past) and
+// adopts the grant; an older epoch under the same ID means this
+// response was overtaken in flight and is ignored wholesale.
+func (c *ClientCache) Observe(g Grant) {
+	c.observe(g, false)
+}
+
+// ObserveMutation is Observe for the response of the client's own
+// mutation. Exactly one epoch step (epoch == cached+1) is the bump
+// that mutation itself caused, so the cache adopts it without flushing
+// — the caller then patches the one entry it changed. Any other
+// forward step means someone else mutated too, and the directory
+// flushes as usual.
+func (c *ClientCache) ObserveMutation(g Grant) {
+	c.observe(g, true)
+}
+
+func (c *ClientCache) observe(g Grant, ownMutation bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dirs[g.Dir]
+	if d == nil {
+		d = &dirState{
+			id: g.ID, epoch: g.Epoch,
+			pos: make(map[string]*namespace.Inode), neg: make(map[string]struct{}),
+		}
+		c.dirs[g.Dir] = d
+		d.expires = c.now().Add(g.TTL())
+		return
+	}
+	if d.id == g.ID {
+		switch {
+		case g.Epoch == d.epoch:
+			// Revalidation: same state, extend the window.
+		case ownMutation && g.Epoch == d.epoch+1:
+			d.epoch = g.Epoch
+		case g.Epoch < d.epoch:
+			// A response overtaken in flight; adopting it would regress
+			// the epoch and let its Put vouch stale data as current.
+			return
+		default:
+			c.flushLocked(d)
+			d.epoch = g.Epoch
+		}
+	} else {
+		c.flushLocked(d)
+		d.id = g.ID
+		d.epoch = g.Epoch
+	}
+	d.expires = c.now().Add(g.TTL())
+}
+
+func (c *ClientCache) flushLocked(d *dirState) {
+	c.nEntries -= len(d.pos) + len(d.neg)
+	c.invalidations.Add(int64(len(d.pos) + len(d.neg)))
+	d.pos = make(map[string]*namespace.Inode)
+	d.neg = make(map[string]struct{})
+	c.entries.Set(float64(c.nEntries))
+}
+
+// current returns dir's state if it matches the grant's (ID, epoch)
+// and the lease is live — the admission check for Put/PutNegative.
+func (c *ClientCache) current(g Grant) *dirState {
+	d := c.dirs[g.Dir]
+	if d == nil || d.id != g.ID || d.epoch != g.Epoch || c.now().After(d.expires) {
+		return nil
+	}
+	return d
+}
+
+// Put caches a positive entry under the grant's directory, but only
+// while the grant is still the directory's current state: data that
+// rode an already-overtaken response must not be served as fresh.
+func (c *ClientCache) Put(g Grant, name string, in *namespace.Inode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.current(g)
+	if d == nil {
+		return
+	}
+	if _, ok := d.neg[name]; ok {
+		delete(d.neg, name)
+		c.nEntries--
+	}
+	if _, ok := d.pos[name]; !ok {
+		c.nEntries++
+	}
+	cp := *in
+	d.pos[name] = &cp
+	c.entries.Set(float64(c.nEntries))
+}
+
+// PutNegative caches "name is absent", under the same admission rule.
+func (c *ClientCache) PutNegative(g Grant, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.current(g)
+	if d == nil {
+		return
+	}
+	if _, ok := d.pos[name]; ok {
+		delete(d.pos, name)
+		c.nEntries--
+	}
+	if _, ok := d.neg[name]; !ok {
+		c.nEntries++
+	}
+	d.neg[name] = struct{}{}
+	c.entries.Set(float64(c.nEntries))
+}
+
+// DropEntry removes one name from dir's cache (both polarities).
+func (c *ClientCache) DropEntry(dir namespace.Ino, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dirs[dir]
+	if d == nil {
+		return
+	}
+	if _, ok := d.pos[name]; ok {
+		delete(d.pos, name)
+		c.nEntries--
+	}
+	if _, ok := d.neg[name]; ok {
+		delete(d.neg, name)
+		c.nEntries--
+	}
+	c.entries.Set(float64(c.nEntries))
+}
+
+// Forget drops dir's lease and every entry under it.
+func (c *ClientCache) Forget(dir namespace.Ino) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d := c.dirs[dir]; d != nil {
+		c.dropLocked(dir, d)
+	}
+}
+
+// Flush empties the whole cache. The client calls it when the cluster
+// shifts under it (map refresh after a not-owner or transport error):
+// correctness first, the next few resolves re-warm it.
+func (c *ClientCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dirs = make(map[namespace.Ino]*dirState)
+	c.nEntries = 0
+	c.entries.Set(0)
+}
+
+func (c *ClientCache) dropLocked(dir namespace.Ino, d *dirState) {
+	c.nEntries -= len(d.pos) + len(d.neg)
+	delete(c.dirs, dir)
+	c.entries.Set(float64(c.nEntries))
+}
+
+// Entries reports how many entries (positive + negative) are cached.
+func (c *ClientCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nEntries
+}
+
+// Dirs reports how many directories hold a live client-side lease.
+func (c *ClientCache) Dirs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dirs)
+}

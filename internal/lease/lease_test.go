@@ -1,0 +1,210 @@
+package lease
+
+import (
+	"testing"
+	"time"
+
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+	"origami/internal/telemetry"
+)
+
+func mkInode(ino namespace.Ino) *namespace.Inode {
+	return &namespace.Inode{Ino: ino, Type: namespace.TypeFile}
+}
+
+func TestTableGrantBumpExpiry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tb := NewTable(reg, 100*time.Millisecond)
+	now := time.Unix(1000, 0)
+	tb.SetNow(func() time.Time { return now })
+
+	g1 := tb.Grant(7)
+	if g1.Dir != 7 || g1.ID == 0 || g1.Epoch != 0 {
+		t.Fatalf("fresh grant = %+v", g1)
+	}
+	if g1.TTLms != 100 {
+		t.Fatalf("ttl ms = %d, want 100", g1.TTLms)
+	}
+	if g2 := tb.Grant(7); g2.ID != g1.ID || g2.Epoch != 0 {
+		t.Fatalf("re-grant changed lease: %+v vs %+v", g2, g1)
+	}
+	if reg.Counter("mds.lease.granted").Value() != 1 {
+		t.Fatalf("granted counter = %d, want 1", reg.Counter("mds.lease.granted").Value())
+	}
+
+	tb.Bump(7)
+	tb.Bump(7)
+	if g := tb.Grant(7); g.Epoch != 2 {
+		t.Fatalf("epoch after two bumps = %d, want 2", g.Epoch)
+	}
+	tb.Bump(99) // untracked: must not materialize an entry
+	if _, ok := tb.Epoch(99); ok {
+		t.Fatal("bump of untracked dir created an entry")
+	}
+	if reg.Counter("mds.lease.bumped").Value() != 2 {
+		t.Fatalf("bumped counter = %d, want 2", reg.Counter("mds.lease.bumped").Value())
+	}
+
+	// Idle past the TTL: the next grant mints a new ID at epoch 0.
+	now = now.Add(150 * time.Millisecond)
+	g3 := tb.Grant(7)
+	if g3.ID == g1.ID || g3.Epoch != 0 {
+		t.Fatalf("expired re-grant = %+v, want new ID at epoch 0", g3)
+	}
+	if reg.Counter("mds.lease.expired").Value() != 1 {
+		t.Fatalf("expired counter = %d, want 1", reg.Counter("mds.lease.expired").Value())
+	}
+}
+
+func TestTableRevokeMintsNewID(t *testing.T) {
+	tb := NewTable(telemetry.NewRegistry(), time.Second)
+	g1 := tb.Grant(3)
+	tb.Bump(3)
+	tb.Revoke(3)
+	if _, ok := tb.Epoch(3); ok {
+		t.Fatal("revoked dir still tracked")
+	}
+	g2 := tb.Grant(3)
+	if g2.ID == g1.ID {
+		t.Fatal("revoke did not mint a new lease ID")
+	}
+	tb.Grant(4)
+	tb.Grant(5)
+	tb.RevokeSubtree([]namespace.Ino{3, 4, 5})
+	if tb.Active() != 0 {
+		t.Fatalf("active after subtree revoke = %d, want 0", tb.Active())
+	}
+}
+
+func TestTableIncarnationsDiffer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewTable(reg, time.Second).Grant(1)
+	b := NewTable(reg, time.Second).Grant(1)
+	if a.ID == b.ID {
+		t.Fatal("two table incarnations minted the same lease ID")
+	}
+}
+
+func TestClientCacheCoherence(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cc := NewClientCache(reg)
+	now := time.Unix(2000, 0)
+	cc.SetNow(func() time.Time { return now })
+
+	g := Grant{Dir: 7, ID: 42, Epoch: 0, TTLms: 1000}
+	cc.Observe(g)
+	cc.Put(g, "a", mkInode(11))
+	cc.PutNegative(g, "gone")
+
+	if in, neg, ok := cc.Lookup(7, "a"); !ok || neg || in.Ino != 11 {
+		t.Fatalf("positive lookup = (%v,%v,%v)", in, neg, ok)
+	}
+	if _, neg, ok := cc.Lookup(7, "gone"); !ok || !neg {
+		t.Fatal("negative entry not served")
+	}
+	if _, _, ok := cc.Lookup(7, "other"); ok {
+		t.Fatal("unknown name served from cache")
+	}
+	if cc.Entries() != 2 {
+		t.Fatalf("entries = %d, want 2", cc.Entries())
+	}
+
+	// A foreign epoch step flushes the directory.
+	g2 := Grant{Dir: 7, ID: 42, Epoch: 1, TTLms: 1000}
+	cc.Observe(g2)
+	if _, _, ok := cc.Lookup(7, "a"); ok {
+		t.Fatal("entry survived a foreign epoch bump")
+	}
+	if reg.Counter("client.cache.invalidations").Value() != 2 {
+		t.Fatalf("invalidations = %d, want 2", reg.Counter("client.cache.invalidations").Value())
+	}
+
+	// A Put vouched by an overtaken grant is rejected, and observing
+	// the stale grant itself is a no-op.
+	cc.Put(g, "a", mkInode(11))
+	if _, _, ok := cc.Lookup(7, "a"); ok {
+		t.Fatal("entry admitted under an overtaken grant")
+	}
+	cc.Observe(g)
+	cc.Put(g, "a", mkInode(11))
+	if _, _, ok := cc.Lookup(7, "a"); ok {
+		t.Fatal("epoch regressed to an overtaken grant")
+	}
+
+	// A new lease ID flushes too.
+	cc.Put(g2, "a", mkInode(11))
+	g3 := Grant{Dir: 7, ID: 99, Epoch: 1, TTLms: 1000}
+	cc.Observe(g3)
+	if _, _, ok := cc.Lookup(7, "a"); ok {
+		t.Fatal("entry survived a lease ID change")
+	}
+}
+
+func TestClientCacheOwnMutationKeepsEntries(t *testing.T) {
+	cc := NewClientCache(telemetry.NewRegistry())
+	g5 := Grant{Dir: 7, ID: 42, Epoch: 5, TTLms: 1000}
+	cc.Observe(g5)
+	cc.Put(g5, "old", mkInode(11))
+
+	// The bump caused by our own create: epoch+1 adopts without a flush.
+	g6 := Grant{Dir: 7, ID: 42, Epoch: 6, TTLms: 1000}
+	cc.ObserveMutation(g6)
+	cc.Put(g6, "new", mkInode(12))
+	if _, _, ok := cc.Lookup(7, "old"); !ok {
+		t.Fatal("own mutation flushed sibling entries")
+	}
+	if _, _, ok := cc.Lookup(7, "new"); !ok {
+		t.Fatal("new entry not cached after own mutation")
+	}
+
+	// Two steps means someone else mutated concurrently: flush.
+	cc.ObserveMutation(Grant{Dir: 7, ID: 42, Epoch: 8, TTLms: 1000})
+	if _, _, ok := cc.Lookup(7, "old"); ok {
+		t.Fatal("entry survived a concurrent foreign mutation")
+	}
+}
+
+func TestClientCacheTTLExpiry(t *testing.T) {
+	cc := NewClientCache(telemetry.NewRegistry())
+	now := time.Unix(3000, 0)
+	cc.SetNow(func() time.Time { return now })
+	g := Grant{Dir: 7, ID: 42, Epoch: 0, TTLms: 100}
+	cc.Observe(g)
+	cc.Put(g, "a", mkInode(11))
+	now = now.Add(150 * time.Millisecond)
+	if _, _, ok := cc.Lookup(7, "a"); ok {
+		t.Fatal("entry served past its lease TTL")
+	}
+	// Put without a live lease must not cache.
+	cc.Put(g, "b", mkInode(12))
+	if cc.Entries() != 0 {
+		t.Fatalf("entries = %d, want 0 after expiry", cc.Entries())
+	}
+}
+
+func TestGrantTrailerRoundTrip(t *testing.T) {
+	grants := []Grant{
+		{Dir: 1, ID: 10, Epoch: 3, TTLms: 2000},
+		{Dir: 42, ID: 11, Epoch: 0, TTLms: 500},
+	}
+	w := &rpc.Wire{}
+	w.Blob([]byte("payload")) // stand-in for the real response body
+	AppendGrants(w, grants)
+
+	r := rpc.NewReader(w.Bytes())
+	if string(r.Blob()) != "payload" {
+		t.Fatal("payload mangled")
+	}
+	got := DecodeGrants(r)
+	if len(got) != 2 || got[0] != grants[0] || got[1] != grants[1] {
+		t.Fatalf("decoded grants = %+v", got)
+	}
+
+	// A body with no trailer decodes as no grants.
+	r2 := rpc.NewReader((&rpc.Wire{}).Blob([]byte("payload")).Bytes())
+	r2.Blob()
+	if g := DecodeGrants(r2); g != nil {
+		t.Fatalf("grants from trailer-less body = %+v", g)
+	}
+}

@@ -6,11 +6,13 @@
 // BenchmarkTCPClusterThroughput, whose serial-vs-concurrent dispatch
 // comparison is the headline number for the concurrent MDS request path.
 //
-// All workers share one SDK client, so every request to a given MDS
-// multiplexes onto a single TCP connection — exactly the scenario the
-// server's per-request dispatch targets: with serial dispatch the shared
-// connection handles one request at a time; with concurrent dispatch the
-// handlers overlap and only frame writes serialise.
+// All workers share one SDK client's transports, so every request to a
+// given MDS multiplexes onto a single TCP connection — exactly the
+// scenario the server's per-request dispatch targets. With Clients > 0
+// the run additionally simulates that many independent SDK clients via
+// client.Fork: each virtual client has its own lease cache and map view
+// but rides the shared connections, so a 10k-client fleet fits in one
+// process without 10k sockets (or file descriptors).
 package loadgen
 
 import (
@@ -30,6 +32,11 @@ type Config struct {
 	Addrs []string
 	// Workers is the number of closed-loop worker goroutines.
 	Workers int
+	// Clients, when > 0, simulates that many independent SDK clients
+	// (each a client.Fork with its own lease cache); operations
+	// round-robin across them. 0 runs every worker through one shared
+	// client — the historical single-SDK mode.
+	Clients int
 	// Duration bounds the run in wall-clock time. Ignored when TotalOps
 	// is set.
 	Duration time.Duration
@@ -43,9 +50,9 @@ type Config struct {
 	// PreFiles is the number of files pre-created per worker directory
 	// as stat/readdir targets (default 32).
 	PreFiles int
-	// CacheDepth is the SDK near-root cache depth (default 3, enough to
-	// cache the root → worker-dir chain so each op costs ~1 RPC).
-	CacheDepth int
+	// Cache selects the SDK cache mode: "leases" (default) or "off" —
+	// the A/B knob behind `origami-bench -cache`.
+	Cache string
 	// WritePct is the percentage of operations that mutate (create,
 	// with trailing removes bounding directory size). Default 20; 100
 	// gives an mdtest-style pure metadata-write workload. Of the
@@ -68,8 +75,10 @@ type Config struct {
 type Result struct {
 	Ops     int64         // operations completed
 	Errors  int64         // operations that returned an error
+	RPCs    int64         // metadata RPCs issued during the measured loop
 	Elapsed time.Duration // wall-clock time of the measured loop
 	Workers int
+	Clients int // simulated clients (0 = one shared SDK)
 
 	// P50/P95/P99 are exact per-operation latency percentiles over every
 	// operation of the measured loop (not histogram-bucket estimates).
@@ -82,6 +91,16 @@ func (r *Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RPCPerOp returns metadata RPCs issued per completed operation — the
+// cache's amortised cost figure (0 RPCs for a warm stat, 1 for a warm
+// create).
+func (r *Result) RPCPerOp() float64 {
+	if r.Ops <= 0 {
+		return 0
+	}
+	return float64(r.RPCs) / float64(r.Ops)
 }
 
 // Percentile returns the pth percentile (0 < p <= 100) of sorted samples
@@ -111,9 +130,6 @@ func (c Config) withDefaults() Config {
 	if c.PreFiles <= 0 {
 		c.PreFiles = 32
 	}
-	if c.CacheDepth == 0 {
-		c.CacheDepth = 3
-	}
 	if c.ReadPct > 100 {
 		c.ReadPct = 100
 	}
@@ -140,7 +156,7 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	c, err := client.Dial(client.Config{
 		Addrs:           cfg.Addrs,
-		CacheDepth:      cfg.CacheDepth,
+		Cache:           cfg.Cache,
 		TraceSampleRate: cfg.TraceSampleRate,
 	})
 	if err != nil {
@@ -167,6 +183,21 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("loadgen: create %s: %w", targets[w][i], err)
 			}
 		}
+	}
+
+	// The simulated fleet: forks share the parent's connections but each
+	// carries its own (cold) lease cache, so per-client warm-up cost is
+	// paid cfg.Clients times — the realistic shape for cache metrics.
+	sdks := []*client.Client{c}
+	if cfg.Clients > 0 {
+		sdks = make([]*client.Client, cfg.Clients)
+		for i := range sdks {
+			sdks[i] = c.Fork()
+		}
+	}
+	setupRPCs := int64(0)
+	for _, s := range sdks {
+		setupRPCs += s.Stats().RPCs
 	}
 
 	var (
@@ -197,6 +228,7 @@ func Run(cfg Config) (*Result, error) {
 					tickets.Add(-1)
 					return
 				}
+				sdk := sdks[int(i)%len(sdks)]
 				var err error
 				opStart := time.Now()
 				// i*37 mod 100 walks all residues (37 ⊥ 100), spreading
@@ -204,16 +236,16 @@ func Run(cfg Config) (*Result, error) {
 				switch pick := int(i * 37 % 100); {
 				case pick < cfg.WritePct: // mutation; removes bound the dir
 					if created-removed >= 16 {
-						err = c.Remove(fmt.Sprintf("%s/t%08d", dir, removed))
+						err = sdk.Remove(fmt.Sprintf("%s/t%08d", dir, removed))
 						removed++
 					} else {
-						_, err = c.Create(fmt.Sprintf("%s/t%08d", dir, created))
+						_, err = sdk.Create(fmt.Sprintf("%s/t%08d", dir, created))
 						created++
 					}
 				case pick < cfg.WritePct+20 && cfg.WritePct < 100:
-					_, err = c.Readdir(dir)
+					_, err = sdk.Readdir(dir)
 				default:
-					_, err = c.Stat(targets[w][rnd.Intn(len(targets[w]))])
+					_, err = sdk.Stat(targets[w][rnd.Intn(len(targets[w]))])
 				}
 				lats[w] = append(lats[w], time.Since(opStart))
 				if err != nil {
@@ -224,6 +256,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var rpcs int64
+	for _, s := range sdks {
+		rpcs += s.Stats().RPCs
+	}
 	var all []time.Duration
 	for _, l := range lats {
 		all = append(all, l...)
@@ -232,8 +268,10 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{
 		Ops:     tickets.Load(),
 		Errors:  errCount.Load(),
+		RPCs:    rpcs - setupRPCs,
 		Elapsed: elapsed,
 		Workers: cfg.Workers,
+		Clients: cfg.Clients,
 		P50:     Percentile(all, 50),
 		P95:     Percentile(all, 95),
 		P99:     Percentile(all, 99),

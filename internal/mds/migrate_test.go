@@ -196,6 +196,66 @@ func TestMigratePrepareThenCommit(t *testing.T) {
 	}
 }
 
+// TestMigrateRevokesLeases: shipping a subtree away must drop the source
+// shard's lease state for every directory in it — clients still holding
+// those grants re-resolve through the fake redirect (new shard, new
+// lease incarnation) instead of trusting entries the source no longer
+// owns. Covers both the 2PC commit and the one-shot migrate path.
+func TestMigrateRevokesLeases(t *testing.T) {
+	src, _ := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	sub := mustCreate(t, src, d.Ino, "sub", namespace.TypeDir)
+	mustCreate(t, src, sub.Ino, "f", namespace.TypeFile)
+
+	gd := src.leases.Grant(d.Ino)
+	gs := src.leases.Grant(sub.Ino)
+	if _, ok := src.leases.Epoch(d.Ino); !ok {
+		t.Fatal("grant did not register in the lease table")
+	}
+
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	if _, err := src.handleMigratePrepare(w.Bytes()); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	var cw rpc.Wire
+	cw.U64(uint64(d.Ino))
+	if _, err := src.handleMigrateCommit(cw.Bytes()); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if _, ok := src.leases.Epoch(d.Ino); ok {
+		t.Error("migrated root's lease survived the 2PC commit")
+	}
+	if _, ok := src.leases.Epoch(sub.Ino); ok {
+		t.Error("migrated subdir's lease survived the 2PC commit")
+	}
+	// A later grant for the same ino (were the subtree migrated back)
+	// must not resurrect the old lease identity.
+	if g := src.leases.Grant(d.Ino); g.ID == gd.ID {
+		t.Error("post-migration grant reused the revoked lease ID")
+	}
+	if g := src.leases.Grant(sub.Ino); g.ID == gs.ID {
+		t.Error("post-migration grant reused the revoked lease ID")
+	}
+}
+
+func TestOneShotMigrateRevokesLeases(t *testing.T) {
+	src, _ := twoServices(t)
+	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)
+	g := src.leases.Grant(d.Ino)
+	var w rpc.Wire
+	w.U64(uint64(d.Ino)).U32(1)
+	if _, err := src.handleMigrate(w.Bytes()); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if _, ok := src.leases.Epoch(d.Ino); ok {
+		t.Error("migrated dir's lease survived the one-shot migrate")
+	}
+	if g2 := src.leases.Grant(d.Ino); g2.ID == g.ID {
+		t.Error("post-migration grant reused the revoked lease ID")
+	}
+}
+
 func TestMigrateAbortRollsBack(t *testing.T) {
 	src, dst := twoServices(t)
 	d := mustCreate(t, src, namespace.RootIno, "proj", namespace.TypeDir)

@@ -52,6 +52,14 @@ const (
 	// MethodBuildInfo returns the process build info (version, go
 	// runtime, uptime, enabled features) as JSON.
 	MethodBuildInfo
+	// MethodResolvePath is MethodLookupPath's cache-coherent successor:
+	// same request, but the response additionally carries a terminal
+	// negative flag (the first missing component under an owned
+	// directory resolves the whole path to "absent" in one round trip,
+	// cacheable as a negative entry) and a lease-grant trailer for every
+	// owned directory the walk traversed, so one warm-up resolve seeds
+	// the client cache for the entire prefix.
+	MethodResolvePath
 )
 
 // Coordinator admin protocol. These methods are served not by the MDS
@@ -91,6 +99,7 @@ var methodNames = map[rpc.Method]string{
 	MethodSetMap:         "setmap",
 	MethodInsert:         "insert",
 	MethodLookupPath:     "lookup_path",
+	MethodResolvePath:    "resolve_path",
 	MethodMigratePrepare: "migrate_prepare",
 	MethodMigrateCommit:  "migrate_commit",
 	MethodMigrateAbort:   "migrate_abort",

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"origami/internal/kvstore"
+	"origami/internal/lease"
 	"origami/internal/namespace"
 	"origami/internal/rpc"
 	"origami/internal/telemetry"
@@ -69,6 +70,14 @@ type Service struct {
 	prep            *preparedMigration
 	PrepareTimeout  time.Duration
 	MigrationAborts int64 // auto- or explicit aborts (observability)
+
+	// leases is the shard's per-directory lease table. Owner-served
+	// read responses carry grant trailers from it, mutations bump the
+	// touched directory's epoch, and migrations revoke the shipped
+	// subtree. It is rebuilt (with a fresh ID salt) whenever a Service
+	// is, so restarts and replica promotions invalidate every
+	// outstanding grant implicitly.
+	leases *lease.Table
 
 	// reg holds the shard's telemetry: per-op service latency,
 	// migration phase timings, store size. Exported over both the
@@ -159,6 +168,7 @@ func NewService(id int, store *Store, peers func(int) (*rpc.Client, error)) *Ser
 		reg: telemetry.NewRegistry(),
 		log: telemetry.L("mds").With("mds", id),
 	}
+	s.leases = lease.NewTable(s.reg, lease.DefaultTTL)
 	for i := range s.dirAcc {
 		s.dirAcc[i].m = make(map[namespace.Ino]*dirCounters)
 	}
@@ -235,6 +245,7 @@ func (s *Service) Serve(addr string) (string, error) {
 	srv.Handle(MethodSetMap, s.handleSetMap)
 	srv.Handle(MethodInsert, s.handleInsert)
 	srv.HandleInfo(MethodLookupPath, s.timed("lookup_path", s.handleLookupPath))
+	srv.HandleInfo(MethodResolvePath, s.timed("resolve_path", s.handleResolvePath))
 	srv.Handle(MethodMetrics, s.handleMetrics)
 	srv.Handle(MethodTraces, s.handleTraces)
 	srv.Handle(MethodBuildInfo, s.handleBuildInfo)
@@ -269,6 +280,38 @@ func (s *Service) Close() error {
 // Server exposes the underlying RPC server (fault injection, tests,
 // replication handler registration).
 func (s *Service) Server() *rpc.Server { return s.srv }
+
+// LeaseTable exposes the shard's lease table (tests, admin).
+func (s *Service) LeaseTable() *lease.Table { return s.leases }
+
+// SetLeaseTTL adjusts the validity window stamped on lease grants
+// (the -lease-ttl flag). Safe while serving.
+func (s *Service) SetLeaseTTL(d time.Duration) { s.leases.SetTTL(d) }
+
+// withGrants appends the lease-grant trailer for dirs onto an
+// owner-served response body. Replica-served responses never carry
+// grants: a replica is not authoritative for invalidation.
+func (s *Service) withGrants(resp []byte, dirs ...namespace.Ino) []byte {
+	grants := make([]lease.Grant, len(dirs))
+	for i, d := range dirs {
+		grants[i] = s.leases.Grant(d)
+	}
+	w := &rpc.Wire{}
+	lease.AppendGrants(w, grants)
+	return append(resp, w.Bytes()...)
+}
+
+// dirInos filters a collected subtree down to its directory inos — the
+// lease entries a migration must revoke.
+func dirInos(inos []*namespace.Inode) []namespace.Ino {
+	dirs := make([]namespace.Ino, 0, len(inos))
+	for _, in := range inos {
+		if in.IsDir() {
+			dirs = append(dirs, in.Ino)
+		}
+	}
+	return dirs
+}
 
 // Store exposes the shard store (replication shipping and promotion).
 func (s *Service) Store() *Store { return s.store }
@@ -461,7 +504,7 @@ func (s *Service) handleLookup(ctx context.Context, body []byte) ([]byte, error)
 		return nil, CodedError(CodeNoEnt, "%q not in dir %d", name, parent)
 	}
 	s.recordLookup(parent)
-	return encodeInodeResp(in), nil
+	return s.withGrants(encodeInodeResp(in), parent), nil
 }
 
 // handleLookupPath walks as many of the requested components as this
@@ -530,6 +573,80 @@ func (s *Service) handleLookupPath(ctx context.Context, body []byte) ([]byte, er
 		return nil, CodedError(CodeNoEnt, "%q not in dir %d", names[0], parent)
 	}
 	return encodeInodesResp(chain), nil
+}
+
+// handleResolvePath is the cache-coherent batched walk behind the SDK's
+// lease cache. It shares MethodLookupPath's request and walk rules but
+// differs in two ways. First, a missing component under an owned
+// directory is not an error: the response returns the chain-so-far with
+// a terminal-negative flag set, so the client both learns the answer
+// ("this path does not exist") and may cache it — errors carry no body,
+// and a negative nobody vouches for could never be cached. Second, the
+// response carries a lease grant for every owned directory the walk
+// read under, seeding the client's cache for the whole prefix in one
+// round trip. Replica-served walks carry neither negatives nor grants.
+func (s *Service) handleResolvePath(ctx context.Context, body []byte) ([]byte, error) {
+	r := rpc.NewReader(body)
+	parent := namespace.Ino(r.U64())
+	n := int(r.U32())
+	if err := r.Err(); err != nil || n == 0 || n > 4096 {
+		return nil, CodedError(CodeInvalid, "bad resolve-path request")
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, r.Str())
+	}
+	if err := r.Err(); err != nil {
+		return nil, CodedError(CodeInvalid, "%v", err)
+	}
+	if !s.ownsEntry(parent) {
+		rs := s.replicaStore(parent)
+		if rs == nil {
+			return nil, CodedError(CodeNotOwner, "dir %d not on MDS %d", parent, s.ID)
+		}
+		chain, err := s.lookupPathOn(rs, parent, names)
+		if err != nil {
+			return nil, err
+		}
+		s.reg.Counter("replica.read.served").Inc()
+		return append(encodeInodesResp(chain), 0), nil
+	}
+	cur := parent
+	var chain []*namespace.Inode
+	var grantDirs []namespace.Ino
+	negative := false
+	for i, name := range names {
+		grantDirs = append(grantDirs, cur)
+		in, found, err := s.store.Lookup(cur, name)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			// Authoritative miss (migrated subtrees leave fakes, so an
+			// owned directory is the truth about its children): the
+			// whole remaining path is absent.
+			negative = true
+			break
+		}
+		s.recordLookup(cur)
+		if i == len(names)-1 && in.Type != namespace.TypeFake {
+			// Terminal component: the op's target, tallied as a read on
+			// its parent directory (see handleLookupPath).
+			s.recordRead(cur, 0)
+		}
+		chain = append(chain, in)
+		if in.Type == namespace.TypeFake || !in.IsDir() {
+			break
+		}
+		cur = in.Ino
+	}
+	resp := encodeInodesResp(chain)
+	if negative {
+		resp = append(resp, 1)
+	} else {
+		resp = append(resp, 0)
+	}
+	return s.withGrants(resp, grantDirs...), nil
 }
 
 // lookupPathOn walks names on a warm replica store. A miss on the first
@@ -623,7 +740,11 @@ func (s *Service) handleCreate(ctx context.Context, body []byte) ([]byte, error)
 		return nil, err
 	}
 	s.recordWrite(parent, time.Since(start).Nanoseconds())
-	return encodeInodeResp(in), nil
+	// Bump before granting: the trailer then carries the post-mutation
+	// epoch, which the creating client adopts as its own bump (+1)
+	// without flushing its cache.
+	s.leases.Bump(parent)
+	return s.withGrants(encodeInodeResp(in), parent), nil
 }
 
 func (s *Service) handleRemove(ctx context.Context, body []byte) ([]byte, error) {
@@ -640,7 +761,8 @@ func (s *Service) handleRemove(ctx context.Context, body []byte) ([]byte, error)
 	// RemoveEntry holds the parent's stripe (and, for a directory, the
 	// victim's stripe) across the emptiness check and the delete, so a
 	// concurrent create cannot slip a child under a dir being removed.
-	switch _, err := s.store.RemoveEntryCtx(ctx, parent, name); {
+	removed, err := s.store.RemoveEntryCtx(ctx, parent, name)
+	switch {
 	case errors.Is(err, ErrNoEnt):
 		return nil, CodedError(CodeNoEnt, "%q in dir %d", name, parent)
 	case errors.Is(err, ErrNotEmpty):
@@ -649,7 +771,11 @@ func (s *Service) handleRemove(ctx context.Context, body []byte) ([]byte, error)
 		return nil, err
 	}
 	s.recordWrite(parent, time.Since(start).Nanoseconds())
-	return nil, nil
+	s.leases.Bump(parent)
+	if removed != nil && removed.IsDir() {
+		s.leases.Revoke(removed.Ino)
+	}
+	return s.withGrants(nil, parent), nil
 }
 
 func (s *Service) handleRename(ctx context.Context, body []byte) ([]byte, error) {
@@ -682,7 +808,12 @@ func (s *Service) handleRename(ctx context.Context, body []byte) ([]byte, error)
 		return nil, err
 	}
 	s.recordWrite(srcParent, time.Since(start).Nanoseconds())
-	return encodeInodeResp(in), nil
+	s.leases.Bump(srcParent)
+	if dstParent != srcParent {
+		s.leases.Bump(dstParent)
+		return s.withGrants(encodeInodeResp(in), srcParent, dstParent), nil
+	}
+	return s.withGrants(encodeInodeResp(in), srcParent), nil
 }
 
 func (s *Service) handleReaddir(ctx context.Context, body []byte) ([]byte, error) {
@@ -706,7 +837,7 @@ func (s *Service) handleReaddir(ctx context.Context, body []byte) ([]byte, error
 		return nil, err
 	}
 	s.recordRead(ino, time.Since(start).Nanoseconds())
-	return encodeInodesResp(children), nil
+	return s.withGrants(encodeInodesResp(children), ino), nil
 }
 
 func (s *Service) handleSetattr(ctx context.Context, body []byte) ([]byte, error) {
@@ -734,7 +865,8 @@ func (s *Service) handleSetattr(ctx context.Context, body []byte) ([]byte, error
 		return nil, err
 	}
 	s.recordWrite(in.Parent, time.Since(start).Nanoseconds())
-	return encodeInodeResp(in), nil
+	s.leases.Bump(in.Parent)
+	return s.withGrants(encodeInodeResp(in), in.Parent), nil
 }
 
 func (s *Service) handleStats(body []byte) ([]byte, error) {
@@ -833,6 +965,7 @@ func (s *Service) handleInsert(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.recordWrite(in.Parent, 0)
+	s.leases.Bump(in.Parent)
 	return nil, nil
 }
 
@@ -876,6 +1009,10 @@ func (s *Service) handleMigrate(body []byte) ([]byte, error) {
 	if err := s.store.Put(&fake); err != nil {
 		return nil, err
 	}
+	// The subtree left this shard: revoke its directories' leases so
+	// the next grant (wherever it comes from) mints a new ID and every
+	// caching client flushes.
+	s.leases.RevokeSubtree(dirInos(inos))
 	var w rpc.Wire
 	w.U32(uint32(len(inos)))
 	return w.Bytes(), nil
@@ -996,6 +1133,9 @@ func (s *Service) handleMigrateCommit(body []byte) ([]byte, error) {
 	if err := s.store.Put(&fake); err != nil {
 		return nil, err
 	}
+	// Commit point: the subtree now lives on the destination, so its
+	// directories' leases die here with it.
+	s.leases.RevokeSubtree(dirInos(p.inos))
 	s.reg.Histogram("mds.migration.commit_ns").Record(time.Since(start).Nanoseconds())
 	s.log.Info("migration committed", "root", uint64(root), "dest", p.dest, "inodes", len(p.inos))
 	var w rpc.Wire

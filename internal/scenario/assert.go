@@ -89,6 +89,15 @@ func evaluateAssertions(sc *Scenario, res *RunResult, cl *server.Cluster, co *se
 			r.Passed = promoted >= 1 && float64(served) >= a.Value && demoted
 			r.Detail = fmt.Sprintf("%d unit(s) promoted, %d replica-served reads (want >= %s), demoted within %s: %v",
 				promoted, served, trimFloat(a.Value), a.Within, demoted)
+		case AssertRPCPerOp:
+			// Frames the SDK put on the wire per completed op, including the
+			// cold setup pass — a warm lease cache amortises that to ~0.
+			per := 0.0
+			if res.Workload.Ops > 0 {
+				per = float64(drv.sdk.Stats().RPCs) / float64(res.Workload.Ops)
+			}
+			r.Passed = res.Workload.Ops > 0 && per <= a.Value
+			r.Detail = fmt.Sprintf("%.4f RPCs per op over %d ops (ceiling %s)", per, res.Workload.Ops, trimFloat(a.Value))
 		case AssertAvailMin:
 			avail := 1.0
 			if res.Workload.Attempted > 0 {
@@ -150,7 +159,7 @@ func replConverged(cl *server.Cluster) bool {
 // RunResult.Workload.Lost.
 func countMissing(cl *server.Cluster, acked []string) int {
 	sdk, err := client.Dial(client.Config{
-		Addrs: cl.Addrs, CacheDepth: 0,
+		Addrs: cl.Addrs, Cache: "off",
 		RetryBackoff: 5 * time.Millisecond,
 		LinkInjector: cl.ClientInjector,
 	})

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosStatStormWarmCache runs the stat-storm-warm-cache scenario:
+// after one cold pass the lease cache must answer nearly every stat
+// locally, holding the SDK to at most 0.05 RPC frames per completed op
+// across the whole run (setup included).
+func TestChaosStatStormWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real cluster")
+	}
+	res, err := RunFile(filepath.Join("..", "..", "scenarios", "stat-storm-warm-cache.yaml"), Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assertions {
+		if !a.Passed {
+			t.Errorf("assert FAIL %-14s %s", a.Kind, a.Detail)
+		}
+	}
+}
+
+// TestChaosKillOwnerWarmCache kills the pinned owner while clients hold
+// warm lease caches. The promoted backup's fresh lease incarnation must
+// invalidate every cached entry for the moved shard: the post-run loss
+// check re-reads each acked create and tolerates zero stale answers.
+func TestChaosKillOwnerWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real cluster")
+	}
+	res, err := RunFile(filepath.Join("..", "..", "scenarios", "kill-owner-warm-cache.yaml"), Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assertions {
+		if !a.Passed {
+			t.Errorf("assert FAIL %-14s %s", a.Kind, a.Detail)
+		}
+	}
+}

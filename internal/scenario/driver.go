@@ -60,7 +60,7 @@ func hotPrePath(dir string, i int) string {
 func newDriver(sc *Scenario, cl *server.Cluster, seed int64) (*driver, error) {
 	sdk, err := client.Dial(client.Config{
 		Addrs:        cl.Addrs,
-		CacheDepth:   2,
+		Cache:        "leases",
 		CallTimeout:  sc.Fleet.CallTimeout,
 		RetryBackoff: 5 * time.Millisecond,
 		LinkInjector: cl.ClientInjector,
@@ -79,7 +79,7 @@ func newDriver(sc *Scenario, cl *server.Cluster, seed int64) (*driver, error) {
 	}
 	d.rootIno = root.Ino
 	switch {
-	case sc.Workload.Kind == "mix":
+	case sc.Workload.Kind == "mix", sc.Workload.Kind == "stat":
 		for i := 0; i < sc.Workload.PreFiles; i++ {
 			if _, err := sdk.Create(d.prePath(i)); err != nil {
 				sdk.Close()
@@ -171,6 +171,15 @@ func (d *driver) worker(w int) {
 			op := d.tr.Ops[(i*d.sc.Workload.Workers+w)%len(d.tr.Ops)]
 			start := time.Now()
 			record(start, d.applyTraceOp(op))
+			continue
+		}
+		if d.sc.Workload.Kind == "stat" {
+			// Pure stat storm over the pre-created files: after one cold
+			// pass the lease cache should answer almost everything, which
+			// is what the rpc-per-op assertion measures.
+			start := time.Now()
+			_, err := d.sdk.Stat(d.prePath(rnd.Intn(d.sc.Workload.PreFiles)))
+			record(start, err)
 			continue
 		}
 		// Mix op, possibly redirected at the flash-crowd hot dir.

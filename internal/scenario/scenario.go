@@ -157,6 +157,7 @@ const (
 	AssertP95LE         = "p95-le"           // workload p95 latency <= Dur
 	AssertAvailMin      = "availability-min" // acked/attempted >= Value (0..1; stress mode)
 	AssertReplicaSpread = "replica-spread"   // >= 1 unit promoted, replicas served >= Value reads, demoted again within Within
+	AssertRPCPerOp      = "rpc-per-op"       // workload RPC frames per completed op <= Value (warm-cache bound)
 )
 
 // StressSpec configures the virtual-clock large-fleet emulator.
@@ -192,7 +193,7 @@ var knownAsserts = map[string]bool{
 	AssertErrorsMax: true, AssertErrRateLE: true, AssertFailoversMin: true,
 	AssertFailoversMax: true, AssertMigrationsMin: true,
 	AssertMapConverged: true, AssertReplConverged: true, AssertP95LE: true,
-	AssertAvailMin: true, AssertReplicaSpread: true,
+	AssertAvailMin: true, AssertReplicaSpread: true, AssertRPCPerOp: true,
 }
 
 func (f *FleetSpec) withDefaults() {
@@ -305,7 +306,7 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: read-replicas %d needs a fleet larger than fanout+owner", sc.Name, f.ReadReplicas)
 	}
 	switch sc.Workload.Kind {
-	case "mix", "trace-rw", "trace-ro", "trace-wi", "none":
+	case "mix", "stat", "trace-rw", "trace-ro", "trace-wi", "none":
 	default:
 		return fmt.Errorf("scenario %s: workload kind %q", sc.Name, sc.Workload.Kind)
 	}
@@ -419,6 +420,10 @@ func (a Assertion) validate(name string) error {
 	case AssertErrRateLE, AssertAvailMin:
 		if a.Value < 0 || a.Value > 1 {
 			return fmt.Errorf("scenario %s: %s value %v out of [0,1]", name, a.Kind, a.Value)
+		}
+	case AssertRPCPerOp:
+		if a.Value <= 0 {
+			return fmt.Errorf("scenario %s: rpc-per-op needs value > 0", name)
 		}
 	}
 	return nil
@@ -549,7 +554,7 @@ func (sc *Scenario) Encode() string {
 		w("workload:")
 		w("  kind: %s", sc.Workload.Kind)
 		w("  workers: %d", sc.Workload.Workers)
-		if sc.Workload.Kind == "mix" {
+		if sc.Workload.Kind == "mix" || sc.Workload.Kind == "stat" {
 			w("  write-pct: %d", sc.Workload.WritePct)
 			w("  pre-files: %d", sc.Workload.PreFiles)
 		}

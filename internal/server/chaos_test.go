@@ -29,7 +29,7 @@ func TestChaosOpsMigrationsRestarts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestChaosOpsMigrationsRestarts(t *testing.T) {
 		if err != nil {
 			t.Fatalf("restart: %v", err)
 		}
-		sdk, err = client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+		sdk, err = client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 		if err != nil {
 			t.Fatalf("reconnect: %v", err)
 		}
@@ -165,7 +165,7 @@ func TestChaosKillMDSMidEpoch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestChaosKillMDSMidEpoch(t *testing.T) {
 	// Every path still resolves for a fresh client against the healed
 	// cluster (the restarted shard listens on a new address).
 	sdk.Close()
-	sdk2, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 2})
+	sdk2, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		t.Fatal(err)
 	}

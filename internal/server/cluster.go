@@ -42,6 +42,11 @@ type ClusterConfig struct {
 	// SlowOpThreshold is the always-keep-slow span cutoff (0 = the
 	// telemetry default; negative disables slow-op capture).
 	SlowOpThreshold time.Duration
+	// LeaseTTL overrides every shard's directory-lease TTL (0 keeps
+	// lease.DefaultTTL). Shorter TTLs tighten the staleness bound for
+	// idle clients at the cost of more re-grants; restarted shards keep
+	// the override.
+	LeaseTTL time.Duration
 }
 
 // Cluster is a set of running MDS services plus coordinator connections.
@@ -72,6 +77,7 @@ type Cluster struct {
 	tracers    []*telemetry.Tracer
 	traceRate  float64
 	slowThresh time.Duration
+	leaseTTL   time.Duration
 
 	// repl is the replication wiring, nil until EnableReplication. Like
 	// Services it is mutated only by single-threaded admin operations.
@@ -114,6 +120,7 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 		tracers:    make([]*telemetry.Tracer, n),
 		traceRate:  cfg.TraceSampleRate,
 		slowThresh: cfg.SlowOpThreshold,
+		leaseTTL:   cfg.LeaseTTL,
 	}
 	for i := range c.peerConns {
 		c.peerConns[i] = make([]*rpc.Client, n)
@@ -131,6 +138,9 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 			return nil, fmt.Errorf("server: open store %d: %w", i, err)
 		}
 		svc := mds.NewService(i, store, c.peerResolverFor(i))
+		if c.leaseTTL > 0 {
+			svc.SetLeaseTTL(c.leaseTTL)
+		}
 		addr, err := svc.Serve("127.0.0.1:0")
 		if err != nil {
 			store.Close()
@@ -281,6 +291,9 @@ func (c *Cluster) RestartMDS(id int) error {
 		return fmt.Errorf("server: reopen store %d: %w", id, err)
 	}
 	svc := mds.NewService(id, store, c.peerResolverFor(id))
+	if c.leaseTTL > 0 {
+		svc.SetLeaseTTL(c.leaseTTL)
+	}
 	addr, err := svc.Serve("127.0.0.1:0")
 	if err != nil {
 		store.Close()

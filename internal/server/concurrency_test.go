@@ -30,7 +30,7 @@ func TestConcurrentClientsWithMigration(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 3})
+			sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 			if err != nil {
 				errs <- err
 				return
@@ -67,7 +67,7 @@ func TestConcurrentClientsWithMigration(t *testing.T) {
 	}
 
 	// Post-condition: every file is present exactly once.
-	check, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	check, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func TestMDSCrashIsolated(t *testing.T) {
 
 	// A fresh client (fresh connections — the old ones died with the
 	// server).
-	fresh, err := client.Dial(client.Config{Addrs: cl.Addrs[:2], CacheDepth: 0})
+	fresh, err := client.Dial(client.Config{Addrs: cl.Addrs[:2], Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,8 +17,10 @@ import (
 
 // metricComponents is the closed set of allowed first segments.
 var metricComponents = map[string]bool{
+	"cache":       true,
 	"client":      true,
 	"coordinator": true,
+	"lease":       true,
 	"kvstore":     true,
 	"mds":         true,
 	"repl":        true,

@@ -29,7 +29,7 @@ func startObsCluster(t *testing.T, n int) (*Cluster, *client.Client) {
 	if err := cl.EnableReplication(true, nil); err != nil {
 		t.Fatal(err)
 	}
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 3})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ import (
 // read storm before the Data Collector ever saw it.
 func uncachedClient(t *testing.T, cl *Cluster) *client.Client {
 	t.Helper()
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}

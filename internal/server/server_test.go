@@ -15,7 +15,7 @@ func startTestCluster(t *testing.T, n int) (*Cluster, *client.Client) {
 		t.Fatal(err)
 	}
 	t.Cleanup(cl.Close)
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 3})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestMigrationAndRedirect(t *testing.T) {
 	}
 	// A fresh client with no map knowledge must still resolve everything
 	// via the fake-inode redirect.
-	fresh, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	fresh, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestDurabilityAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestDurabilityAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	sdk2, err := client.Dial(client.Config{Addrs: cl2.Addrs, CacheDepth: 0})
+	sdk2, err := client.Dial(client.Config{Addrs: cl2.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestPartitionMapSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	sdk, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestPartitionMapSurvivesRestart(t *testing.T) {
 	if pins[moved.Ino] != 2 {
 		t.Errorf("restarted coordinator pins = %v, want %d -> 2", pins, moved.Ino)
 	}
-	sdk2, err := client.Dial(client.Config{Addrs: cl2.Addrs, CacheDepth: 0})
+	sdk2, err := client.Dial(client.Config{Addrs: cl2.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,12 +325,12 @@ func TestNearRootCacheReducesRPCs(t *testing.T) {
 	if err := co.Migrate(deep.Ino, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	cached, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 3})
+	cached, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "leases"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cached.Close()
-	uncached, err := client.Dial(client.Config{Addrs: cl.Addrs, CacheDepth: 0})
+	uncached, err := client.Dial(client.Config{Addrs: cl.Addrs, Cache: "off"})
 	if err != nil {
 		t.Fatal(err)
 	}
