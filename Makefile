@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test test-race race chaos train-smoke obs-smoke sim sim-smoke bench experiments examples profile clean
+.PHONY: all check build vet fmt-check test test-race race chaos train-smoke obs-smoke commit-smoke sim sim-smoke bench experiments examples profile clean
 
 all: check
 
 # The default gate: compile, vet, formatting, full test suite, the race
 # detector over the concurrency-heavy networked packages, a fast
-# scenario-harness smoke, then the observability-plane smoke.
-check: build vet fmt-check test test-race sim-smoke obs-smoke
+# scenario-harness smoke, the observability-plane smoke, then the
+# commit-pipeline smoke.
+check: build vet fmt-check test test-race sim-smoke obs-smoke commit-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +62,13 @@ train-smoke:
 # scrape, and the component.noun.verb metric vocabulary.
 obs-smoke:
 	$(GO) test -count=1 -timeout 120s -run 'ObsSmoke' ./internal/server/... ./internal/telemetry/...
+
+# Commit-pipeline smoke under the race detector: the three durability
+# policies end to end on real TCP clusters (batched SDK → multi-op
+# frame → atomic shard apply → WAL batch record → per-mode ack), the
+# pipeline mode-contract unit tests, and the idempotent replay proof.
+commit-smoke:
+	$(GO) test -race -count=1 -timeout 120s -run 'CommitSmoke' ./internal/commit/... ./internal/mds/... ./internal/server/...
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # kvstore micro-benchmarks.

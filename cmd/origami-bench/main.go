@@ -39,16 +39,19 @@ import (
 // tcpBenchPoint is one (dispatch mode, worker count) measurement in the
 // machine-readable BENCH_tcp.json report.
 type tcpBenchPoint struct {
-	Dispatch  string  `json:"dispatch"`
-	Cache     string  `json:"cache"`
-	Workers   int     `json:"workers"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	Ops       int64   `json:"ops"`
-	Errors    int64   `json:"errors"`
-	RPCPerOp  float64 `json:"rpc_per_op"`
-	P50Ns     int64   `json:"p50_ns"`
-	P95Ns     int64   `json:"p95_ns"`
-	P99Ns     int64   `json:"p99_ns"`
+	Dispatch    string  `json:"dispatch"`
+	Cache       string  `json:"cache"`
+	CommitMode  string  `json:"commit_mode"`
+	Workers     int     `json:"workers"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Ops         int64   `json:"ops"`
+	Errors      int64   `json:"errors"`
+	RPCPerOp    float64 `json:"rpc_per_op"`
+	BatchFrames int64   `json:"batch_frames,omitempty"`
+	BatchedOps  int64   `json:"batched_ops,omitempty"`
+	P50Ns       int64   `json:"p50_ns"`
+	P95Ns       int64   `json:"p95_ns"`
+	P99Ns       int64   `json:"p99_ns"`
 }
 
 // tcpBenchReport is the whole BENCH_tcp.json document.
@@ -58,17 +61,19 @@ type tcpBenchReport struct {
 	WritePct    int             `json:"writepct"`
 	ReadPct     int             `json:"readpct"`
 	Clients     int             `json:"clients"`
+	BatchWindow int             `json:"batch_window"`
 	Duration    string          `json:"duration_per_point"`
 	TraceSample float64         `json:"trace_sample"`
 	Points      []tcpBenchPoint `json:"points"`
 }
 
-// runTCPBench starts a fresh loopback cluster per dispatch mode and
-// drives it with the closed-loop load generator at each worker count,
-// printing an ops/sec matrix plus the concurrent-over-serial speedup.
-// Alongside the text report it writes BENCH_tcp.json (jsonOut) with the
-// per-point throughput and exact p50/p95/p99 latencies.
-func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct, readPct int, cacheMode string, clients int, traceSample float64, jsonOut string) error {
+// runTCPBench starts a fresh loopback cluster per (dispatch, cache,
+// commit-mode) combination and drives it with the closed-loop load
+// generator at each worker count, printing an ops/sec matrix plus the
+// concurrent-over-serial speedup. Alongside the text report it writes
+// BENCH_tcp.json (jsonOut) with the per-point throughput and exact
+// p50/p95/p99 latencies.
+func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch string, syncWAL bool, writePct, readPct int, cacheMode string, commitMode string, batchWindow int, batchDelay time.Duration, clients int, traceSample float64, jsonOut string) error {
 	modes := []string{"serial", "concurrent"}
 	if dispatch != "both" {
 		modes = []string{dispatch}
@@ -77,85 +82,117 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 	if cacheMode == "both" {
 		cacheModes = []string{"off", "leases"}
 	}
+	commitModes := []string{commitMode}
+	if commitMode == "all" {
+		commitModes = []string{"sync-fsync", "sync-repl", "async"}
+	}
 	if readPct > 0 {
 		writePct = 100 - min(readPct, 100)
 	}
 	report := tcpBenchReport{
 		MDS: numMDS, SyncWAL: syncWAL, WritePct: writePct, ReadPct: readPct, Clients: clients,
-		Duration: dur.String(), TraceSample: traceSample,
+		BatchWindow: batchWindow, Duration: dur.String(), TraceSample: traceSample,
 	}
 	thr := make(map[string]map[int]float64)
 	for _, mode := range modes {
 		for _, cache := range cacheModes {
-			key := mode + "/" + cache
-			thr[key] = make(map[int]float64)
-			dir, err := os.MkdirTemp("", "origami-tcpbench-")
-			if err != nil {
-				return err
-			}
-			cluster, err := server.StartClusterConfig(numMDS, dir, server.ClusterConfig{
-				KvOpts:          kvstore.Options{SyncWAL: syncWAL},
-				TraceSampleRate: traceSample,
-			})
-			if err != nil {
-				os.RemoveAll(dir)
-				return err
-			}
-			for _, svc := range cluster.Services {
-				svc.Server().SetSerialDispatch(mode == "serial")
-			}
-			fmt.Printf("## dispatch=%s cache=%s (%d MDS, %v per point, syncwal=%v, writepct=%d, clients=%d)\n",
-				mode, cache, numMDS, dur, syncWAL, writePct, clients)
-			var lastPuts, lastSyncs int64
-			for _, w := range workerCounts {
-				res, err := loadgen.Run(loadgen.Config{
-					Addrs:           cluster.Addrs,
-					Workers:         w,
-					Clients:         clients,
-					Duration:        dur,
-					Root:            fmt.Sprintf("bench-%s-%s-w%d", mode, cache, w),
-					Cache:           cache,
-					WritePct:        writePct,
-					ReadPct:         readPct,
-					Seed:            1,
+			for _, cm := range commitModes {
+				key := mode + "/" + cache + "/" + cm
+				thr[key] = make(map[int]float64)
+				// sync-repl needs a backup to ack to; a single-node run
+				// would silently degrade to the local fsync. async is
+				// meaningful either way: with replication the background
+				// durability wait is the backup ack, without it the local
+				// group-commit fsync.
+				n := numMDS
+				if cm == "sync-repl" && n < 2 {
+					n = 2
+				}
+				dir, err := os.MkdirTemp("", "origami-tcpbench-")
+				if err != nil {
+					return err
+				}
+				cluster, err := server.StartClusterConfig(n, dir, server.ClusterConfig{
+					KvOpts:          kvstore.Options{SyncWAL: syncWAL},
 					TraceSampleRate: traceSample,
+					CommitMode:      cm,
 				})
 				if err != nil {
-					cluster.Close()
 					os.RemoveAll(dir)
 					return err
 				}
-				thr[key][w] = res.Throughput()
-				var puts, syncs int64
+				if cm != "sync-fsync" && n >= 2 {
+					if err := cluster.EnableReplication(false, nil); err != nil {
+						cluster.Close()
+						os.RemoveAll(dir)
+						return err
+					}
+				}
 				for _, svc := range cluster.Services {
-					st := svc.StoreStats()
-					puts += st.Puts + st.Deletes
-					syncs += st.WALSyncs
+					svc.Server().SetSerialDispatch(mode == "serial")
 				}
-				batch := "n/a"
-				if d := syncs - lastSyncs; d > 0 {
-					batch = fmt.Sprintf("%.1f", float64(puts-lastPuts)/float64(d))
+				fmt.Printf("## dispatch=%s cache=%s commit=%s (%d MDS, %v per point, syncwal=%v, writepct=%d, clients=%d, batch=%d)\n",
+					mode, cache, cm, n, dur, syncWAL, writePct, clients, batchWindow)
+				var lastPuts, lastSyncs int64
+				for _, w := range workerCounts {
+					res, err := loadgen.Run(loadgen.Config{
+						Addrs:           cluster.Addrs,
+						Workers:         w,
+						Clients:         clients,
+						Duration:        dur,
+						Root:            fmt.Sprintf("bench-%s-%s-%s-w%d", mode, cache, cm, w),
+						Cache:           cache,
+						WritePct:        writePct,
+						ReadPct:         readPct,
+						Seed:            1,
+						TraceSampleRate: traceSample,
+						BatchWindow:     batchWindow,
+						BatchDelay:      batchDelay,
+					})
+					if err != nil {
+						cluster.Close()
+						os.RemoveAll(dir)
+						return err
+					}
+					thr[key][w] = res.Throughput()
+					var puts, syncs int64
+					for _, svc := range cluster.Services {
+						st := svc.StoreStats()
+						puts += st.Puts + st.Deletes
+						syncs += st.WALSyncs
+					}
+					batch := "n/a"
+					if d := syncs - lastSyncs; d > 0 {
+						batch = fmt.Sprintf("%.1f", float64(puts-lastPuts)/float64(d))
+					}
+					lastPuts, lastSyncs = puts, syncs
+					frames := ""
+					if res.BatchFrames > 0 {
+						frames = fmt.Sprintf(", %.1f ops/frame", float64(res.BatchedOps)/float64(res.BatchFrames))
+					}
+					fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %.3f rpc/op%s, %v, wal batch %s, p50 %v p95 %v p99 %v)\n",
+						w, res.Throughput(), res.Ops, res.Errors, res.RPCPerOp(), frames, res.Elapsed.Round(time.Millisecond), batch,
+						res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+					report.Points = append(report.Points, tcpBenchPoint{
+						Dispatch: mode, Cache: cache, CommitMode: cm, Workers: w,
+						OpsPerSec: res.Throughput(), Ops: res.Ops, Errors: res.Errors, RPCPerOp: res.RPCPerOp(),
+						BatchFrames: res.BatchFrames, BatchedOps: res.BatchedOps,
+						P50Ns: res.P50.Nanoseconds(), P95Ns: res.P95.Nanoseconds(), P99Ns: res.P99.Nanoseconds(),
+					})
 				}
-				lastPuts, lastSyncs = puts, syncs
-				fmt.Printf("  workers=%-3d  %9.0f ops/s  (%d ops, %d errors, %.3f rpc/op, %v, wal batch %s, p50 %v p95 %v p99 %v)\n",
-					w, res.Throughput(), res.Ops, res.Errors, res.RPCPerOp(), res.Elapsed.Round(time.Millisecond), batch,
-					res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
-				report.Points = append(report.Points, tcpBenchPoint{
-					Dispatch: mode, Cache: cache, Workers: w,
-					OpsPerSec: res.Throughput(), Ops: res.Ops, Errors: res.Errors, RPCPerOp: res.RPCPerOp(),
-					P50Ns: res.P50.Nanoseconds(), P95Ns: res.P95.Nanoseconds(), P99Ns: res.P99.Nanoseconds(),
-				})
+				cluster.Close()
+				os.RemoveAll(dir)
 			}
-			cluster.Close()
-			os.RemoveAll(dir)
 		}
 	}
 	if dispatch == "both" {
 		fmt.Println("## speedup (concurrent / serial)")
 		for _, cache := range cacheModes {
-			for _, w := range workerCounts {
-				if s := thr["serial/"+cache][w]; s > 0 {
-					fmt.Printf("  cache=%-6s workers=%-3d  %.2fx\n", cache, w, thr["concurrent/"+cache][w]/s)
+			for _, cm := range commitModes {
+				for _, w := range workerCounts {
+					if s := thr["serial/"+cache+"/"+cm][w]; s > 0 {
+						fmt.Printf("  cache=%-6s commit=%-10s workers=%-3d  %.2fx\n", cache, cm, w, thr["concurrent/"+cache+"/"+cm][w]/s)
+					}
 				}
 			}
 		}
@@ -163,9 +200,28 @@ func runTCPBench(numMDS int, workerCounts []int, dur time.Duration, dispatch str
 	if cacheMode == "both" {
 		fmt.Println("## cache speedup (leases / off)")
 		for _, mode := range modes {
-			for _, w := range workerCounts {
-				if s := thr[mode+"/off"][w]; s > 0 {
-					fmt.Printf("  dispatch=%-10s workers=%-3d  %.2fx\n", mode, w, thr[mode+"/leases"][w]/s)
+			for _, cm := range commitModes {
+				for _, w := range workerCounts {
+					if s := thr[mode+"/off/"+cm][w]; s > 0 {
+						fmt.Printf("  dispatch=%-10s commit=%-10s workers=%-3d  %.2fx\n", mode, cm, w, thr[mode+"/leases/"+cm][w]/s)
+					}
+				}
+			}
+		}
+	}
+	if commitMode == "all" {
+		fmt.Println("## commit-mode speedup (vs sync-fsync)")
+		for _, mode := range modes {
+			for _, cache := range cacheModes {
+				for _, w := range workerCounts {
+					base := thr[mode+"/"+cache+"/sync-fsync"][w]
+					if base <= 0 {
+						continue
+					}
+					for _, cm := range []string{"sync-repl", "async"} {
+						fmt.Printf("  dispatch=%-10s cache=%-6s commit=%-10s workers=%-3d  %.2fx\n",
+							mode, cache, cm, w, thr[mode+"/"+cache+"/"+cm][w]/base)
+					}
 				}
 			}
 		}
@@ -268,6 +324,9 @@ func main() {
 		writePct   = flag.Int("writepct", 100, "percentage of mutating ops in the -tcp workload (default is an mdtest-style create storm)")
 		readPct    = flag.Int("readpct", 0, "specify the -tcp mix from the read side instead: 100 is a pure stat/readdir storm (overrides -writepct)")
 		cacheMode  = flag.String("cache", "leases", "SDK cache mode for -tcp: leases, off, or both (A/B comparison)")
+		commitMode = flag.String("commit-mode", "sync-fsync", "durability policy for -tcp: sync-fsync, sync-repl, async, or all (matrix; replicated modes force >= 2 MDSs)")
+		batchFlag  = flag.Int("batch", 0, "SDK pipelined-submission window for -tcp (sub-ops per MethodBatch frame; 0 disables batching)")
+		batchDelay = flag.Duration("batch-delay", 0, "linger before a partial batch frame flushes (0 = SDK default)")
 		clients    = flag.Int("clients", 0, "simulated SDK clients for -tcp (virtual clients sharing transports; 0 = one shared client)")
 		jsonOut    = flag.String("json-out", "BENCH_tcp.json", "write the -tcp results as JSON to this file (empty disables)")
 		traceRate  = flag.Float64("trace-sample", 0.01, "span head-sampling rate for the -tcp cluster and SDK (negative disables tracing)")
@@ -308,7 +367,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "origami-bench: bad -cache %q\n", *cacheMode)
 			os.Exit(1)
 		}
-		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *readPct, *cacheMode, *clients, *traceRate, *jsonOut); err != nil {
+		switch *commitMode {
+		case "all", "sync-fsync", "sync-repl", "async":
+		default:
+			fmt.Fprintf(os.Stderr, "origami-bench: bad -commit-mode %q\n", *commitMode)
+			os.Exit(1)
+		}
+		if err := runTCPBench(tcpMDS, wc, *duration, *dispatch, *syncWAL, *writePct, *readPct, *cacheMode, *commitMode, *batchFlag, *batchDelay, *clients, *traceRate, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "origami-bench: %v\n", err)
 			os.Exit(1)
 		}

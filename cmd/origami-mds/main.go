@@ -15,6 +15,12 @@
 //
 //	origami-mds -cluster 3 -repl -heartbeat 1s -data /tmp/origami -admin 127.0.0.1:7301
 //
+// Durability is picked with -commit-mode {sync-fsync,sync-repl,async};
+// async acks from the memtable and bounds the crash-loss tail to
+// -commit-window acknowledged ops per shard (see DESIGN.md §15):
+//
+//	origami-mds -cluster 3 -repl -commit-mode async -commit-window 128 -data /tmp/origami
+//
 // With -admin each MDS serves an HTTP endpoint (consecutive ports in
 // -cluster mode): /metrics returns the telemetry registry as JSON,
 // /healthz the liveness document, and -pprof additionally mounts
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"origami/internal/balancer"
+	"origami/internal/commit"
 	"origami/internal/features"
 	"origami/internal/kvstore"
 	"origami/internal/mds"
@@ -67,8 +74,20 @@ func main() {
 		traceRate = flag.Float64("trace-sample", 1.0, "span head-sampling rate in [0,1] (slow ops always kept; negative disables tracing)")
 		slowOp    = flag.Duration("slow-op", 0, "slow-operation span threshold (0 = 50ms default; negative disables slow capture)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "directory-lease TTL bounding client cache staleness (0 = 2s default)")
+		commitMd  = flag.String("commit-mode", "", "durability policy: sync-fsync (default), sync-repl (needs -repl), or async; empty keeps the default but lets -repl-sync upgrade it")
+		commitWin = flag.Int("commit-window", 0, "async mode's bound on acknowledged-but-not-yet-durable ops (0 = library default)")
 	)
 	flag.Parse()
+	if *commitMd != "" {
+		if _, err := commit.ParseMode(*commitMd); err != nil {
+			fmt.Fprintf(os.Stderr, "origami-mds: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *commitMd == "sync-repl" && !*repl && !*replSync {
+		fmt.Fprintln(os.Stderr, "origami-mds: -commit-mode sync-repl needs -repl (the ack rides the backup)")
+		os.Exit(2)
+	}
 	telemetry.SetLogLevel(parseLevel(*logLevel))
 	if *readReps > 0 && !*repl && !*replSync {
 		fmt.Fprintln(os.Stderr, "origami-mds: -read-replicas needs -repl or -repl-sync (the fan-out rides the replication plane)")
@@ -93,11 +112,17 @@ func main() {
 			traceRate:    *traceRate,
 			slowOp:       *slowOp,
 			leaseTTL:     *leaseTTL,
+			commitMode:   *commitMd,
+			commitWindow: *commitWin,
 		})
 		return
 	}
 	if *repl || *replSync {
 		fmt.Fprintln(os.Stderr, "origami-mds: -repl/-repl-sync need -cluster (replication is wired by the in-process cluster)")
+		os.Exit(2)
+	}
+	if *commitMd != "" {
+		fmt.Fprintln(os.Stderr, "origami-mds: -commit-mode needs -cluster (the pipeline is wired by the in-process cluster)")
 		os.Exit(2)
 	}
 	runSingle(*id, *addr, *peers, *dataDir, *adminAddr, *pprofOn, *traceRate, *slowOp, *leaseTTL)
@@ -235,6 +260,8 @@ type clusterOpts struct {
 	traceRate    float64
 	slowOp       time.Duration
 	leaseTTL     time.Duration
+	commitMode   string
+	commitWindow int
 }
 
 func runCluster(o clusterOpts) {
@@ -243,6 +270,8 @@ func runCluster(o clusterOpts) {
 		TraceSampleRate: o.traceRate,
 		SlowOpThreshold: o.slowOp,
 		LeaseTTL:        o.leaseTTL,
+		CommitMode:      o.commitMode,
+		CommitWindow:    o.commitWindow,
 	})
 	if err != nil {
 		log.Error("start cluster failed", "err", err)
@@ -308,6 +337,7 @@ func runCluster(o clusterOpts) {
 	if o.replSync {
 		features = append(features, "replication-sync")
 	}
+	features = append(features, "commit-"+cl.CommitMode().String())
 	if o.modelPath == "" {
 		features = append(features, "online-learning")
 	}

@@ -1,0 +1,399 @@
+package client
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"origami/internal/lease"
+	"origami/internal/mds"
+	"origami/internal/namespace"
+	"origami/internal/rpc"
+)
+
+// Pipelined submission: instead of one RPC frame per mutation, the SDK
+// coalesces concurrent small mutations (create, mkdir, remove, setattr)
+// bound for the same owner MDS into one MethodBatch frame. The shard
+// applies the frame as a single atomic WAL batch record, so the commit
+// pipeline charges one ack wait for the whole frame — this is what lets
+// the async commit mode amortise its durability window across many ops.
+//
+// The batcher is self-clocking, the same leader/follower discipline WAL
+// group commit uses: an op arriving when no frame is in flight for its
+// owner leads a frame immediately (a lone op never lingers), and ops
+// arriving while that frame is on the wire queue up and ride the next
+// one — frame size adapts to load with no linger-delay tuning.
+//
+// Every sub-op carries a (clientID, opID) identity. A frame that dies on
+// the wire is re-sent once — to the map's current owner, which after a
+// failover is the promoted backup — and the shard's replay table (or the
+// namespace itself, via EEXIST + lookup) deduplicates ops the first
+// attempt already applied.
+
+// DefaultBatchDelay is the safety-net linger: a queued op is flushed
+// after at most this long even if the leader/follower handoff it
+// normally rides is lost. In practice the leader's completion drain
+// always beats it.
+const DefaultBatchDelay = 200 * time.Microsecond
+
+// batchOutcome is what one submitted op's waiter receives.
+type batchOutcome struct {
+	res    mds.BatchResult
+	grants []lease.Grant
+	err    error // frame-level failure (transport, decode)
+	resent bool  // the frame was re-sent after a transport failure
+}
+
+type pendingOp struct {
+	sub    []byte
+	parent namespace.Ino
+	done   chan batchOutcome
+}
+
+// pendingOpPool recycles ops (and their 1-slot channels): every mutation
+// allocates one, and the closed-loop benchmarks showed the allocator on
+// the hot path. An op is returned only after its outcome was received,
+// so the channel is always drained when reused.
+var pendingOpPool = sync.Pool{
+	New: func() any { return &pendingOp{done: make(chan batchOutcome, 1)} },
+}
+
+// batcher is shared by a root client and all its forks (they share the
+// transports, so their ops can share frames — this is what makes many
+// sequential workers coalesce). Counters and the op-ID sequence are the
+// batcher's; caches stay per-fork, so flush delivers grants to each
+// waiter instead of touching any cache itself.
+type batcher struct {
+	c        *Client // root client owning the shared transports
+	window   int
+	target   int // queue depth that spawns an extra leader frame
+	delay    time.Duration
+	clientID uint64
+	opSeq    atomic.Uint64
+
+	frames atomic.Int64 // MethodBatch frames sent (incl. re-sends)
+	ops    atomic.Int64 // sub-ops carried by those frames
+
+	mu      sync.Mutex
+	queues  map[int][]*pendingOp
+	timers  map[int]*time.Timer
+	leading map[int]int // leader frames in flight per owner
+}
+
+func newBatcher(c *Client, window int, delay time.Duration) *batcher {
+	if delay <= 0 {
+		delay = DefaultBatchDelay
+	}
+	target := window
+	if target > 16 {
+		// Medium frames beat maximal ones: a frame's sub-ops usually touch
+		// distinct directories, so a huge frame locks most of the shard's
+		// stripes and serialises against every other frame. ~16 ops keeps
+		// per-frame overhead amortised while leaving stripe-level
+		// concurrency for the frames pipelined behind it.
+		target = 16
+	}
+	return &batcher{
+		c:        c,
+		window:   window,
+		target:   target,
+		delay:    delay,
+		clientID: newBatchClientID(),
+		queues:   make(map[int][]*pendingOp),
+		timers:   make(map[int]*time.Timer),
+		leading:  make(map[int]int),
+	}
+}
+
+// maxLeadFrames bounds the leader frames concurrently on the wire per
+// owner. One frame per owner keeps frames maximally full but lets the
+// shard idle between frames (decode/fan-out/re-encode happen on the
+// client while the server waits); a few concurrent frames pipeline the
+// connection the same way the server's concurrent dispatch intends.
+const maxLeadFrames = 3
+
+// newBatchClientID draws a random non-zero replay identity; two clients
+// sharing an ID could eat each other's replay answers, so collision
+// space matters more than predictability.
+func newBatchClientID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+func (b *batcher) nextOpID() uint64 { return b.opSeq.Add(1) }
+
+// do submits one encoded sub-op bound for owner and blocks until its
+// frame completes. When no frame is in flight for the owner the op
+// leads one immediately; otherwise it queues and rides the next frame
+// (dispatched by the leader's completion drain). A full window always
+// flushes inline, concurrently with any leader frame.
+func (b *batcher) do(owner int, parent namespace.Ino, sub []byte) batchOutcome {
+	op := pendingOpPool.Get().(*pendingOp)
+	op.sub, op.parent = sub, parent
+	b.mu.Lock()
+	q := append(b.queues[owner], op)
+	switch {
+	case len(q) >= b.window:
+		b.stopTimerLocked(owner)
+		delete(b.queues, owner)
+		b.mu.Unlock()
+		b.flush(owner, q)
+	case b.leading[owner] == 0 || (b.leading[owner] < maxLeadFrames && len(q) >= b.target):
+		// Idle owner: lead immediately, a lone op never lingers. Loaded
+		// owner: each time the queue reaches a frame's worth, an extra
+		// leader takes it, so several medium frames pipeline on the wire.
+		b.leading[owner]++
+		delete(b.queues, owner)
+		b.mu.Unlock()
+		go b.lead(owner, q)
+	default:
+		b.queues[owner] = q
+		if len(q) == 1 {
+			// Safety net only: the leader's completion drain fires first in
+			// every normal schedule; the timer bounds the wait if it ever
+			// does not.
+			b.timers[owner] = time.AfterFunc(b.delay, func() { b.flushOwner(owner) })
+		}
+		b.mu.Unlock()
+	}
+	out := <-op.done
+	op.sub = nil
+	pendingOpPool.Put(op)
+	return out
+}
+
+// lead sends frames for owner until its queue drains: flush, then take
+// whatever queued while the frame was on the wire as the next frame.
+// Leadership is released only when the queue is empty, preserving the
+// invariant that a queued op always has a leader about to drain it.
+func (b *batcher) lead(owner int, q []*pendingOp) {
+	for {
+		b.flush(owner, q)
+		b.mu.Lock()
+		q = b.queues[owner]
+		if len(q) == 0 {
+			b.leading[owner]--
+			b.mu.Unlock()
+			return
+		}
+		delete(b.queues, owner)
+		b.stopTimerLocked(owner)
+		b.mu.Unlock()
+	}
+}
+
+func (b *batcher) stopTimerLocked(owner int) {
+	if t := b.timers[owner]; t != nil {
+		t.Stop()
+		delete(b.timers, owner)
+	}
+}
+
+// flushOwner drains owner's queue on safety-timer expiry. With an
+// active leader it does nothing — the completion drain owns the queue.
+func (b *batcher) flushOwner(owner int) {
+	b.mu.Lock()
+	if b.leading[owner] > 0 {
+		delete(b.timers, owner)
+		b.mu.Unlock()
+		return
+	}
+	q := b.queues[owner]
+	delete(b.queues, owner)
+	delete(b.timers, owner)
+	b.mu.Unlock()
+	if len(q) > 0 {
+		b.flush(owner, q)
+	}
+}
+
+// flush sends one MethodBatch frame and fans results out to the waiters.
+func (b *batcher) flush(owner int, ops []*pendingOp) {
+	subs := make([][]byte, len(ops))
+	for i, op := range ops {
+		subs[i] = op.sub
+	}
+	frame := mds.EncodeBatchRequest(b.clientID, subs)
+	b.frames.Add(1)
+	b.ops.Add(int64(len(ops)))
+	b.c.reg.Counter("client.batch.frames").Inc()
+	body, err := b.c.call(context.Background(), owner, mds.MethodBatch, frame)
+	resent := false
+	if err != nil && rpc.IsRetryable(err) {
+		// The owner may be mid-failover. Refresh the map and re-send the
+		// SAME frame (same op IDs) once to whoever owns the first op's
+		// directory now; the shard's replay table answers any op the
+		// first attempt already applied.
+		time.Sleep(b.c.cfg.RetryBackoff)
+		_ = b.c.RefreshMap()
+		target := owner
+		if p, ok := b.c.pinOf(ops[0].parent); ok {
+			target = p
+		}
+		resent = true
+		b.frames.Add(1)
+		b.c.reg.Counter("client.batch.resends").Inc()
+		body, err = b.c.call(context.Background(), target, mds.MethodBatch, frame)
+	}
+	if err != nil {
+		for _, op := range ops {
+			op.done <- batchOutcome{err: err, resent: resent}
+		}
+		return
+	}
+	results, grants, derr := mds.DecodeBatchResponse(body)
+	if derr == nil && len(results) != len(ops) {
+		derr = rpc.ErrTruncated
+	}
+	if derr != nil {
+		for _, op := range ops {
+			op.done <- batchOutcome{err: derr, resent: resent}
+		}
+		return
+	}
+	for i, op := range ops {
+		if results[i].Replayed {
+			b.c.reg.Counter("client.batch.replays").Inc()
+		}
+		op.done <- batchOutcome{res: results[i], grants: grants, resent: resent}
+	}
+}
+
+// batchCreateOp runs one create through the batcher. handled=false means
+// the caller must run the single-op path instead (batch-conflict EBUSY,
+// whose lock-retry loops live there). transportLost accumulates whether
+// any attempt may have reached the shard before dying.
+func (c *Client) batchCreateOp(ctx context.Context, owner int, parent namespace.Ino, name string, typ namespace.FileType, transportLost *bool) (*namespace.Inode, bool, error) {
+	sub := mds.EncodeBatchCreate(c.batch.nextOpID(), parent, name, typ)
+	out := c.batch.do(owner, parent, sub)
+	if out.resent {
+		*transportLost = true
+	}
+	if out.err != nil {
+		if rpc.IsRetryable(out.err) {
+			*transportLost = true
+		}
+		return nil, true, out.err
+	}
+	res := out.res
+	if res.Err != nil {
+		switch mds.ErrCode(res.Err) {
+		case mds.CodeBusy:
+			return nil, false, res.Err
+		case mds.CodeExist:
+			if *transportLost {
+				// An earlier attempt landed (or the promoted backup
+				// replayed it): the entry is ours — fetch it instead of
+				// surfacing a spurious EEXIST.
+				if in, ok := c.lookupOwn(ctx, owner, parent, name); ok {
+					return in, true, nil
+				}
+			}
+		}
+		return nil, true, res.Err
+	}
+	c.observeGrants(out.grants, true)
+	if c.cache != nil && res.Inode != nil {
+		for _, g := range out.grants {
+			if g.Dir == parent {
+				c.cache.Put(g, name, res.Inode)
+			}
+		}
+	}
+	return res.Inode, true, nil
+}
+
+// batchRemoveOp runs one remove through the batcher; handled=false falls
+// back to the single-op path (EBUSY shape conflicts).
+func (c *Client) batchRemoveOp(owner int, parent namespace.Ino, name string, transportLost *bool) (bool, error) {
+	sub := mds.EncodeBatchRemove(c.batch.nextOpID(), parent, name)
+	out := c.batch.do(owner, parent, sub)
+	if out.resent {
+		*transportLost = true
+	}
+	if out.err != nil {
+		if rpc.IsRetryable(out.err) {
+			*transportLost = true
+		}
+		return true, out.err
+	}
+	res := out.res
+	if res.Err != nil {
+		switch mds.ErrCode(res.Err) {
+		case mds.CodeBusy:
+			return false, res.Err
+		case mds.CodeNoEnt:
+			if *transportLost {
+				// A previous attempt's remove reached the shard; the entry
+				// is gone, which is what the caller asked for.
+				if c.cache != nil {
+					c.cache.DropEntry(parent, name)
+				}
+				return true, nil
+			}
+		}
+		return true, res.Err
+	}
+	c.observeGrants(out.grants, true)
+	if c.cache != nil {
+		c.cache.DropEntry(parent, name)
+		for _, g := range out.grants {
+			if g.Dir == parent {
+				c.cache.PutNegative(g, name)
+			}
+		}
+	}
+	return true, nil
+}
+
+// batchSetattrOp runs one setattr through the batcher; handled=false
+// falls back to the single-op path (EBUSY binding conflicts). Setattr is
+// naturally idempotent (absolute size/mode), so replay needs no special
+// casing beyond the shard's dedup table.
+func (c *Client) batchSetattrOp(owner int, ino namespace.Ino, parent namespace.Ino, size int64, mode uint16) (*namespace.Inode, bool, error) {
+	sub := mds.EncodeBatchSetattr(c.batch.nextOpID(), ino, size, mode)
+	out := c.batch.do(owner, parent, sub)
+	if out.err != nil {
+		return nil, true, out.err
+	}
+	res := out.res
+	if res.Err != nil {
+		if mds.ErrCode(res.Err) == mds.CodeBusy {
+			return nil, false, res.Err
+		}
+		return nil, true, res.Err
+	}
+	c.observeGrants(out.grants, true)
+	if c.cache != nil && res.Inode != nil {
+		for _, g := range out.grants {
+			if g.Dir == res.Inode.Parent {
+				c.cache.Put(g, res.Inode.Name, res.Inode)
+			}
+		}
+	}
+	return res.Inode, true, nil
+}
+
+// lookupOwn fetches (parent, name) after a replayed create's EEXIST —
+// the entry is this client's own earlier write.
+func (c *Client) lookupOwn(ctx context.Context, owner int, parent namespace.Ino, name string) (*namespace.Inode, bool) {
+	var lw rpc.Wire
+	lw.U64(uint64(parent)).Str(name)
+	lbody, lerr := c.callIdem(ctx, owner, mds.MethodLookup, lw.Bytes())
+	if lerr != nil {
+		return nil, false
+	}
+	in, _, derr := decodeInodeGrants(lbody)
+	if derr != nil {
+		return nil, false
+	}
+	return in, true
+}

@@ -57,6 +57,14 @@ type Config struct {
 	// SlowOpThreshold is the always-keep-slow span cutoff (0 = the
 	// telemetry default; negative disables slow-op capture).
 	SlowOpThreshold time.Duration
+	// BatchWindow enables pipelined submission when > 1: up to this many
+	// concurrent small mutations bound for the same owner MDS coalesce
+	// into one MethodBatch frame (applied there as one atomic WAL batch
+	// record). 0 or 1 keeps the one-frame-per-op wire behaviour.
+	BatchWindow int
+	// BatchDelay is how long a partial batch frame lingers for company
+	// before flushing (default DefaultBatchDelay).
+	BatchDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +92,11 @@ type Client struct {
 	// cache mode is "off"). Coherence is driven by the grant trailers
 	// owner-served responses carry; see internal/lease.
 	cache *lease.ClientCache
+
+	// batch is the pipelined-submission coalescer (nil when BatchWindow
+	// disables batching). Forks share the root's batcher — their ops ride
+	// the same frames — while keeping their own caches.
+	batch *batcher
 
 	// forked marks a virtual client made by Fork: it shares the parent's
 	// transports (Close must not tear them down) but owns its cache,
@@ -120,16 +133,27 @@ type Stats struct {
 	Ops              int64
 	Retries          int64
 	RetriesExhausted int64
+	// BatchFrames counts MethodBatch wire frames sent and BatchedOps the
+	// sub-ops they carried — shared across a root client and its forks
+	// (frames coalesce across them). RPC-per-op accounting must use
+	// these: each frame is one RPC carrying many ops.
+	BatchFrames int64
+	BatchedOps  int64
 }
 
 // Stats snapshots the client counters, including the retry budget spend.
 func (c *Client) Stats() Stats {
-	return Stats{
+	st := Stats{
 		RPCs:             c.RPCCount.Load(),
 		Ops:              c.Ops.Load(),
 		Retries:          c.Retries.Load(),
 		RetriesExhausted: c.RetriesExhausted.Load(),
 	}
+	if c.batch != nil {
+		st.BatchFrames = c.batch.frames.Load()
+		st.BatchedOps = c.batch.ops.Load()
+	}
+	return st
 }
 
 // Dial connects to every MDS in the cluster. Connections redial
@@ -152,6 +176,9 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	if cfg.Cache != "off" {
 		c.cache = lease.NewClientCache(reg)
+	}
+	if cfg.BatchWindow > 1 {
+		c.batch = newBatcher(c, cfg.BatchWindow, cfg.BatchDelay)
 	}
 	if cfg.TraceSampleRate >= 0 {
 		c.tracer = telemetry.NewTracer("client", telemetry.TracerConfig{
@@ -197,6 +224,7 @@ func (c *Client) Fork() *Client {
 		reg:    c.reg,
 		log:    c.log,
 		tracer: c.tracer,
+		batch:  c.batch,
 		forked: true,
 	}
 	if c.cache != nil {
@@ -824,6 +852,15 @@ func (c *Client) createEntry(path string, typ namespace.FileType) (*namespace.In
 			return err
 		}
 		parent := chain[len(chain)-1]
+		if c.batch != nil {
+			in, handled, berr := c.batchCreateOp(ctx, owner, parent.Ino, name, typ, &transportLost)
+			if handled {
+				out = in
+				return berr
+			}
+			// EBUSY batch conflict: fall through to the single-op path,
+			// whose lock-retry loops absorb the race.
+		}
 		var w rpc.Wire
 		w.U64(uint64(parent.Ino)).Str(name).U8(uint8(typ))
 		body, err := c.call(ctx, owner, mds.MethodCreate, w.Bytes())
@@ -885,6 +922,11 @@ func (c *Client) Remove(path string) error {
 			return err
 		}
 		parent := chain[len(chain)-1]
+		if c.batch != nil {
+			if handled, berr := c.batchRemoveOp(owner, parent.Ino, name, &transportLost); handled {
+				return berr
+			}
+		}
 		var w rpc.Wire
 		w.U64(uint64(parent.Ino)).Str(name)
 		body, err := c.call(ctx, owner, mds.MethodRemove, w.Bytes())
@@ -991,6 +1033,13 @@ func (c *Client) Setattr(path string, size int64, mode uint16) (*namespace.Inode
 			return err
 		}
 		in := chain[len(chain)-1]
+		if c.batch != nil {
+			upd, handled, berr := c.batchSetattrOp(owner, in.Ino, in.Parent, size, mode)
+			if handled {
+				out = upd
+				return berr
+			}
+		}
 		var w rpc.Wire
 		w.U64(uint64(in.Ino)).I64(size).U32(uint32(mode))
 		body, err := c.call(ctx, owner, mds.MethodSetattr, w.Bytes())

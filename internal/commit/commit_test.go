@@ -1,0 +1,185 @@
+package commit
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"origami/internal/telemetry"
+)
+
+func counters(reg *telemetry.Registry) (acked, durable, durErrs int64) {
+	return reg.Counter("commit.ops.acked").Value(),
+		reg.Counter("commit.ops.durable").Value(),
+		reg.Counter("commit.durable.errors").Value()
+}
+
+func TestParseModeVocabulary(t *testing.T) {
+	for _, name := range ModeNames {
+		m, err := ParseMode(name)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", name, err)
+		}
+		if m.String() != name {
+			t.Errorf("ParseMode(%q).String() = %q", name, m.String())
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != SyncFsync {
+		t.Errorf("empty mode: got %v, %v; want sync-fsync default", m, err)
+	}
+	if _, err := ParseMode("eventually"); err == nil {
+		t.Error("unknown mode parsed without error")
+	}
+}
+
+// TestCommitSmokePipelineModes walks the ack contract of all three
+// policies: what Commit awaits inline, what it defers, and what the
+// telemetry reports once Drain returns.
+func TestCommitSmokePipelineModes(t *testing.T) {
+	t.Run("sync-fsync", func(t *testing.T) {
+		reg := telemetry.NewRegistry()
+		p := NewPipeline(SyncFsync, 0, reg)
+		var localRan, replRan atomic.Int64
+		err := p.Commit(nil,
+			func() error { localRan.Add(1); return nil },
+			func() error { replRan.Add(1); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if localRan.Load() != 1 {
+			t.Error("sync-fsync did not await the local fsync inline")
+		}
+		if replRan.Load() != 0 {
+			t.Error("sync-fsync awaited the replication ack; it must be fire-and-forget")
+		}
+		p.Drain()
+		if a, d, e := counters(reg); a != 1 || d != 1 || e != 0 {
+			t.Errorf("counters acked=%d durable=%d errors=%d, want 1/1/0", a, d, e)
+		}
+		boom := errors.New("disk gone")
+		if err := p.Commit(nil, func() error { return boom }, nil); !errors.Is(err, boom) {
+			t.Errorf("local fsync failure not returned: %v", err)
+		}
+	})
+
+	t.Run("sync-repl", func(t *testing.T) {
+		reg := telemetry.NewRegistry()
+		p := NewPipeline(SyncRepl, 0, reg)
+		var localRan, replRan atomic.Int64
+		err := p.Commit(nil,
+			func() error { localRan.Add(1); return nil },
+			func() error { replRan.Add(1); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replRan.Load() != 1 {
+			t.Error("sync-repl did not await the replication ack inline")
+		}
+		p.Drain() // the local fsync rides the background coalescer
+		if localRan.Load() != 1 {
+			t.Error("sync-repl dropped the local fsync instead of backgrounding it")
+		}
+		boom := errors.New("backup gone")
+		if err := p.Commit(nil, nil, func() error { return boom }); !errors.Is(err, boom) {
+			t.Errorf("replication failure not returned: %v", err)
+		}
+		// Single-node fallback: no repl wait means the local one gates.
+		localRan.Store(0)
+		if err := p.Commit(nil, func() error { localRan.Add(1); return nil }, nil); err != nil {
+			t.Fatal(err)
+		}
+		if localRan.Load() != 1 {
+			t.Error("sync-repl without a repl wait must await the local fsync inline")
+		}
+	})
+
+	t.Run("async", func(t *testing.T) {
+		reg := telemetry.NewRegistry()
+		p := NewPipeline(Async, 4, reg)
+		gate := make(chan struct{})
+		if err := p.Commit(nil, nil, func() error { <-gate; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		// Acked before durable: the counter moves, the durable one not yet.
+		if a, d, _ := counters(reg); a != 1 || d != 0 {
+			t.Errorf("before release: acked=%d durable=%d, want 1/0", a, d)
+		}
+		if p.Inflight() != 1 {
+			t.Errorf("inflight %d, want 1", p.Inflight())
+		}
+		close(gate)
+		p.Drain()
+		if a, d, e := counters(reg); a != 1 || d != 1 || e != 0 {
+			t.Errorf("after drain: acked=%d durable=%d errors=%d, want 1/1/0", a, d, e)
+		}
+		if p.Inflight() != 0 {
+			t.Errorf("inflight %d after drain, want 0", p.Inflight())
+		}
+		// A background durability failure is counted, never returned: the
+		// write was already acknowledged.
+		if err := p.Commit(nil, nil, func() error { return errors.New("late") }); err != nil {
+			t.Fatal(err)
+		}
+		p.Drain()
+		if _, _, e := counters(reg); e != 1 {
+			t.Errorf("durable.errors = %d, want 1", e)
+		}
+	})
+}
+
+// TestAsyncWindowBackpressure pins the loss bound: once window acks are
+// in flight, the next Commit blocks until a slot frees (here: until the
+// context cancels).
+func TestAsyncWindowBackpressure(t *testing.T) {
+	p := NewPipeline(Async, 2, nil)
+	gate := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if err := p.Commit(nil, nil, func() error { <-gate; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Commit(ctx, nil, func() error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("third commit past the window: %v, want context.Canceled", err)
+	}
+	close(gate)
+	p.Drain()
+	if p.Inflight() != 0 {
+		t.Errorf("inflight %d after drain", p.Inflight())
+	}
+	// With a slot free the same commit goes straight through.
+	if err := p.Commit(context.Background(), nil, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+}
+
+// TestLocalCoalescing pins the group-commit amortisation: waits queued
+// while the background syncer is inside its batching window complete on
+// ONE covering execution, because a later WAL group-commit wait implies
+// every earlier record is durable.
+func TestLocalCoalescing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewPipeline(Async, 64, reg)
+	var execs atomic.Int64
+	const n = 16
+	for i := 0; i < n; i++ {
+		err := p.Commit(nil, func() error { execs.Add(1); return nil }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if d := reg.Counter("commit.ops.durable").Value(); d != n {
+		t.Errorf("durable = %d, want %d", d, n)
+	}
+	// All n waits were enqueued back to back — far inside one
+	// localSyncPause window — so the syncer must have covered several per
+	// execution. The < n bound only fails if every single enqueue took
+	// longer than the 1ms window.
+	if e := execs.Load(); e < 1 || e >= n {
+		t.Errorf("%d covering executions for %d waits; want coalescing (1..%d)", e, n, n-1)
+	}
+}

@@ -107,6 +107,10 @@ type Stats struct {
 	// concurrent writers it runs well below Puts+Deletes — the batching
 	// factor is (writes / syncs).
 	WALSyncs int64
+	// Batches counts atomic multi-op applies (ApplyBatch calls that
+	// reached the WAL). Each is ONE record and one commit ack no matter
+	// how many ops it carries; Puts and Deletes still count the ops.
+	Batches int64
 }
 
 // dbStats is the live counter set behind Stats. The counters are
@@ -114,6 +118,7 @@ type Stats struct {
 // shared lock; the write-side counters ride along for uniformity.
 type dbStats struct {
 	puts, deletes, gets          atomic.Int64
+	batches                      atomic.Int64
 	flushes, compactions         atomic.Int64
 	bytesFlushed, bytesCompacted atomic.Int64
 	walSyncs                     atomic.Int64
@@ -158,6 +163,7 @@ type DB struct {
 	nextFileNum uint64
 	stats       dbStats
 	hook        CommitHook   // guarded by writeMu
+	committer   Committer    // guarded by writeMu
 	tracer      atomic.Value // tracerBox
 	closed      bool
 }
@@ -205,6 +211,30 @@ type CommitHook func(ctx context.Context, muts []Mutation) (wait func() error)
 func (db *DB) SetCommitHook(h CommitHook) {
 	db.writeMu.Lock()
 	db.hook = h
+	db.writeMu.Unlock()
+}
+
+// Committer decides when a committed write is acknowledged. The store
+// hands it two optional waits, both derived from the write that just
+// reached the WAL and memtable: local blocks until the group-commit
+// fsync covers the record (nil when SyncWAL is off or a flush already
+// made it durable), repl blocks until the commit hook's downstream —
+// replication — acknowledged it (nil when no hook wait exists). Commit
+// returning nil acknowledges the write; the policy decides which waits
+// that implies. Commit runs outside every DB lock.
+//
+// Without a committer the store keeps its historical behaviour: wait
+// for the local fsync (under SyncWAL), then for the hook wait.
+type Committer interface {
+	Commit(ctx context.Context, local, repl func() error) error
+}
+
+// SetCommitter installs (or, with nil, removes) the commit policy. Like
+// the commit hook it is guarded by the write lock, so it can be swapped
+// while serving.
+func (db *DB) SetCommitter(c Committer) {
+	db.writeMu.Lock()
+	db.committer = c
 	db.writeMu.Unlock()
 }
 
@@ -311,12 +341,26 @@ func (db *DB) applyWriteInner(ctx context.Context, logFn func(*wal) error, memFn
 	if db.hook != nil {
 		wait = db.hook(ctx, muts())
 	}
+	committer := db.committer
 	db.writeMu.Unlock()
 	if ferr != nil {
 		return ferr
 	}
+	// Both durability waits as closures; the commit policy decides which
+	// of them gate the acknowledgement. local is nil when the record is
+	// already durable (an inline flush fsynced the SSTable) or SyncWAL
+	// never promised an fsync in the first place.
+	var local func() error
 	if db.opts.SyncWAL && !flushed {
-		if err := db.waitSynced(seq); err != nil {
+		local = func() error { return db.waitSynced(seq) }
+	}
+	if committer != nil {
+		return committer.Commit(ctx, local, wait)
+	}
+	// No policy installed: historical behaviour — local fsync first,
+	// then the hook (replication) wait.
+	if local != nil {
+		if err := local(); err != nil {
 			return err
 		}
 	}
@@ -481,6 +525,7 @@ func (db *DB) ApplyBatchCtx(ctx context.Context, b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
+	db.stats.batches.Add(1)
 	return db.applyWrite(ctx,
 		func(w *wal) error { return w.logBatch(b) },
 		func() {
@@ -791,6 +836,7 @@ func (db *DB) Stats() Stats {
 		BytesFlushed:   db.stats.bytesFlushed.Load(),
 		BytesCompacted: db.stats.bytesCompacted.Load(),
 		WALSyncs:       db.stats.walSyncs.Load(),
+		Batches:        db.stats.batches.Load(),
 	}
 	s.MemtableEntries = db.mem.len()
 	s.WALBytes = db.wal.size

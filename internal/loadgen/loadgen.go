@@ -69,16 +69,31 @@ type Config struct {
 	// everything; negative disables client-side tracing). Benchmarks
 	// use a low rate to measure realistic tracing overhead.
 	TraceSampleRate float64
+	// BatchWindow, when > 1, enables the SDK's pipelined submission:
+	// concurrent small mutations coalesce into multi-op MethodBatch
+	// frames of up to this many sub-ops. The async commit-mode numbers
+	// are measured with batching on.
+	BatchWindow int
+	// BatchDelay is the linger before a partial frame flushes (0 =
+	// client.DefaultBatchDelay).
+	BatchDelay time.Duration
 }
 
 // Result aggregates a run.
 type Result struct {
 	Ops     int64         // operations completed
 	Errors  int64         // operations that returned an error
-	RPCs    int64         // metadata RPCs issued during the measured loop
+	RPCs    int64         // metadata RPC frames issued during the measured loop
 	Elapsed time.Duration // wall-clock time of the measured loop
 	Workers int
 	Clients int // simulated clients (0 = one shared SDK)
+
+	// BatchFrames is the number of multi-op MethodBatch frames among
+	// RPCs, and BatchedOps the sub-ops they carried. A frame is ONE wire
+	// RPC no matter how many ops ride it, so RPCs already counts each
+	// frame once — these two expose how much coalescing amortised.
+	BatchFrames int64
+	BatchedOps  int64
 
 	// P50/P95/P99 are exact per-operation latency percentiles over every
 	// operation of the measured loop (not histogram-bucket estimates).
@@ -93,9 +108,10 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
-// RPCPerOp returns metadata RPCs issued per completed operation — the
-// cache's amortised cost figure (0 RPCs for a warm stat, 1 for a warm
-// create).
+// RPCPerOp returns metadata RPC frames issued per completed operation —
+// the amortised cost figure (0 RPCs for a warm stat, 1 for a warm
+// create, and a fraction of one for mutations that shared a batch
+// frame: a full 32-op frame charges each op 1/32 of an RPC).
 func (r *Result) RPCPerOp() float64 {
 	if r.Ops <= 0 {
 		return 0
@@ -158,6 +174,8 @@ func Run(cfg Config) (*Result, error) {
 		Addrs:           cfg.Addrs,
 		Cache:           cfg.Cache,
 		TraceSampleRate: cfg.TraceSampleRate,
+		BatchWindow:     cfg.BatchWindow,
+		BatchDelay:      cfg.BatchDelay,
 	})
 	if err != nil {
 		return nil, err
@@ -195,10 +213,20 @@ func Run(cfg Config) (*Result, error) {
 			sdks[i] = c.Fork()
 		}
 	}
+	// RPC accounting set: batch frames are sent through the root client's
+	// transports (the batcher is shared by every fork), so the root must
+	// be counted even when the workers only drive forks — and the shared
+	// batch counters must be read exactly once (from the root), never
+	// summed across forks.
+	statSet := sdks
+	if cfg.Clients > 0 {
+		statSet = append([]*client.Client{c}, sdks...)
+	}
 	setupRPCs := int64(0)
-	for _, s := range sdks {
+	for _, s := range statSet {
 		setupRPCs += s.Stats().RPCs
 	}
+	setupStats := c.Stats()
 
 	var (
 		tickets  atomic.Int64 // global op ticket counter
@@ -224,13 +252,13 @@ func Run(cfg Config) (*Result, error) {
 					tickets.Add(-1) // unclaimed ticket
 					return
 				}
-				if cfg.TotalOps <= 0 && time.Now().After(deadline) {
+				opStart := time.Now() // doubles as the deadline check
+				if cfg.TotalOps <= 0 && opStart.After(deadline) {
 					tickets.Add(-1)
 					return
 				}
 				sdk := sdks[int(i)%len(sdks)]
 				var err error
-				opStart := time.Now()
 				// i*37 mod 100 walks all residues (37 ⊥ 100), spreading
 				// each op class evenly instead of in 20-ticket bursts.
 				switch pick := int(i * 37 % 100); {
@@ -257,23 +285,26 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	var rpcs int64
-	for _, s := range sdks {
+	for _, s := range statSet {
 		rpcs += s.Stats().RPCs
 	}
+	endStats := c.Stats()
 	var all []time.Duration
 	for _, l := range lats {
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return &Result{
-		Ops:     tickets.Load(),
-		Errors:  errCount.Load(),
-		RPCs:    rpcs - setupRPCs,
-		Elapsed: elapsed,
-		Workers: cfg.Workers,
-		Clients: cfg.Clients,
-		P50:     Percentile(all, 50),
-		P95:     Percentile(all, 95),
-		P99:     Percentile(all, 99),
+		Ops:         tickets.Load(),
+		Errors:      errCount.Load(),
+		RPCs:        rpcs - setupRPCs,
+		Elapsed:     elapsed,
+		Workers:     cfg.Workers,
+		Clients:     cfg.Clients,
+		BatchFrames: endStats.BatchFrames - setupStats.BatchFrames,
+		BatchedOps:  endStats.BatchedOps - setupStats.BatchedOps,
+		P50:         Percentile(all, 50),
+		P95:         Percentile(all, 95),
+		P99:         Percentile(all, 99),
 	}, nil
 }

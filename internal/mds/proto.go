@@ -60,6 +60,11 @@ const (
 	// owned directory the walk traversed, so one warm-up resolve seeds
 	// the client cache for the entire prefix.
 	MethodResolvePath
+	// MethodBatch applies a frame of coalesced small mutations (create,
+	// mkdir, remove, setattr) as one atomic WAL batch record, answering
+	// per-op. Ops carry (clientID, opID) identities for idempotent
+	// replay after transport failures and failover.
+	MethodBatch
 )
 
 // Coordinator admin protocol. These methods are served not by the MDS
@@ -100,6 +105,7 @@ var methodNames = map[rpc.Method]string{
 	MethodInsert:         "insert",
 	MethodLookupPath:     "lookup_path",
 	MethodResolvePath:    "resolve_path",
+	MethodBatch:          "batch",
 	MethodMigratePrepare: "migrate_prepare",
 	MethodMigrateCommit:  "migrate_commit",
 	MethodMigrateAbort:   "migrate_abort",

@@ -19,6 +19,14 @@ func (s *Store) SetCommitHook(h kvstore.CommitHook) {
 	s.db.SetCommitHook(h)
 }
 
+// SetCommitter installs the commit pipeline (durability policy) on the
+// underlying kvstore: every committed mutation's acknowledgement is
+// gated by its Commit decision instead of the store's historical
+// fsync-then-hook sequence. Used by the server wiring.
+func (s *Store) SetCommitter(c kvstore.Committer) {
+	s.db.SetCommitter(c)
+}
+
 // SnapshotPairs streams every live key/value pair of the shard in
 // ascending key order — the full-state export behind replica bootstrap
 // and snapshot catch-up. Metadata keys (0xff prefix) are included so a

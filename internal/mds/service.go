@@ -89,6 +89,11 @@ type Service struct {
 	// SetTracer; nil disables span collection.
 	tracer atomic.Value
 
+	// replays deduplicates re-sent MethodBatch ops by (clientID, opID),
+	// so a frame retried across a transport failure is answered instead
+	// of double-applied.
+	replays replayTable
+
 	// featMu guards features, the extra feature flags reported by
 	// MethodBuildInfo.
 	featMu   sync.Mutex
@@ -233,6 +238,7 @@ func (s *Service) Serve(addr string) (string, error) {
 	srv.HandleInfo(MethodRename, s.timed("rename", s.handleRename))
 	srv.HandleInfo(MethodReaddir, s.timed("readdir", s.handleReaddir))
 	srv.HandleInfo(MethodSetattr, s.timed("setattr", s.handleSetattr))
+	srv.HandleInfo(MethodBatch, s.timed("batch", s.handleBatch))
 	srv.Handle(MethodStats, s.handleStats)
 	srv.Handle(MethodDump, s.handleDump)
 	srv.Handle(MethodIngest, s.handleIngest)

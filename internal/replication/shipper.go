@@ -32,17 +32,21 @@ type Options struct {
 	// primary's head (its staleness age bound). Subtree read units need
 	// it; the ring backup does not.
 	KeepaliveEvery time.Duration
-	// Sync makes every local write wait until its record is applied on
-	// the backup before it is acknowledged (the -repl-sync mode: zero
-	// acknowledged-write loss across a primary crash). Default false —
-	// async shipping with a bounded backlog.
+	// Sync makes Feed hand every write an ack wait that blocks until its
+	// record is applied on the backup. Whether the writer actually blocks
+	// on it before acknowledging is the commit pipeline's decision, not
+	// the shipper's: sync-repl mode awaits it inline (the -repl-sync
+	// guarantee — zero acknowledged-write loss across a primary crash),
+	// async mode completes it in the background under a bounded window.
+	// Default false — fire-and-forget shipping with a bounded backlog,
+	// no per-write ack tracking.
 	Sync bool
-	// Window is the max records per Append RPC. Default 256.
+	// Window is the max records per Append RPC. Default DefaultWindow.
 	Window int
 	// MaxBacklog is the max buffered unshipped records; past it the
 	// buffer is dropped and the backup is resynced by snapshot. This
 	// bounds both shipper memory and the async-mode loss window.
-	// Default 16384.
+	// Default DefaultMaxBacklog.
 	MaxBacklog int
 	// SnapChunk is the max pairs per snapshot chunk RPC. Default 512.
 	SnapChunk int
@@ -62,12 +66,21 @@ type Options struct {
 	Dial func(id int) (*rpc.Client, error)
 }
 
+// DefaultWindow and DefaultMaxBacklog are the shipper's batching and
+// buffering defaults. Exported because the scenario harness's
+// loss-window assertion derives the async unshipped-tail budget
+// (MaxBacklog + Window) from them when a fleet leaves them unset.
+const (
+	DefaultWindow     = 256
+	DefaultMaxBacklog = 16384
+)
+
 func (o Options) withDefaults() Options {
 	if o.Window <= 0 {
-		o.Window = 256
+		o.Window = DefaultWindow
 	}
 	if o.MaxBacklog <= 0 {
-		o.MaxBacklog = 16384
+		o.MaxBacklog = DefaultMaxBacklog
 	}
 	if o.SnapChunk <= 0 {
 		o.SnapChunk = 512
@@ -293,7 +306,8 @@ func (sh *Shipper) tap(ctx context.Context, muts []kvstore.Mutation) func() erro
 // the batch already filtered to this unit's subtree — in both cases
 // under the DB write lock, so it must not take store locks. It assigns
 // sequence numbers, buffers the records, and in Sync mode returns the
-// wait the writer blocks on after releasing its locks.
+// per-write ack wait, which the commit pipeline either awaits inline
+// (sync-repl) or drives to completion in the background (async).
 func (sh *Shipper) Feed(ctx context.Context, muts []kvstore.Mutation) func() error {
 	sh.mu.Lock()
 	if sh.stopped {

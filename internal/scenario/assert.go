@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"origami/internal/client"
+	"origami/internal/commit"
+	"origami/internal/replication"
 	"origami/internal/server"
 )
 
@@ -37,6 +39,16 @@ func evaluateAssertions(sc *Scenario, res *RunResult, cl *server.Cluster, co *se
 			n := countLost()
 			r.Passed = float64(n) <= a.Value
 			r.Detail = fmt.Sprintf("%d acked creates lost (bound %s)", n, trimFloat(a.Value))
+		case AssertLossWindow:
+			// The per-mode durability claim, checked against the budget the
+			// fleet's own config promises rather than a hand-picked number.
+			n := countLost()
+			bound := lossWindowBound(sc)
+			if a.Value > 0 {
+				bound = int(a.Value)
+			}
+			r.Passed = n <= bound
+			r.Detail = fmt.Sprintf("%d acked creates lost (commit-mode %s budget %d)", n, commitModeName(sc), bound)
 		case AssertOpsMin:
 			r.Passed = float64(res.Workload.Ops) >= a.Value
 			r.Detail = fmt.Sprintf("%d ops completed (want >= %s)", res.Workload.Ops, trimFloat(a.Value))
@@ -108,6 +120,48 @@ func evaluateAssertions(sc *Scenario, res *RunResult, cl *server.Cluster, co *se
 		}
 		res.Assertions = append(res.Assertions, r)
 	}
+}
+
+// lossWindowBound computes the acked-loss budget the fleet's durability
+// config promises. Sync commit modes promise zero loss from the ack
+// path itself; async commit adds its in-flight window (acked writes the
+// crash may catch before they are durable). An async shipper adds its
+// unshipped tail on top — backlog plus one ship window — because a
+// failover promotes a backup that never saw those records. Replication
+// "sync" and "off" add nothing: sync acks waited for the backup, and
+// with replication off a kill/restart revives the primary's own
+// (fsynced or torn-tail-recovered) WAL.
+func lossWindowBound(sc *Scenario) int {
+	bound := 0
+	if sc.Fleet.CommitMode == "async" {
+		if w := sc.Fleet.CommitWindow; w > 0 {
+			bound += w
+		} else {
+			bound += commit.DefaultWindow
+		}
+	}
+	if sc.Fleet.Replication == "async" {
+		backlog, window := sc.Fleet.Backlog, sc.Fleet.Window
+		if backlog <= 0 {
+			backlog = replication.DefaultMaxBacklog
+		}
+		if window <= 0 {
+			window = replication.DefaultWindow
+		}
+		bound += backlog + window
+	}
+	return bound
+}
+
+// commitModeName names the fleet's effective commit mode for reporting.
+func commitModeName(sc *Scenario) string {
+	if sc.Fleet.CommitMode != "" {
+		return sc.Fleet.CommitMode
+	}
+	if sc.Fleet.Replication == "sync" {
+		return "sync-repl"
+	}
+	return "sync-fsync"
 }
 
 func cmpWord(kind string) string {

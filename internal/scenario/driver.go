@@ -64,6 +64,7 @@ func newDriver(sc *Scenario, cl *server.Cluster, seed int64) (*driver, error) {
 		CallTimeout:  sc.Fleet.CallTimeout,
 		RetryBackoff: 5 * time.Millisecond,
 		LinkInjector: cl.ClientInjector,
+		BatchWindow:  sc.Workload.Batch,
 	})
 	if err != nil {
 		return nil, err

@@ -31,7 +31,7 @@ func Parse(src string) (*Scenario, error) {
 	sc.Seed = d.i64(m, "seed")
 	sc.Duration = d.dur(m, "duration")
 	if fm := d.child(m, "fleet"); fm != nil {
-		d.strict(fm, "mds", "replication", "heartbeat", "balance-every", "call-timeout", "retrain-every", "backlog", "window", "read-replicas", "promote-reads")
+		d.strict(fm, "mds", "replication", "heartbeat", "balance-every", "call-timeout", "retrain-every", "backlog", "window", "commit-mode", "commit-window", "read-replicas", "promote-reads")
 		sc.Fleet = FleetSpec{
 			MDS:          d.num(fm, "mds"),
 			Replication:  d.str(fm, "replication"),
@@ -41,12 +41,14 @@ func Parse(src string) (*Scenario, error) {
 			RetrainEvery: d.num(fm, "retrain-every"),
 			Backlog:      d.num(fm, "backlog"),
 			Window:       d.num(fm, "window"),
+			CommitMode:   d.str(fm, "commit-mode"),
+			CommitWindow: d.num(fm, "commit-window"),
 			ReadReplicas: d.num(fm, "read-replicas"),
 			PromoteReads: d.num(fm, "promote-reads"),
 		}
 	}
 	if wm := d.child(m, "workload"); wm != nil {
-		d.strict(wm, "kind", "workers", "write-pct", "pre-files", "root", "pin", "ops")
+		d.strict(wm, "kind", "workers", "write-pct", "pre-files", "root", "pin", "ops", "batch")
 		sc.Workload = WorkloadSpec{
 			Kind:     d.str(wm, "kind"),
 			Workers:  d.num(wm, "workers"),
@@ -55,6 +57,7 @@ func Parse(src string) (*Scenario, error) {
 			Root:     d.str(wm, "root"),
 			Pin:      d.str(wm, "pin"),
 			Ops:      d.num(wm, "ops"),
+			Batch:    d.num(wm, "batch"),
 		}
 	}
 	for _, item := range d.list(m, "events") {

@@ -187,8 +187,10 @@ func runCluster(sc *Scenario, seed int64, opts Options, logf func(string, ...int
 	}
 
 	cl, err := server.StartClusterConfig(sc.Fleet.MDS, baseDir, server.ClusterConfig{
-		CallTimeout: sc.Fleet.CallTimeout,
-		FaultSeed:   seed,
+		CallTimeout:  sc.Fleet.CallTimeout,
+		FaultSeed:    seed,
+		CommitMode:   sc.Fleet.CommitMode,
+		CommitWindow: sc.Fleet.CommitWindow,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: start cluster: %w", sc.Name, err)

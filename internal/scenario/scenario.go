@@ -57,6 +57,16 @@ type FleetSpec struct {
 	// Backlog / Window tune the async shipper (0 = library defaults).
 	Backlog int
 	Window  int
+	// CommitMode selects every shard's durability policy — "sync-fsync"
+	// (default), "sync-repl", or "async" — the commit pipeline's
+	// vocabulary. sync-repl needs replication on; replication "sync"
+	// implies sync-repl and may not be combined with another mode.
+	CommitMode string
+	// CommitWindow bounds async commit's acknowledged-but-not-durable
+	// in-flight set (0 = commit.DefaultWindow). Only valid with
+	// commit-mode async; it is the budget the loss-window assertion
+	// charges against.
+	CommitWindow int
 	// ReadReplicas > 0 enables the coordinator's subtree read-replica
 	// sweep with that fan-out (requires replication on: the fan-out rides
 	// the replication plane).
@@ -89,6 +99,10 @@ type WorkloadSpec struct {
 	Pin string
 	// Ops sizes a trace (trace-* kinds only; default 2000).
 	Ops int
+	// Batch, when > 1, turns on the SDK's pipelined submission: the
+	// driver's mutations coalesce into multi-op frames carrying per-op
+	// IDs, so a mid-frame failover exercises idempotent client replay.
+	Batch int
 }
 
 // Event is one timeline entry. At is relative to workload start; Jitter
@@ -146,6 +160,7 @@ type Assertion struct {
 const (
 	AssertNoAckedLoss   = "no-acked-loss"    // every acked create readable post-run (sync-mode invariant)
 	AssertBoundedLoss   = "bounded-loss"     // acked-but-lost creates <= Value (async bound)
+	AssertLossWindow    = "loss-window"      // acked-but-lost creates <= the fleet's durability budget (commit window + unshipped tail); Value > 0 overrides the computed bound
 	AssertOpsMin        = "ops-min"          // completed ops >= Value
 	AssertErrorsMax     = "errors-max"       // workload errors <= Value
 	AssertErrRateLE     = "err-rate-le"      // errors/attempts <= Value (0..1)
@@ -189,7 +204,7 @@ var knownActions = map[string]bool{
 }
 
 var knownAsserts = map[string]bool{
-	AssertNoAckedLoss: true, AssertBoundedLoss: true, AssertOpsMin: true,
+	AssertNoAckedLoss: true, AssertBoundedLoss: true, AssertLossWindow: true, AssertOpsMin: true,
 	AssertErrorsMax: true, AssertErrRateLE: true, AssertFailoversMin: true,
 	AssertFailoversMax: true, AssertMigrationsMin: true,
 	AssertMapConverged: true, AssertReplConverged: true, AssertP95LE: true,
@@ -299,6 +314,23 @@ func (sc *Scenario) Validate() error {
 	if f.Replication != "off" && f.MDS < 2 {
 		return fmt.Errorf("scenario %s: replication needs mds >= 2", sc.Name)
 	}
+	switch f.CommitMode {
+	case "", "sync-fsync", "sync-repl", "async":
+	default:
+		return fmt.Errorf("scenario %s: commit-mode %q (want sync-fsync|sync-repl|async)", sc.Name, f.CommitMode)
+	}
+	if f.CommitMode == "sync-repl" && f.Replication == "off" {
+		return fmt.Errorf("scenario %s: commit-mode sync-repl needs replication on (its ack rides the backup)", sc.Name)
+	}
+	if f.Replication == "sync" && f.CommitMode != "" && f.CommitMode != "sync-repl" {
+		return fmt.Errorf("scenario %s: replication sync implies commit-mode sync-repl, not %q", sc.Name, f.CommitMode)
+	}
+	if f.CommitWindow != 0 && f.CommitMode != "async" {
+		return fmt.Errorf("scenario %s: commit-window only applies to commit-mode async", sc.Name)
+	}
+	if f.CommitWindow < 0 {
+		return fmt.Errorf("scenario %s: commit-window %d", sc.Name, f.CommitWindow)
+	}
 	if f.ReadReplicas > 0 && f.Replication == "off" {
 		return fmt.Errorf("scenario %s: read-replicas needs replication on (the fan-out rides the replication plane)", sc.Name)
 	}
@@ -330,7 +362,7 @@ func (sc *Scenario) Validate() error {
 		if err := a.validate(sc.Name); err != nil {
 			return err
 		}
-		if (a.Kind == AssertNoAckedLoss || a.Kind == AssertBoundedLoss) && sc.Workload.Kind != "mix" {
+		if (a.Kind == AssertNoAckedLoss || a.Kind == AssertBoundedLoss || a.Kind == AssertLossWindow) && sc.Workload.Kind != "mix" {
 			return fmt.Errorf("scenario %s: %s needs the mix workload (it tracks acked creates)", sc.Name, a.Kind)
 		}
 		if a.Kind == AssertReplicaSpread && sc.Fleet.ReadReplicas == 0 {
@@ -545,6 +577,12 @@ func (sc *Scenario) Encode() string {
 		if sc.Fleet.Window > 0 {
 			w("  window: %d", sc.Fleet.Window)
 		}
+		if sc.Fleet.CommitMode != "" {
+			w("  commit-mode: %s", sc.Fleet.CommitMode)
+		}
+		if sc.Fleet.CommitWindow > 0 {
+			w("  commit-window: %d", sc.Fleet.CommitWindow)
+		}
 		if sc.Fleet.ReadReplicas > 0 {
 			w("  read-replicas: %d", sc.Fleet.ReadReplicas)
 		}
@@ -566,6 +604,9 @@ func (sc *Scenario) Encode() string {
 		}
 		if strings.HasPrefix(sc.Workload.Kind, "trace-") {
 			w("  ops: %d", sc.Workload.Ops)
+		}
+		if sc.Workload.Batch > 0 {
+			w("  batch: %d", sc.Workload.Batch)
 		}
 	}
 	if len(sc.Events) > 0 {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"origami/internal/commit"
 	"origami/internal/kvstore"
 	"origami/internal/mds"
 	"origami/internal/rpc"
@@ -47,6 +48,17 @@ type ClusterConfig struct {
 	// idle clients at the cost of more re-grants; restarted shards keep
 	// the override.
 	LeaseTTL time.Duration
+	// CommitMode selects the durability policy of every shard's commit
+	// pipeline: "sync-fsync" (default — ack after the local WAL fsync),
+	// "sync-repl" (ack after the backup replica applied; requires
+	// EnableReplication, else it degrades to the local fsync), or
+	// "async" (ack from the memtable under CommitWindow). An explicit
+	// mode overrides EnableReplication's legacy syncMode mapping.
+	CommitMode string
+	// CommitWindow bounds the async mode's acknowledged-but-not-durable
+	// in-flight set (0 = commit.DefaultWindow). It is the loss window a
+	// crash can open under async commit.
+	CommitWindow int
 }
 
 // Cluster is a set of running MDS services plus coordinator connections.
@@ -79,6 +91,16 @@ type Cluster struct {
 	slowThresh time.Duration
 	leaseTTL   time.Duration
 
+	// commitMode/commitWindow are the cluster-wide durability policy;
+	// pipelines[i] is MDS i's installed commit pipeline. commitModeSet
+	// records whether the mode was configured explicitly — when it was
+	// not, EnableReplication(syncMode=true) upgrades the cluster to
+	// sync-repl (the legacy -repl-sync mapping).
+	commitMode    commit.Mode
+	commitWindow  int
+	commitModeSet bool
+	pipelines     []*commit.Pipeline
+
 	// repl is the replication wiring, nil until EnableReplication. Like
 	// Services it is mutated only by single-threaded admin operations.
 	repl *replGroup
@@ -110,17 +132,25 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 	if cfg.FaultSeed == 0 {
 		cfg.FaultSeed = 1
 	}
+	mode, err := commit.ParseMode(cfg.CommitMode)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	c := &Cluster{
-		dir:        baseDir,
-		peerConns:  make([][]*rpc.Client, n),
-		timeout:    cfg.CallTimeout,
-		kvOpts:     cfg.KvOpts,
-		faults:     NewLinkFaults(cfg.FaultSeed),
-		throttles:  make([]*kvstore.Throttle, n),
-		tracers:    make([]*telemetry.Tracer, n),
-		traceRate:  cfg.TraceSampleRate,
-		slowThresh: cfg.SlowOpThreshold,
-		leaseTTL:   cfg.LeaseTTL,
+		dir:           baseDir,
+		peerConns:     make([][]*rpc.Client, n),
+		timeout:       cfg.CallTimeout,
+		kvOpts:        cfg.KvOpts,
+		faults:        NewLinkFaults(cfg.FaultSeed),
+		throttles:     make([]*kvstore.Throttle, n),
+		tracers:       make([]*telemetry.Tracer, n),
+		traceRate:     cfg.TraceSampleRate,
+		slowThresh:    cfg.SlowOpThreshold,
+		leaseTTL:      cfg.LeaseTTL,
+		commitMode:    mode,
+		commitWindow:  cfg.CommitWindow,
+		commitModeSet: cfg.CommitMode != "",
+		pipelines:     make([]*commit.Pipeline, n),
 	}
 	for i := range c.peerConns {
 		c.peerConns[i] = make([]*rpc.Client, n)
@@ -141,6 +171,7 @@ func StartClusterConfig(n int, baseDir string, cfg ClusterConfig) (*Cluster, err
 		if c.leaseTTL > 0 {
 			svc.SetLeaseTTL(c.leaseTTL)
 		}
+		c.installCommit(i, svc)
 		addr, err := svc.Serve("127.0.0.1:0")
 		if err != nil {
 			store.Close()
@@ -193,6 +224,29 @@ func (c *Cluster) Tracer(id int) *telemetry.Tracer {
 		return nil
 	}
 	return c.tracers[id]
+}
+
+// installCommit builds MDS id's commit pipeline for the cluster's
+// current durability policy and installs it on the shard's store. The
+// pipeline shares the service's telemetry registry, so the commit.*
+// vocabulary lands next to the mds.* metrics (and the batch replay
+// counter the service bumps).
+func (c *Cluster) installCommit(id int, svc *mds.Service) {
+	p := commit.NewPipeline(c.commitMode, c.commitWindow, svc.Registry())
+	svc.Store().SetCommitter(p)
+	c.pipelines[id] = p
+}
+
+// CommitMode returns the cluster's durability policy.
+func (c *Cluster) CommitMode() commit.Mode { return c.commitMode }
+
+// PipelineOf returns one MDS's commit pipeline (tests, scenario
+// assertions), or nil when the id is out of range.
+func (c *Cluster) PipelineOf(id int) *commit.Pipeline {
+	if id < 0 || id >= len(c.pipelines) {
+		return nil
+	}
+	return c.pipelines[id]
 }
 
 // shardOpts is the per-MDS store configuration: the shared options plus
@@ -271,6 +325,13 @@ func (c *Cluster) StopMDS(id int) error {
 	// ship but their acks never escape — exactly a crash's semantics.
 	err := c.Services[id].Close()
 	c.stopReplicationFor(id)
+	// Background durability waits (async mode, sync-repl's off-path
+	// fsyncs) must settle before the store closes under them; stopping
+	// the shipper released any pending repl acks with an error, so this
+	// returns promptly.
+	if p := c.pipelines[id]; p != nil {
+		p.Drain()
+	}
 	c.Services[id] = nil
 	return err
 }
@@ -294,6 +355,7 @@ func (c *Cluster) RestartMDS(id int) error {
 	if c.leaseTTL > 0 {
 		svc.SetLeaseTTL(c.leaseTTL)
 	}
+	c.installCommit(id, svc)
 	addr, err := svc.Serve("127.0.0.1:0")
 	if err != nil {
 		store.Close()
@@ -329,6 +391,11 @@ func (c *Cluster) Close() {
 	if c.repl != nil {
 		for i := range c.repl.shippers {
 			c.stopReplicationFor(i)
+		}
+	}
+	for _, p := range c.pipelines {
+		if p != nil {
+			p.Drain()
 		}
 	}
 	c.mu.Lock()

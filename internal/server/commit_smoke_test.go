@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"origami/internal/client"
+	"origami/internal/commit"
+	"origami/internal/replication"
+)
+
+// TestCommitSmokeClusterModes is the end-to-end commit-pipeline smoke
+// behind `make commit-smoke`: for every durability policy, a batching
+// SDK storms a real TCP cluster with concurrent creates and the test
+// checks the full contract — every acked create is readable, the
+// pipeline drains to zero in-flight, and the commit.* telemetry adds
+// up. Run under -race this sweeps the whole pipelined-submission path:
+// client coalescing, the multi-op frame, the atomic shard apply, the
+// WAL batch record, and the per-mode ack plumbing.
+func TestCommitSmokeClusterModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up real clusters")
+	}
+	for _, mode := range commit.ModeNames {
+		t.Run(mode, func(t *testing.T) {
+			n := 1
+			if mode == "sync-repl" {
+				n = 2 // the ack rides the backup
+			}
+			cl, err := StartClusterConfig(n, t.TempDir(), ClusterConfig{
+				CommitMode:   mode,
+				CommitWindow: 32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			if n >= 2 {
+				if err := cl.EnableReplication(false, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sdk, err := client.Dial(client.Config{
+				Addrs:       cl.Addrs,
+				Cache:       "leases",
+				BatchWindow: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sdk.Close()
+
+			const workers, perWorker = 4, 32
+			if _, err := sdk.Mkdir("/smoke"); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, workers*perWorker)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						if _, err := sdk.Create(fmt.Sprintf("/smoke/w%d-f%03d", w, i)); err != nil {
+							errs <- fmt.Errorf("create w%d f%d: %w", w, i, err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			// Every acked create must be readable back — in async mode too:
+			// the window bounds crash loss, not visibility.
+			for w := 0; w < workers; w++ {
+				for i := 0; i < perWorker; i++ {
+					if _, err := sdk.Stat(fmt.Sprintf("/smoke/w%d-f%03d", w, i)); err != nil {
+						t.Fatalf("acked create not readable (w%d f%d): %v", w, i, err)
+					}
+				}
+			}
+
+			p := cl.PipelineOf(0)
+			if p.Mode().String() != mode {
+				t.Fatalf("pipeline mode %s, want %s", p.Mode(), mode)
+			}
+			p.Drain()
+			if p.Inflight() != 0 {
+				t.Errorf("inflight %d after drain", p.Inflight())
+			}
+			reg := cl.Services[0].Registry()
+			acked := reg.Counter("commit.ops.acked").Value()
+			durable := reg.Counter("commit.ops.durable").Value()
+			if acked == 0 {
+				t.Error("no commits acked through the pipeline")
+			}
+			if durable < acked {
+				t.Errorf("durable %d < acked %d after drain", durable, acked)
+			}
+			if errs := reg.Counter("commit.durable.errors").Value(); errs != 0 {
+				t.Errorf("%d background durability errors", errs)
+			}
+			// The batcher must actually have coalesced: fewer frames than ops.
+			st := sdk.Stats()
+			if st.BatchFrames == 0 {
+				t.Error("no batched frames — the smoke never exercised pipelined submission")
+			}
+			t.Logf("mode=%s acked=%d durable=%d frames=%d batched_ops=%d",
+				mode, acked, durable, st.BatchFrames, st.BatchedOps)
+		})
+	}
+}
+
+// TestCommitSmokeSyncReplLegacyFlag pins the legacy mapping: enabling
+// replication with syncMode=true on a cluster that never set an explicit
+// commit mode must upgrade the policy to sync-repl — the -repl-sync flag
+// keeps meaning what it always meant.
+func TestCommitSmokeSyncReplLegacyFlag(t *testing.T) {
+	cl, err := StartCluster(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if got := cl.CommitMode(); got != commit.SyncFsync {
+		t.Fatalf("fresh cluster mode %s, want sync-fsync", got)
+	}
+	if err := cl.EnableReplication(true, func(o *replication.Options) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.CommitMode(); got != commit.SyncRepl {
+		t.Errorf("after -repl-sync: mode %s, want sync-repl", got)
+	}
+}

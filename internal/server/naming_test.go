@@ -19,6 +19,7 @@ import (
 var metricComponents = map[string]bool{
 	"cache":       true,
 	"client":      true,
+	"commit":      true,
 	"coordinator": true,
 	"lease":       true,
 	"kvstore":     true,

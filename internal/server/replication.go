@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"origami/internal/commit"
 	"origami/internal/namespace"
 	"origami/internal/replication"
 	"origami/internal/telemetry"
@@ -32,10 +33,13 @@ type replGroup struct {
 
 // EnableReplication wires ring replication into a running cluster:
 // every MDS gets a Receiver registered on its RPC server and a Shipper
-// streaming its shard to the next MDS. syncMode acks local writes only
-// after the backup applied them (-repl-sync). tweak, when non-nil, is
-// applied to each shipper's options before start (tests shrink windows
-// and timeouts with it).
+// streaming its shard to the next MDS. syncMode is the legacy
+// -repl-sync switch: unless the cluster was given an explicit
+// CommitMode, syncMode=true upgrades the durability policy to
+// sync-repl (acks gated on the backup ack) — the decision now lives in
+// the commit pipeline, not in ad-hoc shipper plumbing. tweak, when
+// non-nil, is applied to each shipper's options before start (tests
+// shrink windows and timeouts with it).
 func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Options)) error {
 	n := len(c.Services)
 	if n < 2 {
@@ -44,8 +48,18 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 	if c.repl != nil {
 		return fmt.Errorf("server: replication already enabled")
 	}
+	if syncMode && !c.commitModeSet {
+		// Legacy mapping: -repl-sync means the sync-repl commit policy.
+		// Re-install every pipeline under the upgraded mode.
+		c.commitMode = commit.SyncRepl
+		for i, svc := range c.Services {
+			if svc != nil {
+				c.installCommit(i, svc)
+			}
+		}
+	}
 	g := &replGroup{
-		sync:      syncMode,
+		sync:      c.commitMode == commit.SyncRepl,
 		backups:   make([]int, n),
 		shippers:  make([]*replication.Shipper, n),
 		fanouts:   make([]*replication.Fanout, n),
@@ -62,9 +76,13 @@ func (c *Cluster) EnableReplication(syncMode bool, tweak func(*replication.Optio
 	for i, svc := range c.Services {
 		g.backups[i] = (i + 1) % n
 		opts := replication.Options{
-			Primary:  i,
-			Backup:   g.backups[i],
-			Sync:     syncMode,
+			Primary: i,
+			Backup:  g.backups[i],
+			// The shipper must surface per-record ack waits whenever the
+			// commit policy consumes them: sync-repl awaits them inline,
+			// async retires them in the background. Only sync-fsync ships
+			// fire-and-forget.
+			Sync:     c.commitMode != commit.SyncFsync,
 			Registry: g.regs[i],
 			Dial:     c.peerResolverFor(i),
 			Tracer:   c.Tracer(i),
@@ -227,7 +245,7 @@ func (c *Cluster) startReplicationFor(id int) {
 	opts := replication.Options{
 		Primary:  id,
 		Backup:   c.repl.backups[id],
-		Sync:     c.repl.sync,
+		Sync:     c.commitMode != commit.SyncFsync,
 		Registry: reg,
 		Dial:     c.peerResolverFor(id),
 		Tracer:   c.Tracer(id),
